@@ -1,0 +1,176 @@
+//! Ablations of the design choices DESIGN.md calls out: the penalty ρ, the
+//! back-substitution relaxation ε, the literal-paper hyper-parameters, the
+//! emission-cost shape, and the centralized backends. Each target prints
+//! the iteration counts it observed, so the bench log doubles as an
+//! ablation table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ufc_bench::paper_instance;
+use ufc_core::{centralized, AdmgSettings, AdmgSolver, Strategy};
+use ufc_model::EmissionCostFn;
+
+fn bench_rho(c: &mut Criterion) {
+    let inst = paper_instance();
+    let mut g = c.benchmark_group("ablation_rho");
+    g.sample_size(10);
+    for rho in [0.3, 1.0, 2.0] {
+        let solver = AdmgSolver::new(AdmgSettings::default().with_rho(rho));
+        let iters = solver.solve(&inst, Strategy::Hybrid).unwrap().iterations;
+        println!("[ablation] rho = {rho}: {iters} iterations");
+        g.bench_with_input(BenchmarkId::from_parameter(rho), &rho, |b, _| {
+            b.iter(|| black_box(solver.solve(black_box(&inst), Strategy::Hybrid).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_epsilon(c: &mut Criterion) {
+    let inst = paper_instance();
+    let mut g = c.benchmark_group("ablation_epsilon");
+    g.sample_size(10);
+    for eps in [0.6, 0.9, 1.0] {
+        let solver = AdmgSolver::new(AdmgSettings::default().with_epsilon(eps));
+        let iters = solver.solve(&inst, Strategy::Hybrid).unwrap().iterations;
+        println!("[ablation] epsilon = {eps}: {iters} iterations");
+        g.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, _| {
+            b.iter(|| black_box(solver.solve(black_box(&inst), Strategy::Hybrid).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_emission_shapes(c: &mut Criterion) {
+    let base = paper_instance();
+    let shapes: [(&str, EmissionCostFn); 3] = [
+        ("linear", EmissionCostFn::linear(25.0).unwrap()),
+        ("quadratic", EmissionCostFn::quadratic(10.0, 8.0).unwrap()),
+        (
+            "stepped",
+            EmissionCostFn::stepped(vec![1.0, 3.0], vec![10.0, 50.0, 150.0]).unwrap(),
+        ),
+    ];
+    let mut g = c.benchmark_group("ablation_emission_cost");
+    g.sample_size(10);
+    let solver = AdmgSolver::new(AdmgSettings::default());
+    for (label, cost) in shapes {
+        let mut inst = base.clone();
+        inst.emission_cost = vec![cost; inst.n_datacenters()];
+        let iters = solver.solve(&inst, Strategy::Hybrid).unwrap().iterations;
+        println!("[ablation] V_j = {label}: {iters} iterations");
+        g.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| black_box(solver.solve(black_box(&inst), Strategy::Hybrid).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_centralized_backends(c: &mut Criterion) {
+    let inst = paper_instance();
+    let mut g = c.benchmark_group("centralized_backends");
+    g.sample_size(10);
+    g.bench_function("admm_qp", |b| {
+        b.iter(|| {
+            black_box(
+                centralized::solve(
+                    black_box(&inst),
+                    Strategy::Hybrid,
+                    centralized::Backend::Admm,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    // Distributed-vs-centralized wall-clock at the same accuracy target.
+    let solver = AdmgSolver::new(AdmgSettings::default());
+    g.bench_function("distributed_admg", |b| {
+        b.iter(|| black_box(solver.solve(black_box(&inst), Strategy::Hybrid).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_warm_start(c: &mut Criterion) {
+    let inst = paper_instance();
+    let solver = AdmgSolver::new(AdmgSettings::default());
+    let cold = solver.solve(&inst, Strategy::Hybrid).unwrap();
+    // Perturb the instance slightly (next-hour-like price move) and compare
+    // cold vs warm-started solves.
+    let mut next = inst.clone();
+    for p in &mut next.grid_price {
+        *p *= 1.05;
+    }
+    let warm_iters = solver
+        .solve_warm(&next, Strategy::Hybrid, cold.state.clone())
+        .unwrap()
+        .iterations;
+    let cold_iters = solver.solve(&next, Strategy::Hybrid).unwrap().iterations;
+    println!("[ablation] warm start: {warm_iters} vs cold {cold_iters} iterations");
+    let mut g = c.benchmark_group("ablation_warm_start");
+    g.sample_size(10);
+    g.bench_function("cold", |b| {
+        b.iter(|| black_box(solver.solve(black_box(&next), Strategy::Hybrid).unwrap()))
+    });
+    g.bench_function("warm", |b| {
+        b.iter(|| {
+            black_box(
+                solver
+                    .solve_warm(black_box(&next), Strategy::Hybrid, cold.state.clone())
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_right_sizing(c: &mut Criterion) {
+    use ufc_core::right_sizing::{solve_with_right_sizing, RightSizingOptions};
+    // An off-peak instance (most servers idle) shows the extension's value.
+    let mut inst = paper_instance();
+    for a in &mut inst.arrivals {
+        *a *= 0.3;
+    }
+    let out = solve_with_right_sizing(
+        &inst,
+        Strategy::Hybrid,
+        AdmgSettings::default(),
+        RightSizingOptions::default(),
+    )
+    .unwrap();
+    println!(
+        "[ablation] right-sizing: UFC gain {:.2} $ in {} rounds (active servers {:?})",
+        out.ufc_gain(),
+        out.rounds,
+        out.active_servers_k
+            .iter()
+            .map(|v| (v * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
+    let mut g = c.benchmark_group("right_sizing");
+    g.sample_size(10);
+    g.bench_function("solve_shrink_fixed_point", |b| {
+        b.iter(|| {
+            black_box(
+                solve_with_right_sizing(
+                    black_box(&inst),
+                    Strategy::Hybrid,
+                    AdmgSettings::default(),
+                    RightSizingOptions::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_rho,
+    bench_epsilon,
+    bench_emission_shapes,
+    bench_centralized_backends,
+    bench_warm_start,
+    bench_right_sizing
+);
+criterion_main!(ablations);

@@ -1,0 +1,167 @@
+//! One bench per paper table/figure — each target literally re-runs the
+//! experiment function that regenerates the artifact (on shortened horizons
+//! so a full criterion pass stays tractable) and reports the headline
+//! numbers once per target so benchmark logs double as a reproduction
+//! record.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ufc_core::AdmgSettings;
+use ufc_experiments::{convergence, fig3, sweep, table1, weekly, DEFAULT_SEED};
+
+/// Hours used by the per-figure benches (a day keeps each iteration around
+/// a second; `repro` runs the full 168-hour versions).
+const BENCH_HOURS: usize = 24;
+
+fn bench_table1(c: &mut Criterion) {
+    let t = table1::run(DEFAULT_SEED);
+    println!(
+        "[table1] Dallas grid/fuel/hybrid = {:.0}/{:.0}/{:.0} $; San Jose = {:.0}/{:.0}/{:.0} $",
+        t.sites[0].grid, t.sites[0].fuel_cell, t.sites[0].hybrid,
+        t.sites[1].grid, t.sites[1].fuel_cell, t.sites[1].hybrid,
+    );
+    c.bench_function("table1_single_dc_costs", |b| {
+        b.iter(|| black_box(table1::run(black_box(DEFAULT_SEED))))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let f = fig3::run(DEFAULT_SEED, 168).unwrap();
+    println!(
+        "[fig3] mean prices {:?} $/MWh, mean carbon {:?} g/kWh",
+        f.mean_prices().iter().map(|v| v.round()).collect::<Vec<_>>(),
+        f.mean_carbon().iter().map(|v| v.round()).collect::<Vec<_>>(),
+    );
+    c.bench_function("fig3_trace_generation", |b| {
+        b.iter(|| black_box(fig3::run(black_box(DEFAULT_SEED), black_box(168)).unwrap()))
+    });
+}
+
+fn bench_weekly_figures(c: &mut Criterion) {
+    // Figs. 4–8 share the weekly engine; run it once for the report, then
+    // benchmark the engine itself.
+    let r = weekly::run(DEFAULT_SEED, BENCH_HOURS, AdmgSettings::default()).unwrap();
+    println!(
+        "[fig4] avg I_hg = {:.1}%, avg I_hf = {:.1}%, avg I_fg = {:.1}%",
+        100.0 * r.mean_of(|h| h.i_hg),
+        100.0 * r.mean_of(|h| h.i_hf),
+        100.0 * r.mean_of(|h| h.i_fg),
+    );
+    println!(
+        "[fig5] latency hybrid/grid/fuel = {:.1}/{:.1}/{:.1} ms",
+        1e3 * r.mean_of(|h| h.latency_s[0]),
+        1e3 * r.mean_of(|h| h.latency_s[1]),
+        1e3 * r.mean_of(|h| h.latency_s[2]),
+    );
+    println!(
+        "[fig6] hourly energy cost hybrid/grid/fuel = {:.0}/{:.0}/{:.0} $",
+        r.mean_of(|h| h.energy_cost[0]),
+        r.mean_of(|h| h.energy_cost[1]),
+        r.mean_of(|h| h.energy_cost[2]),
+    );
+    println!(
+        "[fig7] hourly carbon cost hybrid/grid/fuel = {:.1}/{:.1}/{:.1} $",
+        r.mean_of(|h| h.carbon_cost[0]),
+        r.mean_of(|h| h.carbon_cost[1]),
+        r.mean_of(|h| h.carbon_cost[2]),
+    );
+    println!(
+        "[fig8] avg fuel-cell utilization = {:.1}%",
+        100.0 * r.mean_of(|h| h.utilization)
+    );
+    let cdf = convergence::from_counts(r.iteration_counts());
+    println!(
+        "[fig11] iterations min/max = {}/{}, {:.0}% within 100",
+        cdf.min(),
+        cdf.max(),
+        100.0 * cdf.fraction_within(100)
+    );
+
+    let mut g = c.benchmark_group("weekly_engine");
+    g.sample_size(10);
+    g.bench_function("figs4_to_8_and_11", |b| {
+        b.iter(|| {
+            black_box(
+                weekly::run(
+                    black_box(DEFAULT_SEED),
+                    black_box(BENCH_HOURS),
+                    AdmgSettings::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let probe = [27.0, 80.0, 120.0];
+    let s = sweep::sweep_fuel_cell_price(DEFAULT_SEED, BENCH_HOURS, AdmgSettings::default(), &probe)
+        .unwrap();
+    for p in &s.points {
+        println!(
+            "[fig9] p0 = {:>3.0} $/MWh → improvement {:.1}%, utilization {:.1}%",
+            p.value,
+            100.0 * p.avg_improvement,
+            100.0 * p.avg_utilization
+        );
+    }
+    let mut g = c.benchmark_group("fig9_p0_sweep");
+    g.sample_size(10);
+    g.bench_function("three_point_day", |b| {
+        b.iter(|| {
+            black_box(
+                sweep::sweep_fuel_cell_price(
+                    black_box(DEFAULT_SEED),
+                    black_box(BENCH_HOURS),
+                    AdmgSettings::default(),
+                    &probe,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let probe = [25.0, 80.0, 140.0];
+    let s =
+        sweep::sweep_carbon_tax(DEFAULT_SEED, BENCH_HOURS, AdmgSettings::default(), &probe)
+            .unwrap();
+    for p in &s.points {
+        println!(
+            "[fig10] tax = {:>3.0} $/ton → improvement {:.1}%, utilization {:.1}%",
+            p.value,
+            100.0 * p.avg_improvement,
+            100.0 * p.avg_utilization
+        );
+    }
+    let mut g = c.benchmark_group("fig10_tax_sweep");
+    g.sample_size(10);
+    g.bench_function("three_point_day", |b| {
+        b.iter(|| {
+            black_box(
+                sweep::sweep_carbon_tax(
+                    black_box(DEFAULT_SEED),
+                    black_box(BENCH_HOURS),
+                    AdmgSettings::default(),
+                    &probe,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    tables_and_figures,
+    bench_table1,
+    bench_fig3,
+    bench_weekly_figures,
+    bench_fig9,
+    bench_fig10
+);
+criterion_main!(tables_and_figures);

@@ -1,0 +1,97 @@
+//! Shared fixtures for the UFC criterion benches.
+//!
+//! The benches in `benches/` regenerate every table and figure of the paper
+//! (`tables_and_figures`), measure the substrate solvers (`solvers`), chart
+//! how the distributed algorithm scales with the number of front-ends
+//! (`admg_scaling`), and quantify the design choices called out in
+//! DESIGN.md §7 (`ablations`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ufc_model::scenario::{ScenarioBuilder, WeeklyScenario};
+use ufc_model::{EmissionCostFn, UfcInstance};
+
+/// Seed shared by all benches so figures match EXPERIMENTS.md.
+pub const BENCH_SEED: u64 = 2012;
+
+/// A short scenario (the benches' unit of work): `hours` of the
+/// paper-default setup.
+///
+/// # Panics
+///
+/// Panics if the builder rejects the configuration (cannot happen for the
+/// defaults).
+#[must_use]
+pub fn scenario(hours: usize) -> WeeklyScenario {
+    ScenarioBuilder::paper_default()
+        .seed(BENCH_SEED)
+        .hours(hours)
+        .build()
+        .expect("paper-default scenario must build")
+}
+
+/// A single paper-scale instance (M = 10, N = 4) at a busy hour.
+#[must_use]
+pub fn paper_instance() -> UfcInstance {
+    scenario(16).instances.swap_remove(15)
+}
+
+/// A synthetic instance with `m` front-ends and `n` datacenters for the
+/// scaling benches. Latency/price/carbon values cycle through plausible
+/// ranges; capacity comfortably covers arrivals.
+///
+/// # Panics
+///
+/// Panics if `m == 0 || n == 0`.
+#[must_use]
+pub fn synthetic_instance(m: usize, n: usize) -> UfcInstance {
+    assert!(m > 0 && n > 0, "need at least one of each node kind");
+    let arrivals: Vec<f64> = (0..m).map(|i| 0.8 + 0.1 * (i % 5) as f64).collect();
+    let total: f64 = arrivals.iter().sum();
+    let cap = 1.5 * total / n as f64;
+    let capacities = vec![cap; n];
+    let alpha: Vec<f64> = capacities.iter().map(|s| s * 0.12).collect();
+    let beta = vec![0.12; n];
+    let mu_max: Vec<f64> = capacities.iter().map(|s| s * 0.24).collect();
+    let prices: Vec<f64> = (0..n).map(|j| 25.0 + 15.0 * (j % 4) as f64).collect();
+    let carbon: Vec<f64> = (0..n).map(|j| 0.3 + 0.1 * (j % 3) as f64).collect();
+    let latency: Vec<Vec<f64>> = (0..m)
+        .map(|i| {
+            (0..n)
+                .map(|j| 0.004 + 0.003 * ((i + 2 * j) % 7) as f64)
+                .collect()
+        })
+        .collect();
+    UfcInstance::new(
+        arrivals,
+        capacities,
+        alpha,
+        beta,
+        mu_max,
+        prices,
+        80.0,
+        carbon,
+        latency,
+        10.0,
+        vec![EmissionCostFn::Linear { rate: 25.0 }; n],
+        1.0,
+    )
+    .expect("synthetic instance must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert_eq!(scenario(2).hours(), 2);
+        let inst = paper_instance();
+        assert_eq!(inst.m_frontends(), 10);
+        assert_eq!(inst.n_datacenters(), 4);
+        let s = synthetic_instance(25, 6);
+        assert_eq!(s.m_frontends(), 25);
+        assert!(s.total_capacity() > s.total_arrivals());
+    }
+}

@@ -1,0 +1,313 @@
+//! Dual-subgradient baseline solver.
+//!
+//! Discussing Fig. 11, the paper notes its ADM-G algorithm "remarkably
+//! outperforms some gradient or projection based methods that are reported
+//! to take hundreds of iterations to converge" (citing Liu et al.,
+//! SIGMETRICS 2011). To make that comparison concrete rather than cited,
+//! this module implements the classical distributed alternative: **dual
+//! (Lagrangian) decomposition with subgradient ascent**.
+//!
+//! The capacity rows `Σ_i λ_ij ≤ S_j` (multipliers `η_j ≥ 0`) and the power
+//! balance rows `α_j + β_j Σ_i λ_ij − μ_j − ν_j = 0` (multipliers `θ_j`)
+//! are dualized; the Lagrangian then splits into per-front-end simplex
+//! problems and per-datacenter scalar problems — the same communication
+//! pattern as ADM-G, one dual update per round. Because the dual function
+//! of an affine-cost `ν` is unbounded without a box, `ν` is capped at the
+//! datacenter's peak demand (a valid bound at any feasible point).
+//!
+//! Primal feasibility is recovered from the **ergodic (running) average**
+//! of the iterates, the standard trick for subgradient methods; the same
+//! polish as ADM-G turns it into an exactly feasible point. Convergence is
+//! declared by the same scale-relative residual test as ADM-G, so
+//! iteration counts are directly comparable — and they come out an order
+//! of magnitude larger (see `experiments::baseline` and the
+//! `ablation_baseline` bench), which is the paper's point.
+
+use ufc_model::{evaluate, OperatingPoint, UfcBreakdown, UfcInstance};
+use ufc_opt::projection::project_simplex;
+use ufc_opt::{scalar, Fista, QuadObjective};
+
+use crate::repair::assemble_point;
+use crate::{AdmgSettings, AdmgState, CoreError, Result, Strategy};
+
+/// Hyper-parameters of the dual-subgradient baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubgradientSettings {
+    /// Initial step size of the diminishing rule `step₀ / (1 + k/decay)`.
+    pub step0: f64,
+    /// Decay horizon of the step rule (iterations).
+    pub decay: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Residual tolerances (reused from ADM-G so counts are comparable).
+    pub tolerances: AdmgSettings,
+}
+
+impl Default for SubgradientSettings {
+    /// `step₀ = 5.0`, `decay = 30`, capped at 20 000 iterations, ADM-G
+    /// default tolerances.
+    fn default() -> Self {
+        SubgradientSettings {
+            step0: 5.0,
+            decay: 30.0,
+            max_iterations: 20_000,
+            tolerances: AdmgSettings::default(),
+        }
+    }
+}
+
+/// Outcome of a dual-subgradient run.
+#[derive(Debug, Clone)]
+pub struct SubgradientSolution {
+    /// Exactly feasible operating point recovered from the ergodic average.
+    pub point: OperatingPoint,
+    /// UFC breakdown at the point.
+    pub breakdown: UfcBreakdown,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the residual test passed before the cap.
+    pub converged: bool,
+}
+
+/// Runs dual decomposition with subgradient ascent on the given instance.
+///
+/// Only `Strategy::Hybrid` and `Strategy::GridOnly` are supported (the
+/// `ν ≡ 0` restriction would need a different dualization).
+///
+/// # Errors
+///
+/// * [`CoreError::Unsupported`] for `Strategy::FuelCellOnly`.
+/// * [`CoreError::Subproblem`] if an inner solve fails.
+/// * [`CoreError::Model`] if the recovered point cannot be evaluated.
+pub fn solve(
+    instance: &UfcInstance,
+    strategy: Strategy,
+    settings: &SubgradientSettings,
+) -> Result<SubgradientSolution> {
+    if strategy == Strategy::FuelCellOnly {
+        return Err(CoreError::Unsupported {
+            context: "dual-subgradient baseline supports Hybrid and GridOnly only".to_owned(),
+        });
+    }
+    if instance.queueing.is_some() {
+        return Err(CoreError::Unsupported {
+            context: "dual-subgradient baseline does not dualize the congestion term".to_owned(),
+        });
+    }
+    let active_mu = strategy != Strategy::GridOnly;
+    let m = instance.m_frontends();
+    let n = instance.n_datacenters();
+    let h = instance.slot_hours;
+    let w = instance.weight_per_kserver();
+
+    // Multipliers.
+    let mut eta = vec![0.0f64; n]; // capacity, ≥ 0
+    let mut theta = vec![0.0f64; n]; // balance, free
+
+    // Ergodic averages.
+    let mut avg_lambda = vec![0.0f64; m * n];
+    let mut avg_mu = vec![0.0f64; n];
+    let mut avg_nu = vec![0.0f64; n];
+
+    // ν box: peak demand is a valid upper bound at any feasible point.
+    let nu_max: Vec<f64> = (0..n)
+        .map(|j| instance.demand_mw(j, instance.capacities[j]))
+        .collect();
+
+    let (link_tol, balance_tol, _) = settings.tolerances.scaled_tolerances(instance);
+    // Capacity violations are measured in kilo-servers like the link
+    // residual; reuse its scale.
+    let capacity_tol = link_tol;
+
+    let mut converged = false;
+    let mut iterations = 0;
+    for k in 0..settings.max_iterations {
+        iterations = k + 1;
+        // --- Primal minimization given (η, θ): decomposes per node.
+        // Front-ends: min −wU(λ_i) + Σ_j (η_j + θ_j β_j) λ_ij over the simplex.
+        let mut lambda = vec![0.0f64; m * n];
+        for i in 0..m {
+            let arrival = instance.arrivals[i];
+            let gamma = 2.0 * w / arrival;
+            let c: Vec<f64> = (0..n).map(|j| eta[j] + theta[j] * instance.beta[j]).collect();
+            let objective = QuadObjective::diag_rank1(
+                vec![0.0; n],
+                gamma,
+                instance.latency_s[i].clone(),
+                c,
+                0.0,
+            );
+            let row = Fista::new(20_000, 1e-9)
+                .minimize(&objective, |x| project_simplex(x, arrival), vec![arrival / n as f64; n])
+                .map_err(|e| CoreError::subproblem(format!("baseline lambda[{i}]"), e))?
+                .x;
+            lambda[i * n..(i + 1) * n].copy_from_slice(&row);
+        }
+        // Datacenters: μ and ν are bang-bang in the dualized objective.
+        let mut mu = vec![0.0f64; n];
+        let mut nu = vec![0.0f64; n];
+        for j in 0..n {
+            if active_mu {
+                // min (h·p₀ − θ_j)·μ over [0, μmax].
+                mu[j] = if h * instance.fuel_cell_price - theta[j] < 0.0 {
+                    instance.mu_max[j]
+                } else {
+                    0.0
+                };
+            }
+            // min V(C·h·ν) + (h·p_j − θ_j)·ν over [0, ν_max]: convex scalar.
+            let ch = instance.carbon_t_per_mwh[j] * h;
+            let base = h * instance.grid_price[j] - theta[j];
+            let cost = &instance.emission_cost[j];
+            let df = |v: f64| ch * cost.marginal(ch * v) + base;
+            nu[j] = scalar::bisect_derivative(df, 0.0, nu_max[j], 1e-10 * (1.0 + nu_max[j]));
+        }
+
+        // --- Ergodic averaging.
+        let t = k as f64;
+        for (avg, cur) in avg_lambda.iter_mut().zip(&lambda) {
+            *avg = (*avg * t + cur) / (t + 1.0);
+        }
+        for j in 0..n {
+            avg_mu[j] = (avg_mu[j] * t + mu[j]) / (t + 1.0);
+            avg_nu[j] = (avg_nu[j] * t + nu[j]) / (t + 1.0);
+        }
+
+        // --- Subgradient step on the multipliers.
+        let step = settings.step0 / (1.0 + t / settings.decay);
+        let mut loads = vec![0.0f64; n];
+        for i in 0..m {
+            for j in 0..n {
+                loads[j] += lambda[i * n + j];
+            }
+        }
+        for j in 0..n {
+            eta[j] = (eta[j] + step * (loads[j] - instance.capacities[j])).max(0.0);
+            theta[j] += step * (instance.demand_mw(j, loads[j]) - mu[j] - nu[j]);
+        }
+
+        // --- Convergence test on the averaged iterate (every few rounds).
+        if k % 5 == 4 {
+            let mut avg_loads = vec![0.0f64; n];
+            for i in 0..m {
+                for j in 0..n {
+                    avg_loads[j] += avg_lambda[i * n + j];
+                }
+            }
+            let mut cap_violation = 0.0f64;
+            let mut balance = 0.0f64;
+            for j in 0..n {
+                cap_violation =
+                    cap_violation.max(avg_loads[j] - instance.capacities[j]);
+                balance = balance.max(
+                    (instance.demand_mw(j, avg_loads[j]) - avg_mu[j] - avg_nu[j]).abs(),
+                );
+            }
+            if cap_violation <= capacity_tol && balance <= balance_tol {
+                converged = true;
+                break;
+            }
+        }
+    }
+
+    // --- Recover a feasible point from the averages via the shared polish.
+    let mut state = AdmgState::zeros(instance);
+    state.lambda.copy_from_slice(&avg_lambda);
+    state.mu.copy_from_slice(&avg_mu);
+    let point = assemble_point(instance, &state, false)?;
+    let breakdown = evaluate(instance, &point)?;
+    Ok(SubgradientSolution {
+        point,
+        breakdown,
+        iterations,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AdmgSolver, Strategy};
+    use ufc_model::EmissionCostFn;
+
+    fn tiny() -> UfcInstance {
+        UfcInstance::new(
+            vec![1.0, 2.0],
+            vec![2.0, 2.0],
+            vec![0.24, 0.24],
+            vec![0.12, 0.12],
+            vec![0.48, 0.48],
+            vec![30.0, 70.0],
+            80.0,
+            vec![0.5, 0.3],
+            vec![vec![0.01, 0.02], vec![0.02, 0.01]],
+            10.0,
+            vec![
+                EmissionCostFn::linear(25.0).unwrap(),
+                EmissionCostFn::linear(25.0).unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn baseline_reaches_a_feasible_point() {
+        let inst = tiny();
+        let sol = solve(&inst, Strategy::Hybrid, &SubgradientSettings::default()).unwrap();
+        assert!(sol.point.feasibility_residual(&inst) < 1e-6);
+        assert!(sol.converged, "subgradient did not converge");
+    }
+
+    #[test]
+    fn baseline_is_much_slower_than_admg() {
+        // The paper's comparative claim, in-repo: same tolerance scale,
+        // order-of-magnitude more iterations.
+        let inst = tiny();
+        let admg = AdmgSolver::new(AdmgSettings::default())
+            .solve(&inst, Strategy::Hybrid)
+            .unwrap();
+        let base = solve(&inst, Strategy::Hybrid, &SubgradientSettings::default()).unwrap();
+        assert!(
+            base.iterations > 3 * admg.iterations,
+            "subgradient {} vs ADM-G {} iterations",
+            base.iterations,
+            admg.iterations
+        );
+    }
+
+    #[test]
+    fn baseline_objective_is_close_to_admg() {
+        let inst = tiny();
+        let admg = AdmgSolver::new(AdmgSettings::default())
+            .solve(&inst, Strategy::Hybrid)
+            .unwrap();
+        let base = solve(&inst, Strategy::Hybrid, &SubgradientSettings::default()).unwrap();
+        let scale = admg.breakdown.ufc().abs().max(1.0);
+        // Ergodic averages converge slowly; a few percent is expected.
+        assert!(
+            (admg.breakdown.ufc() - base.breakdown.ufc()).abs() / scale < 0.05,
+            "baseline {} vs ADM-G {}",
+            base.breakdown.ufc(),
+            admg.breakdown.ufc()
+        );
+        // And never better than the optimum (up to polish noise).
+        assert!(base.breakdown.ufc() <= admg.breakdown.ufc() + 0.01 * scale);
+    }
+
+    #[test]
+    fn grid_only_baseline_keeps_mu_zero() {
+        let inst = tiny();
+        let sol = solve(&inst, Strategy::GridOnly, &SubgradientSettings::default()).unwrap();
+        assert!(sol.point.mu.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn fuel_cell_only_unsupported() {
+        let inst = tiny();
+        assert!(matches!(
+            solve(&inst, Strategy::FuelCellOnly, &SubgradientSettings::default()),
+            Err(CoreError::Unsupported { .. })
+        ));
+    }
+}

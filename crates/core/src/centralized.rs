@@ -1,0 +1,360 @@
+//! Centralized reference solver.
+//!
+//! With the quadratic utility (2) and an affine or quadratic emission cost,
+//! the whole transformed problem (12) is one convex QP over
+//! `x = [λ; μ; ν] ∈ ℝ^{MN+2N}`. This module assembles that QP explicitly
+//! and hands it to `ufc-opt` — the exact active-set solver by default, the
+//! OSQP-style ADMM solver as an alternative — providing the optimality
+//! reference against which the distributed ADM-G iterates are verified
+//! (tests, EXPERIMENTS.md) exactly as the paper verifies its algorithm
+//! against a centralized solution.
+//!
+//! Stepped emission tariffs make the objective non-quadratic; the
+//! centralized path reports [`CoreError::Unsupported`] for them (ADM-G
+//! itself handles them fine — that asymmetry is the paper's point).
+
+use ufc_linalg::Matrix;
+use ufc_model::{evaluate, EmissionCostFn, OperatingPoint, UfcBreakdown, UfcInstance};
+use ufc_opt::{ActiveSetQp, AdmmQp, AdmmQpSettings, QuadObjective};
+
+use crate::{CoreError, Result, Strategy};
+
+/// Centralized solution: the optimal operating point and its UFC breakdown.
+#[derive(Debug, Clone)]
+pub struct CentralizedSolution {
+    /// Exactly feasible optimal point.
+    pub point: OperatingPoint,
+    /// UFC breakdown at the optimum.
+    pub breakdown: UfcBreakdown,
+}
+
+/// Which backend solves the assembled QP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Exact dense active-set (`ufc_opt::ActiveSetQp`); right at paper scale.
+    ActiveSet,
+    /// OSQP-style ADMM (`ufc_opt::AdmmQp`); tolerant of larger instances.
+    Admm,
+}
+
+/// Solves the full problem (12) centrally under a strategy restriction.
+///
+/// # Errors
+///
+/// * [`CoreError::Unsupported`] for stepped emission costs or an infeasible
+///   `FuelCellOnly` restriction.
+/// * [`CoreError::Subproblem`] if the QP solver fails.
+/// * [`CoreError::Model`] if the recovered point fails evaluation.
+pub fn solve(
+    instance: &UfcInstance,
+    strategy: Strategy,
+    backend: Backend,
+) -> Result<CentralizedSolution> {
+    let m = instance.m_frontends();
+    let n = instance.n_datacenters();
+    let n_var = m * n + 2 * n;
+    let h = instance.slot_hours;
+
+    if strategy == Strategy::FuelCellOnly && !instance.fuel_cells_cover_peak() {
+        return Err(CoreError::Unsupported {
+            context: "FuelCellOnly requires fuel-cell capacity covering peak demand".to_owned(),
+        });
+    }
+    if instance.queueing.is_some() {
+        return Err(CoreError::Unsupported {
+            context: "centralized QP cannot encode the congestion barrier (queueing extension)"
+                .to_owned(),
+        });
+    }
+
+    // --- Objective: ½xᵀQx + cᵀx.
+    let mu_off = m * n;
+    let nu_off = m * n + n;
+    let mut q = Matrix::zeros(n_var, n_var);
+    let w = instance.weight_per_kserver();
+    for i in 0..m {
+        let gamma = 2.0 * w / instance.arrivals[i];
+        let lat = &instance.latency_s[i];
+        for j1 in 0..n {
+            for j2 in 0..n {
+                q[(i * n + j1, i * n + j2)] += gamma * lat[j1] * lat[j2];
+            }
+        }
+    }
+    let mut c = vec![0.0; n_var];
+    for j in 0..n {
+        c[mu_off + j] = h * instance.fuel_cell_price;
+        let ch = instance.carbon_t_per_mwh[j] * h;
+        match &instance.emission_cost[j] {
+            EmissionCostFn::Linear { rate } => {
+                c[nu_off + j] = h * instance.grid_price[j] + rate * ch;
+            }
+            EmissionCostFn::Quadratic { linear, quad } => {
+                c[nu_off + j] = h * instance.grid_price[j] + linear * ch;
+                q[(nu_off + j, nu_off + j)] += 2.0 * quad * ch * ch;
+            }
+            EmissionCostFn::Stepped { .. } => {
+                return Err(CoreError::Unsupported {
+                    context: "centralized QP cannot encode a stepped emission tariff"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+
+    // --- Equality constraints.
+    let extra_eq = match strategy {
+        Strategy::Hybrid => 0,
+        Strategy::GridOnly | Strategy::FuelCellOnly => n,
+    };
+    let me = m + n + extra_eq;
+    let mut a_eq = Matrix::zeros(me, n_var);
+    let mut b_eq = vec![0.0; me];
+    for i in 0..m {
+        for j in 0..n {
+            a_eq[(i, i * n + j)] = 1.0;
+        }
+        b_eq[i] = instance.arrivals[i];
+    }
+    for j in 0..n {
+        let r = m + j;
+        for i in 0..m {
+            a_eq[(r, i * n + j)] = instance.beta[j];
+        }
+        a_eq[(r, mu_off + j)] = -1.0;
+        a_eq[(r, nu_off + j)] = -1.0;
+        b_eq[r] = -instance.alpha[j];
+    }
+    match strategy {
+        Strategy::GridOnly => {
+            for j in 0..n {
+                a_eq[(m + n + j, mu_off + j)] = 1.0;
+            }
+        }
+        Strategy::FuelCellOnly => {
+            for j in 0..n {
+                a_eq[(m + n + j, nu_off + j)] = 1.0;
+            }
+        }
+        Strategy::Hybrid => {}
+    }
+
+    // --- Inequality constraints: capacity, λ ≥ 0, 0 ≤ μ ≤ μmax, ν ≥ 0.
+    let mi = n + m * n + 2 * n + n;
+    let mut a_in = Matrix::zeros(mi, n_var);
+    let mut b_in = vec![0.0; mi];
+    for j in 0..n {
+        for i in 0..m {
+            a_in[(j, i * n + j)] = 1.0;
+        }
+        b_in[j] = instance.capacities[j];
+    }
+    for k in 0..m * n {
+        a_in[(n + k, k)] = -1.0;
+    }
+    for j in 0..n {
+        a_in[(n + m * n + j, mu_off + j)] = -1.0;
+        a_in[(n + m * n + n + j, mu_off + j)] = 1.0;
+        b_in[n + m * n + n + j] = instance.mu_max[j];
+        a_in[(n + m * n + 2 * n + j, nu_off + j)] = -1.0;
+    }
+
+    // --- Feasible start: capacity-proportional routing.
+    let total_cap = instance.total_capacity();
+    let mut x0 = vec![0.0; n_var];
+    for i in 0..m {
+        for j in 0..n {
+            x0[i * n + j] = instance.arrivals[i] * instance.capacities[j] / total_cap;
+        }
+    }
+    for j in 0..n {
+        let load: f64 = (0..m).map(|i| x0[i * n + j]).sum();
+        let demand = instance.demand_mw(j, load);
+        if strategy == Strategy::FuelCellOnly {
+            x0[mu_off + j] = demand;
+            x0[nu_off + j] = 0.0;
+        } else {
+            x0[mu_off + j] = 0.0;
+            x0[nu_off + j] = demand;
+        }
+    }
+
+    // --- Solve.
+    let x = match backend {
+        Backend::ActiveSet => {
+            let objective = QuadObjective::dense(q, c, 0.0)
+                .map_err(|e| CoreError::subproblem("centralized objective", e))?;
+            ActiveSetQp::new(4000, 1e-10)
+                .with_hessian_shift(1e-7)
+                .solve(&objective, &a_eq, &b_eq, &a_in, &b_in, x0)
+                .map_err(|e| CoreError::subproblem("centralized active-set", e))?
+                .x
+        }
+        Backend::Admm => {
+            // Stack equality rows (l = u) and inequality rows (l = −∞).
+            let rows = me + mi;
+            let mut a = Matrix::zeros(rows, n_var);
+            let mut l = vec![0.0; rows];
+            let mut u = vec![0.0; rows];
+            for r in 0..me {
+                for v in 0..n_var {
+                    a[(r, v)] = a_eq[(r, v)];
+                }
+                l[r] = b_eq[r];
+                u[r] = b_eq[r];
+            }
+            for r in 0..mi {
+                for v in 0..n_var {
+                    a[(me + r, v)] = a_in[(r, v)];
+                }
+                l[me + r] = f64::NEG_INFINITY;
+                u[me + r] = b_in[r];
+            }
+            let mut q_reg = q;
+            q_reg.add_diagonal(1e-7);
+            AdmmQp::new(AdmmQpSettings {
+                max_iterations: 200_000,
+                eps_abs: 1e-7,
+                eps_rel: 1e-7,
+                ..AdmmQpSettings::default()
+            })
+            .solve(&q_reg, &c, &a, &l, &u)
+            .map_err(|e| CoreError::subproblem("centralized admm", e))?
+            .x
+        }
+    };
+
+    // --- Recover an exactly feasible operating point.
+    let mut lambda: Vec<Vec<f64>> = (0..m)
+        .map(|i| {
+            ufc_opt::projection::project_simplex(&x[i * n..(i + 1) * n], instance.arrivals[i])
+        })
+        .collect();
+    // Clean numerical dust below the projection tolerance.
+    for row in &mut lambda {
+        for v in row.iter_mut() {
+            if *v < 1e-12 {
+                *v = 0.0;
+            }
+        }
+        let s: f64 = row.iter().sum();
+        if s > 0.0 {
+            // renormalize the dust removal
+        }
+    }
+    let mut mu = vec![0.0; n];
+    for j in 0..n {
+        let load: f64 = lambda.iter().map(|r| r[j]).sum();
+        let demand = instance.demand_mw(j, load);
+        mu[j] = if strategy == Strategy::FuelCellOnly {
+            demand
+        } else if strategy == Strategy::GridOnly {
+            0.0
+        } else {
+            x[mu_off + j].clamp(0.0, instance.mu_max[j].min(demand))
+        };
+    }
+    let point = OperatingPoint::from_routing_and_fuel(instance, lambda, mu)
+        .map_err(CoreError::Model)?;
+    let breakdown = evaluate(instance, &point).map_err(CoreError::Model)?;
+    Ok(CentralizedSolution { point, breakdown })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AdmgSettings, AdmgSolver};
+    use ufc_model::EmissionCostFn;
+
+    fn tiny() -> UfcInstance {
+        UfcInstance::new(
+            vec![1.0, 2.0],
+            vec![2.0, 2.0],
+            vec![0.24, 0.24],
+            vec![0.12, 0.12],
+            vec![0.48, 0.48],
+            vec![30.0, 70.0],
+            80.0,
+            vec![0.5, 0.3],
+            vec![vec![0.01, 0.02], vec![0.02, 0.01]],
+            10.0,
+            vec![
+                EmissionCostFn::linear(25.0).unwrap(),
+                EmissionCostFn::linear(25.0).unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn centralized_point_is_feasible() {
+        let inst = tiny();
+        let sol = solve(&inst, Strategy::Hybrid, Backend::ActiveSet).unwrap();
+        assert!(sol.point.feasibility_residual(&inst) < 1e-8);
+    }
+
+    #[test]
+    fn backends_agree() {
+        let inst = tiny();
+        let a = solve(&inst, Strategy::Hybrid, Backend::ActiveSet).unwrap();
+        let b = solve(&inst, Strategy::Hybrid, Backend::Admm).unwrap();
+        assert!(
+            (a.breakdown.ufc() - b.breakdown.ufc()).abs() < 1e-2,
+            "active-set {} vs admm {}",
+            a.breakdown.ufc(),
+            b.breakdown.ufc()
+        );
+    }
+
+    #[test]
+    fn admg_matches_centralized_optimum() {
+        let inst = tiny();
+        let central = solve(&inst, Strategy::Hybrid, Backend::ActiveSet).unwrap();
+        let admg = AdmgSolver::new(AdmgSettings::default())
+            .solve(&inst, Strategy::Hybrid)
+            .unwrap();
+        assert!(admg.converged);
+        let rel = (central.breakdown.ufc() - admg.breakdown.ufc()).abs()
+            / central.breakdown.ufc().abs().max(1.0);
+        assert!(
+            rel < 5e-3,
+            "centralized {} vs ADM-G {} (rel {rel})",
+            central.breakdown.ufc(),
+            admg.breakdown.ufc()
+        );
+        // ADM-G can only be worse than the optimum (up to polish noise).
+        assert!(admg.breakdown.ufc() <= central.breakdown.ufc() + 1e-2);
+    }
+
+    #[test]
+    fn strategies_are_enforced_centrally() {
+        let inst = tiny();
+        let grid = solve(&inst, Strategy::GridOnly, Backend::ActiveSet).unwrap();
+        assert!(grid.point.mu.iter().all(|&v| v == 0.0));
+        let fc = solve(&inst, Strategy::FuelCellOnly, Backend::ActiveSet).unwrap();
+        assert!(fc.point.nu.iter().all(|&v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn stepped_tariff_is_unsupported() {
+        let mut inst = tiny();
+        inst.emission_cost = vec![
+            EmissionCostFn::stepped(vec![1.0], vec![10.0, 30.0]).unwrap(),
+            EmissionCostFn::linear(25.0).unwrap(),
+        ];
+        let err = solve(&inst, Strategy::Hybrid, Backend::ActiveSet).unwrap_err();
+        assert!(matches!(err, CoreError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn quadratic_tariff_is_supported() {
+        let mut inst = tiny();
+        inst.emission_cost = vec![
+            EmissionCostFn::quadratic(10.0, 5.0).unwrap(),
+            EmissionCostFn::quadratic(10.0, 5.0).unwrap(),
+        ];
+        let sol = solve(&inst, Strategy::Hybrid, Backend::ActiveSet).unwrap();
+        assert!(sol.point.feasibility_residual(&inst) < 1e-8);
+    }
+}

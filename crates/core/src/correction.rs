@@ -1,0 +1,211 @@
+//! The Gaussian back-substitution correction step (paper §III-C, step 2).
+//!
+//! After the prediction step produces the tilde iterate, ADM-G corrects the
+//! blocks `z = (μ, ν, a, φ, φ_ij)` in the *backward* order by solving
+//! `G(z^{k+1} − z^k) = ε(z̃^k − z^k)` with the upper-triangular block matrix
+//! `G` built from `(K_iᵀK_i)⁻¹K_iᵀK_j`. For the UFC constraint structure the
+//! recursion collapses to the paper's closed form, implemented here:
+//!
+//! ```text
+//! φ_j    ← φ_j + ε(φ̃_j − φ_j)
+//! φ_ij   ← φ_ij + ε(φ̃_ij − φ_ij)          [paper typo "φ_j" read as φ_ij]
+//! a_ij   ← a_ij + ε(ã_ij − a_ij)
+//! ν_j    ← ν_j + ε(ν̃_j − ν_j) + β_j Σ_i Δa_ij
+//! μ_j    ← μ_j + ε(μ̃_j − μ_j) − Δν_j + β_j Σ_i Δa_ij
+//! λ_ij   ← λ̃_ij                           [the first block is not corrected]
+//! ```
+//!
+//! where `Δa = a^{k+1} − a^k`, `Δν = ν^{k+1} − ν^k`. The
+//! [`crate::generic`] module rebuilds the same update from the explicit `G`
+//! matrix; unit tests verify the two coincide, which pins down both the
+//! formulas and the typo fix.
+//!
+//! Strategy restrictions: a pinned block (μ under *Grid*, ν under
+//! *Fuel cell*) keeps `z̃ = z = 0`, so its Δ is zero and the remaining
+//! recursions match the reduced-block ADM-G exactly.
+
+use ufc_model::UfcInstance;
+
+use crate::AdmgState;
+
+/// Applies the closed-form Gaussian back substitution in place, moving
+/// `state` from iterate `k` to `k+1` given the prediction `tilde`.
+///
+/// `active_mu` / `active_nu` pin the corresponding block at zero (strategy
+/// restrictions; see module docs).
+///
+/// # Panics
+///
+/// Panics if `state` and `tilde` have different shapes.
+#[allow(clippy::too_many_arguments)]
+pub fn gaussian_back_substitution(
+    instance: &UfcInstance,
+    state: &mut AdmgState,
+    tilde: &AdmgState,
+    epsilon: f64,
+    active_mu: bool,
+    active_nu: bool,
+) {
+    assert_eq!(state.m, tilde.m, "front-end count mismatch");
+    assert_eq!(state.n, tilde.n, "datacenter count mismatch");
+    let (m, n) = (state.m, state.n);
+
+    // Duals (y block): plain relaxation.
+    for j in 0..n {
+        state.phi[j] += epsilon * (tilde.phi[j] - state.phi[j]);
+    }
+    for k in 0..m * n {
+        state.varphi[k] += epsilon * (tilde.varphi[k] - state.varphi[k]);
+    }
+
+    // a block: relaxation; record the per-datacenter load delta for the
+    // ν and μ recursions.
+    let mut delta_a_load = vec![0.0; n];
+    #[allow(clippy::needless_range_loop)] // (i, j) index the routing grid
+    for i in 0..m {
+        for j in 0..n {
+            let k = state.idx(i, j);
+            let delta = epsilon * (tilde.a[k] - state.a[k]);
+            state.a[k] += delta;
+            delta_a_load[j] += delta;
+        }
+    }
+
+    // ν block.
+    let mut delta_nu = vec![0.0; n];
+    if active_nu {
+        for j in 0..n {
+            let d = epsilon * (tilde.nu[j] - state.nu[j]) + instance.beta[j] * delta_a_load[j];
+            state.nu[j] += d;
+            delta_nu[j] = d;
+        }
+    }
+
+    // μ block.
+    if active_mu {
+        for j in 0..n {
+            state.mu[j] += epsilon * (tilde.mu[j] - state.mu[j]) - delta_nu[j]
+                + instance.beta[j] * delta_a_load[j];
+        }
+    }
+
+    // λ block: taken directly from the prediction.
+    state.lambda.copy_from_slice(&tilde.lambda);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufc_model::EmissionCostFn;
+
+    fn tiny() -> UfcInstance {
+        UfcInstance::new(
+            vec![1.0, 2.0],
+            vec![2.0, 2.0],
+            vec![0.24, 0.24],
+            vec![0.12, 0.12],
+            vec![0.48, 0.48],
+            vec![30.0, 70.0],
+            80.0,
+            vec![0.5, 0.3],
+            vec![vec![0.01, 0.02], vec![0.02, 0.01]],
+            10.0,
+            vec![
+                EmissionCostFn::linear(25.0).unwrap(),
+                EmissionCostFn::linear(25.0).unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    fn filled_state(inst: &UfcInstance, offset: f64) -> AdmgState {
+        let mut s = AdmgState::zeros(inst);
+        for (k, v) in s.lambda.iter_mut().enumerate() {
+            *v = 0.1 * k as f64 + offset;
+        }
+        for (k, v) in s.a.iter_mut().enumerate() {
+            *v = 0.05 * k as f64 + 0.5 * offset;
+        }
+        s.mu = vec![0.1 + offset, 0.2];
+        s.nu = vec![0.3, 0.1 + offset];
+        s.phi = vec![0.7, -0.4 + offset];
+        s.varphi = (0..4).map(|k| -0.2 + 0.1 * k as f64 + offset).collect();
+        s
+    }
+
+    #[test]
+    fn epsilon_one_with_identical_tilde_is_fixed_point() {
+        let inst = tiny();
+        let mut state = filled_state(&inst, 0.1);
+        let tilde = state.clone();
+        let before = state.clone();
+        gaussian_back_substitution(&inst, &mut state, &tilde, 1.0, true, true);
+        // z̃ = z ⇒ Δa = 0 ⇒ nothing moves (λ copies itself).
+        assert_eq!(state, before);
+    }
+
+    #[test]
+    fn duals_and_a_relax_linearly() {
+        let inst = tiny();
+        let mut state = AdmgState::zeros(&inst);
+        let mut tilde = AdmgState::zeros(&inst);
+        tilde.phi = vec![1.0, -2.0];
+        tilde.varphi = vec![0.4, 0.0, -0.8, 1.2];
+        tilde.a = vec![1.0, 0.0, 0.0, 2.0];
+        gaussian_back_substitution(&inst, &mut state, &tilde, 0.9, true, true);
+        assert!((state.phi[0] - 0.9).abs() < 1e-12);
+        assert!((state.phi[1] + 1.8).abs() < 1e-12);
+        assert!((state.a[0] - 0.9).abs() < 1e-12);
+        assert!((state.a[3] - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nu_correction_includes_beta_coupling() {
+        let inst = tiny();
+        let mut state = AdmgState::zeros(&inst);
+        let mut tilde = AdmgState::zeros(&inst);
+        tilde.a = vec![1.0, 0.0, 1.0, 0.0]; // Δa load at DC0 = ε·2
+        tilde.nu = vec![0.5, 0.0];
+        gaussian_back_substitution(&inst, &mut state, &tilde, 0.9, true, true);
+        // ν₀ = 0 + 0.9·0.5 + β·(0.9·2) = 0.45 + 0.12·1.8 = 0.666.
+        assert!((state.nu[0] - 0.666).abs() < 1e-12);
+        // μ₀ = 0 + 0 − Δν₀ + β·Δload = −0.666 + 0.216 = −0.45.
+        assert!((state.mu[0] + 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pinned_blocks_stay_zero() {
+        let inst = tiny();
+        let mut state = AdmgState::zeros(&inst);
+        let mut tilde = AdmgState::zeros(&inst);
+        tilde.a = vec![1.0, 0.5, 0.2, 0.8];
+        tilde.nu = vec![0.4, 0.4];
+        tilde.mu = vec![0.3, 0.3];
+        // Grid strategy: μ pinned.
+        let mut grid = state.clone();
+        let mut grid_tilde = tilde.clone();
+        grid_tilde.mu = vec![0.0, 0.0];
+        gaussian_back_substitution(&inst, &mut grid, &grid_tilde, 0.9, false, true);
+        assert_eq!(grid.mu, vec![0.0, 0.0]);
+        assert!(grid.nu[0] > 0.0);
+        // Fuel-cell strategy: ν pinned.
+        let mut fc_tilde = tilde.clone();
+        fc_tilde.nu = vec![0.0, 0.0];
+        gaussian_back_substitution(&inst, &mut state, &fc_tilde, 0.9, true, false);
+        assert_eq!(state.nu, vec![0.0, 0.0]);
+        // μ correction with Δν = 0: μ = ε·μ̃ + β·Δload.
+        let delta_load0 = 0.9 * (1.0 + 0.2);
+        assert!((state.mu[0] - (0.9 * 0.3 + 0.12 * delta_load0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_is_taken_from_prediction() {
+        let inst = tiny();
+        let mut state = filled_state(&inst, 0.0);
+        let mut tilde = filled_state(&inst, 1.0);
+        tilde.lambda = vec![9.0, 8.0, 7.0, 6.0];
+        gaussian_back_substitution(&inst, &mut state, &tilde, 0.8, true, true);
+        assert_eq!(state.lambda, vec![9.0, 8.0, 7.0, 6.0]);
+    }
+}

@@ -1,0 +1,104 @@
+use std::fmt;
+
+use ufc_model::ModelError;
+use ufc_opt::OptError;
+
+/// Errors produced by the ADM-G solver and its companions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The iteration cap was reached before the residual tolerances.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final primal residual (∞-norm over both coupling constraints).
+        primal_residual: f64,
+        /// Final dual residual.
+        dual_residual: f64,
+    },
+    /// A sub-problem solver failed.
+    Subproblem {
+        /// Which sub-problem (e.g. `lambda[3]`).
+        which: String,
+        /// Underlying failure.
+        source: OptError,
+    },
+    /// The model rejected an instance or an operating point.
+    Model(ModelError),
+    /// The requested configuration is unsupported (e.g. centralized QP with
+    /// a stepped emission cost).
+    Unsupported {
+        /// Description of the unsupported combination.
+        context: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NotConverged {
+                iterations,
+                primal_residual,
+                dual_residual,
+            } => write!(
+                f,
+                "ADM-G did not converge in {iterations} iterations \
+                 (primal {primal_residual:e}, dual {dual_residual:e})"
+            ),
+            CoreError::Subproblem { which, source } => {
+                write!(f, "sub-problem {which} failed: {source}")
+            }
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::Unsupported { context } => write!(f, "unsupported: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Subproblem { source, .. } => Some(source),
+            CoreError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+impl CoreError {
+    /// Wraps an [`OptError`] with the sub-problem label.
+    pub fn subproblem(which: impl Into<String>, source: OptError) -> Self {
+        CoreError::Subproblem {
+            which: which.into(),
+            source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::NotConverged {
+            iterations: 10,
+            primal_residual: 1e-2,
+            dual_residual: 1e-3,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.source().is_none());
+
+        let e = CoreError::subproblem("lambda[0]", OptError::invalid("x"));
+        assert!(e.to_string().contains("lambda[0]"));
+        assert!(e.source().is_some());
+
+        let e = CoreError::from(ModelError::param("bad"));
+        assert!(e.to_string().contains("bad"));
+    }
+}

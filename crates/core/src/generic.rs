@@ -1,0 +1,311 @@
+//! Generic matrix-form ADM-G reference implementation.
+//!
+//! The paper presents the Gaussian back-substitution correction twice: once
+//! abstractly, via the upper-triangular block matrix `G` with entries
+//! `(K_iᵀK_i)⁻¹K_iᵀK_j` (Eq. (10)), and once as specialized closed-form
+//! recursions for the UFC constraint structure. This module implements the
+//! *abstract* version — explicitly assembling the relation matrices `K_i`
+//! and solving `G(z^{k+1} − z^k) = ε(z̃ − z^k)` by block back substitution —
+//! so tests can verify that [`crate::correction`]'s closed form is the
+//! correct specialization (it also pins down the paper's `φ_ij`-line typo).
+//!
+//! This path is `O((MN)³)`; production code uses the closed form, which is
+//! `O(MN)`.
+
+use ufc_linalg::{Cholesky, Matrix};
+use ufc_model::UfcInstance;
+
+use crate::AdmgState;
+
+/// The explicit relation matrices of the 4-block formulation, restricted to
+/// the active blocks. Constraint rows: `MN` link rows `λ_ij − a_ij = 0`
+/// followed by `N` balance rows `μ_j + ν_j − β_j Σ_i a_ij = α_j`.
+#[derive(Debug, Clone)]
+pub struct RelationMatrices {
+    /// `K` matrices of the corrected x-blocks, in iteration order
+    /// (μ if active, ν if active, a).
+    pub k: Vec<Matrix>,
+    /// Dimensions of the corrected x-blocks.
+    pub dims: Vec<usize>,
+    /// Total number of constraint rows `l = MN + N`.
+    pub rows: usize,
+}
+
+/// Assembles the relation matrices for `instance` under the given block
+/// activity (strategy) flags.
+#[must_use]
+pub fn relation_matrices(
+    instance: &UfcInstance,
+    active_mu: bool,
+    active_nu: bool,
+) -> RelationMatrices {
+    let m = instance.m_frontends();
+    let n = instance.n_datacenters();
+    let rows = m * n + n;
+
+    let mut k = Vec::new();
+    let mut dims = Vec::new();
+    let per_dc = |mat: &mut Matrix| {
+        for j in 0..n {
+            mat[(m * n + j, j)] = 1.0;
+        }
+    };
+    if active_mu {
+        let mut km = Matrix::zeros(rows, n);
+        per_dc(&mut km);
+        k.push(km);
+        dims.push(n);
+    }
+    if active_nu {
+        let mut kn = Matrix::zeros(rows, n);
+        per_dc(&mut kn);
+        k.push(kn);
+        dims.push(n);
+    }
+    let mut ka = Matrix::zeros(rows, m * n);
+    for idx in 0..m * n {
+        ka[(idx, idx)] = -1.0;
+    }
+    for i in 0..m {
+        for j in 0..n {
+            ka[(m * n + j, i * n + j)] = -instance.beta[j];
+        }
+    }
+    k.push(ka);
+    dims.push(m * n);
+
+    RelationMatrices { k, dims, rows }
+}
+
+/// Verifies the paper's Theorem-1 hypothesis that every `K_iᵀK_i`
+/// (`i = 2..m`) is nonsingular, by attempting a Cholesky factorization of
+/// each Gram matrix.
+#[must_use]
+pub fn gram_blocks_nonsingular(rel: &RelationMatrices) -> bool {
+    rel.k.iter().all(|k| Cholesky::factor(&k.gram()).is_ok())
+}
+
+/// Applies the correction `G Δz = ε(z̃ − z)` by explicit block back
+/// substitution and returns the corrected state (λ is taken from `tilde`,
+/// as in the paper).
+///
+/// # Panics
+///
+/// Panics if the states disagree in shape with the instance, or if a Gram
+/// block is singular (cannot happen for the UFC structure).
+#[allow(clippy::needless_range_loop)] // blocks are co-indexed by node id
+pub fn correction_reference(
+    instance: &UfcInstance,
+    state: &AdmgState,
+    tilde: &AdmgState,
+    epsilon: f64,
+    active_mu: bool,
+    active_nu: bool,
+) -> AdmgState {
+    let rel = relation_matrices(instance, active_mu, active_nu);
+    let nblocks = rel.k.len();
+
+    // Pack the x-part of z = (x₂, …, x_m) in iteration order.
+    let mut z: Vec<Vec<f64>> = Vec::new();
+    let mut zt: Vec<Vec<f64>> = Vec::new();
+    if active_mu {
+        z.push(state.mu.clone());
+        zt.push(tilde.mu.clone());
+    }
+    if active_nu {
+        z.push(state.nu.clone());
+        zt.push(tilde.nu.clone());
+    }
+    z.push(state.a.clone());
+    zt.push(tilde.a.clone());
+
+    // Backward block substitution:
+    // Δ_i = ε(z̃_i − z_i) − Σ_{j>i} (K_iᵀK_i)⁻¹K_iᵀK_j Δ_j.
+    let mut deltas: Vec<Vec<f64>> = vec![Vec::new(); nblocks];
+    for i in (0..nblocks).rev() {
+        let mut rhs: Vec<f64> = z[i]
+            .iter()
+            .zip(&zt[i])
+            .map(|(a, b)| epsilon * (b - a))
+            .collect();
+        if i + 1 < nblocks {
+            let gram = Cholesky::factor(&rel.k[i].gram()).expect("gram block singular");
+            for j in (i + 1)..nblocks {
+                // K_iᵀ (K_j Δ_j), then solve against the Gram block.
+                let kj_dj = rel.k[j].matvec(&deltas[j]).expect("shape");
+                let kit = rel.k[i].matvec_t(&kj_dj).expect("shape");
+                let corr = gram.solve(&kit).expect("solve");
+                for (r, c) in rhs.iter_mut().zip(&corr) {
+                    *r -= c;
+                }
+            }
+        }
+        deltas[i] = rhs;
+    }
+
+    // Unpack. (Block components are co-indexed by datacenter id.)
+    let mut out = state.clone();
+    let mut cursor = 0;
+    if active_mu {
+        for j in 0..out.n {
+            out.mu[j] += deltas[cursor][j];
+        }
+        cursor += 1;
+    } else {
+        out.mu.iter_mut().for_each(|v| *v = 0.0);
+    }
+    if active_nu {
+        for j in 0..out.n {
+            out.nu[j] += deltas[cursor][j];
+        }
+        cursor += 1;
+    } else {
+        out.nu.iter_mut().for_each(|v| *v = 0.0);
+    }
+    for (v, d) in out.a.iter_mut().zip(&deltas[cursor]) {
+        *v += d;
+    }
+
+    // y block: plain relaxation (identity row of G).
+    for j in 0..out.n {
+        out.phi[j] += epsilon * (tilde.phi[j] - state.phi[j]);
+    }
+    for k in 0..out.m * out.n {
+        out.varphi[k] += epsilon * (tilde.varphi[k] - state.varphi[k]);
+    }
+    out.lambda.copy_from_slice(&tilde.lambda);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correction::gaussian_back_substitution;
+    use ufc_model::EmissionCostFn;
+
+    fn tiny() -> UfcInstance {
+        UfcInstance::new(
+            vec![1.0, 2.0, 1.5],
+            vec![2.5, 2.0],
+            vec![0.24, 0.30],
+            vec![0.12, 0.15],
+            vec![0.48, 0.60],
+            vec![30.0, 70.0],
+            80.0,
+            vec![0.5, 0.3],
+            vec![
+                vec![0.01, 0.02],
+                vec![0.02, 0.01],
+                vec![0.015, 0.025],
+            ],
+            10.0,
+            vec![
+                EmissionCostFn::linear(25.0).unwrap(),
+                EmissionCostFn::linear(25.0).unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    fn pseudo_random_state(inst: &UfcInstance, seed: u64) -> AdmgState {
+        // Cheap deterministic fill (LCG) — we only need variety, not quality.
+        let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((x >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut s = AdmgState::zeros(inst);
+        s.lambda.iter_mut().for_each(|v| *v = next());
+        s.a.iter_mut().for_each(|v| *v = next());
+        s.mu.iter_mut().for_each(|v| *v = next());
+        s.nu.iter_mut().for_each(|v| *v = next());
+        s.phi.iter_mut().for_each(|v| *v = next());
+        s.varphi.iter_mut().for_each(|v| *v = next());
+        s
+    }
+
+    #[test]
+    fn theorem1_hypothesis_holds() {
+        let inst = tiny();
+        for (am, an) in [(true, true), (false, true), (true, false)] {
+            let rel = relation_matrices(&inst, am, an);
+            assert!(gram_blocks_nonsingular(&rel), "K'K singular for ({am},{an})");
+        }
+    }
+
+    #[test]
+    fn relation_matrix_shapes() {
+        let inst = tiny();
+        let rel = relation_matrices(&inst, true, true);
+        assert_eq!(rel.k.len(), 3);
+        assert_eq!(rel.rows, 3 * 2 + 2);
+        assert_eq!(rel.dims, vec![2, 2, 6]);
+        let rel = relation_matrices(&inst, false, true);
+        assert_eq!(rel.k.len(), 2);
+    }
+
+    #[test]
+    fn closed_form_matches_generic_full_blocks() {
+        let inst = tiny();
+        for seed in 0..5 {
+            let state = pseudo_random_state(&inst, seed);
+            let tilde = pseudo_random_state(&inst, seed + 100);
+            let generic = correction_reference(&inst, &state, &tilde, 0.9, true, true);
+            let mut closed = state.clone();
+            gaussian_back_substitution(&inst, &mut closed, &tilde, 0.9, true, true);
+            assert_state_close(&generic, &closed, 1e-9);
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_generic_grid_only() {
+        let inst = tiny();
+        for seed in 0..3 {
+            let mut state = pseudo_random_state(&inst, seed);
+            let mut tilde = pseudo_random_state(&inst, seed + 50);
+            // Grid strategy: μ pinned at zero in both iterates.
+            state.mu.iter_mut().for_each(|v| *v = 0.0);
+            tilde.mu.iter_mut().for_each(|v| *v = 0.0);
+            let generic = correction_reference(&inst, &state, &tilde, 0.8, false, true);
+            let mut closed = state.clone();
+            gaussian_back_substitution(&inst, &mut closed, &tilde, 0.8, false, true);
+            assert_state_close(&generic, &closed, 1e-9);
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_generic_fuel_cell_only() {
+        let inst = tiny();
+        for seed in 0..3 {
+            let mut state = pseudo_random_state(&inst, seed);
+            let mut tilde = pseudo_random_state(&inst, seed + 50);
+            state.nu.iter_mut().for_each(|v| *v = 0.0);
+            tilde.nu.iter_mut().for_each(|v| *v = 0.0);
+            let generic = correction_reference(&inst, &state, &tilde, 1.0, true, false);
+            let mut closed = state.clone();
+            gaussian_back_substitution(&inst, &mut closed, &tilde, 1.0, true, false);
+            assert_state_close(&generic, &closed, 1e-9);
+        }
+    }
+
+    fn assert_state_close(a: &AdmgState, b: &AdmgState, tol: f64) {
+        let all = |x: &AdmgState| {
+            let mut v = x.lambda.clone();
+            v.extend_from_slice(&x.mu);
+            v.extend_from_slice(&x.nu);
+            v.extend_from_slice(&x.a);
+            v.extend_from_slice(&x.phi);
+            v.extend_from_slice(&x.varphi);
+            v
+        };
+        let va = all(a);
+        let vb = all(b);
+        for (idx, (x, y)) in va.iter().zip(&vb).enumerate() {
+            assert!(
+                (x - y).abs() < tol,
+                "component {idx} differs: {x} vs {y}"
+            );
+        }
+    }
+}

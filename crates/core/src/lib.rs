@@ -1,0 +1,67 @@
+//! **ufc-core** — the paper's primary contribution: distributed 4-block
+//! ADM-G for UFC maximization in geo-distributed clouds.
+//!
+//! The UFC maximization problem (paper Eq. (3)) jointly chooses geographic
+//! request routing `λ_ij` and fuel-cell generation `μ_j`. After introducing
+//! the grid draw `ν_j` and an auxiliary routing copy `a_ij = λ_ij`, it
+//! becomes the 4-block separable convex program (13), solved here exactly as
+//! §III prescribes:
+//!
+//! 1. **ADMM prediction step** in the forward order λ → μ → ν → a → duals
+//!    ([`subproblems`]): a per-front-end simplex QP, a closed-form box
+//!    clamp, a scalar convex minimization, and a per-datacenter
+//!    capped-simplex QP — every step decomposes across front-ends or
+//!    datacenters.
+//! 2. **Gaussian back substitution correction step** in the backward order
+//!    ([`correction`]), using the paper's specialized closed-form recursions
+//!    (validated in tests against the generic matrix form of He–Tao–Yuan,
+//!    [`generic`]), which guarantees convergence *without strong convexity*
+//!    of the emission-cost functions `V_j` — the flat carbon tax case.
+//!
+//! The crate also provides the paper's three procurement strategies
+//! ([`Strategy`]: `Hybrid`, `GridOnly`, `FuelCellOnly`) as block
+//! restrictions of the same machinery, and a [`centralized`] reference
+//! solver (the fully assembled QP handed to `ufc-opt`) used to verify
+//! optimality of the distributed iterates.
+//!
+//! # Example
+//!
+//! ```
+//! use ufc_core::{AdmgSettings, AdmgSolver, Strategy};
+//! use ufc_model::scenario::ScenarioBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenario = ScenarioBuilder::paper_default().hours(1).build()?;
+//! let solver = AdmgSolver::new(AdmgSettings::default());
+//! let hybrid = solver.solve(&scenario.instances[0], Strategy::Hybrid)?;
+//! let grid = solver.solve(&scenario.instances[0], Strategy::GridOnly)?;
+//! // Intelligent coordination never does worse than grid-only (paper Fig. 4).
+//! assert!(hybrid.breakdown.ufc() >= grid.breakdown.ufc() - 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod centralized;
+pub mod correction;
+mod error;
+pub mod generic;
+pub mod repair;
+pub mod right_sizing;
+mod settings;
+mod solver;
+mod state;
+mod strategy;
+pub mod subproblems;
+
+pub use error::CoreError;
+pub use settings::{AdmgSettings, SubproblemMethod};
+pub use solver::{AdmgSolution, AdmgSolver, IterationRecord};
+pub use state::AdmgState;
+pub use strategy::{solve_all_strategies, Strategy, StrategyComparison};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

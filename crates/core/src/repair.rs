@@ -1,0 +1,212 @@
+//! Final feasibility repair — turning a converged ADM-G iterate into an
+//! exactly feasible [`OperatingPoint`].
+//!
+//! ADM-G converges to the optimum in the limit, but any finite iterate
+//! carries residuals of the order of the stopping tolerance (≈ 1e−3 in the
+//! natural units). Evaluation and the strategy comparisons want *exactly*
+//! feasible points, so the solver finishes with a cheap polish:
+//!
+//! 1. re-project each front-end's routing row onto its load-balance simplex
+//!    (exact `Σ_j λ_ij = A_i`, `λ ≥ 0`),
+//! 2. shift any residual capacity overflow from overloaded datacenters to
+//!    ones with slack, proportionally across front-ends (a few passes of a
+//!    transportation-style fix; total workload is conserved),
+//! 3. clamp `μ_j` into `[0, min(μ_j^max, demand_j)]` (or pin `μ_j = demand_j`
+//!    for the *Fuel cell* strategy) and derive `ν_j` from the power balance.
+//!
+//! Every step moves the point by at most the ADM-G residual, so the polish
+//! does not meaningfully change the objective (verified in tests).
+
+use ufc_model::{ModelError, OperatingPoint, UfcInstance};
+use ufc_opt::projection::project_simplex;
+
+use crate::{AdmgState, CoreError, Result};
+
+/// Maximum passes of the capacity-shift loop; each pass strictly reduces the
+/// total overflow, and two passes suffice in practice.
+const MAX_REPAIR_PASSES: usize = 16;
+
+/// Builds an exactly feasible operating point from a (near-feasible) ADM-G
+/// iterate. See the module docs for the three polish steps.
+///
+/// # Errors
+///
+/// * [`CoreError::Model`] if total arrivals exceed total capacity (the
+///   instance itself is infeasible) or the fuel-cell pin is impossible.
+pub fn assemble_point(
+    instance: &UfcInstance,
+    state: &AdmgState,
+    fuel_cell_only: bool,
+) -> Result<OperatingPoint> {
+    let (m, n) = (state.m, state.n);
+
+    // Effective per-datacenter load ceilings: the capacity, tightened by
+    // the queueing extension's utilization ceiling when enabled.
+    let eff_cap: Vec<f64> = (0..n)
+        .map(|j| {
+            let cap = instance.capacities[j];
+            match &instance.queueing {
+                Some(q) => q.load_cap(cap).min(cap),
+                None => cap,
+            }
+        })
+        .collect();
+
+    // Step 1: exact load balance per front-end.
+    let mut lambda: Vec<Vec<f64>> = (0..m)
+        .map(|i| project_simplex(state.lambda_row(i), instance.arrivals[i]))
+        .collect();
+
+    // Step 2: capacity repair.
+    for _ in 0..MAX_REPAIR_PASSES {
+        let mut loads = vec![0.0; n];
+        for row in &lambda {
+            for (j, &v) in row.iter().enumerate() {
+                loads[j] += v;
+            }
+        }
+        let overflow: Vec<f64> = (0..n)
+            .map(|j| (loads[j] - eff_cap[j]).max(0.0))
+            .collect();
+        let total_overflow: f64 = overflow.iter().sum();
+        if total_overflow <= 1e-12 {
+            break;
+        }
+        let slack: Vec<f64> = (0..n)
+            .map(|j| (eff_cap[j] - loads[j]).max(0.0))
+            .collect();
+        let total_slack: f64 = slack.iter().sum();
+        if total_slack < total_overflow - 1e-9 {
+            return Err(CoreError::Model(ModelError::infeasible(format!(
+                "cannot repair capacity: overflow {total_overflow} kservers exceeds slack {total_slack}"
+            ))));
+        }
+        // Move each overloaded column's excess out, row-proportionally, and
+        // drop it into under-loaded columns slack-proportionally.
+        for j in 0..n {
+            if overflow[j] <= 0.0 {
+                continue;
+            }
+            let load_j = loads[j];
+            for row in lambda.iter_mut() {
+                let take = overflow[j] * row[j] / load_j;
+                row[j] -= take;
+                for (j2, s) in slack.iter().enumerate() {
+                    if *s > 0.0 {
+                        row[j2] += take * s / total_slack;
+                    }
+                }
+            }
+        }
+    }
+
+    // Step 3: fuel-cell decision and derived grid draw.
+    let mut loads = vec![0.0; n];
+    for row in &lambda {
+        for (j, &v) in row.iter().enumerate() {
+            loads[j] += v;
+        }
+    }
+    let mut mu = vec![0.0; n];
+    for j in 0..n {
+        let demand = instance.demand_mw(j, loads[j]);
+        if fuel_cell_only {
+            if demand > instance.mu_max[j] + 1e-9 {
+                return Err(CoreError::Model(ModelError::infeasible(format!(
+                    "fuel cells at datacenter {j} cover {} MW but demand is {demand} MW",
+                    instance.mu_max[j]
+                ))));
+            }
+            mu[j] = demand.min(instance.mu_max[j]);
+        } else {
+            mu[j] = state.mu[j].clamp(0.0, instance.mu_max[j].min(demand));
+        }
+    }
+    OperatingPoint::from_routing_and_fuel(instance, lambda, mu).map_err(CoreError::Model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufc_model::EmissionCostFn;
+
+    fn tiny() -> UfcInstance {
+        UfcInstance::new(
+            vec![1.0, 2.0],
+            vec![2.0, 2.0],
+            vec![0.24, 0.24],
+            vec![0.12, 0.12],
+            vec![0.48, 0.48],
+            vec![30.0, 70.0],
+            80.0,
+            vec![0.5, 0.3],
+            vec![vec![0.01, 0.02], vec![0.02, 0.01]],
+            10.0,
+            vec![
+                EmissionCostFn::linear(25.0).unwrap(),
+                EmissionCostFn::linear(25.0).unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn repairs_drifted_iterate_to_exact_feasibility() {
+        let inst = tiny();
+        let mut s = AdmgState::zeros(&inst);
+        // Slightly off load balance and a touch of negative mass.
+        s.lambda = vec![0.55, 0.46, 1.2, 0.75];
+        s.mu = vec![0.2, -0.05];
+        let p = assemble_point(&inst, &s, false).unwrap();
+        assert!(p.feasibility_residual(&inst) < 1e-9);
+        assert!(p.mu.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn capacity_overflow_is_shifted() {
+        let inst = tiny();
+        let mut s = AdmgState::zeros(&inst);
+        // All workload crammed into DC0: load 3.0 > capacity 2.0.
+        s.lambda = vec![1.0, 0.0, 2.0, 0.0];
+        let p = assemble_point(&inst, &s, false).unwrap();
+        let loads = p.loads();
+        assert!(loads[0] <= inst.capacities[0] + 1e-9, "loads {loads:?}");
+        // Totals preserved.
+        assert!((loads.iter().sum::<f64>() - 3.0).abs() < 1e-9);
+        assert!(p.feasibility_residual(&inst) < 1e-9);
+    }
+
+    #[test]
+    fn fuel_cell_only_pins_mu_to_demand() {
+        let inst = tiny();
+        let mut s = AdmgState::zeros(&inst);
+        s.lambda = vec![0.5, 0.5, 1.0, 1.0];
+        let p = assemble_point(&inst, &s, true).unwrap();
+        for j in 0..2 {
+            assert!((p.nu[j]).abs() < 1e-12, "grid draw should be zero");
+            assert!((p.mu[j] - 0.42).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fuel_cell_only_fails_without_capacity() {
+        let mut inst = tiny();
+        inst.mu_max = vec![0.1, 0.1]; // cannot cover demand
+        let mut s = AdmgState::zeros(&inst);
+        s.lambda = vec![0.5, 0.5, 1.0, 1.0];
+        assert!(assemble_point(&inst, &s, true).is_err());
+    }
+
+    #[test]
+    fn mu_is_clamped_to_demand_and_capacity() {
+        let inst = tiny();
+        let mut s = AdmgState::zeros(&inst);
+        s.lambda = vec![0.5, 0.5, 1.0, 1.0]; // demand 0.42 per DC
+        s.mu = vec![5.0, 0.3];
+        let p = assemble_point(&inst, &s, false).unwrap();
+        assert!((p.mu[0] - 0.42).abs() < 1e-9); // clamped to demand < mu_max
+        assert!((p.mu[1] - 0.3).abs() < 1e-12); // untouched
+        assert!(p.nu[1] > 0.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Server right-sizing — the paper's §II-C *Remark* extension.
+//!
+//! The base model keeps every server powered (`S_j` fixed) for reliability;
+//! the Remark notes the model extends to choosing the number of *active*
+//! servers `S_j ≤ S_j^max`. Because the idle power `α_j = S_j·P_idle·PUE_j`
+//! is linear in `S_j` and the objective is decreasing in `α_j`, the optimal
+//! `S_j` given a routing is simply the load plus whatever headroom the
+//! operator mandates. That observation yields a simple and effective
+//! fixed-point scheme:
+//!
+//! 1. solve the UFC problem at the current capacities,
+//! 2. shrink each datacenter to `max(headroom·load_j, floor_j)`,
+//! 3. repeat until the capacities stop changing.
+//!
+//! Each round reduces the idle-power cost while keeping the instance
+//! feasible (capacity never drops below the routed load), so the UFC is
+//! non-decreasing across rounds up to solver tolerance — asserted in tests.
+
+use ufc_model::UfcInstance;
+
+use crate::{AdmgSettings, AdmgSolution, AdmgSolver, CoreError, Result, Strategy};
+
+/// Options for the right-sizing fixed point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RightSizingOptions {
+    /// Capacity headroom multiplier over the routed load (≥ 1); the paper's
+    /// reliability concern argues for slack above the bare load.
+    pub headroom: f64,
+    /// Minimum active fraction of `S_j^max` that must stay powered.
+    pub min_active_fraction: f64,
+    /// Maximum solve–shrink rounds.
+    pub max_rounds: usize,
+    /// Convergence tolerance on capacity change (kilo-servers, ∞-norm).
+    pub tolerance: f64,
+}
+
+impl Default for RightSizingOptions {
+    /// 10% headroom, at least 20% of servers active, up to 8 rounds.
+    fn default() -> Self {
+        RightSizingOptions {
+            headroom: 1.1,
+            min_active_fraction: 0.2,
+            max_rounds: 8,
+            tolerance: 1e-3,
+        }
+    }
+}
+
+/// Outcome of a right-sizing run.
+#[derive(Debug, Clone)]
+pub struct RightSizingOutcome {
+    /// Solution on the final right-sized instance.
+    pub solution: AdmgSolution,
+    /// Final active server counts `S_j` (kilo-servers).
+    pub active_servers_k: Vec<f64>,
+    /// Solve–shrink rounds performed.
+    pub rounds: usize,
+    /// UFC of the all-servers-on baseline (for reporting the gain).
+    pub baseline_ufc: f64,
+    /// The right-sized instance itself (for evaluation/inspection).
+    pub instance: UfcInstance,
+}
+
+impl RightSizingOutcome {
+    /// UFC gain of right-sizing over the all-on baseline (absolute $).
+    #[must_use]
+    pub fn ufc_gain(&self) -> f64 {
+        self.solution.breakdown.ufc() - self.baseline_ufc
+    }
+}
+
+/// Runs the solve–shrink fixed point starting from the instance's full
+/// capacities (which play the role of `S_j^max`).
+///
+/// # Errors
+///
+/// * Everything [`AdmgSolver::solve`] can return.
+/// * [`CoreError::Unsupported`] for invalid options.
+pub fn solve_with_right_sizing(
+    instance: &UfcInstance,
+    strategy: Strategy,
+    settings: AdmgSettings,
+    options: RightSizingOptions,
+) -> Result<RightSizingOutcome> {
+    if options.headroom < 1.0 {
+        return Err(CoreError::Unsupported {
+            context: format!("headroom must be ≥ 1, got {}", options.headroom),
+        });
+    }
+    if !(0.0..=1.0).contains(&options.min_active_fraction) {
+        return Err(CoreError::Unsupported {
+            context: format!(
+                "min_active_fraction must be in [0, 1], got {}",
+                options.min_active_fraction
+            ),
+        });
+    }
+    if options.max_rounds == 0 {
+        return Err(CoreError::Unsupported {
+            context: "need at least one round".to_owned(),
+        });
+    }
+
+    let solver = AdmgSolver::new(settings);
+    let s_max = instance.capacities.clone();
+    let baseline = solver.solve(instance, strategy)?;
+    let baseline_ufc = baseline.breakdown.ufc();
+
+    let mut current = instance.clone();
+    let mut solution = baseline;
+    let mut rounds = 0;
+    for _ in 0..options.max_rounds {
+        rounds += 1;
+        let loads = solution.point.loads();
+        // Target capacities: headroom over load, floored by the mandated
+        // active fraction, capped by the physical fleet.
+        let mut next_caps = Vec::with_capacity(s_max.len());
+        let mut change = 0.0f64;
+        for j in 0..s_max.len() {
+            let target = (options.headroom * loads[j])
+                .max(options.min_active_fraction * s_max[j])
+                .min(s_max[j]);
+            change = change.max((target - current.capacities[j]).abs());
+            next_caps.push(target);
+        }
+        if change <= options.tolerance {
+            break;
+        }
+        // α_j scales linearly with the active server count.
+        let mut next = current.clone();
+        for j in 0..s_max.len() {
+            next.alpha[j] = instance.alpha[j] * next_caps[j] / s_max[j];
+            next.capacities[j] = next_caps[j];
+        }
+        // Warm-start from the previous round's iterate: the instances
+        // differ only in α_j and the capacity bound.
+        solution = solver.solve_warm(&next, strategy, solution.state.clone())?;
+        current = next;
+    }
+
+    Ok(RightSizingOutcome {
+        active_servers_k: current.capacities.clone(),
+        solution,
+        rounds,
+        baseline_ufc,
+        instance: current,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufc_model::EmissionCostFn;
+
+    fn tiny() -> UfcInstance {
+        UfcInstance::new(
+            vec![0.5, 0.7],
+            vec![2.0, 2.0], // plenty of spare capacity to switch off
+            vec![0.24, 0.24],
+            vec![0.12, 0.12],
+            vec![0.48, 0.48],
+            vec![30.0, 70.0],
+            80.0,
+            vec![0.5, 0.3],
+            vec![vec![0.01, 0.02], vec![0.02, 0.01]],
+            10.0,
+            vec![
+                EmissionCostFn::linear(25.0).unwrap(),
+                EmissionCostFn::linear(25.0).unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn right_sizing_improves_ufc_on_underloaded_cloud() {
+        let inst = tiny();
+        let out = solve_with_right_sizing(
+            &inst,
+            Strategy::Hybrid,
+            AdmgSettings::default(),
+            RightSizingOptions::default(),
+        )
+        .unwrap();
+        // Total load is 1.2 kservers against 4 kservers of fleet: most of
+        // the idle power disappears, so UFC must improve clearly.
+        assert!(
+            out.ufc_gain() > 0.0,
+            "right-sizing gained {} $",
+            out.ufc_gain()
+        );
+        // Active counts respect floor and load+headroom.
+        let loads = out.solution.point.loads();
+        for j in 0..2 {
+            assert!(out.active_servers_k[j] >= 0.2 * inst.capacities[j] - 1e-9);
+            assert!(out.active_servers_k[j] <= inst.capacities[j] + 1e-9);
+            assert!(out.active_servers_k[j] >= loads[j] - 1e-6, "capacity below load");
+        }
+        assert!(out.rounds >= 1);
+    }
+
+    #[test]
+    fn right_sizing_point_is_feasible_on_final_instance() {
+        let out = solve_with_right_sizing(
+            &tiny(),
+            Strategy::Hybrid,
+            AdmgSettings::default(),
+            RightSizingOptions::default(),
+        )
+        .unwrap();
+        assert!(out.solution.point.feasibility_residual(&out.instance) < 1e-6);
+    }
+
+    #[test]
+    fn full_load_leaves_capacities_untouched() {
+        // Arrivals equal to capacity: nothing to switch off beyond headroom.
+        let mut inst = tiny();
+        inst.arrivals = vec![1.8, 1.8];
+        let out = solve_with_right_sizing(
+            &inst,
+            Strategy::Hybrid,
+            AdmgSettings::default(),
+            RightSizingOptions {
+                headroom: 1.2,
+                ..RightSizingOptions::default()
+            },
+        )
+        .unwrap();
+        // load ≈ 1.8 per DC, headroom 1.2 ⇒ target ≈ 2.0+ capped at 2.0.
+        for &cap in &out.active_servers_k {
+            assert!(cap > 1.9, "capacity shrunk below the load: {cap}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        let inst = tiny();
+        for opts in [
+            RightSizingOptions { headroom: 0.9, ..RightSizingOptions::default() },
+            RightSizingOptions { min_active_fraction: 1.5, ..RightSizingOptions::default() },
+            RightSizingOptions { max_rounds: 0, ..RightSizingOptions::default() },
+        ] {
+            assert!(matches!(
+                solve_with_right_sizing(&inst, Strategy::Hybrid, AdmgSettings::default(), opts),
+                Err(CoreError::Unsupported { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn grid_only_right_sizing_reduces_energy_cost() {
+        let inst = tiny();
+        let solver = AdmgSolver::new(AdmgSettings::default());
+        let baseline = solver.solve(&inst, Strategy::GridOnly).unwrap();
+        let out = solve_with_right_sizing(
+            &inst,
+            Strategy::GridOnly,
+            AdmgSettings::default(),
+            RightSizingOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            out.solution.breakdown.energy_cost_dollars
+                < baseline.breakdown.energy_cost_dollars,
+            "right-sizing did not cut the energy bill"
+        );
+    }
+}

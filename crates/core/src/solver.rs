@@ -1,0 +1,399 @@
+use ufc_model::{evaluate, OperatingPoint, UfcBreakdown, UfcInstance};
+
+use crate::correction::gaussian_back_substitution;
+use crate::repair::assemble_point;
+use crate::strategy::Strategy;
+use crate::subproblems::{a_step, dual_step, lambda_step, mu_step, nu_step};
+use crate::{AdmgSettings, AdmgState, CoreError, Result};
+
+/// Per-iteration residual record (the raw material of Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationRecord {
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// Link residual `max|λ − a|` (kilo-servers).
+    pub link_residual: f64,
+    /// Power-balance residual (MW).
+    pub balance_residual: f64,
+    /// Dual residual: ρ × the ∞-norm movement of the corrected blocks.
+    pub dual_residual: f64,
+    /// ADMM-form objective (12) at the corrected iterate ($).
+    pub objective: f64,
+}
+
+/// Output of one ADM-G run.
+#[derive(Debug, Clone)]
+pub struct AdmgSolution {
+    /// Exactly feasible operating point (post-polish; see `repair`).
+    pub point: OperatingPoint,
+    /// UFC breakdown at [`AdmgSolution::point`].
+    pub breakdown: UfcBreakdown,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether all three residual tests passed before the iteration cap.
+    pub converged: bool,
+    /// Residual/objective trajectory, one record per iteration.
+    pub history: Vec<IterationRecord>,
+    /// Raw final iterate (useful for warm starts and for the distributed
+    /// runtime's equivalence tests).
+    pub state: AdmgState,
+}
+
+/// The distributed 4-block ADM-G solver (paper §III-C).
+///
+/// Each [`AdmgSolver::solve`] call runs the prediction (ADMM) step in the
+/// forward order λ → μ → ν → a → duals and the Gaussian back-substitution
+/// correction in the backward order, until the link, balance and dual
+/// residuals all pass, then polishes the iterate into an exactly feasible
+/// [`OperatingPoint`].
+///
+/// # Example
+///
+/// ```
+/// use ufc_core::{AdmgSettings, AdmgSolver, Strategy};
+/// use ufc_model::scenario::ScenarioBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let scenario = ScenarioBuilder::paper_default().hours(1).build()?;
+/// let sol = AdmgSolver::new(AdmgSettings::default())
+///     .solve(&scenario.instances[0], Strategy::Hybrid)?;
+/// assert!(sol.converged);
+/// assert!(sol.point.feasibility_residual(&scenario.instances[0]) < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AdmgSolver {
+    settings: AdmgSettings,
+}
+
+impl AdmgSolver {
+    /// Creates a solver with the given hyper-parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the settings are invalid (see [`AdmgSettings::validate`]).
+    #[must_use]
+    pub fn new(settings: AdmgSettings) -> Self {
+        settings.validate();
+        AdmgSolver { settings }
+    }
+
+    /// The solver's hyper-parameters.
+    #[must_use]
+    pub fn settings(&self) -> &AdmgSettings {
+        &self.settings
+    }
+
+    /// Runs ADM-G on `instance` under the given strategy restriction.
+    ///
+    /// Returns `Ok` with `converged = false` when the iteration cap is hit —
+    /// the point is still polished and evaluable; use
+    /// [`AdmgSolver::solve_strict`] to treat that as an error.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Unsupported`] if `Strategy::FuelCellOnly` is requested
+    ///   but the fuel cells cannot cover peak demand.
+    /// * [`CoreError::Subproblem`] if an inner QP fails.
+    /// * [`CoreError::Model`] if the final point cannot be made feasible.
+    pub fn solve(&self, instance: &UfcInstance, strategy: Strategy) -> Result<AdmgSolution> {
+        self.solve_warm(instance, strategy, AdmgState::zeros(instance))
+    }
+
+    /// Runs ADM-G from a caller-supplied starting iterate — typically the
+    /// final [`AdmgSolution::state`] of the previous time slot in a
+    /// receding-horizon run, where consecutive hours differ only slightly
+    /// and warm starts cut the iteration count substantially.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AdmgSolver::solve`], plus [`CoreError::Model`] when the
+    /// starting state's shape disagrees with the instance.
+    pub fn solve_warm(
+        &self,
+        instance: &UfcInstance,
+        strategy: Strategy,
+        start: AdmgState,
+    ) -> Result<AdmgSolution> {
+        let active_mu = strategy != Strategy::GridOnly;
+        let active_nu = strategy != Strategy::FuelCellOnly;
+        if !active_nu && !instance.fuel_cells_cover_peak() {
+            return Err(CoreError::Unsupported {
+                context: "FuelCellOnly requires fuel-cell capacity covering peak demand"
+                    .to_owned(),
+            });
+        }
+        if start.m != instance.m_frontends() || start.n != instance.n_datacenters() {
+            return Err(CoreError::Model(ufc_model::ModelError::dim(format!(
+                "warm-start state is {}x{} but instance is {}x{}",
+                start.m,
+                start.n,
+                instance.m_frontends(),
+                instance.n_datacenters()
+            ))));
+        }
+
+        let s = &self.settings;
+        let rho = s.rho;
+        let mut state = start;
+        let mut history = Vec::new();
+        let mut converged = false;
+        let mut iterations = 0;
+
+        let (link_tol, balance_tol, dual_tol) = s.scaled_tolerances(instance);
+
+        for k in 0..s.max_iterations {
+            iterations = k + 1;
+            // --- Prediction (ADMM) step, forward order.
+            let lambda_tilde = lambda_step(instance, rho, s.method, &state)?;
+            let mu_tilde = mu_step(instance, rho, &state, active_mu);
+            let nu_tilde = nu_step(instance, rho, &state, &mu_tilde, active_nu);
+            let a_tilde = a_step(
+                instance, rho, s.method, &state, &lambda_tilde, &mu_tilde, &nu_tilde,
+            )?;
+            let (phi_tilde, varphi_tilde) = dual_step(
+                instance, rho, &state, &lambda_tilde, &mu_tilde, &nu_tilde, &a_tilde,
+            );
+            let tilde = AdmgState {
+                m: state.m,
+                n: state.n,
+                lambda: lambda_tilde,
+                mu: mu_tilde,
+                nu: nu_tilde,
+                a: a_tilde,
+                phi: phi_tilde,
+                varphi: varphi_tilde,
+            };
+
+            // --- Correction (Gaussian back substitution), backward order.
+            let previous = state.clone();
+            gaussian_back_substitution(instance, &mut state, &tilde, s.epsilon, active_mu, active_nu);
+
+            // --- Residuals.
+            let link = state.link_residual();
+            let balance = state.balance_residual(instance);
+            let dual = rho * iterate_movement(&previous, &state);
+            history.push(IterationRecord {
+                iteration: k,
+                link_residual: link,
+                balance_residual: balance,
+                dual_residual: dual,
+                objective: state.objective(instance),
+            });
+            if link <= link_tol && balance <= balance_tol && dual <= dual_tol {
+                converged = true;
+                break;
+            }
+        }
+
+        let point = assemble_point(instance, &state, !active_nu)?;
+        let breakdown = evaluate(instance, &point)?;
+        Ok(AdmgSolution {
+            point,
+            breakdown,
+            iterations,
+            converged,
+            history,
+            state,
+        })
+    }
+
+    /// Like [`AdmgSolver::solve`] but fails with [`CoreError::NotConverged`]
+    /// when the iteration cap is hit.
+    ///
+    /// # Errors
+    ///
+    /// Everything from [`AdmgSolver::solve`], plus
+    /// [`CoreError::NotConverged`].
+    pub fn solve_strict(&self, instance: &UfcInstance, strategy: Strategy) -> Result<AdmgSolution> {
+        let sol = self.solve(instance, strategy)?;
+        if !sol.converged {
+            let last = sol.history.last().expect("at least one iteration ran");
+            return Err(CoreError::NotConverged {
+                iterations: sol.iterations,
+                primal_residual: last.link_residual.max(last.balance_residual),
+                dual_residual: last.dual_residual,
+            });
+        }
+        Ok(sol)
+    }
+}
+
+/// ∞-norm movement of the corrected blocks `(μ, ν, a)` and the duals between
+/// two iterates — the dual-residual proxy used in the stopping rule.
+fn iterate_movement(prev: &AdmgState, next: &AdmgState) -> f64 {
+    let mut m = 0.0f64;
+    for (a, b) in prev.mu.iter().zip(&next.mu) {
+        m = m.max((a - b).abs());
+    }
+    for (a, b) in prev.nu.iter().zip(&next.nu) {
+        m = m.max((a - b).abs());
+    }
+    for (a, b) in prev.a.iter().zip(&next.a) {
+        m = m.max((a - b).abs());
+    }
+    for (a, b) in prev.phi.iter().zip(&next.phi) {
+        m = m.max((a - b).abs());
+    }
+    for (a, b) in prev.varphi.iter().zip(&next.varphi) {
+        m = m.max((a - b).abs());
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufc_model::EmissionCostFn;
+
+    fn tiny() -> UfcInstance {
+        UfcInstance::new(
+            vec![1.0, 2.0],
+            vec![2.0, 2.0],
+            vec![0.24, 0.24],
+            vec![0.12, 0.12],
+            vec![0.48, 0.48],
+            vec![30.0, 70.0],
+            80.0,
+            vec![0.5, 0.3],
+            vec![vec![0.01, 0.02], vec![0.02, 0.01]],
+            10.0,
+            vec![
+                EmissionCostFn::linear(25.0).unwrap(),
+                EmissionCostFn::linear(25.0).unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hybrid_converges_on_tiny_instance() {
+        let sol = AdmgSolver::new(AdmgSettings::default())
+            .solve(&tiny(), Strategy::Hybrid)
+            .unwrap();
+        assert!(sol.converged, "residuals: {:?}", sol.history.last());
+        assert!(sol.point.feasibility_residual(&tiny()) < 1e-8);
+        assert!(sol.iterations < 2000);
+    }
+
+    #[test]
+    fn residuals_decrease_overall() {
+        let sol = AdmgSolver::new(AdmgSettings::default())
+            .solve(&tiny(), Strategy::Hybrid)
+            .unwrap();
+        let first = &sol.history[0];
+        let last = sol.history.last().unwrap();
+        assert!(last.link_residual < first.link_residual);
+        assert!(last.balance_residual <= first.balance_residual);
+    }
+
+    #[test]
+    fn grid_only_never_uses_fuel_cells() {
+        let sol = AdmgSolver::new(AdmgSettings::default())
+            .solve(&tiny(), Strategy::GridOnly)
+            .unwrap();
+        assert!(sol.point.mu.iter().all(|&v| v == 0.0));
+        assert_eq!(sol.breakdown.fuel_cell_mwh, 0.0);
+    }
+
+    #[test]
+    fn fuel_cell_only_never_uses_grid() {
+        let sol = AdmgSolver::new(AdmgSettings::default())
+            .solve(&tiny(), Strategy::FuelCellOnly)
+            .unwrap();
+        assert!(sol.point.nu.iter().all(|&v| v.abs() < 1e-9));
+        assert!(sol.breakdown.carbon_tons.abs() < 1e-12);
+        assert!((sol.breakdown.fuel_cell_utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fuel_cell_only_rejected_without_capacity() {
+        let mut inst = tiny();
+        inst.mu_max = vec![0.1, 0.1];
+        let err = AdmgSolver::new(AdmgSettings::default())
+            .solve(&inst, Strategy::FuelCellOnly)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn hybrid_at_least_as_good_as_restrictions() {
+        let inst = tiny();
+        let solver = AdmgSolver::new(AdmgSettings::default());
+        let hybrid = solver.solve(&inst, Strategy::Hybrid).unwrap();
+        let grid = solver.solve(&inst, Strategy::GridOnly).unwrap();
+        let fc = solver.solve(&inst, Strategy::FuelCellOnly).unwrap();
+        // The hybrid feasible set contains both restrictions.
+        let tol = 1e-2;
+        assert!(
+            hybrid.breakdown.ufc() >= grid.breakdown.ufc() - tol,
+            "hybrid {} < grid {}",
+            hybrid.breakdown.ufc(),
+            grid.breakdown.ufc()
+        );
+        assert!(
+            hybrid.breakdown.ufc() >= fc.breakdown.ufc() - tol,
+            "hybrid {} < fuel-cell {}",
+            hybrid.breakdown.ufc(),
+            fc.breakdown.ufc()
+        );
+    }
+
+    #[test]
+    fn solve_strict_propagates_non_convergence() {
+        let settings = AdmgSettings {
+            max_iterations: 2,
+            eps_link: 1e-12,
+            eps_balance: 1e-12,
+            eps_dual: 1e-12,
+            ..AdmgSettings::default()
+        };
+        let err = AdmgSolver::new(settings)
+            .solve_strict(&tiny(), Strategy::Hybrid)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::NotConverged { iterations: 2, .. }));
+    }
+
+    #[test]
+    fn warm_start_cuts_iterations() {
+        let inst = tiny();
+        let solver = AdmgSolver::new(AdmgSettings::default());
+        let cold = solver.solve(&inst, Strategy::Hybrid).unwrap();
+        // Restart from the converged state: should terminate almost
+        // immediately at the same answer.
+        let warm = solver
+            .solve_warm(&inst, Strategy::Hybrid, cold.state.clone())
+            .unwrap();
+        assert!(warm.iterations <= cold.iterations / 4 + 2,
+            "warm {} vs cold {}", warm.iterations, cold.iterations);
+        let scale = cold.breakdown.ufc().abs().max(1.0);
+        assert!(
+            (warm.breakdown.ufc() - cold.breakdown.ufc()).abs() < 1e-4 * scale,
+            "warm {} vs cold {}", warm.breakdown.ufc(), cold.breakdown.ufc()
+        );
+    }
+
+    #[test]
+    fn warm_start_rejects_wrong_shape() {
+        let inst = tiny();
+        let solver = AdmgSolver::new(AdmgSettings::default());
+        let mut bad = AdmgState::zeros(&inst);
+        bad.m = 5; // corrupt the shape
+        bad.lambda = vec![0.0; 10];
+        assert!(matches!(
+            solver.solve_warm(&inst, Strategy::Hybrid, bad),
+            Err(CoreError::Model(_))
+        ));
+    }
+
+    #[test]
+    fn history_is_recorded_per_iteration() {
+        let sol = AdmgSolver::new(AdmgSettings::default())
+            .solve(&tiny(), Strategy::Hybrid)
+            .unwrap();
+        assert_eq!(sol.history.len(), sol.iterations);
+        assert_eq!(sol.history[0].iteration, 0);
+    }
+}

@@ -1,0 +1,211 @@
+use ufc_model::UfcInstance;
+
+/// The full iterate of the distributed 4-block ADM-G algorithm.
+///
+/// Routing blocks (`λ`, its auxiliary copy `a`, and the link duals `φ_ij`)
+/// are stored row-major as `M × N` flats; per-datacenter blocks (`μ`, `ν`,
+/// the balance duals `φ_j`) as length-`N` vectors. Everything is initialized
+/// to zero, exactly as the paper's algorithm statement prescribes — the
+/// first λ-minimization immediately restores the load-balance constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmgState {
+    /// Number of front-ends `M`.
+    pub m: usize,
+    /// Number of datacenters `N`.
+    pub n: usize,
+    /// Request routing `λ_ij` (kilo-servers), row-major `M × N`.
+    pub lambda: Vec<f64>,
+    /// Fuel-cell output `μ_j` (MW).
+    pub mu: Vec<f64>,
+    /// Grid draw `ν_j` (MW).
+    pub nu: Vec<f64>,
+    /// Auxiliary routing copy `a_ij` (kilo-servers), row-major `M × N`.
+    pub a: Vec<f64>,
+    /// Balance duals `φ_j` (one per datacenter).
+    pub phi: Vec<f64>,
+    /// Link duals `φ_ij` ("varphi"), row-major `M × N`.
+    pub varphi: Vec<f64>,
+}
+
+impl AdmgState {
+    /// All-zero state shaped for `instance`.
+    #[must_use]
+    pub fn zeros(instance: &UfcInstance) -> Self {
+        let m = instance.m_frontends();
+        let n = instance.n_datacenters();
+        AdmgState {
+            m,
+            n,
+            lambda: vec![0.0; m * n],
+            mu: vec![0.0; n],
+            nu: vec![0.0; n],
+            a: vec![0.0; m * n],
+            phi: vec![0.0; n],
+            varphi: vec![0.0; m * n],
+        }
+    }
+
+    /// Flat index of the `(i, j)` routing entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `i` or `j` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.m && j < self.n, "index ({i},{j}) out of range");
+        i * self.n + j
+    }
+
+    /// Borrow row `i` of `λ`.
+    #[must_use]
+    pub fn lambda_row(&self, i: usize) -> &[f64] {
+        &self.lambda[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Borrow row `i` of `a`.
+    #[must_use]
+    pub fn a_row(&self, i: usize) -> &[f64] {
+        &self.a[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Per-datacenter auxiliary load `Σ_i a_ij` (kilo-servers).
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // (i, j) index the routing grid
+    pub fn a_loads(&self) -> Vec<f64> {
+        let mut loads = vec![0.0; self.n];
+        for i in 0..self.m {
+            for j in 0..self.n {
+                loads[j] += self.a[self.idx(i, j)];
+            }
+        }
+        loads
+    }
+
+    /// Per-datacenter routed load `Σ_i λ_ij` (kilo-servers).
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // (i, j) index the routing grid
+    pub fn lambda_loads(&self) -> Vec<f64> {
+        let mut loads = vec![0.0; self.n];
+        for i in 0..self.m {
+            for j in 0..self.n {
+                loads[j] += self.lambda[self.idx(i, j)];
+            }
+        }
+        loads
+    }
+
+    /// Link residual `max_ij |λ_ij − a_ij|` (kilo-servers).
+    #[must_use]
+    pub fn link_residual(&self) -> f64 {
+        self.lambda
+            .iter()
+            .zip(&self.a)
+            .fold(0.0f64, |r, (l, a)| r.max((l - a).abs()))
+    }
+
+    /// Power-balance residual `max_j |α_j + β_j Σ_i a_ij − μ_j − ν_j|` (MW).
+    #[must_use]
+    pub fn balance_residual(&self, instance: &UfcInstance) -> f64 {
+        let loads = self.a_loads();
+        (0..self.n).fold(0.0f64, |r, j| {
+            r.max((instance.demand_mw(j, loads[j]) - self.mu[j] - self.nu[j]).abs())
+        })
+    }
+
+    /// The ADMM-form objective (12) at the current `(λ, μ, ν)` in dollars:
+    /// `Σ_j [V_j(C_j ν_j h) + h p_j ν_j + h p₀ μ_j] − w Σ_i U(λ_i)`.
+    #[must_use]
+    pub fn objective(&self, instance: &UfcInstance) -> f64 {
+        let h = instance.slot_hours;
+        let mut obj = 0.0;
+        for j in 0..self.n {
+            let tons = instance.carbon_t_per_mwh[j] * self.nu[j] * h;
+            obj += instance.emission_cost[j].value(tons)
+                + h * instance.grid_price[j] * self.nu[j]
+                + h * instance.fuel_cell_price * self.mu[j];
+        }
+        let w = instance.weight_per_kserver();
+        for i in 0..self.m {
+            obj -= w * ufc_model::utility::quadratic_utility(
+                self.lambda_row(i),
+                &instance.latency_s[i],
+                instance.arrivals[i],
+            );
+        }
+        if let Some(q) = &instance.queueing {
+            for (j, load) in self.lambda_loads().iter().enumerate() {
+                obj += q.value(load.max(0.0), instance.capacities[j]);
+            }
+        }
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufc_model::EmissionCostFn;
+
+    fn tiny() -> UfcInstance {
+        UfcInstance::new(
+            vec![1.0, 2.0],
+            vec![2.0, 2.0],
+            vec![0.24, 0.24],
+            vec![0.12, 0.12],
+            vec![0.48, 0.48],
+            vec![30.0, 70.0],
+            80.0,
+            vec![0.5, 0.3],
+            vec![vec![0.01, 0.02], vec![0.02, 0.01]],
+            10.0,
+            vec![
+                EmissionCostFn::linear(25.0).unwrap(),
+                EmissionCostFn::linear(25.0).unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zeros_shape() {
+        let s = AdmgState::zeros(&tiny());
+        assert_eq!(s.m, 2);
+        assert_eq!(s.n, 2);
+        assert_eq!(s.lambda.len(), 4);
+        assert_eq!(s.mu.len(), 2);
+        assert!(s.lambda.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn loads_and_residuals() {
+        let inst = tiny();
+        let mut s = AdmgState::zeros(&inst);
+        s.lambda = vec![0.5, 0.5, 1.0, 1.0];
+        s.a = vec![0.5, 0.5, 1.0, 1.0];
+        assert_eq!(s.lambda_loads(), vec![1.5, 1.5]);
+        assert_eq!(s.a_loads(), vec![1.5, 1.5]);
+        assert_eq!(s.link_residual(), 0.0);
+        // Demand 0.42 MW per DC, μ = ν = 0 ⇒ balance residual 0.42.
+        assert!((s.balance_residual(&inst) - 0.42).abs() < 1e-12);
+        s.nu = vec![0.42, 0.42];
+        assert!(s.balance_residual(&inst) < 1e-12);
+        s.a[0] = 0.0;
+        assert!((s.link_residual() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objective_matches_manual_computation() {
+        let inst = tiny();
+        let mut s = AdmgState::zeros(&inst);
+        s.lambda = vec![1.0, 0.0, 0.0, 2.0];
+        s.nu = vec![0.36, 0.48];
+        s.mu = vec![0.0, 0.0];
+        // Energy: 0.36·30 + 0.48·70 = 44.4; carbon: (0.36·0.5 + 0.48·0.3)·25 = 8.1.
+        // Disutility: w=1e4; U₁ = −(1·0.01)²/1 = −1e−4; U₂ = −(2·0.01)²/2 = −2e−4.
+        // −w(U₁+U₂) = 1e4·3e−4 = 3.
+        let expected = 44.4 + 8.1 + 3.0;
+        assert!((s.objective(&inst) - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,561 @@
+//! The five procedures of the ADM-G prediction (ADMM) step — §III-C of the
+//! paper, Eqs. (17)–(20) plus the dual updates.
+//!
+//! Each function computes one block's *predicted* iterate (the tilde
+//! quantities) exactly as the corresponding sub-problem prescribes:
+//!
+//! | step | owner | problem | method |
+//! |------|-------|---------|--------|
+//! | [`lambda_step`] | each front-end `i` | QP over the load-balance simplex (17) | active-set (exact) or FISTA |
+//! | [`mu_step`] | each datacenter `j` | 1-variable box QP (18) | closed form |
+//! | [`nu_step`] | each datacenter `j` | 1-variable convex problem (19) | closed form (affine/quadratic `V`) or derivative bisection |
+//! | [`a_step`] | each datacenter `j` | QP over the capped simplex (20) | active-set (exact) or FISTA |
+//! | [`dual_step`] | both sides | gradient ascent on the two coupling rows | closed form |
+//!
+//! The "block activity" flags implement the paper's strategy restrictions:
+//! `GridOnly` clamps `μ ≡ 0` (via `μ_max = 0`), `FuelCellOnly` pins `ν ≡ 0`
+//! and drops the ν block from the iteration, which keeps the remaining
+//! blocks a valid (3-block) ADM-G instance.
+
+use ufc_linalg::Matrix;
+use ufc_model::{utility::disutility_rank1_gamma, EmissionCostFn, QueueingCost, UfcInstance};
+use ufc_opt::projection::{project_capped_simplex, project_simplex};
+use ufc_opt::{scalar, ActiveSetQp, Fista, QuadObjective, SmoothObjective};
+
+use crate::{AdmgState, CoreError, Result, SubproblemMethod};
+
+/// Iteration caps/tolerances for the inner QP solves; much tighter than the
+/// outer loop so sub-problem error never dominates the ADM-G residuals.
+const FISTA_MAX_ITER: usize = 50_000;
+const FISTA_TOL: f64 = 1e-10;
+
+/// λ-minimization (17): each front-end solves a simplex-constrained QP with
+/// Hessian `ρI + (2w/A_i)·L_i L_iᵀ` and linear term `φ_ij − ρ a_ij`.
+///
+/// Returns the predicted routing `λ̃` as an `M × N` flat.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Subproblem`] if a front-end's QP fails.
+pub fn lambda_step(
+    instance: &UfcInstance,
+    rho: f64,
+    method: SubproblemMethod,
+    state: &AdmgState,
+) -> Result<Vec<f64>> {
+    let (m, n) = (state.m, state.n);
+    let w = instance.weight_per_kserver();
+    let mut lambda_tilde = vec![0.0; m * n];
+    for i in 0..m {
+        let arrival = instance.arrivals[i];
+        let gamma = disutility_rank1_gamma(w, arrival);
+        let latencies = instance.latency_s[i].clone();
+        let c: Vec<f64> = (0..n)
+            .map(|j| state.varphi[state.idx(i, j)] - rho * state.a[state.idx(i, j)])
+            .collect();
+        let objective = QuadObjective::diag_rank1(vec![rho; n], gamma, latencies, c, 0.0);
+        let start = vec![arrival / n as f64; n];
+        let row = match method {
+            SubproblemMethod::ActiveSet => {
+                let a_eq = Matrix::from_fn(1, n, |_, _| 1.0);
+                let a_in = Matrix::from_fn(n, n, |r, cidx| if r == cidx { -1.0 } else { 0.0 });
+                ActiveSetQp::default()
+                    .solve(&objective, &a_eq, &[arrival], &a_in, &vec![0.0; n], start)
+                    .map_err(|e| CoreError::subproblem(format!("lambda[{i}]"), e))?
+                    .x
+            }
+            SubproblemMethod::Fista => {
+                Fista::new(FISTA_MAX_ITER, FISTA_TOL)
+                    .minimize(&objective, |x| project_simplex(x, arrival), start)
+                    .map_err(|e| CoreError::subproblem(format!("lambda[{i}]"), e))?
+                    .x
+            }
+        };
+        lambda_tilde[i * n..(i + 1) * n].copy_from_slice(&row);
+    }
+    Ok(lambda_tilde)
+}
+
+/// μ-minimization (18): the closed-form clamp
+/// `μ̃_j = clamp(α_j + β_j Σ_i a_ij − ν_j − (φ_j + h·p₀)/ρ, 0, μ_j^max)`.
+///
+/// With `active = false` (the *Grid* strategy) the block is pinned at zero.
+#[must_use]
+pub fn mu_step(instance: &UfcInstance, rho: f64, state: &AdmgState, active: bool) -> Vec<f64> {
+    if !active {
+        return vec![0.0; state.n];
+    }
+    let h = instance.slot_hours;
+    let loads = state.a_loads();
+    (0..state.n)
+        .map(|j| {
+            let d = instance.demand_mw(j, loads[j]) - state.nu[j];
+            scalar::prox_linear_quadratic(
+                d,
+                state.phi[j] + h * instance.fuel_cell_price,
+                rho,
+                0.0,
+                instance.mu_max[j],
+            )
+        })
+        .collect()
+}
+
+/// ν-minimization (19): each datacenter minimizes
+/// `V_j(C_j·h·ν) + (h·p_j + φ_j)ν + ρ/2(α_j + β_jΣa − μ̃_j − ν)²` over
+/// `ν ≥ 0`; closed-form for affine and quadratic `V_j`, derivative
+/// bisection for stepped tariffs.
+///
+/// With `active = false` (the *Fuel cell* strategy) the block is pinned at
+/// zero.
+#[must_use]
+pub fn nu_step(
+    instance: &UfcInstance,
+    rho: f64,
+    state: &AdmgState,
+    mu_tilde: &[f64],
+    active: bool,
+) -> Vec<f64> {
+    if !active {
+        return vec![0.0; state.n];
+    }
+    let h = instance.slot_hours;
+    let loads = state.a_loads();
+    (0..state.n)
+        .map(|j| {
+            let d = instance.demand_mw(j, loads[j]) - mu_tilde[j];
+            let ch = instance.carbon_t_per_mwh[j] * h;
+            let base = h * instance.grid_price[j] + state.phi[j];
+            match &instance.emission_cost[j] {
+                EmissionCostFn::Linear { rate } => {
+                    scalar::prox_linear_quadratic(d, base + rate * ch, rho, 0.0, f64::INFINITY)
+                }
+                EmissionCostFn::Quadratic { linear, quad } => {
+                    // Stationarity: l·ch + 2q·ch²·ν + base + ρ(ν − d) = 0.
+                    let nu = (rho * d - linear * ch - base) / (rho + 2.0 * quad * ch * ch);
+                    nu.max(0.0)
+                }
+                stepped @ EmissionCostFn::Stepped { .. } => {
+                    let df = |nu: f64| ch * stepped.marginal(ch * nu) + base + rho * (nu - d);
+                    // Expand the bracket until the derivative turns positive.
+                    let mut hi = (2.0 * d.abs()).max(1.0);
+                    for _ in 0..120 {
+                        if df(hi) > 0.0 {
+                            break;
+                        }
+                        hi *= 2.0;
+                    }
+                    scalar::bisect_derivative(df, 0.0, hi, 1e-12 * (1.0 + hi))
+                }
+            }
+        })
+        .collect()
+}
+
+/// The a-sub-problem objective with the optional congestion barrier
+/// (extension): quadratic part of (20) plus `Q_j(Σ_i a_ij)`.
+#[derive(Debug)]
+pub struct CongestedAStep {
+    quad: QuadObjective,
+    queueing: QueueingCost,
+    capacity: f64,
+}
+
+impl CongestedAStep {
+    /// Assembles the congested a-step objective for one datacenter.
+    #[must_use]
+    pub fn new(quad: QuadObjective, queueing: QueueingCost, capacity: f64) -> Self {
+        CongestedAStep {
+            quad,
+            queueing,
+            capacity,
+        }
+    }
+}
+
+impl SmoothObjective for CongestedAStep {
+    fn dim(&self) -> usize {
+        self.quad.dim()
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        let load: f64 = x.iter().sum();
+        self.quad.value(x) + self.queueing.value(load.max(0.0), self.capacity)
+    }
+
+    fn gradient(&self, x: &[f64]) -> Vec<f64> {
+        let load: f64 = x.iter().sum();
+        let dq = self.queueing.derivative(load.max(0.0), self.capacity);
+        let mut g = self.quad.gradient(x);
+        for gi in &mut g {
+            *gi += dq;
+        }
+        g
+    }
+
+    fn lipschitz_bound(&self) -> f64 {
+        // Curvature of Q(Σx) is unbounded near the ceiling; start from the
+        // quadratic part's bound and let backtracking find the rest.
+        SmoothObjective::lipschitz_bound(&self.quad)
+    }
+}
+
+/// a-minimization (20): each datacenter solves a QP with Hessian
+/// `ρ(I + β_j²·1 1ᵀ)` over `{a ≥ 0, Σ_i a_ij ≤ S_j}`. With the queueing
+/// extension enabled the objective gains the convex congestion barrier and
+/// is solved by backtracking FISTA regardless of the configured method.
+///
+/// Returns the predicted auxiliary routing `ã` as an `M × N` flat.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Subproblem`] if a datacenter's QP fails.
+pub fn a_step(
+    instance: &UfcInstance,
+    rho: f64,
+    method: SubproblemMethod,
+    state: &AdmgState,
+    lambda_tilde: &[f64],
+    mu_tilde: &[f64],
+    nu_tilde: &[f64],
+) -> Result<Vec<f64>> {
+    let (m, n) = (state.m, state.n);
+    let mut a_tilde = vec![0.0; m * n];
+    for j in 0..n {
+        let beta = instance.beta[j];
+        let drift = instance.alpha[j] - mu_tilde[j] - nu_tilde[j];
+        let c: Vec<f64> = (0..m)
+            .map(|i| {
+                -rho * lambda_tilde[state.idx(i, j)]
+                    - state.varphi[state.idx(i, j)]
+                    - state.phi[j] * beta
+                    + rho * beta * drift
+            })
+            .collect();
+        let objective = QuadObjective::diag_rank1(
+            vec![rho; m],
+            rho * beta * beta,
+            vec![1.0; m],
+            c,
+            0.0,
+        );
+        let cap = instance.capacities[j];
+        if let Some(q) = &instance.queueing {
+            // Congested path: barrier objective over the shrunk cap.
+            let objective = CongestedAStep {
+                quad: objective,
+                queueing: *q,
+                capacity: cap,
+            };
+            let cap_q = q.load_cap(cap).min(cap);
+            // The barrier's curvature makes ultra-tight inner tolerances
+            // disproportionately expensive; 1e-8 keeps the inner error two
+            // orders below the outer stopping rule.
+            let col = Fista::new(FISTA_MAX_ITER, 1e-8)
+                .minimize_adaptive(
+                    &objective,
+                    |x| project_capped_simplex(x, cap_q),
+                    vec![0.0; m],
+                )
+                .map_err(|e| CoreError::subproblem(format!("a[{j}] (congested)"), e))?
+                .x;
+            for i in 0..m {
+                a_tilde[state.idx(i, j)] = col[i];
+            }
+            continue;
+        }
+        let col = match method {
+            SubproblemMethod::ActiveSet => {
+                // Rows: −a_i ≤ 0 for each i, then Σ_i a_i ≤ S_j.
+                let mut a_in = Matrix::zeros(m + 1, m);
+                let mut b_in = vec![0.0; m + 1];
+                for i in 0..m {
+                    a_in[(i, i)] = -1.0;
+                }
+                for i in 0..m {
+                    a_in[(m, i)] = 1.0;
+                }
+                b_in[m] = cap;
+                ActiveSetQp::default()
+                    .solve(
+                        &objective,
+                        &Matrix::zeros(0, m),
+                        &[],
+                        &a_in,
+                        &b_in,
+                        vec![0.0; m],
+                    )
+                    .map_err(|e| CoreError::subproblem(format!("a[{j}]"), e))?
+                    .x
+            }
+            SubproblemMethod::Fista => {
+                Fista::new(FISTA_MAX_ITER, FISTA_TOL)
+                    .minimize(
+                        &objective,
+                        |x| project_capped_simplex(x, cap),
+                        vec![0.0; m],
+                    )
+                    .map_err(|e| CoreError::subproblem(format!("a[{j}]"), e))?
+                    .x
+            }
+        };
+        for i in 0..m {
+            a_tilde[state.idx(i, j)] = col[i];
+        }
+    }
+    Ok(a_tilde)
+}
+
+/// Dual updates (step 1.5): gradient ascent on the two coupling rows,
+/// `φ̃_j = φ_j − ρ(α_j + β_jΣ_i ã_ij − μ̃_j − ν̃_j)` at each datacenter and
+/// `φ̃_ij = φ_ij − ρ(ã_ij − λ̃_ij)` at each front-end.
+///
+/// Returns `(φ̃, φ̃_ij)`.
+#[must_use]
+pub fn dual_step(
+    instance: &UfcInstance,
+    rho: f64,
+    state: &AdmgState,
+    lambda_tilde: &[f64],
+    mu_tilde: &[f64],
+    nu_tilde: &[f64],
+    a_tilde: &[f64],
+) -> (Vec<f64>, Vec<f64>) {
+    let (m, n) = (state.m, state.n);
+    let mut a_loads = vec![0.0; n];
+    for i in 0..m {
+        for j in 0..n {
+            a_loads[j] += a_tilde[state.idx(i, j)];
+        }
+    }
+    let phi_tilde: Vec<f64> = (0..n)
+        .map(|j| {
+            state.phi[j]
+                - rho * (instance.demand_mw(j, a_loads[j]) - mu_tilde[j] - nu_tilde[j])
+        })
+        .collect();
+    let varphi_tilde: Vec<f64> = (0..m * n)
+        .map(|k| state.varphi[k] - rho * (a_tilde[k] - lambda_tilde[k]))
+        .collect();
+    (phi_tilde, varphi_tilde)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufc_model::EmissionCostFn;
+
+    fn tiny() -> UfcInstance {
+        UfcInstance::new(
+            vec![1.0, 2.0],
+            vec![2.0, 2.0],
+            vec![0.24, 0.24],
+            vec![0.12, 0.12],
+            vec![0.48, 0.48],
+            vec![30.0, 70.0],
+            80.0,
+            vec![0.5, 0.3],
+            vec![vec![0.01, 0.02], vec![0.02, 0.01]],
+            10.0,
+            vec![
+                EmissionCostFn::linear(25.0).unwrap(),
+                EmissionCostFn::linear(25.0).unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lambda_step_satisfies_load_balance() {
+        let inst = tiny();
+        let state = AdmgState::zeros(&inst);
+        let lt = lambda_step(&inst, 0.3, SubproblemMethod::ActiveSet, &state).unwrap();
+        // Row sums equal arrivals; entries nonnegative.
+        assert!((lt[0] + lt[1] - 1.0).abs() < 1e-7);
+        assert!((lt[2] + lt[3] - 2.0).abs() < 1e-7);
+        assert!(lt.iter().all(|&v| v >= -1e-9));
+    }
+
+    #[test]
+    fn lambda_step_methods_agree() {
+        let inst = tiny();
+        let mut state = AdmgState::zeros(&inst);
+        state.a = vec![0.4, 0.6, 1.5, 0.5];
+        state.varphi = vec![0.1, -0.2, 0.05, 0.3];
+        let exact = lambda_step(&inst, 0.3, SubproblemMethod::ActiveSet, &state).unwrap();
+        let fista = lambda_step(&inst, 0.3, SubproblemMethod::Fista, &state).unwrap();
+        for (a, b) in exact.iter().zip(&fista) {
+            assert!((a - b).abs() < 1e-5, "{exact:?} vs {fista:?}");
+        }
+    }
+
+    #[test]
+    fn lambda_step_prefers_nearby_datacenter_without_penalty_terms() {
+        // With a = λ's attractor at zero and no duals, the only pull apart
+        // from ρ‖λ‖² is the latency disutility ⇒ prefer the closer DC.
+        let inst = tiny();
+        let state = AdmgState::zeros(&inst);
+        let lt = lambda_step(&inst, 1e-6, SubproblemMethod::ActiveSet, &state).unwrap();
+        // FE0 is closer to DC0 (10 ms vs 20 ms) but the quadratic utility
+        // spreads load; still the closer DC gets at least half.
+        assert!(lt[0] >= 0.5, "lt = {lt:?}");
+        // FE1 is closer to DC1.
+        assert!(lt[3] >= 1.0, "lt = {lt:?}");
+    }
+
+    #[test]
+    fn mu_step_clamps_to_capacity_and_zero() {
+        let inst = tiny();
+        let mut state = AdmgState::zeros(&inst);
+        state.a = vec![1.0, 0.0, 1.0, 0.0]; // load 2.0 at DC0 ⇒ demand 0.48
+        // Strong negative dual pushes μ to its cap.
+        state.phi = vec![-1e3, 0.0];
+        let mu = mu_step(&inst, 0.3, &state, true);
+        assert!((mu[0] - 0.48).abs() < 1e-12);
+        // Strong positive dual pushes μ to zero.
+        state.phi = vec![1e3, 1e3];
+        let mu = mu_step(&inst, 0.3, &state, true);
+        assert_eq!(mu, vec![0.0, 0.0]);
+        // Inactive block pinned at zero.
+        assert_eq!(mu_step(&inst, 0.3, &state, false), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn mu_step_interior_value() {
+        let inst = tiny();
+        let mut state = AdmgState::zeros(&inst);
+        state.a = vec![1.0, 0.0, 1.0, 0.0]; // demand 0.48 MW at DC0
+        state.nu = vec![0.1, 0.0];
+        state.phi = vec![-80.3, 0.0]; // (φ + p0)/ρ = (−80.3 + 80)/0.3 = −1
+        let mu = mu_step(&inst, 0.3, &state, true);
+        // d = 0.48 − 0.1 = 0.38; μ = clamp(0.38 + 1, 0, 0.48) = 0.48.
+        assert!((mu[0] - 0.48).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nu_step_linear_tax_closed_form() {
+        let inst = tiny();
+        let mut state = AdmgState::zeros(&inst);
+        state.a = vec![1.0, 0.0, 1.0, 0.0]; // demand at DC0: 0.48 MW
+        let mu_tilde = vec![0.0, 0.0];
+        let nu = nu_step(&inst, 0.3, &state, &mu_tilde, true);
+        // d = 0.48; cost slope = p + r·C = 30 + 12.5 = 42.5 ⇒ ν = max(0, 0.48 − 42.5/0.3) = 0.
+        assert_eq!(nu[0], 0.0);
+        // With a dual that offsets the price, ν moves into the interior.
+        state.phi = vec![-42.35, 0.0]; // slope = 0.15 ⇒ ν = 0.48 − 0.5 = interior... still −0.02 ⇒ 0
+        let nu = nu_step(&inst, 0.3, &state, &mu_tilde, true);
+        assert!((nu[0] - (0.48f64 - 0.15 / 0.3).max(0.0)).abs() < 1e-9);
+        // Inactive (fuel-cell-only) pins to zero.
+        assert_eq!(nu_step(&inst, 0.3, &state, &mu_tilde, false), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn nu_step_quadratic_and_stepped_match_bisection_of_linear_case() {
+        // With a quadratic V whose quad term is 0 and a stepped V with equal
+        // rates, all three paths must produce the linear-tax answer.
+        let mut inst = tiny();
+        let mut state = AdmgState::zeros(&inst);
+        state.a = vec![1.0, 0.0, 1.0, 0.0];
+        state.phi = vec![-45.0, -45.0];
+        let mu_tilde = vec![0.0, 0.0];
+
+        inst.emission_cost = vec![
+            EmissionCostFn::linear(25.0).unwrap(),
+            EmissionCostFn::linear(25.0).unwrap(),
+        ];
+        let linear = nu_step(&inst, 0.3, &state, &mu_tilde, true);
+
+        inst.emission_cost = vec![
+            EmissionCostFn::quadratic(25.0, 0.0).unwrap(),
+            EmissionCostFn::quadratic(25.0, 0.0).unwrap(),
+        ];
+        let quad = nu_step(&inst, 0.3, &state, &mu_tilde, true);
+
+        inst.emission_cost = vec![
+            EmissionCostFn::stepped(vec![1.0], vec![25.0, 25.0]).unwrap(),
+            EmissionCostFn::stepped(vec![1.0], vec![25.0, 25.0]).unwrap(),
+        ];
+        let stepped = nu_step(&inst, 0.3, &state, &mu_tilde, true);
+
+        for j in 0..2 {
+            assert!((linear[j] - quad[j]).abs() < 1e-9, "quad path diverges");
+            assert!(
+                (linear[j] - stepped[j]).abs() < 1e-6,
+                "stepped path diverges: {} vs {}",
+                linear[j],
+                stepped[j]
+            );
+        }
+    }
+
+    #[test]
+    fn a_step_respects_capacity_and_sign() {
+        let inst = tiny();
+        let mut state = AdmgState::zeros(&inst);
+        state.varphi = vec![5.0, 5.0, 5.0, 5.0]; // strong pull towards a > 0
+        let lambda_tilde = vec![2.0, 2.0, 2.0, 2.0];
+        let a = a_step(
+            &inst,
+            0.3,
+            SubproblemMethod::ActiveSet,
+            &state,
+            &lambda_tilde,
+            &[0.0, 0.0],
+            &[0.0, 0.0],
+        )
+        .unwrap();
+        for j in 0..2 {
+            let load: f64 = (0..2).map(|i| a[state.idx(i, j)]).sum();
+            assert!(load <= inst.capacities[j] + 1e-7, "capacity violated");
+        }
+        assert!(a.iter().all(|&v| v >= -1e-9));
+    }
+
+    #[test]
+    fn a_step_methods_agree() {
+        let inst = tiny();
+        let mut state = AdmgState::zeros(&inst);
+        state.varphi = vec![0.3, -0.1, 0.2, 0.4];
+        state.phi = vec![1.0, -2.0];
+        let lambda_tilde = vec![0.5, 0.5, 1.2, 0.8];
+        let exact = a_step(
+            &inst, 0.3, SubproblemMethod::ActiveSet, &state,
+            &lambda_tilde, &[0.1, 0.2], &[0.2, 0.1],
+        )
+        .unwrap();
+        let fista = a_step(
+            &inst, 0.3, SubproblemMethod::Fista, &state,
+            &lambda_tilde, &[0.1, 0.2], &[0.2, 0.1],
+        )
+        .unwrap();
+        for (x, y) in exact.iter().zip(&fista) {
+            assert!((x - y).abs() < 1e-5, "{exact:?} vs {fista:?}");
+        }
+    }
+
+    #[test]
+    fn dual_step_signs() {
+        let inst = tiny();
+        let state = AdmgState::zeros(&inst);
+        let lambda_tilde = vec![0.5, 0.5, 1.0, 1.0];
+        let a_tilde = vec![0.5, 0.5, 1.0, 1.0];
+        // Perfect balance: μ̃ + ν̃ = demand ⇒ φ̃ = φ.
+        let mu_tilde = vec![0.42, 0.0];
+        let nu_tilde = vec![0.0, 0.42];
+        let (phi_t, varphi_t) =
+            dual_step(&inst, 0.3, &state, &lambda_tilde, &mu_tilde, &nu_tilde, &a_tilde);
+        assert!(phi_t.iter().all(|&v| v.abs() < 1e-12));
+        assert!(varphi_t.iter().all(|&v| v.abs() < 1e-12));
+        // Underprovision at DC0 by 0.1 MW ⇒ φ̃ = 0 − ρ·(0.1) = −0.03.
+        let mu_short = vec![0.32, 0.0];
+        let (phi_t, _) =
+            dual_step(&inst, 0.3, &state, &lambda_tilde, &mu_short, &nu_tilde, &a_tilde);
+        assert!((phi_t[0] + 0.03).abs() < 1e-12);
+        // a > λ at one entry ⇒ varphi decreases there.
+        let a_big = vec![0.7, 0.5, 1.0, 1.0];
+        let (_, varphi_t) =
+            dual_step(&inst, 0.3, &state, &lambda_tilde, &mu_tilde, &nu_tilde, &a_big);
+        assert!((varphi_t[0] + 0.3 * 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,40 @@
+//! Both centralized backends must handle the full paper-scale problem
+//! (M = 10, N = 4 ⇒ 48 variables, ~70 constraints) and agree with ADM-G.
+
+use ufc_core::{centralized, AdmgSettings, AdmgSolver, Strategy};
+use ufc_model::scenario::ScenarioBuilder;
+
+#[test]
+fn active_set_backend_solves_paper_scale() {
+    let scenario = ScenarioBuilder::paper_default().hours(3).build().unwrap();
+    for (t, inst) in scenario.instances.iter().enumerate() {
+        let asol = centralized::solve(inst, Strategy::Hybrid, centralized::Backend::ActiveSet)
+            .unwrap_or_else(|e| panic!("hour {t}: active-set backend failed: {e}"));
+        let admm = centralized::solve(inst, Strategy::Hybrid, centralized::Backend::Admm).unwrap();
+        let scale = admm.breakdown.ufc().abs().max(1.0);
+        assert!(
+            (asol.breakdown.ufc() - admm.breakdown.ufc()).abs() / scale < 1e-3,
+            "hour {t}: backends disagree: {} vs {}",
+            asol.breakdown.ufc(),
+            admm.breakdown.ufc()
+        );
+    }
+}
+
+#[test]
+fn active_set_backend_matches_admg_paper_scale() {
+    let scenario = ScenarioBuilder::paper_default().hours(2).build().unwrap();
+    let solver = AdmgSolver::new(AdmgSettings::default());
+    for inst in &scenario.instances {
+        let central =
+            centralized::solve(inst, Strategy::Hybrid, centralized::Backend::ActiveSet).unwrap();
+        let admg = solver.solve(inst, Strategy::Hybrid).unwrap();
+        let scale = central.breakdown.ufc().abs().max(1.0);
+        assert!(
+            (central.breakdown.ufc() - admg.breakdown.ufc()).abs() / scale < 5e-3,
+            "ADM-G {} vs centralized active-set {}",
+            admg.breakdown.ufc(),
+            central.breakdown.ufc()
+        );
+    }
+}

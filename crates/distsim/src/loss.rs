@@ -1,0 +1,125 @@
+//! Lossy-channel fault injection.
+//!
+//! The paper's protocol is synchronous: each iteration's phases complete
+//! only when every message has arrived. Under message loss with
+//! retransmission the *results* are unchanged (delivery is reliable in the
+//! end) but the *cost* is not: lost attempts consume bandwidth, and each
+//! phase stalls for its slowest message. [`LossyChannel`] models an
+//! independent-loss channel with immediate retransmission and feeds the
+//! extra attempts into the run's traffic and wall-clock accounting —
+//! demonstrating that the iteration tolerates unreliable WANs at a
+//! quantifiable price.
+
+/// Channel loss configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossConfig {
+    /// Per-attempt loss probability in `[0, 1)`.
+    pub probability: f64,
+    /// RNG seed for the loss process.
+    pub seed: u64,
+}
+
+impl LossConfig {
+    /// Creates a configuration, validating the probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ probability < 1` (at `p = 1` no message is ever
+    /// delivered).
+    #[must_use]
+    pub fn new(probability: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&probability),
+            "loss probability must be in [0, 1), got {probability}"
+        );
+        LossConfig { probability, seed }
+    }
+}
+
+/// A lossy channel with retransmission: every send reports how many
+/// attempts it took (geometric with success probability `1 − p`).
+///
+/// Uses an embedded SplitMix64 generator — deterministic given the seed and
+/// free of external dependencies (this is accounting noise, not statistics).
+#[derive(Debug, Clone)]
+pub struct LossyChannel {
+    probability: f64,
+    state: u64,
+    /// Total failed attempts observed so far.
+    pub retransmissions: usize,
+}
+
+impl LossyChannel {
+    /// Opens a channel with the given configuration.
+    #[must_use]
+    pub fn new(config: LossConfig) -> Self {
+        LossyChannel {
+            probability: config.probability,
+            state: config.seed ^ 0x9e37_79b9_7f4a_7c15,
+            retransmissions: 0,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele et al.) — tiny, well-distributed, seedable.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Sends one message; returns the number of attempts (≥ 1) it took.
+    pub fn send(&mut self) -> usize {
+        let mut attempts = 1;
+        while self.uniform() < self.probability {
+            attempts += 1;
+            self.retransmissions += 1;
+        }
+        attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_channel_never_retransmits() {
+        let mut ch = LossyChannel::new(LossConfig::new(0.0, 1));
+        for _ in 0..1000 {
+            assert_eq!(ch.send(), 1);
+        }
+        assert_eq!(ch.retransmissions, 0);
+    }
+
+    #[test]
+    fn attempts_match_geometric_mean() {
+        // E[attempts] = 1/(1−p); p = 0.5 ⇒ 2.
+        let mut ch = LossyChannel::new(LossConfig::new(0.5, 42));
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| ch.send()).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean attempts {mean}");
+        assert_eq!(ch.retransmissions, total - n);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = LossyChannel::new(LossConfig::new(0.3, 7));
+        let mut b = LossyChannel::new(LossConfig::new(0.3, 7));
+        for _ in 0..100 {
+            assert_eq!(a.send(), b.send());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn rejects_certain_loss() {
+        let _ = LossConfig::new(1.0, 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Wire messages of the distributed protocol (paper Fig. 2).
+//!
+//! Each variant carries the logical payload exchanged between a front-end
+//! and a datacenter (or the coordinator); [`Message::wire_bytes`] gives the
+//! size a real deployment would put on the wire (payload + a fixed header),
+//! which the statistics use for byte accounting.
+
+/// Fixed per-message header: sender, receiver, iteration, type tag.
+pub const HEADER_BYTES: usize = 16;
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Step 1 — front-end `i` sends its predicted routing share to
+    /// datacenter `j`.
+    LambdaTilde {
+        /// Originating front-end.
+        frontend: usize,
+        /// Destination datacenter.
+        datacenter: usize,
+        /// Predicted `λ̃_ij` (kilo-servers).
+        value: f64,
+    },
+    /// Step 4 — datacenter `j` sends the corrected auxiliary routing share
+    /// back to front-end `i`.
+    ATilde {
+        /// Destination front-end.
+        frontend: usize,
+        /// Originating datacenter.
+        datacenter: usize,
+        /// Predicted `ã_ij` (kilo-servers).
+        value: f64,
+    },
+    /// Step 5 — a node reports its local residual contributions to the
+    /// coordinator.
+    ResidualReport {
+        /// Reporting node (front-ends then datacenters).
+        node: usize,
+        /// Local link residual (kilo-servers).
+        link: f64,
+        /// Local balance residual (MW; zero for front-ends).
+        balance: f64,
+        /// Local dual/iterate movement.
+        movement: f64,
+    },
+    /// Coordinator broadcast: continue to the next iteration or stop.
+    Control {
+        /// `true` to stop (converged or iteration cap).
+        stop: bool,
+    },
+}
+
+impl Message {
+    /// Bytes this message would occupy on the wire.
+    #[must_use]
+    pub fn wire_bytes(&self) -> usize {
+        let payload = match self {
+            Message::LambdaTilde { .. } | Message::ATilde { .. } => 8,
+            Message::ResidualReport { .. } => 24,
+            Message::Control { .. } => 1,
+        };
+        HEADER_BYTES + payload
+    }
+
+    /// `true` for the per-pair data messages (λ̃/ã), `false` for control
+    /// traffic.
+    #[must_use]
+    pub fn is_data(&self) -> bool {
+        matches!(self, Message::LambdaTilde { .. } | Message::ATilde { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes() {
+        let m = Message::LambdaTilde {
+            frontend: 0,
+            datacenter: 1,
+            value: 1.5,
+        };
+        assert_eq!(m.wire_bytes(), HEADER_BYTES + 8);
+        assert!(m.is_data());
+
+        let r = Message::ResidualReport {
+            node: 3,
+            link: 0.0,
+            balance: 0.0,
+            movement: 0.0,
+        };
+        assert_eq!(r.wire_bytes(), HEADER_BYTES + 24);
+        assert!(!r.is_data());
+
+        let c = Message::Control { stop: true };
+        assert_eq!(c.wire_bytes(), HEADER_BYTES + 1);
+        assert!(!c.is_data());
+    }
+}

@@ -1,0 +1,490 @@
+//! Node logic: the computation each participant runs with only its own
+//! slice of the problem data.
+//!
+//! A [`FrontendNode`] knows its arrival, its latency row, the utility
+//! weight, and its replicas of `a_i·` and `φ_i·`; a [`DatacenterNode`] knows
+//! its power model, prices, carbon data, capacity, and its column of the
+//! auxiliary routing. Neither sees the other side's data — the protocol
+//! behind [`crate::DistributedAdmg`] moves exactly the `λ̃`/`ã` shares of
+//! the paper's Fig. 2 between them.
+//!
+//! The arithmetic is, expression for expression, the same as
+//! `ufc_core::subproblems` + `ufc_core::correction`, so a lockstep run is
+//! numerically identical to the in-memory solver (asserted in the crate's
+//! integration tests).
+
+use ufc_core::subproblems::CongestedAStep;
+use ufc_core::{AdmgSettings, SubproblemMethod};
+use ufc_linalg::Matrix;
+use ufc_model::{utility::disutility_rank1_gamma, EmissionCostFn, QueueingCost, UfcInstance};
+use ufc_opt::projection::{project_capped_simplex, project_simplex};
+use ufc_opt::{scalar, ActiveSetQp, Fista, QuadObjective};
+
+/// Residual contributions a node reports to the coordinator each iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NodeResiduals {
+    /// Local link residual `max_j |λ_ij − a_ij|` (front-end) or
+    /// `max_i |λ_ij − a_ij|` (datacenter).
+    pub link: f64,
+    /// Local power-balance residual (datacenters only).
+    pub balance: f64,
+    /// ∞-norm movement of the locally owned corrected blocks.
+    pub movement: f64,
+}
+
+impl NodeResiduals {
+    fn track(&mut self, delta: f64) {
+        self.movement = self.movement.max(delta.abs());
+    }
+}
+
+/// A front-end proxy: owns `λ_i·`, replicas of `a_i·` and the link duals
+/// `φ_i·`.
+#[derive(Debug, Clone)]
+pub struct FrontendNode {
+    index: usize,
+    arrival: f64,
+    latencies: Vec<f64>,
+    weight_per_kserver: f64,
+    rho: f64,
+    epsilon: f64,
+    method: SubproblemMethod,
+    lambda: Vec<f64>,
+    lambda_tilde: Vec<f64>,
+    a: Vec<f64>,
+    varphi: Vec<f64>,
+}
+
+impl FrontendNode {
+    /// Extracts front-end `i`'s local data from the instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn new(instance: &UfcInstance, i: usize, settings: &AdmgSettings) -> Self {
+        assert!(i < instance.m_frontends(), "front-end {i} out of range");
+        let n = instance.n_datacenters();
+        FrontendNode {
+            index: i,
+            arrival: instance.arrivals[i],
+            latencies: instance.latency_s[i].clone(),
+            weight_per_kserver: instance.weight_per_kserver(),
+            rho: settings.rho,
+            epsilon: settings.epsilon,
+            method: settings.method,
+            lambda: vec![0.0; n],
+            lambda_tilde: vec![0.0; n],
+            a: vec![0.0; n],
+            varphi: vec![0.0; n],
+        }
+    }
+
+    /// This node's front-end index.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The current corrected routing row `λ_i·`.
+    #[must_use]
+    pub fn lambda(&self) -> &[f64] {
+        &self.lambda
+    }
+
+    /// Step 1: solve the λ-sub-problem (17) from the local replicas and
+    /// return `λ̃_i·` for dispatch to the datacenters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner QP fails (cannot happen for valid instances —
+    /// the constraint set is a nonempty simplex).
+    pub fn predict_lambda(&mut self) -> Vec<f64> {
+        let n = self.latencies.len();
+        let gamma = disutility_rank1_gamma(self.weight_per_kserver, self.arrival);
+        let c: Vec<f64> = (0..n)
+            .map(|j| self.varphi[j] - self.rho * self.a[j])
+            .collect();
+        let objective =
+            QuadObjective::diag_rank1(vec![self.rho; n], gamma, self.latencies.clone(), c, 0.0);
+        let start = vec![self.arrival / n as f64; n];
+        let row = match self.method {
+            SubproblemMethod::ActiveSet => {
+                let a_eq = Matrix::from_fn(1, n, |_, _| 1.0);
+                let a_in = Matrix::from_fn(n, n, |r, cc| if r == cc { -1.0 } else { 0.0 });
+                ActiveSetQp::default()
+                    .solve(&objective, &a_eq, &[self.arrival], &a_in, &vec![0.0; n], start)
+                    .expect("front-end lambda QP failed")
+                    .x
+            }
+            SubproblemMethod::Fista => Fista::new(50_000, 1e-10)
+                .minimize(&objective, |x| project_simplex(x, self.arrival), start)
+                .expect("front-end lambda FISTA failed")
+                .x,
+        };
+        self.lambda_tilde = row.clone();
+        row
+    }
+
+    /// Steps 4–5 + correction: receive `ã_i·`, update the dual replica, and
+    /// apply the front-end part of the Gaussian back substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a_tilde.len()` differs from the datacenter count.
+    pub fn receive_a_and_correct(&mut self, a_tilde: &[f64]) -> NodeResiduals {
+        assert_eq!(a_tilde.len(), self.a.len(), "a-row length mismatch");
+        let mut res = NodeResiduals::default();
+        #[allow(clippy::needless_range_loop)] // four replicas co-indexed by datacenter id
+        for j in 0..self.a.len() {
+            // Dual prediction and relaxation (front-end owns φ_i·).
+            let varphi_tilde =
+                self.varphi[j] - self.rho * (a_tilde[j] - self.lambda_tilde[j]);
+            let dv = self.epsilon * (varphi_tilde - self.varphi[j]);
+            self.varphi[j] += dv;
+            res.track(dv);
+            // a replica relaxation.
+            let da = self.epsilon * (a_tilde[j] - self.a[j]);
+            self.a[j] += da;
+            res.track(da);
+            // λ is taken from the prediction.
+            self.lambda[j] = self.lambda_tilde[j];
+            res.link = res.link.max((self.lambda[j] - self.a[j]).abs());
+        }
+        res
+    }
+}
+
+/// A datacenter: owns `μ_j`, `ν_j`, `a_·j`, the balance dual `φ_j`, and a
+/// replica of the link duals `φ_·j`.
+#[derive(Debug, Clone)]
+pub struct DatacenterNode {
+    index: usize,
+    m: usize,
+    alpha: f64,
+    beta: f64,
+    mu_max: f64,
+    capacity: f64,
+    grid_price: f64,
+    fuel_cell_price: f64,
+    carbon_t_per_mwh: f64,
+    emission: EmissionCostFn,
+    queueing: Option<QueueingCost>,
+    slot_hours: f64,
+    rho: f64,
+    epsilon: f64,
+    method: SubproblemMethod,
+    active_mu: bool,
+    active_nu: bool,
+    mu: f64,
+    nu: f64,
+    phi: f64,
+    a: Vec<f64>,
+    varphi: Vec<f64>,
+}
+
+/// What a datacenter returns from one protocol round.
+#[derive(Debug, Clone)]
+pub struct DatacenterStep {
+    /// The predicted auxiliary shares `ã_·j` to route back to front-ends.
+    pub a_tilde: Vec<f64>,
+    /// Local residual contributions.
+    pub residuals: NodeResiduals,
+}
+
+impl DatacenterNode {
+    /// Extracts datacenter `j`'s local data from the instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn new(
+        instance: &UfcInstance,
+        j: usize,
+        settings: &AdmgSettings,
+        active_mu: bool,
+        active_nu: bool,
+    ) -> Self {
+        assert!(j < instance.n_datacenters(), "datacenter {j} out of range");
+        DatacenterNode {
+            index: j,
+            m: instance.m_frontends(),
+            alpha: instance.alpha[j],
+            beta: instance.beta[j],
+            mu_max: instance.mu_max[j],
+            capacity: instance.capacities[j],
+            grid_price: instance.grid_price[j],
+            fuel_cell_price: instance.fuel_cell_price,
+            carbon_t_per_mwh: instance.carbon_t_per_mwh[j],
+            emission: instance.emission_cost[j].clone(),
+            queueing: instance.queueing,
+            slot_hours: instance.slot_hours,
+            rho: settings.rho,
+            epsilon: settings.epsilon,
+            method: settings.method,
+            active_mu,
+            active_nu,
+            mu: 0.0,
+            nu: 0.0,
+            phi: 0.0,
+            a: vec![0.0; instance.m_frontends()],
+            varphi: vec![0.0; instance.m_frontends()],
+        }
+    }
+
+    /// This node's datacenter index.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Current fuel-cell output `μ_j` (MW).
+    #[must_use]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Current grid draw `ν_j` (MW).
+    #[must_use]
+    pub fn nu(&self) -> f64 {
+        self.nu
+    }
+
+    /// Steps 2–5 + correction: receive the column `λ̃_·j`, run the μ-, ν-,
+    /// a- and dual updates, apply the datacenter part of the correction,
+    /// and return `ã_·j` with the local residuals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda_tilde.len() != M` or the inner QP fails.
+    pub fn process(&mut self, lambda_tilde: &[f64]) -> DatacenterStep {
+        assert_eq!(lambda_tilde.len(), self.m, "lambda column length mismatch");
+        let rho = self.rho;
+        let h = self.slot_hours;
+        let load_k: f64 = self.a.iter().sum();
+        let demand = self.alpha + self.beta * load_k;
+
+        // Step 2: μ̃ (Eq. (18) closed form).
+        let mu_tilde = if self.active_mu {
+            scalar::prox_linear_quadratic(
+                demand - self.nu,
+                self.phi + h * self.fuel_cell_price,
+                rho,
+                0.0,
+                self.mu_max,
+            )
+        } else {
+            0.0
+        };
+
+        // Step 3: ν̃ (Eq. (19)).
+        let nu_tilde = if self.active_nu {
+            let d = demand - mu_tilde;
+            let ch = self.carbon_t_per_mwh * h;
+            let base = h * self.grid_price + self.phi;
+            match &self.emission {
+                EmissionCostFn::Linear { rate } => {
+                    scalar::prox_linear_quadratic(d, base + rate * ch, rho, 0.0, f64::INFINITY)
+                }
+                EmissionCostFn::Quadratic { linear, quad } => {
+                    ((rho * d - linear * ch - base) / (rho + 2.0 * quad * ch * ch)).max(0.0)
+                }
+                stepped @ EmissionCostFn::Stepped { .. } => {
+                    let df = |nu: f64| ch * stepped.marginal(ch * nu) + base + rho * (nu - d);
+                    let mut hi = (2.0 * d.abs()).max(1.0);
+                    for _ in 0..120 {
+                        if df(hi) > 0.0 {
+                            break;
+                        }
+                        hi *= 2.0;
+                    }
+                    scalar::bisect_derivative(df, 0.0, hi, 1e-12 * (1.0 + hi))
+                }
+            }
+        } else {
+            0.0
+        };
+
+        // Step 4: ã (Eq. (20)).
+        let drift = self.alpha - mu_tilde - nu_tilde;
+        let c: Vec<f64> = (0..self.m)
+            .map(|i| {
+                -rho * lambda_tilde[i] - self.varphi[i] - self.phi * self.beta
+                    + rho * self.beta * drift
+            })
+            .collect();
+        let objective = QuadObjective::diag_rank1(
+            vec![rho; self.m],
+            rho * self.beta * self.beta,
+            vec![1.0; self.m],
+            c,
+            0.0,
+        );
+        let a_tilde = if let Some(q) = &self.queueing {
+            let objective = CongestedAStep::new(objective, *q, self.capacity);
+            let cap_q = q.load_cap(self.capacity).min(self.capacity);
+            Fista::new(50_000, 1e-8)
+                .minimize_adaptive(
+                    &objective,
+                    |x| project_capped_simplex(x, cap_q),
+                    vec![0.0; self.m],
+                )
+                .expect("congested datacenter a-step failed")
+                .x
+        } else { match self.method {
+            SubproblemMethod::ActiveSet => {
+                let mut a_in = Matrix::zeros(self.m + 1, self.m);
+                let mut b_in = vec![0.0; self.m + 1];
+                for i in 0..self.m {
+                    a_in[(i, i)] = -1.0;
+                }
+                for i in 0..self.m {
+                    a_in[(self.m, i)] = 1.0;
+                }
+                b_in[self.m] = self.capacity;
+                ActiveSetQp::default()
+                    .solve(
+                        &objective,
+                        &Matrix::zeros(0, self.m),
+                        &[],
+                        &a_in,
+                        &b_in,
+                        vec![0.0; self.m],
+                    )
+                    .expect("datacenter a QP failed")
+                    .x
+            }
+            SubproblemMethod::Fista => Fista::new(50_000, 1e-10)
+                .minimize(
+                    &objective,
+                    |x| project_capped_simplex(x, self.capacity),
+                    vec![0.0; self.m],
+                )
+                .expect("datacenter a FISTA failed")
+                .x,
+        } };
+
+        // Step 5: dual predictions.
+        let a_tilde_load: f64 = a_tilde.iter().sum();
+        let phi_tilde = self.phi
+            - rho * (self.alpha + self.beta * a_tilde_load - mu_tilde - nu_tilde);
+        // Correction, backward order: duals, a, ν, μ.
+        let mut res = NodeResiduals::default();
+        let dphi = self.epsilon * (phi_tilde - self.phi);
+        self.phi += dphi;
+        res.track(dphi);
+        let mut delta_a_load = 0.0;
+        for i in 0..self.m {
+            // Mirror of the front-end's dual replica (same update rule).
+            let varphi_tilde = self.varphi[i] - rho * (a_tilde[i] - lambda_tilde[i]);
+            self.varphi[i] += self.epsilon * (varphi_tilde - self.varphi[i]);
+            let da = self.epsilon * (a_tilde[i] - self.a[i]);
+            self.a[i] += da;
+            delta_a_load += da;
+            res.track(da);
+            res.link = res.link.max((lambda_tilde[i] - self.a[i]).abs());
+        }
+        let mut delta_nu = 0.0;
+        if self.active_nu {
+            delta_nu = self.epsilon * (nu_tilde - self.nu) + self.beta * delta_a_load;
+            self.nu += delta_nu;
+            res.track(delta_nu);
+        }
+        if self.active_mu {
+            let dmu =
+                self.epsilon * (mu_tilde - self.mu) - delta_nu + self.beta * delta_a_load;
+            self.mu += dmu;
+            res.track(dmu);
+        }
+        let corrected_load: f64 = self.a.iter().sum();
+        res.balance =
+            (self.alpha + self.beta * corrected_load - self.mu - self.nu).abs();
+
+        DatacenterStep {
+            a_tilde,
+            residuals: res,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufc_model::EmissionCostFn;
+
+    fn tiny() -> UfcInstance {
+        UfcInstance::new(
+            vec![1.0, 2.0],
+            vec![2.0, 2.0],
+            vec![0.24, 0.24],
+            vec![0.12, 0.12],
+            vec![0.48, 0.48],
+            vec![30.0, 70.0],
+            80.0,
+            vec![0.5, 0.3],
+            vec![vec![0.01, 0.02], vec![0.02, 0.01]],
+            10.0,
+            vec![
+                EmissionCostFn::linear(25.0).unwrap(),
+                EmissionCostFn::linear(25.0).unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn frontend_prediction_matches_core_subproblem() {
+        let inst = tiny();
+        let settings = AdmgSettings::default();
+        let mut fe = FrontendNode::new(&inst, 0, &settings);
+        let state = ufc_core::AdmgState::zeros(&inst);
+        let expected =
+            ufc_core::subproblems::lambda_step(&inst, settings.rho, settings.method, &state)
+                .unwrap();
+        let row = fe.predict_lambda();
+        for j in 0..2 {
+            assert!((row[j] - expected[j]).abs() < 1e-12, "{row:?} vs {expected:?}");
+        }
+    }
+
+    #[test]
+    fn frontend_correction_tracks_replicas() {
+        let inst = tiny();
+        let mut fe = FrontendNode::new(&inst, 0, &AdmgSettings::default());
+        let lt = fe.predict_lambda();
+        let res = fe.receive_a_and_correct(&lt.clone());
+        // With ã = λ̃: link residual is |λ − a| after partial relaxation of a.
+        assert!(res.link >= 0.0);
+        assert_eq!(fe.lambda(), &lt[..]);
+    }
+
+    #[test]
+    fn datacenter_respects_capacity_and_bounds() {
+        let inst = tiny();
+        let mut dc = DatacenterNode::new(&inst, 0, &AdmgSettings::default(), true, true);
+        let step = dc.process(&[1.5, 1.5]);
+        let load: f64 = step.a_tilde.iter().sum();
+        assert!(load <= inst.capacities[0] + 1e-7);
+        assert!(step.a_tilde.iter().all(|&v| v >= -1e-9));
+        assert!(dc.mu() >= -1e-12 && dc.mu() <= inst.mu_max[0] + 1e-9);
+    }
+
+    #[test]
+    fn pinned_blocks_stay_zero_at_node_level() {
+        let inst = tiny();
+        let mut grid_dc = DatacenterNode::new(&inst, 0, &AdmgSettings::default(), false, true);
+        grid_dc.process(&[0.5, 1.0]);
+        assert_eq!(grid_dc.mu(), 0.0);
+        let mut fc_dc = DatacenterNode::new(&inst, 0, &AdmgSettings::default(), true, false);
+        fc_dc.process(&[0.5, 1.0]);
+        assert_eq!(fc_dc.nu(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_index() {
+        let _ = FrontendNode::new(&tiny(), 9, &AdmgSettings::default());
+    }
+}

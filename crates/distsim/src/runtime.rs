@@ -1,0 +1,561 @@
+//! The two protocol runtimes: deterministic lockstep and threaded
+//! message-passing.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use ufc_core::repair::assemble_point;
+use ufc_core::{AdmgSettings, AdmgState, CoreError, Strategy};
+use ufc_model::{evaluate, OperatingPoint, UfcBreakdown, UfcInstance};
+
+use crate::loss::{LossConfig, LossyChannel};
+use crate::message::Message;
+use crate::node::{DatacenterNode, FrontendNode, NodeResiduals};
+use crate::stats::{estimated_wan_seconds, MessageStats};
+
+/// Which execution engine runs the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Runtime {
+    /// Single-threaded round engine — deterministic and bit-identical to
+    /// the in-memory `AdmgSolver`.
+    Lockstep,
+    /// One OS thread per node over crossbeam channels.
+    Threaded,
+}
+
+/// Result of a distributed run.
+#[derive(Debug, Clone)]
+pub struct DistRunReport {
+    /// Exactly feasible operating point (same polish as the in-memory
+    /// solver).
+    pub point: OperatingPoint,
+    /// UFC breakdown at the point.
+    pub breakdown: UfcBreakdown,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the residual tests passed before the iteration cap.
+    pub converged: bool,
+    /// Message/byte accounting.
+    pub stats: MessageStats,
+    /// Estimated wall-clock of a real WAN deployment (see
+    /// [`estimated_wan_seconds`]); under a lossy channel this includes the
+    /// retransmission stalls.
+    pub estimated_wan_seconds: f64,
+    /// Failed message attempts (0 unless run through
+    /// [`DistributedAdmg::run_lossy`]).
+    pub retransmissions: usize,
+}
+
+/// Facade: runs the distributed ADM-G protocol on an instance.
+#[derive(Debug, Clone, Copy)]
+pub struct DistributedAdmg {
+    settings: AdmgSettings,
+}
+
+impl DistributedAdmg {
+    /// Creates a runner with the given ADM-G hyper-parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the settings are invalid.
+    #[must_use]
+    pub fn new(settings: AdmgSettings) -> Self {
+        settings.validate();
+        DistributedAdmg { settings }
+    }
+
+    /// Runs the protocol to convergence (or the iteration cap).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Unsupported`] for an infeasible `FuelCellOnly`
+    ///   restriction.
+    /// * [`CoreError::Model`] if the final point cannot be polished or
+    ///   evaluated.
+    pub fn run(
+        &self,
+        instance: &UfcInstance,
+        strategy: Strategy,
+        runtime: Runtime,
+    ) -> Result<DistRunReport, CoreError> {
+        let active_mu = strategy != Strategy::GridOnly;
+        let active_nu = strategy != Strategy::FuelCellOnly;
+        if !active_nu && !instance.fuel_cells_cover_peak() {
+            return Err(CoreError::Unsupported {
+                context: "FuelCellOnly requires fuel-cell capacity covering peak demand"
+                    .to_owned(),
+            });
+        }
+        match runtime {
+            Runtime::Lockstep => self.run_lockstep(instance, active_mu, active_nu, None),
+            Runtime::Threaded => self.run_threaded(instance, active_mu, active_nu),
+        }
+    }
+
+    /// Runs the protocol (lockstep engine) over a lossy channel with
+    /// retransmission. The iterates — and therefore the solution — are
+    /// identical to a lossless run; only the traffic and the estimated WAN
+    /// wall-clock grow (see [`crate::loss`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`DistributedAdmg::run`].
+    pub fn run_lossy(
+        &self,
+        instance: &UfcInstance,
+        strategy: Strategy,
+        loss: LossConfig,
+    ) -> Result<DistRunReport, CoreError> {
+        let active_mu = strategy != Strategy::GridOnly;
+        let active_nu = strategy != Strategy::FuelCellOnly;
+        if !active_nu && !instance.fuel_cells_cover_peak() {
+            return Err(CoreError::Unsupported {
+                context: "FuelCellOnly requires fuel-cell capacity covering peak demand"
+                    .to_owned(),
+            });
+        }
+        self.run_lockstep(instance, active_mu, active_nu, Some(loss))
+    }
+
+    fn run_lockstep(
+        &self,
+        instance: &UfcInstance,
+        active_mu: bool,
+        active_nu: bool,
+        loss: Option<LossConfig>,
+    ) -> Result<DistRunReport, CoreError> {
+        let m = instance.m_frontends();
+        let n = instance.n_datacenters();
+        let mut frontends: Vec<FrontendNode> = (0..m)
+            .map(|i| FrontendNode::new(instance, i, &self.settings))
+            .collect();
+        let mut datacenters: Vec<DatacenterNode> = (0..n)
+            .map(|j| DatacenterNode::new(instance, j, &self.settings, active_mu, active_nu))
+            .collect();
+
+        let tolerances = self.settings.scaled_tolerances(instance);
+        let mut stats = MessageStats::default();
+        let mut converged = false;
+        let mut iterations = 0;
+        let mut channel = loss.map(LossyChannel::new);
+        // Phase-stall accounting: each synchronous phase waits for its
+        // slowest message, i.e. the maximum attempt count within the phase.
+        let mut stalled_phases = 0.0f64;
+
+        for _ in 0..self.settings.max_iterations {
+            iterations += 1;
+            // Step 1: front-ends predict and scatter λ̃.
+            let rows: Vec<Vec<f64>> = frontends
+                .iter_mut()
+                .map(FrontendNode::predict_lambda)
+                .collect();
+            let mut phase_max = 1usize;
+            for (i, row) in rows.iter().enumerate() {
+                for (j, &value) in row.iter().enumerate() {
+                    let msg = Message::LambdaTilde {
+                        frontend: i,
+                        datacenter: j,
+                        value,
+                    };
+                    stats.record(&msg);
+                    if let Some(ch) = channel.as_mut() {
+                        let attempts = ch.send();
+                        stats.total_bytes += (attempts - 1) * msg.wire_bytes();
+                        phase_max = phase_max.max(attempts);
+                    }
+                }
+            }
+            stalled_phases += phase_max as f64;
+
+            // Steps 2–4: datacenters process their columns, gather ã.
+            let mut dc_residuals = Vec::with_capacity(n);
+            let mut a_cols: Vec<Vec<f64>> = Vec::with_capacity(n);
+            let mut phase_max = 1usize;
+            for (j, dc) in datacenters.iter_mut().enumerate() {
+                let col: Vec<f64> = (0..m).map(|i| rows[i][j]).collect();
+                let step = dc.process(&col);
+                for (i, &value) in step.a_tilde.iter().enumerate() {
+                    let msg = Message::ATilde {
+                        frontend: i,
+                        datacenter: j,
+                        value,
+                    };
+                    stats.record(&msg);
+                    if let Some(ch) = channel.as_mut() {
+                        let attempts = ch.send();
+                        stats.total_bytes += (attempts - 1) * msg.wire_bytes();
+                        phase_max = phase_max.max(attempts);
+                    }
+                }
+                dc_residuals.push(step.residuals);
+                a_cols.push(step.a_tilde);
+            }
+            stalled_phases += phase_max as f64;
+
+            // Step 5: front-ends correct from ã.
+            let mut fe_residuals = Vec::with_capacity(m);
+            for (i, fe) in frontends.iter_mut().enumerate() {
+                let a_row: Vec<f64> = (0..n).map(|j| a_cols[j][i]).collect();
+                fe_residuals.push(fe.receive_a_and_correct(&a_row));
+            }
+
+            // Residual reduction + control broadcast.
+            let stop = reduce_and_broadcast(
+                &self.settings,
+                tolerances,
+                &fe_residuals,
+                &dc_residuals,
+                &mut stats,
+                m + n,
+            );
+            if stop {
+                converged = true;
+                break;
+            }
+        }
+
+        let (point, breakdown) = finish(
+            instance,
+            frontends.iter().map(|f| f.lambda().to_vec()).collect(),
+            datacenters.iter().map(DatacenterNode::mu).collect(),
+            !active_nu,
+        )?;
+        // Lossless: 4 phases per iteration. Lossy: the two data phases
+        // stall for their slowest message; the two control phases are
+        // assumed reliable (coordinator links).
+        let l_max = instance
+            .latency_s
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        let estimated = if channel.is_some() {
+            (stalled_phases + 2.0 * iterations as f64) * l_max
+        } else {
+            estimated_wan_seconds(iterations, &instance.latency_s)
+        };
+        Ok(DistRunReport {
+            point,
+            breakdown,
+            iterations,
+            converged,
+            stats,
+            estimated_wan_seconds: estimated,
+            retransmissions: channel.map_or(0, |ch| ch.retransmissions),
+        })
+    }
+
+    fn run_threaded(
+        &self,
+        instance: &UfcInstance,
+        active_mu: bool,
+        active_nu: bool,
+    ) -> Result<DistRunReport, CoreError> {
+        let m = instance.m_frontends();
+        let n = instance.n_datacenters();
+
+        enum FeCmd {
+            Predict,
+            Correct(Vec<f64>),
+            Finish,
+        }
+        enum DcCmd {
+            Process(Vec<f64>),
+            Finish,
+        }
+        enum Reply {
+            Lambda(usize, Vec<f64>),
+            FeResidual(usize, NodeResiduals),
+            DcStep(usize, Vec<f64>, NodeResiduals),
+            FeFinal(usize, Vec<f64>),
+            DcFinal(usize, f64),
+        }
+
+        let (reply_tx, reply_rx): (Sender<Reply>, Receiver<Reply>) = unbounded();
+        let mut fe_tx = Vec::with_capacity(m);
+        let mut dc_tx = Vec::with_capacity(n);
+        let mut handles = Vec::new();
+
+        for i in 0..m {
+            let (tx, rx): (Sender<FeCmd>, Receiver<FeCmd>) = unbounded();
+            fe_tx.push(tx);
+            let mut node = FrontendNode::new(instance, i, &self.settings);
+            let out = reply_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        FeCmd::Predict => {
+                            let row = node.predict_lambda();
+                            out.send(Reply::Lambda(i, row)).expect("coordinator gone");
+                        }
+                        FeCmd::Correct(a_row) => {
+                            let res = node.receive_a_and_correct(&a_row);
+                            out.send(Reply::FeResidual(i, res)).expect("coordinator gone");
+                        }
+                        FeCmd::Finish => {
+                            out.send(Reply::FeFinal(i, node.lambda().to_vec()))
+                                .expect("coordinator gone");
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+        for j in 0..n {
+            let (tx, rx): (Sender<DcCmd>, Receiver<DcCmd>) = unbounded();
+            dc_tx.push(tx);
+            let mut node = DatacenterNode::new(instance, j, &self.settings, active_mu, active_nu);
+            let out = reply_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        DcCmd::Process(col) => {
+                            let step = node.process(&col);
+                            out.send(Reply::DcStep(j, step.a_tilde, step.residuals))
+                                .expect("coordinator gone");
+                        }
+                        DcCmd::Finish => {
+                            out.send(Reply::DcFinal(j, node.mu())).expect("coordinator gone");
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+        drop(reply_tx);
+
+        let tolerances = self.settings.scaled_tolerances(instance);
+        let mut stats = MessageStats::default();
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for _ in 0..self.settings.max_iterations {
+            iterations += 1;
+            for tx in &fe_tx {
+                tx.send(FeCmd::Predict).expect("front-end thread gone");
+            }
+            let mut rows = vec![Vec::new(); m];
+            for _ in 0..m {
+                match reply_rx.recv().expect("front-end reply lost") {
+                    Reply::Lambda(i, row) => {
+                        for (j, &value) in row.iter().enumerate() {
+                            stats.record(&Message::LambdaTilde {
+                                frontend: i,
+                                datacenter: j,
+                                value,
+                            });
+                        }
+                        rows[i] = row;
+                    }
+                    _ => unreachable!("protocol violation: expected Lambda"),
+                }
+            }
+            for (j, tx) in dc_tx.iter().enumerate() {
+                let col: Vec<f64> = (0..m).map(|i| rows[i][j]).collect();
+                tx.send(DcCmd::Process(col)).expect("datacenter thread gone");
+            }
+            let mut a_cols = vec![Vec::new(); n];
+            let mut dc_residuals = vec![NodeResiduals::default(); n];
+            for _ in 0..n {
+                match reply_rx.recv().expect("datacenter reply lost") {
+                    Reply::DcStep(j, a_tilde, res) => {
+                        for (i, &value) in a_tilde.iter().enumerate() {
+                            stats.record(&Message::ATilde {
+                                frontend: i,
+                                datacenter: j,
+                                value,
+                            });
+                        }
+                        a_cols[j] = a_tilde;
+                        dc_residuals[j] = res;
+                    }
+                    _ => unreachable!("protocol violation: expected DcStep"),
+                }
+            }
+            for (i, tx) in fe_tx.iter().enumerate() {
+                let a_row: Vec<f64> = (0..n).map(|j| a_cols[j][i]).collect();
+                tx.send(FeCmd::Correct(a_row)).expect("front-end thread gone");
+            }
+            let mut fe_residuals = vec![NodeResiduals::default(); m];
+            for _ in 0..m {
+                match reply_rx.recv().expect("front-end reply lost") {
+                    Reply::FeResidual(i, res) => fe_residuals[i] = res,
+                    _ => unreachable!("protocol violation: expected FeResidual"),
+                }
+            }
+            let stop = reduce_and_broadcast(
+                &self.settings,
+                tolerances,
+                &fe_residuals,
+                &dc_residuals,
+                &mut stats,
+                m + n,
+            );
+            if stop {
+                converged = true;
+                break;
+            }
+        }
+
+        for tx in &fe_tx {
+            tx.send(FeCmd::Finish).expect("front-end thread gone");
+        }
+        for tx in &dc_tx {
+            tx.send(DcCmd::Finish).expect("datacenter thread gone");
+        }
+        let mut lambda = vec![Vec::new(); m];
+        let mut mu = vec![0.0; n];
+        for _ in 0..m + n {
+            match reply_rx.recv().expect("final reply lost") {
+                Reply::FeFinal(i, row) => lambda[i] = row,
+                Reply::DcFinal(j, v) => mu[j] = v,
+                _ => unreachable!("protocol violation: expected finals"),
+            }
+        }
+        for h in handles {
+            h.join().expect("node thread panicked");
+        }
+
+        let (point, breakdown) = finish(instance, lambda, mu, !active_nu)?;
+        Ok(DistRunReport {
+            point,
+            breakdown,
+            iterations,
+            converged,
+            stats,
+            estimated_wan_seconds: estimated_wan_seconds(iterations, &instance.latency_s),
+            retransmissions: 0,
+        })
+    }
+}
+
+/// Max-reduces the per-node residuals, accounts the report/control traffic,
+/// and returns the stop decision.
+fn reduce_and_broadcast(
+    settings: &AdmgSettings,
+    tolerances: (f64, f64, f64),
+    fe: &[NodeResiduals],
+    dc: &[NodeResiduals],
+    stats: &mut MessageStats,
+    node_count: usize,
+) -> bool {
+    let mut link = 0.0f64;
+    let mut balance = 0.0f64;
+    let mut movement = 0.0f64;
+    for (node, r) in fe.iter().chain(dc).enumerate() {
+        stats.record(&Message::ResidualReport {
+            node,
+            link: r.link,
+            balance: r.balance,
+            movement: r.movement,
+        });
+        link = link.max(r.link);
+        balance = balance.max(r.balance);
+        movement = movement.max(r.movement);
+    }
+    let (link_tol, balance_tol, dual_tol) = tolerances;
+    let stop =
+        link <= link_tol && balance <= balance_tol && settings.rho * movement <= dual_tol;
+    for _ in 0..node_count {
+        stats.record(&Message::Control { stop });
+    }
+    stop
+}
+
+/// Polishes the gathered iterate into a feasible point and evaluates it
+/// (same repair as the in-memory solver).
+fn finish(
+    instance: &UfcInstance,
+    lambda_rows: Vec<Vec<f64>>,
+    mu: Vec<f64>,
+    fuel_cell_only: bool,
+) -> Result<(OperatingPoint, UfcBreakdown), CoreError> {
+    let mut state = AdmgState::zeros(instance);
+    for (i, row) in lambda_rows.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            let k = state.idx(i, j);
+            state.lambda[k] = v;
+        }
+    }
+    state.mu = mu;
+    let point = assemble_point(instance, &state, fuel_cell_only)?;
+    let breakdown = evaluate(instance, &point)?;
+    Ok((point, breakdown))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufc_model::EmissionCostFn;
+
+    fn tiny() -> UfcInstance {
+        UfcInstance::new(
+            vec![1.0, 2.0],
+            vec![2.0, 2.0],
+            vec![0.24, 0.24],
+            vec![0.12, 0.12],
+            vec![0.48, 0.48],
+            vec![30.0, 70.0],
+            80.0,
+            vec![0.5, 0.3],
+            vec![vec![0.01, 0.02], vec![0.02, 0.01]],
+            10.0,
+            vec![
+                EmissionCostFn::linear(25.0).unwrap(),
+                EmissionCostFn::linear(25.0).unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lockstep_converges_and_counts_messages() {
+        let inst = tiny();
+        let report = DistributedAdmg::new(AdmgSettings::default())
+            .run(&inst, Strategy::Hybrid, Runtime::Lockstep)
+            .unwrap();
+        assert!(report.converged);
+        // 2·M·N data messages per iteration.
+        assert_eq!(report.stats.data_messages, 2 * 2 * 2 * report.iterations);
+        // (M+N) reports + (M+N) controls per iteration.
+        assert_eq!(report.stats.control_messages, 2 * 4 * report.iterations);
+        assert!(report.estimated_wan_seconds > 0.0);
+        assert!(report.point.feasibility_residual(&inst) < 1e-8);
+    }
+
+    #[test]
+    fn threaded_matches_lockstep() {
+        let inst = tiny();
+        let runner = DistributedAdmg::new(AdmgSettings::default());
+        let lockstep = runner.run(&inst, Strategy::Hybrid, Runtime::Lockstep).unwrap();
+        let threaded = runner.run(&inst, Strategy::Hybrid, Runtime::Threaded).unwrap();
+        assert_eq!(lockstep.iterations, threaded.iterations);
+        assert!(
+            (lockstep.breakdown.ufc() - threaded.breakdown.ufc()).abs() < 1e-9,
+            "lockstep {} vs threaded {}",
+            lockstep.breakdown.ufc(),
+            threaded.breakdown.ufc()
+        );
+        assert_eq!(lockstep.stats, threaded.stats);
+    }
+
+    #[test]
+    fn strategies_run_distributed() {
+        let inst = tiny();
+        let runner = DistributedAdmg::new(AdmgSettings::default());
+        let grid = runner.run(&inst, Strategy::GridOnly, Runtime::Lockstep).unwrap();
+        assert!(grid.point.mu.iter().all(|&v| v == 0.0));
+        let fc = runner.run(&inst, Strategy::FuelCellOnly, Runtime::Lockstep).unwrap();
+        assert!(fc.point.nu.iter().all(|&v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn fuel_cell_only_validation() {
+        let mut inst = tiny();
+        inst.mu_max = vec![0.0, 0.0];
+        let err = DistributedAdmg::new(AdmgSettings::default())
+            .run(&inst, Strategy::FuelCellOnly, Runtime::Lockstep)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Unsupported { .. }));
+    }
+}

@@ -1,0 +1,65 @@
+//! Fault injection: the protocol's results are loss-invariant; only its
+//! cost grows with the channel loss rate.
+
+use ufc_core::{AdmgSettings, Strategy};
+use ufc_distsim::loss::LossConfig;
+use ufc_distsim::{DistributedAdmg, Runtime};
+use ufc_model::scenario::ScenarioBuilder;
+
+#[test]
+fn lossy_run_is_result_identical_to_lossless() {
+    let scenario = ScenarioBuilder::paper_default().seed(3).hours(1).build().unwrap();
+    let inst = &scenario.instances[0];
+    let runner = DistributedAdmg::new(AdmgSettings::default());
+
+    let clean = runner.run(inst, Strategy::Hybrid, Runtime::Lockstep).unwrap();
+    let lossy = runner
+        .run_lossy(inst, Strategy::Hybrid, LossConfig::new(0.2, 99))
+        .unwrap();
+
+    assert_eq!(clean.iterations, lossy.iterations);
+    assert!((clean.breakdown.ufc() - lossy.breakdown.ufc()).abs() < 1e-12);
+    assert_eq!(clean.stats.data_messages, lossy.stats.data_messages);
+    // ...but the lossy run paid for it.
+    assert!(lossy.retransmissions > 0, "20% loss must cause retransmissions");
+    assert!(lossy.stats.total_bytes > clean.stats.total_bytes);
+    assert!(lossy.estimated_wan_seconds > clean.estimated_wan_seconds);
+}
+
+#[test]
+fn cost_grows_with_loss_rate() {
+    let scenario = ScenarioBuilder::paper_default().seed(3).hours(1).build().unwrap();
+    let inst = &scenario.instances[0];
+    let runner = DistributedAdmg::new(AdmgSettings::default());
+
+    let mild = runner
+        .run_lossy(inst, Strategy::Hybrid, LossConfig::new(0.05, 7))
+        .unwrap();
+    let harsh = runner
+        .run_lossy(inst, Strategy::Hybrid, LossConfig::new(0.4, 7))
+        .unwrap();
+    assert!(harsh.retransmissions > mild.retransmissions);
+    assert!(harsh.estimated_wan_seconds > mild.estimated_wan_seconds);
+    // Sanity: expected retransmissions ≈ messages × p/(1−p).
+    let msgs = mild.stats.data_messages as f64;
+    let expected = msgs * 0.05 / 0.95;
+    let got = mild.retransmissions as f64;
+    assert!(
+        (got - expected).abs() < 0.5 * expected + 20.0,
+        "retransmissions {got} far from expectation {expected}"
+    );
+}
+
+#[test]
+fn zero_loss_is_free() {
+    let scenario = ScenarioBuilder::paper_default().seed(3).hours(1).build().unwrap();
+    let inst = &scenario.instances[0];
+    let runner = DistributedAdmg::new(AdmgSettings::default());
+    let clean = runner.run(inst, Strategy::Hybrid, Runtime::Lockstep).unwrap();
+    let lossy0 = runner
+        .run_lossy(inst, Strategy::Hybrid, LossConfig::new(0.0, 1))
+        .unwrap();
+    assert_eq!(lossy0.retransmissions, 0);
+    assert_eq!(lossy0.stats.total_bytes, clean.stats.total_bytes);
+    assert!((lossy0.estimated_wan_seconds - clean.estimated_wan_seconds).abs() < 1e-12);
+}

@@ -1,0 +1,481 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro <command> [--hours N] [--seed N] [--csv DIR]
+//!
+//! commands:
+//!   table1   Table I  — weekly energy costs at Dallas / San Jose
+//!   fig3     Fig. 3   — input traces (workload, prices, carbon rates)
+//!   fig4     Fig. 4   — hourly UFC improvements
+//!   fig5     Fig. 5   — hourly average propagation latency
+//!   fig6     Fig. 6   — hourly energy cost
+//!   fig7     Fig. 7   — hourly carbon cost
+//!   fig8     Fig. 8   — hourly fuel-cell utilization
+//!   fig9     Fig. 9   — fuel-cell price sweep
+//!   fig10    Fig. 10  — carbon-tax sweep
+//!   fig11    Fig. 11  — CDF of ADM-G iterations
+//!   rightsize  extension: server right-sizing (the paper's §II-C Remark)
+//!   baseline   extension: ADM-G vs dual-subgradient iteration counts
+//!   forecast   extension: UFC regret when acting on forecasted arrivals
+//!   wsweep     extension: latency-weight (w) Pareto sweep
+//!   verify     self-test: centralized / in-memory / distributed agreement
+//!   all      everything above (except extensions)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ufc_core::AdmgSettings;
+use ufc_experiments::report::{fmt, pct, text_table, write_csv};
+use ufc_experiments::{convergence, fig3, sweep, table1, weekly, DEFAULT_SEED};
+
+struct Options {
+    command: String,
+    hours: usize,
+    seed: u64,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or("missing command (try `repro all`)")?;
+    let mut opts = Options {
+        command,
+        hours: 168,
+        seed: DEFAULT_SEED,
+        csv_dir: None,
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--hours" => {
+                let v = args.next().ok_or("--hours needs a value")?;
+                opts.hours = v.parse().map_err(|_| format!("bad --hours value {v:?}"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad --seed value {v:?}"))?;
+            }
+            "--csv" => {
+                let v = args.next().ok_or("--csv needs a directory")?;
+                opts.csv_dir = Some(PathBuf::from(v));
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let settings = AdmgSettings::default();
+    let all = opts.command == "all";
+    let mut matched = all;
+
+    if all || opts.command == "table1" {
+        matched = true;
+        run_table1(opts)?;
+    }
+    if all || opts.command == "fig3" {
+        matched = true;
+        run_fig3(opts)?;
+    }
+    let weekly_needed = all
+        || matches!(
+            opts.command.as_str(),
+            "fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "fig11"
+        );
+    if weekly_needed {
+        matched = true;
+        run_weekly(opts, settings, all)?;
+    }
+    if all || opts.command == "fig9" {
+        matched = true;
+        run_fig9(opts, settings)?;
+    }
+    if all || opts.command == "fig10" {
+        matched = true;
+        run_fig10(opts, settings)?;
+    }
+    if opts.command == "rightsize" {
+        matched = true;
+        run_rightsize(opts, settings)?;
+    }
+    if opts.command == "baseline" {
+        matched = true;
+        run_baseline(opts, settings)?;
+    }
+    if opts.command == "forecast" {
+        matched = true;
+        run_forecast(opts, settings)?;
+    }
+    if opts.command == "wsweep" {
+        matched = true;
+        run_wsweep(opts, settings)?;
+    }
+    if opts.command == "verify" {
+        matched = true;
+        run_verify(opts, settings)?;
+    }
+    if !matched {
+        return Err(format!("unknown command {:?} (try `repro all`)", opts.command).into());
+    }
+    Ok(())
+}
+
+fn run_table1(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let t = table1::run(opts.seed);
+    println!("== Table I: one-week energy costs ($), p0 = {} $/MWh ==", t.fuel_cell_price);
+    let rows: Vec<Vec<String>> = t
+        .sites
+        .iter()
+        .map(|s| {
+            vec![
+                s.site.clone(),
+                fmt(s.grid, 0),
+                fmt(s.fuel_cell, 0),
+                fmt(s.hybrid, 0),
+            ]
+        })
+        .collect();
+    println!("{}", text_table(&["Strategy", "Grid", "Fuel Cell", "Hybrid"], &rows));
+    if let Some(dir) = &opts.csv_dir {
+        write_csv(dir, "table1_costs", &t.costs_csv())?;
+        write_csv(dir, "fig1_series", &t.series_csv())?;
+        println!("(csv written to {})", dir.display());
+    }
+    Ok(())
+}
+
+fn run_fig3(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let f = fig3::run(opts.seed, opts.hours)?;
+    println!("== Fig. 3: input traces ({} hours) ==", f.scenario.hours());
+    let p = f.mean_prices();
+    let c = f.mean_carbon();
+    let rows: Vec<Vec<String>> = f
+        .scenario
+        .dc_names
+        .iter()
+        .enumerate()
+        .map(|(j, n)| vec![n.clone(), fmt(p[j], 1), fmt(c[j], 0)])
+        .collect();
+    println!(
+        "{}",
+        text_table(&["Datacenter", "mean price $/MWh", "mean carbon g/kWh"], &rows)
+    );
+    if let Some(dir) = &opts.csv_dir {
+        write_csv(dir, "fig3_traces", &f.csv())?;
+        println!("(csv written to {})", dir.display());
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_weekly(
+    opts: &Options,
+    settings: AdmgSettings,
+    all: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let results = weekly::run(opts.seed, opts.hours, settings)?;
+    let which = |name: &str| all || opts.command == name;
+
+    if which("fig4") {
+        println!("== Fig. 4: UFC improvements (week averages) ==");
+        let rows = vec![
+            vec!["I_hg (Hybrid vs Grid)".to_owned(), pct(results.mean_of(|h| h.i_hg))],
+            vec!["I_hf (Hybrid vs Fuel cell)".to_owned(), pct(results.mean_of(|h| h.i_hf))],
+            vec!["I_fg (Fuel cell vs Grid)".to_owned(), pct(results.mean_of(|h| h.i_fg))],
+            vec![
+                "max I_hg".to_owned(),
+                pct(results.hours.iter().map(|h| h.i_hg).fold(f64::MIN, f64::max)),
+            ],
+            vec![
+                "min I_fg".to_owned(),
+                pct(results.hours.iter().map(|h| h.i_fg).fold(f64::MAX, f64::min)),
+            ],
+        ];
+        println!("{}", text_table(&["metric", "value"], &rows));
+    }
+    if which("fig5") {
+        println!("== Fig. 5: average propagation latency (ms) ==");
+        let rows = vec![
+            vec!["Hybrid".to_owned(), fmt(1e3 * results.mean_of(|h| h.latency_s[0]), 2)],
+            vec!["Grid".to_owned(), fmt(1e3 * results.mean_of(|h| h.latency_s[1]), 2)],
+            vec!["Fuel cell".to_owned(), fmt(1e3 * results.mean_of(|h| h.latency_s[2]), 2)],
+        ];
+        println!("{}", text_table(&["strategy", "mean latency"], &rows));
+    }
+    if which("fig6") {
+        println!("== Fig. 6: energy cost ($, weekly totals) ==");
+        let n = results.hours.len() as f64;
+        let rows = vec![
+            vec!["Hybrid".to_owned(), fmt(n * results.mean_of(|h| h.energy_cost[0]), 0)],
+            vec!["Grid".to_owned(), fmt(n * results.mean_of(|h| h.energy_cost[1]), 0)],
+            vec!["Fuel cell".to_owned(), fmt(n * results.mean_of(|h| h.energy_cost[2]), 0)],
+        ];
+        println!("{}", text_table(&["strategy", "total energy cost"], &rows));
+    }
+    if which("fig7") {
+        println!("== Fig. 7: carbon cost ($, weekly totals) ==");
+        let n = results.hours.len() as f64;
+        let rows = vec![
+            vec!["Hybrid".to_owned(), fmt(n * results.mean_of(|h| h.carbon_cost[0]), 0)],
+            vec!["Grid".to_owned(), fmt(n * results.mean_of(|h| h.carbon_cost[1]), 0)],
+            vec!["Fuel cell".to_owned(), fmt(n * results.mean_of(|h| h.carbon_cost[2]), 0)],
+        ];
+        println!("{}", text_table(&["strategy", "total carbon cost"], &rows));
+    }
+    if which("fig8") {
+        println!("== Fig. 8: hybrid fuel-cell utilization ==");
+        let avg = results.mean_of(|h| h.utilization);
+        let max = results.hours.iter().map(|h| h.utilization).fold(f64::MIN, f64::max);
+        let rows = vec![
+            vec!["average".to_owned(), pct(avg)],
+            vec!["maximum".to_owned(), pct(max)],
+        ];
+        println!("{}", text_table(&["metric", "value"], &rows));
+    }
+    if which("fig11") {
+        let cdf = convergence::from_counts(results.iteration_counts());
+        println!("== Fig. 11: ADM-G iterations to convergence ==");
+        let rows = vec![
+            vec!["min".to_owned(), cdf.min().to_string()],
+            vec!["max".to_owned(), cdf.max().to_string()],
+            vec!["within 100 iterations".to_owned(), pct(cdf.fraction_within(100))],
+        ];
+        println!("{}", text_table(&["metric", "value"], &rows));
+        if let Some(dir) = &opts.csv_dir {
+            write_csv(dir, "fig11_cdf", &cdf.csv())?;
+        }
+    }
+    if let Some(dir) = &opts.csv_dir {
+        write_csv(dir, "fig4_improvements", &results.improvements_csv())?;
+        write_csv(dir, "fig5_latency", &results.latency_csv())?;
+        write_csv(dir, "fig6_energy", &results.energy_csv())?;
+        write_csv(dir, "fig7_carbon", &results.carbon_csv())?;
+        write_csv(dir, "fig8_utilization", &results.utilization_csv())?;
+        println!("(csv written to {})", dir.display());
+    }
+    Ok(())
+}
+
+fn run_fig9(opts: &Options, settings: AdmgSettings) -> Result<(), Box<dyn std::error::Error>> {
+    let s = sweep::sweep_fuel_cell_price(opts.seed, opts.hours, settings, &sweep::fig9_prices())?;
+    println!("== Fig. 9: fuel-cell price sweep ==");
+    print_sweep(&s, "p0 $/MWh");
+    if let Some(x) = s.crossover(0.99, false) {
+        println!("utilization reaches ~100% at p0 ≈ {x} $/MWh (paper: 27)\n");
+    }
+    if let Some(dir) = &opts.csv_dir {
+        write_csv(dir, "fig9_p0_sweep", &s.csv())?;
+    }
+    Ok(())
+}
+
+fn run_fig10(opts: &Options, settings: AdmgSettings) -> Result<(), Box<dyn std::error::Error>> {
+    let s = sweep::sweep_carbon_tax(opts.seed, opts.hours, settings, &sweep::fig10_taxes())?;
+    println!("== Fig. 10: carbon-tax sweep ==");
+    print_sweep(&s, "tax $/ton");
+    if let Some(x) = s.crossover(0.99, true) {
+        println!("utilization reaches ~100% at tax ≈ {x} $/ton (paper: 140)\n");
+    }
+    if let Some(dir) = &opts.csv_dir {
+        write_csv(dir, "fig10_tax_sweep", &s.csv())?;
+    }
+    Ok(())
+}
+
+fn run_rightsize(
+    opts: &Options,
+    settings: AdmgSettings,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use ufc_core::right_sizing::{solve_with_right_sizing, RightSizingOptions};
+    use ufc_core::Strategy;
+    use ufc_model::scenario::ScenarioBuilder;
+
+    let hours = opts.hours.min(24);
+    let scenario = ScenarioBuilder::paper_default().seed(opts.seed).hours(hours).build()?;
+    println!("== Extension: server right-sizing (paper §II-C Remark), {hours} hours ==");
+    let mut rows = Vec::new();
+    let mut total_gain = 0.0;
+    for (t, inst) in scenario.instances.iter().enumerate() {
+        let out = solve_with_right_sizing(
+            inst,
+            Strategy::Hybrid,
+            settings,
+            RightSizingOptions::default(),
+        )?;
+        total_gain += out.ufc_gain();
+        if t % 6 == 0 {
+            let active: f64 = out.active_servers_k.iter().sum();
+            rows.push(vec![
+                t.to_string(),
+                fmt(active, 1),
+                fmt(inst.total_capacity(), 1),
+                fmt(out.ufc_gain(), 2),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        text_table(
+            &["hour", "active kservers", "fleet kservers", "UFC gain $"],
+            &rows
+        )
+    );
+    println!("total UFC gain over {hours} hours: {total_gain:.2} $\n");
+    Ok(())
+}
+
+fn run_baseline(
+    opts: &Options,
+    settings: AdmgSettings,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let hours = opts.hours.min(24);
+    let cmp = ufc_experiments::baseline::run(opts.seed, hours, settings)?;
+    println!("== Extension: ADM-G vs dual-subgradient baseline ({hours} hours) ==");
+    let (admg, sub) = cmp.mean_iterations();
+    let rows = vec![
+        vec!["mean ADM-G iterations".to_owned(), fmt(admg, 0)],
+        vec!["mean subgradient iterations".to_owned(), fmt(sub, 0)],
+        vec!["speedup".to_owned(), format!("{:.1}x", sub / admg)],
+        vec!["mean UFC gap of baseline".to_owned(), pct(cmp.mean_ufc_gap())],
+    ];
+    println!("{}", text_table(&["metric", "value"], &rows));
+    if let Some(dir) = &opts.csv_dir {
+        write_csv(dir, "baseline_comparison", &cmp.csv())?;
+    }
+    Ok(())
+}
+
+fn run_forecast(
+    opts: &Options,
+    settings: AdmgSettings,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use ufc_experiments::robustness;
+    let hours = opts.hours.max(robustness::WARMUP_HOURS + 12);
+    let study = robustness::run(opts.seed, hours, settings)?;
+    println!(
+        "== Extension: forecast robustness ({} evaluated hours after {}-hour warm-up) ==",
+        study.hours.len(),
+        robustness::WARMUP_HOURS
+    );
+    let rows = vec![
+        vec!["mean arrival MAPE".to_owned(), pct(study.mean_mape())],
+        vec!["mean UFC regret".to_owned(), pct(study.mean_regret())],
+        vec!["max UFC regret".to_owned(), pct(study.max_regret())],
+    ];
+    println!("{}", text_table(&["metric", "value"], &rows));
+    if let Some(dir) = &opts.csv_dir {
+        write_csv(dir, "forecast_robustness", &study.csv())?;
+    }
+    Ok(())
+}
+
+fn run_wsweep(
+    opts: &Options,
+    settings: AdmgSettings,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let hours = opts.hours.min(48);
+    let weights = [0.5, 2.0, 5.0, 10.0, 25.0, 60.0, 150.0];
+    let pts = sweep::sweep_latency_weight(opts.seed, hours, settings, &weights)?;
+    println!("== Extension: latency-weight sweep ({hours} hours, Hybrid) ==");
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                fmt(p.weight, 1),
+                fmt(1e3 * p.avg_latency_s, 2),
+                fmt(p.avg_cost, 0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(&["w $/s²", "mean latency ms", "mean hourly cost $"], &rows)
+    );
+    println!("(the paper fixes w = 10; the sweep shows the Pareto front that choice sits on)\n");
+    Ok(())
+}
+
+fn run_verify(
+    opts: &Options,
+    settings: AdmgSettings,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use ufc_core::{centralized, AdmgSolver, Strategy};
+    use ufc_distsim::{DistributedAdmg, Runtime};
+    use ufc_model::scenario::ScenarioBuilder;
+
+    let hours = opts.hours.min(3);
+    let scenario = ScenarioBuilder::paper_default().seed(opts.seed).hours(hours).build()?;
+    println!("== Self-test: three solution paths on {hours} hourly instances ==");
+    let solver = AdmgSolver::new(settings);
+    let dist = DistributedAdmg::new(settings);
+    let mut rows = Vec::new();
+    let mut ok = true;
+    for (t, inst) in scenario.instances.iter().enumerate() {
+        let mem = solver.solve(inst, Strategy::Hybrid)?;
+        let net = dist.run(inst, Strategy::Hybrid, Runtime::Threaded)?;
+        let cen = centralized::solve(inst, Strategy::Hybrid, centralized::Backend::Admm)?;
+        let scale = cen.breakdown.ufc().abs().max(1.0);
+        let gap_mc = (mem.breakdown.ufc() - cen.breakdown.ufc()).abs() / scale;
+        let gap_md = (mem.breakdown.ufc() - net.breakdown.ufc()).abs() / scale;
+        let pass = mem.converged && gap_mc < 5e-3 && gap_md < 1e-9
+            && mem.iterations == net.iterations;
+        ok &= pass;
+        rows.push(vec![
+            t.to_string(),
+            fmt(cen.breakdown.ufc(), 2),
+            fmt(mem.breakdown.ufc(), 2),
+            mem.iterations.to_string(),
+            format!("{:.2e}", gap_mc),
+            format!("{:.1e}", gap_md),
+            if pass { "PASS".to_owned() } else { "FAIL".to_owned() },
+        ]);
+    }
+    println!(
+        "{}",
+        text_table(
+            &["hour", "centralized UFC", "ADM-G UFC", "iters", "gap(central)", "gap(distributed)", "status"],
+            &rows
+        )
+    );
+    if !ok {
+        return Err("self-test failed".into());
+    }
+    println!("all paths agree.\n");
+    Ok(())
+}
+
+fn print_sweep(s: &sweep::Sweep, label: &str) {
+    let rows: Vec<Vec<String>> = s
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                fmt(p.value, 0),
+                pct(p.avg_improvement),
+                pct(p.avg_utilization),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(&[label, "avg UFC improvement", "avg utilization"], &rows)
+    );
+}

@@ -1,0 +1,93 @@
+//! Fig. 11 — CDF of ADM-G iterations-to-convergence over the hourly runs.
+
+use ufc_traces::csv::Csv;
+use ufc_traces::series::empirical_cdf;
+
+/// The Fig. 11 result: iteration counts and their empirical CDF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceCdf {
+    /// Raw iteration counts, one per hourly run.
+    pub iterations: Vec<usize>,
+    /// Sorted iteration values of the CDF.
+    pub cdf_x: Vec<f64>,
+    /// Cumulative fractions of the CDF.
+    pub cdf_y: Vec<f64>,
+}
+
+/// Builds the CDF from per-hour iteration counts (as produced by
+/// [`crate::weekly::WeeklyResults::iteration_counts`]).
+///
+/// # Panics
+///
+/// Panics if `iterations` is empty.
+#[must_use]
+pub fn from_counts(iterations: Vec<usize>) -> ConvergenceCdf {
+    assert!(!iterations.is_empty(), "no runs to build a CDF from");
+    let data: Vec<f64> = iterations.iter().map(|&i| i as f64).collect();
+    let (cdf_x, cdf_y) = empirical_cdf(&data);
+    ConvergenceCdf {
+        iterations,
+        cdf_x,
+        cdf_y,
+    }
+}
+
+impl ConvergenceCdf {
+    /// Minimum iterations over all runs.
+    #[must_use]
+    pub fn min(&self) -> usize {
+        *self.iterations.iter().min().expect("nonempty by construction")
+    }
+
+    /// Maximum iterations over all runs.
+    #[must_use]
+    pub fn max(&self) -> usize {
+        *self.iterations.iter().max().expect("nonempty by construction")
+    }
+
+    /// Fraction of runs converging within `limit` iterations.
+    #[must_use]
+    pub fn fraction_within(&self, limit: usize) -> f64 {
+        self.iterations.iter().filter(|&&i| i <= limit).count() as f64
+            / self.iterations.len() as f64
+    }
+
+    /// CSV of the CDF points.
+    #[must_use]
+    pub fn csv(&self) -> Csv {
+        let mut csv = Csv::new(&["iterations", "cdf"]);
+        for (x, y) in self.cdf_x.iter().zip(&self.cdf_y) {
+            csv.push_row(&[*x, *y]);
+        }
+        csv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_statistics() {
+        let c = from_counts(vec![40, 80, 120, 60, 100]);
+        assert_eq!(c.min(), 40);
+        assert_eq!(c.max(), 120);
+        assert!((c.fraction_within(100) - 0.8).abs() < 1e-12);
+        assert_eq!(c.fraction_within(10), 0.0);
+        assert_eq!(c.fraction_within(200), 1.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let c = from_counts(vec![5, 3, 9, 3]);
+        assert!(c.cdf_y.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(c.cdf_y.last().copied(), Some(1.0));
+        assert_eq!(c.csv().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no runs")]
+    fn rejects_empty() {
+        let _ = from_counts(vec![]);
+    }
+}

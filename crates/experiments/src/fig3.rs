@@ -1,0 +1,100 @@
+//! Fig. 3 — the simulation inputs: scaled workload trace, per-site hourly
+//! electricity prices, and per-site hourly carbon emission rates.
+
+use ufc_model::scenario::{ScenarioBuilder, WeeklyScenario};
+use ufc_model::Result;
+use ufc_traces::csv::Csv;
+use ufc_traces::series;
+
+/// Summary statistics of the Fig. 3 traces.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// The underlying scenario (kept for the CSV dump).
+    pub scenario: WeeklyScenario,
+}
+
+/// Builds the default scenario and wraps its traces.
+///
+/// # Errors
+///
+/// Propagates scenario-construction failures.
+pub fn run(seed: u64, hours: usize) -> Result<Fig3> {
+    Ok(Fig3 {
+        scenario: ScenarioBuilder::paper_default().seed(seed).hours(hours).build()?,
+    })
+}
+
+impl Fig3 {
+    /// CSV with one row per hour: total workload, then price and carbon
+    /// rate per datacenter.
+    #[must_use]
+    pub fn csv(&self) -> Csv {
+        let names = &self.scenario.dc_names;
+        let mut headers: Vec<String> = vec!["hour".into(), "workload_kservers".into()];
+        for n in names {
+            headers.push(format!("price_{}", n.to_lowercase().replace(' ', "_")));
+        }
+        for n in names {
+            headers.push(format!("carbon_{}", n.to_lowercase().replace(' ', "_")));
+        }
+        let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut csv = Csv::new(&hdr_refs);
+        for t in 0..self.scenario.hours() {
+            let mut row = vec![t as f64, self.scenario.workload_total[t]];
+            for j in 0..names.len() {
+                row.push(self.scenario.prices[j][t]);
+            }
+            for j in 0..names.len() {
+                row.push(self.scenario.carbon_g_per_kwh[j][t]);
+            }
+            csv.push_row(&row);
+        }
+        csv
+    }
+
+    /// Per-site mean price ($/MWh), in datacenter order.
+    #[must_use]
+    pub fn mean_prices(&self) -> Vec<f64> {
+        self.scenario.prices.iter().map(|p| series::mean(p)).collect()
+    }
+
+    /// Per-site mean carbon rate (g/kWh), in datacenter order.
+    #[must_use]
+    pub fn mean_carbon(&self) -> Vec<f64> {
+        self.scenario
+            .carbon_g_per_kwh
+            .iter()
+            .map(|c| series::mean(c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_have_documented_signatures() {
+        let f = run(crate::DEFAULT_SEED, 168).unwrap();
+        // Workload is diurnal: peak/trough ratio well above 1.
+        let ratio = series::peak_to_trough(&f.scenario.workload_total);
+        assert!(ratio > 1.8, "workload too flat: {ratio}");
+        // Price ordering: San Jose (idx 1) most expensive, Dallas (2) cheapest.
+        let p = f.mean_prices();
+        assert!(p[1] > p[0] && p[1] > p[3], "prices {p:?}");
+        assert!(p[2] < p[0] && p[2] < p[3], "prices {p:?}");
+        // Carbon ordering: Calgary (0) dirtiest, San Jose (1) cleanest.
+        let c = f.mean_carbon();
+        assert!(c[0] > c[2] && c[0] > c[3], "carbon {c:?}");
+        assert!(c[1] < c[2] && c[1] < c[3], "carbon {c:?}");
+    }
+
+    #[test]
+    fn csv_shape() {
+        let f = run(1, 24).unwrap();
+        let csv = f.csv();
+        assert_eq!(csv.len(), 24);
+        let text = csv.to_string();
+        assert!(text.starts_with("hour,workload_kservers,price_calgary"));
+    }
+}

@@ -1,0 +1,38 @@
+//! Experiment harness: one module per table/figure of the paper's
+//! evaluation (§IV), plus shared reporting utilities.
+//!
+//! | paper artifact | module | `repro` subcommand |
+//! |----------------|--------|--------------------|
+//! | Table I / Fig. 1 | [`table1`] | `table1` |
+//! | Fig. 3 (input traces) | [`fig3`] | `fig3` |
+//! | Fig. 4 (UFC improvements) | [`weekly`] | `fig4` |
+//! | Fig. 5 (propagation latency) | [`weekly`] | `fig5` |
+//! | Fig. 6 (energy cost) | [`weekly`] | `fig6` |
+//! | Fig. 7 (carbon cost) | [`weekly`] | `fig7` |
+//! | Fig. 8 (fuel-cell utilization) | [`weekly`] | `fig8` |
+//! | Fig. 9 (fuel-cell price sweep) | [`sweep`] | `fig9` |
+//! | Fig. 10 (carbon-tax sweep) | [`sweep`] | `fig10` |
+//! | Fig. 11 (convergence CDF) | [`convergence`] | `fig11` |
+//! | Fig.-11 remark (gradient baselines) | [`baseline`] | `baseline` |
+//! | §II-A predictability assumption | [`robustness`] | `forecast` |
+//!
+//! Every experiment is a pure function returning a data struct; the `repro`
+//! binary renders those as aligned text and optional CSV. Benches re-run
+//! the same functions, so "the bench regenerates the figure" is literal.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod convergence;
+pub mod fig3;
+pub mod parallel;
+pub mod report;
+pub mod robustness;
+pub mod sweep;
+pub mod table1;
+pub mod weekly;
+
+/// Default RNG seed used by all experiments (fixed for reproducibility;
+/// EXPERIMENTS.md numbers use this seed).
+pub const DEFAULT_SEED: u64 = 2012;

@@ -1,0 +1,98 @@
+//! Tiny scoped-thread map used to spread independent per-hour solves across
+//! cores (the experiments are embarrassingly parallel over time slots).
+
+/// Applies `f` to every item, splitting the index space across up to
+/// `threads` scoped OS threads, and returns results in input order.
+///
+/// `f` must be `Sync` (it is called concurrently) and the item/result types
+/// `Send`. Order is preserved regardless of scheduling.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or a worker panics.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    let threads = threads.min(items.len()).max(1);
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        // Split the result buffer into disjoint chunks, one per worker.
+        let mut rest: &mut [Option<R>] = &mut results;
+        let mut start = 0;
+        let mut handles = Vec::new();
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let begin = start;
+            start += take;
+            let fref = &f;
+            handles.push(scope.spawn(move || {
+                for (off, slot) in head.iter_mut().enumerate() {
+                    let idx = begin + off;
+                    *slot = Some(fref(idx, &items[idx]));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker left a hole"))
+        .collect()
+}
+
+/// A sensible default worker count: the machine's parallelism, capped at 16.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(&items, 7, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_and_empty() {
+        let out = par_map(&[1, 2, 3], 1, |_, &x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+        let empty: Vec<i32> = vec![];
+        let out: Vec<i32> = par_map(&empty, 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = par_map(&[5], 16, |_, &x| x);
+        assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

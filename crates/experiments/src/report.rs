@@ -1,0 +1,113 @@
+//! Aligned-text tables and CSV file output for the experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use ufc_traces::csv::Csv;
+
+/// Renders a text table with right-aligned numeric columns.
+///
+/// # Panics
+///
+/// Panics if a row's width differs from the header's.
+#[must_use]
+pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String]| {
+        for (k, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if k > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{cell:>w$}", w = *w);
+        }
+        out.push('\n');
+    };
+    write_row(
+        &mut out,
+        &headers.iter().map(|h| (*h).to_owned()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        write_row(&mut out, row);
+    }
+    out
+}
+
+/// Formats a float with the given number of decimals.
+#[must_use]
+pub fn fmt(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+#[must_use]
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Writes a CSV document into `dir/name.csv`, creating `dir` if needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(dir: &Path, name: &str, csv: &Csv) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(format!("{name}.csv")), csv.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = text_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["long-name".into(), "22.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows have equal width.
+        assert!(lines[2].ends_with("1.0"));
+        assert!(lines[3].ends_with("22.5"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(pct(0.423), "42.3%");
+        assert_eq!(pct(-1.5), "-150.0%");
+    }
+
+    #[test]
+    fn csv_roundtrip_to_disk() {
+        let dir = std::env::temp_dir().join("ufc-report-test");
+        let mut csv = Csv::new(&["x"]);
+        csv.push_row(&[1.0]);
+        write_csv(&dir, "t", &csv).unwrap();
+        let s = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert_eq!(s, "x\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let _ = text_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,329 @@
+//! Figs. 9 and 10 — parameter sweeps over the fuel-cell price `p₀` and the
+//! carbon-tax rate `r`.
+//!
+//! For each parameter value the weekly scenario is re-built (traces are
+//! identical; only the swept parameter changes) and solved hourly under
+//! *Hybrid* and *Grid*; the figure reports the week-average UFC improvement
+//! `I_hg` and the week-average hybrid fuel-cell utilization.
+
+use ufc_core::{AdmgSettings, AdmgSolver, CoreError, Result, Strategy};
+use ufc_model::scenario::ScenarioBuilder;
+use ufc_model::{ufc_improvement, EmissionCostFn};
+use ufc_traces::csv::Csv;
+
+use crate::parallel::{default_threads, par_map};
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The swept parameter value (`p₀` in $/MWh or `r` in $/ton).
+    pub value: f64,
+    /// Week-average UFC improvement of Hybrid over Grid (fraction).
+    pub avg_improvement: f64,
+    /// Week-average hybrid fuel-cell utilization (fraction).
+    pub avg_utilization: f64,
+}
+
+/// A complete sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// Name of the swept parameter (for reports).
+    pub parameter: &'static str,
+    /// The sweep points, in ascending parameter order.
+    pub points: Vec<SweepPoint>,
+}
+
+/// The paper's Fig. 9 grid of fuel-cell prices ($/MWh).
+#[must_use]
+pub fn fig9_prices() -> Vec<f64> {
+    vec![20.0, 27.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0, 110.0, 120.0]
+}
+
+/// The paper's Fig. 10 grid of carbon-tax rates ($/ton).
+#[must_use]
+pub fn fig10_taxes() -> Vec<f64> {
+    vec![0.0, 10.0, 25.0, 40.0, 60.0, 80.0, 100.0, 120.0, 140.0, 170.0, 200.0]
+}
+
+/// Runs the Fig. 9 sweep (`p₀` varies, tax fixed at \$25/ton).
+///
+/// # Errors
+///
+/// Propagates scenario or solver failures.
+pub fn sweep_fuel_cell_price(
+    seed: u64,
+    hours: usize,
+    settings: AdmgSettings,
+    prices: &[f64],
+) -> Result<Sweep> {
+    let points = prices
+        .iter()
+        .map(|&p0| {
+            let scenario = ScenarioBuilder::paper_default()
+                .seed(seed)
+                .hours(hours)
+                .fuel_cell_price(p0)
+                .build()
+                .map_err(CoreError::Model)?;
+            average_over_week(&scenario.instances, settings, p0)
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(Sweep {
+        parameter: "fuel_cell_price",
+        points,
+    })
+}
+
+/// Runs the Fig. 10 sweep (tax varies, `p₀` fixed at 80 $/MWh).
+///
+/// # Errors
+///
+/// Propagates scenario or solver failures.
+pub fn sweep_carbon_tax(
+    seed: u64,
+    hours: usize,
+    settings: AdmgSettings,
+    taxes: &[f64],
+) -> Result<Sweep> {
+    let points = taxes
+        .iter()
+        .map(|&r| {
+            let scenario = ScenarioBuilder::paper_default()
+                .seed(seed)
+                .hours(hours)
+                .emission_cost(EmissionCostFn::Linear { rate: r })
+                .build()
+                .map_err(CoreError::Model)?;
+            average_over_week(&scenario.instances, settings, r)
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(Sweep {
+        parameter: "carbon_tax",
+        points,
+    })
+}
+
+fn average_over_week(
+    instances: &[ufc_model::UfcInstance],
+    settings: AdmgSettings,
+    value: f64,
+) -> Result<SweepPoint> {
+    let solver = AdmgSolver::new(settings);
+    let per_hour = par_map(instances, default_threads(), |_, inst| {
+        let hybrid = solver.solve(inst, Strategy::Hybrid)?;
+        let grid = solver.solve(inst, Strategy::GridOnly)?;
+        Ok::<(f64, f64), CoreError>((
+            ufc_improvement(hybrid.breakdown.ufc(), grid.breakdown.ufc()),
+            hybrid.breakdown.fuel_cell_utilization,
+        ))
+    });
+    let mut imp = 0.0;
+    let mut util = 0.0;
+    let n = per_hour.len() as f64;
+    for r in per_hour {
+        let (i, u) = r?;
+        imp += i;
+        util += u;
+    }
+    Ok(SweepPoint {
+        value,
+        avg_improvement: imp / n,
+        avg_utilization: util / n,
+    })
+}
+
+/// One point of the latency-weight sweep: the cost/latency Pareto trade.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightPoint {
+    /// Latency weight `w` ($/s² per server).
+    pub weight: f64,
+    /// Week-average propagation latency of the Hybrid strategy (seconds).
+    pub avg_latency_s: f64,
+    /// Week-average hourly energy + carbon cost of Hybrid ($).
+    pub avg_cost: f64,
+}
+
+/// Sweeps the latency weight `w` — which the paper fixes at 10 $/s² "to
+/// make the user utility close to the electricity cost" — and traces the
+/// latency/cost Pareto front that choice sits on.
+///
+/// # Errors
+///
+/// Propagates scenario or solver failures.
+pub fn sweep_latency_weight(
+    seed: u64,
+    hours: usize,
+    settings: AdmgSettings,
+    weights: &[f64],
+) -> Result<Vec<WeightPoint>> {
+    weights
+        .iter()
+        .map(|&w| {
+            let scenario = ScenarioBuilder::paper_default()
+                .seed(seed)
+                .hours(hours)
+                .weight_per_server(w)
+                .build()
+                .map_err(CoreError::Model)?;
+            let solver = AdmgSolver::new(settings);
+            let per_hour = par_map(&scenario.instances, default_threads(), |_, inst| {
+                let sol = solver.solve(inst, Strategy::Hybrid)?;
+                Ok::<(f64, f64), CoreError>((
+                    sol.breakdown.average_latency_s,
+                    sol.breakdown.energy_cost_dollars + sol.breakdown.carbon_cost_dollars,
+                ))
+            });
+            let mut lat = 0.0;
+            let mut cost = 0.0;
+            let n = per_hour.len() as f64;
+            for r in per_hour {
+                let (l, c) = r?;
+                lat += l;
+                cost += c;
+            }
+            Ok(WeightPoint {
+                weight: w,
+                avg_latency_s: lat / n,
+                avg_cost: cost / n,
+            })
+        })
+        .collect()
+}
+
+impl Sweep {
+    /// CSV with one row per sweep point (percent units).
+    #[must_use]
+    pub fn csv(&self) -> Csv {
+        let mut csv = Csv::new(&[self.parameter, "avg_improvement_pct", "avg_utilization_pct"]);
+        for p in &self.points {
+            csv.push_row(&[p.value, 100.0 * p.avg_improvement, 100.0 * p.avg_utilization]);
+        }
+        csv
+    }
+
+    /// The smallest parameter value at which utilization reaches `level`
+    /// when scanning in the sweep's "greener" direction (descending for the
+    /// price sweep, ascending for the tax sweep).
+    #[must_use]
+    pub fn crossover(&self, level: f64, ascending: bool) -> Option<f64> {
+        let iter: Box<dyn Iterator<Item = &SweepPoint>> = if ascending {
+            Box::new(self.points.iter())
+        } else {
+            Box::new(self.points.iter().rev())
+        };
+        for p in iter {
+            if p.avg_utilization >= level {
+                return Some(p.value);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shared short sweeps: 24 hours, 4 points — enough to test shape.
+    fn short_price_sweep() -> &'static Sweep {
+        use std::sync::OnceLock;
+        static CELL: OnceLock<Sweep> = OnceLock::new();
+        CELL.get_or_init(|| {
+            sweep_fuel_cell_price(
+                crate::DEFAULT_SEED,
+                24,
+                AdmgSettings::default(),
+                &[20.0, 50.0, 80.0, 120.0],
+            )
+            .unwrap()
+        })
+    }
+
+    fn short_tax_sweep() -> &'static Sweep {
+        use std::sync::OnceLock;
+        static CELL: OnceLock<Sweep> = OnceLock::new();
+        CELL.get_or_init(|| {
+            sweep_carbon_tax(
+                crate::DEFAULT_SEED,
+                24,
+                AdmgSettings::default(),
+                &[0.0, 25.0, 80.0, 200.0],
+            )
+            .unwrap()
+        })
+    }
+
+    #[test]
+    fn fig9_shape_cheaper_fuel_cells_help_more() {
+        let s = short_price_sweep();
+        // Utilization decreases monotonically in p0.
+        for w in s.points.windows(2) {
+            assert!(
+                w[0].avg_utilization >= w[1].avg_utilization - 1e-6,
+                "utilization not decreasing: {:?}",
+                s.points
+            );
+        }
+        // Improvement also decreases in p0.
+        assert!(s.points[0].avg_improvement > s.points[3].avg_improvement);
+        // At p0 = 20 $/MWh (below every grid price) utilization ≈ 100%.
+        assert!(s.points[0].avg_utilization > 0.95, "{:?}", s.points[0]);
+        // At p0 = 120 $/MWh fuel cells are essentially idle.
+        assert!(s.points[3].avg_utilization < 0.15, "{:?}", s.points[3]);
+        // Improvement is never negative (hybrid dominates grid).
+        assert!(s.points.iter().all(|p| p.avg_improvement >= -1e-3));
+    }
+
+    #[test]
+    fn fig10_shape_tax_promotes_fuel_cells() {
+        let s = short_tax_sweep();
+        for w in s.points.windows(2) {
+            assert!(
+                w[1].avg_utilization >= w[0].avg_utilization - 1e-6,
+                "utilization not increasing: {:?}",
+                s.points
+            );
+        }
+        // $200/ton pushes utilization near 100%.
+        assert!(s.points[3].avg_utilization > 0.9, "{:?}", s.points[3]);
+        // The paper's current-range taxes (≤ $39/ton) fail to promote.
+        assert!(s.points[1].avg_utilization < 0.35, "{:?}", s.points[1]);
+    }
+
+    #[test]
+    fn crossover_helpers() {
+        let s = short_price_sweep();
+        let x = s.crossover(0.95, false).expect("some point reaches 95%");
+        assert!(x <= 50.0, "crossover {x}");
+        let t = short_tax_sweep();
+        let y = t.crossover(0.9, true).expect("some tax reaches 90%");
+        assert!(y >= 80.0, "crossover {y}");
+    }
+
+    #[test]
+    fn latency_weight_traces_a_pareto_front() {
+        let pts = sweep_latency_weight(
+            crate::DEFAULT_SEED,
+            12,
+            AdmgSettings::default(),
+            &[0.5, 10.0, 200.0],
+        )
+        .unwrap();
+        // Heavier latency weight ⇒ lower latency, higher (or equal) cost.
+        assert!(pts[2].avg_latency_s <= pts[0].avg_latency_s + 1e-9,
+            "latency not improving: {pts:?}");
+        assert!(pts[2].avg_cost >= pts[0].avg_cost - 1e-6,
+            "cost not monotone: {pts:?}");
+        // The paper's w = 10 sits strictly between the extremes.
+        assert!(pts[1].avg_latency_s <= pts[0].avg_latency_s + 1e-9);
+        assert!(pts[1].avg_cost <= pts[2].avg_cost + 1e-6);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let s = short_price_sweep();
+        let csv = s.csv();
+        assert_eq!(csv.len(), 4);
+        assert!(csv.to_string().starts_with("fuel_cell_price,"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Table I / Fig. 1 — the paper's motivating single-datacenter study.
+//!
+//! A Facebook-like power-demand profile is priced over one week under three
+//! procurement strategies at two sites:
+//!
+//! * **Grid** — every MWh at the local real-time price,
+//! * **Fuel cell** — every MWh at the fixed `p₀ = 80 $/MWh`,
+//! * **Hybrid** — hour by hour, whichever of the two is cheaper (this is
+//!   the optimal single-DC policy because demand is inelastic here).
+//!
+//! Paper values: Dallas 9 644 / 27 957 / 9 387 $; San Jose
+//! 28 470 / 27 957 / 18 250 $. The shape claims to reproduce: Fuel cell
+//! identical across sites, Hybrid ≤ min(Grid, Fuel cell), grid cheap in
+//! Dallas and expensive in San Jose.
+
+use ufc_traces::csv::Csv;
+use ufc_traces::facebook::FacebookProfile;
+use ufc_traces::price::LmpModel;
+use ufc_traces::{TraceRng, HOURS_PER_WEEK};
+
+/// One site's weekly costs under the three strategies ($).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteCosts {
+    /// Site name.
+    pub site: String,
+    /// Grid-only cost.
+    pub grid: f64,
+    /// Fuel-cell-only cost.
+    pub fuel_cell: f64,
+    /// Hourly-arbitrage (hybrid) cost.
+    pub hybrid: f64,
+}
+
+/// The full Table I result plus the Fig. 1 series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// Costs per site (Dallas, San Jose).
+    pub sites: Vec<SiteCosts>,
+    /// Hourly demand profile (MW) — Fig. 1 top.
+    pub demand_mw: Vec<f64>,
+    /// Hourly prices per site ($/MWh) — Fig. 1 bottom.
+    pub prices: Vec<(String, Vec<f64>)>,
+    /// Fuel-cell price used ($/MWh).
+    pub fuel_cell_price: f64,
+}
+
+/// Runs the Table I experiment.
+///
+/// # Panics
+///
+/// Panics only on internal generator misconfiguration (the defaults are
+/// valid).
+#[must_use]
+pub fn run(seed: u64) -> Table1 {
+    let root = TraceRng::new(seed);
+    let demand = FacebookProfile::default().generate(HOURS_PER_WEEK, &mut root.substream("fb"));
+    let p0 = 80.0;
+    let mut sites = Vec::new();
+    let mut prices = Vec::new();
+    for model in [LmpModel::dallas(), LmpModel::san_jose()] {
+        let price = model.generate(
+            HOURS_PER_WEEK,
+            &mut root.substream(&format!("t1-{}", model.name)),
+        );
+        let grid: f64 = demand.iter().zip(&price).map(|(d, p)| d * p).sum();
+        let fuel_cell: f64 = demand.iter().map(|d| d * p0).sum();
+        let hybrid: f64 = demand
+            .iter()
+            .zip(&price)
+            .map(|(d, p)| d * p.min(p0))
+            .sum();
+        sites.push(SiteCosts {
+            site: model.name.clone(),
+            grid,
+            fuel_cell,
+            hybrid,
+        });
+        prices.push((model.name.clone(), price));
+    }
+    Table1 {
+        sites,
+        demand_mw: demand,
+        prices,
+        fuel_cell_price: p0,
+    }
+}
+
+impl Table1 {
+    /// CSV of the cost table.
+    #[must_use]
+    pub fn costs_csv(&self) -> Csv {
+        let mut csv = Csv::new(&["site_index", "grid", "fuel_cell", "hybrid"]);
+        for (k, s) in self.sites.iter().enumerate() {
+            csv.push_row(&[k as f64, s.grid, s.fuel_cell, s.hybrid]);
+        }
+        csv
+    }
+
+    /// CSV of the Fig. 1 series (demand + both price series).
+    #[must_use]
+    pub fn series_csv(&self) -> Csv {
+        let mut csv = Csv::new(&["hour", "demand_mw", "price_dallas", "price_san_jose"]);
+        for t in 0..self.demand_mw.len() {
+            csv.push_row(&[
+                t as f64,
+                self.demand_mw[t],
+                self.prices[0].1[t],
+                self.prices[1].1[t],
+            ]);
+        }
+        csv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_claims_hold() {
+        let t = run(crate::DEFAULT_SEED);
+        let dallas = &t.sites[0];
+        let sj = &t.sites[1];
+        assert_eq!(dallas.site, "Dallas");
+        assert_eq!(sj.site, "San Jose");
+        // Fuel-cell cost identical across sites (same demand, fixed price).
+        assert!((dallas.fuel_cell - sj.fuel_cell).abs() < 1e-9);
+        // Hybrid never exceeds either pure strategy.
+        for s in &t.sites {
+            assert!(s.hybrid <= s.grid + 1e-9);
+            assert!(s.hybrid <= s.fuel_cell + 1e-9);
+        }
+        // Dallas grid is cheap (fuel cells barely help); San Jose grid is
+        // expensive (hybrid saves a lot).
+        assert!(dallas.grid < 0.6 * dallas.fuel_cell, "Dallas grid {}", dallas.grid);
+        assert!(sj.grid > 0.85 * sj.fuel_cell, "San Jose grid {}", sj.grid);
+        assert!(sj.hybrid < 0.8 * sj.grid, "San Jose hybrid {}", sj.hybrid);
+    }
+
+    #[test]
+    fn magnitudes_near_paper() {
+        // Not exact (synthetic traces), but the right order: Dallas grid
+        // ≈ $9.6k, fuel cell ≈ $27.9k, San Jose grid ≈ $28.5k.
+        let t = run(crate::DEFAULT_SEED);
+        let dallas = &t.sites[0];
+        let sj = &t.sites[1];
+        assert!((5_000.0..16_000.0).contains(&dallas.grid), "{}", dallas.grid);
+        assert!((26_000.0..30_000.0).contains(&dallas.fuel_cell), "{}", dallas.fuel_cell);
+        assert!((20_000.0..40_000.0).contains(&sj.grid), "{}", sj.grid);
+    }
+
+    #[test]
+    fn csvs_have_expected_shapes() {
+        let t = run(1);
+        assert_eq!(t.costs_csv().len(), 2);
+        assert_eq!(t.series_csv().len(), 168);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

@@ -1,0 +1,345 @@
+//! The main weekly simulation behind Figs. 4–8 and 11: every hour of the
+//! trace-driven scenario is solved under all three strategies with the
+//! distributed ADM-G algorithm.
+
+use ufc_core::{solve_all_strategies, AdmgSettings, Result, StrategyComparison};
+use ufc_model::scenario::{ScenarioBuilder, WeeklyScenario};
+use ufc_traces::csv::Csv;
+
+use crate::parallel::{default_threads, par_map};
+
+/// One hour's outcome across the three strategies.
+#[derive(Debug, Clone)]
+pub struct HourOutcome {
+    /// Hour index.
+    pub hour: usize,
+    /// UFC improvement Hybrid-over-Grid (fraction).
+    pub i_hg: f64,
+    /// UFC improvement Hybrid-over-FuelCell (fraction).
+    pub i_hf: f64,
+    /// UFC improvement FuelCell-over-Grid (fraction).
+    pub i_fg: f64,
+    /// Average propagation latency (s) per strategy `[hybrid, grid, fuel]`.
+    pub latency_s: [f64; 3],
+    /// Energy cost ($) per strategy `[hybrid, grid, fuel]`.
+    pub energy_cost: [f64; 3],
+    /// Carbon cost ($) per strategy `[hybrid, grid, fuel]`.
+    pub carbon_cost: [f64; 3],
+    /// Hybrid fuel-cell utilization (fraction of demand).
+    pub utilization: f64,
+    /// Hybrid ADM-G iterations to convergence.
+    pub iterations: usize,
+    /// Whether all three solves converged.
+    pub converged: bool,
+}
+
+impl HourOutcome {
+    fn from_comparison(hour: usize, cmp: &StrategyComparison) -> Self {
+        let h = &cmp.hybrid.breakdown;
+        let g = &cmp.grid.breakdown;
+        let f = &cmp.fuel_cell.breakdown;
+        HourOutcome {
+            hour,
+            i_hg: cmp.i_hg(),
+            i_hf: cmp.i_hf(),
+            i_fg: cmp.i_fg(),
+            latency_s: [h.average_latency_s, g.average_latency_s, f.average_latency_s],
+            energy_cost: [
+                h.energy_cost_dollars,
+                g.energy_cost_dollars,
+                f.energy_cost_dollars,
+            ],
+            carbon_cost: [
+                h.carbon_cost_dollars,
+                g.carbon_cost_dollars,
+                f.carbon_cost_dollars,
+            ],
+            utilization: h.fuel_cell_utilization,
+            iterations: cmp.hybrid.iterations,
+            converged: cmp.hybrid.converged && cmp.grid.converged && cmp.fuel_cell.converged,
+        }
+    }
+}
+
+/// The full weekly simulation result.
+#[derive(Debug, Clone)]
+pub struct WeeklyResults {
+    /// One outcome per hour.
+    pub hours: Vec<HourOutcome>,
+}
+
+/// Runs the weekly simulation on an already built scenario.
+///
+/// # Errors
+///
+/// Propagates the first solver failure.
+pub fn run_on(scenario: &WeeklyScenario, settings: AdmgSettings) -> Result<WeeklyResults> {
+    let outcomes = par_map(&scenario.instances, default_threads(), |t, inst| {
+        solve_all_strategies(inst, settings).map(|cmp| HourOutcome::from_comparison(t, &cmp))
+    });
+    let mut hours = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        hours.push(o?);
+    }
+    Ok(WeeklyResults { hours })
+}
+
+/// Receding-horizon variant: hours are solved sequentially and each
+/// strategy's ADM-G run warm-starts from its previous hour's final iterate.
+/// Consecutive hours differ only by trace deltas, so this typically cuts
+/// the iteration counts substantially (an extension beyond the paper,
+/// enabled by its own slot-decoupling argument; compared against the cold
+/// path in the `ablations` bench).
+///
+/// # Errors
+///
+/// Propagates the first solver failure.
+pub fn run_receding(scenario: &WeeklyScenario, settings: AdmgSettings) -> Result<WeeklyResults> {
+    use ufc_core::{AdmgSolver, Strategy, StrategyComparison};
+    let solver = AdmgSolver::new(settings);
+    let mut hours = Vec::with_capacity(scenario.instances.len());
+    let mut warm: Option<StrategyComparison> = None;
+    for (t, inst) in scenario.instances.iter().enumerate() {
+        let cmp = match warm {
+            None => ufc_core::solve_all_strategies(inst, settings)?,
+            Some(prev) => StrategyComparison {
+                hybrid: solver.solve_warm(inst, Strategy::Hybrid, prev.hybrid.state)?,
+                grid: solver.solve_warm(inst, Strategy::GridOnly, prev.grid.state)?,
+                fuel_cell: solver.solve_warm(
+                    inst,
+                    Strategy::FuelCellOnly,
+                    prev.fuel_cell.state,
+                )?,
+            },
+        };
+        hours.push(HourOutcome::from_comparison(t, &cmp));
+        warm = Some(cmp);
+    }
+    Ok(WeeklyResults { hours })
+}
+
+/// Builds the paper-default scenario and runs the weekly simulation.
+///
+/// # Errors
+///
+/// Propagates scenario or solver failures.
+pub fn run(seed: u64, hours: usize, settings: AdmgSettings) -> Result<WeeklyResults> {
+    let scenario = ScenarioBuilder::paper_default()
+        .seed(seed)
+        .hours(hours)
+        .build()
+        .map_err(ufc_core::CoreError::Model)?;
+    run_on(&scenario, settings)
+}
+
+impl WeeklyResults {
+    /// Mean of a per-hour metric.
+    #[must_use]
+    pub fn mean_of(&self, f: impl Fn(&HourOutcome) -> f64) -> f64 {
+        if self.hours.is_empty() {
+            return 0.0;
+        }
+        self.hours.iter().map(f).sum::<f64>() / self.hours.len() as f64
+    }
+
+    /// Fig. 4 CSV: hourly UFC improvements (percent).
+    #[must_use]
+    pub fn improvements_csv(&self) -> Csv {
+        let mut csv = Csv::new(&["hour", "i_hg_pct", "i_hf_pct", "i_fg_pct"]);
+        for h in &self.hours {
+            csv.push_row(&[
+                h.hour as f64,
+                100.0 * h.i_hg,
+                100.0 * h.i_hf,
+                100.0 * h.i_fg,
+            ]);
+        }
+        csv
+    }
+
+    /// Fig. 5 CSV: hourly average propagation latency (ms) per strategy.
+    #[must_use]
+    pub fn latency_csv(&self) -> Csv {
+        let mut csv = Csv::new(&["hour", "hybrid_ms", "grid_ms", "fuel_cell_ms"]);
+        for h in &self.hours {
+            csv.push_row(&[
+                h.hour as f64,
+                1e3 * h.latency_s[0],
+                1e3 * h.latency_s[1],
+                1e3 * h.latency_s[2],
+            ]);
+        }
+        csv
+    }
+
+    /// Fig. 6 CSV: hourly energy cost ($) per strategy.
+    #[must_use]
+    pub fn energy_csv(&self) -> Csv {
+        let mut csv = Csv::new(&["hour", "hybrid", "grid", "fuel_cell"]);
+        for h in &self.hours {
+            csv.push_row(&[
+                h.hour as f64,
+                h.energy_cost[0],
+                h.energy_cost[1],
+                h.energy_cost[2],
+            ]);
+        }
+        csv
+    }
+
+    /// Fig. 7 CSV: hourly carbon cost ($) per strategy.
+    #[must_use]
+    pub fn carbon_csv(&self) -> Csv {
+        let mut csv = Csv::new(&["hour", "hybrid", "grid", "fuel_cell"]);
+        for h in &self.hours {
+            csv.push_row(&[
+                h.hour as f64,
+                h.carbon_cost[0],
+                h.carbon_cost[1],
+                h.carbon_cost[2],
+            ]);
+        }
+        csv
+    }
+
+    /// Fig. 8 CSV: hourly hybrid fuel-cell utilization (percent).
+    #[must_use]
+    pub fn utilization_csv(&self) -> Csv {
+        let mut csv = Csv::new(&["hour", "utilization_pct"]);
+        for h in &self.hours {
+            csv.push_row(&[h.hour as f64, 100.0 * h.utilization]);
+        }
+        csv
+    }
+
+    /// The hybrid iteration counts (Fig. 11's raw data).
+    #[must_use]
+    pub fn iteration_counts(&self) -> Vec<usize> {
+        self.hours.iter().map(|h| h.iterations).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One shared 36-hour run keeps the test suite fast while covering a
+    /// day-and-a-half of peaks and troughs.
+    fn results() -> &'static WeeklyResults {
+        use std::sync::OnceLock;
+        static CELL: OnceLock<WeeklyResults> = OnceLock::new();
+        CELL.get_or_init(|| run(crate::DEFAULT_SEED, 36, AdmgSettings::default()).unwrap())
+    }
+
+    #[test]
+    fn all_hours_converge() {
+        assert!(results().hours.iter().all(|h| h.converged));
+    }
+
+    #[test]
+    fn fig4_shape_hybrid_dominates() {
+        for h in &results().hours {
+            assert!(h.i_hg >= -1e-3, "hour {}: i_hg {}", h.hour, h.i_hg);
+            assert!(h.i_hf >= -1e-3, "hour {}: i_hf {}", h.hour, h.i_hf);
+        }
+        // Fuel-cell-only hurts during off-peak hours (some negative i_fg).
+        assert!(
+            results().hours.iter().any(|h| h.i_fg < 0.0),
+            "fuel-cell-only never loses: suspicious"
+        );
+    }
+
+    #[test]
+    fn fig5_shape_latency_ordering() {
+        let r = results();
+        let hybrid = r.mean_of(|h| h.latency_s[0]);
+        let grid = r.mean_of(|h| h.latency_s[1]);
+        let fuel = r.mean_of(|h| h.latency_s[2]);
+        // Fuel cell ≤ hybrid < grid (load following shrinks latency).
+        assert!(fuel <= hybrid + 1e-4, "fuel {fuel} vs hybrid {hybrid}");
+        assert!(hybrid < grid, "hybrid {hybrid} vs grid {grid}");
+        // Plausible magnitudes: 5–30 ms.
+        for v in [hybrid, grid, fuel] {
+            assert!((0.005..0.030).contains(&v), "latency {v}s out of range");
+        }
+    }
+
+    #[test]
+    fn fig6_shape_energy_cost_ordering() {
+        let r = results();
+        let hybrid = r.mean_of(|h| h.energy_cost[0]);
+        let grid = r.mean_of(|h| h.energy_cost[1]);
+        let fuel = r.mean_of(|h| h.energy_cost[2]);
+        assert!(fuel > grid, "fuel-cell-only should be the most expensive");
+        assert!(hybrid <= grid * 1.001, "hybrid {hybrid} vs grid {grid}");
+        assert!(hybrid < 0.7 * fuel, "hybrid {hybrid} vs fuel {fuel}");
+    }
+
+    #[test]
+    fn fig7_shape_carbon_cost() {
+        let r = results();
+        let fuel = r.mean_of(|h| h.carbon_cost[2]);
+        assert!(fuel.abs() < 1e-9, "fuel-cell-only must be carbon-free");
+        let hybrid = r.mean_of(|h| h.carbon_cost[0]);
+        let grid = r.mean_of(|h| h.carbon_cost[1]);
+        // Hybrid stays close to grid at the paper's low $25/ton tax.
+        assert!(hybrid > 0.5 * grid, "hybrid {hybrid} vs grid {grid}");
+        assert!(hybrid <= grid * 1.001);
+    }
+
+    #[test]
+    fn fig8_shape_low_utilization() {
+        let r = results();
+        let avg = r.mean_of(|h| h.utilization);
+        // Paper: ≈ 16% average, never ≥ 70%.
+        assert!((0.02..0.45).contains(&avg), "avg utilization {avg}");
+        assert!(r.hours.iter().all(|h| h.utilization < 0.75));
+    }
+
+    #[test]
+    fn fig11_shape_iteration_range() {
+        let iters = results().iteration_counts();
+        let min = *iters.iter().min().unwrap();
+        let max = *iters.iter().max().unwrap();
+        assert!(min >= 10, "suspiciously fast: {min}");
+        assert!(max <= 600, "suspiciously slow: {max}");
+    }
+
+    #[test]
+    fn receding_horizon_matches_cold_and_is_cheaper() {
+        let scenario = ScenarioBuilder::paper_default()
+            .seed(crate::DEFAULT_SEED)
+            .hours(12)
+            .build()
+            .unwrap();
+        let cold = run_on(&scenario, AdmgSettings::default()).unwrap();
+        let warm = run_receding(&scenario, AdmgSettings::default()).unwrap();
+        // Same answers...
+        for (a, b) in cold.hours.iter().zip(&warm.hours) {
+            assert!(
+                (a.i_hg - b.i_hg).abs() < 5e-3,
+                "hour {}: cold {} vs warm {}",
+                a.hour,
+                a.i_hg,
+                b.i_hg
+            );
+        }
+        // ...for far fewer iterations after the first hour.
+        let cold_iters: usize = cold.hours[1..].iter().map(|h| h.iterations).sum();
+        let warm_iters: usize = warm.hours[1..].iter().map(|h| h.iterations).sum();
+        assert!(
+            (warm_iters as f64) < 0.85 * cold_iters as f64,
+            "warm {warm_iters} vs cold {cold_iters} iterations"
+        );
+    }
+
+    #[test]
+    fn csv_shapes() {
+        let r = results();
+        assert_eq!(r.improvements_csv().len(), r.hours.len());
+        assert_eq!(r.latency_csv().len(), r.hours.len());
+        assert_eq!(r.energy_csv().len(), r.hours.len());
+        assert_eq!(r.carbon_csv().len(), r.hours.len());
+        assert_eq!(r.utilization_csv().len(), r.hours.len());
+    }
+}

@@ -1,0 +1,92 @@
+/// Distance→propagation-latency conversion.
+///
+/// The paper (§II-B3) adopts the empirical approximation
+/// `L_ij = 0.02 ms/km × d_ij`: each kilometre of great-circle distance costs
+/// about 20 µs of wide-area propagation delay. The constant is configurable
+/// for sensitivity studies.
+///
+/// # Example
+///
+/// ```
+/// use ufc_geo::LatencyModel;
+///
+/// let m = LatencyModel::default();
+/// // 1000 km ⇒ 20 ms.
+/// assert!((m.latency_seconds(1000.0) - 0.020).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    ms_per_km: f64,
+}
+
+impl Default for LatencyModel {
+    /// The paper's constant: 0.02 ms per kilometre.
+    fn default() -> Self {
+        LatencyModel { ms_per_km: 0.02 }
+    }
+}
+
+impl LatencyModel {
+    /// Creates a model with a custom per-kilometre cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms_per_km <= 0`.
+    #[must_use]
+    pub fn new(ms_per_km: f64) -> Self {
+        assert!(ms_per_km > 0.0, "latency slope must be positive");
+        LatencyModel { ms_per_km }
+    }
+
+    /// Milliseconds of latency per kilometre of distance.
+    #[must_use]
+    pub fn ms_per_km(&self) -> f64 {
+        self.ms_per_km
+    }
+
+    /// Propagation latency in **seconds** for a distance in kilometres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance_km < 0`.
+    #[must_use]
+    pub fn latency_seconds(&self, distance_km: f64) -> f64 {
+        assert!(distance_km >= 0.0, "distance must be nonnegative");
+        self.ms_per_km * distance_km * 1e-3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_constant() {
+        assert_eq!(LatencyModel::default().ms_per_km(), 0.02);
+    }
+
+    #[test]
+    fn latency_is_linear() {
+        let m = LatencyModel::default();
+        assert_eq!(m.latency_seconds(0.0), 0.0);
+        assert!((m.latency_seconds(500.0) * 2.0 - m.latency_seconds(1000.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn custom_slope() {
+        let m = LatencyModel::new(0.05);
+        assert!((m.latency_seconds(100.0) - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_slope() {
+        let _ = LatencyModel::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn rejects_negative_distance() {
+        let _ = LatencyModel::default().latency_seconds(-1.0);
+    }
+}

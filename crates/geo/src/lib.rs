@@ -1,0 +1,87 @@
+//! Geography substrate for the UFC reproduction.
+//!
+//! The paper's workload-performance term is the wide-area propagation
+//! latency between front-end proxy servers and datacenters, approximated as
+//! `L_ij = 0.02 ms/km × d_ij` where `d_ij` is the geographical distance
+//! (paper §II-B3, citing Qureshi). This crate provides:
+//!
+//! * [`GeoPoint`] — WGS-84 coordinates with [haversine distance](GeoPoint::distance_km),
+//! * [`Site`] — a named location,
+//! * [`LatencyModel`] — the distance→latency conversion,
+//! * [`sites`] — the simulation's site catalog: the paper's four datacenter
+//!   locations (Calgary, San Jose, Dallas, Pittsburgh) and ten front-end
+//!   cities scattered across the continental United States,
+//! * [`latency_matrix`] — the `M × N` matrix `L_ij` consumed by the model.
+//!
+//! # Example
+//!
+//! ```
+//! use ufc_geo::{sites, LatencyModel, latency_matrix};
+//!
+//! let dcs = sites::datacenter_sites();
+//! let fes = sites::frontend_sites();
+//! let l = latency_matrix(&fes, &dcs, LatencyModel::default());
+//! // New York (front-end 8) is much closer to Pittsburgh (dc 3) than to San Jose (dc 1).
+//! assert!(l[8][3] < l[8][1]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod latency;
+mod location;
+pub mod sites;
+
+pub use latency::LatencyModel;
+pub use location::GeoPoint;
+pub use sites::Site;
+
+/// Builds the `M × N` propagation-latency matrix (in **seconds**) between
+/// front-end sites and datacenter sites.
+///
+/// Row `i` corresponds to `frontends[i]`, column `j` to `datacenters[j]`,
+/// matching the paper's `L_ij` notation.
+#[must_use]
+pub fn latency_matrix(frontends: &[Site], datacenters: &[Site], model: LatencyModel) -> Vec<Vec<f64>> {
+    frontends
+        .iter()
+        .map(|fe| {
+            datacenters
+                .iter()
+                .map(|dc| model.latency_seconds(fe.point.distance_km(dc.point)))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_matrix_shape_and_range() {
+        let dcs = sites::datacenter_sites();
+        let fes = sites::frontend_sites();
+        let l = latency_matrix(&fes, &dcs, LatencyModel::default());
+        assert_eq!(l.len(), fes.len());
+        assert!(l.iter().all(|row| row.len() == dcs.len()));
+        // All latencies positive and below 100 ms for the continental US.
+        for row in &l {
+            for &v in row {
+                assert!(v > 0.0 && v < 0.1, "implausible latency {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn latency_matrix_geography_sanity() {
+        let dcs = sites::datacenter_sites();
+        let fes = sites::frontend_sites();
+        let l = latency_matrix(&fes, &dcs, LatencyModel::default());
+        // Seattle (0) is closest to Calgary (0); Miami (7) is closest to Dallas (2).
+        let seattle = &l[0];
+        assert!(seattle[0] < seattle[1] && seattle[0] < seattle[2] && seattle[0] < seattle[3]);
+        let miami = &l[7];
+        assert!(miami[2] < miami[0] && miami[2] < miami[1]);
+    }
+}

@@ -1,0 +1,111 @@
+/// A point on the Earth's surface in WGS-84 degrees.
+///
+/// # Example
+///
+/// ```
+/// use ufc_geo::GeoPoint;
+///
+/// let dallas = GeoPoint::new(32.7767, -96.7970);
+/// let san_jose = GeoPoint::new(37.3382, -121.8863);
+/// let d = dallas.distance_km(san_jose);
+/// assert!((d - 2300.0).abs() < 100.0); // ≈ 2.3 Mm
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat_deg: f64,
+    /// Longitude in degrees, positive east.
+    pub lon_deg: f64,
+}
+
+/// Mean Earth radius in kilometres (IUGG).
+const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+impl GeoPoint {
+    /// Creates a point after validating the coordinate ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lat_deg ∉ [−90, 90]` or `lon_deg ∉ [−180, 180]`.
+    #[must_use]
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Self {
+        assert!(
+            (-90.0..=90.0).contains(&lat_deg),
+            "latitude {lat_deg} out of range"
+        );
+        assert!(
+            (-180.0..=180.0).contains(&lon_deg),
+            "longitude {lon_deg} out of range"
+        );
+        GeoPoint { lat_deg, lon_deg }
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine formula).
+    #[must_use]
+    pub fn distance_km(self, other: GeoPoint) -> f64 {
+        let lat1 = self.lat_deg.to_radians();
+        let lat2 = other.lat_deg.to_radians();
+        let dlat = (other.lat_deg - self.lat_deg).to_radians();
+        let dlon = (other.lon_deg - self.lon_deg).to_radians();
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = GeoPoint::new(45.0, -100.0);
+        assert_eq!(p.distance_km(p), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = GeoPoint::new(51.0447, -114.0719); // Calgary
+        let b = GeoPoint::new(25.7617, -80.1918); // Miami
+        assert!((a.distance_km(b) - b.distance_km(a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_distance_ny_la() {
+        // New York ↔ Los Angeles great-circle distance ≈ 3936 km.
+        let ny = GeoPoint::new(40.7128, -74.0060);
+        let la = GeoPoint::new(34.0522, -118.2437);
+        let d = ny.distance_km(la);
+        assert!((d - 3936.0).abs() < 30.0, "got {d}");
+    }
+
+    #[test]
+    fn quarter_meridian() {
+        // Pole to equator along a meridian is ≈ 10 008 km for a sphere of
+        // radius 6371.0088 km.
+        let pole = GeoPoint::new(90.0, 0.0);
+        let equator = GeoPoint::new(0.0, 0.0);
+        let d = pole.distance_km(equator);
+        assert!((d - std::f64::consts::FRAC_PI_2 * EARTH_RADIUS_KM).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude")]
+    fn rejects_bad_latitude() {
+        let _ = GeoPoint::new(91.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "longitude")]
+    fn rejects_bad_longitude() {
+        let _ = GeoPoint::new(0.0, 200.0);
+    }
+
+    #[test]
+    fn antimeridian_crossing_is_short() {
+        // 179.9°E to 179.9°W at the equator is ~22 km, not ~40 000 km.
+        let a = GeoPoint::new(0.0, 179.9);
+        let b = GeoPoint::new(0.0, -179.9);
+        assert!(a.distance_km(b) < 30.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! The simulation's site catalog.
+//!
+//! Datacenter locations follow the paper's §IV-A setup (Calgary, San Jose,
+//! Dallas, Pittsburgh); the ten front-end proxy locations implement the
+//! paper's "uniformly scattered across the continental United States" by
+//! picking ten large metros with broad geographic coverage.
+
+use crate::GeoPoint;
+
+/// A named geographic site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Site {
+    /// Human-readable name (city).
+    pub name: String,
+    /// Coordinates.
+    pub point: GeoPoint,
+}
+
+impl Site {
+    /// Creates a site.
+    #[must_use]
+    pub fn new(name: impl Into<String>, lat_deg: f64, lon_deg: f64) -> Self {
+        Site {
+            name: name.into(),
+            point: GeoPoint::new(lat_deg, lon_deg),
+        }
+    }
+}
+
+/// Index of the Calgary datacenter in [`datacenter_sites`].
+pub const DC_CALGARY: usize = 0;
+/// Index of the San Jose datacenter in [`datacenter_sites`].
+pub const DC_SAN_JOSE: usize = 1;
+/// Index of the Dallas datacenter in [`datacenter_sites`].
+pub const DC_DALLAS: usize = 2;
+/// Index of the Pittsburgh datacenter in [`datacenter_sites`].
+pub const DC_PITTSBURGH: usize = 3;
+
+/// The paper's four datacenter locations, in the fixed order
+/// Calgary, San Jose, Dallas, Pittsburgh.
+#[must_use]
+pub fn datacenter_sites() -> Vec<Site> {
+    vec![
+        Site::new("Calgary", 51.0447, -114.0719),
+        Site::new("San Jose", 37.3382, -121.8863),
+        Site::new("Dallas", 32.7767, -96.7970),
+        Site::new("Pittsburgh", 40.4406, -79.9959),
+    ]
+}
+
+/// Ten front-end proxy locations scattered across the continental US.
+#[must_use]
+pub fn frontend_sites() -> Vec<Site> {
+    vec![
+        Site::new("Seattle", 47.6062, -122.3321),
+        Site::new("Los Angeles", 34.0522, -118.2437),
+        Site::new("Phoenix", 33.4484, -112.0740),
+        Site::new("Denver", 39.7392, -104.9903),
+        Site::new("Houston", 29.7604, -95.3698),
+        Site::new("Chicago", 41.8781, -87.6298),
+        Site::new("Atlanta", 33.7490, -84.3880),
+        Site::new("Miami", 25.7617, -80.1918),
+        Site::new("New York", 40.7128, -74.0060),
+        Site::new("Boston", 42.3601, -71.0589),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_sizes_match_paper() {
+        assert_eq!(datacenter_sites().len(), 4);
+        assert_eq!(frontend_sites().len(), 10);
+    }
+
+    #[test]
+    fn datacenter_indices_are_consistent() {
+        let dcs = datacenter_sites();
+        assert_eq!(dcs[DC_CALGARY].name, "Calgary");
+        assert_eq!(dcs[DC_SAN_JOSE].name, "San Jose");
+        assert_eq!(dcs[DC_DALLAS].name, "Dallas");
+        assert_eq!(dcs[DC_PITTSBURGH].name, "Pittsburgh");
+    }
+
+    #[test]
+    fn all_sites_have_unique_names() {
+        let mut names: Vec<String> = datacenter_sites()
+            .into_iter()
+            .chain(frontend_sites())
+            .map(|s| s.name)
+            .collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn frontends_span_the_continent() {
+        let fes = frontend_sites();
+        let lons: Vec<f64> = fes.iter().map(|s| s.point.lon_deg).collect();
+        let spread = lons.iter().cloned().fold(f64::MIN, f64::max)
+            - lons.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 40.0, "front-ends too clustered: {spread}°");
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests for the geography substrate.
+
+use proptest::prelude::*;
+use ufc_geo::{latency_matrix, GeoPoint, LatencyModel, Site};
+
+fn point() -> impl Strategy<Value = GeoPoint> {
+    (-89.0f64..89.0, -179.0f64..179.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+proptest! {
+    #[test]
+    fn distance_is_a_metric(a in point(), b in point(), c in point()) {
+        // Symmetry.
+        prop_assert!((a.distance_km(b) - b.distance_km(a)).abs() < 1e-9);
+        // Identity.
+        prop_assert!(a.distance_km(a) < 1e-9);
+        // Nonnegativity and the global bound (half the circumference).
+        let d = a.distance_km(b);
+        prop_assert!(d >= 0.0);
+        prop_assert!(d <= 20_016.0, "distance {d} exceeds half circumference");
+        // Triangle inequality (with numerical slack).
+        prop_assert!(a.distance_km(c) <= a.distance_km(b) + b.distance_km(c) + 1e-6);
+    }
+
+    #[test]
+    fn latency_is_monotone_in_distance(a in point(), b in point(), c in point()) {
+        let m = LatencyModel::default();
+        let (d1, d2) = (a.distance_km(b), a.distance_km(c));
+        let (l1, l2) = (m.latency_seconds(d1), m.latency_seconds(d2));
+        if d1 <= d2 {
+            prop_assert!(l1 <= l2 + 1e-15);
+        }
+        // Exact proportionality.
+        prop_assert!((l1 - 0.02e-3 * d1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_matrix_matches_pointwise(
+        fe in proptest::collection::vec(point(), 1..5),
+        dc in proptest::collection::vec(point(), 1..4),
+    ) {
+        let fe_sites: Vec<Site> = fe
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Site::new(format!("fe{i}"), p.lat_deg, p.lon_deg))
+            .collect();
+        let dc_sites: Vec<Site> = dc
+            .iter()
+            .enumerate()
+            .map(|(j, p)| Site::new(format!("dc{j}"), p.lat_deg, p.lon_deg))
+            .collect();
+        let m = LatencyModel::default();
+        let l = latency_matrix(&fe_sites, &dc_sites, m);
+        prop_assert_eq!(l.len(), fe_sites.len());
+        for (i, row) in l.iter().enumerate() {
+            prop_assert_eq!(row.len(), dc_sites.len());
+            for (j, &v) in row.iter().enumerate() {
+                let expected = m.latency_seconds(fe[i].distance_km(dc[j]));
+                prop_assert!((v - expected).abs() < 1e-15);
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+use std::fmt;
+
+/// Errors produced by the dense linear-algebra kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes.
+    ///
+    /// Carries a human-readable description of the mismatch.
+    DimensionMismatch {
+        /// Description of the operation and the offending shapes.
+        context: String,
+    },
+    /// A factorization encountered a (numerically) singular matrix.
+    Singular {
+        /// Index of the pivot at which singularity was detected.
+        pivot: usize,
+    },
+    /// Cholesky factorization was attempted on a matrix that is not
+    /// (numerically) positive definite.
+    NotPositiveDefinite {
+        /// Index of the failing diagonal pivot.
+        pivot: usize,
+        /// Value of the failing pivot before taking the square root.
+        value: f64,
+    },
+    /// A matrix expected to be square was not.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            LinalgError::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot} has value {value:e}"
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square: {rows}x{cols}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+impl LinalgError {
+    /// Builds a [`LinalgError::DimensionMismatch`] with a formatted context.
+    pub fn dim(context: impl Into<String>) -> Self {
+        LinalgError::DimensionMismatch {
+            context: context.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::dim("matvec: 3x2 by vector of length 5");
+        assert!(e.to_string().contains("3x2"));
+        let e = LinalgError::Singular { pivot: 4 };
+        assert!(e.to_string().contains("pivot 4"));
+        let e = LinalgError::NotPositiveDefinite {
+            pivot: 1,
+            value: -2.0,
+        };
+        assert!(e.to_string().contains("positive definite"));
+        let e = LinalgError::NotSquare { rows: 2, cols: 3 };
+        assert!(e.to_string().contains("2x3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,241 @@
+use crate::{LinalgError, Matrix, Result};
+
+/// Partially-pivoted LU factorization `P A = L U` for general square systems.
+///
+/// The generic matrix-form ADM-G reference implementation solves
+/// `G (z^{k+1} − z^k) = ε (z̃^k − z^k)` with an explicitly assembled,
+/// *non-symmetric* upper-triangular-block matrix `G`; LU is the right tool
+/// there and for any other general dense solve in the workspace.
+///
+/// # Example
+///
+/// ```
+/// use ufc_linalg::{Lu, Matrix};
+///
+/// # fn main() -> Result<(), ufc_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]])?; // needs pivoting
+/// let lu = Lu::factor(&a)?;
+/// let x = lu.solve(&[2.0, 3.0])?;
+/// assert!((x[0] - 2.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed factors: strictly-lower part holds `L` (unit diagonal
+    /// implicit), upper part holds `U`.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 or −1.0), for determinants.
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Factors a general square matrix with partial (row) pivoting.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::Singular`] if no acceptable pivot exists in some
+    ///   column.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let tol = 1e-300; // absolute floor; relative checks happen via pivot choice
+        for k in 0..n {
+            // Choose pivot row.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best <= tol {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                if m != 0.0 {
+                    for j in (k + 1)..n {
+                        let delta = m * lu[(k, j)];
+                        lu[(i, j)] -= delta;
+                    }
+                }
+            }
+        }
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign: sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::dim(format!(
+                "lu solve: rhs length {} for system of size {n}",
+                b.len()
+            )));
+        }
+        // Apply permutation: y = P b.
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        // Forward: L y = P b (unit diagonal).
+        for i in 0..n {
+            for k in 0..i {
+                x[i] -= self.lu[(i, k)] * x[k];
+            }
+        }
+        // Backward: U x = y.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                x[i] -= self.lu[(i, k)] * x[k];
+            }
+            x[i] /= self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.rows() != dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        if b.rows() != self.dim() {
+            return Err(LinalgError::dim(format!(
+                "lu solve_matrix: rhs has {} rows for system of size {}",
+                b.rows(),
+                self.dim()
+            )));
+        }
+        let mut out = Matrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let col = self.solve(&b.col(j))?;
+            for i in 0..b.rows() {
+                out[(i, j)] = col[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Determinant of `A` (product of `U` pivots times the permutation sign).
+    #[must_use]
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_requires_pivoting() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_small_on_random_like_matrix() {
+        let a = Matrix::from_rows(&[
+            &[3.0, -1.0, 2.0, 0.5],
+            &[1.0, 4.0, -2.0, 1.0],
+            &[-2.0, 0.5, 5.0, -1.5],
+            &[0.0, 2.0, 1.0, 3.5],
+        ])
+        .unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let x = lu.solve(&b).unwrap();
+        let r = a.matvec(&x).unwrap();
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn det_of_known_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_tracks_permutation_sign() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn solve_matrix_inverts() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        let inv = lu.solve_matrix(&Matrix::identity(2)).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.sub(&Matrix::identity(2)).unwrap().norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(Lu::factor(&Matrix::zeros(2, 3)).is_err());
+        let lu = Lu::factor(&Matrix::identity(2)).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+        assert!(lu.solve_matrix(&Matrix::zeros(3, 1)).is_err());
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let lu = Lu::factor(&Matrix::identity(3)).unwrap();
+        assert_eq!(lu.solve(&[1.0, 2.0, 3.0]).unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(lu.det(), 1.0);
+    }
+}

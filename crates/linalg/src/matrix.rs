@@ -1,0 +1,549 @@
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::{LinalgError, Result};
+
+/// A dense, row-major, `f64` matrix.
+///
+/// `Matrix` is the workhorse type of the kernel: the QP sub-solvers assemble
+/// Hessians and KKT systems in it, and the generic matrix-form ADM-G builds
+/// the relation matrices `K_i` and the Gaussian back-substitution matrix `G`
+/// with it. Sizes in this project are small (tens to a few hundred rows), so
+/// straightforward triple loops are used throughout; they are fast enough and
+/// easy to audit.
+///
+/// # Example
+///
+/// ```
+/// use ufc_linalg::Matrix;
+///
+/// # fn main() -> Result<(), ufc_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let b = a.transpose();
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c[(0, 0)], 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the rows have unequal
+    /// lengths or if `rows` is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        let Some(first) = rows.first() else {
+            return Err(LinalgError::dim("from_rows: no rows given"));
+        };
+        let cols = first.len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(LinalgError::dim(format!(
+                    "from_rows: row {i} has length {} but row 0 has length {cols}",
+                    r.len()
+                )));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Creates a square matrix with `diag` on the diagonal.
+    #[must_use]
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let mut m = Matrix::zeros(diag.len(), diag.len());
+        for (i, d) in diag.iter().enumerate() {
+            m[(i, i)] = *d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` when the matrix is square.
+    #[must_use]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds");
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    #[must_use]
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column index {j} out of bounds");
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Returns the transpose as a new matrix.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Matrix–vector product `A x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinalgError::dim(format!(
+                "matvec: {}x{} by vector of length {}",
+                self.rows,
+                self.cols,
+                x.len()
+            )));
+        }
+        Ok((0..self.rows)
+            .map(|i| crate::vec_ops::dot(self.row(i), x))
+            .collect())
+    }
+
+    /// Transposed matrix–vector product `Aᵀ x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `x.len() != rows`.
+    pub fn matvec_t(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.rows {
+            return Err(LinalgError::dim(format!(
+                "matvec_t: {}x{} transposed by vector of length {}",
+                self.rows,
+                self.cols,
+                x.len()
+            )));
+        }
+        let mut y = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            crate::vec_ops::axpy(xi, self.row(i), &mut y);
+        }
+        Ok(y)
+    }
+
+    /// Matrix product `A B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when the inner dimensions
+    /// disagree.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::dim(format!(
+                "matmul: {}x{} by {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += aik * other[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sum `A + B` as a new matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Difference `A − B` as a new matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+    pub fn sub(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    fn zip_with(&self, other: &Matrix, op: &str, f: impl Fn(f64, f64) -> f64) -> Result<Matrix> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(LinalgError::dim(format!(
+                "{op}: {}x{} with {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| f(*a, *b))
+                .collect(),
+        })
+    }
+
+    /// Returns `alpha * A` as a new matrix.
+    #[must_use]
+    pub fn scaled(&self, alpha: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| alpha * v).collect(),
+        }
+    }
+
+    /// Gram product `Aᵀ A` (always symmetric positive semi-definite).
+    #[must_use]
+    pub fn gram(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        for k in 0..self.rows {
+            let row = self.row(k);
+            for i in 0..self.cols {
+                let rki = row[i];
+                if rki == 0.0 {
+                    continue;
+                }
+                for j in i..self.cols {
+                    out[(i, j)] += rki * row[j];
+                }
+            }
+        }
+        for i in 0..self.cols {
+            for j in 0..i {
+                out[(i, j)] = out[(j, i)];
+            }
+        }
+        out
+    }
+
+    /// Writes `block` into `self` with its top-left corner at `(r0, c0)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when the block does not fit.
+    pub fn set_block(&mut self, r0: usize, c0: usize, block: &Matrix) -> Result<()> {
+        if r0 + block.rows > self.rows || c0 + block.cols > self.cols {
+            return Err(LinalgError::dim(format!(
+                "set_block: block {}x{} at ({r0},{c0}) into {}x{}",
+                block.rows, block.cols, self.rows, self.cols
+            )));
+        }
+        for i in 0..block.rows {
+            for j in 0..block.cols {
+                self[(r0 + i, c0 + j)] = block[(i, j)];
+            }
+        }
+        Ok(())
+    }
+
+    /// Extracts the `nr × nc` block with top-left corner `(r0, c0)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when the block exceeds the
+    /// matrix bounds.
+    pub fn block(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> Result<Matrix> {
+        if r0 + nr > self.rows || c0 + nc > self.cols {
+            return Err(LinalgError::dim(format!(
+                "block: {nr}x{nc} at ({r0},{c0}) from {}x{}",
+                self.rows, self.cols
+            )));
+        }
+        Ok(Matrix::from_fn(nr, nc, |i, j| self[(r0 + i, c0 + j)]))
+    }
+
+    /// Maximum absolute entry (the max-norm).
+    #[must_use]
+    pub fn norm_max(&self) -> f64 {
+        crate::vec_ops::norm_inf(&self.data)
+    }
+
+    /// Frobenius norm.
+    #[must_use]
+    pub fn norm_fro(&self) -> f64 {
+        crate::vec_ops::norm2(&self.data)
+    }
+
+    /// Returns `true` when `‖A − Aᵀ‖∞ ≤ tol`.
+    #[must_use]
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Borrows the underlying row-major storage.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Adds `alpha` to every diagonal entry (Tikhonov-style regularization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn add_diagonal(&mut self, alpha: f64) {
+        assert!(self.is_square(), "add_diagonal requires a square matrix");
+        for i in 0..self.rows {
+            self[(i, i)] += alpha;
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:12.6}", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abcd() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap()
+    }
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i.matvec(&[1.0, 2.0, 3.0]).unwrap(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(&[&[1.0], &[1.0, 2.0]]).unwrap_err();
+        assert!(matches!(err, LinalgError::DimensionMismatch { .. }));
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = abcd();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matvec_and_matvec_t_agree_with_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let x = [1.0, -1.0];
+        let via_t = a.transpose().matvec(&x).unwrap();
+        let direct = a.matvec_t(&x).unwrap();
+        assert_eq!(via_t, direct);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = abcd();
+        assert_eq!(a.matmul(&Matrix::identity(2)).unwrap(), a);
+        assert_eq!(Matrix::identity(2).matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = abcd();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = abcd();
+        let b = Matrix::zeros(3, 2);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[3.0, -4.0, 1.0]]).unwrap();
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a).unwrap();
+        assert!(g.sub(&explicit).unwrap().norm_max() < 1e-12);
+        assert!(g.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let mut m = Matrix::zeros(4, 4);
+        let b = abcd();
+        m.set_block(1, 2, &b).unwrap();
+        assert_eq!(m.block(1, 2, 2, 2).unwrap(), b);
+        assert_eq!(m[(0, 0)], 0.0);
+        assert!(m.set_block(3, 3, &b).is_err());
+        assert!(m.block(3, 3, 2, 2).is_err());
+    }
+
+    #[test]
+    fn diag_and_regularization() {
+        let mut d = Matrix::from_diag(&[1.0, 2.0]);
+        d.add_diagonal(0.5);
+        assert_eq!(d[(0, 0)], 1.5);
+        assert_eq!(d[(1, 1)], 2.5);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let s = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        assert!(s.is_symmetric(0.0));
+        assert!(!abcd().is_symmetric(1e-9));
+        assert!(!Matrix::zeros(2, 3).is_symmetric(0.0));
+    }
+
+    #[test]
+    fn display_contains_entries() {
+        let s = format!("{}", abcd());
+        assert!(s.contains("1.0"));
+        assert!(s.contains('\n'));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let a = abcd();
+        let _ = a[(2, 0)];
+    }
+
+    #[test]
+    fn scaled_and_add_sub() {
+        let a = abcd();
+        let twice = a.scaled(2.0);
+        assert_eq!(a.add(&a).unwrap(), twice);
+        assert_eq!(twice.sub(&a).unwrap(), a);
+        assert!(a.add(&Matrix::zeros(3, 3)).is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! BLAS-1 style helpers over `&[f64]` slices.
+//!
+//! These are free functions rather than methods on a vector newtype because
+//! the optimization code in `ufc-opt` and `ufc-core` works directly on plain
+//! `Vec<f64>` buffers owned by problem/solver state, and a wrapper type would
+//! force conversions at every boundary.
+//!
+//! All binary operations panic on length mismatch (caller bug, not a
+//! recoverable condition), mirroring the standard library's slice APIs.
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[must_use]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// In-place `y += alpha * x` (the BLAS `axpy`).
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place scaling `x *= alpha`.
+pub fn scale(x: &mut [f64], alpha: f64) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Returns `x - y` as a new vector.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[must_use]
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "sub: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// Returns `x + y` as a new vector.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[must_use]
+pub fn add(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "add: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a + b).collect()
+}
+
+/// Euclidean norm `‖x‖₂`.
+///
+/// Uses a scaled accumulation that is robust to overflow for large entries.
+#[must_use]
+pub fn norm2(x: &[f64]) -> f64 {
+    let maxabs = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    if maxabs == 0.0 || !maxabs.is_finite() {
+        return maxabs;
+    }
+    let sum: f64 = x.iter().map(|v| (v / maxabs) * (v / maxabs)).sum();
+    maxabs * sum.sqrt()
+}
+
+/// `‖x‖₁` — sum of absolute values.
+#[must_use]
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// `‖x‖∞` — maximum absolute value (0 for the empty slice).
+#[must_use]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+}
+
+/// Euclidean distance `‖x − y‖₂`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[must_use]
+pub fn dist2(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dist2: length mismatch");
+    let maxabs = x
+        .iter()
+        .zip(y)
+        .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
+    if maxabs == 0.0 || !maxabs.is_finite() {
+        return maxabs;
+    }
+    let sum: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(a, b)| {
+            let d = (a - b) / maxabs;
+            d * d
+        })
+        .sum();
+    maxabs * sum.sqrt()
+}
+
+/// Sum of all entries.
+#[must_use]
+pub fn sum(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+/// Linear interpolation `(1 − t) * x + t * y` as a new vector.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[must_use]
+pub fn lerp(x: &[f64], y: &[f64], t: f64) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "lerp: length mismatch");
+    x.iter().zip(y).map(|(a, b)| (1.0 - t) * a + t * b).collect()
+}
+
+/// Returns `true` when every component of `x` is within `tol` of `y`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[must_use]
+pub fn approx_eq(x: &[f64], y: &[f64], tol: f64) -> bool {
+    assert_eq!(x.len(), y.len(), "approx_eq: length mismatch");
+    x.iter().zip(y).all(|(a, b)| (a - b).abs() <= tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dot: length mismatch")]
+    fn dot_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![1.0, -2.0];
+        scale(&mut x, -0.5);
+        assert_eq!(x, vec![-0.5, 1.0]);
+    }
+
+    #[test]
+    fn norms_agree_on_unit_vectors() {
+        let e = [0.0, 1.0, 0.0];
+        assert_eq!(norm1(&e), 1.0);
+        assert_eq!(norm2(&e), 1.0);
+        assert_eq!(norm_inf(&e), 1.0);
+    }
+
+    #[test]
+    fn norm2_is_overflow_safe() {
+        let big = vec![1e200, 1e200];
+        let n = norm2(&big);
+        assert!(n.is_finite());
+        assert!((n - 2f64.sqrt() * 1e200).abs() / n < 1e-12);
+    }
+
+    #[test]
+    fn norm2_empty_and_zero() {
+        assert_eq!(norm2(&[]), 0.0);
+        assert_eq!(norm2(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn dist2_matches_norm_of_difference() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [0.0, -1.0, 5.0];
+        let d = dist2(&x, &y);
+        assert!((d - norm2(&sub(&x, &y))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let x = [1.5, -2.0];
+        let y = [0.5, 4.0];
+        assert_eq!(sub(&add(&x, &y), &y), x.to_vec());
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let x = [1.0, 2.0];
+        let y = [3.0, 4.0];
+        assert_eq!(lerp(&x, &y, 0.0), x.to_vec());
+        assert_eq!(lerp(&x, &y, 1.0), y.to_vec());
+        assert_eq!(lerp(&x, &y, 0.5), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        assert!(approx_eq(&[1.0], &[1.0 + 1e-12], 1e-9));
+        assert!(!approx_eq(&[1.0], &[1.1], 1e-9));
+    }
+}

@@ -1,0 +1,129 @@
+use crate::{ModelError, Result, ServerPowerModel};
+
+/// Static description of one datacenter (paper §II-A and §IV-A).
+///
+/// # Example
+///
+/// ```
+/// use ufc_model::{DatacenterSpec, ServerPowerModel};
+///
+/// # fn main() -> Result<(), ufc_model::ModelError> {
+/// let dc = DatacenterSpec::new("Dallas", 20.0, 1.2, ServerPowerModel::paper_default())?
+///     .with_full_fuel_cell_capacity();
+/// // μmax = P_peak·S·PUE = 200 W × 20k × 1.2 = 4.8 MW.
+/// assert!((dc.fuel_cell_capacity_mw - 4.8).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatacenterSpec {
+    /// Site name.
+    pub name: String,
+    /// Active homogeneous servers, in kilo-servers (`S_j`).
+    pub servers_k: f64,
+    /// Facility power usage effectiveness.
+    pub pue: f64,
+    /// Per-server power model.
+    pub power: ServerPowerModel,
+    /// Fuel-cell output capacity `μ_j^max` in MW (0 = no fuel cells).
+    pub fuel_cell_capacity_mw: f64,
+}
+
+impl DatacenterSpec {
+    /// Creates a spec with no fuel-cell capacity (add it with
+    /// [`DatacenterSpec::with_full_fuel_cell_capacity`] or by setting the
+    /// field).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for nonpositive server count
+    /// or `PUE < 1`.
+    pub fn new(
+        name: impl Into<String>,
+        servers_k: f64,
+        pue: f64,
+        power: ServerPowerModel,
+    ) -> Result<Self> {
+        if servers_k <= 0.0 {
+            return Err(ModelError::param(format!(
+                "server count must be positive, got {servers_k}"
+            )));
+        }
+        if pue < 1.0 {
+            return Err(ModelError::param(format!("PUE below 1.0: {pue}")));
+        }
+        Ok(DatacenterSpec {
+            name: name.into(),
+            servers_k,
+            pue,
+            power,
+            fuel_cell_capacity_mw: 0.0,
+        })
+    }
+
+    /// Sets `μ_j^max = P_peak·S_j·PUE_j` — the paper's §IV-A assumption that
+    /// fuel cells can fully power the datacenter at peak.
+    #[must_use]
+    pub fn with_full_fuel_cell_capacity(mut self) -> Self {
+        self.fuel_cell_capacity_mw = self.power.peak_w * self.servers_k * self.pue * 1e-3;
+        self
+    }
+
+    /// Fixed power term `α_j` in MW.
+    #[must_use]
+    pub fn alpha_mw(&self) -> f64 {
+        self.power
+            .alpha_mw(self.servers_k, self.pue)
+            .expect("validated at construction")
+    }
+
+    /// Load-proportional term `β_j` in MW per kilo-server.
+    #[must_use]
+    pub fn beta_mw_per_kserver(&self) -> f64 {
+        self.power
+            .beta_mw_per_kserver(self.pue)
+            .expect("validated at construction")
+    }
+
+    /// Peak total demand (full utilization) in MW.
+    #[must_use]
+    pub fn peak_demand_mw(&self) -> f64 {
+        self.alpha_mw() + self.beta_mw_per_kserver() * self.servers_k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dc() -> DatacenterSpec {
+        DatacenterSpec::new("Test", 20.0, 1.2, ServerPowerModel::paper_default()).unwrap()
+    }
+
+    #[test]
+    fn alpha_beta_match_paper_defaults() {
+        let d = dc();
+        assert!((d.alpha_mw() - 2.4).abs() < 1e-12);
+        assert!((d.beta_mw_per_kserver() - 0.12).abs() < 1e-12);
+        // Peak demand = α + β·S = 2.4 + 2.4 = 4.8 MW = μmax.
+        assert!((d.peak_demand_mw() - 4.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_fuel_cell_capacity_covers_peak() {
+        let d = dc().with_full_fuel_cell_capacity();
+        assert!(d.fuel_cell_capacity_mw >= d.peak_demand_mw() - 1e-12);
+    }
+
+    #[test]
+    fn default_has_no_fuel_cells() {
+        assert_eq!(dc().fuel_cell_capacity_mw, 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        let p = ServerPowerModel::paper_default();
+        assert!(DatacenterSpec::new("x", 0.0, 1.2, p).is_err());
+        assert!(DatacenterSpec::new("x", 10.0, 0.5, p).is_err());
+    }
+}

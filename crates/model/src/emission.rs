@@ -1,0 +1,230 @@
+use crate::{ModelError, Result};
+
+/// Monetized emission-cost function `V_j(E)` (paper §II-B2).
+///
+/// The paper requires only that `V_j` be *non-decreasing and convex*, and
+/// motivates three real-world shapes, all implemented here:
+///
+/// * [`EmissionCostFn::linear`] — a flat carbon tax (`$r` per ton, e.g.
+///   Australia's \$23 AUD/ton); **not strongly convex**, which is exactly why
+///   the paper adopts ADM-G instead of plain multi-block ADMM,
+/// * [`EmissionCostFn::quadratic`] — convex offset/penalty pricing where the
+///   marginal cost grows with the emission volume,
+/// * [`EmissionCostFn::stepped`] — piecewise-linear increasing brackets, the
+///   "stepped tax system" / cap-and-trade tariff the paper cites.
+///
+/// # Example
+///
+/// ```
+/// use ufc_model::EmissionCostFn;
+///
+/// # fn main() -> Result<(), ufc_model::ModelError> {
+/// let tax = EmissionCostFn::linear(25.0)?; // the paper's default $25/ton
+/// assert_eq!(tax.value(2.0), 50.0);
+/// assert_eq!(tax.marginal(2.0), 25.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmissionCostFn {
+    /// `V(E) = rate · E`.
+    Linear {
+        /// Tax rate in $/ton.
+        rate: f64,
+    },
+    /// `V(E) = linear·E + quad·E²`.
+    Quadratic {
+        /// Linear coefficient in $/ton.
+        linear: f64,
+        /// Quadratic coefficient in $/ton².
+        quad: f64,
+    },
+    /// Piecewise-linear increasing brackets: emissions within
+    /// `(threshold_{k−1}, threshold_k]` are charged at `rates[k]`.
+    Stepped {
+        /// Upper bounds of all but the last bracket, strictly increasing.
+        thresholds: Vec<f64>,
+        /// Rates per bracket; `rates.len() == thresholds.len() + 1` and
+        /// nondecreasing (convexity).
+        rates: Vec<f64>,
+    },
+}
+
+impl EmissionCostFn {
+    /// Flat carbon tax at `rate` $/ton.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `rate < 0`.
+    pub fn linear(rate: f64) -> Result<Self> {
+        if rate < 0.0 {
+            return Err(ModelError::param(format!("negative tax rate {rate}")));
+        }
+        Ok(EmissionCostFn::Linear { rate })
+    }
+
+    /// Quadratic emission cost `linear·E + quad·E²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if either coefficient is
+    /// negative (convexity/monotonicity would fail).
+    pub fn quadratic(linear: f64, quad: f64) -> Result<Self> {
+        if linear < 0.0 || quad < 0.0 {
+            return Err(ModelError::param(format!(
+                "quadratic emission cost needs nonnegative coefficients, got ({linear}, {quad})"
+            )));
+        }
+        Ok(EmissionCostFn::Quadratic { linear, quad })
+    }
+
+    /// Stepped (piecewise-linear) tax.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] unless thresholds are
+    /// positive and strictly increasing, `rates.len() == thresholds.len()+1`,
+    /// and rates are nonnegative and nondecreasing (convexity).
+    pub fn stepped(thresholds: Vec<f64>, rates: Vec<f64>) -> Result<Self> {
+        if rates.len() != thresholds.len() + 1 {
+            return Err(ModelError::param(format!(
+                "stepped tax needs {} rates for {} thresholds, got {}",
+                thresholds.len() + 1,
+                thresholds.len(),
+                rates.len()
+            )));
+        }
+        if thresholds.iter().any(|&t| t <= 0.0)
+            || thresholds.windows(2).any(|w| w[0] >= w[1])
+        {
+            return Err(ModelError::param(
+                "thresholds must be positive and strictly increasing",
+            ));
+        }
+        if rates.iter().any(|&r| r < 0.0) || rates.windows(2).any(|w| w[0] > w[1]) {
+            return Err(ModelError::param(
+                "rates must be nonnegative and nondecreasing for convexity",
+            ));
+        }
+        Ok(EmissionCostFn::Stepped { thresholds, rates })
+    }
+
+    /// Cost in $ for `tons` of emissions (clamped below at zero emissions).
+    #[must_use]
+    pub fn value(&self, tons: f64) -> f64 {
+        let e = tons.max(0.0);
+        match self {
+            EmissionCostFn::Linear { rate } => rate * e,
+            EmissionCostFn::Quadratic { linear, quad } => linear * e + quad * e * e,
+            EmissionCostFn::Stepped { thresholds, rates } => {
+                let mut cost = 0.0;
+                let mut prev = 0.0;
+                for (t, r) in thresholds.iter().zip(rates) {
+                    if e <= *t {
+                        return cost + r * (e - prev);
+                    }
+                    cost += r * (t - prev);
+                    prev = *t;
+                }
+                cost + rates[rates.len() - 1] * (e - prev)
+            }
+        }
+    }
+
+    /// Right derivative (marginal cost, $/ton) at `tons`.
+    #[must_use]
+    pub fn marginal(&self, tons: f64) -> f64 {
+        let e = tons.max(0.0);
+        match self {
+            EmissionCostFn::Linear { rate } => *rate,
+            EmissionCostFn::Quadratic { linear, quad } => linear + 2.0 * quad * e,
+            EmissionCostFn::Stepped { thresholds, rates } => {
+                for (t, r) in thresholds.iter().zip(rates) {
+                    if e < *t {
+                        return *r;
+                    }
+                }
+                rates[rates.len() - 1]
+            }
+        }
+    }
+
+    /// `true` when the marginal cost is constant — i.e. the function is
+    /// affine and therefore **not strongly convex** (the case that rules out
+    /// plain multi-block ADMM and motivates ADM-G; paper §III).
+    #[must_use]
+    pub fn is_affine(&self) -> bool {
+        match self {
+            EmissionCostFn::Linear { .. } => true,
+            EmissionCostFn::Quadratic { quad, .. } => *quad == 0.0,
+            EmissionCostFn::Stepped { rates, .. } => {
+                rates.iter().all(|r| (r - rates[0]).abs() < 1e-15)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_tax() {
+        let v = EmissionCostFn::linear(25.0).unwrap();
+        assert_eq!(v.value(0.0), 0.0);
+        assert_eq!(v.value(3.0), 75.0);
+        assert_eq!(v.marginal(100.0), 25.0);
+        assert!(v.is_affine());
+        assert!(EmissionCostFn::linear(-1.0).is_err());
+    }
+
+    #[test]
+    fn quadratic_cost() {
+        let v = EmissionCostFn::quadratic(10.0, 2.0).unwrap();
+        assert_eq!(v.value(3.0), 30.0 + 18.0);
+        assert_eq!(v.marginal(3.0), 10.0 + 12.0);
+        assert!(!v.is_affine());
+        assert!(EmissionCostFn::quadratic(10.0, 0.0).unwrap().is_affine());
+        assert!(EmissionCostFn::quadratic(-1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn stepped_value_is_continuous_and_convex() {
+        let v = EmissionCostFn::stepped(vec![1.0, 2.0], vec![10.0, 20.0, 40.0]).unwrap();
+        // Continuity at the knots.
+        assert!((v.value(1.0) - 10.0).abs() < 1e-12);
+        assert!((v.value(2.0) - 30.0).abs() < 1e-12);
+        assert!((v.value(3.0) - 70.0).abs() < 1e-12);
+        // Marginals step upward.
+        assert_eq!(v.marginal(0.5), 10.0);
+        assert_eq!(v.marginal(1.5), 20.0);
+        assert_eq!(v.marginal(5.0), 40.0);
+        assert!(!v.is_affine());
+    }
+
+    #[test]
+    fn stepped_validation() {
+        assert!(EmissionCostFn::stepped(vec![1.0], vec![10.0]).is_err()); // wrong arity
+        assert!(EmissionCostFn::stepped(vec![2.0, 1.0], vec![1.0, 2.0, 3.0]).is_err()); // not increasing
+        assert!(EmissionCostFn::stepped(vec![1.0], vec![20.0, 10.0]).is_err()); // decreasing rates
+        assert!(EmissionCostFn::stepped(vec![-1.0], vec![1.0, 2.0]).is_err()); // nonpositive knot
+    }
+
+    #[test]
+    fn negative_emissions_clamp_to_zero() {
+        let v = EmissionCostFn::linear(25.0).unwrap();
+        assert_eq!(v.value(-5.0), 0.0);
+        assert_eq!(v.marginal(-5.0), 25.0);
+    }
+
+    #[test]
+    fn convexity_spot_check() {
+        // value((a+b)/2) ≤ (value(a)+value(b))/2 for stepped function.
+        let v = EmissionCostFn::stepped(vec![1.0, 3.0], vec![5.0, 15.0, 50.0]).unwrap();
+        for (a, b) in [(0.0, 2.0), (0.5, 4.0), (1.0, 6.0), (2.5, 3.5)] {
+            let mid = v.value(0.5 * (a + b));
+            let avg = 0.5 * (v.value(a) + v.value(b));
+            assert!(mid <= avg + 1e-12, "convexity fails on ({a}, {b})");
+        }
+    }
+}

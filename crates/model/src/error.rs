@@ -1,0 +1,73 @@
+use std::fmt;
+
+/// Errors produced by model construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A parameter was out of its documented range.
+    InvalidParameter {
+        /// Description of the offending parameter and value.
+        context: String,
+    },
+    /// The instance is structurally infeasible (e.g. total arrivals exceed
+    /// total capacity).
+    Infeasible {
+        /// Description of the violated requirement.
+        context: String,
+    },
+    /// Inconsistent dimensions between instance components.
+    DimensionMismatch {
+        /// Description of the mismatch.
+        context: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParameter { context } => {
+                write!(f, "invalid parameter: {context}")
+            }
+            ModelError::Infeasible { context } => write!(f, "infeasible instance: {context}"),
+            ModelError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl ModelError {
+    /// Builds an [`ModelError::InvalidParameter`].
+    pub fn param(context: impl Into<String>) -> Self {
+        ModelError::InvalidParameter {
+            context: context.into(),
+        }
+    }
+
+    /// Builds an [`ModelError::Infeasible`].
+    pub fn infeasible(context: impl Into<String>) -> Self {
+        ModelError::Infeasible {
+            context: context.into(),
+        }
+    }
+
+    /// Builds an [`ModelError::DimensionMismatch`].
+    pub fn dim(context: impl Into<String>) -> Self {
+        ModelError::DimensionMismatch {
+            context: context.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ModelError::param("w").to_string().contains("invalid"));
+        assert!(ModelError::infeasible("cap").to_string().contains("infeasible"));
+        assert!(ModelError::dim("n").to_string().contains("mismatch"));
+    }
+}

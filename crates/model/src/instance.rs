@@ -1,0 +1,371 @@
+use crate::{DatacenterSpec, EmissionCostFn, ModelError, Result};
+
+/// A single-time-slot UFC maximization instance — the data of problem (3).
+///
+/// The paper's decision variables (`λ_ij`, `μ_j`, and the derived grid draw
+/// `ν_j`) live in [`crate::OperatingPoint`]; this type carries everything
+/// else: arrivals, capacities, the affine power model `(α_j, β_j)`, fuel
+/// cell capacities and price, grid prices, carbon rates, latencies, the
+/// latency weight `w`, and the per-datacenter emission-cost functions `V_j`.
+///
+/// Invariants are validated at construction: consistent dimensions, positive
+/// arrivals/capacities, total capacity covering total arrivals, nonnegative
+/// prices, `PUE`-derived coefficients positive, latencies nonnegative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UfcInstance {
+    /// Per-front-end arrivals `A_i` in kilo-servers (length `M`).
+    pub arrivals: Vec<f64>,
+    /// Per-datacenter capacities `S_j` in kilo-servers (length `N`).
+    pub capacities: Vec<f64>,
+    /// Fixed power term `α_j` in MW (length `N`).
+    pub alpha: Vec<f64>,
+    /// Load-proportional power `β_j` in MW per kilo-server (length `N`).
+    pub beta: Vec<f64>,
+    /// Fuel-cell output capacity `μ_j^max` in MW (length `N`).
+    pub mu_max: Vec<f64>,
+    /// Grid electricity price `p_j` in $/MWh (length `N`).
+    pub grid_price: Vec<f64>,
+    /// Fuel-cell generation price `p₀` in $/MWh.
+    pub fuel_cell_price: f64,
+    /// Carbon emission rate `C_j` in **tons/MWh** (length `N`).
+    pub carbon_t_per_mwh: Vec<f64>,
+    /// Propagation latency `L_ij` in seconds (`M × N`).
+    pub latency_s: Vec<Vec<f64>>,
+    /// Latency weight `w` in the paper's unit: $/s² per *server*.
+    pub weight_per_server: f64,
+    /// Emission cost functions `V_j` (length `N`).
+    pub emission_cost: Vec<EmissionCostFn>,
+    /// Slot length in hours (energy = power × slot).
+    pub slot_hours: f64,
+    /// Optional congestion (queueing-delay) cost — an extension beyond the
+    /// paper; `None` reproduces the paper's model exactly.
+    pub queueing: Option<crate::QueueingCost>,
+}
+
+impl UfcInstance {
+    /// Validates and constructs an instance.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::DimensionMismatch`] when vector lengths disagree.
+    /// * [`ModelError::InvalidParameter`] on out-of-range values.
+    /// * [`ModelError::Infeasible`] when `Σ S_j < Σ A_i`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        arrivals: Vec<f64>,
+        capacities: Vec<f64>,
+        alpha: Vec<f64>,
+        beta: Vec<f64>,
+        mu_max: Vec<f64>,
+        grid_price: Vec<f64>,
+        fuel_cell_price: f64,
+        carbon_t_per_mwh: Vec<f64>,
+        latency_s: Vec<Vec<f64>>,
+        weight_per_server: f64,
+        emission_cost: Vec<EmissionCostFn>,
+        slot_hours: f64,
+    ) -> Result<Self> {
+        let m = arrivals.len();
+        let n = capacities.len();
+        if m == 0 || n == 0 {
+            return Err(ModelError::param("need at least one front-end and datacenter"));
+        }
+        for (name, v) in [
+            ("alpha", &alpha),
+            ("beta", &beta),
+            ("mu_max", &mu_max),
+            ("grid_price", &grid_price),
+            ("carbon", &carbon_t_per_mwh),
+        ] {
+            if v.len() != n {
+                return Err(ModelError::dim(format!(
+                    "{name} has length {} but there are {n} datacenters",
+                    v.len()
+                )));
+            }
+        }
+        if emission_cost.len() != n {
+            return Err(ModelError::dim(format!(
+                "emission_cost has length {} but there are {n} datacenters",
+                emission_cost.len()
+            )));
+        }
+        if latency_s.len() != m || latency_s.iter().any(|row| row.len() != n) {
+            return Err(ModelError::dim(format!(
+                "latency matrix must be {m}x{n}"
+            )));
+        }
+        if arrivals.iter().any(|&a| a <= 0.0) {
+            return Err(ModelError::param("arrivals must be positive"));
+        }
+        if capacities.iter().any(|&s| s <= 0.0) {
+            return Err(ModelError::param("capacities must be positive"));
+        }
+        if alpha.iter().any(|&v| v <= 0.0) || beta.iter().any(|&v| v <= 0.0) {
+            return Err(ModelError::param("power coefficients must be positive"));
+        }
+        if mu_max.iter().any(|&v| v < 0.0) {
+            return Err(ModelError::param("fuel-cell capacity cannot be negative"));
+        }
+        if grid_price.iter().any(|&v| v < 0.0) || fuel_cell_price < 0.0 {
+            return Err(ModelError::param("prices cannot be negative"));
+        }
+        if carbon_t_per_mwh.iter().any(|&v| v < 0.0) {
+            return Err(ModelError::param("carbon rates cannot be negative"));
+        }
+        if latency_s.iter().flatten().any(|&v| v < 0.0) {
+            return Err(ModelError::param("latencies cannot be negative"));
+        }
+        if weight_per_server < 0.0 {
+            return Err(ModelError::param("latency weight cannot be negative"));
+        }
+        if slot_hours <= 0.0 {
+            return Err(ModelError::param("slot length must be positive"));
+        }
+        let total_a: f64 = arrivals.iter().sum();
+        let total_s: f64 = capacities.iter().sum();
+        if total_a > total_s * (1.0 + 1e-9) {
+            return Err(ModelError::infeasible(format!(
+                "total arrivals {total_a} kservers exceed total capacity {total_s}"
+            )));
+        }
+        Ok(UfcInstance {
+            arrivals,
+            capacities,
+            alpha,
+            beta,
+            mu_max,
+            grid_price,
+            fuel_cell_price,
+            carbon_t_per_mwh,
+            latency_s,
+            weight_per_server,
+            emission_cost,
+            slot_hours,
+            queueing: None,
+        })
+    }
+
+    /// Enables the congestion-cost extension (see [`crate::QueueingCost`]).
+    #[must_use]
+    pub fn with_queueing(mut self, queueing: crate::QueueingCost) -> Self {
+        self.queueing = Some(queueing);
+        self
+    }
+
+    /// Builds the per-datacenter vectors from [`DatacenterSpec`]s.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures from [`UfcInstance::new`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_specs(
+        arrivals: Vec<f64>,
+        specs: &[DatacenterSpec],
+        grid_price: Vec<f64>,
+        fuel_cell_price: f64,
+        carbon_t_per_mwh: Vec<f64>,
+        latency_s: Vec<Vec<f64>>,
+        weight_per_server: f64,
+        emission_cost: Vec<EmissionCostFn>,
+        slot_hours: f64,
+    ) -> Result<Self> {
+        UfcInstance::new(
+            arrivals,
+            specs.iter().map(|d| d.servers_k).collect(),
+            specs.iter().map(DatacenterSpec::alpha_mw).collect(),
+            specs.iter().map(DatacenterSpec::beta_mw_per_kserver).collect(),
+            specs.iter().map(|d| d.fuel_cell_capacity_mw).collect(),
+            grid_price,
+            fuel_cell_price,
+            carbon_t_per_mwh,
+            latency_s,
+            weight_per_server,
+            emission_cost,
+            slot_hours,
+        )
+    }
+
+    /// Number of datacenters `N`.
+    #[must_use]
+    pub fn n_datacenters(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Number of front-end proxies `M`.
+    #[must_use]
+    pub fn m_frontends(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// `Σ_i A_i` in kilo-servers.
+    #[must_use]
+    pub fn total_arrivals(&self) -> f64 {
+        self.arrivals.iter().sum()
+    }
+
+    /// `Σ_j S_j` in kilo-servers.
+    #[must_use]
+    pub fn total_capacity(&self) -> f64 {
+        self.capacities.iter().sum()
+    }
+
+    /// Latency weight converted to $/s² per **kilo-server** (the internal
+    /// workload unit): `w × 1000`.
+    #[must_use]
+    pub fn weight_per_kserver(&self) -> f64 {
+        self.weight_per_server * 1e3
+    }
+
+    /// Power demand of datacenter `j` (MW) at the given load (kilo-servers):
+    /// `α_j + β_j·load`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn demand_mw(&self, j: usize, load_k: f64) -> f64 {
+        self.alpha[j] + self.beta[j] * load_k
+    }
+
+    /// `true` when every datacenter's fuel cells can cover its peak demand —
+    /// the paper's §IV-A assumption, required for the *Fuel cell* strategy
+    /// to be feasible.
+    #[must_use]
+    pub fn fuel_cells_cover_peak(&self) -> bool {
+        (0..self.n_datacenters())
+            .all(|j| self.mu_max[j] >= self.demand_mw(j, self.capacities[j]) - 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn tiny() -> UfcInstance {
+        UfcInstance::new(
+            vec![1.0, 2.0],                      // arrivals (M=2)
+            vec![2.0, 2.0],                      // capacities (N=2)
+            vec![0.24, 0.24],                    // alpha
+            vec![0.12, 0.12],                    // beta
+            vec![0.48, 0.48],                    // mu_max
+            vec![30.0, 70.0],                    // prices
+            80.0,                                // p0
+            vec![0.5, 0.3],                      // carbon t/MWh
+            vec![vec![0.01, 0.02], vec![0.02, 0.01]],
+            10.0,
+            vec![
+                EmissionCostFn::linear(25.0).unwrap(),
+                EmissionCostFn::linear(25.0).unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let i = tiny();
+        assert_eq!(i.n_datacenters(), 2);
+        assert_eq!(i.m_frontends(), 2);
+        assert_eq!(i.total_arrivals(), 3.0);
+        assert_eq!(i.total_capacity(), 4.0);
+        assert_eq!(i.weight_per_kserver(), 10_000.0);
+        assert!((i.demand_mw(0, 1.0) - 0.36).abs() < 1e-12);
+        assert!(i.fuel_cells_cover_peak());
+    }
+
+    #[test]
+    fn rejects_overload() {
+        let mut args = tiny();
+        args.arrivals = vec![3.0, 3.0];
+        let r = UfcInstance::new(
+            args.arrivals,
+            args.capacities,
+            args.alpha,
+            args.beta,
+            args.mu_max,
+            args.grid_price,
+            args.fuel_cell_price,
+            args.carbon_t_per_mwh,
+            args.latency_s,
+            args.weight_per_server,
+            args.emission_cost,
+            args.slot_hours,
+        );
+        assert!(matches!(r, Err(ModelError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let i = tiny();
+        let r = UfcInstance::new(
+            i.arrivals.clone(),
+            i.capacities.clone(),
+            vec![0.24], // wrong length
+            i.beta.clone(),
+            i.mu_max.clone(),
+            i.grid_price.clone(),
+            i.fuel_cell_price,
+            i.carbon_t_per_mwh.clone(),
+            i.latency_s.clone(),
+            i.weight_per_server,
+            i.emission_cost.clone(),
+            i.slot_hours,
+        );
+        assert!(matches!(r, Err(ModelError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let i = tiny();
+        for (arr, cap) in [(vec![0.0, 1.0], i.capacities.clone()), (i.arrivals.clone(), vec![-1.0, 5.0])] {
+            let r = UfcInstance::new(
+                arr,
+                cap,
+                i.alpha.clone(),
+                i.beta.clone(),
+                i.mu_max.clone(),
+                i.grid_price.clone(),
+                i.fuel_cell_price,
+                i.carbon_t_per_mwh.clone(),
+                i.latency_s.clone(),
+                i.weight_per_server,
+                i.emission_cost.clone(),
+                i.slot_hours,
+            );
+            assert!(r.is_err());
+        }
+    }
+
+    #[test]
+    fn from_specs_matches_manual_construction() {
+        use crate::ServerPowerModel;
+        let specs = vec![
+            DatacenterSpec::new("A", 2.0, 1.2, ServerPowerModel::paper_default())
+                .unwrap()
+                .with_full_fuel_cell_capacity(),
+            DatacenterSpec::new("B", 2.0, 1.2, ServerPowerModel::paper_default())
+                .unwrap()
+                .with_full_fuel_cell_capacity(),
+        ];
+        let inst = UfcInstance::from_specs(
+            vec![1.0, 2.0],
+            &specs,
+            vec![30.0, 70.0],
+            80.0,
+            vec![0.5, 0.3],
+            vec![vec![0.01, 0.02], vec![0.02, 0.01]],
+            10.0,
+            vec![
+                EmissionCostFn::linear(25.0).unwrap(),
+                EmissionCostFn::linear(25.0).unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap();
+        assert!((inst.alpha[0] - 0.24).abs() < 1e-12);
+        assert!((inst.beta[0] - 0.12).abs() < 1e-12);
+        assert!((inst.mu_max[0] - 0.48).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,78 @@
+//! The UFC cloud model — problem instances, cost components, and the UFC
+//! index itself.
+//!
+//! This crate encodes §II of the paper: the linear server power model, the
+//! carbon-emission accounting, the latency (dis)utility, the monetized
+//! emission-cost functions `V_j`, and the single-slot optimization instance
+//! ([`UfcInstance`]) that the solver crate (`ufc-core`) optimizes. It also
+//! evaluates the **UFC index** — the operator's total payoff
+//!
+//! ```text
+//! UFC(λ, μ, ν) = w·Σᵢ U(λᵢ) − Σⱼ Vⱼ(Cⱼ·νⱼ·h) − Σⱼ (pⱼ·νⱼ + p₀·μⱼ)·h
+//! ```
+//!
+//! for any operating point, and builds week-long scenarios from the trace
+//! substrate.
+//!
+//! # Units
+//!
+//! Workload is measured in **kilo-servers**, power in **MW**, money in
+//! **$**, latency in **seconds**, and carbon in **metric tons**. The
+//! latency weight `w` is configured in the paper's per-server unit
+//! ($/s² per server) and converted internally (×1000 per kilo-server).
+//!
+//! # Example
+//!
+//! ```
+//! use ufc_model::scenario::ScenarioBuilder;
+//!
+//! # fn main() -> Result<(), ufc_model::ModelError> {
+//! let scenario = ScenarioBuilder::paper_default().seed(42).hours(24).build()?;
+//! let inst = &scenario.instances[12];
+//! assert_eq!(inst.n_datacenters(), 4);
+//! assert_eq!(inst.m_frontends(), 10);
+//! // Every instance is feasible: capacity covers arrivals.
+//! assert!(inst.total_capacity() >= inst.total_arrivals());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod datacenter;
+mod emission;
+mod error;
+mod instance;
+mod operating_point;
+mod power;
+pub mod queueing;
+pub mod scenario;
+pub mod utility;
+
+pub use datacenter::DatacenterSpec;
+pub use emission::EmissionCostFn;
+pub use error::ModelError;
+pub use instance::UfcInstance;
+pub use operating_point::{evaluate, ufc_improvement, OperatingPoint, UfcBreakdown};
+pub use power::ServerPowerModel;
+pub use queueing::QueueingCost;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+/// Grams per kWh → metric tons per MWh (the unit conversion behind Eq. (1)'s
+/// use in the objective): `1 g/kWh = 1 kg/MWh = 1e−3 t/MWh`.
+#[must_use]
+pub fn g_per_kwh_to_t_per_mwh(g_per_kwh: f64) -> f64 {
+    g_per_kwh * 1e-3
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn carbon_unit_conversion() {
+        // 968 g/kWh (coal) = 0.968 t/MWh.
+        assert!((super::g_per_kwh_to_t_per_mwh(968.0) - 0.968).abs() < 1e-12);
+    }
+}

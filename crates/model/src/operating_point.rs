@@ -1,0 +1,366 @@
+use crate::utility::{average_latency, quadratic_utility};
+use crate::{ModelError, Result, UfcInstance};
+
+/// One operating point of the cloud: routing `λ`, fuel-cell output `μ`, and
+/// grid draw `ν` — the decision variables of the transformed problem (12).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatingPoint {
+    /// Request routing `λ_ij` (kilo-servers), `M × N`.
+    pub lambda: Vec<Vec<f64>>,
+    /// Fuel-cell output `μ_j` (MW), length `N`.
+    pub mu: Vec<f64>,
+    /// Grid power draw `ν_j` (MW), length `N`.
+    pub nu: Vec<f64>,
+}
+
+impl OperatingPoint {
+    /// All-zero point of the given shape (not feasible; a solver start).
+    #[must_use]
+    pub fn zeros(m: usize, n: usize) -> Self {
+        OperatingPoint {
+            lambda: vec![vec![0.0; n]; m],
+            mu: vec![0.0; n],
+            nu: vec![0.0; n],
+        }
+    }
+
+    /// Builds a point from routing and fuel-cell decisions, deriving the
+    /// grid draw from the power balance `ν_j = α_j + β_j·Σ_i λ_ij − μ_j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if the implied grid draw is
+    /// negative beyond tolerance (fuel cells exceeding demand) or shapes
+    /// disagree with the instance.
+    pub fn from_routing_and_fuel(
+        instance: &UfcInstance,
+        lambda: Vec<Vec<f64>>,
+        mu: Vec<f64>,
+    ) -> Result<Self> {
+        let (m, n) = (instance.m_frontends(), instance.n_datacenters());
+        if lambda.len() != m || lambda.iter().any(|r| r.len() != n) || mu.len() != n {
+            return Err(ModelError::dim(format!(
+                "operating point must be λ: {m}x{n}, μ: {n}"
+            )));
+        }
+        let mut nu = vec![0.0; n];
+        for j in 0..n {
+            let load: f64 = lambda.iter().map(|row| row[j]).sum();
+            let draw = instance.demand_mw(j, load) - mu[j];
+            if draw < -1e-6 {
+                return Err(ModelError::param(format!(
+                    "fuel cells exceed demand at datacenter {j}: grid draw {draw} MW"
+                )));
+            }
+            nu[j] = draw.max(0.0);
+        }
+        Ok(OperatingPoint { lambda, mu, nu })
+    }
+
+    /// Per-datacenter workload `Σ_i λ_ij` in kilo-servers.
+    #[must_use]
+    pub fn loads(&self) -> Vec<f64> {
+        let n = self.mu.len();
+        (0..n)
+            .map(|j| self.lambda.iter().map(|row| row[j]).sum())
+            .collect()
+    }
+
+    /// Maximum feasibility violation of this point against the instance:
+    /// load-balance, capacity, power-balance, and bound residuals (∞-norm).
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // residual kinds co-index by datacenter id
+    pub fn feasibility_residual(&self, instance: &UfcInstance) -> f64 {
+        let mut r = 0.0f64;
+        // Load balance: Σ_j λ_ij = A_i.
+        for (row, &a) in self.lambda.iter().zip(&instance.arrivals) {
+            r = r.max((row.iter().sum::<f64>() - a).abs());
+        }
+        // Nonnegative routing.
+        for row in &self.lambda {
+            for &l in row {
+                r = r.max(-l);
+            }
+        }
+        let loads = self.loads();
+        for j in 0..instance.n_datacenters() {
+            // Capacity.
+            r = r.max(loads[j] - instance.capacities[j]);
+            // Power balance.
+            let balance = instance.demand_mw(j, loads[j]) - self.mu[j] - self.nu[j];
+            r = r.max(balance.abs());
+            // Bounds.
+            r = r.max(-self.mu[j]);
+            r = r.max(self.mu[j] - instance.mu_max[j]);
+            r = r.max(-self.nu[j]);
+        }
+        r
+    }
+}
+
+/// The UFC index and its components at an operating point (all in dollars
+/// except where noted).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UfcBreakdown {
+    /// Weighted workload utility `w·Σᵢ U(λᵢ)` (≤ 0 for the quadratic `U`).
+    pub utility_dollars: f64,
+    /// Total energy cost `Σⱼ (pⱼ νⱼ + p₀ μⱼ)·h`.
+    pub energy_cost_dollars: f64,
+    /// Total monetized emission cost `Σⱼ Vⱼ(Eⱼ)`.
+    pub carbon_cost_dollars: f64,
+    /// Physical emissions `Σⱼ Eⱼ` in tons.
+    pub carbon_tons: f64,
+    /// Workload-weighted average propagation latency in seconds.
+    pub average_latency_s: f64,
+    /// Fuel-cell energy `Σⱼ μⱼ·h` in MWh.
+    pub fuel_cell_mwh: f64,
+    /// Grid energy `Σⱼ νⱼ·h` in MWh.
+    pub grid_mwh: f64,
+    /// Fuel-cell utilization `Σμ / ΣD` (fraction of demand served by fuel
+    /// cells — Fig. 8's metric).
+    pub fuel_cell_utilization: f64,
+    /// Congestion cost `Σⱼ Qⱼ(loadⱼ)` in $ (0 unless the instance enables
+    /// the queueing extension).
+    pub queueing_cost_dollars: f64,
+}
+
+impl UfcBreakdown {
+    /// The UFC index: utility minus carbon cost minus energy cost (Eq. (3)),
+    /// minus the optional congestion cost (extension).
+    #[must_use]
+    pub fn ufc(&self) -> f64 {
+        self.utility_dollars
+            - self.carbon_cost_dollars
+            - self.energy_cost_dollars
+            - self.queueing_cost_dollars
+    }
+}
+
+/// Evaluates the UFC index and its components at an operating point.
+///
+/// The point's power balance must hold to `tol = 1e-6` MW — evaluation is
+/// only meaningful on (near-)feasible points; use
+/// [`OperatingPoint::from_routing_and_fuel`] to construct consistent ones.
+///
+/// # Errors
+///
+/// * [`ModelError::DimensionMismatch`] on shape disagreement.
+/// * [`ModelError::Infeasible`] if the feasibility residual exceeds `1e-4`
+///   (in the mixed kilo-server/MW units of the residual).
+#[allow(clippy::needless_range_loop)] // cost terms co-index by datacenter id
+pub fn evaluate(instance: &UfcInstance, point: &OperatingPoint) -> Result<UfcBreakdown> {
+    let (m, n) = (instance.m_frontends(), instance.n_datacenters());
+    if point.lambda.len() != m
+        || point.lambda.iter().any(|r| r.len() != n)
+        || point.mu.len() != n
+        || point.nu.len() != n
+    {
+        return Err(ModelError::dim(format!(
+            "operating point shape must be λ: {m}x{n}, μ/ν: {n}"
+        )));
+    }
+    let residual = point.feasibility_residual(instance);
+    if residual > 1e-4 {
+        return Err(ModelError::infeasible(format!(
+            "operating point violates constraints by {residual:e}"
+        )));
+    }
+
+    // Utility (paper Eq. (2)), converted from per-server to per-kilo-server.
+    let w = instance.weight_per_kserver();
+    let mut utility = 0.0;
+    let mut weighted_latency = 0.0;
+    for i in 0..m {
+        utility += w * quadratic_utility(&point.lambda[i], &instance.latency_s[i], instance.arrivals[i]);
+        weighted_latency += instance.arrivals[i]
+            * average_latency(&point.lambda[i], &instance.latency_s[i], instance.arrivals[i]);
+    }
+    let average_latency_s = weighted_latency / instance.total_arrivals();
+
+    // Energy + carbon.
+    let h = instance.slot_hours;
+    let mut energy_cost = 0.0;
+    let mut carbon_cost = 0.0;
+    let mut carbon_tons = 0.0;
+    let mut fuel_cell_mwh = 0.0;
+    let mut grid_mwh = 0.0;
+    let mut demand_mwh = 0.0;
+    let loads = point.loads();
+    for j in 0..n {
+        let nu_mwh = point.nu[j] * h;
+        let mu_mwh = point.mu[j] * h;
+        energy_cost += instance.grid_price[j] * nu_mwh + instance.fuel_cell_price * mu_mwh;
+        let tons = instance.carbon_t_per_mwh[j] * nu_mwh;
+        carbon_tons += tons;
+        carbon_cost += instance.emission_cost[j].value(tons);
+        fuel_cell_mwh += mu_mwh;
+        grid_mwh += nu_mwh;
+        demand_mwh += instance.demand_mw(j, loads[j]) * h;
+    }
+
+    // Optional congestion cost (extension; see `queueing`).
+    let mut queueing_cost = 0.0;
+    if let Some(q) = &instance.queueing {
+        for j in 0..n {
+            let c = q.value(loads[j], instance.capacities[j]);
+            if !c.is_finite() {
+                return Err(ModelError::infeasible(format!(
+                    "datacenter {j} exceeds the queueing utilization ceiling"
+                )));
+            }
+            queueing_cost += c;
+        }
+    }
+
+    Ok(UfcBreakdown {
+        utility_dollars: utility,
+        energy_cost_dollars: energy_cost,
+        carbon_cost_dollars: carbon_cost,
+        carbon_tons,
+        average_latency_s,
+        fuel_cell_mwh,
+        grid_mwh,
+        fuel_cell_utilization: if demand_mwh > 0.0 {
+            fuel_cell_mwh / demand_mwh
+        } else {
+            0.0
+        },
+        queueing_cost_dollars: queueing_cost,
+    })
+}
+
+/// Relative UFC improvement of strategy `x` over baseline `y` (the paper's
+/// `I_xy`), as a fraction: `(UFC_x − UFC_y) / |UFC_y|`.
+///
+/// # Panics
+///
+/// Panics if `ufc_y == 0` (improvement undefined).
+#[must_use]
+pub fn ufc_improvement(ufc_x: f64, ufc_y: f64) -> f64 {
+    assert!(ufc_y != 0.0, "baseline UFC is zero; improvement undefined");
+    (ufc_x - ufc_y) / ufc_y.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EmissionCostFn;
+
+    fn tiny() -> UfcInstance {
+        UfcInstance::new(
+            vec![1.0, 2.0],
+            vec![2.0, 2.0],
+            vec![0.24, 0.24],
+            vec![0.12, 0.12],
+            vec![0.48, 0.48],
+            vec![30.0, 70.0],
+            80.0,
+            vec![0.5, 0.3],
+            vec![vec![0.01, 0.02], vec![0.02, 0.01]],
+            10.0,
+            vec![
+                EmissionCostFn::linear(25.0).unwrap(),
+                EmissionCostFn::linear(25.0).unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    /// Grid-only point: all demand from the grid, even split routing.
+    fn grid_point(inst: &UfcInstance) -> OperatingPoint {
+        let lambda = vec![vec![0.5, 0.5], vec![1.0, 1.0]];
+        OperatingPoint::from_routing_and_fuel(inst, lambda, vec![0.0, 0.0]).unwrap()
+    }
+
+    #[test]
+    fn from_routing_derives_balanced_nu() {
+        let inst = tiny();
+        let p = grid_point(&inst);
+        // Load 1.5 kservers per DC ⇒ demand 0.24 + 0.18 = 0.42 MW each.
+        assert!((p.nu[0] - 0.42).abs() < 1e-12);
+        assert!((p.nu[1] - 0.42).abs() < 1e-12);
+        assert!(p.feasibility_residual(&inst) < 1e-12);
+    }
+
+    #[test]
+    fn from_routing_rejects_overgeneration() {
+        let inst = tiny();
+        let lambda = vec![vec![0.5, 0.5], vec![1.0, 1.0]];
+        let r = OperatingPoint::from_routing_and_fuel(&inst, lambda, vec![10.0, 0.0]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn evaluate_grid_point_components() {
+        let inst = tiny();
+        let p = grid_point(&inst);
+        let b = evaluate(&inst, &p).unwrap();
+        // Energy: 0.42·30 + 0.42·70 = 42 $.
+        assert!((b.energy_cost_dollars - 42.0).abs() < 1e-9);
+        // Carbon: 0.42·0.5 + 0.42·0.3 = 0.336 t ⇒ 8.4 $.
+        assert!((b.carbon_tons - 0.336).abs() < 1e-12);
+        assert!((b.carbon_cost_dollars - 8.4).abs() < 1e-9);
+        // No fuel cells: zero utilization.
+        assert_eq!(b.fuel_cell_utilization, 0.0);
+        assert_eq!(b.fuel_cell_mwh, 0.0);
+        assert!(b.utility_dollars < 0.0);
+        assert!(b.ufc() < 0.0);
+    }
+
+    #[test]
+    fn fuel_cells_reduce_carbon_to_zero() {
+        let inst = tiny();
+        let lambda = vec![vec![0.5, 0.5], vec![1.0, 1.0]];
+        let p = OperatingPoint::from_routing_and_fuel(&inst, lambda, vec![0.42, 0.42]).unwrap();
+        let b = evaluate(&inst, &p).unwrap();
+        assert_eq!(b.carbon_tons, 0.0);
+        assert_eq!(b.carbon_cost_dollars, 0.0);
+        assert!((b.fuel_cell_utilization - 1.0).abs() < 1e-12);
+        // Energy now at the fuel-cell price: 0.84·80 = 67.2 $.
+        assert!((b.energy_cost_dollars - 67.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_rejects_infeasible_point() {
+        let inst = tiny();
+        let mut p = grid_point(&inst);
+        p.nu[0] = 0.0; // break the power balance
+        assert!(matches!(
+            evaluate(&inst, &p),
+            Err(ModelError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn latency_is_workload_weighted() {
+        let inst = tiny();
+        // All of FE0 (1k) to DC0 (10 ms), all of FE1 (2k) to DC1 (10 ms).
+        let lambda = vec![vec![1.0, 0.0], vec![0.0, 2.0]];
+        let p = OperatingPoint::from_routing_and_fuel(&inst, lambda, vec![0.0, 0.0]).unwrap();
+        let b = evaluate(&inst, &p).unwrap();
+        assert!((b.average_latency_s - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_sign_conventions() {
+        assert!((ufc_improvement(-50.0, -100.0) - 0.5).abs() < 1e-12);
+        assert!((ufc_improvement(-150.0, -100.0) + 0.5).abs() < 1e-12);
+        assert!((ufc_improvement(110.0, 100.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_detects_each_violation_kind() {
+        let inst = tiny();
+        let mut p = grid_point(&inst);
+        assert!(p.feasibility_residual(&inst) < 1e-12);
+        p.lambda[0][0] += 0.5; // breaks load balance & power balance
+        assert!(p.feasibility_residual(&inst) >= 0.5 - 1e-12);
+        let mut p2 = grid_point(&inst);
+        p2.mu[0] = -0.1;
+        assert!(p2.feasibility_residual(&inst) >= 0.1 - 1e-12);
+        let mut p3 = grid_point(&inst);
+        p3.mu[0] = 1.0; // above mu_max 0.48
+        assert!(p3.feasibility_residual(&inst) >= 0.5);
+    }
+}

@@ -1,0 +1,149 @@
+use crate::{ModelError, Result};
+
+/// The linear server power model of §II-B1.
+///
+/// Empirically (Qureshi 2010, cited by the paper), the aggregate power of
+/// `S` homogeneous servers handling workload `λ` is
+/// `S·P_idle + (P_peak − P_idle)·λ`; multiplying by the facility PUE gives
+/// the total draw. The paper's defaults are `P_peak = 200 W`,
+/// `P_idle = 100 W`, `PUE = 1.2`.
+///
+/// # Example
+///
+/// ```
+/// use ufc_model::ServerPowerModel;
+///
+/// # fn main() -> Result<(), ufc_model::ModelError> {
+/// let m = ServerPowerModel::paper_default();
+/// // α for 20k servers at PUE 1.2: 20e3 × 100 W × 1.2 = 2.4 MW.
+/// assert!((m.alpha_mw(20.0, 1.2)? - 2.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerPowerModel {
+    /// Idle power per server in watts.
+    pub idle_w: f64,
+    /// Peak power per server in watts.
+    pub peak_w: f64,
+}
+
+impl ServerPowerModel {
+    /// The paper's §IV-A setting: 100 W idle, 200 W peak.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        ServerPowerModel {
+            idle_w: 100.0,
+            peak_w: 200.0,
+        }
+    }
+
+    /// Creates a model after validating `0 ≤ idle ≤ peak`, `peak > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] on violation.
+    pub fn new(idle_w: f64, peak_w: f64) -> Result<Self> {
+        if !(idle_w >= 0.0 && peak_w > 0.0 && idle_w <= peak_w) {
+            return Err(ModelError::param(format!(
+                "server power needs 0 ≤ idle ≤ peak and peak > 0, got idle={idle_w}, peak={peak_w}"
+            )));
+        }
+        Ok(ServerPowerModel { idle_w, peak_w })
+    }
+
+    /// Fixed power term `α = S·P_idle·PUE` in MW, with `S` in kilo-servers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for nonpositive inputs.
+    pub fn alpha_mw(&self, servers_k: f64, pue: f64) -> Result<f64> {
+        validate_s_pue(servers_k, pue)?;
+        // kilo-servers × W = kW; ×1e−3 → MW.
+        Ok(servers_k * self.idle_w * pue * 1e-3)
+    }
+
+    /// Load-proportional term `β = (P_peak − P_idle)·PUE` in MW per
+    /// kilo-server of workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for nonpositive PUE.
+    pub fn beta_mw_per_kserver(&self, pue: f64) -> Result<f64> {
+        validate_s_pue(1.0, pue)?;
+        Ok((self.peak_w - self.idle_w) * pue * 1e-3)
+    }
+
+    /// Total demand `α + β·load` in MW for a datacenter with `servers_k`
+    /// kilo-servers at utilization `load_k` kilo-servers of work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] on invalid sizes or loads
+    /// exceeding the server count.
+    pub fn demand_mw(&self, servers_k: f64, pue: f64, load_k: f64) -> Result<f64> {
+        if load_k < 0.0 || load_k > servers_k * (1.0 + 1e-9) {
+            return Err(ModelError::param(format!(
+                "load {load_k} kservers outside [0, {servers_k}]"
+            )));
+        }
+        Ok(self.alpha_mw(servers_k, pue)? + self.beta_mw_per_kserver(pue)? * load_k)
+    }
+}
+
+fn validate_s_pue(servers_k: f64, pue: f64) -> Result<()> {
+    if servers_k <= 0.0 {
+        return Err(ModelError::param(format!(
+            "server count must be positive, got {servers_k}"
+        )));
+    }
+    if pue < 1.0 {
+        return Err(ModelError::param(format!(
+            "PUE cannot be below 1.0, got {pue}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let m = ServerPowerModel::paper_default();
+        assert_eq!(m.idle_w, 100.0);
+        assert_eq!(m.peak_w, 200.0);
+        // β = 100 W × 1.2 = 0.12 MW/kserver.
+        assert!((m.beta_mw_per_kserver(1.2).unwrap() - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demand_interpolates_idle_to_peak() {
+        let m = ServerPowerModel::paper_default();
+        // 10k servers, PUE 1: idle 1 MW, fully loaded 2 MW.
+        assert!((m.demand_mw(10.0, 1.0, 0.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((m.demand_mw(10.0, 1.0, 10.0).unwrap() - 2.0).abs() < 1e-12);
+        assert!((m.demand_mw(10.0, 1.0, 5.0).unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(ServerPowerModel::new(-1.0, 100.0).is_err());
+        assert!(ServerPowerModel::new(200.0, 100.0).is_err());
+        assert!(ServerPowerModel::new(0.0, 0.0).is_err());
+        let m = ServerPowerModel::paper_default();
+        assert!(m.alpha_mw(0.0, 1.2).is_err());
+        assert!(m.alpha_mw(10.0, 0.9).is_err());
+        assert!(m.demand_mw(10.0, 1.2, 11.0).is_err());
+        assert!(m.demand_mw(10.0, 1.2, -1.0).is_err());
+    }
+
+    #[test]
+    fn pue_scales_linearly() {
+        let m = ServerPowerModel::paper_default();
+        let d1 = m.demand_mw(10.0, 1.0, 5.0).unwrap();
+        let d2 = m.demand_mw(10.0, 2.0, 5.0).unwrap();
+        assert!((d2 - 2.0 * d1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,439 @@
+//! Week-long scenario construction — the glue between the trace substrate
+//! and per-hour [`UfcInstance`]s.
+//!
+//! Reproduces the paper's §IV-A setup: `N = 4` datacenters (Calgary,
+//! San Jose, Dallas, Pittsburgh) with capacities uniform in
+//! `[1.7, 2.3]×10⁴` servers, `M = 10` front-ends across the US, PUE 1.2,
+//! 100/200 W servers, full fuel-cell coverage, `w = 10 $/s²`,
+//! `p₀ = 80 $/MWh`, a \$25/ton carbon tax, and one week (168 h) of
+//! synthesized workload/price/carbon traces.
+
+use ufc_geo::{latency_matrix, sites, LatencyModel};
+use ufc_traces::fuelmix::FuelMixModel;
+use ufc_traces::price::LmpModel;
+use ufc_traces::workload::{FrontendSplit, HpLikeWorkload};
+use ufc_traces::{TraceRng, HOURS_PER_WEEK};
+
+use crate::{
+    g_per_kwh_to_t_per_mwh, DatacenterSpec, EmissionCostFn, ModelError, Result,
+    ServerPowerModel, UfcInstance,
+};
+
+/// A sequence of hourly instances plus the raw traces that produced them
+/// (kept for Fig.-3-style reporting).
+#[derive(Debug, Clone)]
+pub struct WeeklyScenario {
+    /// One instance per hour.
+    pub instances: Vec<UfcInstance>,
+    /// Datacenter names, in instance column order.
+    pub dc_names: Vec<String>,
+    /// Total workload per hour (kilo-servers).
+    pub workload_total: Vec<f64>,
+    /// Grid price per datacenter per hour ($/MWh): `prices[j][t]`.
+    pub prices: Vec<Vec<f64>>,
+    /// Carbon rate per datacenter per hour (g/kWh): `carbon_g_per_kwh[j][t]`.
+    pub carbon_g_per_kwh: Vec<Vec<f64>>,
+}
+
+impl WeeklyScenario {
+    /// Number of hourly instances.
+    #[must_use]
+    pub fn hours(&self) -> usize {
+        self.instances.len()
+    }
+}
+
+/// Builder for [`WeeklyScenario`] with the paper's defaults.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    seed: u64,
+    hours: usize,
+    m_frontends: usize,
+    pue: f64,
+    power: ServerPowerModel,
+    capacity_range_k: (f64, f64),
+    peak_utilization: f64,
+    weight_per_server: f64,
+    fuel_cell_price: f64,
+    emission_cost: EmissionCostFn,
+    workload: HpLikeWorkload,
+    split: FrontendSplit,
+    latency: LatencyModel,
+    with_fuel_cells: bool,
+    pue_range: Option<(f64, f64)>,
+    workload_override: Option<Vec<f64>>,
+    price_override: Option<Vec<Vec<f64>>>,
+    carbon_override: Option<Vec<Vec<f64>>>,
+}
+
+impl ScenarioBuilder {
+    /// The paper's §IV-A configuration (see module docs).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        ScenarioBuilder {
+            seed: 2012,
+            hours: HOURS_PER_WEEK,
+            m_frontends: 10,
+            pue: 1.2,
+            power: ServerPowerModel::paper_default(),
+            capacity_range_k: (17.0, 23.0),
+            peak_utilization: 0.85,
+            weight_per_server: 10.0,
+            fuel_cell_price: 80.0,
+            emission_cost: EmissionCostFn::Linear { rate: 25.0 },
+            workload: HpLikeWorkload::default(),
+            split: FrontendSplit::default(),
+            latency: LatencyModel::default(),
+            with_fuel_cells: true,
+            pue_range: None,
+            workload_override: None,
+            price_override: None,
+            carbon_override: None,
+        }
+    }
+
+    /// Sets the RNG seed for all trace substreams.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the horizon length in hours (default 168).
+    #[must_use]
+    pub fn hours(mut self, hours: usize) -> Self {
+        self.hours = hours;
+        self
+    }
+
+    /// Sets the fuel-cell generation price `p₀` in $/MWh (default 80).
+    #[must_use]
+    pub fn fuel_cell_price(mut self, p0: f64) -> Self {
+        self.fuel_cell_price = p0;
+        self
+    }
+
+    /// Sets the emission-cost function used at every site (default linear
+    /// \$25/ton tax).
+    #[must_use]
+    pub fn emission_cost(mut self, v: EmissionCostFn) -> Self {
+        self.emission_cost = v;
+        self
+    }
+
+    /// Sets the latency weight `w` in $/s² per server (default 10).
+    #[must_use]
+    pub fn weight_per_server(mut self, w: f64) -> Self {
+        self.weight_per_server = w;
+        self
+    }
+
+    /// Sets the workload peak as a fraction of total capacity (default 0.85).
+    #[must_use]
+    pub fn peak_utilization(mut self, f: f64) -> Self {
+        self.peak_utilization = f;
+        self
+    }
+
+    /// Sets the number of front-end proxies (default 10; at most the size of
+    /// the front-end site catalog).
+    #[must_use]
+    pub fn frontends(mut self, m: usize) -> Self {
+        self.m_frontends = m;
+        self
+    }
+
+    /// Makes the fleet heterogeneous: each datacenter samples its PUE
+    /// uniformly from `[lo, hi]` instead of sharing the default 1.2 — the
+    /// paper's §II-A remark that the model "can be easily extended to
+    /// capture the heterogeneous case".
+    #[must_use]
+    pub fn heterogeneous_pue(mut self, lo: f64, hi: f64) -> Self {
+        self.pue_range = Some((lo, hi));
+        self
+    }
+
+    /// Replaces the synthetic total-workload trace (kilo-servers per hour)
+    /// with externally loaded data; the length must equal the horizon at
+    /// [`ScenarioBuilder::build`] time. The front-end split still applies.
+    #[must_use]
+    pub fn workload_override(mut self, total_kservers: Vec<f64>) -> Self {
+        self.workload_override = Some(total_kservers);
+        self
+    }
+
+    /// Replaces the synthetic price traces with external data:
+    /// `prices[j][t]` in $/MWh, one row per datacenter in catalog order.
+    #[must_use]
+    pub fn price_override(mut self, prices: Vec<Vec<f64>>) -> Self {
+        self.price_override = Some(prices);
+        self
+    }
+
+    /// Replaces the synthetic carbon-rate traces with external data:
+    /// `rates[j][t]` in g/kWh, one row per datacenter in catalog order.
+    #[must_use]
+    pub fn carbon_override(mut self, rates_g_per_kwh: Vec<Vec<f64>>) -> Self {
+        self.carbon_override = Some(rates_g_per_kwh);
+        self
+    }
+
+    /// Builds the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] when a parameter is out of range or an hour's
+    /// instance fails validation.
+    pub fn build(&self) -> Result<WeeklyScenario> {
+        if self.hours == 0 {
+            return Err(ModelError::param("scenario needs at least one hour"));
+        }
+        if !(0.0 < self.peak_utilization && self.peak_utilization <= 1.0) {
+            return Err(ModelError::param(format!(
+                "peak utilization must be in (0, 1], got {}",
+                self.peak_utilization
+            )));
+        }
+        let fe_sites = sites::frontend_sites();
+        if self.m_frontends == 0 || self.m_frontends > fe_sites.len() {
+            return Err(ModelError::param(format!(
+                "front-end count must be in 1..={}, got {}",
+                fe_sites.len(),
+                self.m_frontends
+            )));
+        }
+        let (cap_lo, cap_hi) = self.capacity_range_k;
+        if !(0.0 < cap_lo && cap_lo <= cap_hi) {
+            return Err(ModelError::param("invalid capacity range"));
+        }
+
+        let root = TraceRng::new(self.seed);
+        let dc_sites = sites::datacenter_sites();
+        let n = dc_sites.len();
+
+        if let Some((lo, hi)) = self.pue_range {
+            if !(1.0 <= lo && lo <= hi) {
+                return Err(ModelError::param(format!(
+                    "PUE range must satisfy 1 ≤ lo ≤ hi, got [{lo}, {hi}]"
+                )));
+            }
+        }
+
+        // Datacenter capacities ~ U[17, 23] kservers (paper §IV-A).
+        let mut cap_rng = root.substream("capacity");
+        let mut pue_rng = root.substream("pue");
+        let mut specs = Vec::with_capacity(n);
+        for site in &dc_sites {
+            let cap = cap_rng.uniform_in(cap_lo, cap_hi);
+            let pue = match self.pue_range {
+                Some((lo, hi)) if lo < hi => pue_rng.uniform_in(lo, hi),
+                Some((lo, _)) => lo,
+                None => self.pue,
+            };
+            let mut spec = DatacenterSpec::new(site.name.clone(), cap, pue, self.power)?;
+            if self.with_fuel_cells {
+                spec = spec.with_full_fuel_cell_capacity();
+            }
+            specs.push(spec);
+        }
+        let total_capacity: f64 = specs.iter().map(|d| d.servers_k).sum();
+
+        // Traces.
+        let workload_total: Vec<f64> = match &self.workload_override {
+            Some(ext) => {
+                if ext.len() != self.hours {
+                    return Err(ModelError::dim(format!(
+                        "workload override has {} hours, horizon is {}",
+                        ext.len(),
+                        self.hours
+                    )));
+                }
+                if ext.iter().any(|&v| v <= 0.0) {
+                    return Err(ModelError::param(
+                        "workload override must be strictly positive",
+                    ));
+                }
+                let peak = ext.iter().cloned().fold(0.0f64, f64::max);
+                if peak > total_capacity {
+                    return Err(ModelError::infeasible(format!(
+                        "workload override peaks at {peak} kservers but the fleet has {total_capacity}"
+                    )));
+                }
+                ext.clone()
+            }
+            None => {
+                let mut wl_rng = root.substream("workload");
+                let normalized = self.workload.generate(self.hours, &mut wl_rng);
+                normalized
+                    .iter()
+                    .map(|u| u * self.peak_utilization * total_capacity)
+                    .collect()
+            }
+        };
+        let mut split_rng = root.substream("split");
+        let arrivals_per_hour =
+            self.split
+                .split(&workload_total, self.m_frontends, &mut split_rng);
+
+        let price_models = LmpModel::paper_sites();
+        let mix_models = FuelMixModel::paper_sites();
+        debug_assert_eq!(price_models.len(), n);
+        let check_override = |name: &str, data: &Vec<Vec<f64>>| -> Result<()> {
+            if data.len() != n || data.iter().any(|row| row.len() != self.hours) {
+                return Err(ModelError::dim(format!(
+                    "{name} override must be {n} series of {} hours",
+                    self.hours
+                )));
+            }
+            if data.iter().flatten().any(|&v| v < 0.0) {
+                return Err(ModelError::param(format!("{name} override must be nonnegative")));
+            }
+            Ok(())
+        };
+        let prices: Vec<Vec<f64>> = match &self.price_override {
+            Some(ext) => {
+                check_override("price", ext)?;
+                ext.clone()
+            }
+            None => (0..n)
+                .map(|j| {
+                    let mut p_rng =
+                        root.substream(&format!("price-{}", price_models[j].name));
+                    price_models[j].generate(self.hours, &mut p_rng)
+                })
+                .collect(),
+        };
+        let carbon: Vec<Vec<f64>> = match &self.carbon_override {
+            Some(ext) => {
+                check_override("carbon", ext)?;
+                ext.clone()
+            }
+            None => (0..n)
+                .map(|j| {
+                    let mut c_rng = root.substream(&format!("mix-{}", mix_models[j].name));
+                    mix_models[j].carbon_rate_series(self.hours, &mut c_rng)
+                })
+                .collect(),
+        };
+
+        let latency = latency_matrix(&fe_sites[..self.m_frontends], &dc_sites, self.latency);
+
+        // One instance per hour.
+        let mut instances = Vec::with_capacity(self.hours);
+        for t in 0..self.hours {
+            let grid_price: Vec<f64> = (0..n).map(|j| prices[j][t]).collect();
+            let carbon_t: Vec<f64> = (0..n)
+                .map(|j| g_per_kwh_to_t_per_mwh(carbon[j][t]))
+                .collect();
+            instances.push(UfcInstance::from_specs(
+                arrivals_per_hour[t].clone(),
+                &specs,
+                grid_price,
+                self.fuel_cell_price,
+                carbon_t,
+                latency.clone(),
+                self.weight_per_server,
+                vec![self.emission_cost.clone(); n],
+                1.0,
+            )?);
+        }
+
+        Ok(WeeklyScenario {
+            instances,
+            dc_names: specs.iter().map(|d| d.name.clone()).collect(),
+            workload_total,
+            prices,
+            carbon_g_per_kwh: carbon,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_builds_full_week() {
+        let s = ScenarioBuilder::paper_default().build().unwrap();
+        assert_eq!(s.hours(), 168);
+        assert_eq!(s.dc_names.len(), 4);
+        assert_eq!(s.instances[0].m_frontends(), 10);
+        assert!(s.instances.iter().all(|i| i.fuel_cells_cover_peak()));
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let a = ScenarioBuilder::paper_default().seed(7).hours(24).build().unwrap();
+        let b = ScenarioBuilder::paper_default().seed(7).hours(24).build().unwrap();
+        assert_eq!(a.instances[13], b.instances[13]);
+    }
+
+    #[test]
+    fn seeds_change_traces() {
+        let a = ScenarioBuilder::paper_default().seed(1).hours(24).build().unwrap();
+        let b = ScenarioBuilder::paper_default().seed(2).hours(24).build().unwrap();
+        assert_ne!(a.workload_total, b.workload_total);
+    }
+
+    #[test]
+    fn capacities_within_paper_range() {
+        let s = ScenarioBuilder::paper_default().hours(1).build().unwrap();
+        for &cap in &s.instances[0].capacities {
+            assert!((17.0..=23.0).contains(&cap), "capacity {cap}");
+        }
+    }
+
+    #[test]
+    fn workload_peak_matches_utilization() {
+        let s = ScenarioBuilder::paper_default().peak_utilization(0.5).build().unwrap();
+        let total_cap = s.instances[0].total_capacity();
+        let peak = s.workload_total.iter().cloned().fold(0.0f64, f64::max);
+        assert!(peak <= 0.5 * total_cap + 1e-9);
+        // Every hour remains feasible by construction.
+        for inst in &s.instances {
+            assert!(inst.total_arrivals() <= inst.total_capacity());
+        }
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(ScenarioBuilder::paper_default().hours(0).build().is_err());
+        assert!(ScenarioBuilder::paper_default().peak_utilization(0.0).build().is_err());
+        assert!(ScenarioBuilder::paper_default().frontends(0).build().is_err());
+        assert!(ScenarioBuilder::paper_default().frontends(99).build().is_err());
+    }
+
+    #[test]
+    fn heterogeneous_pue_varies_power_coefficients() {
+        let s = ScenarioBuilder::paper_default()
+            .hours(1)
+            .heterogeneous_pue(1.1, 2.0)
+            .build()
+            .unwrap();
+        let inst = &s.instances[0];
+        // β_j = 0.1 W/server × PUE_j: heterogeneity shows up as spread.
+        let lo = inst.beta.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = inst.beta.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(hi > lo * 1.05, "betas suspiciously uniform: {:?}", inst.beta);
+        for &b in &inst.beta {
+            assert!((0.11..=0.20).contains(&b), "beta {b} outside PUE range");
+        }
+        assert!(ScenarioBuilder::paper_default()
+            .heterogeneous_pue(0.5, 2.0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn p0_and_tax_propagate() {
+        let s = ScenarioBuilder::paper_default()
+            .hours(1)
+            .fuel_cell_price(27.0)
+            .emission_cost(EmissionCostFn::Linear { rate: 140.0 })
+            .build()
+            .unwrap();
+        let inst = &s.instances[0];
+        assert_eq!(inst.fuel_cell_price, 27.0);
+        assert_eq!(inst.emission_cost[0].marginal(1.0), 140.0);
+    }
+}

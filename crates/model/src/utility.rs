@@ -1,0 +1,117 @@
+//! The workload-performance utility `U` (paper Eq. (2)).
+//!
+//! The paper lets `U` be any decreasing concave function of the average
+//! propagation latency and adopts the quadratic form
+//! `U(λᵢ) = −Aᵢ·(Σⱼ λᵢⱼ·Lᵢⱼ / Aᵢ)²`, reflecting users' accelerating tendency
+//! to abandon a service as latency grows. The quadratic form is what makes
+//! the λ-sub-problem a QP with a diagonal-plus-rank-one Hessian; the
+//! functions here expose both the value and that structure.
+
+/// Quadratic latency utility of one front-end (paper Eq. (2)):
+/// `U = −A·(Σλ_j L_j / A)² = −(Σλ_j L_j)² / A`.
+///
+/// `lambda` and `latency` are the front-end's routing row and latency row
+/// (seconds); `arrival` is `A_i` (same workload unit as `lambda`). Returns
+/// utility in (workload-unit)·s²; multiply by the weight `w` to get dollars.
+///
+/// # Panics
+///
+/// Panics if lengths differ or `arrival <= 0`.
+#[must_use]
+pub fn quadratic_utility(lambda: &[f64], latency: &[f64], arrival: f64) -> f64 {
+    assert_eq!(lambda.len(), latency.len(), "row length mismatch");
+    assert!(arrival > 0.0, "arrival must be positive, got {arrival}");
+    let weighted: f64 = lambda.iter().zip(latency).map(|(l, t)| l * t).sum();
+    -(weighted * weighted) / arrival
+}
+
+/// Average propagation latency (seconds) experienced by a front-end:
+/// `Σⱼ λⱼ·Lⱼ / A`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or `arrival <= 0`.
+#[must_use]
+pub fn average_latency(lambda: &[f64], latency: &[f64], arrival: f64) -> f64 {
+    assert_eq!(lambda.len(), latency.len(), "row length mismatch");
+    assert!(arrival > 0.0, "arrival must be positive, got {arrival}");
+    lambda.iter().zip(latency).map(|(l, t)| l * t).sum::<f64>() / arrival
+}
+
+/// The rank-one structure of `−w·U`: as a quadratic in `λ`,
+/// `−w·U(λ) = ½ λᵀ (γ·L Lᵀ) λ` with `γ = 2w/A`. Returns `γ`.
+///
+/// Used by the solver to assemble the λ-sub-problem Hessian
+/// `ρI + γ·L Lᵀ` without materializing a matrix.
+///
+/// # Panics
+///
+/// Panics if `arrival <= 0` or `weight < 0`.
+#[must_use]
+pub fn disutility_rank1_gamma(weight: f64, arrival: f64) -> f64 {
+    assert!(arrival > 0.0, "arrival must be positive, got {arrival}");
+    assert!(weight >= 0.0, "weight must be nonnegative, got {weight}");
+    2.0 * weight / arrival
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_latency_routing_has_zero_disutility() {
+        assert_eq!(quadratic_utility(&[1.0, 0.0], &[0.0, 0.050], 1.0), 0.0);
+    }
+
+    #[test]
+    fn matches_paper_formula() {
+        // A = 2, all traffic to a 20 ms datacenter: U = −A·(0.02)² = −8e−4.
+        let u = quadratic_utility(&[2.0, 0.0], &[0.020, 0.040], 2.0);
+        assert!((u + 2.0 * 0.0004).abs() < 1e-15);
+    }
+
+    #[test]
+    fn utility_decreases_with_latency() {
+        let near = quadratic_utility(&[1.0], &[0.010], 1.0);
+        let far = quadratic_utility(&[1.0], &[0.030], 1.0);
+        assert!(near > far);
+    }
+
+    #[test]
+    fn utility_is_concave_in_lambda() {
+        // Midpoint utility ≥ average of endpoint utilities.
+        let lat = [0.01, 0.03];
+        let a = [2.0, 0.0];
+        let b = [0.0, 2.0];
+        let mid = [1.0, 1.0];
+        let u_mid = quadratic_utility(&mid, &lat, 2.0);
+        let u_avg = 0.5 * (quadratic_utility(&a, &lat, 2.0) + quadratic_utility(&b, &lat, 2.0));
+        assert!(u_mid >= u_avg);
+    }
+
+    #[test]
+    fn average_latency_is_convex_combination() {
+        let lat = [0.010, 0.020];
+        let avg = average_latency(&[1.0, 3.0], &lat, 4.0);
+        assert!((avg - 0.0175).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rank1_gamma_reconstructs_disutility() {
+        // ½γ(Σλ·L)² must equal −w·U.
+        let (w, a) = (10.0, 4.0);
+        let lambda = [1.0, 3.0];
+        let lat = [0.010, 0.020];
+        let gamma = disutility_rank1_gamma(w, a);
+        let weighted: f64 = lambda.iter().zip(&lat).map(|(l, t)| l * t).sum();
+        let quad_form = 0.5 * gamma * weighted * weighted;
+        let direct = -w * quadratic_utility(&lambda, &lat, a);
+        assert!((quad_form - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival must be positive")]
+    fn rejects_zero_arrival() {
+        let _ = quadratic_utility(&[1.0], &[0.01], 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the UFC model.
+
+use proptest::prelude::*;
+use ufc_core::AdmgState;
+use ufc_model::{evaluate, EmissionCostFn, OperatingPoint, UfcInstance};
+
+fn instance(prices: (f64, f64), carbon: (f64, f64), p0: f64, tax: f64) -> UfcInstance {
+    UfcInstance::new(
+        vec![1.0, 1.5],
+        vec![3.0, 3.0],
+        vec![0.36, 0.36],
+        vec![0.12, 0.12],
+        vec![0.72, 0.72],
+        vec![prices.0, prices.1],
+        p0,
+        vec![carbon.0, carbon.1],
+        vec![vec![0.01, 0.02], vec![0.02, 0.01]],
+        10.0,
+        vec![
+            EmissionCostFn::linear(tax).unwrap(),
+            EmissionCostFn::linear(tax).unwrap(),
+        ],
+        1.0,
+    )
+    .unwrap()
+}
+
+proptest! {
+    /// The UFC index of a feasible point is exactly the negated ADMM-form
+    /// objective (12) evaluated at the same `(λ, μ, ν)` — maximizing UFC
+    /// and minimizing (12) are the same problem.
+    #[test]
+    fn ufc_is_negated_min_objective(
+        split1 in 0.0f64..1.0,
+        split2 in 0.0f64..1.0,
+        mu_frac1 in 0.0f64..1.0,
+        mu_frac2 in 0.0f64..1.0,
+        p1 in 10.0f64..150.0,
+        p2 in 10.0f64..150.0,
+        tax in 0.0f64..200.0,
+    ) {
+        let inst = instance((p1, p2), (0.5, 0.3), 80.0, tax);
+        // Random feasible routing: each front-end splits its arrival.
+        let lambda = vec![
+            vec![1.0 * split1, 1.0 * (1.0 - split1)],
+            vec![1.5 * split2, 1.5 * (1.0 - split2)],
+        ];
+        // Random fuel-cell share of each datacenter's demand.
+        let mut mu = vec![0.0; 2];
+        for j in 0..2 {
+            let load: f64 = lambda.iter().map(|r| r[j]).sum();
+            let demand = inst.demand_mw(j, load);
+            let frac = if j == 0 { mu_frac1 } else { mu_frac2 };
+            mu[j] = (frac * demand).min(inst.mu_max[j]);
+        }
+        let point = OperatingPoint::from_routing_and_fuel(&inst, lambda.clone(), mu.clone()).unwrap();
+        let breakdown = evaluate(&inst, &point).unwrap();
+
+        let mut state = AdmgState::zeros(&inst);
+        for (i, row) in lambda.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                let k = state.idx(i, j);
+                state.lambda[k] = v;
+            }
+        }
+        state.mu = mu;
+        state.nu = point.nu.clone();
+        let objective = state.objective(&inst);
+        prop_assert!(
+            (breakdown.ufc() + objective).abs() < 1e-9 * (1.0 + objective.abs()),
+            "UFC {} vs −objective {}", breakdown.ufc(), -objective
+        );
+    }
+
+    /// `from_routing_and_fuel` always yields exactly feasible points for
+    /// in-range inputs.
+    #[test]
+    fn derived_points_are_feasible(
+        split1 in 0.0f64..1.0,
+        split2 in 0.0f64..1.0,
+        mu_frac in 0.0f64..1.0,
+    ) {
+        let inst = instance((30.0, 70.0), (0.5, 0.3), 80.0, 25.0);
+        let lambda = vec![
+            vec![1.0 * split1, 1.0 * (1.0 - split1)],
+            vec![1.5 * split2, 1.5 * (1.0 - split2)],
+        ];
+        let mut mu = vec![0.0; 2];
+        for j in 0..2 {
+            let load: f64 = lambda.iter().map(|r| r[j]).sum();
+            mu[j] = (mu_frac * inst.demand_mw(j, load)).min(inst.mu_max[j]);
+        }
+        let point = OperatingPoint::from_routing_and_fuel(&inst, lambda, mu).unwrap();
+        prop_assert!(point.feasibility_residual(&inst) < 1e-9);
+        // Components of the breakdown are internally consistent.
+        let b = evaluate(&inst, &point).unwrap();
+        prop_assert!(b.fuel_cell_utilization >= 0.0 && b.fuel_cell_utilization <= 1.0 + 1e-12);
+        prop_assert!(b.carbon_tons >= 0.0);
+        prop_assert!(b.energy_cost_dollars >= 0.0);
+        prop_assert!(b.utility_dollars <= 0.0); // quadratic disutility
+        prop_assert!((b.ufc() - (b.utility_dollars - b.carbon_cost_dollars - b.energy_cost_dollars)).abs() < 1e-12);
+    }
+
+    /// More fuel-cell output never increases emissions and the emission
+    /// cost is monotone in the tax rate.
+    #[test]
+    fn monotonicity_in_mu_and_tax(
+        mu_lo in 0.0f64..0.4,
+        extra in 0.0f64..0.5,
+        tax_lo in 0.0f64..80.0,
+        tax_extra in 0.0f64..80.0,
+    ) {
+        let inst_lo = instance((30.0, 70.0), (0.5, 0.3), 80.0, tax_lo);
+        let inst_hi = instance((30.0, 70.0), (0.5, 0.3), 80.0, tax_lo + tax_extra);
+        let lambda = vec![vec![0.5, 0.5], vec![0.75, 0.75]];
+        let demand0 = inst_lo.demand_mw(0, 1.25);
+        let mu_small = vec![(mu_lo * demand0).min(inst_lo.mu_max[0]), 0.0];
+        let mu_big = vec![((mu_lo + extra) * demand0).min(inst_lo.mu_max[0]), 0.0];
+
+        let p_small = OperatingPoint::from_routing_and_fuel(&inst_lo, lambda.clone(), mu_small).unwrap();
+        let p_big = OperatingPoint::from_routing_and_fuel(&inst_lo, lambda.clone(), mu_big).unwrap();
+        let b_small = evaluate(&inst_lo, &p_small).unwrap();
+        let b_big = evaluate(&inst_lo, &p_big).unwrap();
+        prop_assert!(b_big.carbon_tons <= b_small.carbon_tons + 1e-12);
+
+        let b_lo = evaluate(&inst_lo, &p_small).unwrap();
+        let b_hi = evaluate(&inst_hi, &p_small).unwrap();
+        prop_assert!(b_hi.carbon_cost_dollars >= b_lo.carbon_cost_dollars - 1e-12);
+    }
+}

@@ -1,0 +1,363 @@
+use ufc_linalg::{vec_ops, Ldlt, Matrix};
+
+use crate::{OptError, Result};
+
+/// Settings for [`AdmmQp`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdmmQpSettings {
+    /// Step-size / penalty parameter ρ.
+    pub rho: f64,
+    /// Proximal regularization σ added to `P` in the KKT system.
+    pub sigma: f64,
+    /// Over-relaxation parameter α ∈ (0, 2).
+    pub alpha: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Absolute tolerance of the ∞-norm residual test.
+    pub eps_abs: f64,
+    /// Relative tolerance of the ∞-norm residual test.
+    pub eps_rel: f64,
+}
+
+impl Default for AdmmQpSettings {
+    /// OSQP-like defaults: `ρ = 0.1`, `σ = 1e-6`, `α = 1.6`, 20 000
+    /// iterations, `ε_abs = ε_rel = 1e-8`.
+    fn default() -> Self {
+        AdmmQpSettings {
+            rho: 0.1,
+            sigma: 1e-6,
+            alpha: 1.6,
+            max_iterations: 20_000,
+            eps_abs: 1e-8,
+            eps_rel: 1e-8,
+        }
+    }
+}
+
+/// Solution of an [`AdmmQp`] run.
+#[derive(Debug, Clone)]
+pub struct AdmmQpSolution {
+    /// Primal solution.
+    pub x: Vec<f64>,
+    /// Constraint activity `z ≈ Ax` at the solution.
+    pub z: Vec<f64>,
+    /// Dual solution associated with `l ≤ Ax ≤ u`.
+    pub y: Vec<f64>,
+    /// Objective value `½xᵀPx + qᵀx`.
+    pub value: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final primal residual `‖Ax − z‖∞`.
+    pub primal_residual: f64,
+    /// Final dual residual `‖Px + q + Aᵀy‖∞`.
+    pub dual_residual: f64,
+}
+
+/// OSQP-style ADMM solver for QPs in the standard "two-sided" form
+///
+/// ```text
+///     min ½ xᵀPx + qᵀx   s.t.   l ≤ A x ≤ u,
+/// ```
+///
+/// where equality rows are expressed by `l_i = u_i`. The splitting introduces
+/// `z = Ax` and alternates a single quasi-definite KKT solve (factored once
+/// with [`Ldlt`]) with a box projection and a dual ascent step — the
+/// algorithm of Stellato et al. (OSQP), which is itself the 2-block ADMM the
+/// paper cites from Boyd et al.
+///
+/// Used for the centralized reference solution at scales where the
+/// active-set method's cubic per-iteration cost becomes noticeable, and as
+/// an independent cross-check of [`crate::ActiveSetQp`].
+///
+/// # Example
+///
+/// ```
+/// use ufc_linalg::Matrix;
+/// use ufc_opt::{AdmmQp, AdmmQpSettings};
+///
+/// # fn main() -> Result<(), ufc_opt::OptError> {
+/// // min ½‖x‖² s.t. x₁ + x₂ = 1 (equality via l = u), x ≥ 0.
+/// let p = Matrix::identity(2);
+/// let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 0.0], &[0.0, 1.0]])?;
+/// let sol = AdmmQp::new(AdmmQpSettings::default())
+///     .solve(&p, &[0.0, 0.0], &a, &[1.0, 0.0, 0.0], &[1.0, f64::INFINITY, f64::INFINITY])?;
+/// assert!((sol.x[0] - 0.5).abs() < 1e-5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AdmmQp {
+    settings: AdmmQpSettings,
+}
+
+impl Default for AdmmQp {
+    fn default() -> Self {
+        AdmmQp::new(AdmmQpSettings::default())
+    }
+}
+
+impl AdmmQp {
+    /// Creates a solver with the given settings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho <= 0`, `sigma <= 0`, or `alpha` outside `(0, 2)`.
+    #[must_use]
+    pub fn new(settings: AdmmQpSettings) -> Self {
+        assert!(settings.rho > 0.0, "rho must be positive");
+        assert!(settings.sigma > 0.0, "sigma must be positive");
+        assert!(
+            settings.alpha > 0.0 && settings.alpha < 2.0,
+            "alpha must lie in (0, 2)"
+        );
+        AdmmQp { settings }
+    }
+
+    /// Solves the QP.
+    ///
+    /// # Errors
+    ///
+    /// * [`OptError::InvalidInput`] on shape mismatch or `l_i > u_i`.
+    /// * [`OptError::MaxIterations`] if the residual test never passes.
+    /// * [`OptError::Linalg`] if the KKT factorization fails.
+    pub fn solve(
+        &self,
+        p: &Matrix,
+        q: &[f64],
+        a: &Matrix,
+        l: &[f64],
+        u: &[f64],
+    ) -> Result<AdmmQpSolution> {
+        let n = q.len();
+        let m = a.rows();
+        if !p.is_square() || p.rows() != n {
+            return Err(OptError::invalid(format!(
+                "P is {}x{} but q has length {n}",
+                p.rows(),
+                p.cols()
+            )));
+        }
+        if m > 0 && a.cols() != n {
+            return Err(OptError::invalid(format!(
+                "A is {}x{} but q has length {n}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        if l.len() != m || u.len() != m {
+            return Err(OptError::invalid("bound lengths disagree with A"));
+        }
+        for i in 0..m {
+            if l[i] > u[i] {
+                return Err(OptError::invalid(format!(
+                    "row {i} has l = {} > u = {}",
+                    l[i], u[i]
+                )));
+            }
+        }
+
+        let s = self.settings;
+        // Assemble and factor the quasi-definite KKT matrix once.
+        let dim = n + m;
+        let mut kkt = Matrix::zeros(dim, dim);
+        for i in 0..n {
+            for j in 0..n {
+                kkt[(i, j)] = p[(i, j)];
+            }
+            kkt[(i, i)] += s.sigma;
+        }
+        for r in 0..m {
+            for j in 0..n {
+                kkt[(n + r, j)] = a[(r, j)];
+                kkt[(j, n + r)] = a[(r, j)];
+            }
+            kkt[(n + r, n + r)] = -1.0 / s.rho;
+        }
+        let fact = Ldlt::factor(&kkt)?;
+
+        let mut x = vec![0.0; n];
+        let mut z = vec![0.0; m];
+        let mut y = vec![0.0; m];
+        let mut rhs = vec![0.0; dim];
+
+        let mut r_prim = f64::INFINITY;
+        let mut r_dual = f64::INFINITY;
+
+        for iter in 0..s.max_iterations {
+            // KKT solve for (x̃, ν).
+            for i in 0..n {
+                rhs[i] = s.sigma * x[i] - q[i];
+            }
+            for r in 0..m {
+                rhs[n + r] = z[r] - y[r] / s.rho;
+            }
+            let sol = fact.solve(&rhs)?;
+            let x_tilde = &sol[..n];
+            let nu = &sol[n..];
+            // z̃ = z + (ν − y)/ρ.
+            let z_tilde: Vec<f64> = (0..m).map(|r| z[r] + (nu[r] - y[r]) / s.rho).collect();
+
+            // Over-relaxed updates.
+            let x_next: Vec<f64> = (0..n)
+                .map(|i| s.alpha * x_tilde[i] + (1.0 - s.alpha) * x[i])
+                .collect();
+            let z_relax: Vec<f64> = (0..m)
+                .map(|r| s.alpha * z_tilde[r] + (1.0 - s.alpha) * z[r])
+                .collect();
+            let z_next: Vec<f64> = (0..m)
+                .map(|r| (z_relax[r] + y[r] / s.rho).clamp(l[r], u[r]))
+                .collect();
+            for r in 0..m {
+                y[r] += s.rho * (z_relax[r] - z_next[r]);
+            }
+            x = x_next;
+            z = z_next;
+
+            // Residuals every few iterations (they need two matvecs).
+            if iter % 5 == 0 || iter + 1 == s.max_iterations {
+                let ax = a.matvec(&x)?;
+                r_prim = vec_ops::norm_inf(&vec_ops::sub(&ax, &z));
+                let px = p.matvec(&x)?;
+                let aty = a.matvec_t(&y)?;
+                let mut d = px;
+                vec_ops::axpy(1.0, q, &mut d);
+                vec_ops::axpy(1.0, &aty, &mut d);
+                r_dual = vec_ops::norm_inf(&d);
+
+                let eps_prim = s.eps_abs
+                    + s.eps_rel * vec_ops::norm_inf(&ax).max(vec_ops::norm_inf(&z));
+                let px2 = p.matvec(&x)?;
+                let eps_dual = s.eps_abs
+                    + s.eps_rel
+                        * vec_ops::norm_inf(&px2)
+                            .max(vec_ops::norm_inf(q))
+                            .max(vec_ops::norm_inf(&a.matvec_t(&y)?));
+                if r_prim <= eps_prim && r_dual <= eps_dual {
+                    let value =
+                        0.5 * vec_ops::dot(&x, &p.matvec(&x)?) + vec_ops::dot(q, &x);
+                    return Ok(AdmmQpSolution {
+                        x,
+                        z,
+                        y,
+                        value,
+                        iterations: iter + 1,
+                        primal_residual: r_prim,
+                        dual_residual: r_dual,
+                    });
+                }
+            }
+        }
+        Err(OptError::MaxIterations {
+            iterations: s.max_iterations,
+            residual: r_prim.max(r_dual),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_and_bounds() {
+        // min ½‖x‖² s.t. x₁ + x₂ = 1, x ≥ 0 ⇒ (0.5, 0.5).
+        let p = Matrix::identity(2);
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let sol = AdmmQp::default()
+            .solve(
+                &p,
+                &[0.0, 0.0],
+                &a,
+                &[1.0, 0.0, 0.0],
+                &[1.0, f64::INFINITY, f64::INFINITY],
+            )
+            .unwrap();
+        assert!((sol.x[0] - 0.5).abs() < 1e-5);
+        assert!((sol.x[1] - 0.5).abs() < 1e-5);
+        assert!(sol.primal_residual < 1e-6);
+    }
+
+    #[test]
+    fn active_inequality() {
+        // min (x−3)² s.t. x ≤ 1 ⇒ x = 1 with dual y = −2·(1−3) = 4 ≥ 0.
+        let p = Matrix::from_diag(&[2.0]);
+        let a = Matrix::from_rows(&[&[1.0]]).unwrap();
+        let sol = AdmmQp::default()
+            .solve(&p, &[-6.0], &a, &[f64::NEG_INFINITY], &[1.0])
+            .unwrap();
+        assert!((sol.x[0] - 1.0).abs() < 1e-5);
+        assert!(sol.y[0] > 0.0);
+    }
+
+    #[test]
+    fn matches_active_set_on_random_qp() {
+        use crate::{ActiveSetQp, QuadObjective};
+        // A 4-variable QP with simplex + cap structure.
+        let pm = Matrix::from_rows(&[
+            &[1.0, 0.2, 0.0, 0.1],
+            &[0.2, 1.5, 0.3, 0.0],
+            &[0.0, 0.3, 2.0, 0.4],
+            &[0.1, 0.0, 0.4, 1.2],
+        ])
+        .unwrap();
+        let q = vec![-1.0, 0.5, -0.3, 0.2];
+        // Constraints: Σx = 1 (eq), x ≥ 0.
+        let mut a = Matrix::zeros(5, 4);
+        for j in 0..4 {
+            a[(0, j)] = 1.0;
+        }
+        for i in 0..4 {
+            a[(1 + i, i)] = 1.0;
+        }
+        let l = vec![1.0, 0.0, 0.0, 0.0, 0.0];
+        let u = vec![1.0, f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY];
+        let admm = AdmmQp::default().solve(&pm, &q, &a, &l, &u).unwrap();
+
+        let f = QuadObjective::dense(pm.clone(), q.clone(), 0.0).unwrap();
+        let a_eq = Matrix::from_rows(&[&[1.0; 4]]).unwrap();
+        let a_in = Matrix::from_fn(4, 4, |i, j| if i == j { -1.0 } else { 0.0 });
+        let exact = ActiveSetQp::default()
+            .solve(&f, &a_eq, &[1.0], &a_in, &[0.0; 4], vec![0.25; 4])
+            .unwrap();
+        assert!(
+            vec_ops::dist2(&admm.x, &exact.x) < 1e-4,
+            "admm {:?} vs exact {:?}",
+            admm.x,
+            exact.x
+        );
+        assert!((admm.value - exact.value).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rejects_bad_bounds_and_shapes() {
+        let p = Matrix::identity(1);
+        let a = Matrix::from_rows(&[&[1.0]]).unwrap();
+        assert!(matches!(
+            AdmmQp::default().solve(&p, &[0.0], &a, &[2.0], &[1.0]),
+            Err(OptError::InvalidInput { .. })
+        ));
+        let a_bad = Matrix::from_rows(&[&[1.0, 1.0]]).unwrap();
+        assert!(AdmmQp::default()
+            .solve(&p, &[0.0], &a_bad, &[0.0], &[1.0])
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_alpha_out_of_range() {
+        let _ = AdmmQp::new(AdmmQpSettings {
+            alpha: 2.5,
+            ..AdmmQpSettings::default()
+        });
+    }
+
+    #[test]
+    fn unconstrained_matches_newton() {
+        let p = Matrix::from_diag(&[2.0, 8.0]);
+        let sol = AdmmQp::default()
+            .solve(&p, &[-2.0, -8.0], &Matrix::zeros(0, 2), &[], &[])
+            .unwrap();
+        assert!((sol.x[0] - 1.0).abs() < 1e-5);
+        assert!((sol.x[1] - 1.0).abs() < 1e-5);
+    }
+}

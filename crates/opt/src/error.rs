@@ -1,0 +1,100 @@
+use std::fmt;
+
+use ufc_linalg::LinalgError;
+
+/// Errors produced by the convex-optimization toolkit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// An iterative solver hit its iteration cap before reaching the
+    /// requested tolerance.
+    MaxIterations {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual/criterion value at the point of giving up.
+        residual: f64,
+    },
+    /// The provided starting point (or the constraint set itself) is
+    /// infeasible.
+    Infeasible {
+        /// Description of the violated constraint.
+        context: String,
+    },
+    /// Invalid problem data (shape mismatch, NaN inputs, empty problem, …).
+    InvalidInput {
+        /// Description of the defect.
+        context: String,
+    },
+    /// A linear-algebra routine failed underneath the solver.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::MaxIterations {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "solver did not converge within {iterations} iterations (residual {residual:e})"
+            ),
+            OptError::Infeasible { context } => write!(f, "infeasible: {context}"),
+            OptError::InvalidInput { context } => write!(f, "invalid input: {context}"),
+            OptError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for OptError {
+    fn from(e: LinalgError) -> Self {
+        OptError::Linalg(e)
+    }
+}
+
+impl OptError {
+    /// Builds an [`OptError::InvalidInput`] with a formatted context.
+    pub fn invalid(context: impl Into<String>) -> Self {
+        OptError::InvalidInput {
+            context: context.into(),
+        }
+    }
+
+    /// Builds an [`OptError::Infeasible`] with a formatted context.
+    pub fn infeasible(context: impl Into<String>) -> Self {
+        OptError::Infeasible {
+            context: context.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = OptError::MaxIterations {
+            iterations: 10,
+            residual: 1.0,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.source().is_none());
+
+        let e = OptError::from(LinalgError::Singular { pivot: 2 });
+        assert!(e.to_string().contains("pivot 2"));
+        assert!(e.source().is_some());
+
+        assert!(OptError::invalid("bad").to_string().contains("bad"));
+        assert!(OptError::infeasible("x").to_string().contains("infeasible"));
+    }
+}

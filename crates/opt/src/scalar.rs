@@ -1,0 +1,165 @@
+//! One-dimensional convex minimization.
+//!
+//! The ν-minimization (19) of the paper is a single-variable convex problem
+//! `min_{ν ≥ 0} V(Cν) + pν + ρ/2 (d − ν)²`. For affine `V` it is closed-form;
+//! for general convex `V` (quadratic taxes, stepped cap-and-trade tariffs) we
+//! minimize numerically. Both a derivative-free golden-section search and a
+//! subgradient bisection are provided; the latter is preferred when a
+//! (sub)derivative is available because it converges linearly with a
+//! guaranteed bracket.
+
+/// Golden-section search for the minimizer of a convex function on `[lo, hi]`.
+///
+/// Runs until the bracket is below `tol` (absolute). For strictly convex `f`
+/// the result is within `tol` of the true minimizer; for merely convex `f`
+/// it returns one minimizer.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or `tol <= 0`.
+#[must_use]
+pub fn golden_section(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, tol: f64) -> f64 {
+    assert!(lo <= hi, "invalid bracket [{lo}, {hi}]");
+    assert!(tol > 0.0, "tolerance must be positive");
+    if hi - lo <= tol {
+        return 0.5 * (lo + hi);
+    }
+    const INV_PHI: f64 = 0.618_033_988_749_894_8; // (√5 − 1)/2
+    let mut a = lo;
+    let mut b = hi;
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while b - a > tol {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = f(d);
+        }
+    }
+    0.5 * (a + b)
+}
+
+/// Bisection on a nondecreasing (sub)derivative: finds `x ∈ [lo, hi]` with
+/// `df(x) ≈ 0`, clamping to an endpoint when the derivative does not change
+/// sign (i.e. the constrained minimizer sits on the boundary).
+///
+/// This is the numerically robust way to minimize a convex function whose
+/// derivative is available, including piecewise-linear `V` where `df` is a
+/// step function (any point in the flat optimum region is acceptable).
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or `tol <= 0`.
+#[must_use]
+pub fn bisect_derivative(mut df: impl FnMut(f64) -> f64, lo: f64, hi: f64, tol: f64) -> f64 {
+    assert!(lo <= hi, "invalid bracket [{lo}, {hi}]");
+    assert!(tol > 0.0, "tolerance must be positive");
+    let mut a = lo;
+    let mut b = hi;
+    if df(a) >= 0.0 {
+        return a; // increasing from the left edge ⇒ minimum at lo
+    }
+    if df(b) <= 0.0 {
+        return b; // still decreasing at the right edge ⇒ minimum at hi
+    }
+    while b - a > tol {
+        let mid = 0.5 * (a + b);
+        if df(mid) < 0.0 {
+            a = mid;
+        } else {
+            b = mid;
+        }
+    }
+    0.5 * (a + b)
+}
+
+/// Closed-form minimizer of `½ρ(d − x)² + s·x` over `x ∈ [lo, hi]` — the
+/// shape shared by the paper's μ-update (18) and by the ν-update (19) with
+/// affine `V`. Equals `clamp(d − s/ρ, lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `rho <= 0` or `lo > hi`.
+#[must_use]
+pub fn prox_linear_quadratic(d: f64, s: f64, rho: f64, lo: f64, hi: f64) -> f64 {
+    assert!(rho > 0.0, "rho must be positive");
+    assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
+    (d - s / rho).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_finds_parabola_minimum() {
+        let x = golden_section(|x| (x - 2.5) * (x - 2.5), 0.0, 10.0, 1e-8);
+        assert!((x - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn golden_boundary_minimum() {
+        let x = golden_section(|x| x, 1.0, 3.0, 1e-8);
+        assert!((x - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn golden_degenerate_bracket() {
+        assert_eq!(golden_section(|x| x * x, 2.0, 2.0, 1e-8), 2.0);
+    }
+
+    #[test]
+    fn bisect_interior_root() {
+        let x = bisect_derivative(|x| 2.0 * (x - 1.5), 0.0, 10.0, 1e-10);
+        assert!((x - 1.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn bisect_clamps_to_bounds() {
+        assert_eq!(bisect_derivative(|x| 2.0 * (x + 5.0), 0.0, 1.0, 1e-10), 0.0);
+        assert_eq!(bisect_derivative(|x| 2.0 * (x - 5.0), 0.0, 1.0, 1e-10), 1.0);
+    }
+
+    #[test]
+    fn bisect_handles_step_derivative() {
+        // Piecewise-linear convex function with a kink at 2: f' = −1 below, +3 above.
+        let df = |x: f64| if x < 2.0 { -1.0 } else { 3.0 };
+        let x = bisect_derivative(df, 0.0, 10.0, 1e-10);
+        assert!((x - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn prox_matches_golden_section() {
+        let (d, s, rho) = (3.0, 0.9, 0.3);
+        let closed = prox_linear_quadratic(d, s, rho, 0.0, 10.0);
+        let numeric = golden_section(
+            |x| 0.5 * rho * (d - x) * (d - x) + s * x,
+            0.0,
+            10.0,
+            1e-10,
+        );
+        assert!((closed - numeric).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prox_clamps() {
+        assert_eq!(prox_linear_quadratic(1.0, 100.0, 1.0, 0.0, 5.0), 0.0);
+        assert_eq!(prox_linear_quadratic(10.0, -100.0, 1.0, 0.0, 5.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bracket")]
+    fn golden_rejects_inverted_bracket() {
+        let _ = golden_section(|x| x, 1.0, 0.0, 1e-8);
+    }
+}

@@ -1,0 +1,121 @@
+//! The [`SmoothObjective`] abstraction: anything with a value, a gradient,
+//! and a curvature estimate can be minimized by the projected-gradient
+//! machinery.
+//!
+//! [`crate::QuadObjective`] implements it (its Lipschitz bound is global);
+//! the queueing-aware a-sub-problem in `ufc-core` implements it with a
+//! congestion barrier whose curvature is only locally bounded, paired with
+//! [`crate::Fista::minimize_adaptive`]'s backtracking.
+
+/// A differentiable convex function on `ℝⁿ` (possibly `+∞` outside an open
+/// effective domain, as with barrier terms).
+pub trait SmoothObjective {
+    /// Problem dimension `n`.
+    fn dim(&self) -> usize;
+
+    /// Function value at `x` (may be `+∞`/non-finite outside the domain).
+    fn value(&self, x: &[f64]) -> f64;
+
+    /// Gradient at `x` (only called where [`SmoothObjective::value`] is
+    /// finite).
+    fn gradient(&self, x: &[f64]) -> Vec<f64>;
+
+    /// An initial curvature (gradient-Lipschitz) estimate. For objectives
+    /// with unbounded curvature, any reasonable starting guess works — the
+    /// adaptive solver backtracks as needed.
+    fn lipschitz_bound(&self) -> f64;
+}
+
+impl SmoothObjective for crate::QuadObjective {
+    fn dim(&self) -> usize {
+        self.dim()
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        self.value(x)
+    }
+
+    fn gradient(&self, x: &[f64]) -> Vec<f64> {
+        self.gradient(x)
+    }
+
+    fn lipschitz_bound(&self) -> f64 {
+        self.lipschitz_bound()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::projection::project_box;
+    use crate::{Fista, QuadObjective};
+
+    /// f(x) = ½x² − log(1 − x): smooth on (−∞, 1), curvature unbounded.
+    struct Barrier1D;
+
+    impl SmoothObjective for Barrier1D {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn value(&self, x: &[f64]) -> f64 {
+            if x[0] >= 1.0 {
+                f64::INFINITY
+            } else {
+                0.5 * x[0] * x[0] - (1.0 - x[0]).ln()
+            }
+        }
+        fn gradient(&self, x: &[f64]) -> Vec<f64> {
+            vec![x[0] + 1.0 / (1.0 - x[0])]
+        }
+        fn lipschitz_bound(&self) -> f64 {
+            2.0
+        }
+    }
+
+    #[test]
+    fn adaptive_fista_handles_barrier() {
+        // Unconstrained minimum: x + 1/(1−x) = 0 ⇒ x = (1+√… ) solve:
+        // x(1−x) + 1 = 0 ⇒ −x² + x + 1 = 0 ⇒ x = (1−√5)/2 ≈ −0.618.
+        let sol = Fista::new(10_000, 1e-10)
+            .minimize_adaptive(&Barrier1D, |x| project_box(x, &[-10.0], &[0.999]), vec![0.9])
+            .unwrap();
+        let expected = (1.0 - 5.0f64.sqrt()) / 2.0;
+        assert!(
+            (sol.x[0] - expected).abs() < 1e-6,
+            "got {}, expected {expected}",
+            sol.x[0]
+        );
+    }
+
+    #[test]
+    fn adaptive_matches_fixed_step_on_quadratics() {
+        let f = QuadObjective::diag_rank1(
+            vec![1.0, 2.0],
+            0.5,
+            vec![1.0, 1.0],
+            vec![-1.0, 0.5],
+            0.0,
+        );
+        let fixed = Fista::new(50_000, 1e-11)
+            .minimize(&f, |x| x.to_vec(), vec![0.0, 0.0])
+            .unwrap();
+        let adaptive = Fista::new(50_000, 1e-11)
+            .minimize_adaptive(&f, |x| x.to_vec(), vec![0.0, 0.0])
+            .unwrap();
+        assert!(
+            ufc_linalg::vec_ops::dist2(&fixed.x, &adaptive.x) < 1e-6,
+            "fixed {:?} vs adaptive {:?}",
+            fixed.x,
+            adaptive.x
+        );
+    }
+
+    #[test]
+    fn adaptive_rejects_out_of_domain_start() {
+        // Projection keeps x at 1.5 where the barrier is infinite.
+        let err = Fista::new(100, 1e-8)
+            .minimize_adaptive(&Barrier1D, |x| x.to_vec(), vec![1.5])
+            .unwrap_err();
+        assert!(matches!(err, crate::OptError::InvalidInput { .. }));
+    }
+}

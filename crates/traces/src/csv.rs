@@ -1,0 +1,134 @@
+//! Minimal CSV export for traces and experiment outputs.
+//!
+//! The experiment harness dumps every regenerated table/figure as CSV so the
+//! series can be plotted externally; a handwritten writer keeps the
+//! dependency set to the pre-approved crates.
+
+use std::fmt::Write as _;
+
+/// An in-memory CSV document with a fixed header.
+///
+/// # Example
+///
+/// ```
+/// use ufc_traces::csv::Csv;
+///
+/// let mut csv = Csv::new(&["hour", "price"]);
+/// csv.push_row(&[0.0, 31.25]);
+/// let s = csv.to_string();
+/// assert!(s.starts_with("hour,price\n0,31.25\n"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csv {
+    header: Vec<String>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl Csv {
+    /// Creates an empty document with the given column names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty or contains commas/newlines.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        assert!(!header.is_empty(), "CSV needs at least one column");
+        for h in header {
+            assert!(
+                !h.contains(',') && !h.contains('\n'),
+                "column name {h:?} contains a CSV delimiter"
+            );
+        }
+        Csv {
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row.to_vec());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for Csv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.header.join(","))?;
+        let mut line = String::new();
+        for row in &self.rows {
+            line.clear();
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                // Integral values print without a trailing ".0" for
+                // compactness; everything else uses shortest-roundtrip.
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    let _ = write!(line, "{}", *v as i64);
+                } else {
+                    let _ = write!(line, "{v}");
+                }
+            }
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut csv = Csv::new(&["a", "b"]);
+        csv.push_row(&[1.0, 2.5]);
+        csv.push_row(&[3.0, -0.125]);
+        assert_eq!(csv.to_string(), "a,b\n1,2.5\n3,-0.125\n");
+        assert_eq!(csv.len(), 2);
+        assert!(!csv.is_empty());
+    }
+
+    #[test]
+    fn empty_document_is_just_header() {
+        let csv = Csv::new(&["x"]);
+        assert_eq!(csv.to_string(), "x\n");
+        assert!(csv.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut csv = Csv::new(&["a", "b"]);
+        csv.push_row(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "delimiter")]
+    fn rejects_bad_header() {
+        let _ = Csv::new(&["a,b"]);
+    }
+}

@@ -1,0 +1,126 @@
+//! The Facebook-like datacenter power-demand profile behind Table I / Fig. 1.
+//!
+//! Table I prices a week of a single datacenter's power demand under three
+//! procurement strategies. The paper uses the Facebook demand profile of
+//! Chen et al. (MASCOTS 2011); we synthesize a profile with the same
+//! characteristics — MW-scale, strong diurnal swing, mild weekend dip — and
+//! calibrate the weekly energy so that the *Fuel Cell* strategy cost at
+//! `p₀ = 80 $/MWh` lands near the paper's $27 957 (i.e. ≈ 349 MWh/week,
+//! average demand ≈ 2.08 MW).
+
+use crate::series::{hour_of_day, is_weekend};
+use crate::TraceRng;
+
+/// Average demand (MW) that reproduces Table I's fuel-cell cost at 80 $/MWh.
+pub const TABLE1_AVERAGE_MW: f64 = 2.08;
+
+/// Generator for a Facebook-like hourly power-demand profile in MW.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FacebookProfile {
+    /// Weekly average demand in MW.
+    pub average_mw: f64,
+    /// Trough as a fraction of peak.
+    pub trough_ratio: f64,
+    /// Hour of day of the demand peak.
+    pub peak_hour: f64,
+    /// Weekend attenuation (0–1].
+    pub weekend_factor: f64,
+    /// Multiplicative noise σ.
+    pub noise_std: f64,
+}
+
+impl Default for FacebookProfile {
+    /// Calibrated to Table I (see module docs).
+    fn default() -> Self {
+        FacebookProfile {
+            average_mw: TABLE1_AVERAGE_MW,
+            trough_ratio: 0.55,
+            peak_hour: 15.0,
+            weekend_factor: 0.93,
+            noise_std: 0.03,
+        }
+    }
+}
+
+impl FacebookProfile {
+    /// Generates `hours` samples of demand in MW, rescaled so the sample
+    /// mean equals `average_mw` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are out of range or `hours == 0`.
+    #[must_use]
+    pub fn generate(&self, hours: usize, rng: &mut TraceRng) -> Vec<f64> {
+        assert!(hours > 0, "need at least one hour");
+        assert!(self.average_mw > 0.0, "average demand must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.trough_ratio),
+            "trough_ratio must be in [0, 1)"
+        );
+        assert!(
+            self.weekend_factor > 0.0 && self.weekend_factor <= 1.0,
+            "weekend_factor must be in (0, 1]"
+        );
+        assert!(self.noise_std >= 0.0, "negative noise");
+
+        let mut raw: Vec<f64> = (0..hours)
+            .map(|t| {
+                let h = hour_of_day(t) as f64;
+                let phase = (h - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+                let diurnal = 0.5 * (1.0 + phase.cos());
+                let mut d = self.trough_ratio + (1.0 - self.trough_ratio) * diurnal;
+                if is_weekend(t) {
+                    d *= self.weekend_factor;
+                }
+                d * (1.0 + self.noise_std * rng.standard_normal()).max(0.1)
+            })
+            .collect();
+        let m: f64 = raw.iter().sum::<f64>() / hours as f64;
+        for v in &mut raw {
+            *v *= self.average_mw / m;
+        }
+        raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series;
+
+    #[test]
+    fn mean_is_exactly_calibrated() {
+        let p = FacebookProfile::default().generate(168, &mut TraceRng::new(1));
+        assert!((series::mean(&p) - TABLE1_AVERAGE_MW).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weekly_energy_prices_like_table1() {
+        // 168 h × 2.08 MW × 80 $/MWh ≈ $27 955 — the paper's fuel-cell cost.
+        let p = FacebookProfile::default().generate(168, &mut TraceRng::new(1));
+        let cost: f64 = p.iter().map(|mw| mw * 80.0).sum();
+        assert!((cost - 27_957.0).abs() < 600.0, "weekly fuel-cell cost {cost}");
+    }
+
+    #[test]
+    fn profile_is_diurnal_and_positive() {
+        let p = FacebookProfile::default().generate(168, &mut TraceRng::new(4));
+        assert!(p.iter().all(|&v| v > 0.0));
+        // Peak-to-trough between 1.4 and 2.5 (Fig. 1 shows roughly 2:1).
+        let ratio = series::peak_to_trough(&p);
+        assert!((1.3..3.0).contains(&ratio), "peak/trough {ratio}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = FacebookProfile::default().generate(100, &mut TraceRng::new(7));
+        let b = FacebookProfile::default().generate(100, &mut TraceRng::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hour")]
+    fn rejects_zero_hours() {
+        let _ = FacebookProfile::default().generate(0, &mut TraceRng::new(0));
+    }
+}

@@ -1,0 +1,276 @@
+//! Short-term time-series forecasting.
+//!
+//! The paper's control loop relies on two predictability assumptions: the
+//! near-term request arrival "can be predicted quite accurately, by
+//! employing techniques such as statistical machine learning and time
+//! series analysis" (§II-A), and the carbon emission rate "shows a strong
+//! diurnal pattern, making it easy to be accurately predicted" (§II-B2).
+//! This module supplies the standard tools those statements refer to —
+//! a seasonal-naïve predictor and additive Holt–Winters (triple
+//! exponential smoothing) — plus the usual accuracy metrics, so the
+//! assumption can be *tested* (see `ufc-experiments::robustness`).
+
+/// Forecast accuracy: mean absolute percentage error (fraction, not %).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or an actual value is
+/// zero (MAPE undefined).
+#[must_use]
+pub fn mape(actual: &[f64], forecast: &[f64]) -> f64 {
+    assert_eq!(actual.len(), forecast.len(), "length mismatch");
+    assert!(!actual.is_empty(), "empty series");
+    actual
+        .iter()
+        .zip(forecast)
+        .map(|(a, f)| {
+            assert!(*a != 0.0, "MAPE undefined for zero actuals");
+            ((a - f) / a).abs()
+        })
+        .sum::<f64>()
+        / actual.len() as f64
+}
+
+/// Forecast accuracy: root-mean-square error.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+#[must_use]
+pub fn rmse(actual: &[f64], forecast: &[f64]) -> f64 {
+    assert_eq!(actual.len(), forecast.len(), "length mismatch");
+    assert!(!actual.is_empty(), "empty series");
+    let mse = actual
+        .iter()
+        .zip(forecast)
+        .map(|(a, f)| (a - f) * (a - f))
+        .sum::<f64>()
+        / actual.len() as f64;
+    mse.sqrt()
+}
+
+/// Seasonal-naïve forecaster: tomorrow's 3 pm equals today's 3 pm.
+///
+/// # Example
+///
+/// ```
+/// use ufc_traces::forecast::SeasonalNaive;
+///
+/// let history = [1.0, 2.0, 3.0, 1.1, 2.1, 3.1];
+/// // Period 3: the next value repeats history[len − 3] = 1.1.
+/// assert_eq!(SeasonalNaive::new(3).forecast_next(&history), 1.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeasonalNaive {
+    period: usize,
+}
+
+impl SeasonalNaive {
+    /// Creates a forecaster with the given season length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    #[must_use]
+    pub fn new(period: usize) -> Self {
+        assert!(period > 0, "period must be positive");
+        SeasonalNaive { period }
+    }
+
+    /// One-step-ahead forecast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history.len() < period`.
+    #[must_use]
+    pub fn forecast_next(&self, history: &[f64]) -> f64 {
+        assert!(
+            history.len() >= self.period,
+            "need at least one full season of history"
+        );
+        history[history.len() - self.period]
+    }
+}
+
+/// Additive Holt–Winters (triple exponential smoothing): level + trend +
+/// additive seasonality, the workhorse of short-term load forecasting.
+///
+/// # Example
+///
+/// ```
+/// use ufc_traces::forecast::HoltWinters;
+///
+/// // A clean period-4 seasonal series is predicted almost exactly.
+/// let hist: Vec<f64> = (0..32).map(|t| 10.0 + [0.0, 3.0, 5.0, 2.0][t % 4]).collect();
+/// let hw = HoltWinters::new(0.3, 0.05, 0.3, 4);
+/// let f = hw.forecast_next(&hist);
+/// assert!((f - 10.0).abs() < 0.5); // next slot is the season-phase-0 value
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoltWinters {
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    period: usize,
+}
+
+impl HoltWinters {
+    /// Creates a smoother with coefficients in `[0, 1]` and the given
+    /// season length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coefficient is outside `[0, 1]` or `period == 0`.
+    #[must_use]
+    pub fn new(alpha: f64, beta: f64, gamma: f64, period: usize) -> Self {
+        for (name, v) in [("alpha", alpha), ("beta", beta), ("gamma", gamma)] {
+            assert!((0.0..=1.0).contains(&v), "{name} must be in [0, 1], got {v}");
+        }
+        assert!(period > 0, "period must be positive");
+        HoltWinters {
+            alpha,
+            beta,
+            gamma,
+            period,
+        }
+    }
+
+    /// A default tuned for hourly diurnal traces: `α = 0.3`, `β = 0.02`,
+    /// `γ = 0.3`, period 24.
+    #[must_use]
+    pub fn hourly_diurnal() -> Self {
+        HoltWinters::new(0.3, 0.02, 0.3, 24)
+    }
+
+    /// Forecasts `horizon` steps beyond the end of `history`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history.len() < 2·period` (need two seasons to
+    /// initialize) or `horizon == 0`.
+    #[must_use]
+    pub fn forecast(&self, history: &[f64], horizon: usize) -> Vec<f64> {
+        let p = self.period;
+        assert!(
+            history.len() >= 2 * p,
+            "need at least two seasons ({} points), got {}",
+            2 * p,
+            history.len()
+        );
+        assert!(horizon > 0, "horizon must be positive");
+
+        // Initialization (classic): level = mean of season 1, trend = mean
+        // seasonal-difference, seasonal = first-season deviations.
+        let s1: f64 = history[..p].iter().sum::<f64>() / p as f64;
+        let s2: f64 = history[p..2 * p].iter().sum::<f64>() / p as f64;
+        let mut level = s1;
+        let mut trend = (s2 - s1) / p as f64;
+        let mut seasonal: Vec<f64> = history[..p].iter().map(|v| v - s1).collect();
+
+        for (t, &y) in history.iter().enumerate().skip(p) {
+            let si = t % p;
+            let last_level = level;
+            level = self.alpha * (y - seasonal[si]) + (1.0 - self.alpha) * (level + trend);
+            trend = self.beta * (level - last_level) + (1.0 - self.beta) * trend;
+            seasonal[si] = self.gamma * (y - level) + (1.0 - self.gamma) * seasonal[si];
+        }
+
+        (1..=horizon)
+            .map(|k| {
+                let si = (history.len() + k - 1) % p;
+                level + trend * k as f64 + seasonal[si]
+            })
+            .collect()
+    }
+
+    /// One-step-ahead forecast.
+    ///
+    /// # Panics
+    ///
+    /// As for [`HoltWinters::forecast`].
+    #[must_use]
+    pub fn forecast_next(&self, history: &[f64]) -> f64 {
+        self.forecast(history, 1)[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::HpLikeWorkload;
+    use crate::TraceRng;
+
+    #[test]
+    fn metrics_basics() {
+        assert_eq!(mape(&[2.0, 4.0], &[2.0, 4.0]), 0.0);
+        assert!((mape(&[2.0], &[1.0]) - 0.5).abs() < 1e-12);
+        assert_eq!(rmse(&[1.0, 1.0], &[1.0, 1.0]), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAPE undefined")]
+    fn mape_rejects_zero_actuals() {
+        let _ = mape(&[0.0], &[1.0]);
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_last_season() {
+        let hist = [5.0, 6.0, 7.0, 5.5, 6.5, 7.5];
+        let sn = SeasonalNaive::new(3);
+        assert_eq!(sn.forecast_next(&hist), 5.5);
+    }
+
+    #[test]
+    fn holt_winters_nails_a_clean_seasonal_series() {
+        let hist: Vec<f64> = (0..96)
+            .map(|t| 50.0 + 10.0 * ((t % 24) as f64 / 24.0 * std::f64::consts::TAU).sin())
+            .collect();
+        let hw = HoltWinters::hourly_diurnal();
+        let f = hw.forecast(&hist, 24);
+        let actual: Vec<f64> = (96..120)
+            .map(|t| 50.0 + 10.0 * ((t % 24) as f64 / 24.0 * std::f64::consts::TAU).sin())
+            .collect();
+        assert!(mape(&actual, &f) < 0.02, "MAPE {}", mape(&actual, &f));
+    }
+
+    #[test]
+    fn holt_winters_tracks_a_trend() {
+        // Linear growth + seasonality.
+        let hist: Vec<f64> = (0..144)
+            .map(|t| 100.0 + 0.5 * t as f64 + 5.0 * ((t % 24) as f64 - 12.0) / 12.0)
+            .collect();
+        let f = HoltWinters::new(0.4, 0.1, 0.3, 24).forecast_next(&hist);
+        let actual = 100.0 + 0.5 * 144.0 + 5.0 * (0.0 - 12.0) / 12.0;
+        assert!((f - actual).abs() / actual < 0.05, "forecast {f} vs actual {actual}");
+    }
+
+    #[test]
+    fn holt_winters_beats_naive_on_workload_trace() {
+        // On the HP-like trace, HW should beat the "repeat the last value"
+        // strawman and be competitive with seasonal-naïve.
+        let trace = HpLikeWorkload::default().generate(168, &mut TraceRng::new(8));
+        let mut hw_err = Vec::new();
+        let mut last_err = Vec::new();
+        let hw = HoltWinters::hourly_diurnal();
+        for t in 48..168 {
+            let hist = &trace[..t];
+            hw_err.push((hw.forecast_next(hist) - trace[t]).abs());
+            last_err.push((hist[hist.len() - 1] - trace[t]).abs());
+        }
+        let hw_mean: f64 = hw_err.iter().sum::<f64>() / hw_err.len() as f64;
+        let last_mean: f64 = last_err.iter().sum::<f64>() / last_err.len() as f64;
+        assert!(
+            hw_mean < last_mean,
+            "Holt–Winters ({hw_mean}) not better than last-value ({last_mean})"
+        );
+    }
+
+    #[test]
+    fn validation_panics() {
+        assert!(std::panic::catch_unwind(|| HoltWinters::new(1.5, 0.1, 0.1, 24)).is_err());
+        assert!(std::panic::catch_unwind(|| SeasonalNaive::new(0)).is_err());
+        let hw = HoltWinters::hourly_diurnal();
+        assert!(std::panic::catch_unwind(|| hw.forecast(&[1.0; 10], 1)).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! Synthetic trace substrate for the UFC reproduction.
+//!
+//! The paper drives its evaluation with four proprietary/unavailable data
+//! sets: a one-week hourly HP interactive-workload trace, Sep 10–16 2012
+//! locational marginal prices (LMPs) from four RTO/ISO markets, the hourly
+//! electricity fuel mix of those regions, and a Facebook datacenter
+//! power-demand profile. Per the reproduction's substitution policy
+//! (DESIGN.md §4) this crate generates **calibrated synthetic equivalents**
+//! that preserve the statistical signatures the optimization actually
+//! exploits — diurnal/weekly seasonality, burstiness, spatial price spread,
+//! price spikes, and fuel-mix-driven carbon-rate diversity:
+//!
+//! * [`workload`] — HP-like interactive workload (diurnal + AR(1) noise +
+//!   bursts) and its normal-distribution split across front-ends,
+//! * [`price`] — per-site LMP models with presets for the paper's four
+//!   locations,
+//! * [`fuelmix`] — per-site generation mixes and the paper's Eq. (1) carbon
+//!   rate with the Table III emission factors,
+//! * [`facebook`] — the MW-level demand profile behind Table I / Fig. 1,
+//! * [`forecast`] — seasonal-naïve and Holt–Winters predictors (the paper's
+//!   §II-A predictability assumption, made testable),
+//! * [`series`] — small time-series helpers (means, scaling, peaks),
+//! * [`csv`] / [`loader`] — plain CSV export and import (plug in real RTO
+//!   dumps when available),
+//! * [`TraceRng`] — deterministic, stream-split random source.
+//!
+//! All generators are deterministic given a seed; the experiment harness
+//! fixes seeds so that EXPERIMENTS.md numbers are reproducible bit-for-bit.
+//!
+//! # Example
+//!
+//! ```
+//! use ufc_traces::{workload::HpLikeWorkload, TraceRng};
+//!
+//! let mut rng = TraceRng::new(42);
+//! let trace = HpLikeWorkload::default().generate(168, &mut rng);
+//! assert_eq!(trace.len(), 168);
+//! // Normalized utilization stays within (0, 1].
+//! assert!(trace.iter().all(|&u| u > 0.0 && u <= 1.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod loader;
+pub mod facebook;
+pub mod forecast;
+pub mod fuelmix;
+pub mod price;
+mod rng;
+pub mod series;
+pub mod workload;
+
+pub use rng::TraceRng;
+
+/// Hours in the one-week horizon used throughout the paper's evaluation.
+pub const HOURS_PER_WEEK: usize = 168;

@@ -1,0 +1,197 @@
+//! Numeric-CSV import — the inverse of [`crate::csv`].
+//!
+//! The synthetic generators replace the paper's unavailable data sets, but
+//! a user who *does* hold real traces (RTO price dumps, datacenter
+//! telemetry) should be able to drive the same pipeline with them. This
+//! module parses headered numeric CSV into named columns; the scenario
+//! builder accepts such columns as overrides for any generated trace.
+
+use std::fmt;
+
+/// Errors produced when parsing numeric CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// The document had no header line.
+    Empty,
+    /// A data row had a different width than the header.
+    RaggedRow {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Cells found.
+        found: usize,
+        /// Cells expected (header width).
+        expected: usize,
+    },
+    /// A cell failed to parse as `f64`.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column number.
+        column: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// [`NumericCsv::require_column`] did not find the requested name.
+    MissingColumn {
+        /// The requested column name.
+        name: String,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Empty => write!(f, "CSV document has no header"),
+            LoadError::RaggedRow {
+                line,
+                found,
+                expected,
+            } => write!(
+                f,
+                "line {line} has {found} cells but the header has {expected}"
+            ),
+            LoadError::BadNumber { line, column, text } => {
+                write!(f, "line {line}, column {column}: {text:?} is not a number")
+            }
+            LoadError::MissingColumn { name } => write!(f, "no column named {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// A parsed numeric CSV document: named columns of equal length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericCsv {
+    header: Vec<String>,
+    columns: Vec<Vec<f64>>,
+}
+
+impl NumericCsv {
+    /// Column names, in file order.
+    #[must_use]
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Looks a column up by exact name.
+    #[must_use]
+    pub fn column(&self, name: &str) -> Option<&[f64]> {
+        self.header
+            .iter()
+            .position(|h| h == name)
+            .map(|i| self.columns[i].as_slice())
+    }
+
+    /// Like [`NumericCsv::column`] but failing loudly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError::MissingColumn`] when absent.
+    pub fn require_column(&self, name: &str) -> Result<&[f64], LoadError> {
+        self.column(name).ok_or_else(|| LoadError::MissingColumn {
+            name: name.to_owned(),
+        })
+    }
+}
+
+/// Parses a headered numeric CSV document.
+///
+/// Empty lines are skipped; cells are trimmed before parsing; the header is
+/// taken verbatim (trimmed). This intentionally supports exactly the
+/// dialect [`crate::csv::Csv`] writes (no quoting/escaping), which is also
+/// what RTO price dumps look like.
+///
+/// # Errors
+///
+/// See [`LoadError`].
+pub fn parse_numeric_csv(text: &str) -> Result<NumericCsv, LoadError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let Some((_, header_line)) = lines.next() else {
+        return Err(LoadError::Empty);
+    };
+    let header: Vec<String> = header_line.split(',').map(|h| h.trim().to_owned()).collect();
+    let width = header.len();
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); width];
+    for (idx, line) in lines {
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != width {
+            return Err(LoadError::RaggedRow {
+                line: idx + 1,
+                found: cells.len(),
+                expected: width,
+            });
+        }
+        for (c, cell) in cells.iter().enumerate() {
+            let v: f64 = cell.trim().parse().map_err(|_| LoadError::BadNumber {
+                line: idx + 1,
+                column: c + 1,
+                text: (*cell).to_owned(),
+            })?;
+            columns[c].push(v);
+        }
+    }
+    Ok(NumericCsv { header, columns })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::Csv;
+
+    #[test]
+    fn roundtrips_with_the_writer() {
+        let mut out = Csv::new(&["hour", "price"]);
+        out.push_row(&[0.0, 31.25]);
+        out.push_row(&[1.0, 28.0]);
+        let parsed = parse_numeric_csv(&out.to_string()).unwrap();
+        assert_eq!(parsed.header(), &["hour".to_owned(), "price".to_owned()]);
+        assert_eq!(parsed.rows(), 2);
+        assert_eq!(parsed.column("price").unwrap(), &[31.25, 28.0]);
+        assert!(parsed.column("nope").is_none());
+    }
+
+    #[test]
+    fn tolerates_whitespace_and_blank_lines() {
+        let text = "a, b\n\n 1 , 2 \n\n3,4\n";
+        let parsed = parse_numeric_csv(text).unwrap();
+        assert_eq!(parsed.rows(), 2);
+        assert_eq!(parsed.column("b").unwrap(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(parse_numeric_csv(""), Err(LoadError::Empty));
+        assert!(matches!(
+            parse_numeric_csv("a,b\n1\n"),
+            Err(LoadError::RaggedRow { line: 2, found: 1, expected: 2 })
+        ));
+        let e = parse_numeric_csv("a\nx\n").unwrap_err();
+        assert!(matches!(e, LoadError::BadNumber { line: 2, column: 1, .. }));
+        let parsed = parse_numeric_csv("a\n1\n").unwrap();
+        assert!(matches!(
+            parsed.require_column("z"),
+            Err(LoadError::MissingColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = LoadError::BadNumber {
+            line: 3,
+            column: 2,
+            text: "oops".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(LoadError::Empty.to_string().contains("header"));
+    }
+}

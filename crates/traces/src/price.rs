@@ -1,0 +1,269 @@
+//! Locational-marginal-price (LMP) generation.
+//!
+//! The paper uses real-time hourly LMPs (Sep 10–16 2012) downloaded from the
+//! four regions' RTO/ISO websites. [`LmpModel`] synthesizes series with the
+//! properties the optimization exploits — base-level spatial spread,
+//! diurnal peaking, weekend discounts, AR(1) volatility, and rare spikes —
+//! calibrated per site so the Table I cost levels are reproduced in shape
+//! (Dallas cheap at ≈ 28 $/MWh average, San Jose expensive and spiky at
+//! ≈ 80 $/MWh; see DESIGN.md §4).
+
+use crate::series::{hour_of_day, is_weekend};
+use crate::TraceRng;
+
+/// Per-site electricity price model producing hourly $/MWh series.
+///
+/// The hourly price is
+/// `p(t) = base · (offpeak + amp·diurnal(t)) · weekend(t) · (1 + AR1(t)) + spike(t)`
+/// clamped below by `floor`.
+///
+/// # Example
+///
+/// ```
+/// use ufc_traces::{price::LmpModel, TraceRng};
+///
+/// let p = LmpModel::dallas().generate(168, &mut TraceRng::new(1));
+/// let avg = p.iter().sum::<f64>() / p.len() as f64;
+/// assert!(avg > 15.0 && avg < 45.0, "Dallas average {avg} off-calibration");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LmpModel {
+    /// Site label carried into exports.
+    pub name: String,
+    /// Base price level in $/MWh.
+    pub base: f64,
+    /// Off-peak multiplier floor of the diurnal factor.
+    pub offpeak_factor: f64,
+    /// Amplitude of the diurnal peak on top of `offpeak_factor`.
+    pub diurnal_amplitude: f64,
+    /// Hour of day at which prices peak.
+    pub peak_hour: f64,
+    /// Weekend discount factor (0–1].
+    pub weekend_factor: f64,
+    /// Standard deviation of the AR(1) multiplicative noise.
+    pub noise_std: f64,
+    /// AR(1) coefficient.
+    pub noise_ar: f64,
+    /// Per-hour spike probability.
+    pub spike_probability: f64,
+    /// Lognormal μ of the spike magnitude ($/MWh).
+    pub spike_mu: f64,
+    /// Lognormal σ of the spike magnitude.
+    pub spike_sigma: f64,
+    /// Hard price floor ($/MWh).
+    pub floor: f64,
+}
+
+impl LmpModel {
+    /// Dallas (ERCOT-like): cheap base, pronounced peaks, spiky market.
+    #[must_use]
+    pub fn dallas() -> Self {
+        LmpModel {
+            name: "Dallas".into(),
+            base: 25.0,
+            offpeak_factor: 0.72,
+            diurnal_amplitude: 0.65,
+            peak_hour: 16.0,
+            weekend_factor: 0.92,
+            noise_std: 0.10,
+            noise_ar: 0.5,
+            spike_probability: 0.025,
+            spike_mu: 3.4, // median spike ≈ 30 $/MWh
+            spike_sigma: 0.8,
+            floor: 12.0,
+        }
+    }
+
+    /// San Jose (CAISO-like): expensive base, strong evening peak, volatile.
+    #[must_use]
+    pub fn san_jose() -> Self {
+        LmpModel {
+            name: "San Jose".into(),
+            base: 52.0,
+            offpeak_factor: 0.35,
+            diurnal_amplitude: 2.30,
+            peak_hour: 17.0,
+            weekend_factor: 0.93,
+            noise_std: 0.12,
+            noise_ar: 0.55,
+            spike_probability: 0.12,
+            spike_mu: 4.10,
+            spike_sigma: 0.6,
+            floor: 18.0,
+        }
+    }
+
+    /// Calgary (AESO-like): mid-priced, coal-dominated market.
+    #[must_use]
+    pub fn calgary() -> Self {
+        LmpModel {
+            name: "Calgary".into(),
+            base: 46.0,
+            offpeak_factor: 0.74,
+            diurnal_amplitude: 0.55,
+            peak_hour: 17.0,
+            weekend_factor: 0.94,
+            noise_std: 0.11,
+            noise_ar: 0.5,
+            spike_probability: 0.02,
+            spike_mu: 3.3,
+            spike_sigma: 0.9,
+            floor: 22.0,
+        }
+    }
+
+    /// Pittsburgh (PJM-like): mid-priced, moderate volatility.
+    #[must_use]
+    pub fn pittsburgh() -> Self {
+        LmpModel {
+            name: "Pittsburgh".into(),
+            base: 40.0,
+            offpeak_factor: 0.73,
+            diurnal_amplitude: 0.60,
+            peak_hour: 15.0,
+            weekend_factor: 0.93,
+            noise_std: 0.09,
+            noise_ar: 0.5,
+            spike_probability: 0.018,
+            spike_mu: 3.2,
+            spike_sigma: 0.8,
+            floor: 20.0,
+        }
+    }
+
+    /// The four paper sites in datacenter order
+    /// (Calgary, San Jose, Dallas, Pittsburgh) — matches
+    /// `ufc_geo::sites::datacenter_sites()`.
+    #[must_use]
+    pub fn paper_sites() -> Vec<LmpModel> {
+        vec![
+            LmpModel::calgary(),
+            LmpModel::san_jose(),
+            LmpModel::dallas(),
+            LmpModel::pittsburgh(),
+        ]
+    }
+
+    /// Generates `hours` hourly prices in $/MWh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are out of range (nonpositive base, negative
+    /// noise, `weekend_factor ∉ (0, 1]`, …).
+    #[must_use]
+    pub fn generate(&self, hours: usize, rng: &mut TraceRng) -> Vec<f64> {
+        assert!(self.base > 0.0, "base price must be positive");
+        assert!(self.offpeak_factor > 0.0, "offpeak factor must be positive");
+        assert!(self.diurnal_amplitude >= 0.0, "negative diurnal amplitude");
+        assert!(
+            self.weekend_factor > 0.0 && self.weekend_factor <= 1.0,
+            "weekend_factor must be in (0, 1]"
+        );
+        assert!(self.noise_std >= 0.0 && (0.0..1.0).contains(&self.noise_ar));
+        assert!(self.floor >= 0.0, "floor must be nonnegative");
+
+        let mut out = Vec::with_capacity(hours);
+        let mut ar = 0.0f64;
+        let innovation = self.noise_std * (1.0 - self.noise_ar * self.noise_ar).sqrt();
+        for t in 0..hours {
+            let h = hour_of_day(t) as f64;
+            let phase = (h - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+            let diurnal = 0.5 * (1.0 + phase.cos());
+            let mut p = self.base * (self.offpeak_factor + self.diurnal_amplitude * diurnal);
+            if is_weekend(t) {
+                p *= self.weekend_factor;
+            }
+            ar = self.noise_ar * ar + innovation * rng.standard_normal();
+            p *= 1.0 + ar;
+            if rng.bernoulli(self.spike_probability) {
+                p += rng.lognormal(self.spike_mu, self.spike_sigma);
+            }
+            out.push(p.max(self.floor));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series;
+
+    #[test]
+    fn site_calibration_levels() {
+        let rng = TraceRng::new(2012);
+        let dallas = LmpModel::dallas().generate(168, &mut rng.substream("dal"));
+        let sj = LmpModel::san_jose().generate(168, &mut rng.substream("sj"));
+        let cal = LmpModel::calgary().generate(168, &mut rng.substream("cal"));
+        let pit = LmpModel::pittsburgh().generate(168, &mut rng.substream("pit"));
+        // Table I implies Dallas ≈ 28 $/MWh and San Jose ≈ 80 $/MWh averages.
+        let d = series::mean(&dallas);
+        let s = series::mean(&sj);
+        assert!((20.0..40.0).contains(&d), "Dallas mean {d}");
+        assert!((60.0..100.0).contains(&s), "San Jose mean {s}");
+        // Ordering: San Jose most expensive, Dallas cheapest.
+        assert!(s > series::mean(&cal) && s > series::mean(&pit));
+        assert!(d < series::mean(&cal) && d < series::mean(&pit));
+    }
+
+    #[test]
+    fn prices_respect_floor() {
+        let m = LmpModel::dallas();
+        let p = m.generate(1000, &mut TraceRng::new(77));
+        assert!(p.iter().all(|&v| v >= m.floor));
+    }
+
+    #[test]
+    fn diurnal_peak_visible_without_noise() {
+        let m = LmpModel {
+            noise_std: 0.0,
+            spike_probability: 0.0,
+            ..LmpModel::dallas()
+        };
+        let p = m.generate(24, &mut TraceRng::new(1));
+        let peak = p[16];
+        let trough = p[4];
+        assert!(peak > 1.5 * trough, "peak {peak} vs trough {trough}");
+    }
+
+    #[test]
+    fn spikes_fatten_the_tail() {
+        let calm = LmpModel {
+            spike_probability: 0.0,
+            ..LmpModel::dallas()
+        };
+        let spiky = LmpModel {
+            spike_probability: 0.3,
+            ..LmpModel::dallas()
+        };
+        let pc = calm.generate(500, &mut TraceRng::new(6));
+        let ps = spiky.generate(500, &mut TraceRng::new(6));
+        assert!(series::max(&ps) > series::max(&pc));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = LmpModel::san_jose().generate(50, &mut TraceRng::new(10));
+        let b = LmpModel::san_jose().generate(50, &mut TraceRng::new(10));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_sites_order_matches_datacenters() {
+        let sites = LmpModel::paper_sites();
+        assert_eq!(sites[0].name, "Calgary");
+        assert_eq!(sites[1].name, "San Jose");
+        assert_eq!(sites[2].name, "Dallas");
+        assert_eq!(sites[3].name, "Pittsburgh");
+    }
+
+    #[test]
+    #[should_panic(expected = "base price")]
+    fn rejects_nonpositive_base() {
+        let _ = LmpModel {
+            base: 0.0,
+            ..LmpModel::dallas()
+        }
+        .generate(1, &mut TraceRng::new(0));
+    }
+}

@@ -1,0 +1,195 @@
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha20Rng;
+
+/// Deterministic random source for trace generation.
+///
+/// Wraps a ChaCha20 stream (stable across `rand` versions, unlike `StdRng`)
+/// and adds the two distributions the generators need: standard normal
+/// (Box–Muller) and lognormal. [`TraceRng::substream`] derives independent
+/// child streams so that, e.g., the Dallas price trace does not change when
+/// the San Jose generator draws a different number of samples.
+///
+/// # Example
+///
+/// ```
+/// use ufc_traces::TraceRng;
+///
+/// let mut a = TraceRng::new(7);
+/// let mut b = TraceRng::new(7);
+/// assert_eq!(a.uniform(), b.uniform()); // same seed ⇒ same stream
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceRng {
+    inner: ChaCha20Rng,
+    cached_normal: Option<f64>,
+}
+
+impl TraceRng {
+    /// Creates a stream from a 64-bit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TraceRng {
+            inner: ChaCha20Rng::seed_from_u64(seed),
+            cached_normal: None,
+        }
+    }
+
+    /// Derives an independent child stream labeled by `label`.
+    ///
+    /// Children with distinct labels are statistically independent of each
+    /// other and of the parent, and depend only on the parent's *seed*, not
+    /// on how much of the parent stream has been consumed.
+    #[must_use]
+    pub fn substream(&self, label: &str) -> TraceRng {
+        // Mix the label into the parent seed with FNV-1a, then reseed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut base = self.inner.clone();
+        base.set_word_pos(0);
+        let seed_words = base.get_seed();
+        let mut seed64 = 0u64;
+        for (i, b) in seed_words.iter().take(8).enumerate() {
+            seed64 |= u64::from(*b) << (8 * i);
+        }
+        TraceRng::new(seed64 ^ h)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty interval [{lo}, {hi})");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Standard normal sample via Box–Muller (pairs cached).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.cached_normal.take() {
+            return z;
+        }
+        // Guard u1 away from 0 so ln() stays finite.
+        let u1 = self.uniform().max(1e-300);
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev < 0`.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "standard deviation must be nonnegative");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Lognormal sample: `exp(N(mu, sigma))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma < 0`.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = TraceRng::new(123);
+        let mut b = TraceRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = TraceRng::new(1);
+        let mut b = TraceRng::new(2);
+        let same = (0..20).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn substreams_are_independent_of_consumption() {
+        let mut parent = TraceRng::new(99);
+        let child_before: Vec<f64> = {
+            let mut c = parent.substream("dallas");
+            (0..5).map(|_| c.uniform()).collect()
+        };
+        // Consume the parent, re-derive: identical child stream.
+        for _ in 0..50 {
+            parent.uniform();
+        }
+        let child_after: Vec<f64> = {
+            let mut c = parent.substream("dallas");
+            (0..5).map(|_| c.uniform()).collect()
+        };
+        assert_eq!(child_before, child_after);
+    }
+
+    #[test]
+    fn substream_labels_distinguish() {
+        let parent = TraceRng::new(99);
+        let mut a = parent.substream("price");
+        let mut b = parent.substream("workload");
+        assert_ne!(a.uniform(), b.uniform());
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = TraceRng::new(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn uniform_in_respects_bounds() {
+        let mut rng = TraceRng::new(5);
+        for _ in 0..1000 {
+            let v = rng.uniform_in(2.0, 3.0);
+            assert!((2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = TraceRng::new(5);
+        assert!(!rng.bernoulli(0.0));
+        assert!(rng.bernoulli(1.0));
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = TraceRng::new(11);
+        for _ in 0..100 {
+            assert!(rng.lognormal(0.0, 1.0) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Small helpers over hourly `Vec<f64>` time series.
+//!
+//! Everything downstream (model, experiments, benches) treats a trace as a
+//! plain vector with one sample per hour; these functions centralize the
+//! recurring statistics and rescalings.
+
+/// Arithmetic mean (0 for an empty series).
+#[must_use]
+pub fn mean(series: &[f64]) -> f64 {
+    if series.is_empty() {
+        0.0
+    } else {
+        series.iter().sum::<f64>() / series.len() as f64
+    }
+}
+
+/// Maximum value (−∞ for an empty series).
+#[must_use]
+pub fn max(series: &[f64]) -> f64 {
+    series.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Minimum value (+∞ for an empty series).
+#[must_use]
+pub fn min(series: &[f64]) -> f64 {
+    series.iter().cloned().fold(f64::INFINITY, f64::min)
+}
+
+/// Rescales so the peak equals `peak` (no-op on all-zero input).
+///
+/// # Panics
+///
+/// Panics if `peak < 0` or the series contains negative values.
+#[must_use]
+pub fn scale_to_peak(series: &[f64], peak: f64) -> Vec<f64> {
+    assert!(peak >= 0.0, "peak must be nonnegative");
+    assert!(
+        series.iter().all(|&v| v >= 0.0),
+        "scale_to_peak expects a nonnegative series"
+    );
+    let m = max(series);
+    if m <= 0.0 {
+        return series.to_vec();
+    }
+    series.iter().map(|v| v * peak / m).collect()
+}
+
+/// Rescales so the mean equals `target_mean` (no-op on an all-zero input).
+///
+/// # Panics
+///
+/// Panics if `target_mean < 0` or the series contains negative values.
+#[must_use]
+pub fn scale_to_mean(series: &[f64], target_mean: f64) -> Vec<f64> {
+    assert!(target_mean >= 0.0, "target mean must be nonnegative");
+    assert!(
+        series.iter().all(|&v| v >= 0.0),
+        "scale_to_mean expects a nonnegative series"
+    );
+    let m = mean(series);
+    if m <= 0.0 {
+        return series.to_vec();
+    }
+    series.iter().map(|v| v * target_mean / m).collect()
+}
+
+/// Peak-to-trough ratio `max/min`; ∞ when the minimum is zero.
+///
+/// # Panics
+///
+/// Panics on an empty series or negative values.
+#[must_use]
+pub fn peak_to_trough(series: &[f64]) -> f64 {
+    assert!(!series.is_empty(), "empty series");
+    assert!(series.iter().all(|&v| v >= 0.0), "negative values");
+    let lo = min(series);
+    if lo == 0.0 {
+        f64::INFINITY
+    } else {
+        max(series) / lo
+    }
+}
+
+/// Hour-of-day index (0–23) for an hourly sample index.
+#[must_use]
+pub fn hour_of_day(t: usize) -> usize {
+    t % 24
+}
+
+/// `true` when hourly index `t` falls on a weekend, with the convention that
+/// the series starts on a Monday (paper traces start Monday Sep 10, 2012).
+#[must_use]
+pub fn is_weekend(t: usize) -> bool {
+    let day = (t / 24) % 7;
+    day >= 5
+}
+
+/// Empirical CDF sample points for a data set: returns `(sorted values,
+/// cumulative fractions)` suitable for plotting Fig. 11-style CDFs.
+#[must_use]
+pub fn empirical_cdf(data: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+    let n = sorted.len();
+    let fracs = (0..n).map(|i| (i + 1) as f64 / n as f64).collect();
+    (sorted, fracs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let s = [1.0, 2.0, 3.0];
+        assert_eq!(mean(&s), 2.0);
+        assert_eq!(max(&s), 3.0);
+        assert_eq!(min(&s), 1.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn scale_to_peak_sets_max() {
+        let s = scale_to_peak(&[1.0, 2.0, 4.0], 10.0);
+        assert_eq!(s, vec![2.5, 5.0, 10.0]);
+        // All-zero series passes through.
+        assert_eq!(scale_to_peak(&[0.0, 0.0], 5.0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn scale_to_mean_sets_mean() {
+        let s = scale_to_mean(&[1.0, 3.0], 4.0);
+        assert!((mean(&s) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_to_trough_ratio() {
+        assert_eq!(peak_to_trough(&[1.0, 2.0, 4.0]), 4.0);
+        assert_eq!(peak_to_trough(&[0.0, 1.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn calendar_helpers() {
+        assert_eq!(hour_of_day(0), 0);
+        assert_eq!(hour_of_day(25), 1);
+        assert!(!is_weekend(0)); // Monday 00:00
+        assert!(!is_weekend(4 * 24 + 23)); // Friday 23:00
+        assert!(is_weekend(5 * 24)); // Saturday 00:00
+        assert!(is_weekend(6 * 24 + 12)); // Sunday noon
+        assert!(!is_weekend(7 * 24)); // next Monday
+    }
+
+    #[test]
+    fn cdf_is_sorted_and_normalized() {
+        let (xs, fs) = empirical_cdf(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(xs, vec![1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(fs.last().copied(), Some(1.0));
+        assert!(fs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn scale_rejects_negative_series() {
+        let _ = scale_to_peak(&[-1.0], 1.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! HP-like interactive workload generation and its geographic split.
+//!
+//! The paper scales a one-week hourly HP request trace (Liu et al.,
+//! GreenMetrics 2011) to the number of servers required and splits it across
+//! the ten front-end proxies "following a normal distribution". The real
+//! trace is unavailable; [`HpLikeWorkload`] synthesizes a trace with the
+//! same documented signature — strong diurnal swing, weekday/weekend
+//! modulation, autocorrelated noise, and occasional bursts.
+
+use crate::series::{hour_of_day, is_weekend};
+use crate::TraceRng;
+
+/// Generator for a normalized (0, 1] interactive-workload utilization trace.
+///
+/// The hourly level is
+/// `u(t) = clamp( (trough + (1−trough)·diurnal(t)) · weekend(t) · noise(t) + burst(t) )`
+/// where `diurnal` is a raised cosine peaking in the local afternoon,
+/// `weekend` attenuates Saturday/Sunday, `noise` is a multiplicative AR(1)
+/// process, and `burst` adds rare positive excursions.
+///
+/// # Example
+///
+/// ```
+/// use ufc_traces::{workload::HpLikeWorkload, TraceRng};
+///
+/// let trace = HpLikeWorkload::default().generate(48, &mut TraceRng::new(1));
+/// // Afternoon load exceeds pre-dawn load on the same day.
+/// assert!(trace[15] > trace[4]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HpLikeWorkload {
+    /// Fraction of peak load remaining at the nightly trough (0–1).
+    pub trough_ratio: f64,
+    /// Hour of day (0–23) at which the diurnal component peaks.
+    pub peak_hour: f64,
+    /// Weekend attenuation factor (0–1].
+    pub weekend_factor: f64,
+    /// Standard deviation of the AR(1) multiplicative noise.
+    pub noise_std: f64,
+    /// AR(1) coefficient of the noise process (0–1).
+    pub noise_ar: f64,
+    /// Per-hour probability of a traffic burst.
+    pub burst_probability: f64,
+    /// Mean burst magnitude as a fraction of peak.
+    pub burst_scale: f64,
+}
+
+impl Default for HpLikeWorkload {
+    /// Signature of the HP trace as reported in the literature: trough ≈ 35%
+    /// of peak, 3 pm peak, ~10% weekend attenuation, mild noise, rare bursts.
+    fn default() -> Self {
+        HpLikeWorkload {
+            trough_ratio: 0.35,
+            peak_hour: 15.0,
+            weekend_factor: 0.9,
+            noise_std: 0.04,
+            noise_ar: 0.6,
+            burst_probability: 0.03,
+            burst_scale: 0.08,
+        }
+    }
+}
+
+impl HpLikeWorkload {
+    /// Generates `hours` samples of normalized utilization in (0, 1].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is outside its documented range.
+    #[must_use]
+    pub fn generate(&self, hours: usize, rng: &mut TraceRng) -> Vec<f64> {
+        assert!(
+            (0.0..1.0).contains(&self.trough_ratio),
+            "trough_ratio must be in [0, 1)"
+        );
+        assert!(
+            (0.0..24.0).contains(&self.peak_hour),
+            "peak_hour must be in [0, 24)"
+        );
+        assert!(
+            self.weekend_factor > 0.0 && self.weekend_factor <= 1.0,
+            "weekend_factor must be in (0, 1]"
+        );
+        assert!((0.0..1.0).contains(&self.noise_ar), "noise_ar must be in [0, 1)");
+        assert!(self.noise_std >= 0.0, "noise_std must be nonnegative");
+
+        let mut out = Vec::with_capacity(hours);
+        let mut ar = 0.0f64;
+        let innovation = self.noise_std * (1.0 - self.noise_ar * self.noise_ar).sqrt();
+        for t in 0..hours {
+            let h = hour_of_day(t) as f64;
+            // Raised cosine in [0, 1] peaking at `peak_hour`.
+            let phase = (h - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+            let diurnal = 0.5 * (1.0 + phase.cos());
+            let mut u = self.trough_ratio + (1.0 - self.trough_ratio) * diurnal;
+            if is_weekend(t) {
+                u *= self.weekend_factor;
+            }
+            ar = self.noise_ar * ar + innovation * rng.standard_normal();
+            u *= 1.0 + ar;
+            if rng.bernoulli(self.burst_probability) {
+                u += self.burst_scale * rng.uniform_in(0.5, 1.5);
+            }
+            out.push(u.clamp(0.01, 1.0));
+        }
+        out
+    }
+}
+
+/// Spatial split of a total workload across `m` front-end proxies.
+///
+/// Weights are drawn once as `|N(1, spread)|` and normalized — the paper's
+/// "normal distribution" split (following Xu & Li) — then each hour applies
+/// small per-front-end jitter and renormalizes so the hourly total is
+/// preserved exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontendSplit {
+    /// Standard deviation of the base weight distribution.
+    pub spread: f64,
+    /// Standard deviation of the hourly multiplicative jitter.
+    pub jitter: f64,
+}
+
+impl Default for FrontendSplit {
+    /// `spread = 0.3`, `jitter = 0.05`.
+    fn default() -> Self {
+        FrontendSplit {
+            spread: 0.3,
+            jitter: 0.05,
+        }
+    }
+}
+
+impl FrontendSplit {
+    /// Splits the hourly totals into an `hours × m` matrix of per-front-end
+    /// arrivals; row `t` sums to `total[t]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`, any total is negative, or parameters are negative.
+    #[must_use]
+    pub fn split(&self, total: &[f64], m: usize, rng: &mut TraceRng) -> Vec<Vec<f64>> {
+        assert!(m > 0, "need at least one front-end");
+        assert!(self.spread >= 0.0 && self.jitter >= 0.0, "negative spread/jitter");
+        assert!(
+            total.iter().all(|&v| v >= 0.0),
+            "totals must be nonnegative"
+        );
+        // Base spatial weights.
+        let mut weights: Vec<f64> = (0..m)
+            .map(|_| rng.normal(1.0, self.spread).abs().max(0.05))
+            .collect();
+        let wsum: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= wsum;
+        }
+        total
+            .iter()
+            .map(|&tot| {
+                let jittered: Vec<f64> = weights
+                    .iter()
+                    .map(|&w| w * (1.0 + self.jitter * rng.standard_normal()).max(0.05))
+                    .collect();
+                let js: f64 = jittered.iter().sum();
+                jittered.into_iter().map(|w| tot * w / js).collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series;
+
+    #[test]
+    fn trace_has_diurnal_pattern() {
+        let trace = HpLikeWorkload::default().generate(168, &mut TraceRng::new(3));
+        // Average 2–5 pm load > average 2–5 am load across weekdays.
+        let mut peak_sum = 0.0;
+        let mut trough_sum = 0.0;
+        let mut count = 0;
+        for day in 0..5 {
+            for h in 0..3 {
+                peak_sum += trace[day * 24 + 14 + h];
+                trough_sum += trace[day * 24 + 2 + h];
+                count += 1;
+            }
+        }
+        assert!(peak_sum / count as f64 > 1.5 * trough_sum / count as f64);
+    }
+
+    #[test]
+    fn weekend_is_lighter() {
+        let gen = HpLikeWorkload {
+            noise_std: 0.0,
+            burst_probability: 0.0,
+            ..HpLikeWorkload::default()
+        };
+        let trace = gen.generate(168, &mut TraceRng::new(3));
+        let weekday_noon = trace[2 * 24 + 12];
+        let weekend_noon = trace[5 * 24 + 12];
+        assert!(weekend_noon < weekday_noon);
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let a = HpLikeWorkload::default().generate(100, &mut TraceRng::new(9));
+        let b = HpLikeWorkload::default().generate(100, &mut TraceRng::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_stays_normalized() {
+        let trace = HpLikeWorkload::default().generate(1000, &mut TraceRng::new(5));
+        assert!(trace.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        assert!(series::max(&trace) > 0.8, "peak too low");
+        assert!(series::min(&trace) < 0.5, "trough too high");
+    }
+
+    #[test]
+    fn bursts_add_mass() {
+        let quiet = HpLikeWorkload {
+            burst_probability: 0.0,
+            ..HpLikeWorkload::default()
+        };
+        let bursty = HpLikeWorkload {
+            burst_probability: 0.5,
+            burst_scale: 0.2,
+            ..HpLikeWorkload::default()
+        };
+        let q = quiet.generate(500, &mut TraceRng::new(4));
+        let b = bursty.generate(500, &mut TraceRng::new(4));
+        assert!(series::mean(&b) > series::mean(&q));
+    }
+
+    #[test]
+    #[should_panic(expected = "trough_ratio")]
+    fn rejects_bad_trough() {
+        let _ = HpLikeWorkload {
+            trough_ratio: 1.5,
+            ..HpLikeWorkload::default()
+        }
+        .generate(10, &mut TraceRng::new(0));
+    }
+
+    #[test]
+    fn split_preserves_totals() {
+        let total = vec![10.0, 20.0, 0.0, 5.5];
+        let split = FrontendSplit::default().split(&total, 10, &mut TraceRng::new(2));
+        assert_eq!(split.len(), 4);
+        for (row, &tot) in split.iter().zip(&total) {
+            assert_eq!(row.len(), 10);
+            assert!((row.iter().sum::<f64>() - tot).abs() < 1e-9 * (1.0 + tot));
+            assert!(row.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn split_weights_are_heterogeneous() {
+        let total = vec![100.0];
+        let split = FrontendSplit::default().split(&total, 10, &mut TraceRng::new(8));
+        let row = &split[0];
+        let lo = row.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(hi > 1.2 * lo, "weights suspiciously uniform: {row:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn split_rejects_zero_frontends() {
+        let _ = FrontendSplit::default().split(&[1.0], 0, &mut TraceRng::new(0));
+    }
+}

@@ -1,0 +1,68 @@
+//! Policy study: does a carbon tax actually move a geo-distributed cloud
+//! onto fuel cells? (The paper's Fig. 10 question, plus the stepped-tariff
+//! extension that motivates ADM-G in the first place.)
+//!
+//! Sweeps the flat tax rate over one day, then compares a flat \$25/ton tax
+//! against a stepped (bracketed) tariff with the same initial rate — the
+//! non-strongly-convex case a plain multi-block ADMM could not handle.
+//!
+//! ```text
+//! cargo run --release -p ufc-experiments --example carbon_tax_study
+//! ```
+
+use ufc_core::{AdmgSettings, AdmgSolver, Strategy};
+use ufc_experiments::sweep;
+use ufc_model::scenario::ScenarioBuilder;
+use ufc_model::EmissionCostFn;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let settings = AdmgSettings::default();
+
+    // Part 1: flat-tax sweep (Fig. 10 shape, one day for speed).
+    println!("flat carbon tax sweep (24 h):");
+    println!("{:>10} {:>16} {:>16}", "$/ton", "UFC improvement", "fuel-cell share");
+    let s = sweep::sweep_carbon_tax(2012, 24, settings, &[0.0, 25.0, 60.0, 100.0, 140.0, 200.0])?;
+    for p in &s.points {
+        println!(
+            "{:>10.0} {:>15.1}% {:>15.1}%",
+            p.value,
+            100.0 * p.avg_improvement,
+            100.0 * p.avg_utilization
+        );
+    }
+    if let Some(x) = s.crossover(0.95, true) {
+        println!("→ fuel cells take over around {x} $/ton (paper: ≈ 140)\n");
+    }
+
+    // Part 2: stepped tariff vs flat tax at the same entry rate.
+    let solver = AdmgSolver::new(settings);
+    let flat = ScenarioBuilder::paper_default()
+        .hours(24)
+        .emission_cost(EmissionCostFn::linear(25.0)?)
+        .build()?;
+    // Brackets: first 2 t/h cheap, next 4 t/h at $80/ton, beyond at $250/ton.
+    let stepped = ScenarioBuilder::paper_default()
+        .hours(24)
+        .emission_cost(EmissionCostFn::stepped(vec![2.0, 6.0], vec![25.0, 80.0, 250.0])?)
+        .build()?;
+
+    let mut flat_tons = 0.0;
+    let mut stepped_tons = 0.0;
+    let mut flat_util = 0.0;
+    let mut stepped_util = 0.0;
+    for (a, b) in flat.instances.iter().zip(&stepped.instances) {
+        let fa = solver.solve(a, Strategy::Hybrid)?;
+        let fb = solver.solve(b, Strategy::Hybrid)?;
+        flat_tons += fa.breakdown.carbon_tons;
+        stepped_tons += fb.breakdown.carbon_tons;
+        flat_util += fa.breakdown.fuel_cell_utilization / 24.0;
+        stepped_util += fb.breakdown.fuel_cell_utilization / 24.0;
+    }
+    println!("flat $25/ton tax:    {flat_tons:.1} t emitted, {:.1}% fuel-cell share", 100.0 * flat_util);
+    println!("stepped 25/80/250:   {stepped_tons:.1} t emitted, {:.1}% fuel-cell share", 100.0 * stepped_util);
+    println!(
+        "→ bracketed pricing caps emissions near the bracket knees without \
+         raising the entry rate — and ADM-G handles its non-smooth V_j directly."
+    );
+    Ok(())
+}

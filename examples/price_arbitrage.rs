@@ -1,0 +1,51 @@
+//! The paper's motivating experiment (Table I): how much can a single
+//! datacenter save by switching hourly between grid power and fuel cells?
+//!
+//! Prices a Facebook-like weekly demand profile at Dallas (cheap, calm
+//! grid) and San Jose (expensive, spiky grid) under Grid / Fuel cell /
+//! Hybrid procurement, then breaks the hybrid decision down by hour.
+//!
+//! ```text
+//! cargo run --release -p ufc-experiments --example price_arbitrage
+//! ```
+
+use ufc_experiments::table1;
+
+fn main() {
+    let t = table1::run(2012);
+    println!(
+        "one-week energy costs ($), fuel-cell price p0 = {} $/MWh\n",
+        t.fuel_cell_price
+    );
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>9}",
+        "site", "grid", "fuel cell", "hybrid", "saving"
+    );
+    for s in &t.sites {
+        let best_pure = s.grid.min(s.fuel_cell);
+        println!(
+            "{:>10} {:>10.0} {:>10.0} {:>10.0} {:>8.1}%",
+            s.site,
+            s.grid,
+            s.fuel_cell,
+            s.hybrid,
+            100.0 * (1.0 - s.hybrid / best_pure)
+        );
+    }
+
+    // Where does the hybrid saving come from? Count the switching hours.
+    for (name, prices) in &t.prices {
+        let fuel_hours = prices.iter().filter(|&&p| p > t.fuel_cell_price).count();
+        println!(
+            "\n{name}: fuel cells cheaper in {fuel_hours}/{} hours \
+             (price range {:.0}-{:.0} $/MWh)",
+            prices.len(),
+            prices.iter().cloned().fold(f64::MAX, f64::min),
+            prices.iter().cloned().fold(f64::MIN, f64::max),
+        );
+    }
+    println!(
+        "\nconclusion: neither pure strategy wins everywhere; the value is \
+         in the hourly coordination (the paper's Hybrid)."
+    );
+}

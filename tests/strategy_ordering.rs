@@ -1,0 +1,73 @@
+//! The paper's headline qualitative claims, checked end-to-end over a
+//! multi-day window: Hybrid dominates; fuel cells shorten latency; the
+//! current price/tax regime keeps fuel cells under-utilized.
+
+use ufc_core::AdmgSettings;
+use ufc_experiments::weekly::{self, WeeklyResults};
+
+fn results() -> &'static WeeklyResults {
+    use std::sync::OnceLock;
+    static CELL: OnceLock<WeeklyResults> = OnceLock::new();
+    // Two days (48 h) balances coverage against test runtime.
+    CELL.get_or_init(|| weekly::run(2012, 48, AdmgSettings::default()).unwrap())
+}
+
+#[test]
+fn hybrid_never_loses() {
+    // Paper Fig. 4 insight (3): Hybrid "never reduces the UFC".
+    for h in &results().hours {
+        assert!(h.i_hg >= -1e-3, "hour {}: I_hg = {}", h.hour, h.i_hg);
+        assert!(h.i_hf >= -1e-3, "hour {}: I_hf = {}", h.hour, h.i_hf);
+    }
+}
+
+#[test]
+fn fuel_cell_only_sometimes_loses_badly() {
+    // Paper Fig. 4 insight (1): Fuel-cell-only can cut UFC substantially
+    // during electricity off-peak hours.
+    let worst = results()
+        .hours
+        .iter()
+        .map(|h| h.i_fg)
+        .fold(f64::INFINITY, f64::min);
+    assert!(worst < -0.10, "worst I_fg only {worst}; expected a real loss");
+}
+
+#[test]
+fn load_following_shrinks_latency() {
+    // Paper Fig. 5: Fuel cell ≈ Hybrid < Grid in average latency.
+    let r = results();
+    let hybrid = r.mean_of(|h| h.latency_s[0]);
+    let grid = r.mean_of(|h| h.latency_s[1]);
+    let fuel = r.mean_of(|h| h.latency_s[2]);
+    assert!(fuel < grid, "fuel {fuel} !< grid {grid}");
+    assert!(hybrid < grid, "hybrid {hybrid} !< grid {grid}");
+    assert!(
+        (hybrid - fuel).abs() < 0.35 * (grid - fuel).abs() + 1e-9,
+        "hybrid ({hybrid}) should sit near fuel-cell ({fuel}), far from grid ({grid})"
+    );
+}
+
+#[test]
+fn current_regime_underuses_fuel_cells() {
+    // Paper Fig. 8: average utilization ≈ 16%, never ≥ 70%.
+    let r = results();
+    let avg = r.mean_of(|h| h.utilization);
+    assert!(avg < 0.45, "average utilization {avg} too high for p0=80, tax=25");
+    assert!(avg > 0.01, "fuel cells completely idle; calibration broken");
+    for h in &r.hours {
+        assert!(h.utilization < 0.8, "hour {}: utilization {}", h.hour, h.utilization);
+    }
+}
+
+#[test]
+fn energy_cost_ordering_matches_fig6() {
+    let r = results();
+    let hybrid = r.mean_of(|h| h.energy_cost[0]);
+    let grid = r.mean_of(|h| h.energy_cost[1]);
+    let fuel = r.mean_of(|h| h.energy_cost[2]);
+    assert!(fuel > grid, "fuel-cell-only must be most expensive at p0 = 80");
+    assert!(hybrid <= grid + 1e-6);
+    // Paper: hybrid cuts ≈ 60% versus fuel-cell-only.
+    assert!(hybrid < 0.75 * fuel, "hybrid {hybrid} vs fuel {fuel}");
+}

@@ -1,0 +1,72 @@
+//! End-to-end workspace integration: traces → scenario → solver →
+//! evaluation → experiment summaries, across crate boundaries.
+
+use ufc_core::{centralized, AdmgSettings, AdmgSolver, Strategy};
+use ufc_experiments::{convergence, table1, weekly};
+use ufc_model::scenario::ScenarioBuilder;
+use ufc_model::{evaluate, EmissionCostFn};
+
+#[test]
+fn full_pipeline_one_day() {
+    // Build a day from the trace substrate.
+    let scenario = ScenarioBuilder::paper_default().seed(99).hours(24).build().unwrap();
+    assert_eq!(scenario.hours(), 24);
+
+    // Solve a peak hour three ways and cross-check against the centralized QP.
+    let inst = &scenario.instances[15];
+    let solver = AdmgSolver::new(AdmgSettings::default());
+    let hybrid = solver.solve(inst, Strategy::Hybrid).unwrap();
+    assert!(hybrid.converged);
+    let central = centralized::solve(inst, Strategy::Hybrid, centralized::Backend::Admm).unwrap();
+    let gap = (central.breakdown.ufc() - hybrid.breakdown.ufc()).abs()
+        / central.breakdown.ufc().abs();
+    assert!(gap < 5e-3, "optimality gap {gap}");
+
+    // The solver's reported breakdown is reproducible through the public
+    // evaluation API.
+    let re = evaluate(inst, &hybrid.point).unwrap();
+    assert!((re.ufc() - hybrid.breakdown.ufc()).abs() < 1e-9);
+
+    // Weekly summary machinery consumes the same scenario.
+    let results = weekly::run_on(&scenario, AdmgSettings::default()).unwrap();
+    assert_eq!(results.hours.len(), 24);
+    let cdf = convergence::from_counts(results.iteration_counts());
+    assert!(cdf.min() >= 1);
+    assert!(cdf.fraction_within(cdf.max()) == 1.0);
+}
+
+#[test]
+fn table1_and_weekly_tell_the_same_story() {
+    // Table I says hybrid arbitrage beats pure strategies at the single-DC
+    // level; the weekly geo-distributed run must agree in aggregate.
+    let t = table1::run(5);
+    for s in &t.sites {
+        assert!(s.hybrid <= s.grid.min(s.fuel_cell) + 1e-9);
+    }
+    let results = weekly::run(5, 12, AdmgSettings::default()).unwrap();
+    assert!(results.mean_of(|h| h.i_hg) >= -1e-6);
+    assert!(results.mean_of(|h| h.i_hf) >= -1e-6);
+}
+
+#[test]
+fn emission_cost_variants_run_end_to_end() {
+    for cost in [
+        EmissionCostFn::linear(25.0).unwrap(),
+        EmissionCostFn::quadratic(10.0, 8.0).unwrap(),
+        EmissionCostFn::stepped(vec![1.0, 3.0], vec![10.0, 50.0, 150.0]).unwrap(),
+    ] {
+        let scenario = ScenarioBuilder::paper_default()
+            .hours(1)
+            .emission_cost(cost.clone())
+            .build()
+            .unwrap();
+        let sol = AdmgSolver::new(AdmgSettings::default())
+            .solve(&scenario.instances[0], Strategy::Hybrid)
+            .unwrap();
+        assert!(
+            sol.converged,
+            "ADM-G failed to converge under {cost:?}"
+        );
+        assert!(sol.point.feasibility_residual(&scenario.instances[0]) < 1e-6);
+    }
+}
