@@ -29,8 +29,7 @@ fn bench_frontend_scaling(c: &mut Criterion) {
     }
     for m in [10usize, 40, 160] {
         let inst = synthetic_instance(m, 4);
-        let solver =
-            AdmgSolver::new(AdmgSettings::default().with_method(SubproblemMethod::Fista));
+        let solver = AdmgSolver::new(AdmgSettings::default().with_method(SubproblemMethod::Fista));
         g.bench_with_input(BenchmarkId::new("fista", m), &m, |b, _| {
             b.iter(|| black_box(solver.solve(black_box(&inst), Strategy::Hybrid).unwrap()))
         });
@@ -55,7 +54,9 @@ fn bench_distributed_runtimes(c: &mut Criterion) {
     let inst = paper_instance();
     let runner = DistributedAdmg::new(AdmgSettings::default());
     // Report the protocol cost once.
-    let report = runner.run(&inst, Strategy::Hybrid, Runtime::Lockstep).unwrap();
+    let report = runner
+        .run(&inst, Strategy::Hybrid, Runtime::Lockstep)
+        .unwrap();
     println!(
         "[distsim] paper scale: {} iterations, {} data + {} control messages, \
          {:.1} KiB, est. WAN wall-clock {:.2} s",

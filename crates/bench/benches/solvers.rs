@@ -97,7 +97,11 @@ fn bench_qp_paths(c: &mut Criterion) {
             b.iter(|| {
                 black_box(
                     Fista::new(100_000, 1e-9)
-                        .minimize(black_box(&obj), |x| project_simplex(x, arrival), start.clone())
+                        .minimize(
+                            black_box(&obj),
+                            |x| project_simplex(x, arrival),
+                            start.clone(),
+                        )
                         .unwrap(),
                 )
             })
@@ -121,5 +125,10 @@ fn bench_qp_paths(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(solvers, bench_factorizations, bench_projections, bench_qp_paths);
+criterion_group!(
+    solvers,
+    bench_factorizations,
+    bench_projections,
+    bench_qp_paths
+);
 criterion_main!(solvers);

@@ -18,8 +18,12 @@ fn bench_table1(c: &mut Criterion) {
     let t = table1::run(DEFAULT_SEED);
     println!(
         "[table1] Dallas grid/fuel/hybrid = {:.0}/{:.0}/{:.0} $; San Jose = {:.0}/{:.0}/{:.0} $",
-        t.sites[0].grid, t.sites[0].fuel_cell, t.sites[0].hybrid,
-        t.sites[1].grid, t.sites[1].fuel_cell, t.sites[1].hybrid,
+        t.sites[0].grid,
+        t.sites[0].fuel_cell,
+        t.sites[0].hybrid,
+        t.sites[1].grid,
+        t.sites[1].fuel_cell,
+        t.sites[1].hybrid,
     );
     c.bench_function("table1_single_dc_costs", |b| {
         b.iter(|| black_box(table1::run(black_box(DEFAULT_SEED))))
@@ -30,8 +34,14 @@ fn bench_fig3(c: &mut Criterion) {
     let f = fig3::run(DEFAULT_SEED, 168).unwrap();
     println!(
         "[fig3] mean prices {:?} $/MWh, mean carbon {:?} g/kWh",
-        f.mean_prices().iter().map(|v| v.round()).collect::<Vec<_>>(),
-        f.mean_carbon().iter().map(|v| v.round()).collect::<Vec<_>>(),
+        f.mean_prices()
+            .iter()
+            .map(|v| v.round())
+            .collect::<Vec<_>>(),
+        f.mean_carbon()
+            .iter()
+            .map(|v| v.round())
+            .collect::<Vec<_>>(),
     );
     c.bench_function("fig3_trace_generation", |b| {
         b.iter(|| black_box(fig3::run(black_box(DEFAULT_SEED), black_box(168)).unwrap()))
@@ -97,8 +107,9 @@ fn bench_weekly_figures(c: &mut Criterion) {
 
 fn bench_fig9(c: &mut Criterion) {
     let probe = [27.0, 80.0, 120.0];
-    let s = sweep::sweep_fuel_cell_price(DEFAULT_SEED, BENCH_HOURS, AdmgSettings::default(), &probe)
-        .unwrap();
+    let s =
+        sweep::sweep_fuel_cell_price(DEFAULT_SEED, BENCH_HOURS, AdmgSettings::default(), &probe)
+            .unwrap();
     for p in &s.points {
         println!(
             "[fig9] p0 = {:>3.0} $/MWh → improvement {:.1}%, utilization {:.1}%",
@@ -127,9 +138,8 @@ fn bench_fig9(c: &mut Criterion) {
 
 fn bench_fig10(c: &mut Criterion) {
     let probe = [25.0, 80.0, 140.0];
-    let s =
-        sweep::sweep_carbon_tax(DEFAULT_SEED, BENCH_HOURS, AdmgSettings::default(), &probe)
-            .unwrap();
+    let s = sweep::sweep_carbon_tax(DEFAULT_SEED, BENCH_HOURS, AdmgSettings::default(), &probe)
+        .unwrap();
     for p in &s.points {
         println!(
             "[fig10] tax = {:>3.0} $/ton → improvement {:.1}%, utilization {:.1}%",

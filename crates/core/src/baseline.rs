@@ -129,7 +129,9 @@ pub fn solve(
         for i in 0..m {
             let arrival = instance.arrivals[i];
             let gamma = 2.0 * w / arrival;
-            let c: Vec<f64> = (0..n).map(|j| eta[j] + theta[j] * instance.beta[j]).collect();
+            let c: Vec<f64> = (0..n)
+                .map(|j| eta[j] + theta[j] * instance.beta[j])
+                .collect();
             let objective = QuadObjective::diag_rank1(
                 vec![0.0; n],
                 gamma,
@@ -138,7 +140,11 @@ pub fn solve(
                 0.0,
             );
             let row = Fista::new(20_000, 1e-9)
-                .minimize(&objective, |x| project_simplex(x, arrival), vec![arrival / n as f64; n])
+                .minimize(
+                    &objective,
+                    |x| project_simplex(x, arrival),
+                    vec![arrival / n as f64; n],
+                )
                 .map_err(|e| CoreError::subproblem(format!("baseline lambda[{i}]"), e))?
                 .x;
             lambda[i * n..(i + 1) * n].copy_from_slice(&row);
@@ -197,11 +203,9 @@ pub fn solve(
             let mut cap_violation = 0.0f64;
             let mut balance = 0.0f64;
             for j in 0..n {
-                cap_violation =
-                    cap_violation.max(avg_loads[j] - instance.capacities[j]);
-                balance = balance.max(
-                    (instance.demand_mw(j, avg_loads[j]) - avg_mu[j] - avg_nu[j]).abs(),
-                );
+                cap_violation = cap_violation.max(avg_loads[j] - instance.capacities[j]);
+                balance = balance
+                    .max((instance.demand_mw(j, avg_loads[j]) - avg_mu[j] - avg_nu[j]).abs());
             }
             if cap_violation <= capacity_tol && balance <= balance_tol {
                 converged = true;
@@ -306,7 +310,11 @@ mod tests {
     fn fuel_cell_only_unsupported() {
         let inst = tiny();
         assert!(matches!(
-            solve(&inst, Strategy::FuelCellOnly, &SubgradientSettings::default()),
+            solve(
+                &inst,
+                Strategy::FuelCellOnly,
+                &SubgradientSettings::default()
+            ),
             Err(CoreError::Unsupported { .. })
         ));
     }

@@ -95,8 +95,7 @@ pub fn solve(
             }
             EmissionCostFn::Stepped { .. } => {
                 return Err(CoreError::Unsupported {
-                    context: "centralized QP cannot encode a stepped emission tariff"
-                        .to_owned(),
+                    context: "centralized QP cannot encode a stepped emission tariff".to_owned(),
                 });
             }
         }
@@ -226,9 +225,7 @@ pub fn solve(
 
     // --- Recover an exactly feasible operating point.
     let mut lambda: Vec<Vec<f64>> = (0..m)
-        .map(|i| {
-            ufc_opt::projection::project_simplex(&x[i * n..(i + 1) * n], instance.arrivals[i])
-        })
+        .map(|i| ufc_opt::projection::project_simplex(&x[i * n..(i + 1) * n], instance.arrivals[i]))
         .collect();
     // Clean numerical dust below the projection tolerance.
     for row in &mut lambda {
@@ -254,8 +251,8 @@ pub fn solve(
             x[mu_off + j].clamp(0.0, instance.mu_max[j].min(demand))
         };
     }
-    let point = OperatingPoint::from_routing_and_fuel(instance, lambda, mu)
-        .map_err(CoreError::Model)?;
+    let point =
+        OperatingPoint::from_routing_and_fuel(instance, lambda, mu).map_err(CoreError::Model)?;
     let breakdown = evaluate(instance, &point).map_err(CoreError::Model)?;
     Ok(CentralizedSolution { point, breakdown })
 }

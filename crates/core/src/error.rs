@@ -30,6 +30,30 @@ pub enum CoreError {
         /// Description of the unsupported combination.
         context: String,
     },
+    /// A distributed node stopped responding and could not be recovered
+    /// (crash past the eviction deadline, unexpected thread death, or a
+    /// failure class the runtime cannot degrade around, such as a
+    /// permanently dead front-end).
+    NodeFailure {
+        /// Which node (e.g. `frontend[3]`, `datacenter[1]`).
+        node: String,
+        /// Iteration at which the failure became unrecoverable.
+        iteration: usize,
+        /// What the supervisor tried and why it gave up.
+        context: String,
+    },
+    /// A configuration value was rejected during validation (the
+    /// `Result`-returning counterpart of the panicking constructors).
+    InvalidConfig {
+        /// Which parameter and why.
+        context: String,
+    },
+    /// A checkpoint blob failed to decode (wrong magic, truncated payload,
+    /// or shape mismatch against the instance).
+    Checkpoint {
+        /// What was wrong with the blob.
+        context: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -49,6 +73,15 @@ impl fmt::Display for CoreError {
             }
             CoreError::Model(e) => write!(f, "model error: {e}"),
             CoreError::Unsupported { context } => write!(f, "unsupported: {context}"),
+            CoreError::NodeFailure {
+                node,
+                iteration,
+                context,
+            } => write!(f, "node {node} failed at iteration {iteration}: {context}"),
+            CoreError::InvalidConfig { context } => {
+                write!(f, "invalid configuration: {context}")
+            }
+            CoreError::Checkpoint { context } => write!(f, "bad checkpoint: {context}"),
         }
     }
 }
@@ -77,6 +110,33 @@ impl CoreError {
             source,
         }
     }
+
+    /// Builds a [`CoreError::NodeFailure`].
+    pub fn node_failure(
+        node: impl Into<String>,
+        iteration: usize,
+        context: impl Into<String>,
+    ) -> Self {
+        CoreError::NodeFailure {
+            node: node.into(),
+            iteration,
+            context: context.into(),
+        }
+    }
+
+    /// Builds a [`CoreError::InvalidConfig`].
+    pub fn invalid_config(context: impl Into<String>) -> Self {
+        CoreError::InvalidConfig {
+            context: context.into(),
+        }
+    }
+
+    /// Builds a [`CoreError::Checkpoint`].
+    pub fn checkpoint(context: impl Into<String>) -> Self {
+        CoreError::Checkpoint {
+            context: context.into(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -100,5 +160,18 @@ mod tests {
 
         let e = CoreError::from(ModelError::param("bad"));
         assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn fault_variants_display() {
+        let e = CoreError::node_failure("datacenter[2]", 17, "evicted after 3 attempts");
+        assert!(e.to_string().contains("datacenter[2]"));
+        assert!(e.to_string().contains("17"));
+
+        let e = CoreError::invalid_config("rho must be positive");
+        assert!(e.to_string().contains("rho"));
+
+        let e = CoreError::checkpoint("truncated payload");
+        assert!(e.to_string().contains("truncated"));
     }
 }

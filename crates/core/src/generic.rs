@@ -193,11 +193,7 @@ mod tests {
             vec![30.0, 70.0],
             80.0,
             vec![0.5, 0.3],
-            vec![
-                vec![0.01, 0.02],
-                vec![0.02, 0.01],
-                vec![0.015, 0.025],
-            ],
+            vec![vec![0.01, 0.02], vec![0.02, 0.01], vec![0.015, 0.025]],
             10.0,
             vec![
                 EmissionCostFn::linear(25.0).unwrap(),
@@ -212,7 +208,9 @@ mod tests {
         // Cheap deterministic fill (LCG) — we only need variety, not quality.
         let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((x >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let mut s = AdmgState::zeros(inst);
@@ -230,7 +228,10 @@ mod tests {
         let inst = tiny();
         for (am, an) in [(true, true), (false, true), (true, false)] {
             let rel = relation_matrices(&inst, am, an);
-            assert!(gram_blocks_nonsingular(&rel), "K'K singular for ({am},{an})");
+            assert!(
+                gram_blocks_nonsingular(&rel),
+                "K'K singular for ({am},{an})"
+            );
         }
     }
 
@@ -302,10 +303,7 @@ mod tests {
         let va = all(a);
         let vb = all(b);
         for (idx, (x, y)) in va.iter().zip(&vb).enumerate() {
-            assert!(
-                (x - y).abs() < tol,
-                "component {idx} differs: {x} vs {y}"
-            );
+            assert!((x - y).abs() < tol, "component {idx} differs: {x} vs {y}");
         }
     }
 }

@@ -53,7 +53,8 @@ pub mod repair;
 pub mod right_sizing;
 mod settings;
 mod solver;
-mod state;
+/// ADM-G iterate state and its checkpoint byte codec.
+pub mod state;
 mod strategy;
 pub mod subproblems;
 

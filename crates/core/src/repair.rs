@@ -65,16 +65,12 @@ pub fn assemble_point(
                 loads[j] += v;
             }
         }
-        let overflow: Vec<f64> = (0..n)
-            .map(|j| (loads[j] - eff_cap[j]).max(0.0))
-            .collect();
+        let overflow: Vec<f64> = (0..n).map(|j| (loads[j] - eff_cap[j]).max(0.0)).collect();
         let total_overflow: f64 = overflow.iter().sum();
         if total_overflow <= 1e-12 {
             break;
         }
-        let slack: Vec<f64> = (0..n)
-            .map(|j| (eff_cap[j] - loads[j]).max(0.0))
-            .collect();
+        let slack: Vec<f64> = (0..n).map(|j| (eff_cap[j] - loads[j]).max(0.0)).collect();
         let total_slack: f64 = slack.iter().sum();
         if total_slack < total_overflow - 1e-9 {
             return Err(CoreError::Model(ModelError::infeasible(format!(

@@ -196,7 +196,10 @@ mod tests {
         for j in 0..2 {
             assert!(out.active_servers_k[j] >= 0.2 * inst.capacities[j] - 1e-9);
             assert!(out.active_servers_k[j] <= inst.capacities[j] + 1e-9);
-            assert!(out.active_servers_k[j] >= loads[j] - 1e-6, "capacity below load");
+            assert!(
+                out.active_servers_k[j] >= loads[j] - 1e-6,
+                "capacity below load"
+            );
         }
         assert!(out.rounds >= 1);
     }
@@ -238,9 +241,18 @@ mod tests {
     fn rejects_bad_options() {
         let inst = tiny();
         for opts in [
-            RightSizingOptions { headroom: 0.9, ..RightSizingOptions::default() },
-            RightSizingOptions { min_active_fraction: 1.5, ..RightSizingOptions::default() },
-            RightSizingOptions { max_rounds: 0, ..RightSizingOptions::default() },
+            RightSizingOptions {
+                headroom: 0.9,
+                ..RightSizingOptions::default()
+            },
+            RightSizingOptions {
+                min_active_fraction: 1.5,
+                ..RightSizingOptions::default()
+            },
+            RightSizingOptions {
+                max_rounds: 0,
+                ..RightSizingOptions::default()
+            },
         ] {
             assert!(matches!(
                 solve_with_right_sizing(&inst, Strategy::Hybrid, AdmgSettings::default(), opts),
@@ -262,8 +274,7 @@ mod tests {
         )
         .unwrap();
         assert!(
-            out.solution.breakdown.energy_cost_dollars
-                < baseline.breakdown.energy_cost_dollars,
+            out.solution.breakdown.energy_cost_dollars < baseline.breakdown.energy_cost_dollars,
             "right-sizing did not cut the energy bill"
         );
     }

@@ -65,24 +65,50 @@ impl AdmgSettings {
         }
     }
 
+    /// Validates the hyper-parameters, returning a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CoreError::InvalidConfig`] if `rho <= 0`,
+    /// `epsilon ∉ (0.5, 1]` (the ADM-G requirement), any tolerance is
+    /// nonpositive, or the iteration cap is zero.
+    pub fn check(&self) -> Result<(), crate::CoreError> {
+        if self.rho.is_nan() || self.rho <= 0.0 {
+            return Err(crate::CoreError::invalid_config(format!(
+                "rho must be positive, got {}",
+                self.rho
+            )));
+        }
+        if !(self.epsilon > 0.5 && self.epsilon <= 1.0) {
+            return Err(crate::CoreError::invalid_config(format!(
+                "ADM-G requires epsilon in (0.5, 1], got {}",
+                self.epsilon
+            )));
+        }
+        if self.max_iterations == 0 {
+            return Err(crate::CoreError::invalid_config(
+                "need at least one iteration",
+            ));
+        }
+        if !(self.eps_link > 0.0 && self.eps_balance > 0.0 && self.eps_dual > 0.0) {
+            return Err(crate::CoreError::invalid_config(
+                "tolerances must be positive",
+            ));
+        }
+        Ok(())
+    }
+
     /// Validates the hyper-parameters.
     ///
     /// # Panics
     ///
     /// Panics if `rho <= 0`, `epsilon ∉ (0.5, 1]` (the ADM-G requirement),
-    /// any tolerance is nonpositive, or the iteration cap is zero.
+    /// any tolerance is nonpositive, or the iteration cap is zero. See
+    /// [`AdmgSettings::check`] for the non-panicking form.
     pub fn validate(&self) {
-        assert!(self.rho > 0.0, "rho must be positive, got {}", self.rho);
-        assert!(
-            self.epsilon > 0.5 && self.epsilon <= 1.0,
-            "ADM-G requires epsilon in (0.5, 1], got {}",
-            self.epsilon
-        );
-        assert!(self.max_iterations > 0, "need at least one iteration");
-        assert!(
-            self.eps_link > 0.0 && self.eps_balance > 0.0 && self.eps_dual > 0.0,
-            "tolerances must be positive"
-        );
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 
     /// Scale-relative stopping thresholds for an instance (Boyd et al.
@@ -149,6 +175,28 @@ mod tests {
     #[should_panic(expected = "rho")]
     fn rejects_nonpositive_rho() {
         AdmgSettings::default().with_rho(0.0).validate();
+    }
+
+    #[test]
+    fn check_returns_typed_errors() {
+        assert!(AdmgSettings::default().check().is_ok());
+        let err = AdmgSettings::default().with_rho(-1.0).check().unwrap_err();
+        assert!(matches!(err, crate::CoreError::InvalidConfig { .. }));
+        let err = AdmgSettings::default()
+            .with_epsilon(0.2)
+            .check()
+            .unwrap_err();
+        assert!(err.to_string().contains("epsilon"));
+        let s = AdmgSettings {
+            max_iterations: 0,
+            ..AdmgSettings::default()
+        };
+        assert!(s.check().is_err());
+        let s = AdmgSettings {
+            eps_link: 0.0,
+            ..AdmgSettings::default()
+        };
+        assert!(s.check().is_err());
     }
 
     #[test]

@@ -120,8 +120,7 @@ impl AdmgSolver {
         let active_nu = strategy != Strategy::FuelCellOnly;
         if !active_nu && !instance.fuel_cells_cover_peak() {
             return Err(CoreError::Unsupported {
-                context: "FuelCellOnly requires fuel-cell capacity covering peak demand"
-                    .to_owned(),
+                context: "FuelCellOnly requires fuel-cell capacity covering peak demand".to_owned(),
             });
         }
         if start.m != instance.m_frontends() || start.n != instance.n_datacenters() {
@@ -150,10 +149,22 @@ impl AdmgSolver {
             let mu_tilde = mu_step(instance, rho, &state, active_mu);
             let nu_tilde = nu_step(instance, rho, &state, &mu_tilde, active_nu);
             let a_tilde = a_step(
-                instance, rho, s.method, &state, &lambda_tilde, &mu_tilde, &nu_tilde,
+                instance,
+                rho,
+                s.method,
+                &state,
+                &lambda_tilde,
+                &mu_tilde,
+                &nu_tilde,
             )?;
             let (phi_tilde, varphi_tilde) = dual_step(
-                instance, rho, &state, &lambda_tilde, &mu_tilde, &nu_tilde, &a_tilde,
+                instance,
+                rho,
+                &state,
+                &lambda_tilde,
+                &mu_tilde,
+                &nu_tilde,
+                &a_tilde,
             );
             let tilde = AdmgState {
                 m: state.m,
@@ -168,7 +179,9 @@ impl AdmgSolver {
 
             // --- Correction (Gaussian back substitution), backward order.
             let previous = state.clone();
-            gaussian_back_substitution(instance, &mut state, &tilde, s.epsilon, active_mu, active_nu);
+            gaussian_back_substitution(
+                instance, &mut state, &tilde, s.epsilon, active_mu, active_nu,
+            );
 
             // --- Residuals.
             let link = state.link_residual();
@@ -366,12 +379,18 @@ mod tests {
         let warm = solver
             .solve_warm(&inst, Strategy::Hybrid, cold.state.clone())
             .unwrap();
-        assert!(warm.iterations <= cold.iterations / 4 + 2,
-            "warm {} vs cold {}", warm.iterations, cold.iterations);
+        assert!(
+            warm.iterations <= cold.iterations / 4 + 2,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
         let scale = cold.breakdown.ufc().abs().max(1.0);
         assert!(
             (warm.breakdown.ufc() - cold.breakdown.ufc()).abs() < 1e-4 * scale,
-            "warm {} vs cold {}", warm.breakdown.ufc(), cold.breakdown.ufc()
+            "warm {} vs cold {}",
+            warm.breakdown.ufc(),
+            cold.breakdown.ufc()
         );
     }
 

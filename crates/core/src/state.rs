@@ -1,5 +1,61 @@
 use ufc_model::UfcInstance;
 
+use crate::CoreError;
+
+/// Byte codec used for checkpoint blobs: little-endian, length-prefixed
+/// slices. Shared by [`AdmgState::to_bytes`] and the distributed runtime's
+/// per-node snapshots (`ufc_distsim`).
+pub mod codec {
+    use crate::CoreError;
+
+    /// Appends a `u32` length/shape field.
+    pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed `f64` slice.
+    pub fn put_f64s(buf: &mut Vec<u8>, values: &[f64]) {
+        put_u32(buf, u32::try_from(values.len()).expect("slice too long"));
+        for v in values {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Reads a `u32` field, advancing `pos`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Checkpoint`] on truncation.
+    pub fn get_u32(buf: &[u8], pos: &mut usize) -> Result<u32, CoreError> {
+        let end = pos.checked_add(4).filter(|&e| e <= buf.len());
+        let Some(end) = end else {
+            return Err(CoreError::checkpoint("truncated u32 field"));
+        };
+        let v = u32::from_le_bytes(buf[*pos..end].try_into().expect("4-byte slice"));
+        *pos = end;
+        Ok(v)
+    }
+
+    /// Reads a length-prefixed `f64` slice, advancing `pos`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Checkpoint`] on truncation or an implausible length.
+    pub fn get_f64s(buf: &[u8], pos: &mut usize) -> Result<Vec<f64>, CoreError> {
+        let len = get_u32(buf, pos)? as usize;
+        let bytes = len
+            .checked_mul(8)
+            .filter(|&b| *pos + b <= buf.len())
+            .ok_or_else(|| CoreError::checkpoint("truncated f64 slice"))?;
+        let out = buf[*pos..*pos + bytes]
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        *pos += bytes;
+        Ok(out)
+    }
+}
+
 /// The full iterate of the distributed 4-block ADM-G algorithm.
 ///
 /// Routing blocks (`λ`, its auxiliary copy `a`, and the link duals `φ_ij`)
@@ -113,6 +169,61 @@ impl AdmgState {
         })
     }
 
+    /// Serializes the full iterate into a self-describing little-endian
+    /// blob (magic + `M`/`N` shape + the six blocks), for checkpointing in
+    /// the distributed runtime.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16 + 8 * (3 * self.m * self.n + 3 * self.n));
+        buf.extend_from_slice(Self::MAGIC);
+        codec::put_u32(&mut buf, u32::try_from(self.m).expect("m fits u32"));
+        codec::put_u32(&mut buf, u32::try_from(self.n).expect("n fits u32"));
+        codec::put_f64s(&mut buf, &self.lambda);
+        codec::put_f64s(&mut buf, &self.mu);
+        codec::put_f64s(&mut buf, &self.nu);
+        codec::put_f64s(&mut buf, &self.a);
+        codec::put_f64s(&mut buf, &self.phi);
+        codec::put_f64s(&mut buf, &self.varphi);
+        buf
+    }
+
+    /// Deserializes a blob produced by [`AdmgState::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Checkpoint`] on a bad magic number, truncation, or
+    /// block lengths inconsistent with the recorded `M × N` shape.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, CoreError> {
+        if buf.len() < Self::MAGIC.len() || &buf[..Self::MAGIC.len()] != Self::MAGIC {
+            return Err(CoreError::checkpoint("bad magic number"));
+        }
+        let mut pos = Self::MAGIC.len();
+        let m = codec::get_u32(buf, &mut pos)? as usize;
+        let n = codec::get_u32(buf, &mut pos)? as usize;
+        let state = AdmgState {
+            m,
+            n,
+            lambda: codec::get_f64s(buf, &mut pos)?,
+            mu: codec::get_f64s(buf, &mut pos)?,
+            nu: codec::get_f64s(buf, &mut pos)?,
+            a: codec::get_f64s(buf, &mut pos)?,
+            phi: codec::get_f64s(buf, &mut pos)?,
+            varphi: codec::get_f64s(buf, &mut pos)?,
+        };
+        let routing_ok =
+            state.lambda.len() == m * n && state.a.len() == m * n && state.varphi.len() == m * n;
+        let site_ok = state.mu.len() == n && state.nu.len() == n && state.phi.len() == n;
+        if !routing_ok || !site_ok {
+            return Err(CoreError::checkpoint(format!(
+                "block lengths inconsistent with shape {m}×{n}"
+            )));
+        }
+        Ok(state)
+    }
+
+    /// Magic prefix of serialized state blobs (`UFCS` + format version 1).
+    pub const MAGIC: &'static [u8] = b"UFCS\x01";
+
     /// The ADMM-form objective (12) at the current `(λ, μ, ν)` in dollars:
     /// `Σ_j [V_j(C_j ν_j h) + h p_j ν_j + h p₀ μ_j] − w Σ_i U(λ_i)`.
     #[must_use]
@@ -193,6 +304,41 @@ mod tests {
         assert!(s.balance_residual(&inst) < 1e-12);
         s.a[0] = 0.0;
         assert!((s.link_residual() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_round_trip_is_exact() {
+        let inst = tiny();
+        let mut s = AdmgState::zeros(&inst);
+        s.lambda = vec![0.5, -0.25, 1.0, f64::MIN_POSITIVE];
+        s.mu = vec![0.1, 0.2];
+        s.nu = vec![0.42, 1e-300];
+        s.a = vec![0.5, 0.5, 1.0, 1.0];
+        s.phi = vec![-3.25, 7.5];
+        s.varphi = vec![0.0, -0.0, 2.5, 9.75];
+        let blob = s.to_bytes();
+        let back = AdmgState::from_bytes(&blob).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn from_bytes_rejects_corruption() {
+        let s = AdmgState::zeros(&tiny());
+        let blob = s.to_bytes();
+        // Bad magic.
+        let mut bad = blob.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            AdmgState::from_bytes(&bad),
+            Err(CoreError::Checkpoint { .. })
+        ));
+        // Truncation.
+        assert!(AdmgState::from_bytes(&blob[..blob.len() - 3]).is_err());
+        assert!(AdmgState::from_bytes(&blob[..4]).is_err());
+        // Shape mismatch: lie about n.
+        let mut lied = blob;
+        lied[AdmgState::MAGIC.len() + 4] = 3;
+        assert!(AdmgState::from_bytes(&lied).is_err());
     }
 
     #[test]

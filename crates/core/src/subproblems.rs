@@ -232,13 +232,8 @@ pub fn a_step(
                     + rho * beta * drift
             })
             .collect();
-        let objective = QuadObjective::diag_rank1(
-            vec![rho; m],
-            rho * beta * beta,
-            vec![1.0; m],
-            c,
-            0.0,
-        );
+        let objective =
+            QuadObjective::diag_rank1(vec![rho; m], rho * beta * beta, vec![1.0; m], c, 0.0);
         let cap = instance.capacities[j];
         if let Some(q) = &instance.queueing {
             // Congested path: barrier objective over the shrunk cap.
@@ -290,11 +285,7 @@ pub fn a_step(
             }
             SubproblemMethod::Fista => {
                 Fista::new(FISTA_MAX_ITER, FISTA_TOL)
-                    .minimize(
-                        &objective,
-                        |x| project_capped_simplex(x, cap),
-                        vec![0.0; m],
-                    )
+                    .minimize(&objective, |x| project_capped_simplex(x, cap), vec![0.0; m])
                     .map_err(|e| CoreError::subproblem(format!("a[{j}]"), e))?
                     .x
             }
@@ -330,8 +321,7 @@ pub fn dual_step(
     }
     let phi_tilde: Vec<f64> = (0..n)
         .map(|j| {
-            state.phi[j]
-                - rho * (instance.demand_mw(j, a_loads[j]) - mu_tilde[j] - nu_tilde[j])
+            state.phi[j] - rho * (instance.demand_mw(j, a_loads[j]) - mu_tilde[j] - nu_tilde[j])
         })
         .collect();
     let varphi_tilde: Vec<f64> = (0..m * n)
@@ -409,7 +399,7 @@ mod tests {
         let inst = tiny();
         let mut state = AdmgState::zeros(&inst);
         state.a = vec![1.0, 0.0, 1.0, 0.0]; // load 2.0 at DC0 ⇒ demand 0.48
-        // Strong negative dual pushes μ to its cap.
+                                            // Strong negative dual pushes μ to its cap.
         state.phi = vec![-1e3, 0.0];
         let mu = mu_step(&inst, 0.3, &state, true);
         assert!((mu[0] - 0.48).abs() < 1e-12);
@@ -447,7 +437,10 @@ mod tests {
         let nu = nu_step(&inst, 0.3, &state, &mu_tilde, true);
         assert!((nu[0] - (0.48f64 - 0.15 / 0.3).max(0.0)).abs() < 1e-9);
         // Inactive (fuel-cell-only) pins to zero.
-        assert_eq!(nu_step(&inst, 0.3, &state, &mu_tilde, false), vec![0.0, 0.0]);
+        assert_eq!(
+            nu_step(&inst, 0.3, &state, &mu_tilde, false),
+            vec![0.0, 0.0]
+        );
     }
 
     #[test]
@@ -520,13 +513,23 @@ mod tests {
         state.phi = vec![1.0, -2.0];
         let lambda_tilde = vec![0.5, 0.5, 1.2, 0.8];
         let exact = a_step(
-            &inst, 0.3, SubproblemMethod::ActiveSet, &state,
-            &lambda_tilde, &[0.1, 0.2], &[0.2, 0.1],
+            &inst,
+            0.3,
+            SubproblemMethod::ActiveSet,
+            &state,
+            &lambda_tilde,
+            &[0.1, 0.2],
+            &[0.2, 0.1],
         )
         .unwrap();
         let fista = a_step(
-            &inst, 0.3, SubproblemMethod::Fista, &state,
-            &lambda_tilde, &[0.1, 0.2], &[0.2, 0.1],
+            &inst,
+            0.3,
+            SubproblemMethod::Fista,
+            &state,
+            &lambda_tilde,
+            &[0.1, 0.2],
+            &[0.2, 0.1],
         )
         .unwrap();
         for (x, y) in exact.iter().zip(&fista) {
@@ -543,19 +546,40 @@ mod tests {
         // Perfect balance: μ̃ + ν̃ = demand ⇒ φ̃ = φ.
         let mu_tilde = vec![0.42, 0.0];
         let nu_tilde = vec![0.0, 0.42];
-        let (phi_t, varphi_t) =
-            dual_step(&inst, 0.3, &state, &lambda_tilde, &mu_tilde, &nu_tilde, &a_tilde);
+        let (phi_t, varphi_t) = dual_step(
+            &inst,
+            0.3,
+            &state,
+            &lambda_tilde,
+            &mu_tilde,
+            &nu_tilde,
+            &a_tilde,
+        );
         assert!(phi_t.iter().all(|&v| v.abs() < 1e-12));
         assert!(varphi_t.iter().all(|&v| v.abs() < 1e-12));
         // Underprovision at DC0 by 0.1 MW ⇒ φ̃ = 0 − ρ·(0.1) = −0.03.
         let mu_short = vec![0.32, 0.0];
-        let (phi_t, _) =
-            dual_step(&inst, 0.3, &state, &lambda_tilde, &mu_short, &nu_tilde, &a_tilde);
+        let (phi_t, _) = dual_step(
+            &inst,
+            0.3,
+            &state,
+            &lambda_tilde,
+            &mu_short,
+            &nu_tilde,
+            &a_tilde,
+        );
         assert!((phi_t[0] + 0.03).abs() < 1e-12);
         // a > λ at one entry ⇒ varphi decreases there.
         let a_big = vec![0.7, 0.5, 1.0, 1.0];
-        let (_, varphi_t) =
-            dual_step(&inst, 0.3, &state, &lambda_tilde, &mu_tilde, &nu_tilde, &a_big);
+        let (_, varphi_t) = dual_step(
+            &inst,
+            0.3,
+            &state,
+            &lambda_tilde,
+            &mu_tilde,
+            &nu_tilde,
+            &a_big,
+        );
         assert!((varphi_t[0] + 0.3 * 0.2).abs() < 1e-12);
     }
 }

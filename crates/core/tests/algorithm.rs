@@ -23,11 +23,7 @@ fn random_instance(
         prices,
         p0,
         carbon,
-        vec![
-            vec![0.008, 0.025],
-            vec![0.020, 0.010],
-            vec![0.015, 0.018],
-        ],
+        vec![vec![0.008, 0.025], vec![0.020, 0.010], vec![0.015, 0.018]],
         10.0,
         vec![
             EmissionCostFn::linear(tax).unwrap(),
@@ -151,7 +147,11 @@ fn high_carbon_tax_pushes_to_fuel_cells() {
     );
     // Near-zero emissions (a whisker of grid draw survives the finite
     // stopping tolerance; grid-only would emit ≈ 0.5 t here).
-    assert!(sol.breakdown.carbon_tons < 0.01, "tons {}", sol.breakdown.carbon_tons);
+    assert!(
+        sol.breakdown.carbon_tons < 0.01,
+        "tons {}",
+        sol.breakdown.carbon_tons
+    );
 }
 
 #[test]
@@ -175,7 +175,11 @@ fn stepped_tariff_runs_through_admg() {
     assert!(sol.point.feasibility_residual(&inst) < 1e-6);
     // The bracket structure shows: emissions land at or below a knee rather
     // than deep in the expensive bracket.
-    assert!(sol.breakdown.carbon_tons < 0.55, "tons {}", sol.breakdown.carbon_tons);
+    assert!(
+        sol.breakdown.carbon_tons < 0.55,
+        "tons {}",
+        sol.breakdown.carbon_tons
+    );
 }
 
 #[test]

@@ -123,7 +123,9 @@ fn utilization_ceiling_is_respected() {
 fn distributed_runtime_matches_in_memory_with_queueing() {
     let inst = base_instance().with_queueing(QueueingCost::default_interactive());
     let settings = congested_settings();
-    let mem = AdmgSolver::new(settings).solve(&inst, Strategy::Hybrid).unwrap();
+    let mem = AdmgSolver::new(settings)
+        .solve(&inst, Strategy::Hybrid)
+        .unwrap();
     let net = DistributedAdmg::new(settings)
         .run(&inst, Strategy::Hybrid, Runtime::Lockstep)
         .unwrap();

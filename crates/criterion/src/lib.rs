@@ -1,0 +1,238 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to a crates.io mirror, so this
+//! workspace vendors a dependency-free harness covering the API slice our
+//! benches use: [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `sample_size` / `bench_function` / `bench_with_input` / `finish`,
+//! [`Bencher::iter`], [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: each sample times a fixed batch of
+//! iterations with [`std::time::Instant`] and the harness prints
+//! median/min/max per-iteration wall time. There is no statistical
+//! bootstrap, HTML report, or baseline comparison — the point is that
+//! `cargo bench` compiles, runs, and emits usable numbers offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the configured number of iterations, timing the batch.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark context; one per `criterion_group!` function list.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_benchmark(&id.to_string(), sample_size, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Benchmark a closure parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Close the group (report spacing only in this stand-in).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+fn run_benchmark(label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    // Warm-up sample sizes the timed batches so each sample runs long
+    // enough for Instant to resolve, without letting slow benches crawl.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(20);
+    let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    println!(
+        "{label:<48} time: [{} {} {}]  ({} samples × {} iters)",
+        fmt_time(samples[0]),
+        fmt_time(median),
+        fmt_time(*samples.last().unwrap()),
+        samples.len(),
+        iters,
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Bundle benchmark functions into a group runner, mirroring criterion's
+/// plain `criterion_group!(name, fn_a, fn_b, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_batches() {
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn group_runs_all_benchmarks() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        let mut runs = 0;
+        g.bench_function("counted", |b| {
+            runs += 1;
+            b.iter(|| black_box(1 + 1));
+        });
+        g.finish();
+        // warm-up + 2 samples
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(0.5).to_string(), "0.5");
+    }
+}

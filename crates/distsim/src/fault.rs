@@ -1,0 +1,701 @@
+//! Deterministic fault injection for the distributed runtime.
+//!
+//! [`crate::loss::LossConfig`] models i.i.d. *message* loss; this module
+//! extends the failure model to the node level: crash-stop failures with
+//! optional recovery, stragglers (slow replies), and partition windows that
+//! sever front-end/datacenter links for a span of iterations. A
+//! [`FaultPlan`] is a fully deterministic schedule — either hand-built or
+//! expanded from a seed by [`FaultPlan::random`] — so that a faulty run is
+//! exactly reproducible and the lockstep engine can mirror the threaded
+//! supervisor decision-for-decision.
+//!
+//! The supervisor's recovery policy lives in [`FaultTracker`]: a crashed
+//! node is contacted with exponential-backoff deadlines; each expired
+//! ladder counts one *attempt*. A node whose plan says it recovers after
+//! `k` attempts is respawned from the last checkpoint and replayed. A
+//! datacenter still dead after [`FaultPlan::eviction_deadline`] attempts is
+//! evicted — its `μ_j`/`λ_·j` blocks are pinned to zero and the solve
+//! continues degraded — and re-admitted (fresh state) if it later recovers.
+//! A front-end cannot be evicted (its arrivals must be routed), so a
+//! permanently dead front-end is a fatal, typed
+//! [`ufc_core::CoreError::NodeFailure`].
+
+use std::time::Duration;
+
+use ufc_core::CoreError;
+
+/// A protocol participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeId {
+    /// Front-end `i`.
+    Frontend(usize),
+    /// Datacenter `j`.
+    Datacenter(usize),
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeId::Frontend(i) => write!(f, "frontend[{i}]"),
+            NodeId::Datacenter(j) => write!(f, "datacenter[{j}]"),
+        }
+    }
+}
+
+/// A crash-stop failure: the node dies when asked to compute iteration
+/// `at_iteration` (1-based, matching [`crate::DistRunReport::iterations`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// Which node crashes.
+    pub node: NodeId,
+    /// Iteration whose compute command the node dies on.
+    pub at_iteration: usize,
+    /// Contact attempts until the node answers again; `None` = permanent.
+    pub down_attempts: Option<u32>,
+}
+
+/// A straggler: the node delays its reply at one iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StragglerEvent {
+    /// Which node is slow.
+    pub node: NodeId,
+    /// Iteration at which the reply is delayed.
+    pub at_iteration: usize,
+    /// Injected delay (must stay below the supervisor's backoff ladder,
+    /// else it is indistinguishable from a crash).
+    pub delay: Duration,
+}
+
+/// A partition window: links between the listed front-ends and datacenters
+/// are severed for `[from_iteration, to_iteration)`. Traffic is re-routed
+/// over a relay path, which doubles the affected bytes and stalls each data
+/// phase by one extra propagation delay — pure accounting, the iterates are
+/// unchanged (delivery remains reliable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// First iteration of the window (1-based, inclusive).
+    pub from_iteration: usize,
+    /// First iteration after the window (exclusive).
+    pub to_iteration: usize,
+    /// Front-ends on the severed side.
+    pub frontends: Vec<usize>,
+    /// Datacenters on the severed side.
+    pub datacenters: Vec<usize>,
+}
+
+/// A deterministic fault schedule plus the supervisor's policy knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    crashes: Vec<CrashEvent>,
+    stragglers: Vec<StragglerEvent>,
+    partitions: Vec<PartitionWindow>,
+    /// Take a checkpoint every this many iterations (`0` disables; forced
+    /// checkpoints still happen after membership changes).
+    pub checkpoint_interval: usize,
+    /// Failed contact attempts before a datacenter is evicted (a front-end
+    /// failure at this point is fatal instead).
+    pub eviction_deadline: u32,
+    /// Base reply deadline; the supervisor retries with deadlines
+    /// `phase_timeout · 2^r` for `r = 0..backoff_rounds` before declaring
+    /// a contact attempt failed.
+    pub phase_timeout: Duration,
+    /// Number of exponential-backoff receive rounds per contact attempt.
+    pub backoff_rounds: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            crashes: Vec::new(),
+            stragglers: Vec::new(),
+            partitions: Vec::new(),
+            checkpoint_interval: 4,
+            eviction_deadline: 3,
+            phase_timeout: Duration::from_millis(200),
+            backoff_rounds: 3,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan: supervision on, nothing injected, checkpoints off.
+    /// This is what the plain threaded runtime runs under, so a clean run
+    /// carries no checkpoint traffic and matches lockstep byte-for-byte.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan {
+            checkpoint_interval: 0,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// An empty plan with default checkpointing — the base for builders.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a permanent crash.
+    #[must_use]
+    pub fn crash_at(mut self, node: NodeId, at_iteration: usize) -> Self {
+        self.crashes.push(CrashEvent {
+            node,
+            at_iteration,
+            down_attempts: None,
+        });
+        self
+    }
+
+    /// Adds a crash that recovers after `attempts` failed contacts.
+    #[must_use]
+    pub fn crash_and_recover(mut self, node: NodeId, at_iteration: usize, attempts: u32) -> Self {
+        self.crashes.push(CrashEvent {
+            node,
+            at_iteration,
+            down_attempts: Some(attempts.max(1)),
+        });
+        self
+    }
+
+    /// Adds a straggler delay.
+    #[must_use]
+    pub fn straggle(mut self, node: NodeId, at_iteration: usize, delay: Duration) -> Self {
+        self.stragglers.push(StragglerEvent {
+            node,
+            at_iteration,
+            delay,
+        });
+        self
+    }
+
+    /// Adds a partition window.
+    #[must_use]
+    pub fn partition(mut self, window: PartitionWindow) -> Self {
+        self.partitions.push(window);
+        self
+    }
+
+    /// Sets the checkpoint cadence (`0` disables periodic checkpoints).
+    #[must_use]
+    pub fn with_checkpoint_interval(mut self, interval: usize) -> Self {
+        self.checkpoint_interval = interval;
+        self
+    }
+
+    /// Sets the eviction deadline (failed attempts; minimum 1).
+    #[must_use]
+    pub fn with_eviction_deadline(mut self, attempts: u32) -> Self {
+        self.eviction_deadline = attempts.max(1);
+        self
+    }
+
+    /// Sets the base reply deadline.
+    #[must_use]
+    pub fn with_phase_timeout(mut self, timeout: Duration) -> Self {
+        self.phase_timeout = timeout;
+        self
+    }
+
+    /// Expands a seed into a random plan over `m` front-ends and `n`
+    /// datacenters: each datacenter crashes with probability `crash_rate`
+    /// (30% of those permanently), each front-end with half that rate
+    /// (always recoverable), and each node straggles once with probability
+    /// `straggler_rate`. Crash iterations land in `[1, horizon]`.
+    #[must_use]
+    pub fn random(
+        seed: u64,
+        m: usize,
+        n: usize,
+        horizon: usize,
+        crash_rate: f64,
+        straggler_rate: f64,
+    ) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let horizon = horizon.max(1);
+        let mut plan = FaultPlan::default();
+        for j in 0..n {
+            if rng.uniform() < crash_rate {
+                let at = 1 + (rng.next() as usize) % horizon;
+                if rng.uniform() < 0.3 {
+                    plan = plan.crash_at(NodeId::Datacenter(j), at);
+                } else {
+                    // 1–5 attempts: outages longer than the default
+                    // eviction deadline (3) exercise evict-then-readmit.
+                    let attempts = 1 + (rng.next() % 5) as u32;
+                    plan = plan.crash_and_recover(NodeId::Datacenter(j), at, attempts);
+                }
+            }
+            if rng.uniform() < straggler_rate {
+                let at = 1 + (rng.next() as usize) % horizon;
+                let ms = 1 + rng.next() % 5;
+                plan = plan.straggle(NodeId::Datacenter(j), at, Duration::from_millis(ms));
+            }
+        }
+        for i in 0..m {
+            if rng.uniform() < crash_rate * 0.5 {
+                let at = 1 + (rng.next() as usize) % horizon;
+                let attempts = 1 + (rng.next() % 2) as u32;
+                plan = plan.crash_and_recover(NodeId::Frontend(i), at, attempts);
+            }
+            if rng.uniform() < straggler_rate {
+                let at = 1 + (rng.next() as usize) % horizon;
+                let ms = 1 + rng.next() % 5;
+                plan = plan.straggle(NodeId::Frontend(i), at, Duration::from_millis(ms));
+            }
+        }
+        plan
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] if two crash events share a `(node,
+    /// iteration)` pair, an iteration index is zero, a partition window is
+    /// empty, or the eviction deadline is zero.
+    pub fn check(&self) -> Result<(), CoreError> {
+        if self.eviction_deadline == 0 {
+            return Err(CoreError::invalid_config("eviction deadline must be ≥ 1"));
+        }
+        if self.phase_timeout.is_zero() {
+            return Err(CoreError::invalid_config("phase timeout must be nonzero"));
+        }
+        for (idx, c) in self.crashes.iter().enumerate() {
+            if c.at_iteration == 0 {
+                return Err(CoreError::invalid_config(format!(
+                    "crash on {} at iteration 0 (iterations are 1-based)",
+                    c.node
+                )));
+            }
+            if self.crashes[..idx]
+                .iter()
+                .any(|p| p.node == c.node && p.at_iteration == c.at_iteration)
+            {
+                return Err(CoreError::invalid_config(format!(
+                    "duplicate crash for {} at iteration {}",
+                    c.node, c.at_iteration
+                )));
+            }
+        }
+        for s in &self.stragglers {
+            if s.at_iteration == 0 {
+                return Err(CoreError::invalid_config("straggler at iteration 0"));
+            }
+            if s.delay.as_secs_f64() >= self.ladder_seconds() {
+                return Err(CoreError::invalid_config(format!(
+                    "straggler delay {:?} on {} exceeds the backoff ladder \
+                     ({:.3}s) — it would be misdiagnosed as a crash",
+                    s.delay,
+                    s.node,
+                    self.ladder_seconds()
+                )));
+            }
+        }
+        for p in &self.partitions {
+            if p.from_iteration == 0 || p.to_iteration <= p.from_iteration {
+                return Err(CoreError::invalid_config("empty partition window"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The crash scheduled for `node` at `iteration`, if any.
+    #[must_use]
+    pub fn crash_at_iteration(&self, node: NodeId, iteration: usize) -> Option<&CrashEvent> {
+        self.crashes
+            .iter()
+            .find(|c| c.node == node && c.at_iteration == iteration)
+    }
+
+    /// Crash iterations for one node, ascending (the worker's crash script).
+    #[must_use]
+    pub fn crash_iterations_for(&self, node: NodeId) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .crashes
+            .iter()
+            .filter(|c| c.node == node)
+            .map(|c| c.at_iteration)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Straggler delay for `node` at `iteration`, if any.
+    #[must_use]
+    pub fn straggler_delay(&self, node: NodeId, iteration: usize) -> Option<Duration> {
+        self.stragglers
+            .iter()
+            .find(|s| s.node == node && s.at_iteration == iteration)
+            .map(|s| s.delay)
+    }
+
+    /// Straggler schedule for one node as `(iteration, delay)` pairs.
+    #[must_use]
+    pub fn stragglers_for(&self, node: NodeId) -> Vec<(usize, Duration)> {
+        self.stragglers
+            .iter()
+            .filter(|s| s.node == node)
+            .map(|s| (s.at_iteration, s.delay))
+            .collect()
+    }
+
+    /// Whether any partition window covers `iteration`.
+    #[must_use]
+    pub fn partition_active(&self, iteration: usize) -> bool {
+        self.partitions
+            .iter()
+            .any(|p| iteration >= p.from_iteration && iteration < p.to_iteration)
+    }
+
+    /// Whether the `(frontend, datacenter)` link is severed at `iteration`.
+    #[must_use]
+    pub fn is_partitioned(&self, frontend: usize, datacenter: usize, iteration: usize) -> bool {
+        self.partitions.iter().any(|p| {
+            iteration >= p.from_iteration
+                && iteration < p.to_iteration
+                && p.frontends.contains(&frontend)
+                && p.datacenters.contains(&datacenter)
+        })
+    }
+
+    /// Total crashes scheduled.
+    #[must_use]
+    pub fn crash_count(&self) -> usize {
+        self.crashes.len()
+    }
+
+    /// Total stragglers scheduled.
+    #[must_use]
+    pub fn straggler_count(&self) -> usize {
+        self.stragglers.len()
+    }
+
+    /// Whether the plan injects anything at all.
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.crashes.is_empty() && self.stragglers.is_empty() && self.partitions.is_empty()
+    }
+
+    /// Worst-case wall-clock of one failed contact attempt: the full
+    /// backoff ladder `Σ_{r<R} timeout·2^r`.
+    #[must_use]
+    pub fn ladder_seconds(&self) -> f64 {
+        let factor = (1u64 << self.backoff_rounds) - 1;
+        self.phase_timeout.as_secs_f64() * factor as f64
+    }
+}
+
+/// What happened to a dead node after the supervisor exhausted its policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// The node answered after this many failed attempts; respawn from the
+    /// last checkpoint and replay.
+    Recovered {
+        /// Failed contact attempts before recovery.
+        attempts: u32,
+    },
+    /// A datacenter stayed dead past the deadline; pin its blocks and
+    /// continue degraded.
+    Evicted {
+        /// Failed contact attempts charged before eviction.
+        attempts: u32,
+    },
+}
+
+/// Post-run fault accounting attached to [`crate::DistRunReport`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultReport {
+    /// Crash events that actually fired before the run ended.
+    pub crashes_observed: usize,
+    /// Straggler events that actually fired.
+    pub stragglers_observed: usize,
+    /// Failed contact attempts across all crashes.
+    pub downtime_attempts: usize,
+    /// Wall-clock lost to expired backoff ladders (seconds).
+    pub downtime_seconds: f64,
+    /// Wall-clock lost to straggler delays (seconds).
+    pub straggler_seconds: f64,
+    /// Iterations recomputed during checkpoint-restart replays.
+    pub recomputed_iterations: usize,
+    /// Checkpoints taken (periodic + forced).
+    pub checkpoints_taken: usize,
+    /// Datacenters evicted at any point, ascending.
+    pub evicted: Vec<usize>,
+    /// Datacenters re-admitted after eviction, ascending.
+    pub readmitted: Vec<usize>,
+    /// Extra message copies sent around partition windows.
+    pub partition_retransmissions: usize,
+    /// Final UFC minus the clean (fault-free lockstep) UFC, in dollars.
+    pub ufc_delta_vs_clean: f64,
+}
+
+/// The supervisor's decision state machine, shared verbatim by the
+/// threaded runtime and its lockstep mirror so both make identical
+/// recovery/eviction/readmission decisions.
+#[derive(Debug, Clone)]
+pub struct FaultTracker {
+    plan: FaultPlan,
+    /// Cumulative failed contact attempts per datacenter / front-end.
+    dc_attempts: Vec<u32>,
+    fe_attempts: Vec<u32>,
+    /// Currently evicted datacenters, with the attempts needed to readmit
+    /// (`None` = permanent, never readmitted).
+    evicted: Vec<Option<Option<u32>>>,
+    /// Fault accounting being accumulated.
+    pub report: FaultReport,
+}
+
+impl FaultTracker {
+    /// New tracker for `m` front-ends and `n` datacenters.
+    #[must_use]
+    pub fn new(plan: FaultPlan, m: usize, n: usize) -> Self {
+        FaultTracker {
+            plan,
+            dc_attempts: vec![0; n],
+            fe_attempts: vec![0; m],
+            evicted: vec![None; n],
+            report: FaultReport::default(),
+        }
+    }
+
+    /// The plan this tracker enforces.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether datacenter `j` is currently evicted.
+    #[must_use]
+    pub fn is_evicted(&self, j: usize) -> bool {
+        self.evicted[j].is_some()
+    }
+
+    /// Count of currently active (non-evicted) datacenters.
+    #[must_use]
+    pub fn active_datacenters(&self) -> usize {
+        self.evicted.iter().filter(|e| e.is_none()).count()
+    }
+
+    /// Resolves a node that failed to reply at `iteration`: charge backoff
+    /// attempts until the plan lets it recover, the eviction deadline
+    /// fires, or (for front-ends / unplanned deaths) the failure is fatal.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NodeFailure`] for an unplanned death or an
+    /// unrecoverable front-end.
+    pub fn resolve_crash(
+        &mut self,
+        node: NodeId,
+        iteration: usize,
+    ) -> Result<Resolution, CoreError> {
+        let Some(event) = self.plan.crash_at_iteration(node, iteration).copied() else {
+            return Err(CoreError::node_failure(
+                node.to_string(),
+                iteration,
+                "node died with no scheduled fault; treating as unrecoverable",
+            ));
+        };
+        self.report.crashes_observed += 1;
+        let deadline = self.plan.eviction_deadline;
+        let ladder = self.plan.ladder_seconds();
+        // A node either recovers within its scripted attempt count or stays
+        // dead until the deadline: the charge is plan-determined.
+        let charged = match event.down_attempts {
+            Some(d) if d <= deadline => d,
+            _ => deadline,
+        };
+        match node {
+            NodeId::Frontend(i) => self.fe_attempts[i] += charged,
+            NodeId::Datacenter(j) => self.dc_attempts[j] += charged,
+        }
+        self.report.downtime_attempts += charged as usize;
+        self.report.downtime_seconds += ladder * f64::from(charged);
+        if let Some(d) = event.down_attempts {
+            if d <= deadline {
+                return Ok(Resolution::Recovered { attempts: charged });
+            }
+        }
+        match node {
+            NodeId::Datacenter(_) if self.active_datacenters() <= 1 => {
+                Err(CoreError::node_failure(
+                    node.to_string(),
+                    iteration,
+                    "cannot evict the last active datacenter",
+                ))
+            }
+            NodeId::Datacenter(j) => {
+                let remaining = event.down_attempts.map(|d| d.saturating_sub(charged));
+                self.evicted[j] = Some(remaining);
+                self.report.evicted.push(j);
+                Ok(Resolution::Evicted { attempts: charged })
+            }
+            NodeId::Frontend(_) => Err(CoreError::node_failure(
+                node.to_string(),
+                iteration,
+                format!(
+                    "front-end dead after {charged} attempts; front-ends \
+                     cannot be evicted (their arrivals must be routed)"
+                ),
+            )),
+        }
+    }
+
+    /// One readmission probe per evicted datacenter, called at the start of
+    /// each iteration. Returns the datacenters readmitted now.
+    pub fn probe_readmissions(&mut self) -> Vec<usize> {
+        let mut back = Vec::new();
+        for (j, slot) in self.evicted.iter_mut().enumerate() {
+            // A permanent eviction (`Some(None)`) is never readmitted.
+            if let Some(Some(left)) = slot {
+                self.report.downtime_attempts += 1;
+                if *left <= 1 {
+                    *slot = None;
+                    self.report.readmitted.push(j);
+                    back.push(j);
+                } else {
+                    *left -= 1;
+                }
+            }
+        }
+        back
+    }
+
+    /// Accounts a straggler firing (both runtimes charge the *planned*
+    /// delay so their reports agree exactly).
+    pub fn record_straggler(&mut self, delay: Duration) {
+        self.report.stragglers_observed += 1;
+        self.report.straggler_seconds += delay.as_secs_f64();
+    }
+}
+
+/// SplitMix64 — the same tiny generator the lossy channel uses.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookups() {
+        let plan = FaultPlan::new()
+            .crash_and_recover(NodeId::Datacenter(1), 5, 2)
+            .crash_at(NodeId::Datacenter(0), 9)
+            .straggle(NodeId::Frontend(2), 3, Duration::from_millis(4));
+        plan.check().unwrap();
+        assert_eq!(plan.crash_count(), 2);
+        assert!(plan.crash_at_iteration(NodeId::Datacenter(1), 5).is_some());
+        assert!(plan.crash_at_iteration(NodeId::Datacenter(1), 6).is_none());
+        assert_eq!(
+            plan.straggler_delay(NodeId::Frontend(2), 3),
+            Some(Duration::from_millis(4))
+        );
+        assert!(!plan.is_trivial());
+        assert!(FaultPlan::none().is_trivial());
+    }
+
+    #[test]
+    fn check_rejects_duplicates_and_zero_iterations() {
+        let dup = FaultPlan::new()
+            .crash_at(NodeId::Datacenter(0), 2)
+            .crash_at(NodeId::Datacenter(0), 2);
+        assert!(dup.check().is_err());
+        let zero = FaultPlan::new().crash_at(NodeId::Frontend(0), 0);
+        assert!(zero.check().is_err());
+    }
+
+    #[test]
+    fn random_plans_are_deterministic() {
+        let a = FaultPlan::random(7, 10, 4, 30, 0.5, 0.5);
+        let b = FaultPlan::random(7, 10, 4, 30, 0.5, 0.5);
+        assert_eq!(a, b);
+        let c = FaultPlan::random(8, 10, 4, 30, 0.5, 0.5);
+        assert_ne!(a, c);
+        a.check().unwrap();
+    }
+
+    #[test]
+    fn tracker_recovers_before_deadline() {
+        let plan = FaultPlan::new().crash_and_recover(NodeId::Datacenter(0), 3, 2);
+        let mut t = FaultTracker::new(plan, 2, 2);
+        let r = t.resolve_crash(NodeId::Datacenter(0), 3).unwrap();
+        assert_eq!(r, Resolution::Recovered { attempts: 2 });
+        assert!(!t.is_evicted(0));
+        assert_eq!(t.report.downtime_attempts, 2);
+        assert!(t.report.downtime_seconds > 0.0);
+    }
+
+    #[test]
+    fn tracker_evicts_then_readmits() {
+        // Recovery after 5 attempts but deadline 3: evict with 2 remaining,
+        // then readmit after 2 probes.
+        let plan = FaultPlan::new()
+            .crash_and_recover(NodeId::Datacenter(1), 4, 5)
+            .with_eviction_deadline(3);
+        let mut t = FaultTracker::new(plan, 2, 2);
+        let r = t.resolve_crash(NodeId::Datacenter(1), 4).unwrap();
+        assert_eq!(r, Resolution::Evicted { attempts: 3 });
+        assert!(t.is_evicted(1));
+        assert_eq!(t.active_datacenters(), 1);
+        assert!(t.probe_readmissions().is_empty()); // probe 1 of 2
+        assert_eq!(t.probe_readmissions(), vec![1]); // probe 2: back
+        assert!(!t.is_evicted(1));
+        assert_eq!(t.report.readmitted, vec![1]);
+    }
+
+    #[test]
+    fn tracker_never_readmits_permanent_crashes() {
+        let plan = FaultPlan::new().crash_at(NodeId::Datacenter(0), 2);
+        let mut t = FaultTracker::new(plan, 1, 2);
+        let r = t.resolve_crash(NodeId::Datacenter(0), 2).unwrap();
+        assert!(matches!(r, Resolution::Evicted { .. }));
+        for _ in 0..10 {
+            assert!(t.probe_readmissions().is_empty());
+        }
+        assert!(t.is_evicted(0));
+    }
+
+    #[test]
+    fn tracker_fatal_for_frontend_past_deadline() {
+        let plan = FaultPlan::new().crash_at(NodeId::Frontend(1), 2);
+        let mut t = FaultTracker::new(plan, 3, 2);
+        let err = t.resolve_crash(NodeId::Frontend(1), 2).unwrap_err();
+        assert!(matches!(err, CoreError::NodeFailure { .. }));
+    }
+
+    #[test]
+    fn tracker_fatal_for_unplanned_death() {
+        let mut t = FaultTracker::new(FaultPlan::none(), 2, 2);
+        let err = t.resolve_crash(NodeId::Datacenter(0), 7).unwrap_err();
+        assert!(matches!(err, CoreError::NodeFailure { iteration: 7, .. }));
+    }
+
+    #[test]
+    fn ladder_sums_backoff_rounds() {
+        let plan = FaultPlan::new().with_phase_timeout(Duration::from_millis(100));
+        // 3 rounds: 100 + 200 + 400 ms.
+        assert!((plan.ladder_seconds() - 0.7).abs() < 1e-12);
+    }
+}

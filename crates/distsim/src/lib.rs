@@ -19,9 +19,23 @@
 //! Two runtimes execute the same node logic: [`Runtime::Lockstep`] (a
 //! deterministic single-threaded round engine, bit-identical to
 //! `ufc_core::AdmgSolver` by construction — asserted in tests) and
-//! [`Runtime::Threaded`] (one OS thread per node over crossbeam channels).
+//! [`Runtime::Threaded`] (one OS thread per node over std::sync::mpsc channels).
 //! Both account every logical message and estimate the wall-clock cost of a
 //! real WAN deployment from the latency matrix.
+//!
+//! # Failure model
+//!
+//! The threaded runtime is *supervised*: a deterministic, seeded
+//! [`FaultPlan`] can script crash-stop failures (with or without recovery),
+//! straggler delays, and partition windows. The coordinator awaits every
+//! reply with `recv_timeout` deadlines and an exponential backoff ladder;
+//! a node silent past its eviction deadline is respawned from its last
+//! [`snapshot`] checkpoint and replayed, or — for datacenters only —
+//! evicted so the survivors continue in degraded mode (the evicted `μ_j`
+//! and `λ_·j` blocks are pinned to zero) until the node is readmitted.
+//! Every fault decision is mirrored by the lockstep engine, so a faulty
+//! run is reproducible and testable; accounting lands in a [`FaultReport`]
+//! attached to the [`DistRunReport`].
 //!
 //! # Example
 //!
@@ -44,10 +58,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod loss;
 pub mod message;
 pub mod node;
 mod runtime;
+pub mod snapshot;
 pub mod stats;
 
-pub use runtime::{DistributedAdmg, DistRunReport, Runtime};
+pub use fault::{FaultPlan, FaultReport, NodeId};
+pub use runtime::{DistRunReport, DistributedAdmg, Runtime};
+pub use snapshot::{CheckpointStore, DatacenterSnapshot, FrontendSnapshot};

@@ -22,17 +22,31 @@ pub struct LossConfig {
 impl LossConfig {
     /// Creates a configuration, validating the probability.
     ///
+    /// # Errors
+    ///
+    /// [`ufc_core::CoreError::InvalidConfig`] unless `0 ≤ probability < 1`
+    /// (at `p = 1` no message is ever delivered).
+    pub fn try_new(probability: f64, seed: u64) -> Result<Self, ufc_core::CoreError> {
+        if !(0.0..1.0).contains(&probability) {
+            return Err(ufc_core::CoreError::invalid_config(format!(
+                "loss probability must be in [0, 1), got {probability}"
+            )));
+        }
+        Ok(LossConfig { probability, seed })
+    }
+
+    /// Creates a configuration, panicking on an invalid probability (thin
+    /// wrapper over [`LossConfig::try_new`]).
+    ///
     /// # Panics
     ///
-    /// Panics unless `0 ≤ probability < 1` (at `p = 1` no message is ever
-    /// delivered).
+    /// Panics unless `0 ≤ probability < 1`.
     #[must_use]
     pub fn new(probability: f64, seed: u64) -> Self {
-        assert!(
-            (0.0..1.0).contains(&probability),
-            "loss probability must be in [0, 1), got {probability}"
-        );
-        LossConfig { probability, seed }
+        match Self::try_new(probability, seed) {
+            Ok(config) => config,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -121,5 +135,14 @@ mod tests {
     #[should_panic(expected = "loss probability")]
     fn rejects_certain_loss() {
         let _ = LossConfig::new(1.0, 0);
+    }
+
+    #[test]
+    fn try_new_returns_typed_error() {
+        assert!(matches!(
+            LossConfig::try_new(1.5, 0),
+            Err(ufc_core::CoreError::InvalidConfig { .. })
+        ));
+        assert!(LossConfig::try_new(0.25, 0).is_ok());
     }
 }

@@ -48,6 +48,22 @@ pub enum Message {
         /// `true` to stop (converged or iteration cap).
         stop: bool,
     },
+    /// Checkpoint round-trip: the coordinator requests a snapshot and a
+    /// node ships back its serialized iterate slice.
+    Checkpoint {
+        /// Node whose state is snapshotted (front-ends then datacenters).
+        node: usize,
+        /// Serialized snapshot size (bytes) — the payload put on the wire.
+        payload_bytes: usize,
+    },
+    /// Coordinator broadcast announcing a membership change (datacenter
+    /// eviction or readmission) to every surviving front-end.
+    Membership {
+        /// Datacenter whose status changed.
+        datacenter: usize,
+        /// `true` for eviction, `false` for readmission.
+        evict: bool,
+    },
 }
 
 impl Message {
@@ -58,6 +74,8 @@ impl Message {
             Message::LambdaTilde { .. } | Message::ATilde { .. } => 8,
             Message::ResidualReport { .. } => 24,
             Message::Control { .. } => 1,
+            Message::Checkpoint { payload_bytes, .. } => *payload_bytes,
+            Message::Membership { .. } => 2,
         };
         HEADER_BYTES + payload
     }

@@ -14,11 +14,13 @@
 //! integration tests).
 
 use ufc_core::subproblems::CongestedAStep;
-use ufc_core::{AdmgSettings, SubproblemMethod};
+use ufc_core::{AdmgSettings, CoreError, SubproblemMethod};
 use ufc_linalg::Matrix;
 use ufc_model::{utility::disutility_rank1_gamma, EmissionCostFn, QueueingCost, UfcInstance};
 use ufc_opt::projection::{project_capped_simplex, project_simplex};
 use ufc_opt::{scalar, ActiveSetQp, Fista, QuadObjective};
+
+use crate::snapshot::{DatacenterSnapshot, FrontendSnapshot};
 
 /// Residual contributions a node reports to the coordinator each iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -53,6 +55,8 @@ pub struct FrontendNode {
     lambda_tilde: Vec<f64>,
     a: Vec<f64>,
     varphi: Vec<f64>,
+    /// Degraded-mode mask: datacenters this front-end must not route to.
+    evicted: Vec<bool>,
 }
 
 impl FrontendNode {
@@ -77,6 +81,7 @@ impl FrontendNode {
             lambda_tilde: vec![0.0; n],
             a: vec![0.0; n],
             varphi: vec![0.0; n],
+            evicted: vec![false; n],
         }
     }
 
@@ -92,38 +97,145 @@ impl FrontendNode {
         &self.lambda
     }
 
+    /// Marks datacenter `j` as evicted and pins this front-end's `λ_ij`,
+    /// `a_ij`, and `φ_ij` to zero (degraded-mode routing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn set_evicted(&mut self, j: usize) {
+        self.evicted[j] = true;
+        self.lambda[j] = 0.0;
+        self.lambda_tilde[j] = 0.0;
+        self.a[j] = 0.0;
+        self.varphi[j] = 0.0;
+    }
+
+    /// Clears the eviction mark for a re-admitted datacenter `j` (its
+    /// blocks stay zero — the datacenter restarts from fresh state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn clear_evicted(&mut self, j: usize) {
+        self.evicted[j] = false;
+    }
+
+    /// The current eviction mask.
+    #[must_use]
+    pub fn evicted_mask(&self) -> &[bool] {
+        &self.evicted
+    }
+
     /// Step 1: solve the λ-sub-problem (17) from the local replicas and
     /// return `λ̃_i·` for dispatch to the datacenters.
+    ///
+    /// With an empty eviction mask this is, expression for expression, the
+    /// full problem (17); with evicted datacenters the same QP is solved
+    /// over the active columns only and zeros are scattered back into the
+    /// masked slots.
     ///
     /// # Panics
     ///
     /// Panics if the inner QP fails (cannot happen for valid instances —
-    /// the constraint set is a nonempty simplex).
+    /// the constraint set is a nonempty simplex) or if every datacenter is
+    /// evicted.
     pub fn predict_lambda(&mut self) -> Vec<f64> {
         let n = self.latencies.len();
-        let gamma = disutility_rank1_gamma(self.weight_per_kserver, self.arrival);
-        let c: Vec<f64> = (0..n)
-            .map(|j| self.varphi[j] - self.rho * self.a[j])
-            .collect();
-        let objective =
-            QuadObjective::diag_rank1(vec![self.rho; n], gamma, self.latencies.clone(), c, 0.0);
-        let start = vec![self.arrival / n as f64; n];
-        let row = match self.method {
-            SubproblemMethod::ActiveSet => {
-                let a_eq = Matrix::from_fn(1, n, |_, _| 1.0);
-                let a_in = Matrix::from_fn(n, n, |r, cc| if r == cc { -1.0 } else { 0.0 });
-                ActiveSetQp::default()
-                    .solve(&objective, &a_eq, &[self.arrival], &a_in, &vec![0.0; n], start)
-                    .expect("front-end lambda QP failed")
-                    .x
+        let row = if self.evicted.iter().any(|&e| e) {
+            let active: Vec<usize> = (0..n).filter(|&j| !self.evicted[j]).collect();
+            assert!(
+                !active.is_empty(),
+                "front-end {}: every datacenter evicted",
+                self.index
+            );
+            let lat: Vec<f64> = active.iter().map(|&j| self.latencies[j]).collect();
+            let c: Vec<f64> = active
+                .iter()
+                .map(|&j| self.varphi[j] - self.rho * self.a[j])
+                .collect();
+            let sub = self.solve_lambda_qp(lat, c);
+            let mut full = vec![0.0; n];
+            for (t, &j) in active.iter().enumerate() {
+                full[j] = sub[t];
             }
-            SubproblemMethod::Fista => Fista::new(50_000, 1e-10)
-                .minimize(&objective, |x| project_simplex(x, self.arrival), start)
-                .expect("front-end lambda FISTA failed")
-                .x,
+            full
+        } else {
+            let c: Vec<f64> = (0..n)
+                .map(|j| self.varphi[j] - self.rho * self.a[j])
+                .collect();
+            self.solve_lambda_qp(self.latencies.clone(), c)
         };
         self.lambda_tilde = row.clone();
         row
+    }
+
+    /// Solves `min ½ρ‖x‖² + ½γ(Lᵀx)² + cᵀx` over the simplex
+    /// `{x ≥ 0, Σx = arrival}` — the common kernel of the full and
+    /// restricted λ-steps.
+    fn solve_lambda_qp(&self, latencies: Vec<f64>, c: Vec<f64>) -> Vec<f64> {
+        let k = latencies.len();
+        let gamma = disutility_rank1_gamma(self.weight_per_kserver, self.arrival);
+        let objective = QuadObjective::diag_rank1(vec![self.rho; k], gamma, latencies, c, 0.0);
+        let start = vec![self.arrival / k as f64; k];
+        match self.method {
+            SubproblemMethod::ActiveSet => {
+                let a_eq = Matrix::from_fn(1, k, |_, _| 1.0);
+                let a_in = Matrix::from_fn(k, k, |r, cc| if r == cc { -1.0 } else { 0.0 });
+                ActiveSetQp::default()
+                    .solve(
+                        &objective,
+                        &a_eq,
+                        &[self.arrival],
+                        &a_in,
+                        &vec![0.0; k],
+                        start,
+                    )
+                    .expect("front-end lambda QP failed")
+                    .x
+            }
+            SubproblemMethod::Fista => {
+                Fista::new(50_000, 1e-10)
+                    .minimize(&objective, |x| project_simplex(x, self.arrival), start)
+                    .expect("front-end lambda FISTA failed")
+                    .x
+            }
+        }
+    }
+
+    /// Captures this node's iterate slice for checkpointing.
+    #[must_use]
+    pub fn snapshot(&self) -> FrontendSnapshot {
+        FrontendSnapshot {
+            lambda: self.lambda.clone(),
+            lambda_tilde: self.lambda_tilde.clone(),
+            a: self.a.clone(),
+            varphi: self.varphi.clone(),
+            evicted: self.evicted.clone(),
+        }
+    }
+
+    /// Restores the iterate slice from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Checkpoint`] if the snapshot's shape does not match
+    /// this node's datacenter count.
+    pub fn restore(&mut self, snap: &FrontendSnapshot) -> Result<(), CoreError> {
+        if snap.lambda.len() != self.latencies.len() {
+            return Err(CoreError::checkpoint(format!(
+                "front-end {} snapshot has {} datacenters, node has {}",
+                self.index,
+                snap.lambda.len(),
+                self.latencies.len()
+            )));
+        }
+        self.lambda.clone_from(&snap.lambda);
+        self.lambda_tilde.clone_from(&snap.lambda_tilde);
+        self.a.clone_from(&snap.a);
+        self.varphi.clone_from(&snap.varphi);
+        self.evicted.clone_from(&snap.evicted);
+        Ok(())
     }
 
     /// Steps 4–5 + correction: receive `ã_i·`, update the dual replica, and
@@ -137,9 +249,12 @@ impl FrontendNode {
         let mut res = NodeResiduals::default();
         #[allow(clippy::needless_range_loop)] // four replicas co-indexed by datacenter id
         for j in 0..self.a.len() {
+            if self.evicted[j] {
+                // Degraded mode: the slot stays pinned at zero.
+                continue;
+            }
             // Dual prediction and relaxation (front-end owns φ_i·).
-            let varphi_tilde =
-                self.varphi[j] - self.rho * (a_tilde[j] - self.lambda_tilde[j]);
+            let varphi_tilde = self.varphi[j] - self.rho * (a_tilde[j] - self.lambda_tilde[j]);
             let dv = self.epsilon * (varphi_tilde - self.varphi[j]);
             self.varphi[j] += dv;
             res.track(dv);
@@ -251,6 +366,41 @@ impl DatacenterNode {
         self.nu
     }
 
+    /// Captures this node's iterate slice for checkpointing.
+    #[must_use]
+    pub fn snapshot(&self) -> DatacenterSnapshot {
+        DatacenterSnapshot {
+            mu: self.mu,
+            nu: self.nu,
+            phi: self.phi,
+            a: self.a.clone(),
+            varphi: self.varphi.clone(),
+        }
+    }
+
+    /// Restores the iterate slice from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Checkpoint`] if the snapshot's shape does not match
+    /// this node's front-end count.
+    pub fn restore(&mut self, snap: &DatacenterSnapshot) -> Result<(), CoreError> {
+        if snap.a.len() != self.m {
+            return Err(CoreError::checkpoint(format!(
+                "datacenter {} snapshot has {} front-ends, node has {}",
+                self.index,
+                snap.a.len(),
+                self.m
+            )));
+        }
+        self.mu = snap.mu;
+        self.nu = snap.nu;
+        self.phi = snap.phi;
+        self.a.clone_from(&snap.a);
+        self.varphi.clone_from(&snap.varphi);
+        Ok(())
+    }
+
     /// Steps 2–5 + correction: receive the column `λ̃_·j`, run the μ-, ν-,
     /// a- and dual updates, apply the datacenter part of the correction,
     /// and return `ã_·j` with the local residuals.
@@ -332,43 +482,47 @@ impl DatacenterNode {
                 )
                 .expect("congested datacenter a-step failed")
                 .x
-        } else { match self.method {
-            SubproblemMethod::ActiveSet => {
-                let mut a_in = Matrix::zeros(self.m + 1, self.m);
-                let mut b_in = vec![0.0; self.m + 1];
-                for i in 0..self.m {
-                    a_in[(i, i)] = -1.0;
+        } else {
+            match self.method {
+                SubproblemMethod::ActiveSet => {
+                    let mut a_in = Matrix::zeros(self.m + 1, self.m);
+                    let mut b_in = vec![0.0; self.m + 1];
+                    for i in 0..self.m {
+                        a_in[(i, i)] = -1.0;
+                    }
+                    for i in 0..self.m {
+                        a_in[(self.m, i)] = 1.0;
+                    }
+                    b_in[self.m] = self.capacity;
+                    ActiveSetQp::default()
+                        .solve(
+                            &objective,
+                            &Matrix::zeros(0, self.m),
+                            &[],
+                            &a_in,
+                            &b_in,
+                            vec![0.0; self.m],
+                        )
+                        .expect("datacenter a QP failed")
+                        .x
                 }
-                for i in 0..self.m {
-                    a_in[(self.m, i)] = 1.0;
+                SubproblemMethod::Fista => {
+                    Fista::new(50_000, 1e-10)
+                        .minimize(
+                            &objective,
+                            |x| project_capped_simplex(x, self.capacity),
+                            vec![0.0; self.m],
+                        )
+                        .expect("datacenter a FISTA failed")
+                        .x
                 }
-                b_in[self.m] = self.capacity;
-                ActiveSetQp::default()
-                    .solve(
-                        &objective,
-                        &Matrix::zeros(0, self.m),
-                        &[],
-                        &a_in,
-                        &b_in,
-                        vec![0.0; self.m],
-                    )
-                    .expect("datacenter a QP failed")
-                    .x
             }
-            SubproblemMethod::Fista => Fista::new(50_000, 1e-10)
-                .minimize(
-                    &objective,
-                    |x| project_capped_simplex(x, self.capacity),
-                    vec![0.0; self.m],
-                )
-                .expect("datacenter a FISTA failed")
-                .x,
-        } };
+        };
 
         // Step 5: dual predictions.
         let a_tilde_load: f64 = a_tilde.iter().sum();
-        let phi_tilde = self.phi
-            - rho * (self.alpha + self.beta * a_tilde_load - mu_tilde - nu_tilde);
+        let phi_tilde =
+            self.phi - rho * (self.alpha + self.beta * a_tilde_load - mu_tilde - nu_tilde);
         // Correction, backward order: duals, a, ν, μ.
         let mut res = NodeResiduals::default();
         let dphi = self.epsilon * (phi_tilde - self.phi);
@@ -392,14 +546,12 @@ impl DatacenterNode {
             res.track(delta_nu);
         }
         if self.active_mu {
-            let dmu =
-                self.epsilon * (mu_tilde - self.mu) - delta_nu + self.beta * delta_a_load;
+            let dmu = self.epsilon * (mu_tilde - self.mu) - delta_nu + self.beta * delta_a_load;
             self.mu += dmu;
             res.track(dmu);
         }
         let corrected_load: f64 = self.a.iter().sum();
-        res.balance =
-            (self.alpha + self.beta * corrected_load - self.mu - self.nu).abs();
+        res.balance = (self.alpha + self.beta * corrected_load - self.mu - self.nu).abs();
 
         DatacenterStep {
             a_tilde,
@@ -445,7 +597,10 @@ mod tests {
                 .unwrap();
         let row = fe.predict_lambda();
         for j in 0..2 {
-            assert!((row[j] - expected[j]).abs() < 1e-12, "{row:?} vs {expected:?}");
+            assert!(
+                (row[j] - expected[j]).abs() < 1e-12,
+                "{row:?} vs {expected:?}"
+            );
         }
     }
 
@@ -486,5 +641,89 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_bad_index() {
         let _ = FrontendNode::new(&tiny(), 9, &AdmgSettings::default());
+    }
+
+    #[test]
+    fn eviction_pins_column_and_preserves_arrival() {
+        let inst = tiny();
+        let mut fe = FrontendNode::new(&inst, 1, &AdmgSettings::default());
+        fe.set_evicted(0);
+        let row = fe.predict_lambda();
+        assert_eq!(row[0], 0.0, "evicted column must stay zero");
+        let sum: f64 = row.iter().sum();
+        assert!(
+            (sum - inst.arrivals[1]).abs() < 1e-7,
+            "arrival must be fully routed over survivors (sum {sum})"
+        );
+        let res = fe.receive_a_and_correct(&row.clone());
+        assert_eq!(fe.lambda()[0], 0.0);
+        assert!(res.link >= 0.0);
+        fe.clear_evicted(0);
+        assert!(!fe.evicted_mask()[0]);
+        // Re-admitted slot starts from zero, not stale state.
+        assert_eq!(fe.lambda()[0], 0.0);
+    }
+
+    #[test]
+    fn clean_path_unchanged_by_eviction_support() {
+        // With no evictions the restricted branch is never taken; the
+        // prediction must match the core sub-problem bit for bit.
+        let inst = tiny();
+        let settings = AdmgSettings::default();
+        let mut fe = FrontendNode::new(&inst, 0, &settings);
+        let state = ufc_core::AdmgState::zeros(&inst);
+        let expected =
+            ufc_core::subproblems::lambda_step(&inst, settings.rho, settings.method, &state)
+                .unwrap();
+        let row = fe.predict_lambda();
+        for j in 0..2 {
+            assert_eq!(row[j], expected[j], "column {j} diverged");
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let inst = tiny();
+        let settings = AdmgSettings::default();
+        let mut fe = FrontendNode::new(&inst, 0, &settings);
+        let mut dc = DatacenterNode::new(&inst, 0, &settings, true, true);
+        // Advance one protocol round to get nonzero state.
+        let lt = fe.predict_lambda();
+        let step = dc.process(&[lt[0], lt[0]]);
+        fe.receive_a_and_correct(&[step.a_tilde[0], step.a_tilde[0]]);
+
+        // Serialize through the wire codec, restore into fresh nodes.
+        let fe_blob = fe.snapshot().to_bytes();
+        let dc_blob = dc.snapshot().to_bytes();
+        let mut fe2 = FrontendNode::new(&inst, 0, &settings);
+        let mut dc2 = DatacenterNode::new(&inst, 0, &settings, true, true);
+        fe2.restore(&crate::snapshot::FrontendSnapshot::from_bytes(&fe_blob).unwrap())
+            .unwrap();
+        dc2.restore(&crate::snapshot::DatacenterSnapshot::from_bytes(&dc_blob).unwrap())
+            .unwrap();
+
+        // The next round must be bit-identical.
+        let r1 = fe.predict_lambda();
+        let r2 = fe2.predict_lambda();
+        assert_eq!(r1, r2);
+        let s1 = dc.process(&[r1[0], r1[0]]);
+        let s2 = dc2.process(&[r2[0], r2[0]]);
+        assert_eq!(s1.a_tilde, s2.a_tilde);
+        assert_eq!(dc.mu().to_bits(), dc2.mu().to_bits());
+        assert_eq!(dc.nu().to_bits(), dc2.nu().to_bits());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_shape() {
+        let inst = tiny();
+        let mut fe = FrontendNode::new(&inst, 0, &AdmgSettings::default());
+        let bad = crate::snapshot::FrontendSnapshot {
+            lambda: vec![0.0; 5],
+            lambda_tilde: vec![0.0; 5],
+            a: vec![0.0; 5],
+            varphi: vec![0.0; 5],
+            evicted: vec![false; 5],
+        };
+        assert!(fe.restore(&bad).is_err());
     }
 }

@@ -1,0 +1,272 @@
+//! Per-node checkpoint snapshots for crash-restart.
+//!
+//! Each node's iterate slice serializes to the same self-describing
+//! little-endian layout as [`ufc_core::AdmgState::to_bytes`] (shared codec
+//! in `ufc_core::state::codec`). A [`CheckpointStore`] holds the most
+//! recent blob per node plus the iteration it was taken at, so the
+//! supervisor can respawn a crashed worker from the last checkpoint and
+//! replay only the iterations since.
+
+use ufc_core::state::codec;
+use ufc_core::CoreError;
+
+/// Magic prefix of front-end snapshot blobs (`UFCF` + version 1).
+pub const FRONTEND_MAGIC: &[u8] = b"UFCF\x01";
+/// Magic prefix of datacenter snapshot blobs (`UFCD` + version 1).
+pub const DATACENTER_MAGIC: &[u8] = b"UFCD\x01";
+
+/// A front-end's iterate slice: `λ_i·`, its last prediction, and the local
+/// replicas of `a_i·` and the link duals `φ_i·`, plus the eviction mask.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontendSnapshot {
+    /// Corrected routing row `λ_i·`.
+    pub lambda: Vec<f64>,
+    /// Last predicted row `λ̃_i·`.
+    pub lambda_tilde: Vec<f64>,
+    /// Auxiliary replica `a_i·`.
+    pub a: Vec<f64>,
+    /// Link-dual replica `φ_i·`.
+    pub varphi: Vec<f64>,
+    /// Datacenters this front-end currently treats as evicted.
+    pub evicted: Vec<bool>,
+}
+
+impl FrontendSnapshot {
+    /// Serializes the snapshot.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(8 + 8 * 4 * self.lambda.len());
+        buf.extend_from_slice(FRONTEND_MAGIC);
+        codec::put_f64s(&mut buf, &self.lambda);
+        codec::put_f64s(&mut buf, &self.lambda_tilde);
+        codec::put_f64s(&mut buf, &self.a);
+        codec::put_f64s(&mut buf, &self.varphi);
+        let mask: Vec<f64> = self
+            .evicted
+            .iter()
+            .map(|&e| f64::from(u8::from(e)))
+            .collect();
+        codec::put_f64s(&mut buf, &mask);
+        buf
+    }
+
+    /// Deserializes a blob produced by [`FrontendSnapshot::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Checkpoint`] on bad magic, truncation, or blocks of
+    /// inconsistent length.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, CoreError> {
+        let mut pos = check_magic(buf, FRONTEND_MAGIC)?;
+        let snap = FrontendSnapshot {
+            lambda: codec::get_f64s(buf, &mut pos)?,
+            lambda_tilde: codec::get_f64s(buf, &mut pos)?,
+            a: codec::get_f64s(buf, &mut pos)?,
+            varphi: codec::get_f64s(buf, &mut pos)?,
+            evicted: codec::get_f64s(buf, &mut pos)?
+                .iter()
+                .map(|&v| v != 0.0)
+                .collect(),
+        };
+        let n = snap.lambda.len();
+        if [
+            snap.lambda_tilde.len(),
+            snap.a.len(),
+            snap.varphi.len(),
+            snap.evicted.len(),
+        ]
+        .iter()
+        .any(|&l| l != n)
+        {
+            return Err(CoreError::checkpoint("front-end block lengths disagree"));
+        }
+        Ok(snap)
+    }
+}
+
+/// A datacenter's iterate slice: `μ_j`, `ν_j`, the balance dual `φ_j`, and
+/// its column replicas `a_·j`, `φ_·j`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatacenterSnapshot {
+    /// Fuel-cell output `μ_j` (MW).
+    pub mu: f64,
+    /// Grid draw `ν_j` (MW).
+    pub nu: f64,
+    /// Balance dual `φ_j`.
+    pub phi: f64,
+    /// Auxiliary column `a_·j`.
+    pub a: Vec<f64>,
+    /// Link-dual replica `φ_·j`.
+    pub varphi: Vec<f64>,
+}
+
+impl DatacenterSnapshot {
+    /// Serializes the snapshot.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(8 + 8 * (3 + 2 * self.a.len()));
+        buf.extend_from_slice(DATACENTER_MAGIC);
+        codec::put_f64s(&mut buf, &[self.mu, self.nu, self.phi]);
+        codec::put_f64s(&mut buf, &self.a);
+        codec::put_f64s(&mut buf, &self.varphi);
+        buf
+    }
+
+    /// Deserializes a blob produced by [`DatacenterSnapshot::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Checkpoint`] on bad magic, truncation, or blocks of
+    /// inconsistent length.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, CoreError> {
+        let mut pos = check_magic(buf, DATACENTER_MAGIC)?;
+        let scalars = codec::get_f64s(buf, &mut pos)?;
+        if scalars.len() != 3 {
+            return Err(CoreError::checkpoint("datacenter scalar block malformed"));
+        }
+        let snap = DatacenterSnapshot {
+            mu: scalars[0],
+            nu: scalars[1],
+            phi: scalars[2],
+            a: codec::get_f64s(buf, &mut pos)?,
+            varphi: codec::get_f64s(buf, &mut pos)?,
+        };
+        if snap.a.len() != snap.varphi.len() {
+            return Err(CoreError::checkpoint("datacenter block lengths disagree"));
+        }
+        Ok(snap)
+    }
+}
+
+fn check_magic(buf: &[u8], magic: &[u8]) -> Result<usize, CoreError> {
+    if buf.len() < magic.len() || &buf[..magic.len()] != magic {
+        return Err(CoreError::checkpoint("bad snapshot magic number"));
+    }
+    Ok(magic.len())
+}
+
+/// The supervisor's per-run checkpoint store: one slot per node (front-ends
+/// first, then datacenters), each holding the latest serialized snapshot
+/// and the iteration *after* which it was taken.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    m: usize,
+    slots: Vec<Option<(usize, Vec<u8>)>>,
+    taken: usize,
+}
+
+impl CheckpointStore {
+    /// Empty store for `m` front-ends and `n` datacenters.
+    #[must_use]
+    pub fn new(m: usize, n: usize) -> Self {
+        CheckpointStore {
+            m,
+            slots: vec![None; m + n],
+            taken: 0,
+        }
+    }
+
+    /// Records front-end `i`'s blob taken after `iteration`.
+    pub fn put_frontend(&mut self, i: usize, iteration: usize, blob: Vec<u8>) {
+        self.slots[i] = Some((iteration, blob));
+    }
+
+    /// Records datacenter `j`'s blob taken after `iteration`.
+    pub fn put_datacenter(&mut self, j: usize, iteration: usize, blob: Vec<u8>) {
+        self.slots[self.m + j] = Some((iteration, blob));
+    }
+
+    /// Latest front-end blob, as `(iteration, bytes)`.
+    #[must_use]
+    pub fn frontend(&self, i: usize) -> Option<(usize, &[u8])> {
+        self.slots[i].as_ref().map(|(it, b)| (*it, b.as_slice()))
+    }
+
+    /// Latest datacenter blob, as `(iteration, bytes)`.
+    #[must_use]
+    pub fn datacenter(&self, j: usize) -> Option<(usize, &[u8])> {
+        self.slots[self.m + j]
+            .as_ref()
+            .map(|(it, b)| (*it, b.as_slice()))
+    }
+
+    /// Marks one complete checkpoint round (for reporting).
+    pub fn mark_round(&mut self) {
+        self.taken += 1;
+    }
+
+    /// Complete checkpoint rounds taken so far.
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.taken
+    }
+
+    /// Total bytes currently held (for wire accounting of one round).
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.slots.iter().flatten().map(|(_, b)| b.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontend_round_trip() {
+        let snap = FrontendSnapshot {
+            lambda: vec![0.5, 0.25, 0.0],
+            lambda_tilde: vec![0.5, 0.125, 0.125],
+            a: vec![0.4, 0.3, 0.05],
+            varphi: vec![-1.5, 0.0, 2.25],
+            evicted: vec![false, true, false],
+        };
+        let back = FrontendSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn datacenter_round_trip() {
+        let snap = DatacenterSnapshot {
+            mu: 0.42,
+            nu: 1e-300,
+            phi: -7.5,
+            a: vec![0.1, 0.9],
+            varphi: vec![2.0, -2.0],
+        };
+        let back = DatacenterSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn rejects_cross_kind_and_corrupt_blobs() {
+        let fe = FrontendSnapshot {
+            lambda: vec![1.0],
+            lambda_tilde: vec![1.0],
+            a: vec![1.0],
+            varphi: vec![0.0],
+            evicted: vec![false],
+        };
+        let blob = fe.to_bytes();
+        assert!(DatacenterSnapshot::from_bytes(&blob).is_err());
+        assert!(FrontendSnapshot::from_bytes(&blob[..blob.len() - 2]).is_err());
+        let mut bad = blob;
+        bad[0] = b'X';
+        assert!(FrontendSnapshot::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn store_tracks_latest_blob_per_node() {
+        let mut store = CheckpointStore::new(1, 2);
+        assert!(store.frontend(0).is_none());
+        store.put_frontend(0, 4, vec![1, 2, 3]);
+        store.put_datacenter(1, 4, vec![9]);
+        store.put_frontend(0, 8, vec![4, 5]);
+        assert_eq!(store.frontend(0), Some((8, &[4u8, 5][..])));
+        assert_eq!(store.datacenter(1), Some((4, &[9u8][..])));
+        assert!(store.datacenter(0).is_none());
+        assert_eq!(store.total_bytes(), 3);
+        store.mark_round();
+        assert_eq!(store.rounds(), 1);
+    }
+}

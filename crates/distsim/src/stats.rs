@@ -46,11 +46,7 @@ impl MessageStats {
 /// sub-problem sizes).
 #[must_use]
 pub fn estimated_wan_seconds(iterations: usize, latency_s: &[Vec<f64>]) -> f64 {
-    let l_max = latency_s
-        .iter()
-        .flatten()
-        .cloned()
-        .fold(0.0f64, f64::max);
+    let l_max = latency_s.iter().flatten().cloned().fold(0.0f64, f64::max);
     iterations as f64 * 4.0 * l_max
 }
 

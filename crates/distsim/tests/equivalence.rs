@@ -15,7 +15,10 @@ fn lockstep_equals_in_memory_solver_at_paper_scale() {
     for (t, inst) in scenario.instances.iter().enumerate() {
         let mem = solver.solve(inst, Strategy::Hybrid).unwrap();
         let net = dist.run(inst, Strategy::Hybrid, Runtime::Lockstep).unwrap();
-        assert_eq!(mem.iterations, net.iterations, "hour {t}: iteration counts differ");
+        assert_eq!(
+            mem.iterations, net.iterations,
+            "hour {t}: iteration counts differ"
+        );
         assert!(
             (mem.breakdown.ufc() - net.breakdown.ufc()).abs()
                 < 1e-6 * mem.breakdown.ufc().abs().max(1.0),
@@ -58,7 +61,10 @@ fn message_complexity_is_linear_in_pairs() {
     let m = inst.m_frontends();
     let n = inst.n_datacenters();
     assert_eq!(report.stats.data_messages, 2 * m * n * report.iterations);
-    assert_eq!(report.stats.control_messages, 2 * (m + n) * report.iterations);
+    assert_eq!(
+        report.stats.control_messages,
+        2 * (m + n) * report.iterations
+    );
     // WAN estimate: 4 latency-bound phases per iteration.
     let l_max = inst
         .latency_s

@@ -79,7 +79,11 @@ impl BaselineComparison {
     pub fn mean_iterations(&self) -> (f64, f64) {
         let n = self.hours.len().max(1) as f64;
         (
-            self.hours.iter().map(|h| h.admg_iterations as f64).sum::<f64>() / n,
+            self.hours
+                .iter()
+                .map(|h| h.admg_iterations as f64)
+                .sum::<f64>()
+                / n,
             self.hours
                 .iter()
                 .map(|h| h.subgradient_iterations as f64)

@@ -17,6 +17,7 @@
 //!   rightsize  extension: server right-sizing (the paper's §II-C Remark)
 //!   baseline   extension: ADM-G vs dual-subgradient iteration counts
 //!   forecast   extension: UFC regret when acting on forecasted arrivals
+//!   faults     extension: crash/straggler injection and degraded-mode cost
 //!   wsweep     extension: latency-weight (w) Pareto sweep
 //!   verify     self-test: centralized / in-memory / distributed agreement
 //!   all      everything above (except extensions)
@@ -124,6 +125,10 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         matched = true;
         run_forecast(opts, settings)?;
     }
+    if opts.command == "faults" {
+        matched = true;
+        run_faults(opts, settings)?;
+    }
     if opts.command == "wsweep" {
         matched = true;
         run_wsweep(opts, settings)?;
@@ -140,7 +145,10 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
 
 fn run_table1(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let t = table1::run(opts.seed);
-    println!("== Table I: one-week energy costs ($), p0 = {} $/MWh ==", t.fuel_cell_price);
+    println!(
+        "== Table I: one-week energy costs ($), p0 = {} $/MWh ==",
+        t.fuel_cell_price
+    );
     let rows: Vec<Vec<String>> = t
         .sites
         .iter()
@@ -153,7 +161,10 @@ fn run_table1(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
             ]
         })
         .collect();
-    println!("{}", text_table(&["Strategy", "Grid", "Fuel Cell", "Hybrid"], &rows));
+    println!(
+        "{}",
+        text_table(&["Strategy", "Grid", "Fuel Cell", "Hybrid"], &rows)
+    );
     if let Some(dir) = &opts.csv_dir {
         write_csv(dir, "table1_costs", &t.costs_csv())?;
         write_csv(dir, "fig1_series", &t.series_csv())?;
@@ -176,7 +187,10 @@ fn run_fig3(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     println!(
         "{}",
-        text_table(&["Datacenter", "mean price $/MWh", "mean carbon g/kWh"], &rows)
+        text_table(
+            &["Datacenter", "mean price $/MWh", "mean carbon g/kWh"],
+            &rows
+        )
     );
     if let Some(dir) = &opts.csv_dir {
         write_csv(dir, "fig3_traces", &f.csv())?;
@@ -197,16 +211,33 @@ fn run_weekly(
     if which("fig4") {
         println!("== Fig. 4: UFC improvements (week averages) ==");
         let rows = vec![
-            vec!["I_hg (Hybrid vs Grid)".to_owned(), pct(results.mean_of(|h| h.i_hg))],
-            vec!["I_hf (Hybrid vs Fuel cell)".to_owned(), pct(results.mean_of(|h| h.i_hf))],
-            vec!["I_fg (Fuel cell vs Grid)".to_owned(), pct(results.mean_of(|h| h.i_fg))],
+            vec![
+                "I_hg (Hybrid vs Grid)".to_owned(),
+                pct(results.mean_of(|h| h.i_hg)),
+            ],
+            vec![
+                "I_hf (Hybrid vs Fuel cell)".to_owned(),
+                pct(results.mean_of(|h| h.i_hf)),
+            ],
+            vec![
+                "I_fg (Fuel cell vs Grid)".to_owned(),
+                pct(results.mean_of(|h| h.i_fg)),
+            ],
             vec![
                 "max I_hg".to_owned(),
-                pct(results.hours.iter().map(|h| h.i_hg).fold(f64::MIN, f64::max)),
+                pct(results
+                    .hours
+                    .iter()
+                    .map(|h| h.i_hg)
+                    .fold(f64::MIN, f64::max)),
             ],
             vec![
                 "min I_fg".to_owned(),
-                pct(results.hours.iter().map(|h| h.i_fg).fold(f64::MAX, f64::min)),
+                pct(results
+                    .hours
+                    .iter()
+                    .map(|h| h.i_fg)
+                    .fold(f64::MAX, f64::min)),
             ],
         ];
         println!("{}", text_table(&["metric", "value"], &rows));
@@ -214,9 +245,18 @@ fn run_weekly(
     if which("fig5") {
         println!("== Fig. 5: average propagation latency (ms) ==");
         let rows = vec![
-            vec!["Hybrid".to_owned(), fmt(1e3 * results.mean_of(|h| h.latency_s[0]), 2)],
-            vec!["Grid".to_owned(), fmt(1e3 * results.mean_of(|h| h.latency_s[1]), 2)],
-            vec!["Fuel cell".to_owned(), fmt(1e3 * results.mean_of(|h| h.latency_s[2]), 2)],
+            vec![
+                "Hybrid".to_owned(),
+                fmt(1e3 * results.mean_of(|h| h.latency_s[0]), 2),
+            ],
+            vec![
+                "Grid".to_owned(),
+                fmt(1e3 * results.mean_of(|h| h.latency_s[1]), 2),
+            ],
+            vec![
+                "Fuel cell".to_owned(),
+                fmt(1e3 * results.mean_of(|h| h.latency_s[2]), 2),
+            ],
         ];
         println!("{}", text_table(&["strategy", "mean latency"], &rows));
     }
@@ -224,9 +264,18 @@ fn run_weekly(
         println!("== Fig. 6: energy cost ($, weekly totals) ==");
         let n = results.hours.len() as f64;
         let rows = vec![
-            vec!["Hybrid".to_owned(), fmt(n * results.mean_of(|h| h.energy_cost[0]), 0)],
-            vec!["Grid".to_owned(), fmt(n * results.mean_of(|h| h.energy_cost[1]), 0)],
-            vec!["Fuel cell".to_owned(), fmt(n * results.mean_of(|h| h.energy_cost[2]), 0)],
+            vec![
+                "Hybrid".to_owned(),
+                fmt(n * results.mean_of(|h| h.energy_cost[0]), 0),
+            ],
+            vec![
+                "Grid".to_owned(),
+                fmt(n * results.mean_of(|h| h.energy_cost[1]), 0),
+            ],
+            vec![
+                "Fuel cell".to_owned(),
+                fmt(n * results.mean_of(|h| h.energy_cost[2]), 0),
+            ],
         ];
         println!("{}", text_table(&["strategy", "total energy cost"], &rows));
     }
@@ -234,16 +283,29 @@ fn run_weekly(
         println!("== Fig. 7: carbon cost ($, weekly totals) ==");
         let n = results.hours.len() as f64;
         let rows = vec![
-            vec!["Hybrid".to_owned(), fmt(n * results.mean_of(|h| h.carbon_cost[0]), 0)],
-            vec!["Grid".to_owned(), fmt(n * results.mean_of(|h| h.carbon_cost[1]), 0)],
-            vec!["Fuel cell".to_owned(), fmt(n * results.mean_of(|h| h.carbon_cost[2]), 0)],
+            vec![
+                "Hybrid".to_owned(),
+                fmt(n * results.mean_of(|h| h.carbon_cost[0]), 0),
+            ],
+            vec![
+                "Grid".to_owned(),
+                fmt(n * results.mean_of(|h| h.carbon_cost[1]), 0),
+            ],
+            vec![
+                "Fuel cell".to_owned(),
+                fmt(n * results.mean_of(|h| h.carbon_cost[2]), 0),
+            ],
         ];
         println!("{}", text_table(&["strategy", "total carbon cost"], &rows));
     }
     if which("fig8") {
         println!("== Fig. 8: hybrid fuel-cell utilization ==");
         let avg = results.mean_of(|h| h.utilization);
-        let max = results.hours.iter().map(|h| h.utilization).fold(f64::MIN, f64::max);
+        let max = results
+            .hours
+            .iter()
+            .map(|h| h.utilization)
+            .fold(f64::MIN, f64::max);
         let rows = vec![
             vec!["average".to_owned(), pct(avg)],
             vec!["maximum".to_owned(), pct(max)],
@@ -256,7 +318,10 @@ fn run_weekly(
         let rows = vec![
             vec!["min".to_owned(), cdf.min().to_string()],
             vec!["max".to_owned(), cdf.max().to_string()],
-            vec!["within 100 iterations".to_owned(), pct(cdf.fraction_within(100))],
+            vec![
+                "within 100 iterations".to_owned(),
+                pct(cdf.fraction_within(100)),
+            ],
         ];
         println!("{}", text_table(&["metric", "value"], &rows));
         if let Some(dir) = &opts.csv_dir {
@@ -300,16 +365,16 @@ fn run_fig10(opts: &Options, settings: AdmgSettings) -> Result<(), Box<dyn std::
     Ok(())
 }
 
-fn run_rightsize(
-    opts: &Options,
-    settings: AdmgSettings,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn run_rightsize(opts: &Options, settings: AdmgSettings) -> Result<(), Box<dyn std::error::Error>> {
     use ufc_core::right_sizing::{solve_with_right_sizing, RightSizingOptions};
     use ufc_core::Strategy;
     use ufc_model::scenario::ScenarioBuilder;
 
     let hours = opts.hours.min(24);
-    let scenario = ScenarioBuilder::paper_default().seed(opts.seed).hours(hours).build()?;
+    let scenario = ScenarioBuilder::paper_default()
+        .seed(opts.seed)
+        .hours(hours)
+        .build()?;
     println!("== Extension: server right-sizing (paper §II-C Remark), {hours} hours ==");
     let mut rows = Vec::new();
     let mut total_gain = 0.0;
@@ -342,10 +407,7 @@ fn run_rightsize(
     Ok(())
 }
 
-fn run_baseline(
-    opts: &Options,
-    settings: AdmgSettings,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn run_baseline(opts: &Options, settings: AdmgSettings) -> Result<(), Box<dyn std::error::Error>> {
     let hours = opts.hours.min(24);
     let cmp = ufc_experiments::baseline::run(opts.seed, hours, settings)?;
     println!("== Extension: ADM-G vs dual-subgradient baseline ({hours} hours) ==");
@@ -354,7 +416,10 @@ fn run_baseline(
         vec!["mean ADM-G iterations".to_owned(), fmt(admg, 0)],
         vec!["mean subgradient iterations".to_owned(), fmt(sub, 0)],
         vec!["speedup".to_owned(), format!("{:.1}x", sub / admg)],
-        vec!["mean UFC gap of baseline".to_owned(), pct(cmp.mean_ufc_gap())],
+        vec![
+            "mean UFC gap of baseline".to_owned(),
+            pct(cmp.mean_ufc_gap()),
+        ],
     ];
     println!("{}", text_table(&["metric", "value"], &rows));
     if let Some(dir) = &opts.csv_dir {
@@ -363,10 +428,7 @@ fn run_baseline(
     Ok(())
 }
 
-fn run_forecast(
-    opts: &Options,
-    settings: AdmgSettings,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn run_forecast(opts: &Options, settings: AdmgSettings) -> Result<(), Box<dyn std::error::Error>> {
     use ufc_experiments::robustness;
     let hours = opts.hours.max(robustness::WARMUP_HOURS + 12);
     let study = robustness::run(opts.seed, hours, settings)?;
@@ -387,10 +449,55 @@ fn run_forecast(
     Ok(())
 }
 
-fn run_wsweep(
-    opts: &Options,
-    settings: AdmgSettings,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn run_faults(opts: &Options, settings: AdmgSettings) -> Result<(), Box<dyn std::error::Error>> {
+    use ufc_experiments::faults;
+    let hours = opts.hours.min(24);
+    let study = faults::run(opts.seed, hours, settings)?;
+    println!("== Extension: fault-tolerance sweep ({hours} hours per crash rate) ==");
+    let rows: Vec<Vec<String>> = study
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                fmt(p.crash_rate, 2),
+                format!("{}/{}", p.hours_completed, p.hours_attempted),
+                p.crashes_observed.to_string(),
+                p.evictions.to_string(),
+                p.readmissions.to_string(),
+                p.recomputed_iterations.to_string(),
+                fmt(p.downtime_s, 2),
+                pct(p.mean_abs_ufc_delta),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &[
+                "crash rate",
+                "completed",
+                "crashes",
+                "evictions",
+                "readmits",
+                "recomputed",
+                "downtime s",
+                "mean |UFC delta|"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "completion at the harshest rate: {}\n",
+        pct(study.worst_completion_rate())
+    );
+    if let Some(dir) = &opts.csv_dir {
+        write_csv(dir, "fault_sweep", &study.csv())?;
+        println!("(csv written to {})", dir.display());
+    }
+    Ok(())
+}
+
+fn run_wsweep(opts: &Options, settings: AdmgSettings) -> Result<(), Box<dyn std::error::Error>> {
     let hours = opts.hours.min(48);
     let weights = [0.5, 2.0, 5.0, 10.0, 25.0, 60.0, 150.0];
     let pts = sweep::sweep_latency_weight(opts.seed, hours, settings, &weights)?;
@@ -413,16 +520,16 @@ fn run_wsweep(
     Ok(())
 }
 
-fn run_verify(
-    opts: &Options,
-    settings: AdmgSettings,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn run_verify(opts: &Options, settings: AdmgSettings) -> Result<(), Box<dyn std::error::Error>> {
     use ufc_core::{centralized, AdmgSolver, Strategy};
     use ufc_distsim::{DistributedAdmg, Runtime};
     use ufc_model::scenario::ScenarioBuilder;
 
     let hours = opts.hours.min(3);
-    let scenario = ScenarioBuilder::paper_default().seed(opts.seed).hours(hours).build()?;
+    let scenario = ScenarioBuilder::paper_default()
+        .seed(opts.seed)
+        .hours(hours)
+        .build()?;
     println!("== Self-test: three solution paths on {hours} hourly instances ==");
     let solver = AdmgSolver::new(settings);
     let dist = DistributedAdmg::new(settings);
@@ -435,8 +542,8 @@ fn run_verify(
         let scale = cen.breakdown.ufc().abs().max(1.0);
         let gap_mc = (mem.breakdown.ufc() - cen.breakdown.ufc()).abs() / scale;
         let gap_md = (mem.breakdown.ufc() - net.breakdown.ufc()).abs() / scale;
-        let pass = mem.converged && gap_mc < 5e-3 && gap_md < 1e-9
-            && mem.iterations == net.iterations;
+        let pass =
+            mem.converged && gap_mc < 5e-3 && gap_md < 1e-9 && mem.iterations == net.iterations;
         ok &= pass;
         rows.push(vec![
             t.to_string(),
@@ -445,13 +552,25 @@ fn run_verify(
             mem.iterations.to_string(),
             format!("{:.2e}", gap_mc),
             format!("{:.1e}", gap_md),
-            if pass { "PASS".to_owned() } else { "FAIL".to_owned() },
+            if pass {
+                "PASS".to_owned()
+            } else {
+                "FAIL".to_owned()
+            },
         ]);
     }
     println!(
         "{}",
         text_table(
-            &["hour", "centralized UFC", "ADM-G UFC", "iters", "gap(central)", "gap(distributed)", "status"],
+            &[
+                "hour",
+                "centralized UFC",
+                "ADM-G UFC",
+                "iters",
+                "gap(central)",
+                "gap(distributed)",
+                "status"
+            ],
             &rows
         )
     );

@@ -36,13 +36,21 @@ impl ConvergenceCdf {
     /// Minimum iterations over all runs.
     #[must_use]
     pub fn min(&self) -> usize {
-        *self.iterations.iter().min().expect("nonempty by construction")
+        *self
+            .iterations
+            .iter()
+            .min()
+            .expect("nonempty by construction")
     }
 
     /// Maximum iterations over all runs.
     #[must_use]
     pub fn max(&self) -> usize {
-        *self.iterations.iter().max().expect("nonempty by construction")
+        *self
+            .iterations
+            .iter()
+            .max()
+            .expect("nonempty by construction")
     }
 
     /// Fraction of runs converging within `limit` iterations.

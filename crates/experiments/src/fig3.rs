@@ -20,7 +20,10 @@ pub struct Fig3 {
 /// Propagates scenario-construction failures.
 pub fn run(seed: u64, hours: usize) -> Result<Fig3> {
     Ok(Fig3 {
-        scenario: ScenarioBuilder::paper_default().seed(seed).hours(hours).build()?,
+        scenario: ScenarioBuilder::paper_default()
+            .seed(seed)
+            .hours(hours)
+            .build()?,
     })
 }
 
@@ -55,7 +58,11 @@ impl Fig3 {
     /// Per-site mean price ($/MWh), in datacenter order.
     #[must_use]
     pub fn mean_prices(&self) -> Vec<f64> {
-        self.scenario.prices.iter().map(|p| series::mean(p)).collect()
+        self.scenario
+            .prices
+            .iter()
+            .map(|p| series::mean(p))
+            .collect()
     }
 
     /// Per-site mean carbon rate (g/kWh), in datacenter order.

@@ -15,6 +15,7 @@
 //! | Fig. 11 (convergence CDF) | [`convergence`] | `fig11` |
 //! | Fig.-11 remark (gradient baselines) | [`baseline`] | `baseline` |
 //! | §II-A predictability assumption | [`robustness`] | `forecast` |
+//! | §III failure-free assumption | [`faults`] | `faults` |
 //!
 //! Every experiment is a pure function returning a data struct; the `repro`
 //! binary renders those as aligned text and optional CSV. Benches re-run
@@ -25,6 +26,7 @@
 
 pub mod baseline;
 pub mod convergence;
+pub mod faults;
 pub mod fig3;
 pub mod parallel;
 pub mod report;

@@ -174,7 +174,13 @@ impl RobustnessStudy {
     /// CSV with one row per evaluated hour.
     #[must_use]
     pub fn csv(&self) -> Csv {
-        let mut csv = Csv::new(&["hour", "arrival_mape_pct", "forecast_ufc", "oracle_ufc", "regret_pct"]);
+        let mut csv = Csv::new(&[
+            "hour",
+            "arrival_mape_pct",
+            "forecast_ufc",
+            "oracle_ufc",
+            "regret_pct",
+        ]);
         for h in &self.hours {
             csv.push_row(&[
                 h.hour as f64,
@@ -200,8 +206,16 @@ mod tests {
         // The paper's predictability assumption: single-digit MAPE…
         assert!(study.mean_mape() < 0.15, "MAPE {}", study.mean_mape());
         // …and acting on forecasts costs only a sliver of UFC.
-        assert!(study.mean_regret() < 0.05, "mean regret {}", study.mean_regret());
-        assert!(study.max_regret() < 0.25, "max regret {}", study.max_regret());
+        assert!(
+            study.mean_regret() < 0.05,
+            "mean regret {}",
+            study.mean_regret()
+        );
+        assert!(
+            study.max_regret() < 0.25,
+            "max regret {}",
+            study.max_regret()
+        );
         // Regret can be slightly negative (polish noise) but not materially.
         for h in &study.hours {
             assert!(h.regret() > -0.02, "hour {} regret {}", h.hour, h.regret());

@@ -36,13 +36,17 @@ pub struct Sweep {
 /// The paper's Fig. 9 grid of fuel-cell prices ($/MWh).
 #[must_use]
 pub fn fig9_prices() -> Vec<f64> {
-    vec![20.0, 27.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0, 110.0, 120.0]
+    vec![
+        20.0, 27.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0, 110.0, 120.0,
+    ]
 }
 
 /// The paper's Fig. 10 grid of carbon-tax rates ($/ton).
 #[must_use]
 pub fn fig10_taxes() -> Vec<f64> {
-    vec![0.0, 10.0, 25.0, 40.0, 60.0, 80.0, 100.0, 120.0, 140.0, 170.0, 200.0]
+    vec![
+        0.0, 10.0, 25.0, 40.0, 60.0, 80.0, 100.0, 120.0, 140.0, 170.0, 200.0,
+    ]
 }
 
 /// Runs the Fig. 9 sweep (`p₀` varies, tax fixed at \$25/ton).
@@ -196,7 +200,11 @@ impl Sweep {
     pub fn csv(&self) -> Csv {
         let mut csv = Csv::new(&[self.parameter, "avg_improvement_pct", "avg_utilization_pct"]);
         for p in &self.points {
-            csv.push_row(&[p.value, 100.0 * p.avg_improvement, 100.0 * p.avg_utilization]);
+            csv.push_row(&[
+                p.value,
+                100.0 * p.avg_improvement,
+                100.0 * p.avg_utilization,
+            ]);
         }
         csv
     }
@@ -310,10 +318,14 @@ mod tests {
         )
         .unwrap();
         // Heavier latency weight ⇒ lower latency, higher (or equal) cost.
-        assert!(pts[2].avg_latency_s <= pts[0].avg_latency_s + 1e-9,
-            "latency not improving: {pts:?}");
-        assert!(pts[2].avg_cost >= pts[0].avg_cost - 1e-6,
-            "cost not monotone: {pts:?}");
+        assert!(
+            pts[2].avg_latency_s <= pts[0].avg_latency_s + 1e-9,
+            "latency not improving: {pts:?}"
+        );
+        assert!(
+            pts[2].avg_cost >= pts[0].avg_cost - 1e-6,
+            "cost not monotone: {pts:?}"
+        );
         // The paper's w = 10 sits strictly between the extremes.
         assert!(pts[1].avg_latency_s <= pts[0].avg_latency_s + 1e-9);
         assert!(pts[1].avg_cost <= pts[2].avg_cost + 1e-6);

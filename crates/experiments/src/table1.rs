@@ -64,11 +64,7 @@ pub fn run(seed: u64) -> Table1 {
         );
         let grid: f64 = demand.iter().zip(&price).map(|(d, p)| d * p).sum();
         let fuel_cell: f64 = demand.iter().map(|d| d * p0).sum();
-        let hybrid: f64 = demand
-            .iter()
-            .zip(&price)
-            .map(|(d, p)| d * p.min(p0))
-            .sum();
+        let hybrid: f64 = demand.iter().zip(&price).map(|(d, p)| d * p.min(p0)).sum();
         sites.push(SiteCosts {
             site: model.name.clone(),
             grid,
@@ -132,7 +128,11 @@ mod tests {
         }
         // Dallas grid is cheap (fuel cells barely help); San Jose grid is
         // expensive (hybrid saves a lot).
-        assert!(dallas.grid < 0.6 * dallas.fuel_cell, "Dallas grid {}", dallas.grid);
+        assert!(
+            dallas.grid < 0.6 * dallas.fuel_cell,
+            "Dallas grid {}",
+            dallas.grid
+        );
         assert!(sj.grid > 0.85 * sj.fuel_cell, "San Jose grid {}", sj.grid);
         assert!(sj.hybrid < 0.8 * sj.grid, "San Jose hybrid {}", sj.hybrid);
     }
@@ -144,8 +144,16 @@ mod tests {
         let t = run(crate::DEFAULT_SEED);
         let dallas = &t.sites[0];
         let sj = &t.sites[1];
-        assert!((5_000.0..16_000.0).contains(&dallas.grid), "{}", dallas.grid);
-        assert!((26_000.0..30_000.0).contains(&dallas.fuel_cell), "{}", dallas.fuel_cell);
+        assert!(
+            (5_000.0..16_000.0).contains(&dallas.grid),
+            "{}",
+            dallas.grid
+        );
+        assert!(
+            (26_000.0..30_000.0).contains(&dallas.fuel_cell),
+            "{}",
+            dallas.fuel_cell
+        );
         assert!((20_000.0..40_000.0).contains(&sj.grid), "{}", sj.grid);
     }
 

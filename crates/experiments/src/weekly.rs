@@ -43,7 +43,11 @@ impl HourOutcome {
             i_hg: cmp.i_hg(),
             i_hf: cmp.i_hf(),
             i_fg: cmp.i_fg(),
-            latency_s: [h.average_latency_s, g.average_latency_s, f.average_latency_s],
+            latency_s: [
+                h.average_latency_s,
+                g.average_latency_s,
+                f.average_latency_s,
+            ],
             energy_cost: [
                 h.energy_cost_dollars,
                 g.energy_cost_dollars,
@@ -105,11 +109,7 @@ pub fn run_receding(scenario: &WeeklyScenario, settings: AdmgSettings) -> Result
             Some(prev) => StrategyComparison {
                 hybrid: solver.solve_warm(inst, Strategy::Hybrid, prev.hybrid.state)?,
                 grid: solver.solve_warm(inst, Strategy::GridOnly, prev.grid.state)?,
-                fuel_cell: solver.solve_warm(
-                    inst,
-                    Strategy::FuelCellOnly,
-                    prev.fuel_cell.state,
-                )?,
+                fuel_cell: solver.solve_warm(inst, Strategy::FuelCellOnly, prev.fuel_cell.state)?,
             },
         };
         hours.push(HourOutcome::from_comparison(t, &cmp));

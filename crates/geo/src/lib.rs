@@ -42,7 +42,11 @@ pub use sites::Site;
 /// Row `i` corresponds to `frontends[i]`, column `j` to `datacenters[j]`,
 /// matching the paper's `L_ij` notation.
 #[must_use]
-pub fn latency_matrix(frontends: &[Site], datacenters: &[Site], model: LatencyModel) -> Vec<Vec<f64>> {
+pub fn latency_matrix(
+    frontends: &[Site],
+    datacenters: &[Site],
+    model: LatencyModel,
+) -> Vec<Vec<f64>> {
     frontends
         .iter()
         .map(|fe| {

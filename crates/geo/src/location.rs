@@ -47,8 +47,7 @@ impl GeoPoint {
         let lat2 = other.lat_deg.to_radians();
         let dlat = (other.lat_deg - self.lat_deg).to_radians();
         let dlon = (other.lon_deg - self.lon_deg).to_radians();
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
     }
 }

@@ -181,7 +181,10 @@ mod tests {
         let f = Ldlt::factor(&a).unwrap();
         assert_eq!(f.negative_pivots(), 0);
         let x1 = f.solve(&[1.0, 1.0]).unwrap();
-        let x2 = crate::Cholesky::factor(&a).unwrap().solve(&[1.0, 1.0]).unwrap();
+        let x2 = crate::Cholesky::factor(&a)
+            .unwrap()
+            .solve(&[1.0, 1.0])
+            .unwrap();
         assert!(crate::vec_ops::dist2(&x1, &x2) < 1e-12);
     }
 

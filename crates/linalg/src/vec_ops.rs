@@ -125,7 +125,10 @@ pub fn sum(x: &[f64]) -> f64 {
 #[must_use]
 pub fn lerp(x: &[f64], y: &[f64], t: f64) -> Vec<f64> {
     assert_eq!(x.len(), y.len(), "lerp: length mismatch");
-    x.iter().zip(y).map(|(a, b)| (1.0 - t) * a + t * b).collect()
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (1.0 - t) * a + t * b)
+        .collect()
 }
 
 /// Returns `true` when every component of `x` is within `tol` of `y`.

@@ -94,9 +94,7 @@ impl EmissionCostFn {
                 rates.len()
             )));
         }
-        if thresholds.iter().any(|&t| t <= 0.0)
-            || thresholds.windows(2).any(|w| w[0] >= w[1])
-        {
+        if thresholds.iter().any(|&t| t <= 0.0) || thresholds.windows(2).any(|w| w[0] >= w[1]) {
             return Err(ModelError::param(
                 "thresholds must be positive and strictly increasing",
             ));

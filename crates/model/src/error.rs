@@ -67,7 +67,9 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(ModelError::param("w").to_string().contains("invalid"));
-        assert!(ModelError::infeasible("cap").to_string().contains("infeasible"));
+        assert!(ModelError::infeasible("cap")
+            .to_string()
+            .contains("infeasible"));
         assert!(ModelError::dim("n").to_string().contains("mismatch"));
     }
 }

@@ -68,7 +68,9 @@ impl UfcInstance {
         let m = arrivals.len();
         let n = capacities.len();
         if m == 0 || n == 0 {
-            return Err(ModelError::param("need at least one front-end and datacenter"));
+            return Err(ModelError::param(
+                "need at least one front-end and datacenter",
+            ));
         }
         for (name, v) in [
             ("alpha", &alpha),
@@ -91,9 +93,7 @@ impl UfcInstance {
             )));
         }
         if latency_s.len() != m || latency_s.iter().any(|row| row.len() != n) {
-            return Err(ModelError::dim(format!(
-                "latency matrix must be {m}x{n}"
-            )));
+            return Err(ModelError::dim(format!("latency matrix must be {m}x{n}")));
         }
         if arrivals.iter().any(|&a| a <= 0.0) {
             return Err(ModelError::param("arrivals must be positive"));
@@ -174,7 +174,10 @@ impl UfcInstance {
             arrivals,
             specs.iter().map(|d| d.servers_k).collect(),
             specs.iter().map(DatacenterSpec::alpha_mw).collect(),
-            specs.iter().map(DatacenterSpec::beta_mw_per_kserver).collect(),
+            specs
+                .iter()
+                .map(DatacenterSpec::beta_mw_per_kserver)
+                .collect(),
             specs.iter().map(|d| d.fuel_cell_capacity_mw).collect(),
             grid_price,
             fuel_cell_price,
@@ -244,14 +247,14 @@ mod tests {
 
     pub(crate) fn tiny() -> UfcInstance {
         UfcInstance::new(
-            vec![1.0, 2.0],                      // arrivals (M=2)
-            vec![2.0, 2.0],                      // capacities (N=2)
-            vec![0.24, 0.24],                    // alpha
-            vec![0.12, 0.12],                    // beta
-            vec![0.48, 0.48],                    // mu_max
-            vec![30.0, 70.0],                    // prices
-            80.0,                                // p0
-            vec![0.5, 0.3],                      // carbon t/MWh
+            vec![1.0, 2.0],   // arrivals (M=2)
+            vec![2.0, 2.0],   // capacities (N=2)
+            vec![0.24, 0.24], // alpha
+            vec![0.12, 0.12], // beta
+            vec![0.48, 0.48], // mu_max
+            vec![30.0, 70.0], // prices
+            80.0,             // p0
+            vec![0.5, 0.3],   // carbon t/MWh
             vec![vec![0.01, 0.02], vec![0.02, 0.01]],
             10.0,
             vec![
@@ -319,7 +322,10 @@ mod tests {
     #[test]
     fn rejects_bad_values() {
         let i = tiny();
-        for (arr, cap) in [(vec![0.0, 1.0], i.capacities.clone()), (i.arrivals.clone(), vec![-1.0, 5.0])] {
+        for (arr, cap) in [
+            (vec![0.0, 1.0], i.capacities.clone()),
+            (i.arrivals.clone(), vec![-1.0, 5.0]),
+        ] {
             let r = UfcInstance::new(
                 arr,
                 cap,

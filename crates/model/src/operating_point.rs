@@ -171,9 +171,17 @@ pub fn evaluate(instance: &UfcInstance, point: &OperatingPoint) -> Result<UfcBre
     let mut utility = 0.0;
     let mut weighted_latency = 0.0;
     for i in 0..m {
-        utility += w * quadratic_utility(&point.lambda[i], &instance.latency_s[i], instance.arrivals[i]);
+        utility += w * quadratic_utility(
+            &point.lambda[i],
+            &instance.latency_s[i],
+            instance.arrivals[i],
+        );
         weighted_latency += instance.arrivals[i]
-            * average_latency(&point.lambda[i], &instance.latency_s[i], instance.arrivals[i]);
+            * average_latency(
+                &point.lambda[i],
+                &instance.latency_s[i],
+                instance.arrivals[i],
+            );
     }
     let average_latency_s = weighted_latency / instance.total_arrivals();
 

@@ -15,8 +15,8 @@ use ufc_traces::workload::{FrontendSplit, HpLikeWorkload};
 use ufc_traces::{TraceRng, HOURS_PER_WEEK};
 
 use crate::{
-    g_per_kwh_to_t_per_mwh, DatacenterSpec, EmissionCostFn, ModelError, Result,
-    ServerPowerModel, UfcInstance,
+    g_per_kwh_to_t_per_mwh, DatacenterSpec, EmissionCostFn, ModelError, Result, ServerPowerModel,
+    UfcInstance,
 };
 
 /// A sequence of hourly instances plus the raw traces that produced them
@@ -271,9 +271,9 @@ impl ScenarioBuilder {
             }
         };
         let mut split_rng = root.substream("split");
-        let arrivals_per_hour =
-            self.split
-                .split(&workload_total, self.m_frontends, &mut split_rng);
+        let arrivals_per_hour = self
+            .split
+            .split(&workload_total, self.m_frontends, &mut split_rng);
 
         let price_models = LmpModel::paper_sites();
         let mix_models = FuelMixModel::paper_sites();
@@ -286,7 +286,9 @@ impl ScenarioBuilder {
                 )));
             }
             if data.iter().flatten().any(|&v| v < 0.0) {
-                return Err(ModelError::param(format!("{name} override must be nonnegative")));
+                return Err(ModelError::param(format!(
+                    "{name} override must be nonnegative"
+                )));
             }
             Ok(())
         };
@@ -297,8 +299,7 @@ impl ScenarioBuilder {
             }
             None => (0..n)
                 .map(|j| {
-                    let mut p_rng =
-                        root.substream(&format!("price-{}", price_models[j].name));
+                    let mut p_rng = root.substream(&format!("price-{}", price_models[j].name));
                     price_models[j].generate(self.hours, &mut p_rng)
                 })
                 .collect(),
@@ -363,15 +364,31 @@ mod tests {
 
     #[test]
     fn scenario_is_deterministic() {
-        let a = ScenarioBuilder::paper_default().seed(7).hours(24).build().unwrap();
-        let b = ScenarioBuilder::paper_default().seed(7).hours(24).build().unwrap();
+        let a = ScenarioBuilder::paper_default()
+            .seed(7)
+            .hours(24)
+            .build()
+            .unwrap();
+        let b = ScenarioBuilder::paper_default()
+            .seed(7)
+            .hours(24)
+            .build()
+            .unwrap();
         assert_eq!(a.instances[13], b.instances[13]);
     }
 
     #[test]
     fn seeds_change_traces() {
-        let a = ScenarioBuilder::paper_default().seed(1).hours(24).build().unwrap();
-        let b = ScenarioBuilder::paper_default().seed(2).hours(24).build().unwrap();
+        let a = ScenarioBuilder::paper_default()
+            .seed(1)
+            .hours(24)
+            .build()
+            .unwrap();
+        let b = ScenarioBuilder::paper_default()
+            .seed(2)
+            .hours(24)
+            .build()
+            .unwrap();
         assert_ne!(a.workload_total, b.workload_total);
     }
 
@@ -385,7 +402,10 @@ mod tests {
 
     #[test]
     fn workload_peak_matches_utilization() {
-        let s = ScenarioBuilder::paper_default().peak_utilization(0.5).build().unwrap();
+        let s = ScenarioBuilder::paper_default()
+            .peak_utilization(0.5)
+            .build()
+            .unwrap();
         let total_cap = s.instances[0].total_capacity();
         let peak = s.workload_total.iter().cloned().fold(0.0f64, f64::max);
         assert!(peak <= 0.5 * total_cap + 1e-9);
@@ -398,9 +418,18 @@ mod tests {
     #[test]
     fn builder_validation() {
         assert!(ScenarioBuilder::paper_default().hours(0).build().is_err());
-        assert!(ScenarioBuilder::paper_default().peak_utilization(0.0).build().is_err());
-        assert!(ScenarioBuilder::paper_default().frontends(0).build().is_err());
-        assert!(ScenarioBuilder::paper_default().frontends(99).build().is_err());
+        assert!(ScenarioBuilder::paper_default()
+            .peak_utilization(0.0)
+            .build()
+            .is_err());
+        assert!(ScenarioBuilder::paper_default()
+            .frontends(0)
+            .build()
+            .is_err());
+        assert!(ScenarioBuilder::paper_default()
+            .frontends(99)
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -414,7 +443,11 @@ mod tests {
         // β_j = 0.1 W/server × PUE_j: heterogeneity shows up as spread.
         let lo = inst.beta.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = inst.beta.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(hi > lo * 1.05, "betas suspiciously uniform: {:?}", inst.beta);
+        assert!(
+            hi > lo * 1.05,
+            "betas suspiciously uniform: {:?}",
+            inst.beta
+        );
         for &b in &inst.beta {
             assert!((0.11..=0.20).contains(&b), "beta {b} outside PUE range");
         }

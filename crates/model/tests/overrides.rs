@@ -6,7 +6,11 @@ use ufc_traces::loader::parse_numeric_csv;
 
 #[test]
 fn overrides_roundtrip_through_csv() {
-    let original = ScenarioBuilder::paper_default().seed(5).hours(24).build().unwrap();
+    let original = ScenarioBuilder::paper_default()
+        .seed(5)
+        .hours(24)
+        .build()
+        .unwrap();
 
     // Export the three trace families the way `repro fig3` does.
     let mut text = String::from("hour,workload,p0,p1,p2,p3,c0,c1,c2,c3\n");
@@ -97,7 +101,9 @@ fn custom_prices_steer_the_optimizer() {
         .unwrap();
     let solver = AdmgSolver::new(AdmgSettings::default());
     let lo = solver.solve(&cheap.instances[0], Strategy::Hybrid).unwrap();
-    let hi = solver.solve(&pricey.instances[0], Strategy::Hybrid).unwrap();
+    let hi = solver
+        .solve(&pricey.instances[0], Strategy::Hybrid)
+        .unwrap();
     assert!(lo.breakdown.fuel_cell_utilization < 0.01);
     assert!(hi.breakdown.fuel_cell_utilization > 0.99);
 }

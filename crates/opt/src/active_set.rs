@@ -373,8 +373,8 @@ mod tests {
 
     #[test]
     fn unconstrained_newton_step() {
-        let f = QuadObjective::dense(Matrix::from_diag(&[2.0, 4.0]), vec![-2.0, -8.0], 0.0)
-            .unwrap();
+        let f =
+            QuadObjective::dense(Matrix::from_diag(&[2.0, 4.0]), vec![-2.0, -8.0], 0.0).unwrap();
         let sol = ActiveSetQp::default()
             .solve(
                 &f,
@@ -407,12 +407,8 @@ mod tests {
     fn simplex_qp_matches_projection_operator() {
         // min ½‖x − t‖² over the simplex == projection of t.
         let t = [1.2, 0.4, -0.6, 0.1];
-        let f = QuadObjective::dense(
-            Matrix::identity(4),
-            t.iter().map(|v| -v).collect(),
-            0.0,
-        )
-        .unwrap();
+        let f =
+            QuadObjective::dense(Matrix::identity(4), t.iter().map(|v| -v).collect(), 0.0).unwrap();
         let a_eq = Matrix::from_rows(&[&[1.0; 4]]).unwrap();
         let (a_in, b_in) = nonneg_rows(4);
         let sol = ActiveSetQp::default()
@@ -427,12 +423,8 @@ mod tests {
     #[test]
     fn activates_and_releases_constraints() {
         // min (x₁−3)² + (x₂−2)² s.t. x ≤ (1, 5): only the first bound binds.
-        let f = QuadObjective::dense(
-            Matrix::from_diag(&[2.0, 2.0]),
-            vec![-6.0, -4.0],
-            13.0,
-        )
-        .unwrap();
+        let f =
+            QuadObjective::dense(Matrix::from_diag(&[2.0, 2.0]), vec![-6.0, -4.0], 13.0).unwrap();
         let a_in = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
         let sol = ActiveSetQp::default()
             .solve(

@@ -224,8 +224,8 @@ impl AdmmQp {
                 vec_ops::axpy(1.0, &aty, &mut d);
                 r_dual = vec_ops::norm_inf(&d);
 
-                let eps_prim = s.eps_abs
-                    + s.eps_rel * vec_ops::norm_inf(&ax).max(vec_ops::norm_inf(&z));
+                let eps_prim =
+                    s.eps_abs + s.eps_rel * vec_ops::norm_inf(&ax).max(vec_ops::norm_inf(&z));
                 let px2 = p.matvec(&x)?;
                 let eps_dual = s.eps_abs
                     + s.eps_rel
@@ -233,8 +233,7 @@ impl AdmmQp {
                             .max(vec_ops::norm_inf(q))
                             .max(vec_ops::norm_inf(&a.matvec_t(&y)?));
                 if r_prim <= eps_prim && r_dual <= eps_dual {
-                    let value =
-                        0.5 * vec_ops::dot(&x, &p.matvec(&x)?) + vec_ops::dot(q, &x);
+                    let value = 0.5 * vec_ops::dot(&x, &p.matvec(&x)?) + vec_ops::dot(q, &x);
                     return Ok(AdmmQpSolution {
                         x,
                         z,
@@ -310,7 +309,13 @@ mod tests {
             a[(1 + i, i)] = 1.0;
         }
         let l = vec![1.0, 0.0, 0.0, 0.0, 0.0];
-        let u = vec![1.0, f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY];
+        let u = vec![
+            1.0,
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::INFINITY,
+        ];
         let admm = AdmmQp::default().solve(&pm, &q, &a, &l, &u).unwrap();
 
         let f = QuadObjective::dense(pm.clone(), q.clone(), 0.0).unwrap();

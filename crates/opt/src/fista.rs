@@ -190,8 +190,7 @@ impl Fista {
                 x_next = project(&cand);
                 let fx = f.value(&x_next);
                 let diff = vec_ops::sub(&x_next, &y);
-                let model = fy + vec_ops::dot(&g, &diff)
-                    + 0.5 * l * vec_ops::dot(&diff, &diff);
+                let model = fy + vec_ops::dot(&g, &diff) + 0.5 * l * vec_ops::dot(&diff, &diff);
                 if fx.is_finite() && fx <= model + 1e-12 * (1.0 + model.abs()) {
                     break;
                 }
@@ -245,8 +244,8 @@ mod tests {
     #[test]
     fn unconstrained_quadratic_minimum() {
         // min ½xᵀdiag(1,2)x − [1,2]ᵀx ⇒ x* = (1, 1); "projection" = identity.
-        let f = QuadObjective::dense(Matrix::from_diag(&[1.0, 2.0]), vec![-1.0, -2.0], 0.0)
-            .unwrap();
+        let f =
+            QuadObjective::dense(Matrix::from_diag(&[1.0, 2.0]), vec![-1.0, -2.0], 0.0).unwrap();
         let r = solver()
             .minimize(&f, |x| x.to_vec(), vec![0.0, 0.0])
             .unwrap();
@@ -285,20 +284,19 @@ mod tests {
     #[test]
     fn rank_one_coupling_on_capped_simplex() {
         // min ½xᵀ(I + 11ᵀ)x − [2,1]ᵀx over {x ≥ 0, Σx ≤ 1}.
-        let f = QuadObjective::diag_rank1(
-            vec![1.0, 1.0],
-            1.0,
-            vec![1.0, 1.0],
-            vec![-2.0, -1.0],
-            0.0,
-        );
+        let f =
+            QuadObjective::diag_rank1(vec![1.0, 1.0], 1.0, vec![1.0, 1.0], vec![-2.0, -1.0], 0.0);
         let r = solver()
             .minimize(&f, |x| project_capped_simplex(x, 1.0), vec![0.0, 0.0])
             .unwrap();
         // Check stationarity via the variational inequality at a few points.
         let g = f.gradient(&r.x);
         for y in [[1.0, 0.0], [0.0, 1.0], [0.0, 0.0], [0.5, 0.5]] {
-            let ip: f64 = g.iter().zip(y.iter().zip(&r.x)).map(|(gi, (yi, xi))| gi * (yi - xi)).sum();
+            let ip: f64 = g
+                .iter()
+                .zip(y.iter().zip(&r.x))
+                .map(|(gi, (yi, xi))| gi * (yi - xi))
+                .sum();
             assert!(ip >= -1e-6, "VI violated at {y:?}: {ip}");
         }
     }

@@ -116,12 +116,8 @@ mod tests {
     fn active_set_solution_passes_kkt() {
         // min ½‖x − t‖² over the simplex, verified through the checker.
         let t = [0.9, -0.1, 0.6];
-        let f = QuadObjective::dense(
-            Matrix::identity(3),
-            t.iter().map(|v| -v).collect(),
-            0.0,
-        )
-        .unwrap();
+        let f =
+            QuadObjective::dense(Matrix::identity(3), t.iter().map(|v| -v).collect(), 0.0).unwrap();
         let a_eq = Matrix::from_rows(&[&[1.0; 3]]).unwrap();
         let a_in = Matrix::from_fn(3, 3, |i, j| if i == j { -1.0 } else { 0.0 });
         let sol = ActiveSetQp::default()

@@ -252,13 +252,7 @@ mod tests {
     #[test]
     fn lipschitz_bound_dominates_true_eigenvalue() {
         // Q = I + 1·uuᵀ with u = (3, 4): λmax = 1 + 25 = 26.
-        let f = QuadObjective::diag_rank1(
-            vec![1.0, 1.0],
-            1.0,
-            vec![3.0, 4.0],
-            vec![0.0, 0.0],
-            0.0,
-        );
+        let f = QuadObjective::diag_rank1(vec![1.0, 1.0], 1.0, vec![3.0, 4.0], vec![0.0, 0.0], 0.0);
         let l = f.lipschitz_bound();
         assert!(l >= 26.0 - 1e-9);
         assert!(l <= 26.0 + 1e-9);

@@ -142,12 +142,7 @@ mod tests {
     fn prox_matches_golden_section() {
         let (d, s, rho) = (3.0, 0.9, 0.3);
         let closed = prox_linear_quadratic(d, s, rho, 0.0, 10.0);
-        let numeric = golden_section(
-            |x| 0.5 * rho * (d - x) * (d - x) + s * x,
-            0.0,
-            10.0,
-            1e-10,
-        );
+        let numeric = golden_section(|x| 0.5 * rho * (d - x) * (d - x) + s * x, 0.0, 10.0, 1e-10);
         assert!((closed - numeric).abs() < 1e-6);
     }
 

@@ -77,7 +77,11 @@ mod tests {
         // Unconstrained minimum: x + 1/(1−x) = 0 ⇒ x = (1+√… ) solve:
         // x(1−x) + 1 = 0 ⇒ −x² + x + 1 = 0 ⇒ x = (1−√5)/2 ≈ −0.618.
         let sol = Fista::new(10_000, 1e-10)
-            .minimize_adaptive(&Barrier1D, |x| project_box(x, &[-10.0], &[0.999]), vec![0.9])
+            .minimize_adaptive(
+                &Barrier1D,
+                |x| project_box(x, &[-10.0], &[0.999]),
+                vec![0.9],
+            )
             .unwrap();
         let expected = (1.0 - 5.0f64.sqrt()) / 2.0;
         assert!(
@@ -89,13 +93,8 @@ mod tests {
 
     #[test]
     fn adaptive_matches_fixed_step_on_quadratics() {
-        let f = QuadObjective::diag_rank1(
-            vec![1.0, 2.0],
-            0.5,
-            vec![1.0, 1.0],
-            vec![-1.0, 0.5],
-            0.0,
-        );
+        let f =
+            QuadObjective::diag_rank1(vec![1.0, 2.0], 0.5, vec![1.0, 1.0], vec![-1.0, 0.5], 0.0);
         let fixed = Fista::new(50_000, 1e-11)
             .minimize(&f, |x| x.to_vec(), vec![0.0, 0.0])
             .unwrap();

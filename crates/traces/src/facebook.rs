@@ -99,7 +99,10 @@ mod tests {
         // 168 h × 2.08 MW × 80 $/MWh ≈ $27 955 — the paper's fuel-cell cost.
         let p = FacebookProfile::default().generate(168, &mut TraceRng::new(1));
         let cost: f64 = p.iter().map(|mw| mw * 80.0).sum();
-        assert!((cost - 27_957.0).abs() < 600.0, "weekly fuel-cell cost {cost}");
+        assert!(
+            (cost - 27_957.0).abs() < 600.0,
+            "weekly fuel-cell cost {cost}"
+        );
     }
 
     #[test]

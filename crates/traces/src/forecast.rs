@@ -124,7 +124,10 @@ impl HoltWinters {
     #[must_use]
     pub fn new(alpha: f64, beta: f64, gamma: f64, period: usize) -> Self {
         for (name, v) in [("alpha", alpha), ("beta", beta), ("gamma", gamma)] {
-            assert!((0.0..=1.0).contains(&v), "{name} must be in [0, 1], got {v}");
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "{name} must be in [0, 1], got {v}"
+            );
         }
         assert!(period > 0, "period must be positive");
         HoltWinters {
@@ -242,7 +245,10 @@ mod tests {
             .collect();
         let f = HoltWinters::new(0.4, 0.1, 0.3, 24).forecast_next(&hist);
         let actual = 100.0 + 0.5 * 144.0 + 5.0 * (0.0 - 12.0) / 12.0;
-        assert!((f - actual).abs() / actual < 0.05, "forecast {f} vs actual {actual}");
+        assert!(
+            (f - actual).abs() / actual < 0.05,
+            "forecast {f} vs actual {actual}"
+        );
     }
 
     #[test]

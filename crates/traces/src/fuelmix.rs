@@ -272,15 +272,13 @@ mod tests {
     #[test]
     fn regional_carbon_ordering() {
         let rng = TraceRng::new(55);
-        let cal = series::mean(
-            &FuelMixModel::calgary().carbon_rate_series(168, &mut rng.substream("c")),
-        );
+        let cal =
+            series::mean(&FuelMixModel::calgary().carbon_rate_series(168, &mut rng.substream("c")));
         let sj = series::mean(
             &FuelMixModel::san_jose().carbon_rate_series(168, &mut rng.substream("s")),
         );
-        let dal = series::mean(
-            &FuelMixModel::dallas().carbon_rate_series(168, &mut rng.substream("d")),
-        );
+        let dal =
+            series::mean(&FuelMixModel::dallas().carbon_rate_series(168, &mut rng.substream("d")));
         let pit = series::mean(
             &FuelMixModel::pittsburgh().carbon_rate_series(168, &mut rng.substream("p")),
         );

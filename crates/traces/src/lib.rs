@@ -42,11 +42,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chacha;
 pub mod csv;
-pub mod loader;
 pub mod facebook;
 pub mod forecast;
 pub mod fuelmix;
+pub mod loader;
 pub mod price;
 mod rng;
 pub mod series;

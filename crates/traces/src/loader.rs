@@ -119,7 +119,10 @@ pub fn parse_numeric_csv(text: &str) -> Result<NumericCsv, LoadError> {
     let Some((_, header_line)) = lines.next() else {
         return Err(LoadError::Empty);
     };
-    let header: Vec<String> = header_line.split(',').map(|h| h.trim().to_owned()).collect();
+    let header: Vec<String> = header_line
+        .split(',')
+        .map(|h| h.trim().to_owned())
+        .collect();
     let width = header.len();
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); width];
     for (idx, line) in lines {
@@ -173,10 +176,21 @@ mod tests {
         assert_eq!(parse_numeric_csv(""), Err(LoadError::Empty));
         assert!(matches!(
             parse_numeric_csv("a,b\n1\n"),
-            Err(LoadError::RaggedRow { line: 2, found: 1, expected: 2 })
+            Err(LoadError::RaggedRow {
+                line: 2,
+                found: 1,
+                expected: 2
+            })
         ));
         let e = parse_numeric_csv("a\nx\n").unwrap_err();
-        assert!(matches!(e, LoadError::BadNumber { line: 2, column: 1, .. }));
+        assert!(matches!(
+            e,
+            LoadError::BadNumber {
+                line: 2,
+                column: 1,
+                ..
+            }
+        ));
         let parsed = parse_numeric_csv("a\n1\n").unwrap();
         assert!(matches!(
             parsed.require_column("z"),

@@ -1,13 +1,13 @@
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha20Rng;
+use crate::chacha::ChaCha20;
 
 /// Deterministic random source for trace generation.
 ///
-/// Wraps a ChaCha20 stream (stable across `rand` versions, unlike `StdRng`)
-/// and adds the two distributions the generators need: standard normal
-/// (Box–Muller) and lognormal. [`TraceRng::substream`] derives independent
-/// child streams so that, e.g., the Dallas price trace does not change when
-/// the San Jose generator draws a different number of samples.
+/// Wraps the crate's own ChaCha20 keystream (see [`crate::chacha`] — stable
+/// across toolchain and dependency changes by construction) and adds the two
+/// distributions the generators need: standard normal (Box–Muller) and
+/// lognormal. [`TraceRng::substream`] derives independent child streams so
+/// that, e.g., the Dallas price trace does not change when the San Jose
+/// generator draws a different number of samples.
 ///
 /// # Example
 ///
@@ -20,7 +20,8 @@ use rand_chacha::ChaCha20Rng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct TraceRng {
-    inner: ChaCha20Rng,
+    seed: u64,
+    inner: ChaCha20,
     cached_normal: Option<f64>,
 }
 
@@ -29,7 +30,8 @@ impl TraceRng {
     #[must_use]
     pub fn new(seed: u64) -> Self {
         TraceRng {
-            inner: ChaCha20Rng::seed_from_u64(seed),
+            seed,
+            inner: ChaCha20::from_seed(seed),
             cached_normal: None,
         }
     }
@@ -47,19 +49,12 @@ impl TraceRng {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        let mut base = self.inner.clone();
-        base.set_word_pos(0);
-        let seed_words = base.get_seed();
-        let mut seed64 = 0u64;
-        for (i, b) in seed_words.iter().take(8).enumerate() {
-            seed64 |= u64::from(*b) << (8 * i);
-        }
-        TraceRng::new(seed64 ^ h)
+        TraceRng::new(self.seed ^ h)
     }
 
-    /// Uniform sample in `[0, 1)`.
+    /// Uniform sample in `[0, 1)` with 53-bit resolution.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform sample in `[lo, hi)`.

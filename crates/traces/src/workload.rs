@@ -81,7 +81,10 @@ impl HpLikeWorkload {
             self.weekend_factor > 0.0 && self.weekend_factor <= 1.0,
             "weekend_factor must be in (0, 1]"
         );
-        assert!((0.0..1.0).contains(&self.noise_ar), "noise_ar must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&self.noise_ar),
+            "noise_ar must be in [0, 1)"
+        );
         assert!(self.noise_std >= 0.0, "noise_std must be nonnegative");
 
         let mut out = Vec::with_capacity(hours);
@@ -141,7 +144,10 @@ impl FrontendSplit {
     #[must_use]
     pub fn split(&self, total: &[f64], m: usize, rng: &mut TraceRng) -> Vec<Vec<f64>> {
         assert!(m > 0, "need at least one front-end");
-        assert!(self.spread >= 0.0 && self.jitter >= 0.0, "negative spread/jitter");
+        assert!(
+            self.spread >= 0.0 && self.jitter >= 0.0,
+            "negative spread/jitter"
+        );
         assert!(
             total.iter().all(|&v| v >= 0.0),
             "totals must be nonnegative"

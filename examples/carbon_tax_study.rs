@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Part 1: flat-tax sweep (Fig. 10 shape, one day for speed).
     println!("flat carbon tax sweep (24 h):");
-    println!("{:>10} {:>16} {:>16}", "$/ton", "UFC improvement", "fuel-cell share");
+    println!(
+        "{:>10} {:>16} {:>16}",
+        "$/ton", "UFC improvement", "fuel-cell share"
+    );
     let s = sweep::sweep_carbon_tax(2012, 24, settings, &[0.0, 25.0, 60.0, 100.0, 140.0, 200.0])?;
     for p in &s.points {
         println!(
@@ -43,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Brackets: first 2 t/h cheap, next 4 t/h at $80/ton, beyond at $250/ton.
     let stepped = ScenarioBuilder::paper_default()
         .hours(24)
-        .emission_cost(EmissionCostFn::stepped(vec![2.0, 6.0], vec![25.0, 80.0, 250.0])?)
+        .emission_cost(EmissionCostFn::stepped(
+            vec![2.0, 6.0],
+            vec![25.0, 80.0, 250.0],
+        )?)
         .build()?;
 
     let mut flat_tons = 0.0;
@@ -58,8 +64,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         flat_util += fa.breakdown.fuel_cell_utilization / 24.0;
         stepped_util += fb.breakdown.fuel_cell_utilization / 24.0;
     }
-    println!("flat $25/ton tax:    {flat_tons:.1} t emitted, {:.1}% fuel-cell share", 100.0 * flat_util);
-    println!("stepped 25/80/250:   {stepped_tons:.1} t emitted, {:.1}% fuel-cell share", 100.0 * stepped_util);
+    println!(
+        "flat $25/ton tax:    {flat_tons:.1} t emitted, {:.1}% fuel-cell share",
+        100.0 * flat_util
+    );
+    println!(
+        "stepped 25/80/250:   {stepped_tons:.1} t emitted, {:.1}% fuel-cell share",
+        100.0 * stepped_util
+    );
     println!(
         "→ bracketed pricing caps emissions near the bracket knees without \
          raising the entry rate — and ADM-G handles its non-smooth V_j directly."

@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let inst = &scenario.instances[0];
     let settings = AdmgSettings::default();
 
-    // Distributed protocol over crossbeam channels (one thread per node).
+    // Distributed protocol over OS threads and mpsc channels (one per node).
     let report = DistributedAdmg::new(settings).run(inst, Strategy::Hybrid, Runtime::Threaded)?;
     println!(
         "distributed run: {} iterations, UFC = {:.2} $",

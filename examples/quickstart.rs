@@ -12,7 +12,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One hour of the paper's §IV-A setup: 4 datacenters (Calgary, San Jose,
     // Dallas, Pittsburgh), 10 front-ends, synthetic workload/price/carbon
     // traces calibrated to the paper's data sources.
-    let scenario = ScenarioBuilder::paper_default().seed(42).hours(13).build()?;
+    let scenario = ScenarioBuilder::paper_default()
+        .seed(42)
+        .hours(13)
+        .build()?;
     let noon = &scenario.instances[12];
     println!(
         "instance: {} front-ends, {} datacenters, {:.1}k servers of demand",

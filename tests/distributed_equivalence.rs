@@ -8,7 +8,11 @@ use ufc_model::scenario::ScenarioBuilder;
 
 #[test]
 fn three_paths_one_answer() {
-    let scenario = ScenarioBuilder::paper_default().seed(11).hours(2).build().unwrap();
+    let scenario = ScenarioBuilder::paper_default()
+        .seed(11)
+        .hours(2)
+        .build()
+        .unwrap();
     let settings = AdmgSettings::default();
     let solver = AdmgSolver::new(settings);
     let dist = DistributedAdmg::new(settings);
@@ -39,7 +43,11 @@ fn three_paths_one_answer() {
 fn fuel_cell_strategy_distributed_matches_memory() {
     // FuelCellOnly has no centralized-QP comparison here (ν ≡ 0 makes it a
     // pure routing problem), but distributed and in-memory must still match.
-    let scenario = ScenarioBuilder::paper_default().seed(13).hours(2).build().unwrap();
+    let scenario = ScenarioBuilder::paper_default()
+        .seed(13)
+        .hours(2)
+        .build()
+        .unwrap();
     let settings = AdmgSettings::default();
     let solver = AdmgSolver::new(settings);
     let dist = DistributedAdmg::new(settings);

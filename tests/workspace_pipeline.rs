@@ -9,7 +9,11 @@ use ufc_model::{evaluate, EmissionCostFn};
 #[test]
 fn full_pipeline_one_day() {
     // Build a day from the trace substrate.
-    let scenario = ScenarioBuilder::paper_default().seed(99).hours(24).build().unwrap();
+    let scenario = ScenarioBuilder::paper_default()
+        .seed(99)
+        .hours(24)
+        .build()
+        .unwrap();
     assert_eq!(scenario.hours(), 24);
 
     // Solve a peak hour three ways and cross-check against the centralized QP.
@@ -18,8 +22,8 @@ fn full_pipeline_one_day() {
     let hybrid = solver.solve(inst, Strategy::Hybrid).unwrap();
     assert!(hybrid.converged);
     let central = centralized::solve(inst, Strategy::Hybrid, centralized::Backend::Admm).unwrap();
-    let gap = (central.breakdown.ufc() - hybrid.breakdown.ufc()).abs()
-        / central.breakdown.ufc().abs();
+    let gap =
+        (central.breakdown.ufc() - hybrid.breakdown.ufc()).abs() / central.breakdown.ufc().abs();
     assert!(gap < 5e-3, "optimality gap {gap}");
 
     // The solver's reported breakdown is reproducible through the public
@@ -63,10 +67,7 @@ fn emission_cost_variants_run_end_to_end() {
         let sol = AdmgSolver::new(AdmgSettings::default())
             .solve(&scenario.instances[0], Strategy::Hybrid)
             .unwrap();
-        assert!(
-            sol.converged,
-            "ADM-G failed to converge under {cost:?}"
-        );
+        assert!(sol.converged, "ADM-G failed to converge under {cost:?}");
         assert!(sol.point.feasibility_residual(&scenario.instances[0]) < 1e-6);
     }
 }
