@@ -49,6 +49,7 @@ pub mod centralized;
 pub mod correction;
 mod error;
 pub mod generic;
+mod pool;
 pub mod repair;
 pub mod right_sizing;
 mod settings;
@@ -57,12 +58,15 @@ mod solver;
 pub mod state;
 mod strategy;
 pub mod subproblems;
+mod workspace;
 
 pub use error::CoreError;
+pub use pool::WorkerPool;
 pub use settings::{AdmgSettings, SubproblemMethod};
 pub use solver::{AdmgSolution, AdmgSolver, IterationRecord};
 pub use state::AdmgState;
 pub use strategy::{solve_all_strategies, Strategy, StrategyComparison};
+pub use workspace::{AColQp, LambdaQp};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

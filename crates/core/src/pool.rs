@@ -1,0 +1,173 @@
+//! Scoped worker pool for the per-block ADM-G sub-problem phases.
+//!
+//! The paper's reformulation (13) makes the λ-step separable per front-end
+//! and the μ/ν/a-steps separable per datacenter, so each prediction phase is
+//! an embarrassingly parallel map over independent blocks. [`WorkerPool`]
+//! fans such a map across scoped OS threads (no `'static` bounds, no
+//! channels, no external dependencies) while writing every block's result
+//! into its own pre-assigned slot — results come back in input order no
+//! matter how the OS schedules the workers, which is what makes parallel
+//! ADM-G runs bit-identical to sequential ones.
+
+/// A fixed-width scoped-thread pool.
+///
+/// The pool itself is stateless (threads are spawned per call and joined
+/// before returning); what it provides is the deterministic chunked fan-out
+/// used by [`crate::AdmgSolver`] and the distributed lockstep engine.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool with the given width. `0` means "use all available
+    /// cores" (via [`std::thread::available_parallelism`]); `1` runs every
+    /// map inline on the calling thread. Widths beyond the machine's
+    /// available parallelism are clamped down to it: the sub-problem maps
+    /// are CPU-bound, so oversubscribing cores only adds spawn/join
+    /// overhead, and because parallel runs are bit-identical to sequential
+    /// ones the clamp can never change a result.
+    #[must_use]
+    pub fn new(num_threads: usize) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let threads = if num_threads == 0 {
+            cores
+        } else {
+            num_threads.min(cores)
+        };
+        WorkerPool { threads }
+    }
+
+    /// A pool of exactly `threads` workers, skipping the core-count clamp.
+    /// Test-only: lets the chunked spawn path run even on small machines.
+    #[cfg(test)]
+    fn exact(threads: usize) -> Self {
+        WorkerPool { threads }
+    }
+
+    /// Effective worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item (receiving the item index and a mutable
+    /// borrow), splitting the index space across up to `threads()` scoped
+    /// threads. Results are returned in input order regardless of
+    /// scheduling, and each invocation of `f` observes exactly the same
+    /// inputs as a sequential run — so parallel output is bit-identical to
+    /// `items.iter_mut().enumerate().map(...)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker panics.
+    pub fn map_mut<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        let threads = self.threads.min(items.len()).max(1);
+        if threads <= 1 {
+            return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let chunk = items.len().div_ceil(threads);
+        let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+        results.resize_with(items.len(), || None);
+        std::thread::scope(|scope| {
+            // Walk the item and result buffers in lockstep, carving one
+            // disjoint contiguous chunk per worker.
+            let mut rest_items: &mut [T] = items;
+            let mut rest_results: &mut [Option<R>] = &mut results;
+            let mut start = 0;
+            let mut handles = Vec::new();
+            while !rest_items.is_empty() {
+                let take = chunk.min(rest_items.len());
+                let (item_head, item_tail) = rest_items.split_at_mut(take);
+                let (result_head, result_tail) = rest_results.split_at_mut(take);
+                rest_items = item_tail;
+                rest_results = result_tail;
+                let begin = start;
+                start += take;
+                let fref = &f;
+                handles.push(scope.spawn(move || {
+                    for (off, (item, slot)) in
+                        item_head.iter_mut().zip(result_head.iter_mut()).enumerate()
+                    {
+                        *slot = Some(fref(begin + off, item));
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("worker thread panicked");
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("worker left a hole"))
+            .collect()
+    }
+}
+
+impl Default for WorkerPool {
+    /// A single-threaded (inline) pool.
+    fn default() -> Self {
+        WorkerPool::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_mutates_in_place() {
+        let mut items: Vec<usize> = (0..37).collect();
+        let out = WorkerPool::exact(4).map_mut(&mut items, |i, x| {
+            assert_eq!(i, *x);
+            *x += 100;
+            *x * 2
+        });
+        assert_eq!(out, (0..37).map(|x| (x + 100) * 2).collect::<Vec<_>>());
+        assert_eq!(items, (100..137).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let work = |i: usize, x: &mut f64| {
+            // Non-trivial float arithmetic: parallel must match bit-for-bit.
+            *x = (*x + i as f64).sin() * 1e6;
+            (*x).to_bits()
+        };
+        for threads in [2, 4, 8] {
+            let mut seq: Vec<f64> = (0..100).map(|i| i as f64 * 0.37).collect();
+            let mut par = seq.clone();
+            let a = WorkerPool::new(1).map_mut(&mut seq, work);
+            let b = WorkerPool::exact(threads).map_mut(&mut par, work);
+            assert_eq!(a, b, "{threads} threads diverged");
+            assert_eq!(seq, par);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let mut empty: Vec<i32> = vec![];
+        let out: Vec<i32> = WorkerPool::exact(4).map_mut(&mut empty, |_, &mut x| x);
+        assert!(out.is_empty());
+        let mut one = vec![7];
+        let out = WorkerPool::exact(16).map_mut(&mut one, |_, x| *x + 1);
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn width_resolution() {
+        let cores = WorkerPool::new(0).threads();
+        assert!(cores >= 1);
+        // Explicit widths are honored up to the core count, then clamped.
+        assert_eq!(WorkerPool::new(3).threads(), 3.min(cores));
+        assert_eq!(WorkerPool::new(1).threads(), 1);
+        assert_eq!(WorkerPool::default().threads(), 1);
+    }
+}

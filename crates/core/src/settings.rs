@@ -29,6 +29,18 @@ pub struct AdmgSettings {
     pub eps_dual: f64,
     /// Sub-problem solver selection.
     pub method: SubproblemMethod,
+    /// Worker threads for the per-block prediction phases (`0` = use all
+    /// available cores, `1` = sequential). Per-block results are gathered in
+    /// a fixed order, so every thread count produces bit-identical iterates.
+    pub num_threads: usize,
+    /// Reuse cached KKT factorizations and warm-started iterates across
+    /// ADM-G iterations. The sub-problem Hessians (`ρI`-shifted quadratics)
+    /// are constant while only the linear terms move, so each block's KKT
+    /// system is factored once per working set and reused every iteration.
+    /// `false` reproduces the pre-caching behavior — cold starts and fresh
+    /// factorizations every iteration — and exists for benchmarking the
+    /// cached path against it.
+    pub cache_factorizations: bool,
 }
 
 impl Default for AdmgSettings {
@@ -49,6 +61,8 @@ impl Default for AdmgSettings {
             eps_balance: 1e-3,
             eps_dual: 1e-3,
             method: SubproblemMethod::ActiveSet,
+            num_threads: 1,
+            cache_factorizations: true,
         }
     }
 }
@@ -151,6 +165,20 @@ impl AdmgSettings {
         self.method = method;
         self
     }
+
+    /// Returns a copy using the given worker-thread count (`0` = auto).
+    #[must_use]
+    pub fn with_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Returns a copy with factorization caching and warm starts toggled.
+    #[must_use]
+    pub fn with_factorization_caching(mut self, enabled: bool) -> Self {
+        self.cache_factorizations = enabled;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -204,10 +232,21 @@ mod tests {
         let s = AdmgSettings::default()
             .with_rho(1.0)
             .with_epsilon(0.8)
-            .with_method(SubproblemMethod::Fista);
+            .with_method(SubproblemMethod::Fista)
+            .with_threads(4)
+            .with_factorization_caching(false);
         assert_eq!(s.rho, 1.0);
         assert_eq!(s.epsilon, 0.8);
         assert_eq!(s.method, SubproblemMethod::Fista);
+        assert_eq!(s.num_threads, 4);
+        assert!(!s.cache_factorizations);
         s.validate();
+    }
+
+    #[test]
+    fn default_is_sequential_with_caching() {
+        let s = AdmgSettings::default();
+        assert_eq!(s.num_threads, 1);
+        assert!(s.cache_factorizations);
     }
 }

@@ -1,9 +1,10 @@
 use ufc_model::{evaluate, OperatingPoint, UfcBreakdown, UfcInstance};
 
 use crate::correction::gaussian_back_substitution;
+use crate::pool::WorkerPool;
 use crate::repair::assemble_point;
 use crate::strategy::Strategy;
-use crate::subproblems::{a_step, dual_step, lambda_step, mu_step, nu_step};
+use crate::workspace::SolverWorkspace;
 use crate::{AdmgSettings, AdmgState, CoreError, Result};
 
 /// Per-iteration residual record (the raw material of Fig. 11).
@@ -142,51 +143,30 @@ impl AdmgSolver {
 
         let (link_tol, balance_tol, dual_tol) = s.scaled_tolerances(instance);
 
+        // Persistent per-block kernels: sub-problem Hessians and constraints
+        // are constant across iterations, so each block's KKT factorizations
+        // are cached and its buffers reused for the whole run. The worker
+        // pool fans the per-front-end and per-datacenter solves; results are
+        // gathered in block order, so every thread count (and the sequential
+        // path) produces bit-identical iterates.
+        let pool = WorkerPool::new(s.num_threads);
+        let mut ws = SolverWorkspace::new(instance, s, active_mu, active_nu);
+
         for k in 0..s.max_iterations {
             iterations = k + 1;
-            // --- Prediction (ADMM) step, forward order.
-            let lambda_tilde = lambda_step(instance, rho, s.method, &state)?;
-            let mu_tilde = mu_step(instance, rho, &state, active_mu);
-            let nu_tilde = nu_step(instance, rho, &state, &mu_tilde, active_nu);
-            let a_tilde = a_step(
-                instance,
-                rho,
-                s.method,
-                &state,
-                &lambda_tilde,
-                &mu_tilde,
-                &nu_tilde,
-            )?;
-            let (phi_tilde, varphi_tilde) = dual_step(
-                instance,
-                rho,
-                &state,
-                &lambda_tilde,
-                &mu_tilde,
-                &nu_tilde,
-                &a_tilde,
-            );
-            let tilde = AdmgState {
-                m: state.m,
-                n: state.n,
-                lambda: lambda_tilde,
-                mu: mu_tilde,
-                nu: nu_tilde,
-                a: a_tilde,
-                phi: phi_tilde,
-                varphi: varphi_tilde,
-            };
+            // --- Prediction (ADMM) step, forward order λ → μ → ν → a → duals.
+            ws.predict(instance, &state, &pool)?;
 
             // --- Correction (Gaussian back substitution), backward order.
-            let previous = state.clone();
+            ws.prev.clone_from(&state);
             gaussian_back_substitution(
-                instance, &mut state, &tilde, s.epsilon, active_mu, active_nu,
+                instance, &mut state, &ws.tilde, s.epsilon, active_mu, active_nu,
             );
 
             // --- Residuals.
             let link = state.link_residual();
             let balance = state.balance_residual(instance);
-            let dual = rho * iterate_movement(&previous, &state);
+            let dual = rho * iterate_movement(&ws.prev, &state);
             history.push(IterationRecord {
                 iteration: k,
                 link_residual: link,

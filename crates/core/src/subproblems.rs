@@ -26,8 +26,14 @@ use crate::{AdmgState, CoreError, Result, SubproblemMethod};
 
 /// Iteration caps/tolerances for the inner QP solves; much tighter than the
 /// outer loop so sub-problem error never dominates the ADM-G residuals.
-const FISTA_MAX_ITER: usize = 50_000;
-const FISTA_TOL: f64 = 1e-10;
+/// Shared with the persistent kernels in [`crate::workspace`] so the cached
+/// and uncached paths solve identical problems.
+pub(crate) const FISTA_MAX_ITER: usize = 50_000;
+pub(crate) const FISTA_TOL: f64 = 1e-10;
+/// The congestion barrier's curvature makes ultra-tight inner tolerances
+/// disproportionately expensive; 1e-8 keeps the inner error two orders below
+/// the outer stopping rule.
+pub(crate) const FISTA_CONGESTED_TOL: f64 = 1e-8;
 
 /// λ-minimization (17): each front-end solves a simplex-constrained QP with
 /// Hessian `ρI + (2w/A_i)·L_i L_iᵀ` and linear term `φ_ij − ρ a_ij`.
@@ -46,21 +52,29 @@ pub fn lambda_step(
     let (m, n) = (state.m, state.n);
     let w = instance.weight_per_kserver();
     let mut lambda_tilde = vec![0.0; m * n];
+    // The constraint data is identical for every front-end and the Hessian
+    // diagonal is always ρI — build them once and retarget the objective's
+    // rank-one latency term and linear term per block, borrowing the latency
+    // row instead of cloning it.
+    let a_eq = Matrix::from_fn(1, n, |_, _| 1.0);
+    let a_in = Matrix::from_fn(n, n, |r, cidx| if r == cidx { -1.0 } else { 0.0 });
+    let b_in = vec![0.0; n];
+    let mut c = vec![0.0; n];
+    let mut objective =
+        QuadObjective::diag_rank1(vec![rho; n], 0.0, vec![0.0; n], vec![0.0; n], 0.0);
     for i in 0..m {
         let arrival = instance.arrivals[i];
         let gamma = disutility_rank1_gamma(w, arrival);
-        let latencies = instance.latency_s[i].clone();
-        let c: Vec<f64> = (0..n)
-            .map(|j| state.varphi[state.idx(i, j)] - rho * state.a[state.idx(i, j)])
-            .collect();
-        let objective = QuadObjective::diag_rank1(vec![rho; n], gamma, latencies, c, 0.0);
+        objective.set_rank1(gamma, &instance.latency_s[i]);
+        for (j, cj) in c.iter_mut().enumerate() {
+            *cj = state.varphi[state.idx(i, j)] - rho * state.a[state.idx(i, j)];
+        }
+        objective.set_linear(&c);
         let start = vec![arrival / n as f64; n];
         let row = match method {
             SubproblemMethod::ActiveSet => {
-                let a_eq = Matrix::from_fn(1, n, |_, _| 1.0);
-                let a_in = Matrix::from_fn(n, n, |r, cidx| if r == cidx { -1.0 } else { 0.0 });
                 ActiveSetQp::default()
-                    .solve(&objective, &a_eq, &[arrival], &a_in, &vec![0.0; n], start)
+                    .solve(&objective, &a_eq, &[arrival], &a_in, &b_in, start)
                     .map_err(|e| CoreError::subproblem(format!("lambda[{i}]"), e))?
                     .x
             }
@@ -76,6 +90,66 @@ pub fn lambda_step(
     Ok(lambda_tilde)
 }
 
+/// Closed-form μ-minimization for a single datacenter, parameterized on raw
+/// scalars: `μ̃ = clamp(demand − ν − (φ + fuel_cost_h)/ρ, 0, μ_max)` where
+/// `fuel_cost_h = h·p₀` is the per-slot fuel-cell price.
+///
+/// This is the single definition shared by [`mu_step`], the solver's fused
+/// datacenter phase, and the distributed datacenter node — their iterates
+/// must match bit-for-bit.
+#[must_use]
+pub fn mu_scalar_step(
+    demand: f64,
+    nu: f64,
+    phi: f64,
+    fuel_cost_h: f64,
+    rho: f64,
+    mu_max: f64,
+) -> f64 {
+    scalar::prox_linear_quadratic(demand - nu, phi + fuel_cost_h, rho, 0.0, mu_max)
+}
+
+/// Closed-form / bisection ν-minimization for a single datacenter,
+/// parameterized on raw scalars: `grid_cost_h = h·p_j` and
+/// `carbon_h = C_j·h`. Shared by [`nu_step`], the solver's fused datacenter
+/// phase, and the distributed datacenter node (bit-for-bit).
+#[must_use]
+pub fn nu_scalar_step(
+    demand: f64,
+    mu_tilde: f64,
+    phi: f64,
+    grid_cost_h: f64,
+    carbon_h: f64,
+    emission: &EmissionCostFn,
+    rho: f64,
+) -> f64 {
+    let d = demand - mu_tilde;
+    let ch = carbon_h;
+    let base = grid_cost_h + phi;
+    match emission {
+        EmissionCostFn::Linear { rate } => {
+            scalar::prox_linear_quadratic(d, base + rate * ch, rho, 0.0, f64::INFINITY)
+        }
+        EmissionCostFn::Quadratic { linear, quad } => {
+            // Stationarity: l·ch + 2q·ch²·ν + base + ρ(ν − d) = 0.
+            let nu = (rho * d - linear * ch - base) / (rho + 2.0 * quad * ch * ch);
+            nu.max(0.0)
+        }
+        stepped @ EmissionCostFn::Stepped { .. } => {
+            let df = |nu: f64| ch * stepped.marginal(ch * nu) + base + rho * (nu - d);
+            // Expand the bracket until the derivative turns positive.
+            let mut hi = (2.0 * d.abs()).max(1.0);
+            for _ in 0..120 {
+                if df(hi) > 0.0 {
+                    break;
+                }
+                hi *= 2.0;
+            }
+            scalar::bisect_derivative(df, 0.0, hi, 1e-12 * (1.0 + hi))
+        }
+    }
+}
+
 /// μ-minimization (18): the closed-form clamp
 /// `μ̃_j = clamp(α_j + β_j Σ_i a_ij − ν_j − (φ_j + h·p₀)/ρ, 0, μ_j^max)`.
 ///
@@ -89,12 +163,12 @@ pub fn mu_step(instance: &UfcInstance, rho: f64, state: &AdmgState, active: bool
     let loads = state.a_loads();
     (0..state.n)
         .map(|j| {
-            let d = instance.demand_mw(j, loads[j]) - state.nu[j];
-            scalar::prox_linear_quadratic(
-                d,
-                state.phi[j] + h * instance.fuel_cell_price,
+            mu_scalar_step(
+                instance.demand_mw(j, loads[j]),
+                state.nu[j],
+                state.phi[j],
+                h * instance.fuel_cell_price,
                 rho,
-                0.0,
                 instance.mu_max[j],
             )
         })
@@ -123,31 +197,15 @@ pub fn nu_step(
     let loads = state.a_loads();
     (0..state.n)
         .map(|j| {
-            let d = instance.demand_mw(j, loads[j]) - mu_tilde[j];
-            let ch = instance.carbon_t_per_mwh[j] * h;
-            let base = h * instance.grid_price[j] + state.phi[j];
-            match &instance.emission_cost[j] {
-                EmissionCostFn::Linear { rate } => {
-                    scalar::prox_linear_quadratic(d, base + rate * ch, rho, 0.0, f64::INFINITY)
-                }
-                EmissionCostFn::Quadratic { linear, quad } => {
-                    // Stationarity: l·ch + 2q·ch²·ν + base + ρ(ν − d) = 0.
-                    let nu = (rho * d - linear * ch - base) / (rho + 2.0 * quad * ch * ch);
-                    nu.max(0.0)
-                }
-                stepped @ EmissionCostFn::Stepped { .. } => {
-                    let df = |nu: f64| ch * stepped.marginal(ch * nu) + base + rho * (nu - d);
-                    // Expand the bracket until the derivative turns positive.
-                    let mut hi = (2.0 * d.abs()).max(1.0);
-                    for _ in 0..120 {
-                        if df(hi) > 0.0 {
-                            break;
-                        }
-                        hi *= 2.0;
-                    }
-                    scalar::bisect_derivative(df, 0.0, hi, 1e-12 * (1.0 + hi))
-                }
-            }
+            nu_scalar_step(
+                instance.demand_mw(j, loads[j]),
+                mu_tilde[j],
+                state.phi[j],
+                h * instance.grid_price[j],
+                instance.carbon_t_per_mwh[j] * h,
+                &instance.emission_cost[j],
+                rho,
+            )
         })
         .collect()
 }
@@ -221,34 +279,43 @@ pub fn a_step(
 ) -> Result<Vec<f64>> {
     let (m, n) = (state.m, state.n);
     let mut a_tilde = vec![0.0; m * n];
+    // Constraint rows (−a_i ≤ 0 for each i, then Σ_i a_i ≤ S_j) and the
+    // objective buffers are shared across datacenters; only the cap entry,
+    // the rank-one coefficient and the linear term are retargeted per block.
+    let a_eq = Matrix::zeros(0, m);
+    let mut a_in = Matrix::zeros(m + 1, m);
+    let mut b_in = vec![0.0; m + 1];
+    for i in 0..m {
+        a_in[(i, i)] = -1.0;
+        a_in[(m, i)] = 1.0;
+    }
+    let ones = vec![1.0; m];
+    let mut c = vec![0.0; m];
+    let mut objective =
+        QuadObjective::diag_rank1(vec![rho; m], 0.0, ones.clone(), vec![0.0; m], 0.0);
     for j in 0..n {
         let beta = instance.beta[j];
         let drift = instance.alpha[j] - mu_tilde[j] - nu_tilde[j];
-        let c: Vec<f64> = (0..m)
-            .map(|i| {
-                -rho * lambda_tilde[state.idx(i, j)]
-                    - state.varphi[state.idx(i, j)]
-                    - state.phi[j] * beta
-                    + rho * beta * drift
-            })
-            .collect();
-        let objective =
-            QuadObjective::diag_rank1(vec![rho; m], rho * beta * beta, vec![1.0; m], c, 0.0);
+        for i in 0..m {
+            c[i] = -rho * lambda_tilde[state.idx(i, j)]
+                - state.varphi[state.idx(i, j)]
+                - state.phi[j] * beta
+                + rho * beta * drift;
+        }
+        objective.set_rank1(rho * beta * beta, &ones);
+        objective.set_linear(&c);
         let cap = instance.capacities[j];
         if let Some(q) = &instance.queueing {
             // Congested path: barrier objective over the shrunk cap.
-            let objective = CongestedAStep {
-                quad: objective,
+            let congested = CongestedAStep {
+                quad: objective.clone(),
                 queueing: *q,
                 capacity: cap,
             };
             let cap_q = q.load_cap(cap).min(cap);
-            // The barrier's curvature makes ultra-tight inner tolerances
-            // disproportionately expensive; 1e-8 keeps the inner error two
-            // orders below the outer stopping rule.
-            let col = Fista::new(FISTA_MAX_ITER, 1e-8)
+            let col = Fista::new(FISTA_MAX_ITER, FISTA_CONGESTED_TOL)
                 .minimize_adaptive(
-                    &objective,
+                    &congested,
                     |x| project_capped_simplex(x, cap_q),
                     vec![0.0; m],
                 )
@@ -261,25 +328,9 @@ pub fn a_step(
         }
         let col = match method {
             SubproblemMethod::ActiveSet => {
-                // Rows: −a_i ≤ 0 for each i, then Σ_i a_i ≤ S_j.
-                let mut a_in = Matrix::zeros(m + 1, m);
-                let mut b_in = vec![0.0; m + 1];
-                for i in 0..m {
-                    a_in[(i, i)] = -1.0;
-                }
-                for i in 0..m {
-                    a_in[(m, i)] = 1.0;
-                }
                 b_in[m] = cap;
                 ActiveSetQp::default()
-                    .solve(
-                        &objective,
-                        &Matrix::zeros(0, m),
-                        &[],
-                        &a_in,
-                        &b_in,
-                        vec![0.0; m],
-                    )
+                    .solve(&objective, &a_eq, &[], &a_in, &b_in, vec![0.0; m])
                     .map_err(|e| CoreError::subproblem(format!("a[{j}]"), e))?
                     .x
             }

@@ -1,0 +1,642 @@
+//! Persistent per-block solver workspaces for the ADM-G hot path.
+//!
+//! Across ADM-G iterations every sub-problem QP keeps the *same* Hessian and
+//! constraints — only the linear term (built from the current duals and
+//! iterates) moves. The λ-QP of front-end `i` always has Hessian
+//! `ρI + (2w/A_i)·L_i L_iᵀ` over the simplex `{λ ≥ 0, Σλ = A_i}`, and the
+//! a-QP of datacenter `j` always has `ρ(I + β_j²·1 1ᵀ)` over the capped
+//! simplex. [`LambdaQp`] and [`AColQp`] exploit that: each owns its block's
+//! objective and constraint matrices once, keeps a [`KktCache`] of LDLᵀ
+//! factorizations keyed by active-set working set, and warm-starts from the
+//! previous iterate, so steady-state iterations solve each block with cached
+//! factors instead of re-assembling and re-factoring the KKT system.
+//!
+//! # Cache and warm-start invariants
+//!
+//! * A kernel is valid for one `(instance row/column, ρ, method)` tuple —
+//!   its cache keys assume a fixed Hessian and constraint set. Changing ρ or
+//!   retargeting to a different block requires building a new kernel (the
+//!   solver builds a fresh [`SolverWorkspace`] per `solve_warm` call, so
+//!   this holds by construction).
+//! * The cache is a pure memoization: cached solves are **bit-identical** to
+//!   fresh ones (asserted by tests in `ufc-opt`), so enabling it never
+//!   perturbs the iterate trajectory.
+//! * Warm starts use a deterministic feasibility gate: the previous iterate
+//!   is used as the QP start only when it satisfies the block's constraints
+//!   to tight tolerance, otherwise the kernel falls back to the classic cold
+//!   start (uniform for λ, zero for a). The gate depends only on the iterate
+//!   values, never on timing or thread count, preserving determinism.
+
+use ufc_linalg::Matrix;
+use ufc_model::{utility::disutility_rank1_gamma, QueueingCost, UfcInstance};
+use ufc_opt::projection::{project_capped_simplex, project_simplex};
+use ufc_opt::{ActiveSetQp, Fista, KktCache, QuadObjective};
+
+use crate::pool::WorkerPool;
+use crate::subproblems::{
+    mu_scalar_step, nu_scalar_step, CongestedAStep, FISTA_CONGESTED_TOL, FISTA_MAX_ITER, FISTA_TOL,
+};
+use crate::{AdmgSettings, AdmgState, CoreError, Result, SubproblemMethod};
+
+/// Entry tolerance for accepting a previous iterate as a warm start:
+/// component-wise nonnegativity slack.
+const WARM_NONNEG_TOL: f64 = 1e-9;
+/// Relative tolerance on the coupling row (Σλ = A_i, Σa ≤ S_j) for warm
+/// starts; tighter than the active-set solver's own feasibility check so an
+/// accepted warm start is never rejected downstream.
+const WARM_ROW_TOL: f64 = 1e-7;
+/// Entries of an accepted warm start at or below this value are snapped to
+/// exactly zero and their nonnegativity rows seed the active-set working
+/// set — the solver then starts on the previous iterate's support instead
+/// of re-discovering it one blocking constraint per KKT solve.
+const WARM_SNAP_TOL: f64 = 1e-10;
+
+/// Snaps near-zero warm-start entries to exact zeros and returns the seeded
+/// working-set rows (the snapped indices). An all-zero result clears the
+/// seed: a zero iterate carries no support information and coincides with
+/// the classic cold start, which must stay bit-identical to the unseeded
+/// reference path.
+fn snap_support(x: &mut [f64]) -> Vec<usize> {
+    let mut seed = Vec::new();
+    for (i, xi) in x.iter_mut().enumerate() {
+        if *xi <= WARM_SNAP_TOL {
+            *xi = 0.0;
+            seed.push(i);
+        }
+    }
+    if seed.len() == x.len() {
+        seed.clear();
+    }
+    seed
+}
+
+/// Persistent solver kernel for one front-end's λ-QP (paper Eq. (17)).
+///
+/// Owns the block's objective (Hessian fixed at construction, linear term
+/// retargeted per solve), its simplex constraint matrices, and a KKT
+/// factorization cache shared across solves.
+#[derive(Debug, Clone)]
+pub struct LambdaQp {
+    arrival: f64,
+    method: SubproblemMethod,
+    objective: QuadObjective,
+    a_eq: Matrix,
+    a_in: Matrix,
+    b_in: Vec<f64>,
+    cache: KktCache,
+}
+
+impl LambdaQp {
+    /// Builds the kernel for a front-end with the given latency row,
+    /// arrival rate, disutility weight `w` and penalty ρ. With
+    /// `caching = false` the factorization cache is disabled (every solve
+    /// re-factors, reproducing the pre-caching behavior bit-for-bit).
+    #[must_use]
+    pub fn new(
+        latencies: &[f64],
+        arrival: f64,
+        w: f64,
+        rho: f64,
+        method: SubproblemMethod,
+        caching: bool,
+    ) -> Self {
+        let n = latencies.len();
+        let gamma = disutility_rank1_gamma(w, arrival);
+        let objective =
+            QuadObjective::diag_rank1(vec![rho; n], gamma, latencies.to_vec(), vec![0.0; n], 0.0);
+        LambdaQp {
+            arrival,
+            method,
+            objective,
+            a_eq: Matrix::from_fn(1, n, |_, _| 1.0),
+            a_in: Matrix::from_fn(n, n, |r, c| if r == c { -1.0 } else { 0.0 }),
+            b_in: vec![0.0; n],
+            cache: if caching {
+                KktCache::default()
+            } else {
+                KktCache::disabled()
+            },
+        }
+    }
+
+    /// Solves the block QP for linear term `c`, warm-starting from `warm`
+    /// when it passes the deterministic feasibility gate (otherwise the
+    /// classic uniform start `A_i/n` is used, matching the cold path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the inner QP solver's error.
+    pub fn solve(&mut self, c: &[f64], warm: Option<&[f64]>) -> ufc_opt::Result<Vec<f64>> {
+        self.objective.set_linear(c);
+        let (start, seed) = self.start_point(warm);
+        match self.method {
+            SubproblemMethod::ActiveSet => Ok(ActiveSetQp::default()
+                .solve_seeded(
+                    &self.objective,
+                    &self.a_eq,
+                    &[self.arrival],
+                    &self.a_in,
+                    &self.b_in,
+                    start,
+                    &mut self.cache,
+                    &seed,
+                )?
+                .x),
+            SubproblemMethod::Fista => {
+                let arrival = self.arrival;
+                Ok(Fista::new(FISTA_MAX_ITER, FISTA_TOL)
+                    .minimize(&self.objective, |x| project_simplex(x, arrival), start)?
+                    .x)
+            }
+        }
+    }
+
+    /// Cache hit count (diagnostics).
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    fn start_point(&self, warm: Option<&[f64]>) -> (Vec<f64>, Vec<usize>) {
+        let n = self.b_in.len();
+        if let Some(w) = warm {
+            if w.len() == n {
+                let sum: f64 = w.iter().sum();
+                let nonneg = w.iter().all(|&v| v >= -WARM_NONNEG_TOL);
+                if nonneg && (sum - self.arrival).abs() <= WARM_ROW_TOL * (1.0 + self.arrival.abs())
+                {
+                    let mut x = w.to_vec();
+                    let seed = snap_support(&mut x);
+                    return (x, seed);
+                }
+            }
+        }
+        (vec![self.arrival / n as f64; n], Vec::new())
+    }
+}
+
+/// Persistent solver kernel for one datacenter's a-QP column (paper
+/// Eq. (20)), optionally with the congestion-barrier extension.
+#[derive(Debug, Clone)]
+pub struct AColQp {
+    capacity: f64,
+    method: SubproblemMethod,
+    objective: QuadObjective,
+    a_eq: Matrix,
+    a_in: Matrix,
+    b_in: Vec<f64>,
+    queueing: Option<QueueingCost>,
+    cache: KktCache,
+}
+
+impl AColQp {
+    /// Builds the kernel for a datacenter column: `m` front-ends, penalty ρ,
+    /// power-proportionality slope β, capacity cap, and the optional
+    /// queueing (congestion) extension.
+    #[must_use]
+    pub fn new(
+        m: usize,
+        rho: f64,
+        beta: f64,
+        capacity: f64,
+        queueing: Option<QueueingCost>,
+        method: SubproblemMethod,
+        caching: bool,
+    ) -> Self {
+        let objective = QuadObjective::diag_rank1(
+            vec![rho; m],
+            rho * beta * beta,
+            vec![1.0; m],
+            vec![0.0; m],
+            0.0,
+        );
+        // Rows: −a_i ≤ 0 for each i, then Σ_i a_i ≤ S_j.
+        let mut a_in = Matrix::zeros(m + 1, m);
+        let mut b_in = vec![0.0; m + 1];
+        for i in 0..m {
+            a_in[(i, i)] = -1.0;
+            a_in[(m, i)] = 1.0;
+        }
+        b_in[m] = capacity;
+        AColQp {
+            capacity,
+            method,
+            objective,
+            a_eq: Matrix::zeros(0, m),
+            a_in,
+            b_in,
+            queueing,
+            cache: if caching {
+                KktCache::default()
+            } else {
+                KktCache::disabled()
+            },
+        }
+    }
+
+    /// Solves the column QP for linear term `c`, warm-starting from `warm`
+    /// when it passes the deterministic feasibility gate (otherwise from the
+    /// classic zero start).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the inner solver's error.
+    pub fn solve(&mut self, c: &[f64], warm: Option<&[f64]>) -> ufc_opt::Result<Vec<f64>> {
+        self.objective.set_linear(c);
+        if let Some(q) = self.queueing {
+            // Congested path: barrier objective over the shrunk cap; solved
+            // by backtracking FISTA regardless of the configured method.
+            let cap_q = q.load_cap(self.capacity).min(self.capacity);
+            let (start, _) = self.start_point(warm, cap_q);
+            let objective = CongestedAStep::new(self.objective.clone(), q, self.capacity);
+            return Ok(Fista::new(FISTA_MAX_ITER, FISTA_CONGESTED_TOL)
+                .minimize_adaptive(&objective, |x| project_capped_simplex(x, cap_q), start)?
+                .x);
+        }
+        let (start, seed) = self.start_point(warm, self.capacity);
+        match self.method {
+            SubproblemMethod::ActiveSet => Ok(ActiveSetQp::default()
+                .solve_seeded(
+                    &self.objective,
+                    &self.a_eq,
+                    &[],
+                    &self.a_in,
+                    &self.b_in,
+                    start,
+                    &mut self.cache,
+                    &seed,
+                )?
+                .x),
+            SubproblemMethod::Fista => {
+                let cap = self.capacity;
+                Ok(Fista::new(FISTA_MAX_ITER, FISTA_TOL)
+                    .minimize(&self.objective, |x| project_capped_simplex(x, cap), start)?
+                    .x)
+            }
+        }
+    }
+
+    /// Cache hit count (diagnostics).
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    fn start_point(&self, warm: Option<&[f64]>, cap: f64) -> (Vec<f64>, Vec<usize>) {
+        let m = self.a_in.cols();
+        if let Some(w) = warm {
+            if w.len() == m {
+                let sum: f64 = w.iter().sum();
+                let nonneg = w.iter().all(|&v| v >= -WARM_NONNEG_TOL);
+                if nonneg && sum <= cap * (1.0 + WARM_NONNEG_TOL) + WARM_NONNEG_TOL {
+                    let mut x = w.to_vec();
+                    // Only the m nonnegativity rows are ever seeded — the
+                    // capacity row (index m) is left to the solver's own
+                    // blocking logic, which keeps every seeded working set
+                    // linearly independent by construction.
+                    let seed = snap_support(&mut x);
+                    return (x, seed);
+                }
+            }
+        }
+        (vec![0.0; m], Vec::new())
+    }
+}
+
+/// Per-front-end λ block: the kernel plus reusable linear-term and result
+/// buffers, so steady-state iterations allocate nothing per block.
+#[derive(Debug)]
+struct LambdaBlock {
+    c: Vec<f64>,
+    out: Vec<f64>,
+    qp: LambdaQp,
+}
+
+/// Per-datacenter μ/ν/a block (the three datacenter-owned prediction steps
+/// are fused: they share the column load and demand).
+#[derive(Debug)]
+struct ABlock {
+    c: Vec<f64>,
+    warm: Vec<f64>,
+    out: Vec<f64>,
+    mu: f64,
+    nu: f64,
+    qp: AColQp,
+}
+
+/// The solver-wide workspace: one persistent kernel per ADM-G block plus the
+/// reusable `tilde`/`prev` iterate buffers. Built once per
+/// [`crate::AdmgSolver::solve_warm`] call and reused across all iterations.
+#[derive(Debug)]
+pub(crate) struct SolverWorkspace {
+    /// Predicted (tilde) iterate, overwritten by each [`Self::predict`].
+    pub(crate) tilde: AdmgState,
+    /// Scratch copy of the pre-correction iterate (for the dual residual).
+    pub(crate) prev: AdmgState,
+    lambda_blocks: Vec<LambdaBlock>,
+    a_blocks: Vec<ABlock>,
+    rho: f64,
+    warm: bool,
+    active_mu: bool,
+    active_nu: bool,
+}
+
+impl SolverWorkspace {
+    pub(crate) fn new(
+        instance: &UfcInstance,
+        settings: &AdmgSettings,
+        active_mu: bool,
+        active_nu: bool,
+    ) -> Self {
+        let (m, n) = (instance.m_frontends(), instance.n_datacenters());
+        let w = instance.weight_per_kserver();
+        let caching = settings.cache_factorizations;
+        let lambda_blocks = (0..m)
+            .map(|i| LambdaBlock {
+                c: vec![0.0; n],
+                out: vec![0.0; n],
+                qp: LambdaQp::new(
+                    &instance.latency_s[i],
+                    instance.arrivals[i],
+                    w,
+                    settings.rho,
+                    settings.method,
+                    caching,
+                ),
+            })
+            .collect();
+        let a_blocks = (0..n)
+            .map(|j| ABlock {
+                c: vec![0.0; m],
+                warm: vec![0.0; m],
+                out: vec![0.0; m],
+                mu: 0.0,
+                nu: 0.0,
+                qp: AColQp::new(
+                    m,
+                    settings.rho,
+                    instance.beta[j],
+                    instance.capacities[j],
+                    instance.queueing,
+                    settings.method,
+                    caching,
+                ),
+            })
+            .collect();
+        SolverWorkspace {
+            tilde: AdmgState::zeros(instance),
+            prev: AdmgState::zeros(instance),
+            lambda_blocks,
+            a_blocks,
+            rho: settings.rho,
+            warm: caching,
+            active_mu,
+            active_nu,
+        }
+    }
+
+    /// Runs the full prediction (ADMM) step in the forward order
+    /// λ → μ → ν → a → duals, writing the result into `self.tilde`.
+    ///
+    /// The per-front-end λ solves and the per-datacenter fused μ/ν/a solves
+    /// are fanned across `pool`; results land in fixed per-block slots and
+    /// are gathered in index order, so any thread count yields bit-identical
+    /// output. Errors are reported deterministically (lowest block index
+    /// first).
+    pub(crate) fn predict(
+        &mut self,
+        instance: &UfcInstance,
+        state: &AdmgState,
+        pool: &WorkerPool,
+    ) -> Result<()> {
+        let (m, n) = (state.m, state.n);
+        let rho = self.rho;
+        let warm_enabled = self.warm;
+
+        // --- λ-step: one simplex QP per front-end.
+        let lambda_results = pool.map_mut(&mut self.lambda_blocks, |i, blk| {
+            for j in 0..n {
+                blk.c[j] = state.varphi[i * n + j] - rho * state.a[i * n + j];
+            }
+            let warm = if warm_enabled {
+                Some(&state.lambda[i * n..(i + 1) * n])
+            } else {
+                None
+            };
+            blk.qp.solve(&blk.c, warm).map(|x| blk.out = x)
+        });
+        for (i, r) in lambda_results.into_iter().enumerate() {
+            r.map_err(|e| CoreError::subproblem(format!("lambda[{i}]"), e))?;
+        }
+        for (i, blk) in self.lambda_blocks.iter().enumerate() {
+            self.tilde.lambda[i * n..(i + 1) * n].copy_from_slice(&blk.out);
+        }
+
+        // --- Fused per-datacenter μ/ν/a steps: each column's closed-form μ
+        // and ν and its capped-simplex QP depend only on that datacenter's
+        // load, so the three steps run as one task per datacenter.
+        let tilde_lambda = &self.tilde.lambda;
+        let (active_mu, active_nu) = (self.active_mu, self.active_nu);
+        let h = instance.slot_hours;
+        let a_results = pool.map_mut(&mut self.a_blocks, |j, blk| {
+            let mut load = 0.0;
+            for i in 0..m {
+                load += state.a[i * n + j];
+            }
+            let demand = instance.demand_mw(j, load);
+            blk.mu = if active_mu {
+                mu_scalar_step(
+                    demand,
+                    state.nu[j],
+                    state.phi[j],
+                    h * instance.fuel_cell_price,
+                    rho,
+                    instance.mu_max[j],
+                )
+            } else {
+                0.0
+            };
+            blk.nu = if active_nu {
+                nu_scalar_step(
+                    demand,
+                    blk.mu,
+                    state.phi[j],
+                    h * instance.grid_price[j],
+                    instance.carbon_t_per_mwh[j] * h,
+                    &instance.emission_cost[j],
+                    rho,
+                )
+            } else {
+                0.0
+            };
+            let beta = instance.beta[j];
+            let drift = instance.alpha[j] - blk.mu - blk.nu;
+            for i in 0..m {
+                blk.c[i] =
+                    -rho * tilde_lambda[i * n + j] - state.varphi[i * n + j] - state.phi[j] * beta
+                        + rho * beta * drift;
+            }
+            let warm = if warm_enabled {
+                for i in 0..m {
+                    blk.warm[i] = state.a[i * n + j];
+                }
+                Some(blk.warm.as_slice())
+            } else {
+                None
+            };
+            blk.qp.solve(&blk.c, warm).map(|x| blk.out = x)
+        });
+        for (j, r) in a_results.into_iter().enumerate() {
+            r.map_err(|e| CoreError::subproblem(format!("a[{j}]"), e))?;
+        }
+        for (j, blk) in self.a_blocks.iter().enumerate() {
+            self.tilde.mu[j] = blk.mu;
+            self.tilde.nu[j] = blk.nu;
+            for i in 0..m {
+                self.tilde.a[i * n + j] = blk.out[i];
+            }
+        }
+
+        // --- Dual updates, in place (no per-iteration allocation).
+        for j in 0..n {
+            let mut load = 0.0;
+            for i in 0..m {
+                load += self.tilde.a[i * n + j];
+            }
+            self.tilde.phi[j] = state.phi[j]
+                - rho * (instance.demand_mw(j, load) - self.tilde.mu[j] - self.tilde.nu[j]);
+        }
+        for k in 0..m * n {
+            self.tilde.varphi[k] = state.varphi[k] - rho * (self.tilde.a[k] - self.tilde.lambda[k]);
+        }
+        Ok(())
+    }
+
+    /// Total KKT-cache hits across all blocks (diagnostics).
+    #[allow(dead_code)]
+    pub(crate) fn cache_hits(&self) -> u64 {
+        self.lambda_blocks
+            .iter()
+            .map(|b| b.qp.cache_hits())
+            .chain(self.a_blocks.iter().map(|b| b.qp.cache_hits()))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subproblems::{a_step, dual_step, lambda_step, mu_step, nu_step};
+    use ufc_model::EmissionCostFn;
+
+    fn tiny() -> UfcInstance {
+        UfcInstance::new(
+            vec![1.0, 2.0],
+            vec![2.0, 2.0],
+            vec![0.24, 0.24],
+            vec![0.12, 0.12],
+            vec![0.48, 0.48],
+            vec![30.0, 70.0],
+            80.0,
+            vec![0.5, 0.3],
+            vec![vec![0.01, 0.02], vec![0.02, 0.01]],
+            10.0,
+            vec![
+                EmissionCostFn::linear(25.0).unwrap(),
+                EmissionCostFn::linear(25.0).unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    /// The fused workspace prediction must reproduce the five reference step
+    /// functions bit-for-bit when warm starts cannot engage (zero state) and
+    /// to solver precision in general.
+    #[test]
+    fn predict_matches_reference_steps_on_cold_state() {
+        let inst = tiny();
+        let settings = AdmgSettings::default();
+        let state = AdmgState::zeros(&inst);
+        let pool = WorkerPool::new(1);
+        let mut ws = SolverWorkspace::new(&inst, &settings, true, true);
+        ws.predict(&inst, &state, &pool).unwrap();
+
+        let rho = settings.rho;
+        let lt = lambda_step(&inst, rho, settings.method, &state).unwrap();
+        let mt = mu_step(&inst, rho, &state, true);
+        let nt = nu_step(&inst, rho, &state, &mt, true);
+        let at = a_step(&inst, rho, settings.method, &state, &lt, &mt, &nt).unwrap();
+        let (pt, vt) = dual_step(&inst, rho, &state, &lt, &mt, &nt, &at);
+
+        assert_eq!(ws.tilde.lambda, lt);
+        assert_eq!(ws.tilde.mu, mt);
+        assert_eq!(ws.tilde.nu, nt);
+        assert_eq!(ws.tilde.a, at);
+        assert_eq!(ws.tilde.phi, pt);
+        assert_eq!(ws.tilde.varphi, vt);
+    }
+
+    /// With caching disabled the workspace must still match the reference
+    /// steps exactly — this is the pre-caching baseline path.
+    #[test]
+    fn predict_baseline_path_matches_reference_steps() {
+        let inst = tiny();
+        let settings = AdmgSettings::default().with_factorization_caching(false);
+        let mut state = AdmgState::zeros(&inst);
+        state.a = vec![0.4, 0.6, 1.5, 0.5];
+        state.varphi = vec![0.1, -0.2, 0.05, 0.3];
+        state.phi = vec![0.2, -0.1];
+        let pool = WorkerPool::new(1);
+        let mut ws = SolverWorkspace::new(&inst, &settings, true, true);
+        ws.predict(&inst, &state, &pool).unwrap();
+
+        let rho = settings.rho;
+        let lt = lambda_step(&inst, rho, settings.method, &state).unwrap();
+        let mt = mu_step(&inst, rho, &state, true);
+        let nt = nu_step(&inst, rho, &state, &mt, true);
+        let at = a_step(&inst, rho, settings.method, &state, &lt, &mt, &nt).unwrap();
+        assert_eq!(ws.tilde.lambda, lt);
+        assert_eq!(ws.tilde.mu, mt);
+        assert_eq!(ws.tilde.nu, nt);
+        assert_eq!(ws.tilde.a, at);
+    }
+
+    /// Warm-started, cached solves accumulate cache hits across iterations.
+    #[test]
+    fn repeated_predictions_hit_the_cache() {
+        let inst = tiny();
+        let settings = AdmgSettings::default();
+        let state = AdmgState::zeros(&inst);
+        let pool = WorkerPool::new(1);
+        let mut ws = SolverWorkspace::new(&inst, &settings, true, true);
+        for _ in 0..3 {
+            ws.predict(&inst, &state, &pool).unwrap();
+        }
+        assert!(ws.cache_hits() > 0, "expected KKT cache reuse");
+    }
+
+    /// Infeasible warm candidates fall back to the classic cold start.
+    #[test]
+    fn warm_start_gate_rejects_infeasible_points() {
+        let mut qp = LambdaQp::new(
+            &[0.01, 0.02],
+            1.0,
+            10.0,
+            1.0,
+            SubproblemMethod::ActiveSet,
+            true,
+        );
+        let c = vec![0.1, -0.2];
+        // Row sum far from the arrival: gate must reject and use the uniform
+        // start, i.e. match the no-warm solve exactly.
+        let cold = qp.solve(&c, None).unwrap();
+        let gated = qp.solve(&c, Some(&[5.0, 5.0])).unwrap();
+        assert_eq!(cold, gated);
+        // A feasible warm start is accepted and converges to the same point.
+        let warm = qp.solve(&c, Some(&cold.clone())).unwrap();
+        for (a, b) in cold.iter().zip(&warm) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

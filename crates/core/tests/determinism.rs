@@ -1,0 +1,80 @@
+//! Parallel determinism: the worker-pool fan-out must be *bit-identical*
+//! to the sequential path, not merely close. Every per-block sub-problem
+//! writes an indexed slot and the gather walks the slots in block order,
+//! so the floating-point evaluation order inside each block — and hence
+//! every rounding decision — is independent of the thread count.
+
+use ufc_core::{AdmgSettings, AdmgSolver, Strategy};
+use ufc_model::scenario::ScenarioBuilder;
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Runs the Table 1 instance at the given thread count.
+fn solve_with_threads(threads: usize) -> ufc_core::AdmgSolution {
+    let scenario = ScenarioBuilder::paper_default().hours(1).build().unwrap();
+    let settings = AdmgSettings::default().with_threads(threads);
+    AdmgSolver::new(settings)
+        .solve(&scenario.instances[0], Strategy::Hybrid)
+        .unwrap()
+}
+
+#[test]
+fn thread_count_does_not_change_a_single_bit() {
+    let sequential = solve_with_threads(1);
+    assert!(sequential.converged);
+
+    for threads in [2usize, 4, 8] {
+        let parallel = solve_with_threads(threads);
+        assert_eq!(
+            sequential.iterations, parallel.iterations,
+            "{threads} threads took a different number of iterations"
+        );
+        assert_eq!(sequential.converged, parallel.converged);
+
+        // Full residual/objective trajectory, bit for bit.
+        assert_eq!(sequential.history.len(), parallel.history.len());
+        for (s, p) in sequential.history.iter().zip(&parallel.history) {
+            assert_eq!(s.iteration, p.iteration);
+            assert_eq!(
+                s.link_residual.to_bits(),
+                p.link_residual.to_bits(),
+                "link residual diverged at iteration {} with {threads} threads",
+                s.iteration
+            );
+            assert_eq!(s.balance_residual.to_bits(), p.balance_residual.to_bits());
+            assert_eq!(s.dual_residual.to_bits(), p.dual_residual.to_bits());
+            assert_eq!(s.objective.to_bits(), p.objective.to_bits());
+        }
+
+        // Final raw iterate, bit for bit.
+        assert_eq!(bits(&sequential.state.lambda), bits(&parallel.state.lambda));
+        assert_eq!(bits(&sequential.state.mu), bits(&parallel.state.mu));
+        assert_eq!(bits(&sequential.state.nu), bits(&parallel.state.nu));
+        assert_eq!(bits(&sequential.state.a), bits(&parallel.state.a));
+        assert_eq!(bits(&sequential.state.phi), bits(&parallel.state.phi));
+        assert_eq!(bits(&sequential.state.varphi), bits(&parallel.state.varphi));
+
+        // Polished point and UFC, bit for bit.
+        assert_eq!(bits(&sequential.point.mu), bits(&parallel.point.mu));
+        assert_eq!(
+            sequential.breakdown.ufc().to_bits(),
+            parallel.breakdown.ufc().to_bits()
+        );
+    }
+}
+
+#[test]
+fn auto_thread_count_matches_sequential() {
+    // num_threads = 0 resolves to the machine's available parallelism;
+    // whatever that is, the answer must not move.
+    let sequential = solve_with_threads(1);
+    let auto = solve_with_threads(0);
+    assert_eq!(sequential.iterations, auto.iterations);
+    assert_eq!(bits(&sequential.state.lambda), bits(&auto.state.lambda));
+    assert_eq!(
+        sequential.breakdown.ufc().to_bits(),
+        auto.breakdown.ufc().to_bits()
+    );
+}

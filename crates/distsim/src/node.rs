@@ -13,12 +13,12 @@
 //! numerically identical to the in-memory solver (asserted in the crate's
 //! integration tests).
 
-use ufc_core::subproblems::CongestedAStep;
-use ufc_core::{AdmgSettings, CoreError, SubproblemMethod};
+use ufc_core::subproblems::{mu_scalar_step, nu_scalar_step};
+use ufc_core::{AColQp, AdmgSettings, CoreError, LambdaQp, SubproblemMethod};
 use ufc_linalg::Matrix;
-use ufc_model::{utility::disutility_rank1_gamma, EmissionCostFn, QueueingCost, UfcInstance};
-use ufc_opt::projection::{project_capped_simplex, project_simplex};
-use ufc_opt::{scalar, ActiveSetQp, Fista, QuadObjective};
+use ufc_model::{utility::disutility_rank1_gamma, EmissionCostFn, UfcInstance};
+use ufc_opt::projection::project_simplex;
+use ufc_opt::{ActiveSetQp, Fista, QuadObjective};
 
 use crate::snapshot::{DatacenterSnapshot, FrontendSnapshot};
 
@@ -57,6 +57,13 @@ pub struct FrontendNode {
     varphi: Vec<f64>,
     /// Degraded-mode mask: datacenters this front-end must not route to.
     evicted: Vec<bool>,
+    /// Persistent λ-QP kernel (cached KKT factorizations, warm starts).
+    qp: LambdaQp,
+    /// Whether warm starts from the corrected iterate are enabled
+    /// (mirrors `AdmgSettings::cache_factorizations`).
+    warm: bool,
+    /// Scratch buffer for the per-round linear term.
+    c_buf: Vec<f64>,
 }
 
 impl FrontendNode {
@@ -82,6 +89,16 @@ impl FrontendNode {
             a: vec![0.0; n],
             varphi: vec![0.0; n],
             evicted: vec![false; n],
+            qp: LambdaQp::new(
+                &instance.latency_s[i],
+                instance.arrivals[i],
+                instance.weight_per_kserver(),
+                settings.rho,
+                settings.method,
+                settings.cache_factorizations,
+            ),
+            warm: settings.cache_factorizations,
+            c_buf: vec![0.0; n],
         }
     }
 
@@ -161,10 +178,20 @@ impl FrontendNode {
             }
             full
         } else {
-            let c: Vec<f64> = (0..n)
-                .map(|j| self.varphi[j] - self.rho * self.a[j])
-                .collect();
-            self.solve_lambda_qp(self.latencies.clone(), c)
+            // Clean path: the persistent kernel with cached factorizations,
+            // warm-started from the corrected λ (which is snapshotted, so
+            // checkpoint/restore resumes bit-identically).
+            for j in 0..n {
+                self.c_buf[j] = self.varphi[j] - self.rho * self.a[j];
+            }
+            let warm = if self.warm {
+                Some(self.lambda.as_slice())
+            } else {
+                None
+            };
+            self.qp
+                .solve(&self.c_buf, warm)
+                .expect("front-end lambda QP failed")
         };
         self.lambda_tilde = row.clone();
         row
@@ -279,16 +306,13 @@ pub struct DatacenterNode {
     alpha: f64,
     beta: f64,
     mu_max: f64,
-    capacity: f64,
     grid_price: f64,
     fuel_cell_price: f64,
     carbon_t_per_mwh: f64,
     emission: EmissionCostFn,
-    queueing: Option<QueueingCost>,
     slot_hours: f64,
     rho: f64,
     epsilon: f64,
-    method: SubproblemMethod,
     active_mu: bool,
     active_nu: bool,
     mu: f64,
@@ -296,6 +320,12 @@ pub struct DatacenterNode {
     phi: f64,
     a: Vec<f64>,
     varphi: Vec<f64>,
+    /// Persistent a-QP kernel (cached KKT factorizations, warm starts).
+    qp: AColQp,
+    /// Whether warm starts from the corrected iterate are enabled.
+    warm: bool,
+    /// Scratch buffer for the per-round linear term.
+    c_buf: Vec<f64>,
 }
 
 /// What a datacenter returns from one protocol round.
@@ -328,16 +358,13 @@ impl DatacenterNode {
             alpha: instance.alpha[j],
             beta: instance.beta[j],
             mu_max: instance.mu_max[j],
-            capacity: instance.capacities[j],
             grid_price: instance.grid_price[j],
             fuel_cell_price: instance.fuel_cell_price,
             carbon_t_per_mwh: instance.carbon_t_per_mwh[j],
             emission: instance.emission_cost[j].clone(),
-            queueing: instance.queueing,
             slot_hours: instance.slot_hours,
             rho: settings.rho,
             epsilon: settings.epsilon,
-            method: settings.method,
             active_mu,
             active_nu,
             mu: 0.0,
@@ -345,6 +372,17 @@ impl DatacenterNode {
             phi: 0.0,
             a: vec![0.0; instance.m_frontends()],
             varphi: vec![0.0; instance.m_frontends()],
+            qp: AColQp::new(
+                instance.m_frontends(),
+                settings.rho,
+                instance.beta[j],
+                instance.capacities[j],
+                instance.queueing,
+                settings.method,
+                settings.cache_factorizations,
+            ),
+            warm: settings.cache_factorizations,
+            c_buf: vec![0.0; instance.m_frontends()],
         }
     }
 
@@ -415,109 +453,53 @@ impl DatacenterNode {
         let load_k: f64 = self.a.iter().sum();
         let demand = self.alpha + self.beta * load_k;
 
-        // Step 2: μ̃ (Eq. (18) closed form).
+        // Step 2: μ̃ (Eq. (18) closed form) — the scalar kernel shared with
+        // the in-memory solver, so both sides stay bit-identical.
         let mu_tilde = if self.active_mu {
-            scalar::prox_linear_quadratic(
-                demand - self.nu,
-                self.phi + h * self.fuel_cell_price,
+            mu_scalar_step(
+                demand,
+                self.nu,
+                self.phi,
+                h * self.fuel_cell_price,
                 rho,
-                0.0,
                 self.mu_max,
             )
         } else {
             0.0
         };
 
-        // Step 3: ν̃ (Eq. (19)).
+        // Step 3: ν̃ (Eq. (19)) — shared scalar kernel.
         let nu_tilde = if self.active_nu {
-            let d = demand - mu_tilde;
-            let ch = self.carbon_t_per_mwh * h;
-            let base = h * self.grid_price + self.phi;
-            match &self.emission {
-                EmissionCostFn::Linear { rate } => {
-                    scalar::prox_linear_quadratic(d, base + rate * ch, rho, 0.0, f64::INFINITY)
-                }
-                EmissionCostFn::Quadratic { linear, quad } => {
-                    ((rho * d - linear * ch - base) / (rho + 2.0 * quad * ch * ch)).max(0.0)
-                }
-                stepped @ EmissionCostFn::Stepped { .. } => {
-                    let df = |nu: f64| ch * stepped.marginal(ch * nu) + base + rho * (nu - d);
-                    let mut hi = (2.0 * d.abs()).max(1.0);
-                    for _ in 0..120 {
-                        if df(hi) > 0.0 {
-                            break;
-                        }
-                        hi *= 2.0;
-                    }
-                    scalar::bisect_derivative(df, 0.0, hi, 1e-12 * (1.0 + hi))
-                }
-            }
+            nu_scalar_step(
+                demand,
+                mu_tilde,
+                self.phi,
+                h * self.grid_price,
+                self.carbon_t_per_mwh * h,
+                &self.emission,
+                rho,
+            )
         } else {
             0.0
         };
 
-        // Step 4: ã (Eq. (20)).
+        // Step 4: ã (Eq. (20)) via the persistent kernel, warm-started from
+        // the corrected column `a_·j` (snapshotted, so checkpoint/restore
+        // resumes bit-identically).
         let drift = self.alpha - mu_tilde - nu_tilde;
-        let c: Vec<f64> = (0..self.m)
-            .map(|i| {
-                -rho * lambda_tilde[i] - self.varphi[i] - self.phi * self.beta
-                    + rho * self.beta * drift
-            })
-            .collect();
-        let objective = QuadObjective::diag_rank1(
-            vec![rho; self.m],
-            rho * self.beta * self.beta,
-            vec![1.0; self.m],
-            c,
-            0.0,
-        );
-        let a_tilde = if let Some(q) = &self.queueing {
-            let objective = CongestedAStep::new(objective, *q, self.capacity);
-            let cap_q = q.load_cap(self.capacity).min(self.capacity);
-            Fista::new(50_000, 1e-8)
-                .minimize_adaptive(
-                    &objective,
-                    |x| project_capped_simplex(x, cap_q),
-                    vec![0.0; self.m],
-                )
-                .expect("congested datacenter a-step failed")
-                .x
+        for (i, ci) in self.c_buf.iter_mut().enumerate() {
+            *ci = -rho * lambda_tilde[i] - self.varphi[i] - self.phi * self.beta
+                + rho * self.beta * drift;
+        }
+        let warm = if self.warm {
+            Some(self.a.as_slice())
         } else {
-            match self.method {
-                SubproblemMethod::ActiveSet => {
-                    let mut a_in = Matrix::zeros(self.m + 1, self.m);
-                    let mut b_in = vec![0.0; self.m + 1];
-                    for i in 0..self.m {
-                        a_in[(i, i)] = -1.0;
-                    }
-                    for i in 0..self.m {
-                        a_in[(self.m, i)] = 1.0;
-                    }
-                    b_in[self.m] = self.capacity;
-                    ActiveSetQp::default()
-                        .solve(
-                            &objective,
-                            &Matrix::zeros(0, self.m),
-                            &[],
-                            &a_in,
-                            &b_in,
-                            vec![0.0; self.m],
-                        )
-                        .expect("datacenter a QP failed")
-                        .x
-                }
-                SubproblemMethod::Fista => {
-                    Fista::new(50_000, 1e-10)
-                        .minimize(
-                            &objective,
-                            |x| project_capped_simplex(x, self.capacity),
-                            vec![0.0; self.m],
-                        )
-                        .expect("datacenter a FISTA failed")
-                        .x
-                }
-            }
+            None
         };
+        let a_tilde = self
+            .qp
+            .solve(&self.c_buf, warm)
+            .expect("datacenter a QP failed");
 
         // Step 5: dual predictions.
         let a_tilde_load: f64 = a_tilde.iter().sum();

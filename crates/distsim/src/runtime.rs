@@ -21,7 +21,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use ufc_core::repair::assemble_point;
-use ufc_core::{AdmgSettings, AdmgState, CoreError, Strategy};
+use ufc_core::{AdmgSettings, AdmgState, CoreError, Strategy, WorkerPool};
 use ufc_model::{evaluate, OperatingPoint, UfcBreakdown, UfcInstance};
 
 use crate::fault::{FaultPlan, FaultReport, FaultTracker, NodeId, Resolution};
@@ -196,6 +196,7 @@ impl DistributedAdmg {
             .collect();
 
         let tolerances = self.settings.scaled_tolerances(instance);
+        let pool = WorkerPool::new(self.settings.num_threads);
         let mut stats = MessageStats::default();
         let mut converged = false;
         let mut iterations = 0;
@@ -206,11 +207,10 @@ impl DistributedAdmg {
 
         for _ in 0..self.settings.max_iterations {
             iterations += 1;
-            // Step 1: front-ends predict and scatter λ̃.
-            let rows: Vec<Vec<f64>> = frontends
-                .iter_mut()
-                .map(FrontendNode::predict_lambda)
-                .collect();
+            // Step 1: front-ends predict and scatter λ̃. The compute fans
+            // out over the pool; message recording stays sequential so the
+            // traffic accounting is deterministic.
+            let rows: Vec<Vec<f64>> = pool.map_mut(&mut frontends, |_, fe| fe.predict_lambda());
             let mut phase_max = 1usize;
             for (i, row) in rows.iter().enumerate() {
                 for (j, &value) in row.iter().enumerate() {
@@ -230,12 +230,16 @@ impl DistributedAdmg {
             stalled_phases += phase_max as f64;
 
             // Steps 2–4: datacenters process their columns, gather ã.
+            // Again only the per-node compute is parallel; the gather walks
+            // the results in datacenter order.
+            let steps = pool.map_mut(&mut datacenters, |j, dc| {
+                let col: Vec<f64> = (0..m).map(|i| rows[i][j]).collect();
+                dc.process(&col)
+            });
             let mut dc_residuals = Vec::with_capacity(n);
             let mut a_cols: Vec<Vec<f64>> = Vec::with_capacity(n);
             let mut phase_max = 1usize;
-            for (j, dc) in datacenters.iter_mut().enumerate() {
-                let col: Vec<f64> = (0..m).map(|i| rows[i][j]).collect();
-                let step = dc.process(&col);
+            for (j, step) in steps.into_iter().enumerate() {
                 for (i, &value) in step.a_tilde.iter().enumerate() {
                     let msg = Message::ATilde {
                         frontend: i,
@@ -255,11 +259,10 @@ impl DistributedAdmg {
             stalled_phases += phase_max as f64;
 
             // Step 5: front-ends correct from ã.
-            let mut fe_residuals = Vec::with_capacity(m);
-            for (i, fe) in frontends.iter_mut().enumerate() {
+            let fe_residuals = pool.map_mut(&mut frontends, |i, fe| {
                 let a_row: Vec<f64> = (0..n).map(|j| a_cols[j][i]).collect();
-                fe_residuals.push(fe.receive_a_and_correct(&a_row));
-            }
+                fe.receive_a_and_correct(&a_row)
+            });
 
             // Residual reduction + control broadcast.
             let stop = reduce_and_broadcast(

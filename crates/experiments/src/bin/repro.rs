@@ -19,6 +19,8 @@
 //!   forecast   extension: UFC regret when acting on forecasted arrivals
 //!   faults     extension: crash/straggler injection and degraded-mode cost
 //!   wsweep     extension: latency-weight (w) Pareto sweep
+//!   bench      solver hot-path wall-clock (writes BENCH_solver.json);
+//!              `--quick` shrinks the workload for CI smoke runs
 //!   verify     self-test: centralized / in-memory / distributed agreement
 //!   all      everything above (except extensions)
 //! ```
@@ -35,6 +37,8 @@ struct Options {
     hours: usize,
     seed: u64,
     csv_dir: Option<PathBuf>,
+    quick: bool,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -45,6 +49,8 @@ fn parse_args() -> Result<Options, String> {
         hours: 168,
         seed: DEFAULT_SEED,
         csv_dir: None,
+        quick: false,
+        threads: 4,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -59,6 +65,13 @@ fn parse_args() -> Result<Options, String> {
             "--csv" => {
                 let v = args.next().ok_or("--csv needs a directory")?;
                 opts.csv_dir = Some(PathBuf::from(v));
+            }
+            "--quick" => opts.quick = true,
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                opts.threads = v
+                    .parse()
+                    .map_err(|_| format!("bad --threads value {v:?}"))?;
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -132,6 +145,10 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     if opts.command == "wsweep" {
         matched = true;
         run_wsweep(opts, settings)?;
+    }
+    if opts.command == "bench" {
+        matched = true;
+        run_bench(opts)?;
     }
     if opts.command == "verify" {
         matched = true;
@@ -517,6 +534,49 @@ fn run_wsweep(opts: &Options, settings: AdmgSettings) -> Result<(), Box<dyn std:
         text_table(&["w $/s²", "mean latency ms", "mean hourly cost $"], &rows)
     );
     println!("(the paper fixes w = 10; the sweep shows the Pareto front that choice sits on)\n");
+    Ok(())
+}
+
+fn run_bench(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    use ufc_experiments::solver_bench;
+
+    // `--quick` is the CI smoke configuration; the full run times a day's
+    // worth of hourly instances.
+    let hours = if opts.quick { 3 } else { opts.hours.min(24) };
+    let report = solver_bench::run(opts.seed, hours, opts.threads)?;
+    println!(
+        "== Solver bench: admg_scaling, {} hours, {} threads ==",
+        report.hours, report.parallel.threads
+    );
+    let rows = vec![
+        vec![
+            "baseline (1 thread, no cache)".to_owned(),
+            fmt(report.baseline.wall_ms, 1),
+            report.baseline.iters.to_string(),
+        ],
+        vec![
+            "cached (1 thread)".to_owned(),
+            fmt(report.sequential.wall_ms, 1),
+            report.sequential.iters.to_string(),
+        ],
+        vec![
+            format!("cached ({} threads)", report.parallel.threads),
+            fmt(report.parallel.wall_ms, 1),
+            report.parallel.iters.to_string(),
+        ],
+    ];
+    println!(
+        "{}",
+        text_table(&["configuration", "wall ms", "iterations"], &rows)
+    );
+    println!(
+        "speedup vs baseline: {:.2}x parallel, {:.2}x sequential",
+        report.speedup(),
+        report.sequential_speedup()
+    );
+    let path = PathBuf::from("BENCH_solver.json");
+    std::fs::write(&path, report.to_json())?;
+    println!("(written to {})\n", path.display());
     Ok(())
 }
 

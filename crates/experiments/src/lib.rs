@@ -16,6 +16,7 @@
 //! | Fig.-11 remark (gradient baselines) | [`baseline`] | `baseline` |
 //! | §II-A predictability assumption | [`robustness`] | `forecast` |
 //! | §III failure-free assumption | [`faults`] | `faults` |
+//! | solver hot-path wall-clock | [`solver_bench`] | `bench` |
 //!
 //! Every experiment is a pure function returning a data struct; the `repro`
 //! binary renders those as aligned text and optional CSV. Benches re-run
@@ -31,6 +32,7 @@ pub mod fig3;
 pub mod parallel;
 pub mod report;
 pub mod robustness;
+pub mod solver_bench;
 pub mod sweep;
 pub mod table1;
 pub mod weekly;

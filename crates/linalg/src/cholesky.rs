@@ -92,29 +92,45 @@ impl Cholesky {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] when `b.len() != dim()`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = vec![0.0; self.dim()];
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b`, writing the solution into `out` without allocating.
+    ///
+    /// `b` and `out` may be the same buffer only via a prior copy by the
+    /// caller; aliasing is not required — `b` is copied into `out` first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len() != dim()` or
+    /// `out.len() != dim()`.
+    pub fn solve_into(&self, b: &[f64], out: &mut [f64]) -> Result<()> {
         let n = self.dim();
-        if b.len() != n {
+        if b.len() != n || out.len() != n {
             return Err(LinalgError::dim(format!(
-                "cholesky solve: rhs length {} for system of size {n}",
-                b.len()
+                "cholesky solve: rhs length {} / out length {} for system of size {n}",
+                b.len(),
+                out.len()
             )));
         }
+        out.copy_from_slice(b);
         // Forward substitution L y = b.
-        let mut y = b.to_vec();
         for i in 0..n {
             for k in 0..i {
-                y[i] -= self.l[(i, k)] * y[k];
+                out[i] -= self.l[(i, k)] * out[k];
             }
-            y[i] /= self.l[(i, i)];
+            out[i] /= self.l[(i, i)];
         }
         // Back substitution Lᵀ x = y.
         for i in (0..n).rev() {
             for k in (i + 1)..n {
-                y[i] -= self.l[(k, i)] * y[k];
+                out[i] -= self.l[(k, i)] * out[k];
             }
-            y[i] /= self.l[(i, i)];
+            out[i] /= self.l[(i, i)];
         }
-        Ok(y)
+        Ok(())
     }
 
     /// Log-determinant of `A`, i.e. `2 Σ log L_ii`.
@@ -133,10 +149,12 @@ impl Cholesky {
     pub fn inverse(&self) -> Result<Matrix> {
         let n = self.dim();
         let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        let mut col = vec![0.0; n];
         for j in 0..n {
-            let mut e = vec![0.0; n];
             e[j] = 1.0;
-            let col = self.solve(&e)?;
+            self.solve_into(&e, &mut col)?;
+            e[j] = 0.0;
             for i in 0..n {
                 inv[(i, j)] = col[i];
             }
@@ -220,6 +238,17 @@ mod tests {
         let inv = Cholesky::factor(&a).unwrap().inverse().unwrap();
         let prod = inv.matmul(&a).unwrap();
         assert!(prod.sub(&Matrix::identity(3)).unwrap().norm_max() < 1e-9);
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let c = Cholesky::factor(&spd3()).unwrap();
+        let b = [1.0, -2.0, 4.5];
+        let mut out = [0.0; 3];
+        c.solve_into(&b, &mut out).unwrap();
+        assert_eq!(out.to_vec(), c.solve(&b).unwrap());
+        let mut short = [0.0; 2];
+        assert!(c.solve_into(&b, &mut short).is_err());
     }
 
     #[test]

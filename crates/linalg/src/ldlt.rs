@@ -104,31 +104,44 @@ impl Ldlt {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] when `b.len() != dim()`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = vec![0.0; self.dim()];
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b`, writing the solution into `out` without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len() != dim()` or
+    /// `out.len() != dim()`.
+    pub fn solve_into(&self, b: &[f64], out: &mut [f64]) -> Result<()> {
         let n = self.dim();
-        if b.len() != n {
+        if b.len() != n || out.len() != n {
             return Err(LinalgError::dim(format!(
-                "ldlt solve: rhs length {} for system of size {n}",
-                b.len()
+                "ldlt solve: rhs length {} / out length {} for system of size {n}",
+                b.len(),
+                out.len()
             )));
         }
-        let mut x = b.to_vec();
+        out.copy_from_slice(b);
         // Forward: L y = b (unit diagonal).
         for i in 0..n {
             for k in 0..i {
-                x[i] -= self.l[(i, k)] * x[k];
+                out[i] -= self.l[(i, k)] * out[k];
             }
         }
         // Diagonal: D z = y.
-        for (xi, di) in x.iter_mut().zip(&self.d) {
+        for (xi, di) in out.iter_mut().zip(&self.d) {
             *xi /= di;
         }
         // Backward: Lᵀ x = z.
         for i in (0..n).rev() {
             for k in (i + 1)..n {
-                x[i] -= self.l[(k, i)] * x[k];
+                out[i] -= self.l[(k, i)] * out[k];
             }
         }
-        Ok(x)
+        Ok(())
     }
 }
 
@@ -196,6 +209,17 @@ mod tests {
             Ldlt::factor(&a),
             Err(LinalgError::Singular { .. })
         ));
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let f = Ldlt::factor(&kkt()).unwrap();
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let mut out = [0.0; 4];
+        f.solve_into(&b, &mut out).unwrap();
+        assert_eq!(out.to_vec(), f.solve(&b).unwrap());
+        let mut short = [0.0; 2];
+        assert!(f.solve_into(&b, &mut short).is_err());
     }
 
     #[test]

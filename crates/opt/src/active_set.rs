@@ -1,5 +1,6 @@
 use ufc_linalg::{vec_ops, Ldlt, Matrix};
 
+use crate::cache::{CachedKkt, KktCache};
 use crate::{OptError, QuadObjective, Result};
 
 /// Solution of a convex QP returned by [`ActiveSetQp`].
@@ -122,6 +123,64 @@ impl ActiveSetQp {
         b_in: &[f64],
         x0: Vec<f64>,
     ) -> Result<QpSolution> {
+        self.solve_with_cache(f, a_eq, b_eq, a_in, b_in, x0, &mut KktCache::disabled())
+    }
+
+    /// Solves the QP, memoizing KKT factorizations in `cache`.
+    ///
+    /// The cache is keyed by the ordered working set, so repeated solves of
+    /// the *same* problem structure (identical `Q`, `a_eq`, `a_in` and
+    /// Hessian shift — only `c`, `b_*` and `x0` varying) skip the dense
+    /// Hessian materialization and LDLᵀ factorization on every revisited
+    /// working set. Results are bit-identical to [`ActiveSetQp::solve`];
+    /// callers are responsible for clearing the cache when the structure
+    /// changes (see [`KktCache`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ActiveSetQp::solve`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_with_cache(
+        &self,
+        f: &QuadObjective,
+        a_eq: &Matrix,
+        b_eq: &[f64],
+        a_in: &Matrix,
+        b_in: &[f64],
+        x0: Vec<f64>,
+        cache: &mut KktCache,
+    ) -> Result<QpSolution> {
+        self.solve_seeded(f, a_eq, b_eq, a_in, b_in, x0, cache, &[])
+    }
+
+    /// Like [`ActiveSetQp::solve_with_cache`], but initializes the working
+    /// set from `seed_working` instead of starting empty.
+    ///
+    /// Warm-started callers (the ADM-G block kernels) know which inequality
+    /// rows are active at their start point — typically most of a sparse
+    /// routing vector's nonnegativity bounds. Starting from an empty working
+    /// set would re-discover those rows one blocking constraint (one KKT
+    /// solve) at a time; seeding lets near-stationary warm starts finish in
+    /// O(1) iterations. Seed rows whose constraint is not (near-)tight at
+    /// `x0` are ignored, so a stale seed degrades performance, never
+    /// correctness. With an empty seed this is exactly
+    /// [`ActiveSetQp::solve_with_cache`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ActiveSetQp::solve`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_seeded(
+        &self,
+        f: &QuadObjective,
+        a_eq: &Matrix,
+        b_eq: &[f64],
+        a_in: &Matrix,
+        b_in: &[f64],
+        x0: Vec<f64>,
+        cache: &mut KktCache,
+        seed_working: &[usize],
+    ) -> Result<QpSolution> {
         let n = f.dim();
         let me = a_eq.rows();
         let mi = a_in.rows();
@@ -163,7 +222,21 @@ impl ActiveSetQp {
         }
 
         let mut x = x0;
+        // Seed the working set with the rows that are actually tight at the
+        // start point (in ascending order, deduplicated). A row that is not
+        // tight cannot be in a valid working set — the KKT step assumes
+        // A_W x = b_W — so such seeds are dropped rather than trusted.
         let mut working: Vec<usize> = Vec::new();
+        for &ci in seed_working {
+            if ci >= mi || working.contains(&ci) {
+                continue;
+            }
+            let slack = b_in[ci] - vec_ops::dot(a_in.row(ci), &x);
+            if slack.abs() <= feas_tol * (1.0 + b_in[ci].abs()) {
+                working.push(ci);
+            }
+        }
+        working.sort_unstable();
         let step_tol = self.tolerance;
         // Anti-cycling: after this many consecutive zero-length steps the
         // pivot choice switches to Bland's rule (lowest index), which is
@@ -173,7 +246,7 @@ impl ActiveSetQp {
 
         for iter in 0..self.max_iterations {
             let g = f.gradient(&x);
-            let (p, mults) = self.solve_kkt(f, a_eq, a_in, &working, &g)?;
+            let (p, mults) = self.solve_kkt(f, a_eq, a_in, &working, &g, cache)?;
             let use_bland = degenerate_steps >= BLAND_THRESHOLD;
 
             if vec_ops::norm_inf(&p) <= step_tol * (1.0 + vec_ops::norm_inf(&x)) {
@@ -272,6 +345,11 @@ impl ActiveSetQp {
     /// ```
     ///
     /// with one iterative-refinement pass against the unregularized system.
+    ///
+    /// The factorization (and the objective shift it was assembled with) is
+    /// memoized in `cache` keyed by the ordered working set; a hit skips the
+    /// dense-Hessian materialization and the LDLᵀ entirely and replays the
+    /// exact factors a fresh solve would compute.
     fn solve_kkt(
         &self,
         f: &QuadObjective,
@@ -279,6 +357,7 @@ impl ActiveSetQp {
         a_in: &Matrix,
         working: &[usize],
         g: &[f64],
+        cache: &mut KktCache,
     ) -> Result<(Vec<f64>, Vec<f64>)> {
         let n = f.dim();
         let me = a_eq.rows();
@@ -286,41 +365,49 @@ impl ActiveSetQp {
         let m = me + mw;
         let dim = n + m;
 
-        let q = f.dense_hessian();
-        let scale = q.norm_max().max(1.0);
-        // Two distinct regularizations: `shift` is part of the *objective
-        // operator* (also applied during refinement, so steps are consistent
-        // with it — the solution is that of the shifted problem), while
-        // `delta_c` merely stabilizes the LDLᵀ factorization and is refined
-        // *away*, keeping `A_W p ≈ 0` so iterates never drift off the
-        // working set.
-        let shift = (1e-11 * scale).max(1e-12) + self.hessian_shift;
-        let delta_c = (1e-11 * scale).max(1e-12);
+        let mut spill = None;
+        let entry = cache.get_or_build(working, &mut spill, || {
+            let q = f.dense_hessian();
+            let scale = q.norm_max().max(1.0);
+            // Two distinct regularizations: `shift` is part of the *objective
+            // operator* (also applied during refinement, so steps are
+            // consistent with it — the solution is that of the shifted
+            // problem), while `delta_c` merely stabilizes the LDLᵀ
+            // factorization and is refined *away*, keeping `A_W p ≈ 0` so
+            // iterates never drift off the working set.
+            let shift = (1e-11 * scale).max(1e-12) + self.hessian_shift;
+            let delta_c = (1e-11 * scale).max(1e-12);
 
-        let mut kkt = Matrix::zeros(dim, dim);
-        for i in 0..n {
-            for j in 0..n {
-                kkt[(i, j)] = q[(i, j)];
+            let mut kkt = Matrix::zeros(dim, dim);
+            for i in 0..n {
+                for j in 0..n {
+                    kkt[(i, j)] = q[(i, j)];
+                }
+                kkt[(i, i)] += shift;
             }
-            kkt[(i, i)] += shift;
-        }
-        for r in 0..me {
-            for j in 0..n {
-                kkt[(n + r, j)] = a_eq[(r, j)];
-                kkt[(j, n + r)] = a_eq[(r, j)];
+            for r in 0..me {
+                for j in 0..n {
+                    kkt[(n + r, j)] = a_eq[(r, j)];
+                    kkt[(j, n + r)] = a_eq[(r, j)];
+                }
             }
-        }
-        for (k, &ci) in working.iter().enumerate() {
-            for j in 0..n {
-                kkt[(n + me + k, j)] = a_in[(ci, j)];
-                kkt[(j, n + me + k)] = a_in[(ci, j)];
+            for (k, &ci) in working.iter().enumerate() {
+                for j in 0..n {
+                    kkt[(n + me + k, j)] = a_in[(ci, j)];
+                    kkt[(j, n + me + k)] = a_in[(ci, j)];
+                }
             }
-        }
-        for r in 0..m {
-            kkt[(n + r, n + r)] = -delta_c;
-        }
+            for r in 0..m {
+                kkt[(n + r, n + r)] = -delta_c;
+            }
+            Ok(CachedKkt {
+                fact: Ldlt::factor(&kkt)?,
+                shift,
+            })
+        })?;
+        let fact: &Ldlt = &entry.fact;
+        let shift = entry.shift;
 
-        let fact = Ldlt::factor(&kkt)?;
         let mut rhs = vec![0.0; dim];
         for i in 0..n {
             rhs[i] = -g[i];
@@ -329,6 +416,7 @@ impl ActiveSetQp {
 
         // Two refinement passes against the operator *with* the objective
         // shift but *without* the constraint-block regularization.
+        let mut corr = vec![0.0; dim];
         for _ in 0..2 {
             let residual = {
                 let mut r = rhs.clone();
@@ -350,7 +438,7 @@ impl ActiveSetQp {
                 }
                 r
             };
-            let corr = fact.solve(&residual)?;
+            fact.solve_into(&residual, &mut corr)?;
             vec_ops::axpy(1.0, &corr, &mut sol);
         }
 
@@ -474,6 +562,95 @@ mod tests {
             .solve(&f, &a_eq, &[1.0], &a_in, &b_in, vec![1.0 / 3.0; 3])
             .unwrap();
         assert!((sol.x[1] - 1.0).abs() < 1e-4, "{:?}", sol.x);
+    }
+
+    #[test]
+    fn cached_solves_are_bit_identical_to_fresh() {
+        // Repeated solves with the same Hessian but varying linear terms —
+        // exactly the ADM-G iteration pattern the cache exists for.
+        let a_eq = Matrix::from_rows(&[&[1.0; 4]]).unwrap();
+        let (a_in, b_in) = nonneg_rows(4);
+        let mut cache = KktCache::default();
+        for round in 0..5 {
+            let c: Vec<f64> = (0..4).map(|i| (i as f64 - round as f64) * 0.3).collect();
+            let f = QuadObjective::diag_rank1(vec![1.0; 4], 0.5, vec![1.0, 2.0, 0.5, 1.5], c, 0.0);
+            let fresh = ActiveSetQp::default()
+                .solve(&f, &a_eq, &[1.0], &a_in, &b_in, vec![0.25; 4])
+                .unwrap();
+            let cached = ActiveSetQp::default()
+                .solve_with_cache(&f, &a_eq, &[1.0], &a_in, &b_in, vec![0.25; 4], &mut cache)
+                .unwrap();
+            assert_eq!(fresh.x, cached.x, "round {round}");
+            assert_eq!(fresh.value.to_bits(), cached.value.to_bits());
+            assert_eq!(fresh.iterations, cached.iterations);
+            assert_eq!(fresh.ineq_multipliers, cached.ineq_multipliers);
+        }
+        assert!(cache.hits() > 0, "later rounds must hit the memo");
+    }
+
+    #[test]
+    fn seeded_solve_matches_unseeded_and_ignores_stale_seeds() {
+        // a-QP shape: x ≥ 0, Σx ≤ cap, start at a vertex with known support.
+        let n = 6;
+        let f = QuadObjective::diag_rank1(
+            vec![1.0; n],
+            0.4,
+            vec![1.0; n],
+            vec![-0.9, 0.3, -0.1, 0.5, -0.7, 0.2],
+            0.0,
+        );
+        let mut a_in = Matrix::zeros(n + 1, n);
+        let mut b_in = vec![0.0; n + 1];
+        for i in 0..n {
+            a_in[(i, i)] = -1.0;
+            a_in[(n, i)] = 1.0;
+        }
+        b_in[n] = 1.5;
+        let no_eq = Matrix::zeros(0, n);
+        let plain = ActiveSetQp::default()
+            .solve(&f, &no_eq, &[], &a_in, &b_in, vec![0.0; n])
+            .unwrap();
+        // Restart from the solution, seeding its zero rows: must finish in
+        // one outer iteration at (numerically) the same point.
+        let x0 = plain.x.clone();
+        let seed: Vec<usize> = (0..n).filter(|&i| x0[i].abs() <= 1e-9).collect();
+        assert!(!seed.is_empty(), "test problem should have inactive rows");
+        let seeded = ActiveSetQp::default()
+            .solve_seeded(
+                &f,
+                &no_eq,
+                &[],
+                &a_in,
+                &b_in,
+                x0,
+                &mut KktCache::disabled(),
+                &seed,
+            )
+            .unwrap();
+        assert!(vec_ops::dist2(&seeded.x, &plain.x) < 1e-14);
+        assert!(
+            seeded.iterations <= 2,
+            "seed should skip the build-up phase"
+        );
+        // Stale / out-of-range seeds are dropped, not trusted: seeding rows
+        // that are slack at an interior start must not change the result.
+        let stale = ActiveSetQp::default()
+            .solve_seeded(
+                &f,
+                &no_eq,
+                &[],
+                &a_in,
+                &b_in,
+                vec![0.1; n],
+                &mut KktCache::disabled(),
+                &[0, 3, n, 99],
+            )
+            .unwrap();
+        let fresh = ActiveSetQp::default()
+            .solve(&f, &no_eq, &[], &a_in, &b_in, vec![0.1; n])
+            .unwrap();
+        assert_eq!(stale.x, fresh.x);
+        assert_eq!(stale.iterations, fresh.iterations);
     }
 
     #[test]

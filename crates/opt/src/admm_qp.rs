@@ -53,6 +53,53 @@ pub struct AdmmQpSolution {
     pub dual_residual: f64,
 }
 
+/// Reusable state for repeated [`AdmmQp::solve_warm`] calls on a fixed
+/// problem structure.
+///
+/// Holds the LDLᵀ factors of the quasi-definite KKT matrix (computed on
+/// first use) plus the previous primal/dual iterates, which seed the next
+/// solve. Reuse is valid only while `P`, `A`, ρ and σ are unchanged; call
+/// [`AdmmWorkspace::clear`] when any of them changes.
+#[derive(Debug, Clone, Default)]
+pub struct AdmmWorkspace {
+    fact: Option<Ldlt>,
+    x: Vec<f64>,
+    z: Vec<f64>,
+    y: Vec<f64>,
+    rhs: Vec<f64>,
+    sol: Vec<f64>,
+}
+
+impl AdmmWorkspace {
+    /// An empty workspace; the first solve factors the KKT matrix and
+    /// starts from the origin, exactly like [`AdmmQp::solve`].
+    #[must_use]
+    pub fn new() -> Self {
+        AdmmWorkspace::default()
+    }
+
+    /// Drops the cached factorization and warm-start iterates. Required
+    /// whenever the problem matrices or the ADMM penalties change.
+    pub fn clear(&mut self) {
+        self.fact = None;
+        self.x.clear();
+        self.z.clear();
+        self.y.clear();
+    }
+
+    /// `true` when a KKT factorization is cached.
+    #[must_use]
+    pub fn is_factored(&self) -> bool {
+        self.fact.is_some()
+    }
+
+    fn reset_shape(&mut self, n: usize, m: usize) {
+        self.x = vec![0.0; n];
+        self.z = vec![0.0; m];
+        self.y = vec![0.0; m];
+    }
+}
+
 /// OSQP-style ADMM solver for QPs in the standard "two-sided" form
 ///
 /// ```text
@@ -128,6 +175,31 @@ impl AdmmQp {
         l: &[f64],
         u: &[f64],
     ) -> Result<AdmmQpSolution> {
+        self.solve_warm(p, q, a, l, u, &mut AdmmWorkspace::new())
+    }
+
+    /// Solves the QP reusing the workspace's cached KKT factorization and
+    /// warm-starting from its previous iterates.
+    ///
+    /// The first call factors the KKT matrix and behaves exactly like
+    /// [`AdmmQp::solve`]; subsequent calls with the same `P`/`A` (and solver
+    /// penalties) skip the factorization and start from the last solution,
+    /// which typically cuts iterations sharply when only `q`, `l`, `u`
+    /// drift between solves. The caller must [`AdmmWorkspace::clear`] the
+    /// workspace when the matrices or penalties change.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AdmmQp::solve`].
+    pub fn solve_warm(
+        &self,
+        p: &Matrix,
+        q: &[f64],
+        a: &Matrix,
+        l: &[f64],
+        u: &[f64],
+        ws: &mut AdmmWorkspace,
+    ) -> Result<AdmmQpSolution> {
         let n = q.len();
         let m = a.rows();
         if !p.is_square() || p.rows() != n {
@@ -157,28 +229,41 @@ impl AdmmQp {
         }
 
         let s = self.settings;
-        // Assemble and factor the quasi-definite KKT matrix once.
         let dim = n + m;
-        let mut kkt = Matrix::zeros(dim, dim);
-        for i in 0..n {
-            for j in 0..n {
-                kkt[(i, j)] = p[(i, j)];
+        // Assemble and factor the quasi-definite KKT matrix only when the
+        // workspace has no usable factors (first call or shape change).
+        if ws.fact.as_ref().is_none_or(|f| f.dim() != dim) {
+            let mut kkt = Matrix::zeros(dim, dim);
+            for i in 0..n {
+                for j in 0..n {
+                    kkt[(i, j)] = p[(i, j)];
+                }
+                kkt[(i, i)] += s.sigma;
             }
-            kkt[(i, i)] += s.sigma;
-        }
-        for r in 0..m {
-            for j in 0..n {
-                kkt[(n + r, j)] = a[(r, j)];
-                kkt[(j, n + r)] = a[(r, j)];
+            for r in 0..m {
+                for j in 0..n {
+                    kkt[(n + r, j)] = a[(r, j)];
+                    kkt[(j, n + r)] = a[(r, j)];
+                }
+                kkt[(n + r, n + r)] = -1.0 / s.rho;
             }
-            kkt[(n + r, n + r)] = -1.0 / s.rho;
+            ws.fact = Some(Ldlt::factor(&kkt)?);
+            ws.reset_shape(n, m);
         }
-        let fact = Ldlt::factor(&kkt)?;
-
-        let mut x = vec![0.0; n];
-        let mut z = vec![0.0; m];
-        let mut y = vec![0.0; m];
-        let mut rhs = vec![0.0; dim];
+        if ws.x.len() != n || ws.z.len() != m {
+            ws.reset_shape(n, m);
+        }
+        ws.rhs.resize(dim, 0.0);
+        ws.sol.resize(dim, 0.0);
+        let AdmmWorkspace {
+            fact,
+            x,
+            z,
+            y,
+            rhs,
+            sol,
+        } = ws;
+        let fact = fact.as_ref().expect("factored above");
 
         let mut r_prim = f64::INFINITY;
         let mut r_dual = f64::INFINITY;
@@ -191,53 +276,46 @@ impl AdmmQp {
             for r in 0..m {
                 rhs[n + r] = z[r] - y[r] / s.rho;
             }
-            let sol = fact.solve(&rhs)?;
-            let x_tilde = &sol[..n];
-            let nu = &sol[n..];
-            // z̃ = z + (ν − y)/ρ.
-            let z_tilde: Vec<f64> = (0..m).map(|r| z[r] + (nu[r] - y[r]) / s.rho).collect();
+            fact.solve_into(rhs, sol)?;
 
-            // Over-relaxed updates.
-            let x_next: Vec<f64> = (0..n)
-                .map(|i| s.alpha * x_tilde[i] + (1.0 - s.alpha) * x[i])
-                .collect();
-            let z_relax: Vec<f64> = (0..m)
-                .map(|r| s.alpha * z_tilde[r] + (1.0 - s.alpha) * z[r])
-                .collect();
-            let z_next: Vec<f64> = (0..m)
-                .map(|r| (z_relax[r] + y[r] / s.rho).clamp(l[r], u[r]))
-                .collect();
-            for r in 0..m {
-                y[r] += s.rho * (z_relax[r] - z_next[r]);
+            // Over-relaxed updates, in place (sol[..n] = x̃, sol[n..] = ν).
+            for i in 0..n {
+                x[i] = s.alpha * sol[i] + (1.0 - s.alpha) * x[i];
             }
-            x = x_next;
-            z = z_next;
+            for r in 0..m {
+                // z̃ = z + (ν − y)/ρ.
+                let z_tilde = z[r] + (sol[n + r] - y[r]) / s.rho;
+                let z_relax = s.alpha * z_tilde + (1.0 - s.alpha) * z[r];
+                let z_next = (z_relax + y[r] / s.rho).clamp(l[r], u[r]);
+                y[r] += s.rho * (z_relax - z_next);
+                z[r] = z_next;
+            }
 
             // Residuals every few iterations (they need two matvecs).
             if iter % 5 == 0 || iter + 1 == s.max_iterations {
-                let ax = a.matvec(&x)?;
-                r_prim = vec_ops::norm_inf(&vec_ops::sub(&ax, &z));
-                let px = p.matvec(&x)?;
-                let aty = a.matvec_t(&y)?;
+                let ax = a.matvec(x)?;
+                r_prim = vec_ops::norm_inf(&vec_ops::sub(&ax, z));
+                let px = p.matvec(x)?;
+                let aty = a.matvec_t(y)?;
                 let mut d = px;
                 vec_ops::axpy(1.0, q, &mut d);
                 vec_ops::axpy(1.0, &aty, &mut d);
                 r_dual = vec_ops::norm_inf(&d);
 
                 let eps_prim =
-                    s.eps_abs + s.eps_rel * vec_ops::norm_inf(&ax).max(vec_ops::norm_inf(&z));
-                let px2 = p.matvec(&x)?;
+                    s.eps_abs + s.eps_rel * vec_ops::norm_inf(&ax).max(vec_ops::norm_inf(z));
+                let px2 = p.matvec(x)?;
                 let eps_dual = s.eps_abs
                     + s.eps_rel
                         * vec_ops::norm_inf(&px2)
                             .max(vec_ops::norm_inf(q))
-                            .max(vec_ops::norm_inf(&a.matvec_t(&y)?));
+                            .max(vec_ops::norm_inf(&a.matvec_t(y)?));
                 if r_prim <= eps_prim && r_dual <= eps_dual {
-                    let value = 0.5 * vec_ops::dot(&x, &p.matvec(&x)?) + vec_ops::dot(q, &x);
+                    let value = 0.5 * vec_ops::dot(x, &p.matvec(x)?) + vec_ops::dot(q, x);
                     return Ok(AdmmQpSolution {
-                        x,
-                        z,
-                        y,
+                        x: x.clone(),
+                        z: z.clone(),
+                        y: y.clone(),
                         value,
                         iterations: iter + 1,
                         primal_residual: r_prim,
@@ -354,6 +432,38 @@ mod tests {
             alpha: 2.5,
             ..AdmmQpSettings::default()
         });
+    }
+
+    #[test]
+    fn warm_start_reuses_factors_and_cuts_iterations() {
+        let p = Matrix::identity(2);
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let l = [1.0, 0.0, 0.0];
+        let u = [1.0, f64::INFINITY, f64::INFINITY];
+        let mut ws = AdmmWorkspace::new();
+        let cold = AdmmQp::default()
+            .solve_warm(&p, &[0.0, 0.0], &a, &l, &u, &mut ws)
+            .unwrap();
+        assert!(ws.is_factored());
+        // First warm call is bit-identical to the plain solve.
+        let fresh = AdmmQp::default()
+            .solve(&p, &[0.0, 0.0], &a, &l, &u)
+            .unwrap();
+        assert_eq!(cold.x, fresh.x);
+        assert_eq!(cold.iterations, fresh.iterations);
+        // A nearby q solved warm needs (far) fewer iterations.
+        let warm = AdmmQp::default()
+            .solve_warm(&p, &[0.01, 0.0], &a, &l, &u, &mut ws)
+            .unwrap();
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        assert!((warm.x[0] + warm.x[1] - 1.0).abs() < 1e-5);
+        ws.clear();
+        assert!(!ws.is_factored());
     }
 
     #[test]

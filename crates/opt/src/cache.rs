@@ -1,0 +1,188 @@
+use std::collections::HashMap;
+
+use ufc_linalg::Ldlt;
+
+use crate::Result;
+
+/// A cached KKT factorization together with the objective-operator shift it
+/// was assembled with (the shift participates in iterative refinement, so it
+/// must travel with the factors).
+#[derive(Debug, Clone)]
+pub(crate) struct CachedKkt {
+    pub(crate) fact: Ldlt,
+    pub(crate) shift: f64,
+}
+
+/// Memo of KKT factorizations keyed by the active-set solver's working set.
+///
+/// The λ- and a-sub-problem Hessians of the ADM-G algorithm are constant
+/// across outer iterations (`ρI`-shifted quadratics), so for a fixed block
+/// the KKT matrix is fully determined by the *ordered* working set of
+/// inequality constraints. Caching the LDLᵀ factors lets every iteration
+/// after the first skip both the dense-Hessian materialization and the
+/// `O(n³)` factorization.
+///
+/// # Invariants
+///
+/// * A cache is only valid for a fixed `(Q, A_eq, A_in, hessian_shift)`
+///   tuple. Callers **must** [`clear`](KktCache::clear) it whenever any of
+///   those change — e.g. when the penalty ρ changes on an adaptive-penalty
+///   step, or when the workspace is retargeted to a new instance.
+/// * Keys are the working set *in insertion order*, not sorted: the row
+///   order determines the LDLᵀ elimination order, and two orderings of the
+///   same set produce different (bit-wise) factors. Keying on the exact
+///   order is what makes cached solves bit-identical to fresh ones.
+/// * The cache is a pure memo — a hit replays the exact factorization a
+///   fresh solve would compute, so enabling or disabling caching never
+///   changes a single bit of the solution.
+#[derive(Debug, Clone)]
+pub struct KktCache {
+    entries: HashMap<Vec<usize>, CachedKkt>,
+    limit: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for KktCache {
+    /// Capacity for 64 working sets — generous for the paper-scale QPs,
+    /// whose active-set paths visit a handful of working sets per solve.
+    fn default() -> Self {
+        KktCache::new(64)
+    }
+}
+
+impl KktCache {
+    /// Creates a cache holding at most `limit` factorizations. Once full,
+    /// further misses are solved fresh without being stored. `limit == 0`
+    /// disables caching entirely.
+    #[must_use]
+    pub fn new(limit: usize) -> Self {
+        KktCache {
+            entries: HashMap::new(),
+            limit,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// A cache that never stores anything — every lookup is a miss, which
+    /// reproduces the uncached solver exactly.
+    #[must_use]
+    pub fn disabled() -> Self {
+        KktCache::new(0)
+    }
+
+    /// Drops all cached factorizations (the hit/miss counters survive).
+    /// Must be called whenever the problem data the cache is keyed against
+    /// changes — see the type-level invariants.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of factorizations currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no factorizations are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from the memo since construction.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that required a fresh factorization since construction.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Returns the entry for `key`, building it with `build` on a miss.
+    /// When the cache is at capacity the fresh entry is parked in `spill`
+    /// (borrowed back to the caller) instead of being stored.
+    pub(crate) fn get_or_build<'a>(
+        &'a mut self,
+        key: &[usize],
+        spill: &'a mut Option<CachedKkt>,
+        build: impl FnOnce() -> Result<CachedKkt>,
+    ) -> Result<&'a CachedKkt> {
+        if self.entries.contains_key(key) {
+            self.hits += 1;
+            return Ok(self.entries.get(key).expect("present: just checked"));
+        }
+        self.misses += 1;
+        let built = build()?;
+        if self.entries.len() < self.limit {
+            Ok(self.entries.entry(key.to_vec()).or_insert(built))
+        } else {
+            *spill = Some(built);
+            Ok(spill.as_ref().expect("spill just set"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufc_linalg::Matrix;
+
+    fn entry() -> CachedKkt {
+        CachedKkt {
+            fact: Ldlt::factor(&Matrix::identity(2)).unwrap(),
+            shift: 1e-12,
+        }
+    }
+
+    #[test]
+    fn memoizes_up_to_capacity() {
+        let mut cache = KktCache::new(1);
+        let mut spill = None;
+        cache
+            .get_or_build(&[0], &mut spill, || Ok(entry()))
+            .unwrap();
+        assert!(spill.is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        cache
+            .get_or_build(&[0], &mut spill, || Ok(entry()))
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // Capacity reached: a second key is built but spilled, not stored.
+        cache
+            .get_or_build(&[1], &mut spill, || Ok(entry()))
+            .unwrap();
+        assert!(spill.is_some());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disabled_cache_always_misses() {
+        let mut cache = KktCache::disabled();
+        let mut spill = None;
+        for _ in 0..3 {
+            cache.get_or_build(&[], &mut spill, || Ok(entry())).unwrap();
+        }
+        assert_eq!((cache.hits(), cache.misses()), (0, 3));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn ordered_keys_are_distinct() {
+        let mut cache = KktCache::default();
+        let mut spill = None;
+        cache
+            .get_or_build(&[0, 1], &mut spill, || Ok(entry()))
+            .unwrap();
+        cache
+            .get_or_build(&[1, 0], &mut spill, || Ok(entry()))
+            .unwrap();
+        assert_eq!(cache.len(), 2, "working-set order must be part of the key");
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

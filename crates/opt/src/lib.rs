@@ -38,6 +38,7 @@
 
 mod active_set;
 mod admm_qp;
+mod cache;
 mod error;
 mod fista;
 pub mod kkt;
@@ -47,7 +48,8 @@ pub mod scalar;
 mod smooth;
 
 pub use active_set::{ActiveSetQp, QpSolution};
-pub use admm_qp::{AdmmQp, AdmmQpSettings, AdmmQpSolution};
+pub use admm_qp::{AdmmQp, AdmmQpSettings, AdmmQpSolution, AdmmWorkspace};
+pub use cache::KktCache;
 pub use error::OptError;
 pub use fista::{Fista, FistaResult};
 pub use quadratic::QuadObjective;

@@ -152,6 +152,45 @@ impl QuadObjective {
         &self.linear
     }
 
+    /// Overwrites the linear term `c` in place, leaving the Hessian intact.
+    ///
+    /// This is the hot-path mutator used by the ADM-G solver workspaces: the
+    /// sub-problem Hessians are constant across iterations while the linear
+    /// term changes every iteration, so retargeting `c` avoids rebuilding the
+    /// objective (and invalidating any cached factorization keyed on it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c.len() != dim()`.
+    pub fn set_linear(&mut self, c: &[f64]) {
+        assert_eq!(c.len(), self.linear.len(), "linear term length mismatch");
+        self.linear.copy_from_slice(c);
+    }
+
+    /// Overwrites the rank-one part of a diagonal-plus-rank-one Hessian in
+    /// place, borrowing `u` instead of taking ownership.
+    ///
+    /// Used by sub-problem loops that sweep over blocks sharing the same
+    /// diagonal `ρI` but block-specific rank-one terms: retargeting reuses
+    /// the existing buffers instead of cloning a latency vector per block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Hessian is dense or `u.len() != dim()`.
+    pub fn set_rank1(&mut self, gamma: f64, u: &[f64]) {
+        match &mut self.hessian {
+            Hessian::DiagRank1 {
+                gamma: g, u: uu, ..
+            } => {
+                assert_eq!(u.len(), uu.len(), "rank-one term length mismatch");
+                debug_assert!(gamma >= 0.0, "rank-one coefficient must be nonnegative");
+                *g = gamma;
+                uu.copy_from_slice(u);
+            }
+            Hessian::Dense(_) => panic!("set_rank1 requires a diagonal-plus-rank-one Hessian"),
+        }
+    }
+
     /// An upper bound on the largest Hessian eigenvalue — the gradient
     /// Lipschitz constant used to set FISTA's step size.
     ///
@@ -247,6 +286,23 @@ mod tests {
         let g1 = f1.gradient(&x);
         let g2 = f2.gradient(&x);
         assert!(vec_ops::dist2(&g1, &g2) < 1e-12);
+    }
+
+    #[test]
+    fn retargeting_matches_fresh_construction() {
+        let mut f = QuadObjective::diag_rank1(vec![0.3; 3], 0.0, vec![0.0; 3], vec![0.0; 3], 0.0);
+        f.set_rank1(0.7, &[1.0, -1.0, 2.0]);
+        f.set_linear(&[0.1, 0.2, 0.3]);
+        let fresh = QuadObjective::diag_rank1(
+            vec![0.3; 3],
+            0.7,
+            vec![1.0, -1.0, 2.0],
+            vec![0.1, 0.2, 0.3],
+            0.0,
+        );
+        let x = [0.3, -1.2, 0.8];
+        assert_eq!(f.value(&x).to_bits(), fresh.value(&x).to_bits());
+        assert_eq!(f.gradient(&x), fresh.gradient(&x));
     }
 
     #[test]

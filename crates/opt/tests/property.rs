@@ -8,7 +8,7 @@
 use proptest::prelude::*;
 use ufc_linalg::{vec_ops, Matrix};
 use ufc_opt::projection::{project_box, project_capped_simplex, project_simplex};
-use ufc_opt::{kkt, ActiveSetQp, AdmmQp, Fista, QuadObjective};
+use ufc_opt::{kkt, ActiveSetQp, AdmmQp, Fista, KktCache, QuadObjective};
 
 fn vec_in(n: usize, lo: f64, hi: f64) -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(lo..hi, n)
@@ -127,6 +127,64 @@ proptest! {
             (admm.value - exact.value).abs() <= 1e-4 * (1.0 + exact.value.abs()),
             "admm {} vs exact {}", admm.value, exact.value
         );
+    }
+
+    /// Cached-factorization QP solves match fresh-factorization solves to
+    /// 1e-12 (they are in fact bit-identical — the cache is a pure memo).
+    /// Exercised on both sub-problem shapes: the simplex λ-QP and the
+    /// capped-simplex a-QP, with a sequence of linear terms sharing one
+    /// cache, like successive ADM-G iterations.
+    #[test]
+    fn cached_qp_solves_match_fresh(
+        latencies in vec_in(4, 0.005, 0.05),
+        c1 in vec_in(4, -2.0, 2.0),
+        c2 in vec_in(4, -2.0, 2.0),
+        arrival in 0.5f64..5.0,
+        cap in 0.5f64..3.0,
+    ) {
+        let rho = 0.3;
+        // λ shape: simplex with equality row.
+        let a_eq = Matrix::from_rows(&[&[1.0; 4]]).unwrap();
+        let a_in = Matrix::from_fn(4, 4, |i, j| if i == j { -1.0 } else { 0.0 });
+        let mut cache = KktCache::default();
+        for c in [&c1, &c2] {
+            let f = QuadObjective::diag_rank1(
+                vec![rho; 4], 2.0 * 10.0 / arrival, latencies.clone(), c.clone(), 0.0,
+            );
+            let start = vec![arrival / 4.0; 4];
+            let fresh = ActiveSetQp::default()
+                .solve(&f, &a_eq, &[arrival], &a_in, &[0.0; 4], start.clone())
+                .unwrap();
+            let cached = ActiveSetQp::default()
+                .solve_with_cache(&f, &a_eq, &[arrival], &a_in, &[0.0; 4], start, &mut cache)
+                .unwrap();
+            prop_assert!(vec_ops::norm_inf(&vec_ops::sub(&fresh.x, &cached.x)) <= 1e-12);
+            prop_assert!((fresh.value - cached.value).abs() <= 1e-12 * (1.0 + fresh.value.abs()));
+            prop_assert_eq!(fresh.iterations, cached.iterations);
+        }
+        // a shape: capped simplex, inequality-only.
+        let beta = 0.12;
+        let mut a_in2 = Matrix::zeros(5, 4);
+        let mut b_in2 = vec![0.0; 5];
+        for i in 0..4 { a_in2[(i, i)] = -1.0; }
+        for j in 0..4 { a_in2[(4, j)] = 1.0; }
+        b_in2[4] = cap;
+        let mut cache2 = KktCache::default();
+        for c in [&c1, &c2] {
+            let f = QuadObjective::diag_rank1(
+                vec![rho; 4], rho * beta * beta, vec![1.0; 4], c.clone(), 0.0,
+            );
+            let fresh = ActiveSetQp::default()
+                .solve(&f, &Matrix::zeros(0, 4), &[], &a_in2, &b_in2, vec![0.0; 4])
+                .unwrap();
+            let cached = ActiveSetQp::default()
+                .solve_with_cache(
+                    &f, &Matrix::zeros(0, 4), &[], &a_in2, &b_in2, vec![0.0; 4], &mut cache2,
+                )
+                .unwrap();
+            prop_assert!(vec_ops::norm_inf(&vec_ops::sub(&fresh.x, &cached.x)) <= 1e-12);
+            prop_assert_eq!(fresh.iterations, cached.iterations);
+        }
     }
 
     /// FISTA monotonically improves over the projected start value.
