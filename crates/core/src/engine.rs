@@ -1,0 +1,437 @@
+//! The transport-agnostic ADM-G iteration driver — the **single** copy of
+//! the paper's prediction/correction loop.
+//!
+//! The paper's central claim (§III, problem (13)) is that one algorithm —
+//! 4-block ADM-G with Gaussian back substitution — runs identically whether
+//! executed centrally or distributed across front-ends and datacenters.
+//! This module encodes that claim structurally: [`drive`] owns the
+//! λ → μ → ν → a prediction order, the backward correction, the
+//! three-residual convergence test, and the per-iteration event stream,
+//! while a [`Transport`] implementation supplies only *how* block inputs
+//! are broadcast and block results gathered:
+//!
+//! * **in-process** (`InProcessTransport`, crate-private): direct calls through the
+//!   [`crate::AdmgSolver`] workspace and [`WorkerPool`];
+//! * **lockstep message-passing** (`ufc_distsim`): deterministic rounds
+//!   over explicit messages, with optional loss and fault injection;
+//! * **supervised threaded** (`ufc_distsim`): one OS thread per node over
+//!   mpsc channels, driven by a supervising coordinator.
+//!
+//! Every transport must preserve the numerical contract bit-for-bit:
+//! parallel ≡ sequential, cached ≡ fresh, lockstep ≡ threaded, and
+//! faulty-with-no-faults ≡ clean (asserted across crates in the
+//! `engine_equivalence` integration test).
+
+use ufc_model::UfcInstance;
+
+use crate::correction::gaussian_back_substitution;
+use crate::pool::WorkerPool;
+use crate::workspace::SolverWorkspace;
+use crate::{AdmgSettings, AdmgState, Result};
+
+/// Per-iteration residual record (the raw material of Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationRecord {
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// Link residual `max|λ − a|` (kilo-servers).
+    pub link_residual: f64,
+    /// Power-balance residual (MW).
+    pub balance_residual: f64,
+    /// Dual residual: ρ × the ∞-norm movement of the corrected blocks.
+    pub dual_residual: f64,
+    /// ADMM-form objective (12) at the corrected iterate ($); `NaN` when
+    /// the transport cannot observe the assembled iterate.
+    pub objective: f64,
+}
+
+/// Max-reduced residuals of one corrected iterate, as returned by
+/// [`Transport::correct`]. The driver derives the dual residual as
+/// `ρ × movement` and applies the stop rule.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BlockResiduals {
+    /// Link residual `max|λ − a|` (kilo-servers).
+    pub link: f64,
+    /// Power-balance residual (MW).
+    pub balance: f64,
+    /// ∞-norm movement of the corrected blocks `(μ, ν, a, φ, φ_ij)`.
+    pub movement: f64,
+}
+
+/// One iteration of the unified driver, as delivered to an
+/// [`IterationObserver`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationEvent {
+    /// Iteration index (0-based, matching [`IterationRecord::iteration`]).
+    pub iteration: usize,
+    /// Link residual at the corrected iterate.
+    pub link_residual: f64,
+    /// Power-balance residual at the corrected iterate.
+    pub balance_residual: f64,
+    /// Dual residual `ρ × movement`.
+    pub dual_residual: f64,
+    /// Objective at the corrected iterate, when the transport can observe
+    /// it (`None` for distributed transports — no node holds the full
+    /// iterate).
+    pub objective: Option<f64>,
+    /// Whether this iteration passed all three residual tests.
+    pub converged: bool,
+}
+
+/// Receives the per-iteration event stream of [`drive`] — the single hook
+/// through which solvers, distributed statistics, and experiment drivers
+/// observe an ADM-G run.
+pub trait IterationObserver {
+    /// Called once per iteration, after correction and the stop decision.
+    fn on_iteration(&mut self, event: &IterationEvent);
+}
+
+/// The no-op observer, for callers that only need the final outcome.
+impl IterationObserver for () {
+    fn on_iteration(&mut self, _event: &IterationEvent) {}
+}
+
+/// An observer that collects the classic [`IterationRecord`] history.
+#[derive(Debug, Clone, Default)]
+pub struct HistoryRecorder {
+    records: Vec<IterationRecord>,
+}
+
+impl HistoryRecorder {
+    /// The recorded trajectory, one record per iteration.
+    #[must_use]
+    pub fn into_history(self) -> Vec<IterationRecord> {
+        self.records
+    }
+}
+
+impl IterationObserver for HistoryRecorder {
+    fn on_iteration(&mut self, event: &IterationEvent) {
+        self.records.push(IterationRecord {
+            iteration: event.iteration,
+            link_residual: event.link_residual,
+            balance_residual: event.balance_residual,
+            dual_residual: event.dual_residual,
+            objective: event.objective.unwrap_or(f64::NAN),
+        });
+    }
+}
+
+/// How one ADM-G execution engine moves block inputs and results around.
+///
+/// [`drive`] calls the phases in a fixed order each iteration `k`
+/// (1-based): [`Transport::begin_iteration`] (membership/fault
+/// bookkeeping), [`Transport::predict_lambda`] (the λ-step broadcast),
+/// [`Transport::step_datacenters`] (the μ → ν → a steps plus dual
+/// prediction and result gather), [`Transport::correct`] (Gaussian
+/// back substitution plus residual reduction), and
+/// [`Transport::finish_iteration`] (the continue/stop control broadcast
+/// and any checkpointing) — after the stop decision, so a converged
+/// iteration still broadcasts its verdict but never checkpoints.
+pub trait Transport {
+    /// Pre-phase bookkeeping: readmission probes, straggler accounting,
+    /// partition stalls. Default: nothing (clean engines).
+    ///
+    /// # Errors
+    ///
+    /// Transport-specific; a returned error aborts the run.
+    fn begin_iteration(&mut self, k: usize) -> Result<()> {
+        let _ = k;
+        Ok(())
+    }
+
+    /// Step 1: every front-end block solves its λ-sub-problem (17) and the
+    /// predictions `λ̃` are scattered to the datacenter blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CoreError::Subproblem`] if a block QP fails; transports
+    /// add their own failure modes (e.g. node failures).
+    fn predict_lambda(&mut self, k: usize) -> Result<()>;
+
+    /// Steps 2–4: every datacenter block runs the μ̃ (18), ν̃ (19) and
+    /// ã (20) predictions plus the dual prediction, and the results are
+    /// gathered back.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transport::predict_lambda`].
+    fn step_datacenters(&mut self, k: usize) -> Result<()>;
+
+    /// The Gaussian back-substitution correction (backward block order) and
+    /// the max-reduction of the per-block residuals.
+    ///
+    /// # Errors
+    ///
+    /// Transport-specific node/communication failures.
+    fn correct(&mut self, k: usize) -> Result<BlockResiduals>;
+
+    /// Post-decision bookkeeping: the continue/stop control broadcast,
+    /// replay-history buffering, and checkpointing (never on `stop`).
+    /// Default: nothing.
+    ///
+    /// # Errors
+    ///
+    /// Transport-specific (e.g. a checkpoint round failing).
+    fn finish_iteration(&mut self, k: usize, stop: bool) -> Result<()> {
+        let _ = (k, stop);
+        Ok(())
+    }
+
+    /// Objective at the current corrected iterate, when observable.
+    /// Distributed transports return `None`: no single node holds the
+    /// full iterate.
+    fn objective(&mut self) -> Option<f64> {
+        None
+    }
+}
+
+/// What [`drive`] reports back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriveOutcome {
+    /// Iterations performed (1-based count).
+    pub iterations: usize,
+    /// Whether all three residual tests passed before the iteration cap.
+    pub converged: bool,
+}
+
+/// Runs the ADM-G iteration to convergence (or the iteration cap) over the
+/// given transport — the one place in the workspace where the prediction
+/// order λ → μ → ν → a, the backward correction, and the stopping rule
+/// `link ≤ ε_link ∧ balance ≤ ε_balance ∧ ρ·movement ≤ ε_dual` are
+/// sequenced.
+///
+/// `tolerances` is the `(link, balance, dual)` triple, typically
+/// [`AdmgSettings::scaled_tolerances`].
+///
+/// # Errors
+///
+/// Propagates the first transport error.
+pub fn drive<T: Transport + ?Sized>(
+    transport: &mut T,
+    settings: &AdmgSettings,
+    tolerances: (f64, f64, f64),
+    observer: &mut dyn IterationObserver,
+) -> Result<DriveOutcome> {
+    let (link_tol, balance_tol, dual_tol) = tolerances;
+    let mut converged = false;
+    let mut iterations = 0;
+    for k in 1..=settings.max_iterations {
+        iterations = k;
+        transport.begin_iteration(k)?;
+        // Prediction, forward block order: λ first, then the datacenter
+        // blocks μ → ν → a and the dual prediction.
+        transport.predict_lambda(k)?;
+        transport.step_datacenters(k)?;
+        // Correction (Gaussian back substitution), backward block order.
+        let residuals = transport.correct(k)?;
+        let dual = settings.rho * residuals.movement;
+        let stop =
+            residuals.link <= link_tol && residuals.balance <= balance_tol && dual <= dual_tol;
+        observer.on_iteration(&IterationEvent {
+            iteration: k - 1,
+            link_residual: residuals.link,
+            balance_residual: residuals.balance,
+            dual_residual: dual,
+            objective: transport.objective(),
+            converged: stop,
+        });
+        transport.finish_iteration(k, stop)?;
+        if stop {
+            converged = true;
+            break;
+        }
+    }
+    Ok(DriveOutcome {
+        iterations,
+        converged,
+    })
+}
+
+/// ∞-norm movement of the corrected blocks `(μ, ν, a, φ, φ_ij)` between two
+/// iterates — the dual-residual proxy used in the stopping rule.
+pub(crate) fn iterate_movement(prev: &AdmgState, next: &AdmgState) -> f64 {
+    let mut m = 0.0f64;
+    for (a, b) in prev.mu.iter().zip(&next.mu) {
+        m = m.max((a - b).abs());
+    }
+    for (a, b) in prev.nu.iter().zip(&next.nu) {
+        m = m.max((a - b).abs());
+    }
+    for (a, b) in prev.a.iter().zip(&next.a) {
+        m = m.max((a - b).abs());
+    }
+    for (a, b) in prev.phi.iter().zip(&next.phi) {
+        m = m.max((a - b).abs());
+    }
+    for (a, b) in prev.varphi.iter().zip(&next.varphi) {
+        m = m.max((a - b).abs());
+    }
+    m
+}
+
+/// The in-process transport: the global iterate lives in one [`AdmgState`]
+/// and the block phases are direct calls through the persistent
+/// [`SolverWorkspace`] kernels, fanned across a [`WorkerPool`].
+pub(crate) struct InProcessTransport<'a> {
+    instance: &'a UfcInstance,
+    pool: &'a WorkerPool,
+    ws: &'a mut SolverWorkspace,
+    state: AdmgState,
+    epsilon: f64,
+    active_mu: bool,
+    active_nu: bool,
+}
+
+impl<'a> InProcessTransport<'a> {
+    pub(crate) fn new(
+        instance: &'a UfcInstance,
+        settings: &AdmgSettings,
+        start: AdmgState,
+        ws: &'a mut SolverWorkspace,
+        pool: &'a WorkerPool,
+        active_mu: bool,
+        active_nu: bool,
+    ) -> Self {
+        InProcessTransport {
+            instance,
+            pool,
+            ws,
+            state: start,
+            epsilon: settings.epsilon,
+            active_mu,
+            active_nu,
+        }
+    }
+
+    /// The final corrected iterate.
+    pub(crate) fn into_state(self) -> AdmgState {
+        self.state
+    }
+}
+
+impl Transport for InProcessTransport<'_> {
+    fn predict_lambda(&mut self, _k: usize) -> Result<()> {
+        self.ws.predict_lambda(&self.state, self.pool)
+    }
+
+    fn step_datacenters(&mut self, _k: usize) -> Result<()> {
+        self.ws.predict_site_blocks(
+            self.instance,
+            &self.state,
+            self.pool,
+            self.active_mu,
+            self.active_nu,
+        )
+    }
+
+    fn correct(&mut self, _k: usize) -> Result<BlockResiduals> {
+        self.ws.prev.clone_from(&self.state);
+        gaussian_back_substitution(
+            self.instance,
+            &mut self.state,
+            &self.ws.tilde,
+            self.epsilon,
+            self.active_mu,
+            self.active_nu,
+        );
+        Ok(BlockResiduals {
+            link: self.state.link_residual(),
+            balance: self.state.balance_residual(self.instance),
+            movement: iterate_movement(&self.ws.prev, &self.state),
+        })
+    }
+
+    fn objective(&mut self) -> Option<f64> {
+        Some(self.state.objective(self.instance))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A transport that converges after a scripted number of iterations,
+    /// for exercising the driver's sequencing alone.
+    struct Scripted {
+        calls: Vec<&'static str>,
+        converge_at: usize,
+    }
+
+    impl Transport for Scripted {
+        fn begin_iteration(&mut self, _k: usize) -> Result<()> {
+            self.calls.push("begin");
+            Ok(())
+        }
+        fn predict_lambda(&mut self, _k: usize) -> Result<()> {
+            self.calls.push("lambda");
+            Ok(())
+        }
+        fn step_datacenters(&mut self, _k: usize) -> Result<()> {
+            self.calls.push("site");
+            Ok(())
+        }
+        fn correct(&mut self, k: usize) -> Result<BlockResiduals> {
+            self.calls.push("correct");
+            let done = k >= self.converge_at;
+            Ok(BlockResiduals {
+                link: if done { 0.0 } else { 1.0 },
+                balance: 0.0,
+                movement: 0.0,
+            })
+        }
+        fn finish_iteration(&mut self, _k: usize, stop: bool) -> Result<()> {
+            self.calls.push(if stop { "finish/stop" } else { "finish" });
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn driver_sequences_phases_and_stops() {
+        let mut t = Scripted {
+            calls: Vec::new(),
+            converge_at: 2,
+        };
+        let settings = AdmgSettings::default();
+        let mut recorder = HistoryRecorder::default();
+        let outcome = drive(&mut t, &settings, (0.5, 0.5, 0.5), &mut recorder)
+            .expect("scripted transport cannot fail");
+        assert!(outcome.converged);
+        assert_eq!(outcome.iterations, 2);
+        assert_eq!(
+            t.calls,
+            vec![
+                "begin",
+                "lambda",
+                "site",
+                "correct",
+                "finish",
+                "begin",
+                "lambda",
+                "site",
+                "correct",
+                "finish/stop",
+            ]
+        );
+        let history = recorder.into_history();
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0].iteration, 0);
+        assert!(history[1].objective.is_nan(), "no objective => NaN record");
+    }
+
+    #[test]
+    fn driver_hits_iteration_cap_without_convergence() {
+        let mut t = Scripted {
+            calls: Vec::new(),
+            converge_at: usize::MAX,
+        };
+        let settings = AdmgSettings {
+            max_iterations: 3,
+            ..AdmgSettings::default()
+        };
+        let outcome = drive(&mut t, &settings, (0.5, 0.5, 0.5), &mut ())
+            .expect("scripted transport cannot fail");
+        assert!(!outcome.converged);
+        assert_eq!(outcome.iterations, 3);
+    }
+}

@@ -18,6 +18,11 @@
 //!    [`generic`]), which guarantees convergence *without strong convexity*
 //!    of the emission-cost functions `V_j` — the flat carbon tax case.
 //!
+//! Both steps are sequenced by exactly one iteration loop: the
+//! transport-agnostic driver in [`engine`], whose [`Transport`] trait is
+//! implemented by the in-process solver here and by the lockstep and
+//! supervised-threaded runtimes in `ufc-distsim`.
+//!
 //! The crate also provides the paper's three procurement strategies
 //! ([`Strategy`]: `Hybrid`, `GridOnly`, `FuelCellOnly`) as block
 //! restrictions of the same machinery, and a [`centralized`] reference
@@ -47,6 +52,7 @@
 pub mod baseline;
 pub mod centralized;
 pub mod correction;
+pub mod engine;
 mod error;
 pub mod generic;
 mod pool;
@@ -60,10 +66,13 @@ mod strategy;
 pub mod subproblems;
 mod workspace;
 
+pub use engine::{
+    BlockResiduals, DriveOutcome, IterationEvent, IterationObserver, IterationRecord, Transport,
+};
 pub use error::CoreError;
 pub use pool::WorkerPool;
 pub use settings::{AdmgSettings, SubproblemMethod};
-pub use solver::{AdmgSolution, AdmgSolver, IterationRecord};
+pub use solver::{AdmgSolution, AdmgSolver};
 pub use state::AdmgState;
 pub use strategy::{solve_all_strategies, Strategy, StrategyComparison};
 pub use workspace::{AColQp, LambdaQp};

@@ -1,26 +1,11 @@
 use ufc_model::{evaluate, OperatingPoint, UfcBreakdown, UfcInstance};
 
-use crate::correction::gaussian_back_substitution;
+use crate::engine::{drive, HistoryRecorder, InProcessTransport, IterationRecord};
 use crate::pool::WorkerPool;
 use crate::repair::assemble_point;
 use crate::strategy::Strategy;
 use crate::workspace::SolverWorkspace;
 use crate::{AdmgSettings, AdmgState, CoreError, Result};
-
-/// Per-iteration residual record (the raw material of Fig. 11).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct IterationRecord {
-    /// Iteration index (0-based).
-    pub iteration: usize,
-    /// Link residual `max|λ − a|` (kilo-servers).
-    pub link_residual: f64,
-    /// Power-balance residual (MW).
-    pub balance_residual: f64,
-    /// Dual residual: ρ × the ∞-norm movement of the corrected blocks.
-    pub dual_residual: f64,
-    /// ADMM-form objective (12) at the corrected iterate ($).
-    pub objective: f64,
-}
 
 /// Output of one ADM-G run.
 #[derive(Debug, Clone)]
@@ -117,13 +102,35 @@ impl AdmgSolver {
         strategy: Strategy,
         start: AdmgState,
     ) -> Result<AdmgSolution> {
-        let active_mu = strategy != Strategy::GridOnly;
-        let active_nu = strategy != Strategy::FuelCellOnly;
-        if !active_nu && !instance.fuel_cells_cover_peak() {
-            return Err(CoreError::Unsupported {
-                context: "FuelCellOnly requires fuel-cell capacity covering peak demand".to_owned(),
-            });
-        }
+        // Persistent per-block kernels: sub-problem Hessians and constraints
+        // are constant across iterations, so each block's KKT factorizations
+        // are cached and its buffers reused for the whole run. The worker
+        // pool fans the per-front-end and per-datacenter solves; results are
+        // gathered in block order, so every thread count (and the sequential
+        // path) produces bit-identical iterates.
+        let pool = WorkerPool::new(self.settings.num_threads);
+        let mut ws = SolverWorkspace::new(instance, &self.settings);
+        self.solve_with(instance, strategy, start, &mut ws, &pool)
+    }
+
+    /// Runs one ADM-G solve over caller-provided workspace and pool — the
+    /// shared backend of [`AdmgSolver::solve_warm`] and
+    /// [`crate::solve_all_strategies`] (which reuses one workspace across
+    /// the three strategy restrictions).
+    ///
+    /// The workspace must have been built for the same instance and
+    /// settings; strategy restrictions only gate the scalar μ/ν steps, so a
+    /// reused workspace (and its KKT caches) yields bit-identical results to
+    /// a fresh one.
+    pub(crate) fn solve_with(
+        &self,
+        instance: &UfcInstance,
+        strategy: Strategy,
+        start: AdmgState,
+        ws: &mut SolverWorkspace,
+        pool: &WorkerPool,
+    ) -> Result<AdmgSolution> {
+        let (active_mu, active_nu) = strategy.block_activation(instance)?;
         if start.m != instance.m_frontends() || start.n != instance.n_datacenters() {
             return Err(CoreError::Model(ufc_model::ModelError::dim(format!(
                 "warm-start state is {}x{} but instance is {}x{}",
@@ -135,59 +142,21 @@ impl AdmgSolver {
         }
 
         let s = &self.settings;
-        let rho = s.rho;
-        let mut state = start;
-        let mut history = Vec::new();
-        let mut converged = false;
-        let mut iterations = 0;
-
-        let (link_tol, balance_tol, dual_tol) = s.scaled_tolerances(instance);
-
-        // Persistent per-block kernels: sub-problem Hessians and constraints
-        // are constant across iterations, so each block's KKT factorizations
-        // are cached and its buffers reused for the whole run. The worker
-        // pool fans the per-front-end and per-datacenter solves; results are
-        // gathered in block order, so every thread count (and the sequential
-        // path) produces bit-identical iterates.
-        let pool = WorkerPool::new(s.num_threads);
-        let mut ws = SolverWorkspace::new(instance, s, active_mu, active_nu);
-
-        for k in 0..s.max_iterations {
-            iterations = k + 1;
-            // --- Prediction (ADMM) step, forward order λ → μ → ν → a → duals.
-            ws.predict(instance, &state, &pool)?;
-
-            // --- Correction (Gaussian back substitution), backward order.
-            ws.prev.clone_from(&state);
-            gaussian_back_substitution(
-                instance, &mut state, &ws.tilde, s.epsilon, active_mu, active_nu,
-            );
-
-            // --- Residuals.
-            let link = state.link_residual();
-            let balance = state.balance_residual(instance);
-            let dual = rho * iterate_movement(&ws.prev, &state);
-            history.push(IterationRecord {
-                iteration: k,
-                link_residual: link,
-                balance_residual: balance,
-                dual_residual: dual,
-                objective: state.objective(instance),
-            });
-            if link <= link_tol && balance <= balance_tol && dual <= dual_tol {
-                converged = true;
-                break;
-            }
-        }
+        let tolerances = s.scaled_tolerances(instance);
+        let mut recorder = HistoryRecorder::default();
+        let mut transport =
+            InProcessTransport::new(instance, s, start, ws, pool, active_mu, active_nu);
+        let outcome = drive(&mut transport, s, tolerances, &mut recorder)?;
+        let state = transport.into_state();
 
         let point = assemble_point(instance, &state, !active_nu)?;
         let breakdown = evaluate(instance, &point)?;
         Ok(AdmgSolution {
             point,
             breakdown,
-            iterations,
-            converged,
-            history,
+            iterations: outcome.iterations,
+            converged: outcome.converged,
+            history: recorder.into_history(),
             state,
         })
     }
@@ -211,28 +180,6 @@ impl AdmgSolver {
         }
         Ok(sol)
     }
-}
-
-/// ∞-norm movement of the corrected blocks `(μ, ν, a)` and the duals between
-/// two iterates — the dual-residual proxy used in the stopping rule.
-fn iterate_movement(prev: &AdmgState, next: &AdmgState) -> f64 {
-    let mut m = 0.0f64;
-    for (a, b) in prev.mu.iter().zip(&next.mu) {
-        m = m.max((a - b).abs());
-    }
-    for (a, b) in prev.nu.iter().zip(&next.nu) {
-        m = m.max((a - b).abs());
-    }
-    for (a, b) in prev.a.iter().zip(&next.a) {
-        m = m.max((a - b).abs());
-    }
-    for (a, b) in prev.phi.iter().zip(&next.phi) {
-        m = m.max((a - b).abs());
-    }
-    for (a, b) in prev.varphi.iter().zip(&next.varphi) {
-        m = m.max((a - b).abs());
-    }
-    m
 }
 
 #[cfg(test)]

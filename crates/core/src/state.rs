@@ -54,6 +54,41 @@ pub mod codec {
         *pos += bytes;
         Ok(out)
     }
+
+    /// Appends a length-prefixed boolean mask, one byte per entry.
+    pub fn put_mask(buf: &mut Vec<u8>, mask: &[bool]) {
+        put_u32(buf, u32::try_from(mask.len()).expect("mask too long"));
+        buf.extend(mask.iter().map(|&b| u8::from(b)));
+    }
+
+    /// Reads a length-prefixed boolean mask, advancing `pos`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Checkpoint`] on truncation.
+    pub fn get_mask(buf: &[u8], pos: &mut usize) -> Result<Vec<bool>, CoreError> {
+        let len = get_u32(buf, pos)? as usize;
+        let end = pos
+            .checked_add(len)
+            .filter(|&e| e <= buf.len())
+            .ok_or_else(|| CoreError::checkpoint("truncated bool mask"))?;
+        let out = buf[*pos..end].iter().map(|&b| b != 0).collect();
+        *pos = end;
+        Ok(out)
+    }
+
+    /// Verifies a blob's magic prefix and returns the payload offset.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Checkpoint`] if the blob is shorter than the prefix or
+    /// starts with different bytes.
+    pub fn check_magic(buf: &[u8], magic: &[u8]) -> Result<usize, CoreError> {
+        if buf.len() < magic.len() || &buf[..magic.len()] != magic {
+            return Err(CoreError::checkpoint("bad magic number"));
+        }
+        Ok(magic.len())
+    }
 }
 
 /// The full iterate of the distributed 4-block ADM-G algorithm.
@@ -194,10 +229,7 @@ impl AdmgState {
     /// [`CoreError::Checkpoint`] on a bad magic number, truncation, or
     /// block lengths inconsistent with the recorded `M × N` shape.
     pub fn from_bytes(buf: &[u8]) -> Result<Self, CoreError> {
-        if buf.len() < Self::MAGIC.len() || &buf[..Self::MAGIC.len()] != Self::MAGIC {
-            return Err(CoreError::checkpoint("bad magic number"));
-        }
-        let mut pos = Self::MAGIC.len();
+        let mut pos = codec::check_magic(buf, Self::MAGIC)?;
         let m = codec::get_u32(buf, &mut pos)? as usize;
         let n = codec::get_u32(buf, &mut pos)? as usize;
         let state = AdmgState {

@@ -1,6 +1,8 @@
 use ufc_model::{ufc_improvement, UfcInstance};
 
-use crate::{AdmgSettings, AdmgSolution, AdmgSolver, Result};
+use crate::pool::WorkerPool;
+use crate::workspace::SolverWorkspace;
+use crate::{AdmgSettings, AdmgSolution, AdmgSolver, AdmgState, CoreError, Result};
 
 /// The paper's three procurement strategies (§IV-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -26,6 +28,27 @@ impl Strategy {
             Strategy::GridOnly => "Grid",
             Strategy::FuelCellOnly => "Fuel cell",
         }
+    }
+
+    /// The `(active_mu, active_nu)` block gating this strategy imposes on
+    /// problem (12): `GridOnly` freezes the fuel-cell block μ at zero,
+    /// `FuelCellOnly` freezes the grid block ν. Shared by every execution
+    /// engine (in-process solver and both distributed runtimes).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unsupported`] if `FuelCellOnly` is requested but the
+    /// instance's fuel cells cannot cover peak demand (the restricted
+    /// problem would be infeasible).
+    pub fn block_activation(self, instance: &UfcInstance) -> Result<(bool, bool)> {
+        let active_mu = self != Strategy::GridOnly;
+        let active_nu = self != Strategy::FuelCellOnly;
+        if !active_nu && !instance.fuel_cells_cover_peak() {
+            return Err(CoreError::Unsupported {
+                context: "FuelCellOnly requires fuel-cell capacity covering peak demand".to_owned(),
+            });
+        }
+        Ok((active_mu, active_nu))
     }
 }
 
@@ -63,6 +86,13 @@ impl StrategyComparison {
 
 /// Solves all three strategies on one instance with the same settings.
 ///
+/// One `SolverWorkspace` (block kernels, KKT caches, iterate buffers) and
+/// one [`WorkerPool`] are shared across the three solves: the strategy flags
+/// only gate the scalar μ/ν steps and every workspace buffer is fully
+/// overwritten per prediction, so the shared-workspace results are
+/// bit-identical to three independent solves while the caches warm only
+/// once.
+///
 /// # Errors
 ///
 /// Propagates the first solver failure (see [`AdmgSolver::solve`]).
@@ -71,10 +101,21 @@ pub fn solve_all_strategies(
     settings: AdmgSettings,
 ) -> Result<StrategyComparison> {
     let solver = AdmgSolver::new(settings);
+    let pool = WorkerPool::new(solver.settings().num_threads);
+    let mut ws = SolverWorkspace::new(instance, solver.settings());
+    let mut run = |strategy| {
+        solver.solve_with(
+            instance,
+            strategy,
+            AdmgState::zeros(instance),
+            &mut ws,
+            &pool,
+        )
+    };
     Ok(StrategyComparison {
-        hybrid: solver.solve(instance, Strategy::Hybrid)?,
-        grid: solver.solve(instance, Strategy::GridOnly)?,
-        fuel_cell: solver.solve(instance, Strategy::FuelCellOnly)?,
+        hybrid: run(Strategy::Hybrid)?,
+        grid: run(Strategy::GridOnly)?,
+        fuel_cell: run(Strategy::FuelCellOnly)?,
     })
 }
 
@@ -110,6 +151,33 @@ mod tests {
         assert_eq!(Strategy::GridOnly.label(), "Grid");
         assert_eq!(Strategy::FuelCellOnly.label(), "Fuel cell");
         assert_eq!(Strategy::ALL.len(), 3);
+    }
+
+    /// Sharing one workspace (and its KKT caches) across the three strategy
+    /// solves must be bit-identical to three independent solves.
+    #[test]
+    fn shared_workspace_matches_independent_solves_bitwise() {
+        let inst = tiny();
+        let settings = AdmgSettings::default();
+        let shared = solve_all_strategies(&inst, settings).unwrap();
+        let solver = AdmgSolver::new(settings);
+        for (strategy, got) in [
+            (Strategy::Hybrid, &shared.hybrid),
+            (Strategy::GridOnly, &shared.grid),
+            (Strategy::FuelCellOnly, &shared.fuel_cell),
+        ] {
+            let fresh = solver.solve(&inst, strategy).unwrap();
+            assert_eq!(got.iterations, fresh.iterations, "{strategy:?}");
+            assert_eq!(got.state.lambda, fresh.state.lambda, "{strategy:?}");
+            assert_eq!(got.state.mu, fresh.state.mu, "{strategy:?}");
+            assert_eq!(got.state.nu, fresh.state.nu, "{strategy:?}");
+            assert_eq!(got.state.a, fresh.state.a, "{strategy:?}");
+            assert_eq!(
+                got.breakdown.ufc().to_bits(),
+                fresh.breakdown.ufc().to_bits(),
+                "{strategy:?}"
+            );
+        }
     }
 
     #[test]

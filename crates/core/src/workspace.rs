@@ -15,9 +15,13 @@
 //!
 //! * A kernel is valid for one `(instance row/column, ρ, method)` tuple —
 //!   its cache keys assume a fixed Hessian and constraint set. Changing ρ or
-//!   retargeting to a different block requires building a new kernel (the
-//!   solver builds a fresh [`SolverWorkspace`] per `solve_warm` call, so
-//!   this holds by construction).
+//!   retargeting to a different block requires building a new kernel. A
+//!   workspace **may** be reused across strategy restrictions on the same
+//!   instance/settings: the strategy flags only gate the scalar μ/ν steps
+//!   and never touch a block Hessian or constraint, so cached factors stay
+//!   valid (and, the cache being pure memoization, results stay
+//!   bit-identical to fresh-workspace solves — `solve_all_strategies` relies
+//!   on this).
 //! * The cache is a pure memoization: cached solves are **bit-identical** to
 //!   fresh ones (asserted by tests in `ufc-opt`), so enabling it never
 //!   perturbs the iterate trajectory.
@@ -325,11 +329,12 @@ struct ABlock {
 }
 
 /// The solver-wide workspace: one persistent kernel per ADM-G block plus the
-/// reusable `tilde`/`prev` iterate buffers. Built once per
-/// [`crate::AdmgSolver::solve_warm`] call and reused across all iterations.
+/// reusable `tilde`/`prev` iterate buffers. Built once per run (or shared
+/// across the strategy solves of `solve_all_strategies`) and reused across
+/// all iterations through the in-process `Transport`.
 #[derive(Debug)]
 pub(crate) struct SolverWorkspace {
-    /// Predicted (tilde) iterate, overwritten by each [`Self::predict`].
+    /// Predicted (tilde) iterate, overwritten by each prediction phase.
     pub(crate) tilde: AdmgState,
     /// Scratch copy of the pre-correction iterate (for the dual residual).
     pub(crate) prev: AdmgState,
@@ -337,17 +342,10 @@ pub(crate) struct SolverWorkspace {
     a_blocks: Vec<ABlock>,
     rho: f64,
     warm: bool,
-    active_mu: bool,
-    active_nu: bool,
 }
 
 impl SolverWorkspace {
-    pub(crate) fn new(
-        instance: &UfcInstance,
-        settings: &AdmgSettings,
-        active_mu: bool,
-        active_nu: bool,
-    ) -> Self {
+    pub(crate) fn new(instance: &UfcInstance, settings: &AdmgSettings) -> Self {
         let (m, n) = (instance.m_frontends(), instance.n_datacenters());
         let w = instance.weight_per_kserver();
         let caching = settings.cache_factorizations;
@@ -390,30 +388,23 @@ impl SolverWorkspace {
             a_blocks,
             rho: settings.rho,
             warm: caching,
-            active_mu,
-            active_nu,
         }
     }
 
-    /// Runs the full prediction (ADMM) step in the forward order
-    /// λ → μ → ν → a → duals, writing the result into `self.tilde`.
+    /// The λ prediction phase (paper Eq. (17)): one simplex QP per
+    /// front-end, writing `λ̃` into `self.tilde.lambda`.
     ///
-    /// The per-front-end λ solves and the per-datacenter fused μ/ν/a solves
-    /// are fanned across `pool`; results land in fixed per-block slots and
-    /// are gathered in index order, so any thread count yields bit-identical
-    /// output. Errors are reported deterministically (lowest block index
-    /// first).
-    pub(crate) fn predict(
-        &mut self,
-        instance: &UfcInstance,
-        state: &AdmgState,
-        pool: &WorkerPool,
-    ) -> Result<()> {
-        let (m, n) = (state.m, state.n);
+    /// The per-front-end solves are fanned across `pool`; results land in
+    /// fixed per-block slots and are gathered in index order, so any thread
+    /// count yields bit-identical output. Errors are reported
+    /// deterministically (lowest block index first).
+    ///
+    /// Called from the unified iteration driver (`crate::engine::drive`) —
+    /// the phase order λ → μ → ν → a lives there, not here.
+    pub(crate) fn predict_lambda(&mut self, state: &AdmgState, pool: &WorkerPool) -> Result<()> {
+        let n = state.n;
         let rho = self.rho;
         let warm_enabled = self.warm;
-
-        // --- λ-step: one simplex QP per front-end.
         let lambda_results = pool.map_mut(&mut self.lambda_blocks, |i, blk| {
             for j in 0..n {
                 blk.c[j] = state.varphi[i * n + j] - rho * state.a[i * n + j];
@@ -431,12 +422,31 @@ impl SolverWorkspace {
         for (i, blk) in self.lambda_blocks.iter().enumerate() {
             self.tilde.lambda[i * n..(i + 1) * n].copy_from_slice(&blk.out);
         }
+        Ok(())
+    }
 
-        // --- Fused per-datacenter μ/ν/a steps: each column's closed-form μ
-        // and ν and its capped-simplex QP depend only on that datacenter's
-        // load, so the three steps run as one task per datacenter.
+    /// The datacenter-side prediction phases (paper Eqs. (18)–(20) plus the
+    /// dual prediction): the fused per-datacenter μ → ν → a steps followed by
+    /// the in-place φ/φ_ij updates, writing into `self.tilde`. Requires a
+    /// preceding [`Self::predict_lambda`] for the same `state` (it consumes
+    /// `self.tilde.lambda`).
+    ///
+    /// Each column's closed-form μ and ν and its capped-simplex QP depend
+    /// only on that datacenter's load, so the three steps run as one task per
+    /// datacenter, fanned across `pool` with index-ordered gather
+    /// (bit-identical at any thread count).
+    pub(crate) fn predict_site_blocks(
+        &mut self,
+        instance: &UfcInstance,
+        state: &AdmgState,
+        pool: &WorkerPool,
+        active_mu: bool,
+        active_nu: bool,
+    ) -> Result<()> {
+        let (m, n) = (state.m, state.n);
+        let rho = self.rho;
+        let warm_enabled = self.warm;
         let tilde_lambda = &self.tilde.lambda;
-        let (active_mu, active_nu) = (self.active_mu, self.active_nu);
         let h = instance.slot_hours;
         let a_results = pool.map_mut(&mut self.a_blocks, |j, blk| {
             let mut load = 0.0;
@@ -559,8 +569,10 @@ mod tests {
         let settings = AdmgSettings::default();
         let state = AdmgState::zeros(&inst);
         let pool = WorkerPool::new(1);
-        let mut ws = SolverWorkspace::new(&inst, &settings, true, true);
-        ws.predict(&inst, &state, &pool).unwrap();
+        let mut ws = SolverWorkspace::new(&inst, &settings);
+        ws.predict_lambda(&state, &pool).unwrap();
+        ws.predict_site_blocks(&inst, &state, &pool, true, true)
+            .unwrap();
 
         let rho = settings.rho;
         let lt = lambda_step(&inst, rho, settings.method, &state).unwrap();
@@ -588,8 +600,10 @@ mod tests {
         state.varphi = vec![0.1, -0.2, 0.05, 0.3];
         state.phi = vec![0.2, -0.1];
         let pool = WorkerPool::new(1);
-        let mut ws = SolverWorkspace::new(&inst, &settings, true, true);
-        ws.predict(&inst, &state, &pool).unwrap();
+        let mut ws = SolverWorkspace::new(&inst, &settings);
+        ws.predict_lambda(&state, &pool).unwrap();
+        ws.predict_site_blocks(&inst, &state, &pool, true, true)
+            .unwrap();
 
         let rho = settings.rho;
         let lt = lambda_step(&inst, rho, settings.method, &state).unwrap();
@@ -609,9 +623,11 @@ mod tests {
         let settings = AdmgSettings::default();
         let state = AdmgState::zeros(&inst);
         let pool = WorkerPool::new(1);
-        let mut ws = SolverWorkspace::new(&inst, &settings, true, true);
+        let mut ws = SolverWorkspace::new(&inst, &settings);
         for _ in 0..3 {
-            ws.predict(&inst, &state, &pool).unwrap();
+            ws.predict_lambda(&state, &pool).unwrap();
+            ws.predict_site_blocks(&inst, &state, &pool, true, true)
+                .unwrap();
         }
         assert!(ws.cache_hits() > 0, "expected KKT cache reuse");
     }

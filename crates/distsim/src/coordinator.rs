@@ -1,0 +1,205 @@
+//! Coordinator-side helpers shared by both distributed engines.
+//!
+//! Everything here is transport-independent bookkeeping: traffic recording
+//! (with loss retransmission and partition relay accounting), plan-driven
+//! straggler charging, residual reduction, replay-history filtering, and
+//! the final gather→polish step. The lockstep engine
+//! (`crate::engine_lockstep`) and the supervised threaded engine
+//! (`crate::engine_threaded`) both call into these, so the two runtimes
+//! stay decision-for-decision identical by construction.
+
+use ufc_core::engine::BlockResiduals;
+use ufc_core::repair::assemble_point;
+use ufc_core::{AdmgState, CoreError};
+use ufc_model::{evaluate, OperatingPoint, UfcBreakdown, UfcInstance};
+
+use crate::fault::{FaultTracker, NodeId};
+use crate::loss::LossyChannel;
+use crate::message::Message;
+use crate::node::NodeResiduals;
+use crate::stats::MessageStats;
+
+/// One iteration's inputs, buffered for checkpoint-restart replay.
+pub(crate) struct HistoryEntry {
+    /// The (1-based) iteration these inputs belong to.
+    pub(crate) iteration: usize,
+    /// Per-front-end λ̃ rows.
+    pub(crate) rows: Vec<Vec<f64>>,
+    /// Per-datacenter ã columns.
+    pub(crate) a_cols: Vec<Vec<f64>>,
+}
+
+/// The buffered entries a node restored from a checkpoint taken after
+/// iteration `base` must replay before rejoining iteration `k`.
+pub(crate) fn replay_entries(
+    history: &[HistoryEntry],
+    base: usize,
+    k: usize,
+) -> impl Iterator<Item = &HistoryEntry> {
+    history
+        .iter()
+        .filter(move |entry| entry.iteration > base && entry.iteration < k)
+}
+
+/// Worst link latency in the deployment — the per-phase stall unit.
+pub(crate) fn max_latency(instance: &UfcInstance) -> f64 {
+    instance
+        .latency_s
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(0.0f64, f64::max)
+}
+
+/// Column `j` of the per-front-end λ̃ rows: the values bound for
+/// datacenter `j`.
+pub(crate) fn column_of(rows: &[Vec<f64>], j: usize) -> Vec<f64> {
+    rows.iter().map(|row| row[j]).collect()
+}
+
+/// Row `i` of the per-datacenter ã columns: the values bound for
+/// front-end `i`.
+pub(crate) fn row_of(cols: &[Vec<f64>], i: usize) -> Vec<f64> {
+    cols.iter().map(|col| col[i]).collect()
+}
+
+/// Plan-driven straggler accounting, identical in both engines: the
+/// coordinator charges every scripted delay of a live node.
+pub(crate) fn account_stragglers(tracker: &mut FaultTracker, m: usize, n: usize, k: usize) {
+    for i in 0..m {
+        let delay = tracker.plan().straggler_delay(NodeId::Frontend(i), k);
+        if let Some(delay) = delay {
+            tracker.record_straggler(delay);
+        }
+    }
+    for j in 0..n {
+        if tracker.is_evicted(j) {
+            continue;
+        }
+        let delay = tracker.plan().straggler_delay(NodeId::Datacenter(j), k);
+        if let Some(delay) = delay {
+            tracker.record_straggler(delay);
+        }
+    }
+}
+
+/// Records the λ̃ scatter to every non-evicted datacenter. A lossy
+/// `channel` charges the retransmitted bytes and reports the phase's
+/// worst attempt count (the synchronous phase waits for its slowest
+/// message); severed partition links double their bytes (relay path).
+/// Returns the phase-max attempt count (1 when lossless).
+pub(crate) fn record_lambda_traffic(
+    stats: &mut MessageStats,
+    tracker: &mut FaultTracker,
+    mut channel: Option<&mut LossyChannel>,
+    rows: &[Vec<f64>],
+    k: usize,
+) -> usize {
+    let mut phase_max = 1usize;
+    for (i, row) in rows.iter().enumerate() {
+        for (j, &value) in row.iter().enumerate() {
+            if tracker.is_evicted(j) {
+                continue;
+            }
+            let msg = Message::LambdaTilde {
+                frontend: i,
+                datacenter: j,
+                value,
+            };
+            stats.record(&msg);
+            if let Some(ch) = channel.as_deref_mut() {
+                let attempts = ch.send();
+                stats.total_bytes += (attempts - 1) * msg.wire_bytes();
+                phase_max = phase_max.max(attempts);
+            }
+            if tracker.plan().is_partitioned(i, j, k) {
+                stats.total_bytes += msg.wire_bytes();
+                tracker.report.partition_retransmissions += 1;
+            }
+        }
+    }
+    phase_max
+}
+
+/// Records one datacenter's ã gather (mirror of [`record_lambda_traffic`]).
+/// Returns this column's worst attempt count (1 when lossless).
+pub(crate) fn record_a_traffic(
+    stats: &mut MessageStats,
+    tracker: &mut FaultTracker,
+    mut channel: Option<&mut LossyChannel>,
+    a_tilde: &[f64],
+    j: usize,
+    k: usize,
+) -> usize {
+    let mut phase_max = 1usize;
+    for (i, &value) in a_tilde.iter().enumerate() {
+        let msg = Message::ATilde {
+            frontend: i,
+            datacenter: j,
+            value,
+        };
+        stats.record(&msg);
+        if let Some(ch) = channel.as_deref_mut() {
+            let attempts = ch.send();
+            stats.total_bytes += (attempts - 1) * msg.wire_bytes();
+            phase_max = phase_max.max(attempts);
+        }
+        if tracker.plan().is_partitioned(i, j, k) {
+            stats.total_bytes += msg.wire_bytes();
+            tracker.report.partition_retransmissions += 1;
+        }
+    }
+    phase_max
+}
+
+/// Records every node's residual report and max-reduces the three
+/// residuals; the stop decision itself belongs to the unified driver
+/// (`ufc_core::engine::drive`), which applies the tolerance tests and
+/// hands the verdict back through [`record_control`].
+pub(crate) fn reduce_residuals(
+    stats: &mut MessageStats,
+    fe: &[NodeResiduals],
+    dc: &[NodeResiduals],
+) -> BlockResiduals {
+    let mut reduced = BlockResiduals::default();
+    for (node, r) in fe.iter().chain(dc).enumerate() {
+        stats.record(&Message::ResidualReport {
+            node,
+            link: r.link,
+            balance: r.balance,
+            movement: r.movement,
+        });
+        reduced.link = reduced.link.max(r.link);
+        reduced.balance = reduced.balance.max(r.balance);
+        reduced.movement = reduced.movement.max(r.movement);
+    }
+    reduced
+}
+
+/// Accounts the coordinator's continue/stop broadcast to every live node.
+pub(crate) fn record_control(stats: &mut MessageStats, stop: bool, node_count: usize) {
+    for _ in 0..node_count {
+        stats.record(&Message::Control { stop });
+    }
+}
+
+/// Polishes the gathered iterate into a feasible point and evaluates it
+/// (same repair as the in-memory solver).
+pub(crate) fn finish(
+    instance: &UfcInstance,
+    lambda_rows: Vec<Vec<f64>>,
+    mu: Vec<f64>,
+    fuel_cell_only: bool,
+) -> Result<(OperatingPoint, UfcBreakdown), CoreError> {
+    let mut state = AdmgState::zeros(instance);
+    for (i, row) in lambda_rows.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            let k = state.idx(i, j);
+            state.lambda[k] = v;
+        }
+    }
+    state.mu = mu;
+    let point = assemble_point(instance, &state, fuel_cell_only)?;
+    let breakdown = evaluate(instance, &point)?;
+    Ok((point, breakdown))
+}

@@ -1,0 +1,391 @@
+//! The deterministic lockstep engine as a `Transport` for the unified
+//! ADM-G driver (`ufc_core::engine::drive`).
+//!
+//! One transport covers all three lockstep flavors: the clean and lossy
+//! runs are literally the [`FaultPlan::none`] degenerate case of the
+//! fault-aware engine — with a trivial plan the readmission probes return
+//! nothing, no crash ever resolves, no link is partitioned, and the replay
+//! history stays unbuffered, so the code path reduces to the plain
+//! synchronous rounds. Per-node compute fans out over the shared
+//! [`WorkerPool`] (indexed-slot gather ⇒ bit-identical at any thread
+//! count); message recording stays sequential so traffic accounting is
+//! deterministic.
+
+use ufc_core::engine::{drive, BlockResiduals, DriveOutcome, Transport};
+use ufc_core::{AdmgSettings, CoreError, WorkerPool};
+use ufc_model::UfcInstance;
+
+use crate::coordinator::{
+    account_stragglers, column_of, finish, max_latency, record_a_traffic, record_control,
+    record_lambda_traffic, reduce_residuals, replay_entries, row_of, HistoryEntry,
+};
+use crate::fault::{FaultPlan, FaultTracker, NodeId, Resolution};
+use crate::loss::{LossConfig, LossyChannel};
+use crate::message::Message;
+use crate::node::{DatacenterNode, FrontendNode, NodeResiduals};
+use crate::runtime::DistRunReport;
+use crate::snapshot::{CheckpointStore, DatacenterSnapshot, FrontendSnapshot};
+use crate::stats::{estimated_wan_seconds, MessageStats};
+
+/// Runs the lockstep engine under a fault plan and an optional lossy
+/// channel (the two never combine: loss is only driven with a trivial
+/// plan). Returns the full report with `fault` always populated; the
+/// facade strips it for clean/lossy runs.
+pub(crate) fn run_lockstep(
+    settings: &AdmgSettings,
+    instance: &UfcInstance,
+    active_mu: bool,
+    active_nu: bool,
+    plan: FaultPlan,
+    loss: Option<LossConfig>,
+) -> Result<DistRunReport, CoreError> {
+    let tolerances = settings.scaled_tolerances(instance);
+    let mut transport =
+        LockstepTransport::new(instance, settings, active_mu, active_nu, plan, loss);
+    let outcome = drive(&mut transport, settings, tolerances, &mut ())?;
+    transport.into_report(outcome)
+}
+
+/// The lockstep engine's state between driver callbacks.
+struct LockstepTransport<'a> {
+    instance: &'a UfcInstance,
+    settings: AdmgSettings,
+    active_mu: bool,
+    active_nu: bool,
+    frontends: Vec<FrontendNode>,
+    /// `None` marks an evicted datacenter.
+    datacenters: Vec<Option<DatacenterNode>>,
+    pool: WorkerPool,
+    tracker: FaultTracker,
+    store: CheckpointStore,
+    history: Vec<HistoryEntry>,
+    /// Whether replay history is worth buffering (non-trivial plan or
+    /// checkpointing on) — a clean run skips the copies entirely.
+    buffer_history: bool,
+    checkpoint_interval: usize,
+    channel: Option<LossyChannel>,
+    stats: MessageStats,
+    /// Fault-induced full-phase stalls (partition windows), in phases.
+    stall_phases: f64,
+    /// Loss-induced stalls: each data phase waits for its slowest
+    /// message's attempt count. Accumulated unconditionally, consumed only
+    /// for lossy runs.
+    lossy_stalled_phases: f64,
+    // Per-iteration scratch, produced by one phase and consumed by the next.
+    rows: Vec<Vec<f64>>,
+    a_cols: Vec<Vec<f64>>,
+    dc_residuals: Vec<Option<NodeResiduals>>,
+    readmitted_now: Vec<usize>,
+    membership_changed: bool,
+    node_count: usize,
+}
+
+impl<'a> LockstepTransport<'a> {
+    fn new(
+        instance: &'a UfcInstance,
+        settings: &AdmgSettings,
+        active_mu: bool,
+        active_nu: bool,
+        plan: FaultPlan,
+        loss: Option<LossConfig>,
+    ) -> Self {
+        let m = instance.m_frontends();
+        let n = instance.n_datacenters();
+        let frontends = (0..m)
+            .map(|i| FrontendNode::new(instance, i, settings))
+            .collect();
+        let datacenters = (0..n)
+            .map(|j| {
+                Some(DatacenterNode::new(
+                    instance, j, settings, active_mu, active_nu,
+                ))
+            })
+            .collect();
+        let checkpoint_interval = plan.checkpoint_interval;
+        let buffer_history = !plan.is_trivial() || checkpoint_interval > 0;
+        LockstepTransport {
+            instance,
+            settings: *settings,
+            active_mu,
+            active_nu,
+            frontends,
+            datacenters,
+            pool: WorkerPool::new(settings.num_threads),
+            tracker: FaultTracker::new(plan, m, n),
+            store: CheckpointStore::new(m, n),
+            history: Vec::new(),
+            buffer_history,
+            checkpoint_interval,
+            channel: loss.map(LossyChannel::new),
+            stats: MessageStats::default(),
+            stall_phases: 0.0,
+            lossy_stalled_phases: 0.0,
+            rows: Vec::new(),
+            a_cols: Vec::new(),
+            dc_residuals: Vec::new(),
+            readmitted_now: Vec::new(),
+            membership_changed: false,
+            node_count: m + n,
+        }
+    }
+
+    /// One checkpoint round: every live node's iterate slice is serialized,
+    /// accounted as coordinator traffic, stored, and the replay buffer
+    /// cleared.
+    fn checkpoint(&mut self, k: usize) {
+        let m = self.frontends.len();
+        for (i, fe) in self.frontends.iter().enumerate() {
+            let blob = fe.snapshot().to_bytes();
+            self.stats.record(&Message::Checkpoint {
+                node: i,
+                payload_bytes: blob.len(),
+            });
+            self.store.put_frontend(i, k, blob);
+        }
+        for (j, dc) in self.datacenters.iter().enumerate() {
+            if let Some(dc) = dc {
+                let blob = dc.snapshot().to_bytes();
+                self.stats.record(&Message::Checkpoint {
+                    node: m + j,
+                    payload_bytes: blob.len(),
+                });
+                self.store.put_datacenter(j, k, blob);
+            }
+        }
+        self.tracker.report.checkpoints_taken += 1;
+        self.history.clear();
+    }
+
+    /// Gathers the final iterate, polishes it, and assembles the report.
+    fn into_report(self, outcome: DriveOutcome) -> Result<DistRunReport, CoreError> {
+        let lambda_rows = self.frontends.iter().map(|f| f.lambda().to_vec()).collect();
+        let mu = self
+            .datacenters
+            .iter()
+            .map(|dc| dc.as_ref().map_or(0.0, DatacenterNode::mu))
+            .collect();
+        let (point, breakdown) = finish(self.instance, lambda_rows, mu, !self.active_nu)?;
+        let report = self.tracker.report;
+        let l_max = max_latency(self.instance);
+        // Lossless: 4 phases per iteration, plus fault recovery/stall time.
+        // Lossy: the two data phases stall for their slowest message; the
+        // two control phases are assumed reliable (coordinator links).
+        let estimated = if self.channel.is_some() {
+            (self.lossy_stalled_phases + 2.0 * outcome.iterations as f64) * l_max
+        } else {
+            estimated_wan_seconds(outcome.iterations, &self.instance.latency_s)
+                + report.downtime_seconds
+                + report.straggler_seconds
+                + self.stall_phases * l_max
+        };
+        Ok(DistRunReport {
+            point,
+            breakdown,
+            iterations: outcome.iterations,
+            converged: outcome.converged,
+            stats: self.stats,
+            estimated_wan_seconds: estimated,
+            retransmissions: self.channel.map_or(0, |ch| ch.retransmissions),
+            fault: Some(report),
+        })
+    }
+}
+
+impl Transport for LockstepTransport<'_> {
+    fn begin_iteration(&mut self, k: usize) -> Result<(), CoreError> {
+        self.membership_changed = false;
+        let readmitted_now = self.tracker.probe_readmissions();
+        for &j in &readmitted_now {
+            let node = DatacenterNode::new(
+                self.instance,
+                j,
+                &self.settings,
+                self.active_mu,
+                self.active_nu,
+            );
+            self.store
+                .put_datacenter(j, k - 1, node.snapshot().to_bytes());
+            self.datacenters[j] = Some(node);
+            for fe in &mut self.frontends {
+                fe.clear_evicted(j);
+                self.stats.record(&Message::Membership {
+                    datacenter: j,
+                    evict: false,
+                });
+            }
+            self.membership_changed = true;
+        }
+        self.readmitted_now = readmitted_now;
+        account_stragglers(
+            &mut self.tracker,
+            self.frontends.len(),
+            self.datacenters.len(),
+            k,
+        );
+        if self.tracker.plan().partition_active(k) {
+            self.stall_phases += 2.0;
+        }
+        Ok(())
+    }
+
+    fn predict_lambda(&mut self, k: usize) -> Result<(), CoreError> {
+        // Resolve scripted front-end crashes before the parallel fan-out.
+        // Resolution touches only the crashed node and the tracker, both in
+        // ascending node order, so hoisting it out of the per-node loop is
+        // decision-for-decision identical to the sequential engine.
+        for i in 0..self.frontends.len() {
+            let node_id = NodeId::Frontend(i);
+            if self.tracker.plan().crash_at_iteration(node_id, k).is_none() {
+                continue;
+            }
+            match self.tracker.resolve_crash(node_id, k)? {
+                Resolution::Recovered { .. } => {
+                    let mut node = FrontendNode::new(self.instance, i, &self.settings);
+                    let mut base = 0usize;
+                    if let Some((it, blob)) = self.store.frontend(i) {
+                        node.restore(&FrontendSnapshot::from_bytes(blob)?)?;
+                        base = it;
+                    }
+                    let mut replayed = 0usize;
+                    for entry in replay_entries(&self.history, base, k) {
+                        node.predict_lambda();
+                        node.receive_a_and_correct(&row_of(&entry.a_cols, i));
+                        replayed += 1;
+                    }
+                    self.tracker.report.recomputed_iterations += replayed;
+                    for &j in &self.readmitted_now {
+                        node.clear_evicted(j);
+                    }
+                    self.frontends[i] = node;
+                }
+                Resolution::Evicted { .. } => {
+                    unreachable!("front-ends are never evicted")
+                }
+            }
+        }
+        let rows = self
+            .pool
+            .map_mut(&mut self.frontends, |_, fe| fe.predict_lambda());
+        let phase_max = record_lambda_traffic(
+            &mut self.stats,
+            &mut self.tracker,
+            self.channel.as_mut(),
+            &rows,
+            k,
+        );
+        self.lossy_stalled_phases += phase_max as f64;
+        self.rows = rows;
+        Ok(())
+    }
+
+    fn step_datacenters(&mut self, k: usize) -> Result<(), CoreError> {
+        let m = self.frontends.len();
+        let n = self.datacenters.len();
+        // Resolve scripted datacenter crashes and evictions in index order.
+        for j in 0..n {
+            if self.tracker.is_evicted(j) {
+                continue;
+            }
+            let node_id = NodeId::Datacenter(j);
+            if self.tracker.plan().crash_at_iteration(node_id, k).is_none() {
+                continue;
+            }
+            match self.tracker.resolve_crash(node_id, k)? {
+                Resolution::Recovered { .. } => {
+                    let mut node = DatacenterNode::new(
+                        self.instance,
+                        j,
+                        &self.settings,
+                        self.active_mu,
+                        self.active_nu,
+                    );
+                    let mut base = 0usize;
+                    if let Some((it, blob)) = self.store.datacenter(j) {
+                        node.restore(&DatacenterSnapshot::from_bytes(blob)?)?;
+                        base = it;
+                    }
+                    let mut replayed = 0usize;
+                    for entry in replay_entries(&self.history, base, k) {
+                        node.process(&column_of(&entry.rows, j));
+                        replayed += 1;
+                    }
+                    self.tracker.report.recomputed_iterations += replayed;
+                    self.datacenters[j] = Some(node);
+                }
+                Resolution::Evicted { .. } => {
+                    self.datacenters[j] = None;
+                    for fe in &mut self.frontends {
+                        fe.set_evicted(j);
+                        self.stats.record(&Message::Membership {
+                            datacenter: j,
+                            evict: true,
+                        });
+                    }
+                    self.membership_changed = true;
+                }
+            }
+        }
+        // Parallel fan-out over the live datacenters; gather in index order.
+        let rows = std::mem::take(&mut self.rows);
+        let steps = self.pool.map_mut(&mut self.datacenters, |j, dc| {
+            dc.as_mut().map(|node| {
+                let column: Vec<f64> = (0..m).map(|i| rows[i][j]).collect();
+                node.process(&column)
+            })
+        });
+        self.rows = rows;
+        self.a_cols = vec![vec![0.0; m]; n];
+        self.dc_residuals = vec![None; n];
+        let mut phase_max = 1usize;
+        for (j, step) in steps.into_iter().enumerate() {
+            let Some(step) = step else { continue };
+            phase_max = phase_max.max(record_a_traffic(
+                &mut self.stats,
+                &mut self.tracker,
+                self.channel.as_mut(),
+                &step.a_tilde,
+                j,
+                k,
+            ));
+            self.a_cols[j] = step.a_tilde;
+            self.dc_residuals[j] = Some(step.residuals);
+        }
+        self.lossy_stalled_phases += phase_max as f64;
+        Ok(())
+    }
+
+    fn correct(&mut self, _k: usize) -> Result<BlockResiduals, CoreError> {
+        let n = self.datacenters.len();
+        let a_cols = std::mem::take(&mut self.a_cols);
+        let fe_residuals = self.pool.map_mut(&mut self.frontends, |i, fe| {
+            let a_row: Vec<f64> = (0..n).map(|j| a_cols[j][i]).collect();
+            fe.receive_a_and_correct(&a_row)
+        });
+        self.a_cols = a_cols;
+        let active_res: Vec<NodeResiduals> = self.dc_residuals.iter().flatten().copied().collect();
+        self.node_count = self.frontends.len() + active_res.len();
+        Ok(reduce_residuals(
+            &mut self.stats,
+            &fe_residuals,
+            &active_res,
+        ))
+    }
+
+    fn finish_iteration(&mut self, k: usize, stop: bool) -> Result<(), CoreError> {
+        record_control(&mut self.stats, stop, self.node_count);
+        if self.buffer_history {
+            self.history.push(HistoryEntry {
+                iteration: k,
+                rows: std::mem::take(&mut self.rows),
+                a_cols: std::mem::take(&mut self.a_cols),
+            });
+        }
+        if !stop
+            && (self.membership_changed
+                || (self.checkpoint_interval > 0 && k.is_multiple_of(self.checkpoint_interval)))
+        {
+            self.checkpoint(k);
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,522 @@
+//! The supervised threaded engine as a `Transport` for the unified ADM-G
+//! driver (`ufc_core::engine::drive`).
+//!
+//! The supervising coordinator owns one OS thread per node (spawned via
+//! `crate::supervision`) and awaits every reply with `recv_timeout`
+//! deadlines and an exponential backoff ladder; a worker that stays silent
+//! past the ladder (and whose thread has exited) is resolved through the
+//! [`FaultTracker`] state machine — respawned from the last checkpoint and
+//! replayed, evicted (datacenters only), or reported as a typed
+//! [`CoreError::NodeFailure`]. Worker threads are joined on every exit
+//! path, including errors.
+//!
+//! The lockstep engine (`crate::engine_lockstep`) mirrors the same decision
+//! machine step for step — both run under the same driver and share the
+//! coordinator helpers — so a faulty lockstep run and a faulty threaded run
+//! with the same [`FaultPlan`] produce identical iterates, statistics, and
+//! fault reports (asserted in `tests/fault_injection.rs`).
+
+use std::collections::HashSet;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ufc_core::engine::{drive, BlockResiduals, Transport};
+use ufc_core::{AdmgSettings, CoreError};
+use ufc_model::UfcInstance;
+
+use crate::coordinator::{
+    account_stragglers, column_of, finish, max_latency, record_a_traffic, record_control,
+    record_lambda_traffic, reduce_residuals, row_of, HistoryEntry,
+};
+use crate::fault::{FaultPlan, FaultTracker, NodeId, Resolution};
+use crate::message::Message;
+use crate::node::{DatacenterNode, FrontendNode, NodeResiduals};
+use crate::runtime::DistRunReport;
+use crate::snapshot::CheckpointStore;
+use crate::stats::{estimated_wan_seconds, MessageStats};
+use crate::supervision::{
+    gather_phase, spawn_datacenter_worker, spawn_frontend_worker, DcCmd, FaultScript, FeCmd, Reply,
+};
+
+mod recovery;
+
+/// Runs the supervised threaded engine under a fault plan. A trivial plan
+/// (no scripted faults, checkpointing off — [`FaultPlan::none`]) reduces to
+/// the plain threaded runtime: no extra traffic, byte-identical iterates,
+/// and `fault: None` in the report.
+pub(crate) fn run_supervised(
+    settings: &AdmgSettings,
+    instance: &UfcInstance,
+    active_mu: bool,
+    active_nu: bool,
+    plan: FaultPlan,
+) -> Result<DistRunReport, CoreError> {
+    let tolerances = settings.scaled_tolerances(instance);
+    let mut sup = Supervisor::new(instance, *settings, active_mu, active_nu, plan);
+    let outcome = drive(&mut sup, settings, tolerances, &mut ()).and_then(|outcome| {
+        sup.final_gather(outcome.iterations)
+            .map(|(lambda_rows, mu)| (outcome, lambda_rows, mu))
+    });
+    // Extract everything the report needs before the supervisor is consumed
+    // by shutdown; the error path still joins every worker thread.
+    let stats = sup.stats;
+    let fault_report = sup.tracker.report.clone();
+    let plan_trivial = sup.tracker.plan().is_trivial();
+    let stall_phases = sup.stall_phases;
+    let shutdown = sup.shutdown();
+    let (outcome, lambda_rows, mu) = outcome?;
+    shutdown?;
+
+    let (point, breakdown) = finish(instance, lambda_rows, mu, !active_nu)?;
+    let estimated = estimated_wan_seconds(outcome.iterations, &instance.latency_s)
+        + fault_report.downtime_seconds
+        + fault_report.straggler_seconds
+        + stall_phases * max_latency(instance);
+    let report_fault = !plan_trivial || fault_report.checkpoints_taken > 0;
+    Ok(DistRunReport {
+        point,
+        breakdown,
+        iterations: outcome.iterations,
+        converged: outcome.converged,
+        stats,
+        estimated_wan_seconds: estimated,
+        retransmissions: 0,
+        fault: report_fault.then_some(fault_report),
+    })
+}
+
+/// The supervising coordinator of the threaded runtime.
+struct Supervisor<'a> {
+    instance: &'a UfcInstance,
+    settings: AdmgSettings,
+    active_mu: bool,
+    active_nu: bool,
+    m: usize,
+    n: usize,
+    tracker: FaultTracker,
+    store: CheckpointStore,
+    history: Vec<HistoryEntry>,
+    reply_tx: Sender<Reply>,
+    reply_rx: Receiver<Reply>,
+    fe_tx: Vec<Option<Sender<FeCmd>>>,
+    dc_tx: Vec<Option<Sender<DcCmd>>>,
+    fe_handles: Vec<Option<JoinHandle<()>>>,
+    dc_handles: Vec<Option<JoinHandle<()>>>,
+    stats: MessageStats,
+    timeout: Duration,
+    rounds: u32,
+    checkpoint_interval: usize,
+    /// Fault-induced full-phase stalls (partition windows), in phases.
+    stall_phases: f64,
+    // Per-iteration scratch, produced by one phase and consumed by the next.
+    rows: Vec<Vec<f64>>,
+    a_cols: Vec<Vec<f64>>,
+    dc_residuals: Vec<Option<NodeResiduals>>,
+    readmitted_now: Vec<usize>,
+    membership_changed: bool,
+    node_count: usize,
+}
+
+impl<'a> Supervisor<'a> {
+    fn new(
+        instance: &'a UfcInstance,
+        settings: AdmgSettings,
+        active_mu: bool,
+        active_nu: bool,
+        plan: FaultPlan,
+    ) -> Self {
+        let m = instance.m_frontends();
+        let n = instance.n_datacenters();
+        let (reply_tx, reply_rx) = channel::<Reply>();
+        let timeout = plan.phase_timeout;
+        let rounds = plan.backoff_rounds;
+        let checkpoint_interval = plan.checkpoint_interval;
+        let mut sup = Supervisor {
+            instance,
+            settings,
+            active_mu,
+            active_nu,
+            m,
+            n,
+            tracker: FaultTracker::new(plan, m, n),
+            store: CheckpointStore::new(m, n),
+            history: Vec::new(),
+            reply_tx,
+            reply_rx,
+            fe_tx: (0..m).map(|_| None).collect(),
+            dc_tx: (0..n).map(|_| None).collect(),
+            fe_handles: (0..m).map(|_| None).collect(),
+            dc_handles: (0..n).map(|_| None).collect(),
+            stats: MessageStats::default(),
+            timeout,
+            rounds,
+            checkpoint_interval,
+            stall_phases: 0.0,
+            rows: Vec::new(),
+            a_cols: Vec::new(),
+            dc_residuals: Vec::new(),
+            readmitted_now: Vec::new(),
+            membership_changed: false,
+            node_count: m + n,
+        };
+        for i in 0..m {
+            let node = FrontendNode::new(instance, i, &sup.settings);
+            sup.spawn_frontend(i, node, 0);
+        }
+        for j in 0..n {
+            let node = DatacenterNode::new(instance, j, &sup.settings, active_mu, active_nu);
+            sup.spawn_datacenter(j, node, 0);
+        }
+        sup
+    }
+
+    fn spawn_frontend(&mut self, i: usize, node: FrontendNode, after: usize) {
+        if let Some(old) = self.fe_handles[i].take() {
+            let _ = old.join();
+        }
+        let script = FaultScript::for_node(self.tracker.plan(), NodeId::Frontend(i), after);
+        let (tx, handle) = spawn_frontend_worker(i, node, script, self.reply_tx.clone());
+        self.fe_tx[i] = Some(tx);
+        self.fe_handles[i] = Some(handle);
+    }
+
+    fn spawn_datacenter(&mut self, j: usize, node: DatacenterNode, after: usize) {
+        if let Some(old) = self.dc_handles[j].take() {
+            let _ = old.join();
+        }
+        let script = FaultScript::for_node(self.tracker.plan(), NodeId::Datacenter(j), after);
+        let (tx, handle) = spawn_datacenter_worker(j, node, script, self.reply_tx.clone());
+        self.dc_tx[j] = Some(tx);
+        self.dc_handles[j] = Some(handle);
+    }
+
+    fn send_fe(&self, i: usize, cmd: FeCmd) {
+        if let Some(tx) = &self.fe_tx[i] {
+            let _ = tx.send(cmd);
+        }
+    }
+
+    fn send_dc(&self, j: usize, cmd: DcCmd) {
+        if let Some(tx) = &self.dc_tx[j] {
+            let _ = tx.send(cmd);
+        }
+    }
+
+    fn alive(&self, node: NodeId) -> bool {
+        match node {
+            NodeId::Frontend(i) => self.fe_handles[i]
+                .as_ref()
+                .is_some_and(|h| !h.is_finished()),
+            NodeId::Datacenter(j) => self.dc_handles[j]
+                .as_ref()
+                .is_some_and(|h| !h.is_finished()),
+        }
+    }
+
+    /// Closes every command channel (ending the worker loops) and joins
+    /// all threads. Called on every exit path, success or error.
+    fn shutdown(mut self) -> Result<(), CoreError> {
+        self.fe_tx.clear();
+        self.dc_tx.clear();
+        let mut first_panic = None;
+        for slot in self.fe_handles.iter_mut().chain(self.dc_handles.iter_mut()) {
+            if let Some(handle) = slot.take() {
+                if handle.join().is_err() && first_panic.is_none() {
+                    first_panic = Some(CoreError::node_failure(
+                        "worker",
+                        0,
+                        "node thread panicked during shutdown",
+                    ));
+                }
+            }
+        }
+        first_panic.map_or(Ok(()), Err)
+    }
+}
+
+impl Transport for Supervisor<'_> {
+    fn begin_iteration(&mut self, k: usize) -> Result<(), CoreError> {
+        self.membership_changed = false;
+        let readmitted_now = self.tracker.probe_readmissions();
+        for &j in &readmitted_now {
+            let node = DatacenterNode::new(
+                self.instance,
+                j,
+                &self.settings,
+                self.active_mu,
+                self.active_nu,
+            );
+            self.store
+                .put_datacenter(j, k - 1, node.snapshot().to_bytes());
+            self.spawn_datacenter(j, node, k - 1);
+            for i in 0..self.m {
+                self.send_fe(
+                    i,
+                    FeCmd::Membership {
+                        datacenter: j,
+                        evict: false,
+                    },
+                );
+                self.stats.record(&Message::Membership {
+                    datacenter: j,
+                    evict: false,
+                });
+            }
+            self.membership_changed = true;
+        }
+        self.readmitted_now = readmitted_now;
+        account_stragglers(&mut self.tracker, self.m, self.n, k);
+        if self.tracker.plan().partition_active(k) {
+            self.stall_phases += 2.0;
+        }
+        Ok(())
+    }
+
+    fn predict_lambda(&mut self, k: usize) -> Result<(), CoreError> {
+        let m = self.m;
+        for i in 0..m {
+            self.send_fe(i, FeCmd::Predict { iteration: k });
+        }
+        let mut rows: Vec<Option<Vec<f64>>> = vec![None; m];
+        let mut pending: HashSet<NodeId> = (0..m).map(NodeId::Frontend).collect();
+        let missing = gather_phase(
+            &self.reply_rx,
+            &mut pending,
+            self.timeout,
+            self.rounds,
+            |node| self.alive(node),
+            |reply| match reply {
+                Reply::Lambda { i, iteration, row } if iteration == k => {
+                    rows[i] = Some(row);
+                    Some(NodeId::Frontend(i))
+                }
+                _ => None,
+            },
+        );
+        for node in missing {
+            let NodeId::Frontend(i) = node else {
+                unreachable!("predict phase only waits on front-ends")
+            };
+            match self.tracker.resolve_crash(node, k)? {
+                Resolution::Recovered { .. } => {
+                    self.respawn_frontend(i, k)?;
+                    self.send_fe(i, FeCmd::Predict { iteration: k });
+                    let mut single: HashSet<NodeId> = HashSet::from([node]);
+                    let still = gather_phase(
+                        &self.reply_rx,
+                        &mut single,
+                        self.timeout,
+                        self.rounds,
+                        |nd| self.alive(nd),
+                        |reply| match reply {
+                            Reply::Lambda {
+                                i: ri,
+                                iteration,
+                                row,
+                            } if ri == i && iteration == k => {
+                                rows[i] = Some(row);
+                                Some(NodeId::Frontend(i))
+                            }
+                            _ => None,
+                        },
+                    );
+                    if !still.is_empty() {
+                        return Err(CoreError::node_failure(
+                            node.to_string(),
+                            k,
+                            "no reply after checkpoint respawn",
+                        ));
+                    }
+                }
+                Resolution::Evicted { .. } => {
+                    unreachable!("front-ends are never evicted")
+                }
+            }
+        }
+        let rows: Vec<Vec<f64>> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, row)| {
+                row.ok_or_else(|| {
+                    CoreError::node_failure(
+                        NodeId::Frontend(i).to_string(),
+                        k,
+                        "prediction missing after gather",
+                    )
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        record_lambda_traffic(&mut self.stats, &mut self.tracker, None, &rows, k);
+        self.rows = rows;
+        Ok(())
+    }
+
+    fn step_datacenters(&mut self, k: usize) -> Result<(), CoreError> {
+        let (m, n) = (self.m, self.n);
+        for j in 0..n {
+            if self.tracker.is_evicted(j) {
+                continue;
+            }
+            self.send_dc(
+                j,
+                DcCmd::Process {
+                    iteration: k,
+                    column: column_of(&self.rows, j),
+                },
+            );
+        }
+        let mut a_cols = vec![vec![0.0; m]; n];
+        let mut dc_residuals: Vec<Option<NodeResiduals>> = vec![None; n];
+        let mut pending: HashSet<NodeId> = (0..n)
+            .filter(|&j| !self.tracker.is_evicted(j))
+            .map(NodeId::Datacenter)
+            .collect();
+        let missing = gather_phase(
+            &self.reply_rx,
+            &mut pending,
+            self.timeout,
+            self.rounds,
+            |node| self.alive(node),
+            |reply| match reply {
+                Reply::DcStep {
+                    j,
+                    iteration,
+                    a_tilde,
+                    residuals,
+                } if iteration == k => {
+                    a_cols[j] = a_tilde;
+                    dc_residuals[j] = Some(residuals);
+                    Some(NodeId::Datacenter(j))
+                }
+                _ => None,
+            },
+        );
+        for node in missing {
+            let NodeId::Datacenter(j) = node else {
+                unreachable!("datacenter phase only waits on datacenters")
+            };
+            match self.tracker.resolve_crash(node, k)? {
+                Resolution::Recovered { .. } => {
+                    self.respawn_datacenter(j, k)?;
+                    self.send_dc(
+                        j,
+                        DcCmd::Process {
+                            iteration: k,
+                            column: column_of(&self.rows, j),
+                        },
+                    );
+                    let mut single: HashSet<NodeId> = HashSet::from([node]);
+                    let still = gather_phase(
+                        &self.reply_rx,
+                        &mut single,
+                        self.timeout,
+                        self.rounds,
+                        |nd| self.alive(nd),
+                        |reply| match reply {
+                            Reply::DcStep {
+                                j: rj,
+                                iteration,
+                                a_tilde,
+                                residuals,
+                            } if rj == j && iteration == k => {
+                                a_cols[j] = a_tilde;
+                                dc_residuals[j] = Some(residuals);
+                                Some(NodeId::Datacenter(j))
+                            }
+                            _ => None,
+                        },
+                    );
+                    if !still.is_empty() {
+                        return Err(CoreError::node_failure(
+                            node.to_string(),
+                            k,
+                            "no reply after checkpoint respawn",
+                        ));
+                    }
+                }
+                Resolution::Evicted { .. } => {
+                    self.evict_datacenter(j);
+                    self.membership_changed = true;
+                }
+            }
+        }
+        for j in 0..n {
+            if dc_residuals[j].is_some() {
+                // a_cols[j] was moved into place by the accept closure.
+                let a_tilde = a_cols[j].clone();
+                record_a_traffic(&mut self.stats, &mut self.tracker, None, &a_tilde, j, k);
+            }
+        }
+        self.a_cols = a_cols;
+        self.dc_residuals = dc_residuals;
+        Ok(())
+    }
+
+    fn correct(&mut self, k: usize) -> Result<BlockResiduals, CoreError> {
+        let m = self.m;
+        for i in 0..m {
+            self.send_fe(
+                i,
+                FeCmd::Correct {
+                    iteration: k,
+                    a_row: row_of(&self.a_cols, i),
+                },
+            );
+        }
+        let mut fe_residuals: Vec<Option<NodeResiduals>> = vec![None; m];
+        let mut pending: HashSet<NodeId> = (0..m).map(NodeId::Frontend).collect();
+        let missing = gather_phase(
+            &self.reply_rx,
+            &mut pending,
+            self.timeout,
+            self.rounds,
+            |node| self.alive(node),
+            |reply| match reply {
+                Reply::FeResidual {
+                    i,
+                    iteration,
+                    residuals,
+                } if iteration == k => {
+                    fe_residuals[i] = Some(residuals);
+                    Some(NodeId::Frontend(i))
+                }
+                _ => None,
+            },
+        );
+        if let Some(node) = missing.first() {
+            return Err(CoreError::node_failure(
+                node.to_string(),
+                k,
+                "no reply in correction phase",
+            ));
+        }
+        let fe_residuals: Vec<NodeResiduals> = fe_residuals
+            .into_iter()
+            .map(|r| r.unwrap_or_default())
+            .collect();
+        let active_res: Vec<NodeResiduals> = self.dc_residuals.iter().flatten().copied().collect();
+        self.node_count = m + active_res.len();
+        Ok(reduce_residuals(
+            &mut self.stats,
+            &fe_residuals,
+            &active_res,
+        ))
+    }
+
+    fn finish_iteration(&mut self, k: usize, stop: bool) -> Result<(), CoreError> {
+        record_control(&mut self.stats, stop, self.node_count);
+        self.history.push(HistoryEntry {
+            iteration: k,
+            rows: std::mem::take(&mut self.rows),
+            a_cols: std::mem::take(&mut self.a_cols),
+        });
+        if !stop
+            && (self.membership_changed
+                || (self.checkpoint_interval > 0 && k.is_multiple_of(self.checkpoint_interval)))
+        {
+            self.checkpoint_round(k)?;
+        }
+        Ok(())
+    }
+}

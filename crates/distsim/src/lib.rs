@@ -17,10 +17,13 @@
 //!    continue/stop decision.
 //!
 //! Two runtimes execute the same node logic: [`Runtime::Lockstep`] (a
-//! deterministic single-threaded round engine, bit-identical to
-//! `ufc_core::AdmgSolver` by construction — asserted in tests) and
-//! [`Runtime::Threaded`] (one OS thread per node over std::sync::mpsc channels).
-//! Both account every logical message and estimate the wall-clock cost of a
+//! deterministic round engine, bit-identical to `ufc_core::AdmgSolver` by
+//! construction — asserted in tests) and [`Runtime::Threaded`] (one OS
+//! thread per node over std::sync::mpsc channels). Both are `Transport`
+//! implementations sequenced by the single transport-agnostic iteration
+//! driver `ufc_core::engine::drive` — the λ→μ→ν→a prediction order, the
+//! correction step, and the stop rule exist in exactly one place. Both
+//! account every logical message and estimate the wall-clock cost of a
 //! real WAN deployment from the latency matrix.
 //!
 //! # Failure model
@@ -58,6 +61,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod coordinator;
+mod engine_lockstep;
+mod engine_threaded;
 pub mod fault;
 pub mod loss;
 pub mod message;
@@ -65,6 +71,7 @@ pub mod node;
 mod runtime;
 pub mod snapshot;
 pub mod stats;
+mod supervision;
 
 pub use fault::{FaultPlan, FaultReport, NodeId};
 pub use runtime::{DistRunReport, DistributedAdmg, Runtime};

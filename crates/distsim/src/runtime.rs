@@ -1,35 +1,23 @@
-//! The protocol runtimes: deterministic lockstep, supervised threaded
-//! message-passing, and their fault-injected variants.
+//! The public runtime facade: picks an execution engine and packages the
+//! result.
 //!
-//! The threaded engine is a *supervising coordinator*: every reply is
-//! awaited with [`std::sync::mpsc::Receiver::recv_timeout`] deadlines and
-//! an exponential backoff ladder; a worker that stays silent past the
-//! ladder (and whose thread has exited) is resolved through the
-//! [`FaultTracker`] state machine — respawned from the last checkpoint and
-//! replayed, evicted (datacenters only), or reported as a typed
-//! [`CoreError::NodeFailure`]. Worker threads are joined on every exit
-//! path, including errors.
-//!
-//! The lockstep engine mirrors the same decision machine step for step, so
-//! a faulty lockstep run and a faulty threaded run with the same
-//! [`FaultPlan`] produce identical iterates, statistics, and fault reports
-//! (asserted in `tests/fault_injection.rs`).
+//! Both engines — the deterministic lockstep rounds
+//! (`crate::engine_lockstep`) and the supervised threaded message-passing
+//! coordinator (`crate::engine_threaded`) — implement
+//! [`ufc_core::engine::Transport`] and are sequenced by the single
+//! transport-agnostic driver `ufc_core::engine::drive`, so the prediction
+//! order, correction step, and stop rule exist in exactly one place. The
+//! fault-injected variants are not separate code paths: a clean run is the
+//! [`FaultPlan::none`] degenerate case of the same engines.
 
-use std::collections::HashSet;
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::thread::JoinHandle;
-use std::time::Duration;
+use ufc_core::{AdmgSettings, CoreError, Strategy};
+use ufc_model::{OperatingPoint, UfcBreakdown, UfcInstance};
 
-use ufc_core::repair::assemble_point;
-use ufc_core::{AdmgSettings, AdmgState, CoreError, Strategy, WorkerPool};
-use ufc_model::{evaluate, OperatingPoint, UfcBreakdown, UfcInstance};
-
-use crate::fault::{FaultPlan, FaultReport, FaultTracker, NodeId, Resolution};
-use crate::loss::{LossConfig, LossyChannel};
-use crate::message::Message;
-use crate::node::{DatacenterNode, FrontendNode, NodeResiduals};
-use crate::snapshot::{CheckpointStore, DatacenterSnapshot, FrontendSnapshot};
-use crate::stats::{estimated_wan_seconds, MessageStats};
+use crate::engine_lockstep::run_lockstep;
+use crate::engine_threaded::run_supervised;
+use crate::fault::{FaultPlan, FaultReport};
+use crate::loss::LossConfig;
+use crate::stats::MessageStats;
 
 /// Which execution engine runs the protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,8 +45,8 @@ pub struct DistRunReport {
     /// Message/byte accounting.
     pub stats: MessageStats,
     /// Estimated wall-clock of a real WAN deployment (see
-    /// [`estimated_wan_seconds`]); under a lossy channel or a fault plan
-    /// this includes the retransmission/recovery stalls.
+    /// [`crate::stats::estimated_wan_seconds`]); under a lossy channel or a
+    /// fault plan this includes the retransmission/recovery stalls.
     pub estimated_wan_seconds: f64,
     /// Failed message attempts (0 unless run through
     /// [`DistributedAdmg::run_lossy`]).
@@ -115,12 +103,27 @@ impl DistributedAdmg {
         strategy: Strategy,
         runtime: Runtime,
     ) -> Result<DistRunReport, CoreError> {
-        let (active_mu, active_nu) = strategy_blocks(instance, strategy)?;
+        let (active_mu, active_nu) = strategy.block_activation(instance)?;
         match runtime {
-            Runtime::Lockstep => self.run_lockstep(instance, active_mu, active_nu, None),
-            Runtime::Threaded => {
-                self.run_supervised(instance, active_mu, active_nu, FaultPlan::none())
+            Runtime::Lockstep => {
+                let mut report = run_lockstep(
+                    &self.settings,
+                    instance,
+                    active_mu,
+                    active_nu,
+                    FaultPlan::none(),
+                    None,
+                )?;
+                report.fault = None;
+                Ok(report)
             }
+            Runtime::Threaded => run_supervised(
+                &self.settings,
+                instance,
+                active_mu,
+                active_nu,
+                FaultPlan::none(),
+            ),
         }
     }
 
@@ -138,8 +141,17 @@ impl DistributedAdmg {
         strategy: Strategy,
         loss: LossConfig,
     ) -> Result<DistRunReport, CoreError> {
-        let (active_mu, active_nu) = strategy_blocks(instance, strategy)?;
-        self.run_lockstep(instance, active_mu, active_nu, Some(loss))
+        let (active_mu, active_nu) = strategy.block_activation(instance)?;
+        let mut report = run_lockstep(
+            &self.settings,
+            instance,
+            active_mu,
+            active_nu,
+            FaultPlan::none(),
+            Some(loss),
+        )?;
+        report.fault = None;
+        Ok(report)
     }
 
     /// Runs the protocol under a deterministic [`FaultPlan`]: scripted
@@ -166,11 +178,22 @@ impl DistributedAdmg {
         plan: FaultPlan,
     ) -> Result<DistRunReport, CoreError> {
         plan.check()?;
-        let (active_mu, active_nu) = strategy_blocks(instance, strategy)?;
-        let clean = self.run_lockstep(instance, active_mu, active_nu, None)?;
+        let (active_mu, active_nu) = strategy.block_activation(instance)?;
+        let clean = run_lockstep(
+            &self.settings,
+            instance,
+            active_mu,
+            active_nu,
+            FaultPlan::none(),
+            None,
+        )?;
         let mut report = match runtime {
-            Runtime::Lockstep => self.run_lockstep_faulty(instance, active_mu, active_nu, plan)?,
-            Runtime::Threaded => self.run_supervised(instance, active_mu, active_nu, plan)?,
+            Runtime::Lockstep => {
+                run_lockstep(&self.settings, instance, active_mu, active_nu, plan, None)?
+            }
+            Runtime::Threaded => {
+                run_supervised(&self.settings, instance, active_mu, active_nu, plan)?
+            }
         };
         let delta = report.breakdown.ufc() - clean.breakdown.ufc();
         if let Some(fault) = report.fault.as_mut() {
@@ -178,1433 +201,6 @@ impl DistributedAdmg {
         }
         Ok(report)
     }
-
-    fn run_lockstep(
-        &self,
-        instance: &UfcInstance,
-        active_mu: bool,
-        active_nu: bool,
-        loss: Option<LossConfig>,
-    ) -> Result<DistRunReport, CoreError> {
-        let m = instance.m_frontends();
-        let n = instance.n_datacenters();
-        let mut frontends: Vec<FrontendNode> = (0..m)
-            .map(|i| FrontendNode::new(instance, i, &self.settings))
-            .collect();
-        let mut datacenters: Vec<DatacenterNode> = (0..n)
-            .map(|j| DatacenterNode::new(instance, j, &self.settings, active_mu, active_nu))
-            .collect();
-
-        let tolerances = self.settings.scaled_tolerances(instance);
-        let pool = WorkerPool::new(self.settings.num_threads);
-        let mut stats = MessageStats::default();
-        let mut converged = false;
-        let mut iterations = 0;
-        let mut channel = loss.map(LossyChannel::new);
-        // Phase-stall accounting: each synchronous phase waits for its
-        // slowest message, i.e. the maximum attempt count within the phase.
-        let mut stalled_phases = 0.0f64;
-
-        for _ in 0..self.settings.max_iterations {
-            iterations += 1;
-            // Step 1: front-ends predict and scatter λ̃. The compute fans
-            // out over the pool; message recording stays sequential so the
-            // traffic accounting is deterministic.
-            let rows: Vec<Vec<f64>> = pool.map_mut(&mut frontends, |_, fe| fe.predict_lambda());
-            let mut phase_max = 1usize;
-            for (i, row) in rows.iter().enumerate() {
-                for (j, &value) in row.iter().enumerate() {
-                    let msg = Message::LambdaTilde {
-                        frontend: i,
-                        datacenter: j,
-                        value,
-                    };
-                    stats.record(&msg);
-                    if let Some(ch) = channel.as_mut() {
-                        let attempts = ch.send();
-                        stats.total_bytes += (attempts - 1) * msg.wire_bytes();
-                        phase_max = phase_max.max(attempts);
-                    }
-                }
-            }
-            stalled_phases += phase_max as f64;
-
-            // Steps 2–4: datacenters process their columns, gather ã.
-            // Again only the per-node compute is parallel; the gather walks
-            // the results in datacenter order.
-            let steps = pool.map_mut(&mut datacenters, |j, dc| {
-                let col: Vec<f64> = (0..m).map(|i| rows[i][j]).collect();
-                dc.process(&col)
-            });
-            let mut dc_residuals = Vec::with_capacity(n);
-            let mut a_cols: Vec<Vec<f64>> = Vec::with_capacity(n);
-            let mut phase_max = 1usize;
-            for (j, step) in steps.into_iter().enumerate() {
-                for (i, &value) in step.a_tilde.iter().enumerate() {
-                    let msg = Message::ATilde {
-                        frontend: i,
-                        datacenter: j,
-                        value,
-                    };
-                    stats.record(&msg);
-                    if let Some(ch) = channel.as_mut() {
-                        let attempts = ch.send();
-                        stats.total_bytes += (attempts - 1) * msg.wire_bytes();
-                        phase_max = phase_max.max(attempts);
-                    }
-                }
-                dc_residuals.push(step.residuals);
-                a_cols.push(step.a_tilde);
-            }
-            stalled_phases += phase_max as f64;
-
-            // Step 5: front-ends correct from ã.
-            let fe_residuals = pool.map_mut(&mut frontends, |i, fe| {
-                let a_row: Vec<f64> = (0..n).map(|j| a_cols[j][i]).collect();
-                fe.receive_a_and_correct(&a_row)
-            });
-
-            // Residual reduction + control broadcast.
-            let stop = reduce_and_broadcast(
-                &self.settings,
-                tolerances,
-                &fe_residuals,
-                &dc_residuals,
-                &mut stats,
-                m + n,
-            );
-            if stop {
-                converged = true;
-                break;
-            }
-        }
-
-        let (point, breakdown) = finish(
-            instance,
-            frontends.iter().map(|f| f.lambda().to_vec()).collect(),
-            datacenters.iter().map(DatacenterNode::mu).collect(),
-            !active_nu,
-        )?;
-        // Lossless: 4 phases per iteration. Lossy: the two data phases
-        // stall for their slowest message; the two control phases are
-        // assumed reliable (coordinator links).
-        let l_max = max_latency(instance);
-        let estimated = if channel.is_some() {
-            (stalled_phases + 2.0 * iterations as f64) * l_max
-        } else {
-            estimated_wan_seconds(iterations, &instance.latency_s)
-        };
-        Ok(DistRunReport {
-            point,
-            breakdown,
-            iterations,
-            converged,
-            stats,
-            estimated_wan_seconds: estimated,
-            retransmissions: channel.map_or(0, |ch| ch.retransmissions),
-            fault: None,
-        })
-    }
-
-    /// The deterministic mirror of the supervised threaded engine: same
-    /// fault decisions, same accounting, direct calls instead of threads.
-    fn run_lockstep_faulty(
-        &self,
-        instance: &UfcInstance,
-        active_mu: bool,
-        active_nu: bool,
-        plan: FaultPlan,
-    ) -> Result<DistRunReport, CoreError> {
-        let m = instance.m_frontends();
-        let n = instance.n_datacenters();
-        let mut frontends: Vec<FrontendNode> = (0..m)
-            .map(|i| FrontendNode::new(instance, i, &self.settings))
-            .collect();
-        let mut datacenters: Vec<Option<DatacenterNode>> = (0..n)
-            .map(|j| {
-                Some(DatacenterNode::new(
-                    instance,
-                    j,
-                    &self.settings,
-                    active_mu,
-                    active_nu,
-                ))
-            })
-            .collect();
-        let checkpoint_interval = plan.checkpoint_interval;
-        let mut tracker = FaultTracker::new(plan, m, n);
-        let mut store = CheckpointStore::new(m, n);
-        let mut history: Vec<HistoryEntry> = Vec::new();
-
-        let tolerances = self.settings.scaled_tolerances(instance);
-        let mut stats = MessageStats::default();
-        let mut converged = false;
-        let mut iterations = 0;
-        let mut stall_phases = 0.0f64;
-
-        for k in 1..=self.settings.max_iterations {
-            iterations = k;
-            let mut membership_changed = false;
-
-            // Readmission probes.
-            let readmitted_now = tracker.probe_readmissions();
-            for &j in &readmitted_now {
-                let node = DatacenterNode::new(instance, j, &self.settings, active_mu, active_nu);
-                store.put_datacenter(j, k - 1, node.snapshot().to_bytes());
-                datacenters[j] = Some(node);
-                for fe in &mut frontends {
-                    fe.clear_evicted(j);
-                    stats.record(&Message::Membership {
-                        datacenter: j,
-                        evict: false,
-                    });
-                }
-                membership_changed = true;
-            }
-
-            account_stragglers(&mut tracker, m, n, k);
-            if tracker.plan().partition_active(k) {
-                stall_phases += 2.0;
-            }
-
-            // Predict phase, resolving scripted front-end crashes.
-            let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
-            for (i, fe) in frontends.iter_mut().enumerate() {
-                let node_id = NodeId::Frontend(i);
-                if tracker.plan().crash_at_iteration(node_id, k).is_some() {
-                    match tracker.resolve_crash(node_id, k)? {
-                        Resolution::Recovered { .. } => {
-                            let mut node = FrontendNode::new(instance, i, &self.settings);
-                            let mut base = 0usize;
-                            if let Some((it, blob)) = store.frontend(i) {
-                                node.restore(&FrontendSnapshot::from_bytes(blob)?)?;
-                                base = it;
-                            }
-                            let mut replayed = 0usize;
-                            for entry in &history {
-                                if entry.iteration <= base || entry.iteration >= k {
-                                    continue;
-                                }
-                                node.predict_lambda();
-                                node.receive_a_and_correct(&row_of(&entry.a_cols, i));
-                                replayed += 1;
-                            }
-                            tracker.report.recomputed_iterations += replayed;
-                            for &j in &readmitted_now {
-                                node.clear_evicted(j);
-                            }
-                            *fe = node;
-                        }
-                        Resolution::Evicted { .. } => {
-                            unreachable!("front-ends are never evicted")
-                        }
-                    }
-                }
-                rows.push(fe.predict_lambda());
-            }
-            record_lambda_traffic(&mut stats, &mut tracker, &rows, k);
-
-            // Datacenter phase, resolving scripted crashes and evictions.
-            let mut a_cols = vec![vec![0.0; m]; n];
-            let mut dc_residuals: Vec<Option<NodeResiduals>> = vec![None; n];
-            for j in 0..n {
-                if tracker.is_evicted(j) {
-                    continue;
-                }
-                let node_id = NodeId::Datacenter(j);
-                if tracker.plan().crash_at_iteration(node_id, k).is_some() {
-                    match tracker.resolve_crash(node_id, k)? {
-                        Resolution::Recovered { .. } => {
-                            let mut node = DatacenterNode::new(
-                                instance,
-                                j,
-                                &self.settings,
-                                active_mu,
-                                active_nu,
-                            );
-                            let mut base = 0usize;
-                            if let Some((it, blob)) = store.datacenter(j) {
-                                node.restore(&DatacenterSnapshot::from_bytes(blob)?)?;
-                                base = it;
-                            }
-                            let mut replayed = 0usize;
-                            for entry in &history {
-                                if entry.iteration <= base || entry.iteration >= k {
-                                    continue;
-                                }
-                                let column: Vec<f64> = (0..m).map(|i| entry.rows[i][j]).collect();
-                                node.process(&column);
-                                replayed += 1;
-                            }
-                            tracker.report.recomputed_iterations += replayed;
-                            datacenters[j] = Some(node);
-                        }
-                        Resolution::Evicted { .. } => {
-                            datacenters[j] = None;
-                            for fe in &mut frontends {
-                                fe.set_evicted(j);
-                                stats.record(&Message::Membership {
-                                    datacenter: j,
-                                    evict: true,
-                                });
-                            }
-                            membership_changed = true;
-                            continue;
-                        }
-                    }
-                }
-                let column: Vec<f64> = (0..m).map(|i| rows[i][j]).collect();
-                let step = datacenters[j]
-                    .as_mut()
-                    .expect("live datacenter")
-                    .process(&column);
-                record_a_traffic(&mut stats, &mut tracker, &step.a_tilde, j, k);
-                a_cols[j] = step.a_tilde;
-                dc_residuals[j] = Some(step.residuals);
-            }
-
-            // Correct phase.
-            let mut fe_residuals = Vec::with_capacity(m);
-            for (i, fe) in frontends.iter_mut().enumerate() {
-                let a_row: Vec<f64> = (0..n).map(|j| a_cols[j][i]).collect();
-                fe_residuals.push(fe.receive_a_and_correct(&a_row));
-            }
-            let active_res: Vec<NodeResiduals> = dc_residuals.iter().flatten().copied().collect();
-            let stop = reduce_and_broadcast(
-                &self.settings,
-                tolerances,
-                &fe_residuals,
-                &active_res,
-                &mut stats,
-                m + active_res.len(),
-            );
-            history.push(HistoryEntry {
-                iteration: k,
-                rows,
-                a_cols,
-            });
-            if stop {
-                converged = true;
-                break;
-            }
-            if membership_changed || (checkpoint_interval > 0 && k % checkpoint_interval == 0) {
-                for (i, fe) in frontends.iter().enumerate() {
-                    let blob = fe.snapshot().to_bytes();
-                    stats.record(&Message::Checkpoint {
-                        node: i,
-                        payload_bytes: blob.len(),
-                    });
-                    store.put_frontend(i, k, blob);
-                }
-                for (j, dc) in datacenters.iter().enumerate() {
-                    if let Some(dc) = dc {
-                        let blob = dc.snapshot().to_bytes();
-                        stats.record(&Message::Checkpoint {
-                            node: m + j,
-                            payload_bytes: blob.len(),
-                        });
-                        store.put_datacenter(j, k, blob);
-                    }
-                }
-                tracker.report.checkpoints_taken += 1;
-                history.clear();
-            }
-        }
-
-        let lambda_rows = frontends.iter().map(|f| f.lambda().to_vec()).collect();
-        let mu = datacenters
-            .iter()
-            .map(|dc| dc.as_ref().map_or(0.0, DatacenterNode::mu))
-            .collect();
-        let (point, breakdown) = finish(instance, lambda_rows, mu, !active_nu)?;
-        let report = tracker.report;
-        let estimated = estimated_wan_seconds(iterations, &instance.latency_s)
-            + report.downtime_seconds
-            + report.straggler_seconds
-            + stall_phases * max_latency(instance);
-        Ok(DistRunReport {
-            point,
-            breakdown,
-            iterations,
-            converged,
-            stats,
-            estimated_wan_seconds: estimated,
-            retransmissions: 0,
-            fault: Some(report),
-        })
-    }
-
-    /// The supervised threaded engine. A trivial plan (no scripted faults,
-    /// checkpointing off — [`FaultPlan::none`]) reduces to the plain
-    /// threaded runtime: no extra traffic, byte-identical iterates, and
-    /// `fault: None` in the report.
-    fn run_supervised(
-        &self,
-        instance: &UfcInstance,
-        active_mu: bool,
-        active_nu: bool,
-        plan: FaultPlan,
-    ) -> Result<DistRunReport, CoreError> {
-        let (reply_tx, reply_rx) = channel::<Reply>();
-        let mut sup = Supervisor::new(
-            instance,
-            self.settings,
-            active_mu,
-            active_nu,
-            plan,
-            reply_tx,
-        );
-        let outcome = sup.drive(&reply_rx);
-        let stats = sup.stats;
-        let fault_report = sup.tracker.report.clone();
-        let plan_trivial = sup.tracker.plan().is_trivial();
-        let shutdown = sup.shutdown();
-        let outcome = outcome?;
-        shutdown?;
-
-        let (point, breakdown) = finish(instance, outcome.lambda_rows, outcome.mu, !active_nu)?;
-        let estimated = estimated_wan_seconds(outcome.iterations, &instance.latency_s)
-            + fault_report.downtime_seconds
-            + fault_report.straggler_seconds
-            + outcome.stall_phases * max_latency(instance);
-        let report_fault = !plan_trivial || fault_report.checkpoints_taken > 0;
-        Ok(DistRunReport {
-            point,
-            breakdown,
-            iterations: outcome.iterations,
-            converged: outcome.converged,
-            stats,
-            estimated_wan_seconds: estimated,
-            retransmissions: 0,
-            fault: report_fault.then_some(fault_report),
-        })
-    }
-}
-
-fn strategy_blocks(instance: &UfcInstance, strategy: Strategy) -> Result<(bool, bool), CoreError> {
-    let active_mu = strategy != Strategy::GridOnly;
-    let active_nu = strategy != Strategy::FuelCellOnly;
-    if !active_nu && !instance.fuel_cells_cover_peak() {
-        return Err(CoreError::Unsupported {
-            context: "FuelCellOnly requires fuel-cell capacity covering peak demand".to_owned(),
-        });
-    }
-    Ok((active_mu, active_nu))
-}
-
-fn max_latency(instance: &UfcInstance) -> f64 {
-    instance
-        .latency_s
-        .iter()
-        .flatten()
-        .cloned()
-        .fold(0.0f64, f64::max)
-}
-
-/// Column `j` of the per-front-end λ̃ rows: the values bound for
-/// datacenter `j`.
-fn column_of(rows: &[Vec<f64>], j: usize) -> Vec<f64> {
-    rows.iter().map(|row| row[j]).collect()
-}
-
-/// Row `i` of the per-datacenter ã columns: the values bound for
-/// front-end `i`.
-fn row_of(cols: &[Vec<f64>], i: usize) -> Vec<f64> {
-    cols.iter().map(|col| col[i]).collect()
-}
-
-/// Plan-driven straggler accounting, identical in both engines: the
-/// coordinator charges every scripted delay of a live node.
-fn account_stragglers(tracker: &mut FaultTracker, m: usize, n: usize, k: usize) {
-    for i in 0..m {
-        let delay = tracker.plan().straggler_delay(NodeId::Frontend(i), k);
-        if let Some(delay) = delay {
-            tracker.record_straggler(delay);
-        }
-    }
-    for j in 0..n {
-        if tracker.is_evicted(j) {
-            continue;
-        }
-        let delay = tracker.plan().straggler_delay(NodeId::Datacenter(j), k);
-        if let Some(delay) = delay {
-            tracker.record_straggler(delay);
-        }
-    }
-}
-
-/// Records the λ̃ scatter to every non-evicted datacenter, doubling bytes
-/// across severed partition links (relay path).
-fn record_lambda_traffic(
-    stats: &mut MessageStats,
-    tracker: &mut FaultTracker,
-    rows: &[Vec<f64>],
-    k: usize,
-) {
-    for (i, row) in rows.iter().enumerate() {
-        for (j, &value) in row.iter().enumerate() {
-            if tracker.is_evicted(j) {
-                continue;
-            }
-            let msg = Message::LambdaTilde {
-                frontend: i,
-                datacenter: j,
-                value,
-            };
-            stats.record(&msg);
-            if tracker.plan().is_partitioned(i, j, k) {
-                stats.total_bytes += msg.wire_bytes();
-                tracker.report.partition_retransmissions += 1;
-            }
-        }
-    }
-}
-
-/// Records one datacenter's ã gather (mirror of [`record_lambda_traffic`]).
-fn record_a_traffic(
-    stats: &mut MessageStats,
-    tracker: &mut FaultTracker,
-    a_tilde: &[f64],
-    j: usize,
-    k: usize,
-) {
-    for (i, &value) in a_tilde.iter().enumerate() {
-        let msg = Message::ATilde {
-            frontend: i,
-            datacenter: j,
-            value,
-        };
-        stats.record(&msg);
-        if tracker.plan().is_partitioned(i, j, k) {
-            stats.total_bytes += msg.wire_bytes();
-            tracker.report.partition_retransmissions += 1;
-        }
-    }
-}
-
-/// One iteration's inputs, buffered for checkpoint-restart replay.
-struct HistoryEntry {
-    iteration: usize,
-    rows: Vec<Vec<f64>>,
-    a_cols: Vec<Vec<f64>>,
-}
-
-/// Commands to a front-end worker.
-enum FeCmd {
-    Predict { iteration: usize },
-    Correct { iteration: usize, a_row: Vec<f64> },
-    Snapshot { iteration: usize },
-    Membership { datacenter: usize, evict: bool },
-    Finish,
-}
-
-/// Commands to a datacenter worker.
-enum DcCmd {
-    Process { iteration: usize, column: Vec<f64> },
-    Snapshot { iteration: usize },
-    Finish,
-}
-
-/// Worker replies, tagged with node and iteration so the coordinator can
-/// discard stale replay traffic.
-enum Reply {
-    Lambda {
-        i: usize,
-        iteration: usize,
-        row: Vec<f64>,
-    },
-    FeResidual {
-        i: usize,
-        iteration: usize,
-        residuals: NodeResiduals,
-    },
-    DcStep {
-        j: usize,
-        iteration: usize,
-        a_tilde: Vec<f64>,
-        residuals: NodeResiduals,
-    },
-    FeSnapshot {
-        i: usize,
-        iteration: usize,
-        blob: Vec<u8>,
-    },
-    DcSnapshot {
-        j: usize,
-        iteration: usize,
-        blob: Vec<u8>,
-    },
-    FeFinal {
-        i: usize,
-        lambda: Vec<f64>,
-    },
-    DcFinal {
-        j: usize,
-        mu: f64,
-    },
-}
-
-/// The fault injections one worker carries: iterations at which it
-/// crash-stops, and scripted reply delays.
-struct FaultScript {
-    crash_iterations: Vec<usize>,
-    stragglers: Vec<(usize, Duration)>,
-}
-
-impl FaultScript {
-    /// Script for `node`, keeping only events after iteration `after`
-    /// (respawned workers must not re-fire events that already happened).
-    fn for_node(plan: &FaultPlan, node: NodeId, after: usize) -> Self {
-        FaultScript {
-            crash_iterations: plan
-                .crash_iterations_for(node)
-                .into_iter()
-                .filter(|&t| t > after)
-                .collect(),
-            stragglers: plan
-                .stragglers_for(node)
-                .into_iter()
-                .filter(|&(t, _)| t > after)
-                .collect(),
-        }
-    }
-
-    fn crashes_at(&self, iteration: usize) -> bool {
-        self.crash_iterations.contains(&iteration)
-    }
-
-    fn straggle(&self, iteration: usize) {
-        if let Some(&(_, delay)) = self.stragglers.iter().find(|&&(t, _)| t == iteration) {
-            std::thread::sleep(delay);
-        }
-    }
-}
-
-/// What the supervised loop produces on success.
-struct LoopOutcome {
-    lambda_rows: Vec<Vec<f64>>,
-    mu: Vec<f64>,
-    iterations: usize,
-    converged: bool,
-    stall_phases: f64,
-}
-
-/// Waits for the pending nodes' replies with an exponential-backoff ladder.
-/// Nodes still silent after the ladder — and whose threads have actually
-/// exited (`alive` is false) — are returned as suspected-dead, in
-/// deterministic node order. A silent-but-running worker (long sub-problem,
-/// scheduling hiccup) gets its ladder restarted instead of being declared
-/// dead.
-fn gather_phase(
-    rx: &Receiver<Reply>,
-    pending: &mut HashSet<NodeId>,
-    base_timeout: Duration,
-    rounds: u32,
-    alive: impl Fn(NodeId) -> bool,
-    mut accept: impl FnMut(Reply) -> Option<NodeId>,
-) -> Vec<NodeId> {
-    let rounds = rounds.max(1);
-    let mut round = 0u32;
-    let mut wait = base_timeout;
-    let mut extensions = 0u32;
-    while !pending.is_empty() {
-        match rx.recv_timeout(wait) {
-            Ok(reply) => {
-                if let Some(node) = accept(reply) {
-                    pending.remove(&node);
-                }
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                round += 1;
-                if round >= rounds {
-                    if pending.iter().any(|&node| alive(node)) && extensions < 1000 {
-                        extensions += 1;
-                        round = 0;
-                        wait = base_timeout;
-                        continue;
-                    }
-                    break;
-                }
-                wait = wait.saturating_mul(2);
-            }
-            Err(RecvTimeoutError::Disconnected) => break,
-        }
-    }
-    let mut missing: Vec<NodeId> = pending.drain().collect();
-    missing.sort_by_key(|node| match node {
-        NodeId::Frontend(i) => (0, *i),
-        NodeId::Datacenter(j) => (1, *j),
-    });
-    missing
-}
-
-/// The supervising coordinator of the threaded runtime.
-struct Supervisor<'a> {
-    instance: &'a UfcInstance,
-    settings: AdmgSettings,
-    active_mu: bool,
-    active_nu: bool,
-    m: usize,
-    n: usize,
-    tracker: FaultTracker,
-    store: CheckpointStore,
-    history: Vec<HistoryEntry>,
-    reply_tx: Sender<Reply>,
-    fe_tx: Vec<Option<Sender<FeCmd>>>,
-    dc_tx: Vec<Option<Sender<DcCmd>>>,
-    fe_handles: Vec<Option<JoinHandle<()>>>,
-    dc_handles: Vec<Option<JoinHandle<()>>>,
-    stats: MessageStats,
-}
-
-impl<'a> Supervisor<'a> {
-    fn new(
-        instance: &'a UfcInstance,
-        settings: AdmgSettings,
-        active_mu: bool,
-        active_nu: bool,
-        plan: FaultPlan,
-        reply_tx: Sender<Reply>,
-    ) -> Self {
-        let m = instance.m_frontends();
-        let n = instance.n_datacenters();
-        let mut sup = Supervisor {
-            instance,
-            settings,
-            active_mu,
-            active_nu,
-            m,
-            n,
-            tracker: FaultTracker::new(plan, m, n),
-            store: CheckpointStore::new(m, n),
-            history: Vec::new(),
-            reply_tx,
-            fe_tx: (0..m).map(|_| None).collect(),
-            dc_tx: (0..n).map(|_| None).collect(),
-            fe_handles: (0..m).map(|_| None).collect(),
-            dc_handles: (0..n).map(|_| None).collect(),
-            stats: MessageStats::default(),
-        };
-        for i in 0..m {
-            let node = FrontendNode::new(instance, i, &sup.settings);
-            sup.spawn_frontend(i, node, 0);
-        }
-        for j in 0..n {
-            let node = DatacenterNode::new(instance, j, &sup.settings, active_mu, active_nu);
-            sup.spawn_datacenter(j, node, 0);
-        }
-        sup
-    }
-
-    fn spawn_frontend(&mut self, i: usize, mut node: FrontendNode, after: usize) {
-        if let Some(old) = self.fe_handles[i].take() {
-            let _ = old.join();
-        }
-        let script = FaultScript::for_node(self.tracker.plan(), NodeId::Frontend(i), after);
-        let out = self.reply_tx.clone();
-        let (tx, rx) = channel::<FeCmd>();
-        let handle = std::thread::spawn(move || {
-            while let Ok(cmd) = rx.recv() {
-                match cmd {
-                    FeCmd::Predict { iteration } => {
-                        if script.crashes_at(iteration) {
-                            return; // crash-stop: die silently
-                        }
-                        script.straggle(iteration);
-                        let row = node.predict_lambda();
-                        if out.send(Reply::Lambda { i, iteration, row }).is_err() {
-                            return;
-                        }
-                    }
-                    FeCmd::Correct { iteration, a_row } => {
-                        let residuals = node.receive_a_and_correct(&a_row);
-                        if out
-                            .send(Reply::FeResidual {
-                                i,
-                                iteration,
-                                residuals,
-                            })
-                            .is_err()
-                        {
-                            return;
-                        }
-                    }
-                    FeCmd::Snapshot { iteration } => {
-                        let blob = node.snapshot().to_bytes();
-                        if out.send(Reply::FeSnapshot { i, iteration, blob }).is_err() {
-                            return;
-                        }
-                    }
-                    FeCmd::Membership { datacenter, evict } => {
-                        if evict {
-                            node.set_evicted(datacenter);
-                        } else {
-                            node.clear_evicted(datacenter);
-                        }
-                    }
-                    FeCmd::Finish => {
-                        let _ = out.send(Reply::FeFinal {
-                            i,
-                            lambda: node.lambda().to_vec(),
-                        });
-                        return;
-                    }
-                }
-            }
-        });
-        self.fe_tx[i] = Some(tx);
-        self.fe_handles[i] = Some(handle);
-    }
-
-    fn spawn_datacenter(&mut self, j: usize, mut node: DatacenterNode, after: usize) {
-        if let Some(old) = self.dc_handles[j].take() {
-            let _ = old.join();
-        }
-        let script = FaultScript::for_node(self.tracker.plan(), NodeId::Datacenter(j), after);
-        let out = self.reply_tx.clone();
-        let (tx, rx) = channel::<DcCmd>();
-        let handle = std::thread::spawn(move || {
-            while let Ok(cmd) = rx.recv() {
-                match cmd {
-                    DcCmd::Process { iteration, column } => {
-                        if script.crashes_at(iteration) {
-                            return;
-                        }
-                        script.straggle(iteration);
-                        let step = node.process(&column);
-                        if out
-                            .send(Reply::DcStep {
-                                j,
-                                iteration,
-                                a_tilde: step.a_tilde,
-                                residuals: step.residuals,
-                            })
-                            .is_err()
-                        {
-                            return;
-                        }
-                    }
-                    DcCmd::Snapshot { iteration } => {
-                        let blob = node.snapshot().to_bytes();
-                        if out.send(Reply::DcSnapshot { j, iteration, blob }).is_err() {
-                            return;
-                        }
-                    }
-                    DcCmd::Finish => {
-                        let _ = out.send(Reply::DcFinal { j, mu: node.mu() });
-                        return;
-                    }
-                }
-            }
-        });
-        self.dc_tx[j] = Some(tx);
-        self.dc_handles[j] = Some(handle);
-    }
-
-    fn send_fe(&self, i: usize, cmd: FeCmd) {
-        if let Some(tx) = &self.fe_tx[i] {
-            let _ = tx.send(cmd);
-        }
-    }
-
-    fn send_dc(&self, j: usize, cmd: DcCmd) {
-        if let Some(tx) = &self.dc_tx[j] {
-            let _ = tx.send(cmd);
-        }
-    }
-
-    fn alive(&self, node: NodeId) -> bool {
-        match node {
-            NodeId::Frontend(i) => self.fe_handles[i]
-                .as_ref()
-                .is_some_and(|h| !h.is_finished()),
-            NodeId::Datacenter(j) => self.dc_handles[j]
-                .as_ref()
-                .is_some_and(|h| !h.is_finished()),
-        }
-    }
-
-    /// Respawns front-end `i` from its last checkpoint, replays the
-    /// buffered inputs since, and re-applies this iteration's membership
-    /// deltas, so its state is exactly what the crashed worker's would
-    /// have been entering iteration `k`.
-    fn respawn_frontend(
-        &mut self,
-        i: usize,
-        k: usize,
-        readmitted_now: &[usize],
-    ) -> Result<(), CoreError> {
-        let mut node = FrontendNode::new(self.instance, i, &self.settings);
-        let mut base = 0usize;
-        if let Some((it, blob)) = self.store.frontend(i) {
-            node.restore(&FrontendSnapshot::from_bytes(blob)?)?;
-            base = it;
-        }
-        self.spawn_frontend(i, node, k);
-        let mut replayed = 0usize;
-        for entry in &self.history {
-            if entry.iteration <= base || entry.iteration >= k {
-                continue;
-            }
-            self.send_fe(
-                i,
-                FeCmd::Predict {
-                    iteration: entry.iteration,
-                },
-            );
-            let a_row: Vec<f64> = (0..self.n).map(|j| entry.a_cols[j][i]).collect();
-            self.send_fe(
-                i,
-                FeCmd::Correct {
-                    iteration: entry.iteration,
-                    a_row,
-                },
-            );
-            replayed += 1;
-        }
-        self.tracker.report.recomputed_iterations += replayed;
-        for &j in readmitted_now {
-            self.send_fe(
-                i,
-                FeCmd::Membership {
-                    datacenter: j,
-                    evict: false,
-                },
-            );
-        }
-        Ok(())
-    }
-
-    /// Respawns datacenter `j` from its last checkpoint and replays the
-    /// buffered λ̃ columns since.
-    fn respawn_datacenter(&mut self, j: usize, k: usize) -> Result<(), CoreError> {
-        let mut node = DatacenterNode::new(
-            self.instance,
-            j,
-            &self.settings,
-            self.active_mu,
-            self.active_nu,
-        );
-        let mut base = 0usize;
-        if let Some((it, blob)) = self.store.datacenter(j) {
-            node.restore(&DatacenterSnapshot::from_bytes(blob)?)?;
-            base = it;
-        }
-        self.spawn_datacenter(j, node, k);
-        let mut replayed = 0usize;
-        for entry in &self.history {
-            if entry.iteration <= base || entry.iteration >= k {
-                continue;
-            }
-            let column: Vec<f64> = (0..self.m).map(|i| entry.rows[i][j]).collect();
-            self.send_dc(
-                j,
-                DcCmd::Process {
-                    iteration: entry.iteration,
-                    column,
-                },
-            );
-            replayed += 1;
-        }
-        self.tracker.report.recomputed_iterations += replayed;
-        Ok(())
-    }
-
-    /// Evicts datacenter `j`: drops its command channel, joins the dead
-    /// worker, and broadcasts the membership change to every front-end.
-    fn evict_datacenter(&mut self, j: usize) {
-        self.dc_tx[j] = None;
-        if let Some(handle) = self.dc_handles[j].take() {
-            let _ = handle.join();
-        }
-        for i in 0..self.m {
-            self.send_fe(
-                i,
-                FeCmd::Membership {
-                    datacenter: j,
-                    evict: true,
-                },
-            );
-            self.stats.record(&Message::Membership {
-                datacenter: j,
-                evict: true,
-            });
-        }
-    }
-
-    #[allow(clippy::too_many_lines)] // one iteration of the supervised protocol, phase by phase
-    fn drive(&mut self, rx: &Receiver<Reply>) -> Result<LoopOutcome, CoreError> {
-        let tolerances = self.settings.scaled_tolerances(self.instance);
-        let timeout = self.tracker.plan().phase_timeout;
-        let rounds = self.tracker.plan().backoff_rounds;
-        let checkpoint_interval = self.tracker.plan().checkpoint_interval;
-        let (m, n) = (self.m, self.n);
-        let mut converged = false;
-        let mut iterations = 0usize;
-        let mut stall_phases = 0.0f64;
-
-        for k in 1..=self.settings.max_iterations {
-            iterations = k;
-            let mut membership_changed = false;
-
-            // Readmission probes.
-            let readmitted_now = self.tracker.probe_readmissions();
-            for &j in &readmitted_now {
-                let node = DatacenterNode::new(
-                    self.instance,
-                    j,
-                    &self.settings,
-                    self.active_mu,
-                    self.active_nu,
-                );
-                self.store
-                    .put_datacenter(j, k - 1, node.snapshot().to_bytes());
-                self.spawn_datacenter(j, node, k - 1);
-                for i in 0..m {
-                    self.send_fe(
-                        i,
-                        FeCmd::Membership {
-                            datacenter: j,
-                            evict: false,
-                        },
-                    );
-                    self.stats.record(&Message::Membership {
-                        datacenter: j,
-                        evict: false,
-                    });
-                }
-                membership_changed = true;
-            }
-
-            account_stragglers(&mut self.tracker, m, n, k);
-            if self.tracker.plan().partition_active(k) {
-                stall_phases += 2.0;
-            }
-
-            // Predict phase.
-            for i in 0..m {
-                self.send_fe(i, FeCmd::Predict { iteration: k });
-            }
-            let mut rows: Vec<Option<Vec<f64>>> = vec![None; m];
-            let mut pending: HashSet<NodeId> = (0..m).map(NodeId::Frontend).collect();
-            let missing = gather_phase(
-                rx,
-                &mut pending,
-                timeout,
-                rounds,
-                |node| self.alive(node),
-                |reply| match reply {
-                    Reply::Lambda { i, iteration, row } if iteration == k => {
-                        rows[i] = Some(row);
-                        Some(NodeId::Frontend(i))
-                    }
-                    _ => None,
-                },
-            );
-            for node in missing {
-                let NodeId::Frontend(i) = node else {
-                    unreachable!("predict phase only waits on front-ends")
-                };
-                match self.tracker.resolve_crash(node, k)? {
-                    Resolution::Recovered { .. } => {
-                        self.respawn_frontend(i, k, &readmitted_now)?;
-                        self.send_fe(i, FeCmd::Predict { iteration: k });
-                        let mut single: HashSet<NodeId> = HashSet::from([node]);
-                        let still = gather_phase(
-                            rx,
-                            &mut single,
-                            timeout,
-                            rounds,
-                            |nd| self.alive(nd),
-                            |reply| match reply {
-                                Reply::Lambda {
-                                    i: ri,
-                                    iteration,
-                                    row,
-                                } if ri == i && iteration == k => {
-                                    rows[i] = Some(row);
-                                    Some(NodeId::Frontend(i))
-                                }
-                                _ => None,
-                            },
-                        );
-                        if !still.is_empty() {
-                            return Err(CoreError::node_failure(
-                                node.to_string(),
-                                k,
-                                "no reply after checkpoint respawn",
-                            ));
-                        }
-                    }
-                    Resolution::Evicted { .. } => {
-                        unreachable!("front-ends are never evicted")
-                    }
-                }
-            }
-            let rows: Vec<Vec<f64>> = rows
-                .into_iter()
-                .enumerate()
-                .map(|(i, row)| {
-                    row.ok_or_else(|| {
-                        CoreError::node_failure(
-                            NodeId::Frontend(i).to_string(),
-                            k,
-                            "prediction missing after gather",
-                        )
-                    })
-                })
-                .collect::<Result<_, _>>()?;
-            record_lambda_traffic(&mut self.stats, &mut self.tracker, &rows, k);
-
-            // Datacenter phase.
-            for j in 0..n {
-                if self.tracker.is_evicted(j) {
-                    continue;
-                }
-                self.send_dc(
-                    j,
-                    DcCmd::Process {
-                        iteration: k,
-                        column: column_of(&rows, j),
-                    },
-                );
-            }
-            let mut a_cols = vec![vec![0.0; m]; n];
-            let mut dc_residuals: Vec<Option<NodeResiduals>> = vec![None; n];
-            let mut pending: HashSet<NodeId> = (0..n)
-                .filter(|&j| !self.tracker.is_evicted(j))
-                .map(NodeId::Datacenter)
-                .collect();
-            let missing = gather_phase(
-                rx,
-                &mut pending,
-                timeout,
-                rounds,
-                |node| self.alive(node),
-                |reply| match reply {
-                    Reply::DcStep {
-                        j,
-                        iteration,
-                        a_tilde,
-                        residuals,
-                    } if iteration == k => {
-                        a_cols[j] = a_tilde;
-                        dc_residuals[j] = Some(residuals);
-                        Some(NodeId::Datacenter(j))
-                    }
-                    _ => None,
-                },
-            );
-            for node in missing {
-                let NodeId::Datacenter(j) = node else {
-                    unreachable!("datacenter phase only waits on datacenters")
-                };
-                match self.tracker.resolve_crash(node, k)? {
-                    Resolution::Recovered { .. } => {
-                        self.respawn_datacenter(j, k)?;
-                        self.send_dc(
-                            j,
-                            DcCmd::Process {
-                                iteration: k,
-                                column: column_of(&rows, j),
-                            },
-                        );
-                        let mut single: HashSet<NodeId> = HashSet::from([node]);
-                        let still = gather_phase(
-                            rx,
-                            &mut single,
-                            timeout,
-                            rounds,
-                            |nd| self.alive(nd),
-                            |reply| match reply {
-                                Reply::DcStep {
-                                    j: rj,
-                                    iteration,
-                                    a_tilde,
-                                    residuals,
-                                } if rj == j && iteration == k => {
-                                    a_cols[j] = a_tilde;
-                                    dc_residuals[j] = Some(residuals);
-                                    Some(NodeId::Datacenter(j))
-                                }
-                                _ => None,
-                            },
-                        );
-                        if !still.is_empty() {
-                            return Err(CoreError::node_failure(
-                                node.to_string(),
-                                k,
-                                "no reply after checkpoint respawn",
-                            ));
-                        }
-                    }
-                    Resolution::Evicted { .. } => {
-                        self.evict_datacenter(j);
-                        membership_changed = true;
-                    }
-                }
-            }
-            for j in 0..n {
-                if dc_residuals[j].is_some() {
-                    // a_cols[j] was moved into place by the accept closure.
-                    let a_tilde = a_cols[j].clone();
-                    record_a_traffic(&mut self.stats, &mut self.tracker, &a_tilde, j, k);
-                }
-            }
-
-            // Correct phase.
-            for i in 0..m {
-                self.send_fe(
-                    i,
-                    FeCmd::Correct {
-                        iteration: k,
-                        a_row: row_of(&a_cols, i),
-                    },
-                );
-            }
-            let mut fe_residuals: Vec<Option<NodeResiduals>> = vec![None; m];
-            let mut pending: HashSet<NodeId> = (0..m).map(NodeId::Frontend).collect();
-            let missing = gather_phase(
-                rx,
-                &mut pending,
-                timeout,
-                rounds,
-                |node| self.alive(node),
-                |reply| match reply {
-                    Reply::FeResidual {
-                        i,
-                        iteration,
-                        residuals,
-                    } if iteration == k => {
-                        fe_residuals[i] = Some(residuals);
-                        Some(NodeId::Frontend(i))
-                    }
-                    _ => None,
-                },
-            );
-            if let Some(node) = missing.first() {
-                return Err(CoreError::node_failure(
-                    node.to_string(),
-                    k,
-                    "no reply in correction phase",
-                ));
-            }
-            let fe_residuals: Vec<NodeResiduals> = fe_residuals
-                .into_iter()
-                .map(|r| r.unwrap_or_default())
-                .collect();
-            let active_res: Vec<NodeResiduals> = dc_residuals.iter().flatten().copied().collect();
-            let stop = reduce_and_broadcast(
-                &self.settings,
-                tolerances,
-                &fe_residuals,
-                &active_res,
-                &mut self.stats,
-                m + active_res.len(),
-            );
-            self.history.push(HistoryEntry {
-                iteration: k,
-                rows,
-                a_cols,
-            });
-            if stop {
-                converged = true;
-                break;
-            }
-            if membership_changed || (checkpoint_interval > 0 && k % checkpoint_interval == 0) {
-                self.checkpoint_round(rx, k, timeout, rounds)?;
-            }
-        }
-
-        // Final gather.
-        let mut pending: HashSet<NodeId> = (0..m).map(NodeId::Frontend).collect();
-        for i in 0..m {
-            self.send_fe(i, FeCmd::Finish);
-        }
-        for j in 0..n {
-            if !self.tracker.is_evicted(j) {
-                self.send_dc(j, DcCmd::Finish);
-                pending.insert(NodeId::Datacenter(j));
-            }
-        }
-        let mut lambda_rows: Vec<Vec<f64>> = vec![Vec::new(); m];
-        let mut mu = vec![0.0; n];
-        let missing = gather_phase(
-            rx,
-            &mut pending,
-            timeout,
-            rounds,
-            |node| self.alive(node),
-            |reply| match reply {
-                Reply::FeFinal { i, lambda } => {
-                    lambda_rows[i] = lambda;
-                    Some(NodeId::Frontend(i))
-                }
-                Reply::DcFinal { j, mu: v } => {
-                    mu[j] = v;
-                    Some(NodeId::Datacenter(j))
-                }
-                _ => None,
-            },
-        );
-        if let Some(node) = missing.first() {
-            return Err(CoreError::node_failure(
-                node.to_string(),
-                iterations,
-                "no reply to the final gather",
-            ));
-        }
-
-        Ok(LoopOutcome {
-            lambda_rows,
-            mu,
-            iterations,
-            converged,
-            stall_phases,
-        })
-    }
-
-    /// One checkpoint round: every live node snapshots its iterate slice
-    /// and ships it to the coordinator, which accounts the traffic and
-    /// clears the replay buffer.
-    fn checkpoint_round(
-        &mut self,
-        rx: &Receiver<Reply>,
-        k: usize,
-        timeout: Duration,
-        rounds: u32,
-    ) -> Result<(), CoreError> {
-        let (m, n) = (self.m, self.n);
-        let mut pending: HashSet<NodeId> = (0..m).map(NodeId::Frontend).collect();
-        for i in 0..m {
-            self.send_fe(i, FeCmd::Snapshot { iteration: k });
-        }
-        for j in 0..n {
-            if !self.tracker.is_evicted(j) {
-                self.send_dc(j, DcCmd::Snapshot { iteration: k });
-                pending.insert(NodeId::Datacenter(j));
-            }
-        }
-        let mut fe_blobs: Vec<Option<Vec<u8>>> = vec![None; m];
-        let mut dc_blobs: Vec<Option<Vec<u8>>> = vec![None; n];
-        let missing = gather_phase(
-            rx,
-            &mut pending,
-            timeout,
-            rounds,
-            |node| self.alive(node),
-            |reply| match reply {
-                Reply::FeSnapshot { i, iteration, blob } if iteration == k => {
-                    fe_blobs[i] = Some(blob);
-                    Some(NodeId::Frontend(i))
-                }
-                Reply::DcSnapshot { j, iteration, blob } if iteration == k => {
-                    dc_blobs[j] = Some(blob);
-                    Some(NodeId::Datacenter(j))
-                }
-                _ => None,
-            },
-        );
-        if let Some(node) = missing.first() {
-            return Err(CoreError::node_failure(
-                node.to_string(),
-                k,
-                "no reply to the checkpoint request",
-            ));
-        }
-        for (i, blob) in fe_blobs.into_iter().enumerate() {
-            let blob = blob.expect("gather guarantees a blob per front-end");
-            self.stats.record(&Message::Checkpoint {
-                node: i,
-                payload_bytes: blob.len(),
-            });
-            self.store.put_frontend(i, k, blob);
-        }
-        for (j, blob) in dc_blobs.into_iter().enumerate() {
-            let Some(blob) = blob else { continue };
-            self.stats.record(&Message::Checkpoint {
-                node: m + j,
-                payload_bytes: blob.len(),
-            });
-            self.store.put_datacenter(j, k, blob);
-        }
-        self.tracker.report.checkpoints_taken += 1;
-        self.history.clear();
-        Ok(())
-    }
-
-    /// Closes every command channel (ending the worker loops) and joins
-    /// all threads. Called on every exit path, success or error.
-    fn shutdown(mut self) -> Result<(), CoreError> {
-        self.fe_tx.clear();
-        self.dc_tx.clear();
-        let mut first_panic = None;
-        for slot in self.fe_handles.iter_mut().chain(self.dc_handles.iter_mut()) {
-            if let Some(handle) = slot.take() {
-                if handle.join().is_err() && first_panic.is_none() {
-                    first_panic = Some(CoreError::node_failure(
-                        "worker",
-                        0,
-                        "node thread panicked during shutdown",
-                    ));
-                }
-            }
-        }
-        first_panic.map_or(Ok(()), Err)
-    }
-}
-
-/// Max-reduces the per-node residuals, accounts the report/control traffic,
-/// and returns the stop decision.
-fn reduce_and_broadcast(
-    settings: &AdmgSettings,
-    tolerances: (f64, f64, f64),
-    fe: &[NodeResiduals],
-    dc: &[NodeResiduals],
-    stats: &mut MessageStats,
-    node_count: usize,
-) -> bool {
-    let mut link = 0.0f64;
-    let mut balance = 0.0f64;
-    let mut movement = 0.0f64;
-    for (node, r) in fe.iter().chain(dc).enumerate() {
-        stats.record(&Message::ResidualReport {
-            node,
-            link: r.link,
-            balance: r.balance,
-            movement: r.movement,
-        });
-        link = link.max(r.link);
-        balance = balance.max(r.balance);
-        movement = movement.max(r.movement);
-    }
-    let (link_tol, balance_tol, dual_tol) = tolerances;
-    let stop = link <= link_tol && balance <= balance_tol && settings.rho * movement <= dual_tol;
-    for _ in 0..node_count {
-        stats.record(&Message::Control { stop });
-    }
-    stop
-}
-
-/// Polishes the gathered iterate into a feasible point and evaluates it
-/// (same repair as the in-memory solver).
-fn finish(
-    instance: &UfcInstance,
-    lambda_rows: Vec<Vec<f64>>,
-    mu: Vec<f64>,
-    fuel_cell_only: bool,
-) -> Result<(OperatingPoint, UfcBreakdown), CoreError> {
-    let mut state = AdmgState::zeros(instance);
-    for (i, row) in lambda_rows.iter().enumerate() {
-        for (j, &v) in row.iter().enumerate() {
-            let k = state.idx(i, j);
-            state.lambda[k] = v;
-        }
-    }
-    state.mu = mu;
-    let point = assemble_point(instance, &state, fuel_cell_only)?;
-    let breakdown = evaluate(instance, &point)?;
-    Ok((point, breakdown))
 }
 
 #[cfg(test)]

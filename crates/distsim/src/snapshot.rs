@@ -1,8 +1,10 @@
 //! Per-node checkpoint snapshots for crash-restart.
 //!
 //! Each node's iterate slice serializes to the same self-describing
-//! little-endian layout as [`ufc_core::AdmgState::to_bytes`] (shared codec
-//! in `ufc_core::state::codec`). A [`CheckpointStore`] holds the most
+//! little-endian layout as [`ufc_core::AdmgState::to_bytes`], built entirely
+//! from the shared primitives in `ufc_core::state::codec` (magic check,
+//! length-prefixed `f64` slices, packed boolean masks) — this crate defines
+//! no byte-format logic of its own. A [`CheckpointStore`] holds the most
 //! recent blob per node plus the iteration it was taken at, so the
 //! supervisor can respawn a crashed worker from the last checkpoint and
 //! replay only the iterations since.
@@ -10,8 +12,9 @@
 use ufc_core::state::codec;
 use ufc_core::CoreError;
 
-/// Magic prefix of front-end snapshot blobs (`UFCF` + version 1).
-pub const FRONTEND_MAGIC: &[u8] = b"UFCF\x01";
+/// Magic prefix of front-end snapshot blobs (`UFCF` + version 2: the
+/// eviction mask moved from an f64 vector to the codec's packed byte mask).
+pub const FRONTEND_MAGIC: &[u8] = b"UFCF\x02";
 /// Magic prefix of datacenter snapshot blobs (`UFCD` + version 1).
 pub const DATACENTER_MAGIC: &[u8] = b"UFCD\x01";
 
@@ -41,12 +44,7 @@ impl FrontendSnapshot {
         codec::put_f64s(&mut buf, &self.lambda_tilde);
         codec::put_f64s(&mut buf, &self.a);
         codec::put_f64s(&mut buf, &self.varphi);
-        let mask: Vec<f64> = self
-            .evicted
-            .iter()
-            .map(|&e| f64::from(u8::from(e)))
-            .collect();
-        codec::put_f64s(&mut buf, &mask);
+        codec::put_mask(&mut buf, &self.evicted);
         buf
     }
 
@@ -57,16 +55,13 @@ impl FrontendSnapshot {
     /// [`CoreError::Checkpoint`] on bad magic, truncation, or blocks of
     /// inconsistent length.
     pub fn from_bytes(buf: &[u8]) -> Result<Self, CoreError> {
-        let mut pos = check_magic(buf, FRONTEND_MAGIC)?;
+        let mut pos = codec::check_magic(buf, FRONTEND_MAGIC)?;
         let snap = FrontendSnapshot {
             lambda: codec::get_f64s(buf, &mut pos)?,
             lambda_tilde: codec::get_f64s(buf, &mut pos)?,
             a: codec::get_f64s(buf, &mut pos)?,
             varphi: codec::get_f64s(buf, &mut pos)?,
-            evicted: codec::get_f64s(buf, &mut pos)?
-                .iter()
-                .map(|&v| v != 0.0)
-                .collect(),
+            evicted: codec::get_mask(buf, &mut pos)?,
         };
         let n = snap.lambda.len();
         if [
@@ -119,7 +114,7 @@ impl DatacenterSnapshot {
     /// [`CoreError::Checkpoint`] on bad magic, truncation, or blocks of
     /// inconsistent length.
     pub fn from_bytes(buf: &[u8]) -> Result<Self, CoreError> {
-        let mut pos = check_magic(buf, DATACENTER_MAGIC)?;
+        let mut pos = codec::check_magic(buf, DATACENTER_MAGIC)?;
         let scalars = codec::get_f64s(buf, &mut pos)?;
         if scalars.len() != 3 {
             return Err(CoreError::checkpoint("datacenter scalar block malformed"));
@@ -136,13 +131,6 @@ impl DatacenterSnapshot {
         }
         Ok(snap)
     }
-}
-
-fn check_magic(buf: &[u8], magic: &[u8]) -> Result<usize, CoreError> {
-    if buf.len() < magic.len() || &buf[..magic.len()] != magic {
-        return Err(CoreError::checkpoint("bad snapshot magic number"));
-    }
-    Ok(magic.len())
 }
 
 /// The supervisor's per-run checkpoint store: one slot per node (front-ends

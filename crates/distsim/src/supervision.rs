@@ -1,0 +1,272 @@
+//! The worker-thread protocol of the supervised runtime: typed commands
+//! and replies, per-worker fault scripts, the exponential-backoff gather,
+//! and the worker thread bodies themselves.
+//!
+//! The supervising coordinator (`crate::engine_threaded`) drives one OS
+//! thread per node through these channels. Every reply is iteration-tagged
+//! so stale replay traffic is discarded, and [`gather_phase`] only declares
+//! a silent node dead once its thread has actually exited.
+
+use std::collections::HashSet;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::fault::{FaultPlan, NodeId};
+use crate::node::{DatacenterNode, FrontendNode, NodeResiduals};
+
+/// Commands to a front-end worker.
+pub(crate) enum FeCmd {
+    /// Run the λ prediction for `iteration`.
+    Predict { iteration: usize },
+    /// Apply the gathered ã row and correct.
+    Correct { iteration: usize, a_row: Vec<f64> },
+    /// Serialize the iterate slice for a checkpoint round.
+    Snapshot { iteration: usize },
+    /// Apply a membership change for `datacenter`.
+    Membership { datacenter: usize, evict: bool },
+    /// Ship the final λ row and exit.
+    Finish,
+}
+
+/// Commands to a datacenter worker.
+pub(crate) enum DcCmd {
+    /// Run the μ/ν/a steps on the gathered λ̃ column for `iteration`.
+    Process { iteration: usize, column: Vec<f64> },
+    /// Serialize the iterate slice for a checkpoint round.
+    Snapshot { iteration: usize },
+    /// Ship the final μ and exit.
+    Finish,
+}
+
+/// Worker replies, tagged with node and iteration so the coordinator can
+/// discard stale replay traffic.
+pub(crate) enum Reply {
+    Lambda {
+        i: usize,
+        iteration: usize,
+        row: Vec<f64>,
+    },
+    FeResidual {
+        i: usize,
+        iteration: usize,
+        residuals: NodeResiduals,
+    },
+    DcStep {
+        j: usize,
+        iteration: usize,
+        a_tilde: Vec<f64>,
+        residuals: NodeResiduals,
+    },
+    FeSnapshot {
+        i: usize,
+        iteration: usize,
+        blob: Vec<u8>,
+    },
+    DcSnapshot {
+        j: usize,
+        iteration: usize,
+        blob: Vec<u8>,
+    },
+    FeFinal {
+        i: usize,
+        lambda: Vec<f64>,
+    },
+    DcFinal {
+        j: usize,
+        mu: f64,
+    },
+}
+
+/// The fault injections one worker carries: iterations at which it
+/// crash-stops, and scripted reply delays.
+pub(crate) struct FaultScript {
+    crash_iterations: Vec<usize>,
+    stragglers: Vec<(usize, Duration)>,
+}
+
+impl FaultScript {
+    /// Script for `node`, keeping only events after iteration `after`
+    /// (respawned workers must not re-fire events that already happened).
+    pub(crate) fn for_node(plan: &FaultPlan, node: NodeId, after: usize) -> Self {
+        FaultScript {
+            crash_iterations: plan
+                .crash_iterations_for(node)
+                .into_iter()
+                .filter(|&t| t > after)
+                .collect(),
+            stragglers: plan
+                .stragglers_for(node)
+                .into_iter()
+                .filter(|&(t, _)| t > after)
+                .collect(),
+        }
+    }
+
+    fn crashes_at(&self, iteration: usize) -> bool {
+        self.crash_iterations.contains(&iteration)
+    }
+
+    fn straggle(&self, iteration: usize) {
+        if let Some(&(_, delay)) = self.stragglers.iter().find(|&&(t, _)| t == iteration) {
+            std::thread::sleep(delay);
+        }
+    }
+}
+
+/// Spawns front-end `i`'s worker thread, returning its command channel and
+/// join handle. The worker loops on commands until `Finish`, a crash-stop
+/// injection, or a closed channel.
+pub(crate) fn spawn_frontend_worker(
+    i: usize,
+    mut node: FrontendNode,
+    script: FaultScript,
+    out: Sender<Reply>,
+) -> (Sender<FeCmd>, JoinHandle<()>) {
+    let (tx, rx) = channel::<FeCmd>();
+    let handle = std::thread::spawn(move || {
+        while let Ok(cmd) = rx.recv() {
+            match cmd {
+                FeCmd::Predict { iteration } => {
+                    if script.crashes_at(iteration) {
+                        return; // crash-stop: die silently
+                    }
+                    script.straggle(iteration);
+                    let row = node.predict_lambda();
+                    if out.send(Reply::Lambda { i, iteration, row }).is_err() {
+                        return;
+                    }
+                }
+                FeCmd::Correct { iteration, a_row } => {
+                    let residuals = node.receive_a_and_correct(&a_row);
+                    if out
+                        .send(Reply::FeResidual {
+                            i,
+                            iteration,
+                            residuals,
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                FeCmd::Snapshot { iteration } => {
+                    let blob = node.snapshot().to_bytes();
+                    if out.send(Reply::FeSnapshot { i, iteration, blob }).is_err() {
+                        return;
+                    }
+                }
+                FeCmd::Membership { datacenter, evict } => {
+                    if evict {
+                        node.set_evicted(datacenter);
+                    } else {
+                        node.clear_evicted(datacenter);
+                    }
+                }
+                FeCmd::Finish => {
+                    let _ = out.send(Reply::FeFinal {
+                        i,
+                        lambda: node.lambda().to_vec(),
+                    });
+                    return;
+                }
+            }
+        }
+    });
+    (tx, handle)
+}
+
+/// Spawns datacenter `j`'s worker thread (mirror of
+/// [`spawn_frontend_worker`]).
+pub(crate) fn spawn_datacenter_worker(
+    j: usize,
+    mut node: DatacenterNode,
+    script: FaultScript,
+    out: Sender<Reply>,
+) -> (Sender<DcCmd>, JoinHandle<()>) {
+    let (tx, rx) = channel::<DcCmd>();
+    let handle = std::thread::spawn(move || {
+        while let Ok(cmd) = rx.recv() {
+            match cmd {
+                DcCmd::Process { iteration, column } => {
+                    if script.crashes_at(iteration) {
+                        return;
+                    }
+                    script.straggle(iteration);
+                    let step = node.process(&column);
+                    if out
+                        .send(Reply::DcStep {
+                            j,
+                            iteration,
+                            a_tilde: step.a_tilde,
+                            residuals: step.residuals,
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                DcCmd::Snapshot { iteration } => {
+                    let blob = node.snapshot().to_bytes();
+                    if out.send(Reply::DcSnapshot { j, iteration, blob }).is_err() {
+                        return;
+                    }
+                }
+                DcCmd::Finish => {
+                    let _ = out.send(Reply::DcFinal { j, mu: node.mu() });
+                    return;
+                }
+            }
+        }
+    });
+    (tx, handle)
+}
+
+/// Waits for the pending nodes' replies with an exponential-backoff ladder.
+/// Nodes still silent after the ladder — and whose threads have actually
+/// exited (`alive` is false) — are returned as suspected-dead, in
+/// deterministic node order. A silent-but-running worker (long sub-problem,
+/// scheduling hiccup) gets its ladder restarted instead of being declared
+/// dead.
+pub(crate) fn gather_phase(
+    rx: &Receiver<Reply>,
+    pending: &mut HashSet<NodeId>,
+    base_timeout: Duration,
+    rounds: u32,
+    alive: impl Fn(NodeId) -> bool,
+    mut accept: impl FnMut(Reply) -> Option<NodeId>,
+) -> Vec<NodeId> {
+    let rounds = rounds.max(1);
+    let mut round = 0u32;
+    let mut wait = base_timeout;
+    let mut extensions = 0u32;
+    while !pending.is_empty() {
+        match rx.recv_timeout(wait) {
+            Ok(reply) => {
+                if let Some(node) = accept(reply) {
+                    pending.remove(&node);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                round += 1;
+                if round >= rounds {
+                    if pending.iter().any(|&node| alive(node)) && extensions < 1000 {
+                        extensions += 1;
+                        round = 0;
+                        wait = base_timeout;
+                        continue;
+                    }
+                    break;
+                }
+                wait = wait.saturating_mul(2);
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    let mut missing: Vec<NodeId> = pending.drain().collect();
+    missing.sort_by_key(|node| match node {
+        NodeId::Frontend(i) => (0, *i),
+        NodeId::Datacenter(j) => (1, *j),
+    });
+    missing
+}

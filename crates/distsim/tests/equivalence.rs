@@ -8,13 +8,20 @@ use ufc_model::scenario::ScenarioBuilder;
 
 #[test]
 fn lockstep_equals_in_memory_solver_at_paper_scale() {
-    let scenario = ScenarioBuilder::paper_default().hours(3).build().unwrap();
+    let scenario = ScenarioBuilder::paper_default()
+        .hours(3)
+        .build()
+        .expect("paper-default scenario must build");
     let settings = AdmgSettings::default();
     let solver = AdmgSolver::new(settings);
     let dist = DistributedAdmg::new(settings);
     for (t, inst) in scenario.instances.iter().enumerate() {
-        let mem = solver.solve(inst, Strategy::Hybrid).unwrap();
-        let net = dist.run(inst, Strategy::Hybrid, Runtime::Lockstep).unwrap();
+        let mem = solver
+            .solve(inst, Strategy::Hybrid)
+            .expect("in-memory solve must succeed on a paper-default instance");
+        let net = dist
+            .run(inst, Strategy::Hybrid, Runtime::Lockstep)
+            .expect("lockstep run must succeed on a paper-default instance");
         assert_eq!(
             mem.iterations, net.iterations,
             "hour {t}: iteration counts differ"
@@ -40,11 +47,18 @@ fn lockstep_equals_in_memory_solver_at_paper_scale() {
 
 #[test]
 fn threaded_equals_lockstep_at_paper_scale() {
-    let scenario = ScenarioBuilder::paper_default().hours(2).build().unwrap();
+    let scenario = ScenarioBuilder::paper_default()
+        .hours(2)
+        .build()
+        .expect("paper-default scenario must build");
     let dist = DistributedAdmg::new(AdmgSettings::default());
     for inst in &scenario.instances {
-        let lock = dist.run(inst, Strategy::Hybrid, Runtime::Lockstep).unwrap();
-        let thr = dist.run(inst, Strategy::Hybrid, Runtime::Threaded).unwrap();
+        let lock = dist
+            .run(inst, Strategy::Hybrid, Runtime::Lockstep)
+            .expect("lockstep run must succeed on a paper-default instance");
+        let thr = dist
+            .run(inst, Strategy::Hybrid, Runtime::Threaded)
+            .expect("threaded run must succeed on a paper-default instance");
         assert_eq!(lock.iterations, thr.iterations);
         assert_eq!(lock.stats, thr.stats);
         assert!((lock.breakdown.ufc() - thr.breakdown.ufc()).abs() < 1e-9);
@@ -53,11 +67,14 @@ fn threaded_equals_lockstep_at_paper_scale() {
 
 #[test]
 fn message_complexity_is_linear_in_pairs() {
-    let scenario = ScenarioBuilder::paper_default().hours(1).build().unwrap();
+    let scenario = ScenarioBuilder::paper_default()
+        .hours(1)
+        .build()
+        .expect("paper-default scenario must build");
     let inst = &scenario.instances[0];
     let report = DistributedAdmg::new(AdmgSettings::default())
         .run(inst, Strategy::Hybrid, Runtime::Lockstep)
-        .unwrap();
+        .expect("lockstep run must succeed on a paper-default instance");
     let m = inst.m_frontends();
     let n = inst.n_datacenters();
     assert_eq!(report.stats.data_messages, 2 * m * n * report.iterations);

@@ -29,12 +29,12 @@ fn slack_instance() -> UfcInstance {
         vec![vec![0.01, 0.02], vec![0.02, 0.01]],
         10.0,
         vec![
-            EmissionCostFn::linear(25.0).unwrap(),
-            EmissionCostFn::linear(25.0).unwrap(),
+            EmissionCostFn::linear(25.0).expect("linear emission cost is valid"),
+            EmissionCostFn::linear(25.0).expect("linear emission cost is valid"),
         ],
         1.0,
     )
-    .unwrap()
+    .expect("slack instance parameters are consistent")
 }
 
 #[test]
@@ -43,7 +43,7 @@ fn crash_and_recover_matches_clean_run() {
     let runner = DistributedAdmg::new(AdmgSettings::default());
     let clean = runner
         .run(&inst, Strategy::Hybrid, Runtime::Lockstep)
-        .unwrap();
+        .expect("clean lockstep run must succeed");
 
     // One datacenter crash that recovers from checkpoint, plus a straggler.
     let plan = FaultPlan::new()
@@ -52,7 +52,7 @@ fn crash_and_recover_matches_clean_run() {
         .with_phase_timeout(Duration::from_millis(40));
     let faulty = runner
         .run_faulty(&inst, Strategy::Hybrid, Runtime::Threaded, plan)
-        .unwrap();
+        .expect("crash-and-recover plan must complete");
 
     assert!(faulty.converged, "recovered run must still converge");
     assert_eq!(faulty.iterations, clean.iterations);
@@ -91,10 +91,10 @@ fn lockstep_and_threaded_agree_under_faults() {
 
     let lockstep = runner
         .run_faulty(&inst, Strategy::Hybrid, Runtime::Lockstep, plan.clone())
-        .unwrap();
+        .expect("faulty lockstep run must complete");
     let threaded = runner
         .run_faulty(&inst, Strategy::Hybrid, Runtime::Threaded, plan)
-        .unwrap();
+        .expect("faulty threaded run must complete");
 
     assert_eq!(lockstep.iterations, threaded.iterations);
     assert_eq!(lockstep.stats, threaded.stats);
@@ -113,13 +113,13 @@ fn permanent_crash_degrades_gracefully() {
     let runner = DistributedAdmg::new(AdmgSettings::default());
     let clean = runner
         .run(&inst, Strategy::Hybrid, Runtime::Lockstep)
-        .unwrap();
+        .expect("clean lockstep run must succeed");
     let plan = FaultPlan::new()
         .crash_at(NodeId::Datacenter(1), 3)
         .with_phase_timeout(Duration::from_millis(40));
     let degraded = runner
         .run_faulty(&inst, Strategy::Hybrid, Runtime::Threaded, plan)
-        .unwrap();
+        .expect("a permanent datacenter crash must degrade, not error");
 
     let fault = degraded.fault.expect("fault report");
     assert_eq!(fault.evicted, vec![1]);
@@ -158,7 +158,7 @@ fn eviction_then_readmission_completes() {
     for runtime in [Runtime::Lockstep, Runtime::Threaded] {
         let report = runner
             .run_faulty(&inst, Strategy::Hybrid, runtime, plan.clone())
-            .unwrap();
+            .expect("eviction-then-readmission plan must complete");
         let fault = report.fault.expect("fault report");
         assert_eq!(fault.evicted, vec![1]);
         assert_eq!(fault.readmitted, vec![1]);
@@ -200,7 +200,8 @@ proptest! {
             varphi: blocks.iter().map(|b| b.3).collect(),
             evicted: blocks.iter().map(|b| b.4 > 0.0).collect(),
         };
-        let back = FrontendSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        let back = FrontendSnapshot::from_bytes(&snap.to_bytes())
+            .expect("a freshly serialized front-end snapshot must decode");
         prop_assert_eq!(snap, back);
     }
 
@@ -216,7 +217,8 @@ proptest! {
             a: cols.iter().map(|c| c.0).collect(),
             varphi: cols.iter().map(|c| c.1).collect(),
         };
-        let back = DatacenterSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        let back = DatacenterSnapshot::from_bytes(&snap.to_bytes())
+            .expect("a freshly serialized datacenter snapshot must decode");
         prop_assert_eq!(snap, back);
     }
 }
@@ -227,16 +229,16 @@ fn lossy_run_is_result_identical_to_lossless() {
         .seed(3)
         .hours(1)
         .build()
-        .unwrap();
+        .expect("paper-default scenario must build");
     let inst = &scenario.instances[0];
     let runner = DistributedAdmg::new(AdmgSettings::default());
 
     let clean = runner
         .run(inst, Strategy::Hybrid, Runtime::Lockstep)
-        .unwrap();
+        .expect("lossless lockstep run must succeed");
     let lossy = runner
         .run_lossy(inst, Strategy::Hybrid, LossConfig::new(0.2, 99))
-        .unwrap();
+        .expect("lossy run must succeed: retransmission hides all loss");
 
     assert_eq!(clean.iterations, lossy.iterations);
     assert!((clean.breakdown.ufc() - lossy.breakdown.ufc()).abs() < 1e-12);
@@ -256,16 +258,16 @@ fn cost_grows_with_loss_rate() {
         .seed(3)
         .hours(1)
         .build()
-        .unwrap();
+        .expect("paper-default scenario must build");
     let inst = &scenario.instances[0];
     let runner = DistributedAdmg::new(AdmgSettings::default());
 
     let mild = runner
         .run_lossy(inst, Strategy::Hybrid, LossConfig::new(0.05, 7))
-        .unwrap();
+        .expect("mildly lossy run must succeed");
     let harsh = runner
         .run_lossy(inst, Strategy::Hybrid, LossConfig::new(0.4, 7))
-        .unwrap();
+        .expect("harshly lossy run must succeed");
     assert!(harsh.retransmissions > mild.retransmissions);
     assert!(harsh.estimated_wan_seconds > mild.estimated_wan_seconds);
     // Sanity: expected retransmissions ≈ messages × p/(1−p).
@@ -284,15 +286,15 @@ fn zero_loss_is_free() {
         .seed(3)
         .hours(1)
         .build()
-        .unwrap();
+        .expect("paper-default scenario must build");
     let inst = &scenario.instances[0];
     let runner = DistributedAdmg::new(AdmgSettings::default());
     let clean = runner
         .run(inst, Strategy::Hybrid, Runtime::Lockstep)
-        .unwrap();
+        .expect("lossless lockstep run must succeed");
     let lossy0 = runner
         .run_lossy(inst, Strategy::Hybrid, LossConfig::new(0.0, 1))
-        .unwrap();
+        .expect("zero-loss lossy run must succeed");
     assert_eq!(lossy0.retransmissions, 0);
     assert_eq!(lossy0.stats.total_bytes, clean.stats.total_bytes);
     assert!((lossy0.estimated_wan_seconds - clean.estimated_wan_seconds).abs() < 1e-12);

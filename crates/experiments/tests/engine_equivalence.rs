@@ -1,0 +1,139 @@
+//! Cross-engine invariant of the unified iteration driver: the in-process
+//! solver, the lockstep engine, the supervised threaded engine, and both
+//! engines under a trivial fault plan ([`FaultPlan::none`]) all run the
+//! SAME iterates — bitwise, at any thread count — because every one of
+//! them is a `Transport` sequenced by `ufc_core::engine::drive` over the
+//! same block kernels.
+
+use ufc_core::{AdmgSettings, AdmgSolver, Strategy};
+use ufc_distsim::{DistRunReport, DistributedAdmg, FaultPlan, Runtime};
+use ufc_experiments::solver_bench::admg_scaling;
+use ufc_experiments::DEFAULT_SEED;
+use ufc_model::{UfcBreakdown, UfcInstance};
+
+/// Bit-pattern view of every breakdown field, so equality failures are
+/// exact (no tolerance hides a divergent engine).
+fn breakdown_bits(b: &UfcBreakdown) -> Vec<u64> {
+    vec![
+        b.utility_dollars.to_bits(),
+        b.energy_cost_dollars.to_bits(),
+        b.carbon_cost_dollars.to_bits(),
+        b.carbon_tons.to_bits(),
+        b.average_latency_s.to_bits(),
+        b.fuel_cell_mwh.to_bits(),
+        b.grid_mwh.to_bits(),
+        b.fuel_cell_utilization.to_bits(),
+        b.queueing_cost_dollars.to_bits(),
+        b.ufc().to_bits(),
+    ]
+}
+
+fn point_bits(lambda: &[Vec<f64>], mu: &[f64], nu: &[f64]) -> Vec<u64> {
+    lambda
+        .iter()
+        .flatten()
+        .chain(mu.iter())
+        .chain(nu.iter())
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+fn assert_report_matches(reference: &ReferenceRun, report: &DistRunReport, label: &str) {
+    assert_eq!(
+        reference.iterations, report.iterations,
+        "{label}: iteration count diverged from the in-process solver"
+    );
+    assert!(
+        report.converged,
+        "{label}: engine failed to converge where the in-process solver did"
+    );
+    assert_eq!(
+        reference.point,
+        point_bits(&report.point.lambda, &report.point.mu, &report.point.nu),
+        "{label}: operating point diverged bitwise"
+    );
+    assert_eq!(
+        reference.breakdown,
+        breakdown_bits(&report.breakdown),
+        "{label}: UFC breakdown diverged bitwise"
+    );
+}
+
+struct ReferenceRun {
+    iterations: usize,
+    point: Vec<u64>,
+    breakdown: Vec<u64>,
+}
+
+fn reference_run(instance: &UfcInstance, settings: AdmgSettings) -> ReferenceRun {
+    let solution = AdmgSolver::new(settings)
+        .solve(instance, Strategy::Hybrid)
+        .expect("in-process reference solve must succeed");
+    assert!(
+        solution.converged,
+        "reference solve must converge within the iteration cap"
+    );
+    ReferenceRun {
+        iterations: solution.iterations,
+        point: point_bits(
+            &solution.point.lambda,
+            &solution.point.mu,
+            &solution.point.nu,
+        ),
+        breakdown: breakdown_bits(&solution.breakdown),
+    }
+}
+
+/// One engine sweep at a fixed thread count: in-process vs lockstep vs
+/// threaded vs both fault-aware paths under `FaultPlan::none()`.
+fn sweep_engines(num_threads: usize) {
+    let instances = admg_scaling(DEFAULT_SEED, 1).expect("scaling workload must build");
+    let instance = instances
+        .first()
+        .expect("scaling workload yields at least one instance");
+    let settings = AdmgSettings {
+        num_threads,
+        ..AdmgSettings::default()
+    };
+    let reference = reference_run(instance, settings);
+    let runner = DistributedAdmg::new(settings);
+
+    let lockstep = runner
+        .run(instance, Strategy::Hybrid, Runtime::Lockstep)
+        .expect("lockstep run must succeed");
+    assert_report_matches(&reference, &lockstep, "lockstep");
+    assert!(
+        lockstep.fault.is_none(),
+        "clean lockstep run must not carry a fault report"
+    );
+
+    let threaded = runner
+        .run(instance, Strategy::Hybrid, Runtime::Threaded)
+        .expect("threaded run must succeed");
+    assert_report_matches(&reference, &threaded, "threaded");
+    assert_eq!(
+        lockstep.stats, threaded.stats,
+        "lockstep and threaded runs must exchange identical traffic"
+    );
+
+    for runtime in [Runtime::Lockstep, Runtime::Threaded] {
+        let faulty = runner
+            .run_faulty(instance, Strategy::Hybrid, runtime, FaultPlan::none())
+            .expect("trivial-plan run must succeed");
+        assert_report_matches(&reference, &faulty, "trivial fault plan");
+        assert_eq!(
+            lockstep.stats, faulty.stats,
+            "a trivial fault plan must add no traffic ({runtime:?})"
+        );
+    }
+}
+
+#[test]
+fn engines_agree_bitwise_single_threaded() {
+    sweep_engines(1);
+}
+
+#[test]
+fn engines_agree_bitwise_multi_threaded() {
+    sweep_engines(4);
+}
