@@ -22,10 +22,13 @@
 //! faulty-with-no-faults ≡ clean (asserted across crates in the
 //! `engine_equivalence` integration test).
 
+use std::time::{Duration, Instant};
+
 use ufc_model::UfcInstance;
 
 use crate::correction::gaussian_back_substitution;
 use crate::pool::WorkerPool;
+use crate::telemetry::Phase;
 use crate::workspace::SolverWorkspace;
 use crate::{AdmgSettings, AdmgState, Result};
 
@@ -84,11 +87,48 @@ pub struct IterationEvent {
 pub trait IterationObserver {
     /// Called once per iteration, after correction and the stop decision.
     fn on_iteration(&mut self, event: &IterationEvent);
+
+    /// Whether this observer wants [`IterationObserver::on_phase`] events.
+    /// [`drive`] reads this **once** per run and, when `false` (the
+    /// default), never touches the clock — the inertness contract for
+    /// telemetry-disabled runs is "zero timing reads", not just "timings
+    /// discarded".
+    fn wants_phase_timings(&self) -> bool {
+        false
+    }
+
+    /// Called after each driver phase of iteration `k` (1-based) with its
+    /// wall-clock duration — only when [`wants_phase_timings`] returned
+    /// `true` at the start of the run. Timing flows strictly outward:
+    /// nothing an observer does here can feed back into the iterates.
+    ///
+    /// [`wants_phase_timings`]: IterationObserver::wants_phase_timings
+    fn on_phase(&mut self, k: usize, phase: Phase, elapsed: Duration) {
+        let _ = (k, phase, elapsed);
+    }
 }
 
 /// The no-op observer, for callers that only need the final outcome.
 impl IterationObserver for () {
     fn on_iteration(&mut self, _event: &IterationEvent) {}
+}
+
+/// Forwarding impl so observers compose by mutable reference (e.g. a
+/// caller-owned collector reborrowed into an [`ObserverChain`]).
+///
+/// [`ObserverChain`]: crate::telemetry::ObserverChain
+impl<T: IterationObserver + ?Sized> IterationObserver for &mut T {
+    fn on_iteration(&mut self, event: &IterationEvent) {
+        (**self).on_iteration(event);
+    }
+
+    fn wants_phase_timings(&self) -> bool {
+        (**self).wants_phase_timings()
+    }
+
+    fn on_phase(&mut self, k: usize, phase: Phase, elapsed: Duration) {
+        (**self).on_phase(k, phase, elapsed);
+    }
 }
 
 /// An observer that collects the classic [`IterationRecord`] history.
@@ -214,17 +254,37 @@ pub fn drive<T: Transport + ?Sized>(
     observer: &mut dyn IterationObserver,
 ) -> Result<DriveOutcome> {
     let (link_tol, balance_tol, dual_tol) = tolerances;
+    // Read once: with timings unwanted the loop below never touches the
+    // clock, so a telemetry-disabled run is instruction-identical on the
+    // numeric path.
+    let timed = observer.wants_phase_timings();
     let mut converged = false;
     let mut iterations = 0;
     for k in 1..=settings.max_iterations {
         iterations = k;
+        let t = timed.then(Instant::now);
         transport.begin_iteration(k)?;
+        if let Some(t0) = t {
+            observer.on_phase(k, Phase::Begin, t0.elapsed());
+        }
         // Prediction, forward block order: λ first, then the datacenter
         // blocks μ → ν → a and the dual prediction.
+        let t = timed.then(Instant::now);
         transport.predict_lambda(k)?;
+        if let Some(t0) = t {
+            observer.on_phase(k, Phase::PredictLambda, t0.elapsed());
+        }
+        let t = timed.then(Instant::now);
         transport.step_datacenters(k)?;
+        if let Some(t0) = t {
+            observer.on_phase(k, Phase::StepDatacenters, t0.elapsed());
+        }
         // Correction (Gaussian back substitution), backward block order.
+        let t = timed.then(Instant::now);
         let residuals = transport.correct(k)?;
+        if let Some(t0) = t {
+            observer.on_phase(k, Phase::Correct, t0.elapsed());
+        }
         let dual = settings.rho * residuals.movement;
         let stop =
             residuals.link <= link_tol && residuals.balance <= balance_tol && dual <= dual_tol;
@@ -236,7 +296,11 @@ pub fn drive<T: Transport + ?Sized>(
             objective: transport.objective(),
             converged: stop,
         });
+        let t = timed.then(Instant::now);
         transport.finish_iteration(k, stop)?;
+        if let Some(t0) = t {
+            observer.on_phase(k, Phase::FinishIteration, t0.elapsed());
+        }
         if stop {
             converged = true;
             break;

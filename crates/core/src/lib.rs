@@ -64,10 +64,12 @@ mod solver;
 pub mod state;
 mod strategy;
 pub mod subproblems;
+pub mod telemetry;
 mod workspace;
 
 pub use engine::{
-    BlockResiduals, DriveOutcome, IterationEvent, IterationObserver, IterationRecord, Transport,
+    BlockResiduals, DriveOutcome, HistoryRecorder, IterationEvent, IterationObserver,
+    IterationRecord, Transport,
 };
 pub use error::CoreError;
 pub use pool::WorkerPool;
@@ -75,6 +77,10 @@ pub use settings::{AdmgSettings, SubproblemMethod};
 pub use solver::{AdmgSolution, AdmgSolver};
 pub use state::AdmgState;
 pub use strategy::{solve_all_strategies, Strategy, StrategyComparison};
+pub use telemetry::{
+    FaultCounters, JsonlSink, ObserverChain, Phase, RunTelemetry, SolverCounters,
+    TelemetryCollector, TrafficCounters,
+};
 pub use workspace::{AColQp, LambdaQp};
 
 /// Convenience alias for results produced by this crate.

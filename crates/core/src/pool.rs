@@ -9,14 +9,33 @@
 //! matter how the OS schedules the workers, which is what makes parallel
 //! ADM-G runs bit-identical to sequential ones.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// A fixed-width scoped-thread pool.
 ///
-/// The pool itself is stateless (threads are spawned per call and joined
-/// before returning); what it provides is the deterministic chunked fan-out
-/// used by [`crate::AdmgSolver`] and the distributed lockstep engine.
-#[derive(Debug, Clone, Copy)]
+/// The pool itself is stateless apart from telemetry counters (threads are
+/// spawned per call and joined before returning); what it provides is the
+/// deterministic chunked fan-out used by [`crate::AdmgSolver`] and the
+/// distributed lockstep engine.
+#[derive(Debug)]
 pub struct WorkerPool {
     threads: usize,
+    /// Telemetry: items dispatched through [`WorkerPool::map_mut`].
+    tasks: AtomicU64,
+    /// Telemetry: [`WorkerPool::map_mut`] fan-outs run.
+    maps: AtomicU64,
+}
+
+impl Clone for WorkerPool {
+    /// Clones the pool *width*; the telemetry counters start at the values
+    /// observed at clone time (a snapshot, since counters are per-pool).
+    fn clone(&self) -> Self {
+        WorkerPool {
+            threads: self.threads,
+            tasks: AtomicU64::new(self.tasks.load(Ordering::Relaxed)),
+            maps: AtomicU64::new(self.maps.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl WorkerPool {
@@ -37,20 +56,41 @@ impl WorkerPool {
         } else {
             num_threads.min(cores)
         };
-        WorkerPool { threads }
+        WorkerPool::with_width(threads)
+    }
+
+    fn with_width(threads: usize) -> Self {
+        WorkerPool {
+            threads,
+            tasks: AtomicU64::new(0),
+            maps: AtomicU64::new(0),
+        }
     }
 
     /// A pool of exactly `threads` workers, skipping the core-count clamp.
     /// Test-only: lets the chunked spawn path run even on small machines.
     #[cfg(test)]
     fn exact(threads: usize) -> Self {
-        WorkerPool { threads }
+        WorkerPool::with_width(threads)
     }
 
     /// Effective worker count.
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Telemetry: items dispatched through [`WorkerPool::map_mut`] since
+    /// construction.
+    #[must_use]
+    pub fn tasks_dispatched(&self) -> u64 {
+        self.tasks.load(Ordering::Relaxed)
+    }
+
+    /// Telemetry: [`WorkerPool::map_mut`] fan-outs run since construction.
+    #[must_use]
+    pub fn maps_run(&self) -> u64 {
+        self.maps.load(Ordering::Relaxed)
     }
 
     /// Applies `f` to every item (receiving the item index and a mutable
@@ -69,6 +109,8 @@ impl WorkerPool {
         R: Send,
         F: Fn(usize, &mut T) -> R + Sync,
     {
+        self.maps.fetch_add(1, Ordering::Relaxed);
+        self.tasks.fetch_add(items.len() as u64, Ordering::Relaxed);
         let threads = self.threads.min(items.len()).max(1);
         if threads <= 1 {
             return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
@@ -159,6 +201,17 @@ mod tests {
         let mut one = vec![7];
         let out = WorkerPool::exact(16).map_mut(&mut one, |_, x| *x + 1);
         assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn counts_maps_and_tasks() {
+        let pool = WorkerPool::exact(2);
+        let mut items = vec![0u32; 5];
+        pool.map_mut(&mut items, |_, x| *x += 1);
+        pool.map_mut(&mut items, |_, x| *x += 1);
+        assert_eq!(pool.maps_run(), 2);
+        assert_eq!(pool.tasks_dispatched(), 10);
+        assert_eq!(pool.clone().tasks_dispatched(), 10, "clone snapshots");
     }
 
     #[test]

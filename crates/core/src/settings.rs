@@ -41,6 +41,13 @@ pub struct AdmgSettings {
     /// factorizations every iteration — and exists for benchmarking the
     /// cached path against it.
     pub cache_factorizations: bool,
+    /// Collect a [`crate::telemetry::RunTelemetry`] snapshot (per-phase
+    /// wall-clock histograms plus solver/traffic/fault counters) and attach
+    /// it to the solution/report. Telemetry is strictly observational —
+    /// timing reads never feed back into the numerics, so enabling it keeps
+    /// the iterate stream bit-identical; disabling it (the default) removes
+    /// every clock read from the driver loop.
+    pub telemetry: bool,
 }
 
 impl Default for AdmgSettings {
@@ -63,6 +70,7 @@ impl Default for AdmgSettings {
             method: SubproblemMethod::ActiveSet,
             num_threads: 1,
             cache_factorizations: true,
+            telemetry: false,
         }
     }
 }
@@ -177,6 +185,13 @@ impl AdmgSettings {
     #[must_use]
     pub fn with_factorization_caching(mut self, enabled: bool) -> Self {
         self.cache_factorizations = enabled;
+        self
+    }
+
+    /// Returns a copy with run-telemetry collection toggled.
+    #[must_use]
+    pub fn with_telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
         self
     }
 }

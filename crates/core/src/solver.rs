@@ -1,9 +1,12 @@
 use ufc_model::{evaluate, OperatingPoint, UfcBreakdown, UfcInstance};
 
-use crate::engine::{drive, HistoryRecorder, InProcessTransport, IterationRecord};
+use crate::engine::{
+    drive, HistoryRecorder, InProcessTransport, IterationObserver, IterationRecord,
+};
 use crate::pool::WorkerPool;
 use crate::repair::assemble_point;
 use crate::strategy::Strategy;
+use crate::telemetry::{ObserverChain, RunTelemetry, TelemetryCollector};
 use crate::workspace::SolverWorkspace;
 use crate::{AdmgSettings, AdmgState, CoreError, Result};
 
@@ -23,6 +26,10 @@ pub struct AdmgSolution {
     /// Raw final iterate (useful for warm starts and for the distributed
     /// runtime's equivalence tests).
     pub state: AdmgState,
+    /// Run telemetry (phase timings plus solver counters), present iff
+    /// [`AdmgSettings::telemetry`] was enabled. Strictly observational: the
+    /// iterate stream is bit-identical whether or not this is collected.
+    pub telemetry: Option<RunTelemetry>,
 }
 
 /// The distributed 4-block ADM-G solver (paper §III-C).
@@ -110,7 +117,35 @@ impl AdmgSolver {
         // path) produces bit-identical iterates.
         let pool = WorkerPool::new(self.settings.num_threads);
         let mut ws = SolverWorkspace::new(instance, &self.settings);
-        self.solve_with(instance, strategy, start, &mut ws, &pool)
+        self.solve_with(instance, strategy, start, &mut ws, &pool, &mut ())
+    }
+
+    /// Runs ADM-G while streaming per-iteration (and, if the observer asks
+    /// for them, per-phase) events to a caller-supplied observer — e.g. a
+    /// [`crate::telemetry::JsonlSink`] writing a trace. The observer rides
+    /// alongside the solver's own history recorder and (when
+    /// [`AdmgSettings::telemetry`] is on) telemetry collector; it never
+    /// affects the iterate stream.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AdmgSolver::solve`].
+    pub fn solve_observed(
+        &self,
+        instance: &UfcInstance,
+        strategy: Strategy,
+        observer: &mut dyn IterationObserver,
+    ) -> Result<AdmgSolution> {
+        let pool = WorkerPool::new(self.settings.num_threads);
+        let mut ws = SolverWorkspace::new(instance, &self.settings);
+        self.solve_with(
+            instance,
+            strategy,
+            AdmgState::zeros(instance),
+            &mut ws,
+            &pool,
+            observer,
+        )
     }
 
     /// Runs one ADM-G solve over caller-provided workspace and pool — the
@@ -122,6 +157,13 @@ impl AdmgSolver {
     /// settings; strategy restrictions only gate the scalar μ/ν steps, so a
     /// reused workspace (and its KKT caches) yields bit-identical results to
     /// a fresh one.
+    ///
+    /// `extra` is an additional observer chained after the history recorder
+    /// (pass `&mut ()` for none). When [`AdmgSettings::telemetry`] is on, a
+    /// [`TelemetryCollector`] is chained in as well and its snapshot —
+    /// together with the workspace's solver counters and the pool's fan-out
+    /// counters, both cumulative since construction — lands in
+    /// [`AdmgSolution::telemetry`].
     pub(crate) fn solve_with(
         &self,
         instance: &UfcInstance,
@@ -129,6 +171,7 @@ impl AdmgSolver {
         start: AdmgState,
         ws: &mut SolverWorkspace,
         pool: &WorkerPool,
+        extra: &mut dyn IterationObserver,
     ) -> Result<AdmgSolution> {
         let (active_mu, active_nu) = strategy.block_activation(instance)?;
         if start.m != instance.m_frontends() || start.n != instance.n_datacenters() {
@@ -144,10 +187,27 @@ impl AdmgSolver {
         let s = &self.settings;
         let tolerances = s.scaled_tolerances(instance);
         let mut recorder = HistoryRecorder::default();
+        let mut collector = s.telemetry.then(TelemetryCollector::default);
         let mut transport =
             InProcessTransport::new(instance, s, start, ws, pool, active_mu, active_nu);
-        let outcome = drive(&mut transport, s, tolerances, &mut recorder)?;
+        let outcome = match collector.as_mut() {
+            Some(c) => {
+                let mut chain = ObserverChain(&mut recorder, ObserverChain(&mut *c, extra));
+                drive(&mut transport, s, tolerances, &mut chain)?
+            }
+            None => {
+                let mut chain = ObserverChain(&mut recorder, extra);
+                drive(&mut transport, s, tolerances, &mut chain)?
+            }
+        };
         let state = transport.into_state();
+        let telemetry = collector.map(|c| {
+            let mut t = c.into_telemetry();
+            t.solver = ws.counters();
+            t.solver.pool_tasks = pool.tasks_dispatched();
+            t.solver.pool_maps = pool.maps_run();
+            t
+        });
 
         let point = assemble_point(instance, &state, !active_nu)?;
         let breakdown = evaluate(instance, &point)?;
@@ -158,6 +218,7 @@ impl AdmgSolver {
             converged: outcome.converged,
             history: recorder.into_history(),
             state,
+            telemetry,
         })
     }
 

@@ -110,6 +110,7 @@ pub fn solve_all_strategies(
             AdmgState::zeros(instance),
             &mut ws,
             &pool,
+            &mut (),
         )
     };
     Ok(StrategyComparison {

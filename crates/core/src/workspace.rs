@@ -40,6 +40,7 @@ use crate::pool::WorkerPool;
 use crate::subproblems::{
     mu_scalar_step, nu_scalar_step, CongestedAStep, FISTA_CONGESTED_TOL, FISTA_MAX_ITER, FISTA_TOL,
 };
+use crate::telemetry::SolverCounters;
 use crate::{AdmgSettings, AdmgState, CoreError, Result, SubproblemMethod};
 
 /// Entry tolerance for accepting a previous iterate as a warm start:
@@ -88,6 +89,8 @@ pub struct LambdaQp {
     a_in: Matrix,
     b_in: Vec<f64>,
     cache: KktCache,
+    warm_accepted: u64,
+    warm_rejected: u64,
 }
 
 impl LambdaQp {
@@ -120,6 +123,8 @@ impl LambdaQp {
             } else {
                 KktCache::disabled()
             },
+            warm_accepted: 0,
+            warm_rejected: 0,
         }
     }
 
@@ -161,7 +166,19 @@ impl LambdaQp {
         self.cache.hits()
     }
 
-    fn start_point(&self, warm: Option<&[f64]>) -> (Vec<f64>, Vec<usize>) {
+    /// Cache miss count (diagnostics).
+    #[must_use]
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.misses()
+    }
+
+    /// Warm-start candidates accepted / rejected by the feasibility gate.
+    #[must_use]
+    pub fn warm_starts(&self) -> (u64, u64) {
+        (self.warm_accepted, self.warm_rejected)
+    }
+
+    fn start_point(&mut self, warm: Option<&[f64]>) -> (Vec<f64>, Vec<usize>) {
         let n = self.b_in.len();
         if let Some(w) = warm {
             if w.len() == n {
@@ -171,9 +188,11 @@ impl LambdaQp {
                 {
                     let mut x = w.to_vec();
                     let seed = snap_support(&mut x);
+                    self.warm_accepted += 1;
                     return (x, seed);
                 }
             }
+            self.warm_rejected += 1;
         }
         (vec![self.arrival / n as f64; n], Vec::new())
     }
@@ -191,6 +210,8 @@ pub struct AColQp {
     b_in: Vec<f64>,
     queueing: Option<QueueingCost>,
     cache: KktCache,
+    warm_accepted: u64,
+    warm_rejected: u64,
 }
 
 impl AColQp {
@@ -235,6 +256,8 @@ impl AColQp {
             } else {
                 KktCache::disabled()
             },
+            warm_accepted: 0,
+            warm_rejected: 0,
         }
     }
 
@@ -286,7 +309,19 @@ impl AColQp {
         self.cache.hits()
     }
 
-    fn start_point(&self, warm: Option<&[f64]>, cap: f64) -> (Vec<f64>, Vec<usize>) {
+    /// Cache miss count (diagnostics).
+    #[must_use]
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.misses()
+    }
+
+    /// Warm-start candidates accepted / rejected by the feasibility gate.
+    #[must_use]
+    pub fn warm_starts(&self) -> (u64, u64) {
+        (self.warm_accepted, self.warm_rejected)
+    }
+
+    fn start_point(&mut self, warm: Option<&[f64]>, cap: f64) -> (Vec<f64>, Vec<usize>) {
         let m = self.a_in.cols();
         if let Some(w) = warm {
             if w.len() == m {
@@ -299,9 +334,11 @@ impl AColQp {
                     // blocking logic, which keeps every seeded working set
                     // linearly independent by construction.
                     let seed = snap_support(&mut x);
+                    self.warm_accepted += 1;
                     return (x, seed);
                 }
             }
+            self.warm_rejected += 1;
         }
         (vec![0.0; m], Vec::new())
     }
@@ -530,6 +567,29 @@ impl SolverWorkspace {
             .map(|b| b.qp.cache_hits())
             .chain(self.a_blocks.iter().map(|b| b.qp.cache_hits()))
             .sum()
+    }
+
+    /// Solver-layer telemetry counters aggregated across every block
+    /// kernel. The pool counters are filled in by the caller that owns the
+    /// [`WorkerPool`].
+    pub(crate) fn counters(&self) -> SolverCounters {
+        let mut c = SolverCounters::default();
+        for (hits, misses, warm) in self
+            .lambda_blocks
+            .iter()
+            .map(|b| (b.qp.cache_hits(), b.qp.cache_misses(), b.qp.warm_starts()))
+            .chain(
+                self.a_blocks
+                    .iter()
+                    .map(|b| (b.qp.cache_hits(), b.qp.cache_misses(), b.qp.warm_starts())),
+            )
+        {
+            c.kkt_cache_hits += hits;
+            c.kkt_cache_misses += misses;
+            c.warm_starts_accepted += warm.0;
+            c.warm_starts_rejected += warm.1;
+        }
+        c
     }
 }
 

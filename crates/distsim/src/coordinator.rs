@@ -41,13 +41,19 @@ pub(crate) fn replay_entries(
         .filter(move |entry| entry.iteration > base && entry.iteration < k)
 }
 
-/// Worst link latency in the deployment — the per-phase stall unit.
-pub(crate) fn max_latency(instance: &UfcInstance) -> f64 {
+/// Worst *live* link latency in the deployment — the per-phase stall unit.
+/// Links to evicted datacenters carry no traffic in degraded mode, so they
+/// are excluded; with every datacenter evicted the stall unit is 0.
+pub(crate) fn max_latency(instance: &UfcInstance, evicted: &[bool]) -> f64 {
     instance
         .latency_s
         .iter()
-        .flatten()
-        .cloned()
+        .flat_map(|row| {
+            row.iter()
+                .enumerate()
+                .filter(|&(j, _)| !evicted.get(j).copied().unwrap_or(false))
+                .map(|(_, &l)| l)
+        })
         .fold(0.0f64, f64::max)
 }
 

@@ -11,7 +11,8 @@
 //! count); message recording stays sequential so traffic accounting is
 //! deterministic.
 
-use ufc_core::engine::{drive, BlockResiduals, DriveOutcome, Transport};
+use ufc_core::engine::{drive, BlockResiduals, DriveOutcome, IterationObserver, Transport};
+use ufc_core::telemetry::{ObserverChain, TelemetryCollector, TrafficCounters};
 use ufc_core::{AdmgSettings, CoreError, WorkerPool};
 use ufc_model::UfcInstance;
 
@@ -25,7 +26,7 @@ use crate::message::Message;
 use crate::node::{DatacenterNode, FrontendNode, NodeResiduals};
 use crate::runtime::DistRunReport;
 use crate::snapshot::{CheckpointStore, DatacenterSnapshot, FrontendSnapshot};
-use crate::stats::{estimated_wan_seconds, MessageStats};
+use crate::stats::{estimated_wan_seconds_live, MessageStats};
 
 /// Runs the lockstep engine under a fault plan and an optional lossy
 /// channel (the two never combine: loss is only driven with a trivial
@@ -38,12 +39,20 @@ pub(crate) fn run_lockstep(
     active_nu: bool,
     plan: FaultPlan,
     loss: Option<LossConfig>,
+    observer: &mut dyn IterationObserver,
 ) -> Result<DistRunReport, CoreError> {
     let tolerances = settings.scaled_tolerances(instance);
     let mut transport =
         LockstepTransport::new(instance, settings, active_mu, active_nu, plan, loss);
-    let outcome = drive(&mut transport, settings, tolerances, &mut ())?;
-    transport.into_report(outcome)
+    let mut collector = settings.telemetry.then(TelemetryCollector::default);
+    let outcome = match collector.as_mut() {
+        Some(c) => {
+            let mut chain = ObserverChain(&mut *c, observer);
+            drive(&mut transport, settings, tolerances, &mut chain)?
+        }
+        None => drive(&mut transport, settings, tolerances, observer)?,
+    };
+    transport.into_report(outcome, collector)
 }
 
 /// The lockstep engine's state between driver callbacks.
@@ -157,7 +166,11 @@ impl<'a> LockstepTransport<'a> {
     }
 
     /// Gathers the final iterate, polishes it, and assembles the report.
-    fn into_report(self, outcome: DriveOutcome) -> Result<DistRunReport, CoreError> {
+    fn into_report(
+        self,
+        outcome: DriveOutcome,
+        collector: Option<TelemetryCollector>,
+    ) -> Result<DistRunReport, CoreError> {
         let lambda_rows = self.frontends.iter().map(|f| f.lambda().to_vec()).collect();
         let mu = self
             .datacenters
@@ -165,19 +178,56 @@ impl<'a> LockstepTransport<'a> {
             .map(|dc| dc.as_ref().map_or(0.0, DatacenterNode::mu))
             .collect();
         let (point, breakdown) = finish(self.instance, lambda_rows, mu, !self.active_nu)?;
+        let trivial_plan = self.tracker.plan().is_trivial();
+        let evicted = self.tracker.evicted_mask();
         let report = self.tracker.report;
-        let l_max = max_latency(self.instance);
+        let l_max = max_latency(self.instance, &evicted);
         // Lossless: 4 phases per iteration, plus fault recovery/stall time.
         // Lossy: the two data phases stall for their slowest message; the
         // two control phases are assumed reliable (coordinator links).
         let estimated = if self.channel.is_some() {
             (self.lossy_stalled_phases + 2.0 * outcome.iterations as f64) * l_max
         } else {
-            estimated_wan_seconds(outcome.iterations, &self.instance.latency_s)
+            estimated_wan_seconds_live(outcome.iterations, &self.instance.latency_s, &evicted)
                 + report.downtime_seconds
                 + report.straggler_seconds
                 + self.stall_phases * l_max
         };
+        let retransmissions = self.channel.map_or(0, |ch| ch.retransmissions);
+        let telemetry = collector.map(|c| {
+            let mut t = c.into_telemetry();
+            // The lockstep engine keeps every node in-process, so the
+            // per-node kernel counters are still readable here (evicted
+            // datacenters are gone — their counters go with them).
+            for fe in &self.frontends {
+                let (hits, misses) = fe.cache_counters();
+                let (accepted, rejected) = fe.warm_start_counters();
+                t.solver.kkt_cache_hits += hits;
+                t.solver.kkt_cache_misses += misses;
+                t.solver.warm_starts_accepted += accepted;
+                t.solver.warm_starts_rejected += rejected;
+            }
+            for dc in self.datacenters.iter().flatten() {
+                let (hits, misses) = dc.cache_counters();
+                let (accepted, rejected) = dc.warm_start_counters();
+                t.solver.kkt_cache_hits += hits;
+                t.solver.kkt_cache_misses += misses;
+                t.solver.warm_starts_accepted += accepted;
+                t.solver.warm_starts_rejected += rejected;
+            }
+            t.solver.pool_tasks = self.pool.tasks_dispatched();
+            t.solver.pool_maps = self.pool.maps_run();
+            t.traffic = Some(TrafficCounters {
+                data_messages: self.stats.data_messages as u64,
+                control_messages: self.stats.control_messages as u64,
+                total_bytes: self.stats.total_bytes as u64,
+                retransmissions: retransmissions as u64,
+            });
+            if !trivial_plan {
+                t.fault = Some(report.counters());
+            }
+            t
+        });
         Ok(DistRunReport {
             point,
             breakdown,
@@ -185,8 +235,9 @@ impl<'a> LockstepTransport<'a> {
             converged: outcome.converged,
             stats: self.stats,
             estimated_wan_seconds: estimated,
-            retransmissions: self.channel.map_or(0, |ch| ch.retransmissions),
+            retransmissions,
             fault: Some(report),
+            telemetry,
         })
     }
 }

@@ -21,7 +21,8 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use ufc_core::engine::{drive, BlockResiduals, Transport};
+use ufc_core::engine::{drive, BlockResiduals, IterationObserver, Transport};
+use ufc_core::telemetry::{ObserverChain, TelemetryCollector, TrafficCounters};
 use ufc_core::{AdmgSettings, CoreError};
 use ufc_model::UfcInstance;
 
@@ -34,7 +35,7 @@ use crate::message::Message;
 use crate::node::{DatacenterNode, FrontendNode, NodeResiduals};
 use crate::runtime::DistRunReport;
 use crate::snapshot::CheckpointStore;
-use crate::stats::{estimated_wan_seconds, MessageStats};
+use crate::stats::{estimated_wan_seconds_live, MessageStats};
 use crate::supervision::{
     gather_phase, spawn_datacenter_worker, spawn_frontend_worker, DcCmd, FaultScript, FeCmd, Reply,
 };
@@ -51,10 +52,19 @@ pub(crate) fn run_supervised(
     active_mu: bool,
     active_nu: bool,
     plan: FaultPlan,
+    observer: &mut dyn IterationObserver,
 ) -> Result<DistRunReport, CoreError> {
     let tolerances = settings.scaled_tolerances(instance);
     let mut sup = Supervisor::new(instance, *settings, active_mu, active_nu, plan);
-    let outcome = drive(&mut sup, settings, tolerances, &mut ()).and_then(|outcome| {
+    let mut collector = settings.telemetry.then(TelemetryCollector::default);
+    let outcome = match collector.as_mut() {
+        Some(c) => {
+            let mut chain = ObserverChain(&mut *c, observer);
+            drive(&mut sup, settings, tolerances, &mut chain)
+        }
+        None => drive(&mut sup, settings, tolerances, observer),
+    }
+    .and_then(|outcome| {
         sup.final_gather(outcome.iterations)
             .map(|(lambda_rows, mu)| (outcome, lambda_rows, mu))
     });
@@ -63,17 +73,35 @@ pub(crate) fn run_supervised(
     let stats = sup.stats;
     let fault_report = sup.tracker.report.clone();
     let plan_trivial = sup.tracker.plan().is_trivial();
+    let evicted = sup.tracker.evicted_mask();
     let stall_phases = sup.stall_phases;
     let shutdown = sup.shutdown();
     let (outcome, lambda_rows, mu) = outcome?;
     shutdown?;
 
     let (point, breakdown) = finish(instance, lambda_rows, mu, !active_nu)?;
-    let estimated = estimated_wan_seconds(outcome.iterations, &instance.latency_s)
+    let estimated = estimated_wan_seconds_live(outcome.iterations, &instance.latency_s, &evicted)
         + fault_report.downtime_seconds
         + fault_report.straggler_seconds
-        + stall_phases * max_latency(instance);
+        + stall_phases * max_latency(instance, &evicted);
     let report_fault = !plan_trivial || fault_report.checkpoints_taken > 0;
+    let telemetry = collector.map(|c| {
+        let mut t = c.into_telemetry();
+        // Solver counters stay zero here: the per-node kernels live inside
+        // the worker threads and are dropped with them at shutdown, so the
+        // supervisor has nothing to read. Use the lockstep engine (which is
+        // bit-identical) to observe the solver layer.
+        t.traffic = Some(TrafficCounters {
+            data_messages: stats.data_messages as u64,
+            control_messages: stats.control_messages as u64,
+            total_bytes: stats.total_bytes as u64,
+            retransmissions: 0,
+        });
+        if report_fault {
+            t.fault = Some(fault_report.counters());
+        }
+        t
+    });
     Ok(DistRunReport {
         point,
         breakdown,
@@ -83,6 +111,7 @@ pub(crate) fn run_supervised(
         estimated_wan_seconds: estimated,
         retransmissions: 0,
         fault: report_fault.then_some(fault_report),
+        telemetry,
     })
 }
 
@@ -280,57 +309,48 @@ impl Transport for Supervisor<'_> {
         }
         let mut rows: Vec<Option<Vec<f64>>> = vec![None; m];
         let mut pending: HashSet<NodeId> = (0..m).map(NodeId::Frontend).collect();
-        let missing = gather_phase(
-            &self.reply_rx,
-            &mut pending,
-            self.timeout,
-            self.rounds,
-            |node| self.alive(node),
-            |reply| match reply {
-                Reply::Lambda { i, iteration, row } if iteration == k => {
-                    rows[i] = Some(row);
-                    Some(NodeId::Frontend(i))
-                }
-                _ => None,
-            },
-        );
-        for node in missing {
-            let NodeId::Frontend(i) = node else {
-                unreachable!("predict phase only waits on front-ends")
-            };
-            match self.tracker.resolve_crash(node, k)? {
-                Resolution::Recovered { .. } => {
-                    self.respawn_frontend(i, k)?;
-                    self.send_fe(i, FeCmd::Predict { iteration: k });
-                    let mut single: HashSet<NodeId> = HashSet::from([node]);
-                    let still = gather_phase(
-                        &self.reply_rx,
-                        &mut single,
-                        self.timeout,
-                        self.rounds,
-                        |nd| self.alive(nd),
-                        |reply| match reply {
-                            Reply::Lambda {
-                                i: ri,
-                                iteration,
-                                row,
-                            } if ri == i && iteration == k => {
-                                rows[i] = Some(row);
-                                Some(NodeId::Frontend(i))
-                            }
-                            _ => None,
-                        },
-                    );
-                    if !still.is_empty() {
-                        return Err(CoreError::node_failure(
-                            node.to_string(),
-                            k,
-                            "no reply after checkpoint respawn",
-                        ));
+        // One broad gather loop: dead nodes surface per-ladder while live
+        // stragglers stay pending, and a respawned node rejoins the same
+        // pending set so no reply is ever consumed by a narrower filter.
+        let mut respawned: HashSet<NodeId> = HashSet::new();
+        loop {
+            let missing = gather_phase(
+                &self.reply_rx,
+                &mut pending,
+                self.timeout,
+                self.rounds,
+                |node| self.alive(node),
+                |reply| match reply {
+                    Reply::Lambda { i, iteration, row } if iteration == k => {
+                        rows[i] = Some(row);
+                        Some(NodeId::Frontend(i))
                     }
+                    _ => None,
+                },
+            );
+            if missing.is_empty() && pending.is_empty() {
+                break;
+            }
+            for node in missing {
+                let NodeId::Frontend(i) = node else {
+                    unreachable!("predict phase only waits on front-ends")
+                };
+                if !respawned.insert(node) {
+                    return Err(CoreError::node_failure(
+                        node.to_string(),
+                        k,
+                        "no reply after checkpoint respawn",
+                    ));
                 }
-                Resolution::Evicted { .. } => {
-                    unreachable!("front-ends are never evicted")
+                match self.tracker.resolve_crash(node, k)? {
+                    Resolution::Recovered { .. } => {
+                        self.respawn_frontend(i, k)?;
+                        self.send_fe(i, FeCmd::Predict { iteration: k });
+                        pending.insert(node);
+                    }
+                    Resolution::Evicted { .. } => {
+                        unreachable!("front-ends are never evicted")
+                    }
                 }
             }
         }
@@ -372,72 +392,60 @@ impl Transport for Supervisor<'_> {
             .filter(|&j| !self.tracker.is_evicted(j))
             .map(NodeId::Datacenter)
             .collect();
-        let missing = gather_phase(
-            &self.reply_rx,
-            &mut pending,
-            self.timeout,
-            self.rounds,
-            |node| self.alive(node),
-            |reply| match reply {
-                Reply::DcStep {
-                    j,
-                    iteration,
-                    a_tilde,
-                    residuals,
-                } if iteration == k => {
-                    a_cols[j] = a_tilde;
-                    dc_residuals[j] = Some(residuals);
-                    Some(NodeId::Datacenter(j))
-                }
-                _ => None,
-            },
-        );
-        for node in missing {
-            let NodeId::Datacenter(j) = node else {
-                unreachable!("datacenter phase only waits on datacenters")
-            };
-            match self.tracker.resolve_crash(node, k)? {
-                Resolution::Recovered { .. } => {
-                    self.respawn_datacenter(j, k)?;
-                    self.send_dc(
+        // Same broad gather loop as `predict_lambda`: per-ladder dead-node
+        // verdicts, stragglers keep pending, respawns rejoin the same set.
+        let mut respawned: HashSet<NodeId> = HashSet::new();
+        loop {
+            let missing = gather_phase(
+                &self.reply_rx,
+                &mut pending,
+                self.timeout,
+                self.rounds,
+                |node| self.alive(node),
+                |reply| match reply {
+                    Reply::DcStep {
                         j,
-                        DcCmd::Process {
-                            iteration: k,
-                            column: column_of(&self.rows, j),
-                        },
-                    );
-                    let mut single: HashSet<NodeId> = HashSet::from([node]);
-                    let still = gather_phase(
-                        &self.reply_rx,
-                        &mut single,
-                        self.timeout,
-                        self.rounds,
-                        |nd| self.alive(nd),
-                        |reply| match reply {
-                            Reply::DcStep {
-                                j: rj,
-                                iteration,
-                                a_tilde,
-                                residuals,
-                            } if rj == j && iteration == k => {
-                                a_cols[j] = a_tilde;
-                                dc_residuals[j] = Some(residuals);
-                                Some(NodeId::Datacenter(j))
-                            }
-                            _ => None,
-                        },
-                    );
-                    if !still.is_empty() {
-                        return Err(CoreError::node_failure(
-                            node.to_string(),
-                            k,
-                            "no reply after checkpoint respawn",
-                        ));
+                        iteration,
+                        a_tilde,
+                        residuals,
+                    } if iteration == k => {
+                        a_cols[j] = a_tilde;
+                        dc_residuals[j] = Some(residuals);
+                        Some(NodeId::Datacenter(j))
                     }
+                    _ => None,
+                },
+            );
+            if missing.is_empty() && pending.is_empty() {
+                break;
+            }
+            for node in missing {
+                let NodeId::Datacenter(j) = node else {
+                    unreachable!("datacenter phase only waits on datacenters")
+                };
+                if !respawned.insert(node) {
+                    return Err(CoreError::node_failure(
+                        node.to_string(),
+                        k,
+                        "no reply after checkpoint respawn",
+                    ));
                 }
-                Resolution::Evicted { .. } => {
-                    self.evict_datacenter(j);
-                    self.membership_changed = true;
+                match self.tracker.resolve_crash(node, k)? {
+                    Resolution::Recovered { .. } => {
+                        self.respawn_datacenter(j, k)?;
+                        self.send_dc(
+                            j,
+                            DcCmd::Process {
+                                iteration: k,
+                                column: column_of(&self.rows, j),
+                            },
+                        );
+                        pending.insert(node);
+                    }
+                    Resolution::Evicted { .. } => {
+                        self.evict_datacenter(j);
+                        self.membership_changed = true;
+                    }
                 }
             }
         }

@@ -429,6 +429,25 @@ pub struct FaultReport {
     pub ufc_delta_vs_clean: f64,
 }
 
+impl FaultReport {
+    /// This report folded into the telemetry layer's plain counter form
+    /// (the delta-vs-clean belongs to the report, not the counters).
+    #[must_use]
+    pub fn counters(&self) -> ufc_core::telemetry::FaultCounters {
+        ufc_core::telemetry::FaultCounters {
+            crashes_resolved: self.crashes_observed as u64,
+            stragglers_observed: self.stragglers_observed as u64,
+            downtime_seconds: self.downtime_seconds,
+            straggler_seconds: self.straggler_seconds,
+            recomputed_iterations: self.recomputed_iterations as u64,
+            checkpoints_taken: self.checkpoints_taken as u64,
+            evictions: self.evicted.len() as u64,
+            readmissions: self.readmitted.len() as u64,
+            partition_retransmissions: self.partition_retransmissions as u64,
+        }
+    }
+}
+
 /// The supervisor's decision state machine, shared verbatim by the
 /// threaded runtime and its lockstep mirror so both make identical
 /// recovery/eviction/readmission decisions.
@@ -474,6 +493,13 @@ impl FaultTracker {
     #[must_use]
     pub fn active_datacenters(&self) -> usize {
         self.evicted.iter().filter(|e| e.is_none()).count()
+    }
+
+    /// Per-datacenter eviction mask (`mask[j]` ⇔ `j` currently evicted),
+    /// for restricting WAN-latency estimates to live links.
+    #[must_use]
+    pub fn evicted_mask(&self) -> Vec<bool> {
+        self.evicted.iter().map(|e| e.is_some()).collect()
     }
 
     /// Resolves a node that failed to reply at `iteration`: charge backoff

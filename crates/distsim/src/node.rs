@@ -144,6 +144,19 @@ impl FrontendNode {
         &self.evicted
     }
 
+    /// Telemetry: the λ-kernel's `(kkt_cache_hits, kkt_cache_misses)` since
+    /// this node was constructed (or last respawned).
+    #[must_use]
+    pub fn cache_counters(&self) -> (u64, u64) {
+        (self.qp.cache_hits(), self.qp.cache_misses())
+    }
+
+    /// Telemetry: the λ-kernel's `(warm_starts_accepted, warm_starts_rejected)`.
+    #[must_use]
+    pub fn warm_start_counters(&self) -> (u64, u64) {
+        self.qp.warm_starts()
+    }
+
     /// Step 1: solve the λ-sub-problem (17) from the local replicas and
     /// return `λ̃_i·` for dispatch to the datacenters.
     ///
@@ -402,6 +415,19 @@ impl DatacenterNode {
     #[must_use]
     pub fn nu(&self) -> f64 {
         self.nu
+    }
+
+    /// Telemetry: the a-kernel's `(kkt_cache_hits, kkt_cache_misses)` since
+    /// this node was constructed (or last respawned).
+    #[must_use]
+    pub fn cache_counters(&self) -> (u64, u64) {
+        (self.qp.cache_hits(), self.qp.cache_misses())
+    }
+
+    /// Telemetry: the a-kernel's `(warm_starts_accepted, warm_starts_rejected)`.
+    #[must_use]
+    pub fn warm_start_counters(&self) -> (u64, u64) {
+        self.qp.warm_starts()
     }
 
     /// Captures this node's iterate slice for checkpointing.

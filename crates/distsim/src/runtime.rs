@@ -10,6 +10,8 @@
 //! fault-injected variants are not separate code paths: a clean run is the
 //! [`FaultPlan::none`] degenerate case of the same engines.
 
+use ufc_core::engine::IterationObserver;
+use ufc_core::telemetry::RunTelemetry;
 use ufc_core::{AdmgSettings, CoreError, Strategy};
 use ufc_model::{OperatingPoint, UfcBreakdown, UfcInstance};
 
@@ -54,6 +56,11 @@ pub struct DistRunReport {
     /// Fault accounting — `Some` for runs driven by a non-trivial
     /// [`FaultPlan`] (see [`DistributedAdmg::run_faulty`]).
     pub fault: Option<FaultReport>,
+    /// Run telemetry (phase timings plus solver/traffic/fault counters),
+    /// present iff [`AdmgSettings::telemetry`] was enabled. Strictly
+    /// observational: the iterate stream is bit-identical whether or not
+    /// this is collected.
+    pub telemetry: Option<RunTelemetry>,
 }
 
 /// Facade: runs the distributed ADM-G protocol on an instance.
@@ -103,6 +110,24 @@ impl DistributedAdmg {
         strategy: Strategy,
         runtime: Runtime,
     ) -> Result<DistRunReport, CoreError> {
+        self.run_observed(instance, strategy, runtime, &mut ())
+    }
+
+    /// Like [`DistributedAdmg::run`], streaming per-iteration (and, if the
+    /// observer asks for them, per-phase) events to a caller-supplied
+    /// observer — e.g. a `ufc_core::telemetry::JsonlSink` writing a trace.
+    /// The observer never affects the iterate stream.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DistributedAdmg::run`].
+    pub fn run_observed(
+        &self,
+        instance: &UfcInstance,
+        strategy: Strategy,
+        runtime: Runtime,
+        observer: &mut dyn IterationObserver,
+    ) -> Result<DistRunReport, CoreError> {
         let (active_mu, active_nu) = strategy.block_activation(instance)?;
         match runtime {
             Runtime::Lockstep => {
@@ -113,6 +138,7 @@ impl DistributedAdmg {
                     active_nu,
                     FaultPlan::none(),
                     None,
+                    observer,
                 )?;
                 report.fault = None;
                 Ok(report)
@@ -123,6 +149,7 @@ impl DistributedAdmg {
                 active_mu,
                 active_nu,
                 FaultPlan::none(),
+                observer,
             ),
         }
     }
@@ -149,6 +176,7 @@ impl DistributedAdmg {
             active_nu,
             FaultPlan::none(),
             Some(loss),
+            &mut (),
         )?;
         report.fault = None;
         Ok(report)
@@ -177,23 +205,55 @@ impl DistributedAdmg {
         runtime: Runtime,
         plan: FaultPlan,
     ) -> Result<DistRunReport, CoreError> {
+        self.run_faulty_observed(instance, strategy, runtime, plan, &mut ())
+    }
+
+    /// Like [`DistributedAdmg::run_faulty`], streaming events from the
+    /// faulty run to a caller-supplied observer (the preliminary clean
+    /// lockstep run is not observed).
+    ///
+    /// # Errors
+    ///
+    /// As for [`DistributedAdmg::run_faulty`].
+    pub fn run_faulty_observed(
+        &self,
+        instance: &UfcInstance,
+        strategy: Strategy,
+        runtime: Runtime,
+        plan: FaultPlan,
+        observer: &mut dyn IterationObserver,
+    ) -> Result<DistRunReport, CoreError> {
         plan.check()?;
         let (active_mu, active_nu) = strategy.block_activation(instance)?;
+        // The clean baseline run is support machinery, not the run the
+        // caller asked to watch: no observer, no telemetry.
         let clean = run_lockstep(
-            &self.settings,
+            &self.settings.with_telemetry(false),
             instance,
             active_mu,
             active_nu,
             FaultPlan::none(),
             None,
+            &mut (),
         )?;
         let mut report = match runtime {
-            Runtime::Lockstep => {
-                run_lockstep(&self.settings, instance, active_mu, active_nu, plan, None)?
-            }
-            Runtime::Threaded => {
-                run_supervised(&self.settings, instance, active_mu, active_nu, plan)?
-            }
+            Runtime::Lockstep => run_lockstep(
+                &self.settings,
+                instance,
+                active_mu,
+                active_nu,
+                plan,
+                None,
+                observer,
+            )?,
+            Runtime::Threaded => run_supervised(
+                &self.settings,
+                instance,
+                active_mu,
+                active_nu,
+                plan,
+                observer,
+            )?,
         };
         let delta = report.breakdown.ufc() - clean.breakdown.ufc();
         if let Some(fault) = report.fault.as_mut() {

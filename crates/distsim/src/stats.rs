@@ -46,7 +46,29 @@ impl MessageStats {
 /// sub-problem sizes).
 #[must_use]
 pub fn estimated_wan_seconds(iterations: usize, latency_s: &[Vec<f64>]) -> f64 {
-    let l_max = latency_s.iter().flatten().cloned().fold(0.0f64, f64::max);
+    estimated_wan_seconds_live(iterations, latency_s, &[])
+}
+
+/// [`estimated_wan_seconds`] restricted to *live* links: latency columns of
+/// evicted datacenters carry no protocol traffic in degraded mode, so they
+/// must not set the per-phase stall unit. `evicted[j]` marks datacenter `j`
+/// evicted; columns past the mask's length count as live. With every
+/// datacenter evicted there is no WAN traffic at all and the estimate is 0.
+#[must_use]
+pub fn estimated_wan_seconds_live(
+    iterations: usize,
+    latency_s: &[Vec<f64>],
+    evicted: &[bool],
+) -> f64 {
+    let l_max = latency_s
+        .iter()
+        .flat_map(|row| {
+            row.iter()
+                .enumerate()
+                .filter(|&(j, _)| !evicted.get(j).copied().unwrap_or(false))
+                .map(|(_, &l)| l)
+        })
+        .fold(0.0f64, f64::max);
     iterations as f64 * 4.0 * l_max
 }
 
@@ -76,5 +98,20 @@ mod tests {
         let t = estimated_wan_seconds(100, &lat);
         assert!((t - 100.0 * 4.0 * 0.020).abs() < 1e-12);
         assert_eq!(estimated_wan_seconds(0, &lat), 0.0);
+    }
+
+    #[test]
+    fn wan_estimate_ignores_evicted_links() {
+        let lat = vec![vec![0.010, 0.020], vec![0.015, 0.005]];
+        // Column 1 (the worst link) is evicted: the live max is 0.015.
+        let t = estimated_wan_seconds_live(100, &lat, &[false, true]);
+        assert!((t - 100.0 * 4.0 * 0.015).abs() < 1e-12);
+        // An empty mask treats every link as live.
+        assert_eq!(
+            estimated_wan_seconds_live(100, &lat, &[]),
+            estimated_wan_seconds(100, &lat)
+        );
+        // All datacenters evicted: no WAN traffic, zero estimate.
+        assert_eq!(estimated_wan_seconds_live(100, &lat, &[true, true]), 0.0);
     }
 }

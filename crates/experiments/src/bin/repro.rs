@@ -21,6 +21,10 @@
 //!   wsweep     extension: latency-weight (w) Pareto sweep
 //!   bench      solver hot-path wall-clock (writes BENCH_solver.json);
 //!              `--quick` shrinks the workload for CI smoke runs
+//!   trace      run-telemetry JSONL trace of one instrumented solve;
+//!              `--engine inprocess|lockstep|threaded|faulty` picks the
+//!              execution engine, `--check` validates the emitted JSON and
+//!              counter invariants
 //!   verify     self-test: centralized / in-memory / distributed agreement
 //!   all      everything above (except extensions)
 //! ```
@@ -39,6 +43,8 @@ struct Options {
     csv_dir: Option<PathBuf>,
     quick: bool,
     threads: usize,
+    engine: String,
+    check: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -51,6 +57,8 @@ fn parse_args() -> Result<Options, String> {
         csv_dir: None,
         quick: false,
         threads: 4,
+        engine: "inprocess".to_owned(),
+        check: false,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -67,6 +75,11 @@ fn parse_args() -> Result<Options, String> {
                 opts.csv_dir = Some(PathBuf::from(v));
             }
             "--quick" => opts.quick = true,
+            "--check" => opts.check = true,
+            "--engine" => {
+                let v = args.next().ok_or("--engine needs a value")?;
+                opts.engine = v;
+            }
             "--threads" => {
                 let v = args.next().ok_or("--threads needs a value")?;
                 opts.threads = v
@@ -149,6 +162,10 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     if opts.command == "bench" {
         matched = true;
         run_bench(opts)?;
+    }
+    if opts.command == "trace" {
+        matched = true;
+        run_trace(opts)?;
     }
     if opts.command == "verify" {
         matched = true;
@@ -577,6 +594,35 @@ fn run_bench(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let path = PathBuf::from("BENCH_solver.json");
     std::fs::write(&path, report.to_json())?;
     println!("(written to {})\n", path.display());
+    Ok(())
+}
+
+fn run_trace(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    use ufc_experiments::trace;
+
+    let engine = trace::TraceEngine::parse(&opts.engine).ok_or_else(|| {
+        format!(
+            "unknown --engine {:?} (expected inprocess|lockstep|threaded|faulty)",
+            opts.engine
+        )
+    })?;
+    let out = trace::run(opts.seed, opts.threads, engine)?;
+    // JSON lines go to stdout, everything human-facing to stderr, so the
+    // trace pipes cleanly into `jq` and friends.
+    for line in &out.lines {
+        println!("{line}");
+    }
+    eprintln!(
+        "trace: engine={} iterations={} converged={} lines={}",
+        engine.name(),
+        out.iterations,
+        out.converged,
+        out.lines.len()
+    );
+    if opts.check {
+        trace::check(&out).map_err(|e| format!("trace check failed: {e}"))?;
+        eprintln!("trace: check passed");
+    }
     Ok(())
 }
 

@@ -17,6 +17,7 @@
 //! | §II-A predictability assumption | [`robustness`] | `forecast` |
 //! | §III failure-free assumption | [`faults`] | `faults` |
 //! | solver hot-path wall-clock | [`solver_bench`] | `bench` |
+//! | run-telemetry JSONL trace | [`trace`] | `trace` |
 //!
 //! Every experiment is a pure function returning a data struct; the `repro`
 //! binary renders those as aligned text and optional CSV. Benches re-run
@@ -35,6 +36,7 @@ pub mod robustness;
 pub mod solver_bench;
 pub mod sweep;
 pub mod table1;
+pub mod trace;
 pub mod weekly;
 
 /// Default RNG seed used by all experiments (fixed for reproducibility;

@@ -1,3 +1,4 @@
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use ufc_linalg::Ldlt;
@@ -112,17 +113,33 @@ impl KktCache {
         spill: &'a mut Option<CachedKkt>,
         build: impl FnOnce() -> Result<CachedKkt>,
     ) -> Result<&'a CachedKkt> {
-        if self.entries.contains_key(key) {
-            self.hits += 1;
-            return Ok(self.entries.get(key).expect("present: just checked"));
-        }
-        self.misses += 1;
-        let built = build()?;
         if self.entries.len() < self.limit {
-            Ok(self.entries.entry(key.to_vec()).or_insert(built))
+            // Under capacity: one entry-API lookup covers both hit and
+            // insert-on-miss.
+            match self.entries.entry(key.to_vec()) {
+                Entry::Occupied(occupied) => {
+                    self.hits += 1;
+                    Ok(occupied.into_mut())
+                }
+                Entry::Vacant(vacant) => {
+                    self.misses += 1;
+                    Ok(vacant.insert(build()?))
+                }
+            }
         } else {
-            *spill = Some(built);
-            Ok(spill.as_ref().expect("spill just set"))
+            // At capacity (or disabled): a miss is built fresh and parked
+            // in `spill` instead of being stored.
+            match self.entries.get(key) {
+                Some(cached) => {
+                    self.hits += 1;
+                    Ok(cached)
+                }
+                None => {
+                    self.misses += 1;
+                    *spill = Some(build()?);
+                    Ok(spill.as_ref().expect("spill just set"))
+                }
+            }
         }
     }
 }
