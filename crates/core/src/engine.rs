@@ -224,6 +224,96 @@ pub trait Transport {
     fn objective(&mut self) -> Option<f64> {
         None
     }
+
+    /// Rolls the iterate back to the transport's last *finite* checkpoint
+    /// after a divergence-gate trip, returning the checkpoint iteration on
+    /// success. The default declines (`None`): transports without
+    /// checkpoint machinery let the typed divergence error surface.
+    ///
+    /// # Errors
+    ///
+    /// Transport-specific restore failures (e.g. a corrupt blob).
+    fn rollback(&mut self, k: usize) -> Result<Option<usize>> {
+        let _ = k;
+        Ok(None)
+    }
+
+    /// The node the transport blames for a non-finite residual, if it
+    /// tracked one during the last residual reduction — flows into the
+    /// typed [`crate::CoreError::Divergence`] diagnostics.
+    fn divergence_suspect(&self) -> Option<String> {
+        None
+    }
+}
+
+/// Caps how many divergence-gate trips may be repaired by checkpoint
+/// rollback in one run before the gate turns fatal — a deterministically
+/// re-diverging run must not roll back forever.
+const MAX_ROLLBACKS: usize = 3;
+
+/// The driver's divergence gate: watches the residual stream for
+/// non-finite values (immediate trip) and sustained explosion past
+/// `κ × best-seen` for `K` consecutive iterations. Purely observational —
+/// it only reads residuals the driver already computed, so healthy runs
+/// are bit-identical with the gate armed (which it always is).
+struct DivergenceGuard {
+    kappa: f64,
+    window: usize,
+    best: f64,
+    streak: usize,
+    rollbacks: usize,
+}
+
+impl DivergenceGuard {
+    fn new(settings: &AdmgSettings) -> Self {
+        DivergenceGuard {
+            kappa: settings.divergence_kappa,
+            window: settings.divergence_window,
+            best: f64::INFINITY,
+            streak: 0,
+            rollbacks: 0,
+        }
+    }
+
+    /// Observes one iteration's residual triple; `Some(context)` when the
+    /// gate trips.
+    fn observe(&mut self, residuals: &BlockResiduals, dual: f64) -> Option<String> {
+        for (name, value) in [
+            ("link", residuals.link),
+            ("balance", residuals.balance),
+            ("dual", dual),
+        ] {
+            if !value.is_finite() {
+                return Some(format!("{name} residual became non-finite ({value})"));
+            }
+        }
+        let r = residuals.link.max(residuals.balance).max(dual);
+        if self.best.is_finite() && r > self.kappa * self.best {
+            self.streak += 1;
+            if self.streak >= self.window {
+                return Some(format!(
+                    "residual {r:e} exceeded {}× the best-seen {:e} for {} consecutive iterations",
+                    self.kappa, self.best, self.streak
+                ));
+            }
+        } else {
+            self.streak = 0;
+        }
+        self.best = self.best.min(r);
+        None
+    }
+
+    /// Whether the rollback budget still allows repairing a trip.
+    fn can_roll_back(&self) -> bool {
+        self.rollbacks < MAX_ROLLBACKS
+    }
+
+    /// Re-arms the gate after a successful rollback.
+    fn rearm(&mut self) {
+        self.rollbacks += 1;
+        self.best = f64::INFINITY;
+        self.streak = 0;
+    }
 }
 
 /// What [`drive`] reports back.
@@ -258,6 +348,7 @@ pub fn drive<T: Transport + ?Sized>(
     // clock, so a telemetry-disabled run is instruction-identical on the
     // numeric path.
     let timed = observer.wants_phase_timings();
+    let mut guard = DivergenceGuard::new(settings);
     let mut converged = false;
     let mut iterations = 0;
     for k in 1..=settings.max_iterations {
@@ -286,6 +377,22 @@ pub fn drive<T: Transport + ?Sized>(
             observer.on_phase(k, Phase::Correct, t0.elapsed());
         }
         let dual = settings.rho * residuals.movement;
+        if let Some(context) = guard.observe(&residuals, dual) {
+            // The iterate is poisoned: either repair it from the last
+            // finite checkpoint (and skip this iteration's event/stop
+            // bookkeeping — the residuals are meaningless), or fail with a
+            // typed divergence error. Never continue silently.
+            if settings.divergence_rollback && guard.can_roll_back() {
+                if let Some(_checkpoint_iteration) = transport.rollback(k)? {
+                    guard.rearm();
+                    continue;
+                }
+            }
+            return Err(match transport.divergence_suspect() {
+                Some(node) => crate::CoreError::divergence_at("correct", k, node, context),
+                None => crate::CoreError::divergence("correct", k, context),
+            });
+        }
         let stop =
             residuals.link <= link_tol && residuals.balance <= balance_tol && dual <= dual_tol;
         observer.on_iteration(&IterationEvent {
@@ -497,5 +604,153 @@ mod tests {
             .expect("scripted transport cannot fail");
         assert!(!outcome.converged);
         assert_eq!(outcome.iterations, 3);
+    }
+
+    /// A transport that replays a scripted residual stream, optionally with
+    /// rollback support, for exercising the divergence gate alone.
+    struct Diverging {
+        /// Link residual per iteration (1-based index − 1, shifted by
+        /// `offset` after a rollback); the last entry repeats past the end.
+        script: Vec<f64>,
+        suspect: Option<String>,
+        checkpoint: Option<usize>,
+        rollbacks: usize,
+        /// Residual served after a rollback instead of replaying the script.
+        post_rollback: Option<f64>,
+        offset: usize,
+    }
+
+    impl Diverging {
+        fn new(script: Vec<f64>) -> Self {
+            Diverging {
+                script,
+                suspect: None,
+                checkpoint: None,
+                rollbacks: 0,
+                post_rollback: None,
+                offset: 0,
+            }
+        }
+    }
+
+    impl Transport for Diverging {
+        fn predict_lambda(&mut self, _k: usize) -> Result<()> {
+            Ok(())
+        }
+        fn step_datacenters(&mut self, _k: usize) -> Result<()> {
+            Ok(())
+        }
+        fn correct(&mut self, k: usize) -> Result<BlockResiduals> {
+            let link = match self.post_rollback {
+                Some(post) if self.rollbacks > 0 => post,
+                _ => *self
+                    .script
+                    .get(k - 1 - self.offset)
+                    .or(self.script.last())
+                    .expect("nonempty script"),
+            };
+            Ok(BlockResiduals {
+                link,
+                balance: 0.0,
+                movement: 0.0,
+            })
+        }
+        fn rollback(&mut self, k: usize) -> Result<Option<usize>> {
+            if self.checkpoint.is_some() {
+                self.rollbacks += 1;
+                self.offset = k;
+            }
+            Ok(self.checkpoint)
+        }
+        fn divergence_suspect(&self) -> Option<String> {
+            self.suspect.clone()
+        }
+    }
+
+    #[test]
+    fn gate_trips_immediately_on_non_finite_residuals() {
+        let mut t = Diverging::new(vec![1.0, f64::NAN]);
+        let err = drive(&mut t, &AdmgSettings::default(), (0.5, 0.5, 0.5), &mut ()).unwrap_err();
+        match err {
+            crate::CoreError::Divergence {
+                phase,
+                iteration,
+                node,
+                context,
+            } => {
+                assert_eq!(phase, "correct");
+                assert_eq!(iteration, 2);
+                assert!(node.is_none());
+                assert!(context.contains("non-finite"), "context: {context}");
+            }
+            other => panic!("expected Divergence, got {other}"),
+        }
+    }
+
+    #[test]
+    fn gate_trips_on_sustained_residual_explosion_only() {
+        let settings = AdmgSettings::default().with_divergence_gate(10.0, 3);
+        // One spike (streak broken) is tolerated...
+        let mut t = Diverging::new(vec![1.0, 100.0, 1.0, 1.0]);
+        let capped = AdmgSettings {
+            max_iterations: 10,
+            ..settings
+        };
+        assert!(drive(&mut t, &capped, (0.5, 0.5, 0.5), &mut ()).is_ok());
+        // ...but three consecutive iterations past κ×best trip the gate.
+        let mut t = Diverging::new(vec![1.0, 100.0, 100.0, 100.0]);
+        t.suspect = Some("datacenter[1]".to_string());
+        let err = drive(&mut t, &capped, (0.5, 0.5, 0.5), &mut ()).unwrap_err();
+        match err {
+            crate::CoreError::Divergence {
+                iteration, node, ..
+            } => {
+                assert_eq!(iteration, 4);
+                assert_eq!(node.as_deref(), Some("datacenter[1]"));
+            }
+            other => panic!("expected Divergence, got {other}"),
+        }
+    }
+
+    #[test]
+    fn gate_rolls_back_when_enabled_and_supported() {
+        let settings = AdmgSettings {
+            max_iterations: 10,
+            ..AdmgSettings::default()
+                .with_divergence_gate(10.0, 2)
+                .with_divergence_rollback(true)
+        };
+        let mut t = Diverging::new(vec![1.0, 100.0, 100.0]);
+        t.checkpoint = Some(1);
+        t.post_rollback = Some(0.0);
+        let outcome =
+            drive(&mut t, &settings, (0.5, 0.5, 0.5), &mut ()).expect("rollback repairs the run");
+        assert!(outcome.converged);
+        assert_eq!(t.rollbacks, 1);
+        // Without rollback enabled the same script is a typed error.
+        let mut t = Diverging::new(vec![1.0, 100.0, 100.0]);
+        t.checkpoint = Some(1);
+        let no_rollback = AdmgSettings {
+            divergence_rollback: false,
+            ..settings
+        };
+        assert!(drive(&mut t, &no_rollback, (0.5, 0.5, 0.5), &mut ()).is_err());
+        assert_eq!(t.rollbacks, 0, "rollback must not run when disabled");
+    }
+
+    #[test]
+    fn rollback_budget_is_bounded() {
+        let settings = AdmgSettings {
+            max_iterations: 200,
+            ..AdmgSettings::default()
+                .with_divergence_gate(10.0, 1)
+                .with_divergence_rollback(true)
+        };
+        // Replays the same diverging script after every rollback.
+        let mut t = Diverging::new(vec![1.0, 100.0]);
+        t.checkpoint = Some(1);
+        let err = drive(&mut t, &settings, (1e-9, 0.5, 0.5), &mut ()).unwrap_err();
+        assert!(matches!(err, crate::CoreError::Divergence { .. }));
+        assert_eq!(t.rollbacks, MAX_ROLLBACKS);
     }
 }

@@ -54,6 +54,33 @@ pub enum CoreError {
         /// What was wrong with the blob.
         context: String,
     },
+    /// A wire payload failed its integrity check and could not be repaired
+    /// (checksum mismatch that survived the bounded retransmit ladder, or a
+    /// frame that does not decode at all).
+    CorruptPayload {
+        /// Which link or node the payload was on (e.g.
+        /// `frontend[0]→datacenter[2]`, or `wire` for a bare decode).
+        node: String,
+        /// Iteration during which the payload was rejected (0 for a bare
+        /// decode outside a run).
+        iteration: usize,
+        /// What failed (checksum values, exhausted attempts, framing).
+        context: String,
+    },
+    /// The iterate stream diverged: a non-finite value entered the state, or
+    /// the residuals exploded past the divergence gate's threshold for its
+    /// full patience window.
+    Divergence {
+        /// Protocol phase in which the divergence was detected (e.g.
+        /// `correct`, `step_datacenters`).
+        phase: String,
+        /// Iteration at which the gate tripped.
+        iteration: usize,
+        /// Offending node when known (e.g. `datacenter[1]`).
+        node: Option<String>,
+        /// What the gate observed.
+        context: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -82,6 +109,29 @@ impl fmt::Display for CoreError {
                 write!(f, "invalid configuration: {context}")
             }
             CoreError::Checkpoint { context } => write!(f, "bad checkpoint: {context}"),
+            CoreError::CorruptPayload {
+                node,
+                iteration,
+                context,
+            } => write!(
+                f,
+                "corrupt payload on {node} at iteration {iteration}: {context}"
+            ),
+            CoreError::Divergence {
+                phase,
+                iteration,
+                node,
+                context,
+            } => match node {
+                Some(node) => write!(
+                    f,
+                    "divergence in phase {phase} at iteration {iteration} ({node}): {context}"
+                ),
+                None => write!(
+                    f,
+                    "divergence in phase {phase} at iteration {iteration}: {context}"
+                ),
+            },
         }
     }
 }
@@ -137,6 +187,48 @@ impl CoreError {
             context: context.into(),
         }
     }
+
+    /// Builds a [`CoreError::CorruptPayload`].
+    pub fn corrupt_payload(
+        node: impl Into<String>,
+        iteration: usize,
+        context: impl Into<String>,
+    ) -> Self {
+        CoreError::CorruptPayload {
+            node: node.into(),
+            iteration,
+            context: context.into(),
+        }
+    }
+
+    /// Builds a [`CoreError::Divergence`] without a blamed node.
+    pub fn divergence(
+        phase: impl Into<String>,
+        iteration: usize,
+        context: impl Into<String>,
+    ) -> Self {
+        CoreError::Divergence {
+            phase: phase.into(),
+            iteration,
+            node: None,
+            context: context.into(),
+        }
+    }
+
+    /// Builds a [`CoreError::Divergence`] blaming a specific node.
+    pub fn divergence_at(
+        phase: impl Into<String>,
+        iteration: usize,
+        node: impl Into<String>,
+        context: impl Into<String>,
+    ) -> Self {
+        CoreError::Divergence {
+            phase: phase.into(),
+            iteration,
+            node: Some(node.into()),
+            context: context.into(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -173,5 +265,22 @@ mod tests {
 
         let e = CoreError::checkpoint("truncated payload");
         assert!(e.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn integrity_variants_display() {
+        let e = CoreError::corrupt_payload("frontend[0]→datacenter[2]", 9, "crc32 mismatch");
+        assert!(e.to_string().contains("frontend[0]→datacenter[2]"));
+        assert!(e.to_string().contains("iteration 9"));
+        assert!(e.to_string().contains("crc32"));
+
+        let e = CoreError::divergence("correct", 41, "link residual is NaN");
+        assert!(e.to_string().contains("correct"));
+        assert!(e.to_string().contains("41"));
+        assert!(!e.to_string().contains("("), "no node parenthetical: {e}");
+
+        let e = CoreError::divergence_at("step_datacenters", 7, "datacenter[1]", "ν became +inf");
+        assert!(e.to_string().contains("datacenter[1]"));
+        assert!(e.to_string().contains("step_datacenters"));
     }
 }

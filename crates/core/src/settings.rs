@@ -48,6 +48,30 @@ pub struct AdmgSettings {
     /// the iterate stream bit-identical; disabling it (the default) removes
     /// every clock read from the driver loop.
     pub telemetry: bool,
+    /// Verify a CRC32 checksum on every data payload the distributed
+    /// runtimes deliver (the `ufc_distsim::message` wire codec). A failed
+    /// check triggers a bounded retransmit ladder; exhaustion surfaces as a
+    /// typed [`crate::CoreError::CorruptPayload`]. `false` (the default)
+    /// skips framing entirely and reproduces the unchecked wire behavior
+    /// bit-identically; `true` costs a few header bytes per message but the
+    /// codec round-trip is exact, so clean iterate streams stay
+    /// bit-identical either way.
+    pub verify_checksums: bool,
+    /// Residual-explosion factor κ of the divergence gate in
+    /// [`crate::engine::drive`]: the gate arms once the combined residual
+    /// exceeds `κ ×` the best residual seen so far. Purely observational on
+    /// healthy runs — it reads residuals the driver already computed.
+    pub divergence_kappa: f64,
+    /// Patience window K of the divergence gate: the residual must stay
+    /// above `κ × best` for this many *consecutive* iterations before the
+    /// gate trips with a typed [`crate::CoreError::Divergence`]. Non-finite
+    /// residuals trip immediately regardless of the window.
+    pub divergence_window: usize,
+    /// When the divergence gate trips, ask the transport to roll the
+    /// iterate back to its last finite checkpoint (PR 1 snapshot machinery)
+    /// instead of failing. Transports without checkpoints decline and the
+    /// typed error is returned as usual. Off by default.
+    pub divergence_rollback: bool,
 }
 
 impl Default for AdmgSettings {
@@ -71,6 +95,10 @@ impl Default for AdmgSettings {
             num_threads: 1,
             cache_factorizations: true,
             telemetry: false,
+            verify_checksums: false,
+            divergence_kappa: 1e6,
+            divergence_window: 25,
+            divergence_rollback: false,
         }
     }
 }
@@ -115,6 +143,19 @@ impl AdmgSettings {
         if !(self.eps_link > 0.0 && self.eps_balance > 0.0 && self.eps_dual > 0.0) {
             return Err(crate::CoreError::invalid_config(
                 "tolerances must be positive",
+            ));
+        }
+        // `<=` alone would wave NaN through (it compares false), so pair
+        // the range check with an explicit finiteness test.
+        if self.divergence_kappa <= 1.0 || !self.divergence_kappa.is_finite() {
+            return Err(crate::CoreError::invalid_config(format!(
+                "divergence kappa must be finite and > 1, got {}",
+                self.divergence_kappa
+            )));
+        }
+        if self.divergence_window == 0 {
+            return Err(crate::CoreError::invalid_config(
+                "divergence window must be at least one iteration",
             ));
         }
         Ok(())
@@ -194,6 +235,29 @@ impl AdmgSettings {
         self.telemetry = enabled;
         self
     }
+
+    /// Returns a copy with wire checksum verification toggled.
+    #[must_use]
+    pub fn with_checksums(mut self, enabled: bool) -> Self {
+        self.verify_checksums = enabled;
+        self
+    }
+
+    /// Returns a copy with the divergence gate's explosion factor κ and
+    /// patience window K replaced.
+    #[must_use]
+    pub fn with_divergence_gate(mut self, kappa: f64, window: usize) -> Self {
+        self.divergence_kappa = kappa;
+        self.divergence_window = window;
+        self
+    }
+
+    /// Returns a copy with checkpoint rollback on divergence toggled.
+    #[must_use]
+    pub fn with_divergence_rollback(mut self, enabled: bool) -> Self {
+        self.divergence_rollback = enabled;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -263,5 +327,43 @@ mod tests {
         let s = AdmgSettings::default();
         assert_eq!(s.num_threads, 1);
         assert!(s.cache_factorizations);
+    }
+
+    #[test]
+    fn default_integrity_knobs_preserve_legacy_behavior() {
+        let s = AdmgSettings::default();
+        assert!(!s.verify_checksums, "checksums must default off");
+        assert!(!s.divergence_rollback, "rollback must default off");
+        assert!(s.divergence_kappa >= 1e6);
+        assert!(s.divergence_window >= 10);
+    }
+
+    #[test]
+    fn integrity_builders_and_validation() {
+        let s = AdmgSettings::default()
+            .with_checksums(true)
+            .with_divergence_gate(1e3, 5)
+            .with_divergence_rollback(true);
+        assert!(s.verify_checksums);
+        assert_eq!(s.divergence_kappa, 1e3);
+        assert_eq!(s.divergence_window, 5);
+        assert!(s.divergence_rollback);
+        s.validate();
+
+        let err = AdmgSettings::default()
+            .with_divergence_gate(1.0, 5)
+            .check()
+            .unwrap_err();
+        assert!(err.to_string().contains("kappa"));
+        let err = AdmgSettings::default()
+            .with_divergence_gate(f64::NAN, 5)
+            .check()
+            .unwrap_err();
+        assert!(err.to_string().contains("kappa"));
+        let err = AdmgSettings::default()
+            .with_divergence_gate(1e4, 0)
+            .check()
+            .unwrap_err();
+        assert!(err.to_string().contains("window"));
     }
 }

@@ -21,6 +21,26 @@ pub mod codec {
         }
     }
 
+    /// Appends a single `f64` value, little-endian.
+    pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a single `f64` value, advancing `pos`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Checkpoint`] on truncation.
+    pub fn get_f64(buf: &[u8], pos: &mut usize) -> Result<f64, CoreError> {
+        let end = pos.checked_add(8).filter(|&e| e <= buf.len());
+        let Some(end) = end else {
+            return Err(CoreError::checkpoint("truncated f64 field"));
+        };
+        let v = f64::from_le_bytes(buf[*pos..end].try_into().expect("8-byte slice"));
+        *pos = end;
+        Ok(v)
+    }
+
     /// Reads a `u32` field, advancing `pos`.
     ///
     /// # Errors
@@ -309,6 +329,22 @@ mod tests {
             1.0,
         )
         .unwrap()
+    }
+
+    #[test]
+    fn scalar_codec_round_trips_and_rejects_truncation() {
+        let mut buf = Vec::new();
+        codec::put_f64(&mut buf, -0.0);
+        codec::put_f64(&mut buf, 1e-300);
+        let mut pos = 0;
+        assert_eq!(
+            codec::get_f64(&buf, &mut pos).unwrap().to_bits(),
+            (-0.0f64).to_bits()
+        );
+        assert_eq!(codec::get_f64(&buf, &mut pos).unwrap(), 1e-300);
+        assert!(codec::get_f64(&buf, &mut pos).is_err(), "past the end");
+        let mut pos = buf.len() - 3;
+        assert!(codec::get_f64(&buf, &mut pos).is_err(), "truncated tail");
     }
 
     #[test]

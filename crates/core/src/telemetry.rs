@@ -286,6 +286,47 @@ impl FaultCounters {
     }
 }
 
+/// Data-integrity counters of a run with corruption injection, wire
+/// checksums, or the divergence gate's rollback engaged — folded in from
+/// `ufc_distsim`'s corruption channel and the driver's divergence guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IntegrityCounters {
+    /// Payloads the fault plan corrupted on the wire.
+    pub corruptions_injected: u64,
+    /// Corrupted payloads caught by the CRC32 verify-on-receive check.
+    pub corruptions_detected: u64,
+    /// Corrupted payloads delivered unverified (checksums off).
+    pub corruptions_delivered: u64,
+    /// Retransmissions triggered by failed checksum verification.
+    pub checksum_retransmissions: u64,
+    /// Divergence-gate trips (each either rolled back or fatal).
+    pub divergence_trips: u64,
+    /// Successful rollbacks to a finite checkpoint after a gate trip.
+    pub rollbacks: u64,
+}
+
+impl IntegrityCounters {
+    /// `true` when every counter is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == IntegrityCounters::default()
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"corruptions_injected\":{},\"corruptions_detected\":{},\
+             \"corruptions_delivered\":{},\"checksum_retransmissions\":{},\
+             \"divergence_trips\":{},\"rollbacks\":{}}}",
+            self.corruptions_injected,
+            self.corruptions_detected,
+            self.corruptions_delivered,
+            self.checksum_retransmissions,
+            self.divergence_trips,
+            self.rollbacks
+        )
+    }
+}
+
 /// The telemetry snapshot of one ADM-G run: per-phase timing histograms
 /// plus the counter groups an engine could observe (`None` where the
 /// engine has no such layer — e.g. `traffic` for the in-process solver).
@@ -301,6 +342,9 @@ pub struct RunTelemetry {
     pub traffic: Option<TrafficCounters>,
     /// Fault-handling counters (fault-aware runs only).
     pub fault: Option<FaultCounters>,
+    /// Data-integrity counters (runs with corruption injection, checksums,
+    /// or divergence rollback only).
+    pub integrity: Option<IntegrityCounters>,
 }
 
 impl RunTelemetry {
@@ -329,14 +373,18 @@ impl RunTelemetry {
         let fault = self
             .fault
             .map_or_else(|| "null".to_string(), |f| f.to_json());
+        let integrity = self
+            .integrity
+            .map_or_else(|| "null".to_string(), |i| i.to_json());
         format!(
             "{{\"type\":\"summary\",\"iterations\":{},\"phases\":{{{}}},\"solver\":{},\
-             \"traffic\":{},\"fault\":{}}}",
+             \"traffic\":{},\"fault\":{},\"integrity\":{}}}",
             self.iterations,
             phases.join(","),
             self.solver.to_json(),
             traffic,
-            fault
+            fault,
+            integrity
         )
     }
 }
@@ -580,5 +628,28 @@ mod tests {
         assert!(json.contains("\"correct\":{\"count\":1"));
         assert!(json.contains("\"data_messages\":80"));
         assert!(json.contains("\"fault\":null"));
+        assert!(json.contains("\"integrity\":null"));
+    }
+
+    #[test]
+    fn integrity_counters_serialize_and_detect_zero() {
+        assert!(IntegrityCounters::default().is_zero());
+        let c = IntegrityCounters {
+            corruptions_injected: 3,
+            corruptions_detected: 2,
+            corruptions_delivered: 1,
+            checksum_retransmissions: 2,
+            divergence_trips: 1,
+            rollbacks: 1,
+        };
+        assert!(!c.is_zero());
+        let t = RunTelemetry {
+            integrity: Some(c),
+            ..RunTelemetry::default()
+        };
+        let json = t.to_json();
+        assert!(json.contains("\"corruptions_injected\":3"));
+        assert!(json.contains("\"checksum_retransmissions\":2"));
+        assert!(json.contains("\"rollbacks\":1"));
     }
 }

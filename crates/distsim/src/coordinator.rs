@@ -13,10 +13,10 @@ use ufc_core::repair::assemble_point;
 use ufc_core::{AdmgState, CoreError};
 use ufc_model::{evaluate, OperatingPoint, UfcBreakdown, UfcInstance};
 
-use crate::fault::{FaultTracker, NodeId};
+use crate::fault::{FaultTracker, IntegrityState, NodeId};
 use crate::loss::LossyChannel;
-use crate::message::Message;
-use crate::node::NodeResiduals;
+use crate::message::{Message, CHECKSUM_OVERHEAD_BYTES};
+use crate::node::{nan_max, NodeResiduals};
 use crate::stats::MessageStats;
 
 /// One iteration's inputs, buffered for checkpoint-restart replay.
@@ -89,97 +89,182 @@ pub(crate) fn account_stragglers(tracker: &mut FaultTracker, m: usize, n: usize,
     }
 }
 
+/// One data message through the loss, corruption, and partition machinery:
+/// charges retransmitted/relayed bytes, folds the worst attempt count into
+/// `phase_max`, and returns the override value when corruption altered the
+/// payload in flight.
+#[allow(clippy::too_many_arguments)]
+fn transmit_data(
+    stats: &mut MessageStats,
+    tracker: &mut FaultTracker,
+    channel: &mut Option<&mut LossyChannel>,
+    integrity: &mut IntegrityState,
+    msg: &Message,
+    i: usize,
+    j: usize,
+    k: usize,
+    phase_max: &mut usize,
+) -> Result<Option<f64>, CoreError> {
+    stats.record(msg);
+    if let Some(ch) = channel.as_deref_mut() {
+        let attempts = ch.send();
+        stats.total_bytes += (attempts - 1) * msg.wire_bytes();
+        *phase_max = (*phase_max).max(attempts);
+    }
+    let mut delivered = None;
+    if integrity.active() {
+        let frame_bytes = msg.wire_bytes()
+            + if integrity.verify {
+                CHECKSUM_OVERHEAD_BYTES
+            } else {
+                0
+            };
+        // Charge the trailer on the first copy, the full frame on resends.
+        stats.total_bytes += frame_bytes - msg.wire_bytes();
+        let (override_value, attempts) = integrity.transmit(msg, k)?;
+        stats.total_bytes += (attempts - 1) * frame_bytes;
+        *phase_max = (*phase_max).max(attempts);
+        delivered = override_value;
+    }
+    if tracker.plan().is_partitioned(i, j, k) {
+        stats.total_bytes += msg.wire_bytes();
+        tracker.report.partition_retransmissions += 1;
+    }
+    Ok(delivered)
+}
+
 /// Records the λ̃ scatter to every non-evicted datacenter. A lossy
 /// `channel` charges the retransmitted bytes and reports the phase's
 /// worst attempt count (the synchronous phase waits for its slowest
-/// message); severed partition links double their bytes (relay path).
-/// Returns the phase-max attempt count (1 when lossless).
+/// message); the integrity layer may corrupt a payload in flight (the
+/// delivered value is written back into `rows`) or, when checksums are
+/// verified, charge the trailer bytes and bounded retransmits; severed
+/// partition links double their bytes (relay path). Returns the phase-max
+/// attempt count (1 when lossless and uncorrupted).
+///
+/// # Errors
+///
+/// Propagates the integrity layer's typed failures (retransmit budget
+/// exhausted, or a non-finite payload delivered unverified).
 pub(crate) fn record_lambda_traffic(
     stats: &mut MessageStats,
     tracker: &mut FaultTracker,
     mut channel: Option<&mut LossyChannel>,
-    rows: &[Vec<f64>],
+    integrity: &mut IntegrityState,
+    rows: &mut [Vec<f64>],
     k: usize,
-) -> usize {
+) -> Result<usize, CoreError> {
     let mut phase_max = 1usize;
-    for (i, row) in rows.iter().enumerate() {
-        for (j, &value) in row.iter().enumerate() {
+    for (i, row) in rows.iter_mut().enumerate() {
+        for (j, value) in row.iter_mut().enumerate() {
             if tracker.is_evicted(j) {
                 continue;
             }
             let msg = Message::LambdaTilde {
                 frontend: i,
                 datacenter: j,
-                value,
+                value: *value,
             };
-            stats.record(&msg);
-            if let Some(ch) = channel.as_deref_mut() {
-                let attempts = ch.send();
-                stats.total_bytes += (attempts - 1) * msg.wire_bytes();
-                phase_max = phase_max.max(attempts);
-            }
-            if tracker.plan().is_partitioned(i, j, k) {
-                stats.total_bytes += msg.wire_bytes();
-                tracker.report.partition_retransmissions += 1;
+            let delivered = transmit_data(
+                stats,
+                tracker,
+                &mut channel,
+                integrity,
+                &msg,
+                i,
+                j,
+                k,
+                &mut phase_max,
+            )?;
+            if let Some(v) = delivered {
+                *value = v;
             }
         }
     }
-    phase_max
+    Ok(phase_max)
 }
 
 /// Records one datacenter's ã gather (mirror of [`record_lambda_traffic`]).
-/// Returns this column's worst attempt count (1 when lossless).
+/// Returns this column's worst attempt count (1 when lossless and
+/// uncorrupted).
+///
+/// # Errors
+///
+/// As for [`record_lambda_traffic`].
 pub(crate) fn record_a_traffic(
     stats: &mut MessageStats,
     tracker: &mut FaultTracker,
     mut channel: Option<&mut LossyChannel>,
-    a_tilde: &[f64],
+    integrity: &mut IntegrityState,
+    a_tilde: &mut [f64],
     j: usize,
     k: usize,
-) -> usize {
+) -> Result<usize, CoreError> {
     let mut phase_max = 1usize;
-    for (i, &value) in a_tilde.iter().enumerate() {
+    for (i, value) in a_tilde.iter_mut().enumerate() {
         let msg = Message::ATilde {
             frontend: i,
             datacenter: j,
-            value,
+            value: *value,
         };
-        stats.record(&msg);
-        if let Some(ch) = channel.as_deref_mut() {
-            let attempts = ch.send();
-            stats.total_bytes += (attempts - 1) * msg.wire_bytes();
-            phase_max = phase_max.max(attempts);
-        }
-        if tracker.plan().is_partitioned(i, j, k) {
-            stats.total_bytes += msg.wire_bytes();
-            tracker.report.partition_retransmissions += 1;
+        let delivered = transmit_data(
+            stats,
+            tracker,
+            &mut channel,
+            integrity,
+            &msg,
+            i,
+            j,
+            k,
+            &mut phase_max,
+        )?;
+        if let Some(v) = delivered {
+            *value = v;
         }
     }
-    phase_max
+    Ok(phase_max)
 }
 
 /// Records every node's residual report and max-reduces the three
-/// residuals; the stop decision itself belongs to the unified driver
+/// residuals (NaN-sticky, so a poisoned iterate cannot hide — see
+/// [`nan_max`]); the stop decision itself belongs to the unified driver
 /// (`ufc_core::engine::drive`), which applies the tolerance tests and
-/// hands the verdict back through [`record_control`].
+/// hands the verdict back through [`record_control`]. Also returns the
+/// first node whose report is non-finite — the divergence gate's suspect.
 pub(crate) fn reduce_residuals(
     stats: &mut MessageStats,
     fe: &[NodeResiduals],
-    dc: &[NodeResiduals],
-) -> BlockResiduals {
+    dc: &[Option<NodeResiduals>],
+) -> (BlockResiduals, Option<NodeId>) {
     let mut reduced = BlockResiduals::default();
-    for (node, r) in fe.iter().chain(dc).enumerate() {
+    let mut suspect = None;
+    let m = fe.len();
+    let all = fe
+        .iter()
+        .map(|r| Some(*r))
+        .chain(dc.iter().copied())
+        .enumerate();
+    for (node, r) in all {
+        let Some(r) = r else { continue };
         stats.record(&Message::ResidualReport {
             node,
             link: r.link,
             balance: r.balance,
             movement: r.movement,
         });
-        reduced.link = reduced.link.max(r.link);
-        reduced.balance = reduced.balance.max(r.balance);
-        reduced.movement = reduced.movement.max(r.movement);
+        reduced.link = nan_max(reduced.link, r.link);
+        reduced.balance = nan_max(reduced.balance, r.balance);
+        reduced.movement = nan_max(reduced.movement, r.movement);
+        let finite = r.link.is_finite() && r.balance.is_finite() && r.movement.is_finite();
+        if suspect.is_none() && !finite {
+            suspect = Some(if node < m {
+                NodeId::Frontend(node)
+            } else {
+                NodeId::Datacenter(node - m)
+            });
+        }
     }
-    reduced
+    (reduced, suspect)
 }
 
 /// Accounts the coordinator's continue/stop broadcast to every live node.

@@ -20,7 +20,7 @@ use crate::coordinator::{
     account_stragglers, column_of, finish, max_latency, record_a_traffic, record_control,
     record_lambda_traffic, reduce_residuals, replay_entries, row_of, HistoryEntry,
 };
-use crate::fault::{FaultPlan, FaultTracker, NodeId, Resolution};
+use crate::fault::{FaultPlan, FaultTracker, IntegrityState, NodeId, Resolution};
 use crate::loss::{LossConfig, LossyChannel};
 use crate::message::Message;
 use crate::node::{DatacenterNode, FrontendNode, NodeResiduals};
@@ -73,6 +73,10 @@ struct LockstepTransport<'a> {
     buffer_history: bool,
     checkpoint_interval: usize,
     channel: Option<LossyChannel>,
+    integrity: IntegrityState,
+    /// First node whose residual report was non-finite this iteration —
+    /// the divergence gate's suspect.
+    suspect: Option<NodeId>,
     stats: MessageStats,
     /// Fault-induced full-phase stalls (partition windows), in phases.
     stall_phases: f64,
@@ -112,6 +116,7 @@ impl<'a> LockstepTransport<'a> {
             .collect();
         let checkpoint_interval = plan.checkpoint_interval;
         let buffer_history = !plan.is_trivial() || checkpoint_interval > 0;
+        let integrity = IntegrityState::new(plan.corruption.as_ref(), settings.verify_checksums);
         LockstepTransport {
             instance,
             settings: *settings,
@@ -126,6 +131,8 @@ impl<'a> LockstepTransport<'a> {
             buffer_history,
             checkpoint_interval,
             channel: loss.map(LossyChannel::new),
+            integrity,
+            suspect: None,
             stats: MessageStats::default(),
             stall_phases: 0.0,
             lossy_stalled_phases: 0.0,
@@ -194,6 +201,7 @@ impl<'a> LockstepTransport<'a> {
                 + self.stall_phases * l_max
         };
         let retransmissions = self.channel.map_or(0, |ch| ch.retransmissions);
+        let integrity = self.integrity.active().then_some(self.integrity.counters);
         let telemetry = collector.map(|c| {
             let mut t = c.into_telemetry();
             // The lockstep engine keeps every node in-process, so the
@@ -226,6 +234,7 @@ impl<'a> LockstepTransport<'a> {
             if !trivial_plan {
                 t.fault = Some(report.counters());
             }
+            t.integrity = integrity;
             t
         });
         Ok(DistRunReport {
@@ -237,6 +246,7 @@ impl<'a> LockstepTransport<'a> {
             estimated_wan_seconds: estimated,
             retransmissions,
             fault: Some(report),
+            integrity,
             telemetry,
         })
     }
@@ -314,17 +324,22 @@ impl Transport for LockstepTransport<'_> {
                 }
             }
         }
-        let rows = self
+        let mut rows = self
             .pool
             .map_mut(&mut self.frontends, |_, fe| fe.predict_lambda());
         let phase_max = record_lambda_traffic(
             &mut self.stats,
             &mut self.tracker,
             self.channel.as_mut(),
-            &rows,
+            &mut self.integrity,
+            &mut rows,
             k,
-        );
+        )?;
+        // Retransmit stalls land in whichever pool the WAN estimate reads:
+        // `lossy_stalled_phases` for lossy runs, `stall_phases` otherwise
+        // (checksum retransmits under corruption).
         self.lossy_stalled_phases += phase_max as f64;
+        self.stall_phases += (phase_max - 1) as f64;
         self.rows = rows;
         Ok(())
     }
@@ -389,19 +404,21 @@ impl Transport for LockstepTransport<'_> {
         self.dc_residuals = vec![None; n];
         let mut phase_max = 1usize;
         for (j, step) in steps.into_iter().enumerate() {
-            let Some(step) = step else { continue };
+            let Some(mut step) = step else { continue };
             phase_max = phase_max.max(record_a_traffic(
                 &mut self.stats,
                 &mut self.tracker,
                 self.channel.as_mut(),
-                &step.a_tilde,
+                &mut self.integrity,
+                &mut step.a_tilde,
                 j,
                 k,
-            ));
+            )?);
             self.a_cols[j] = step.a_tilde;
             self.dc_residuals[j] = Some(step.residuals);
         }
         self.lossy_stalled_phases += phase_max as f64;
+        self.stall_phases += (phase_max - 1) as f64;
         Ok(())
     }
 
@@ -413,13 +430,77 @@ impl Transport for LockstepTransport<'_> {
             fe.receive_a_and_correct(&a_row)
         });
         self.a_cols = a_cols;
-        let active_res: Vec<NodeResiduals> = self.dc_residuals.iter().flatten().copied().collect();
-        self.node_count = self.frontends.len() + active_res.len();
-        Ok(reduce_residuals(
-            &mut self.stats,
-            &fe_residuals,
-            &active_res,
-        ))
+        self.node_count = self.frontends.len() + self.dc_residuals.iter().flatten().count();
+        let (reduced, suspect) =
+            reduce_residuals(&mut self.stats, &fe_residuals, &self.dc_residuals);
+        self.suspect = suspect;
+        Ok(reduced)
+    }
+
+    fn rollback(&mut self, _k: usize) -> Result<Option<usize>, CoreError> {
+        self.integrity.counters.divergence_trips += 1;
+        // Every live node needs a finite checkpoint before anything is
+        // touched — a partial restore would leave the deployment
+        // inconsistent, so decline instead.
+        let mut base = usize::MAX;
+        let mut fe_snaps = Vec::with_capacity(self.frontends.len());
+        for i in 0..self.frontends.len() {
+            let Some((it, blob)) = self.store.frontend(i) else {
+                return Ok(None);
+            };
+            let snap = FrontendSnapshot::from_bytes(blob)?;
+            if !snap.is_finite() {
+                return Ok(None);
+            }
+            base = base.min(it);
+            fe_snaps.push(snap);
+        }
+        let mut dc_snaps: Vec<Option<DatacenterSnapshot>> =
+            Vec::with_capacity(self.datacenters.len());
+        for (j, dc) in self.datacenters.iter().enumerate() {
+            if dc.is_none() {
+                dc_snaps.push(None);
+                continue;
+            }
+            let Some((it, blob)) = self.store.datacenter(j) else {
+                return Ok(None);
+            };
+            let snap = DatacenterSnapshot::from_bytes(blob)?;
+            if !snap.is_finite() {
+                return Ok(None);
+            }
+            base = base.min(it);
+            dc_snaps.push(Some(snap));
+        }
+        let evicted = self.tracker.evicted_mask();
+        for (fe, snap) in self.frontends.iter_mut().zip(&fe_snaps) {
+            fe.restore(snap)?;
+            // The live membership view stays authoritative over whatever
+            // the snapshot recorded.
+            for (j, &gone) in evicted.iter().enumerate() {
+                if gone {
+                    fe.set_evicted(j);
+                } else {
+                    fe.clear_evicted(j);
+                }
+            }
+        }
+        for (dc, snap) in self.datacenters.iter_mut().zip(dc_snaps) {
+            if let (Some(node), Some(snap)) = (dc.as_mut(), snap) {
+                node.restore(&snap)?;
+            }
+        }
+        // Buffered inputs may hold the very payloads that poisoned the run;
+        // never replay them into the restored state.
+        self.history.clear();
+        self.integrity.counters.rollbacks += 1;
+        Ok(Some(base))
+    }
+
+    fn divergence_suspect(&self) -> Option<String> {
+        self.suspect
+            .map(|node| node.to_string())
+            .or_else(|| self.integrity.last_corrupted.clone())
     }
 
     fn finish_iteration(&mut self, k: usize, stop: bool) -> Result<(), CoreError> {

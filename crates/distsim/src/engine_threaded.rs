@@ -30,11 +30,11 @@ use crate::coordinator::{
     account_stragglers, column_of, finish, max_latency, record_a_traffic, record_control,
     record_lambda_traffic, reduce_residuals, row_of, HistoryEntry,
 };
-use crate::fault::{FaultPlan, FaultTracker, NodeId, Resolution};
+use crate::fault::{FaultPlan, FaultTracker, IntegrityState, NodeId, Resolution};
 use crate::message::Message;
 use crate::node::{DatacenterNode, FrontendNode, NodeResiduals};
 use crate::runtime::DistRunReport;
-use crate::snapshot::CheckpointStore;
+use crate::snapshot::{CheckpointStore, DatacenterSnapshot, FrontendSnapshot};
 use crate::stats::{estimated_wan_seconds_live, MessageStats};
 use crate::supervision::{
     gather_phase, spawn_datacenter_worker, spawn_frontend_worker, DcCmd, FaultScript, FeCmd, Reply,
@@ -75,6 +75,7 @@ pub(crate) fn run_supervised(
     let plan_trivial = sup.tracker.plan().is_trivial();
     let evicted = sup.tracker.evicted_mask();
     let stall_phases = sup.stall_phases;
+    let integrity = sup.integrity.active().then_some(sup.integrity.counters);
     let shutdown = sup.shutdown();
     let (outcome, lambda_rows, mu) = outcome?;
     shutdown?;
@@ -100,6 +101,7 @@ pub(crate) fn run_supervised(
         if report_fault {
             t.fault = Some(fault_report.counters());
         }
+        t.integrity = integrity;
         t
     });
     Ok(DistRunReport {
@@ -111,6 +113,7 @@ pub(crate) fn run_supervised(
         estimated_wan_seconds: estimated,
         retransmissions: 0,
         fault: report_fault.then_some(fault_report),
+        integrity,
         telemetry,
     })
 }
@@ -133,6 +136,10 @@ struct Supervisor<'a> {
     fe_handles: Vec<Option<JoinHandle<()>>>,
     dc_handles: Vec<Option<JoinHandle<()>>>,
     stats: MessageStats,
+    integrity: IntegrityState,
+    /// First node whose residual report was non-finite this iteration —
+    /// the divergence gate's suspect.
+    suspect: Option<NodeId>,
     timeout: Duration,
     rounds: u32,
     checkpoint_interval: usize,
@@ -161,6 +168,7 @@ impl<'a> Supervisor<'a> {
         let timeout = plan.phase_timeout;
         let rounds = plan.backoff_rounds;
         let checkpoint_interval = plan.checkpoint_interval;
+        let integrity = IntegrityState::new(plan.corruption.as_ref(), settings.verify_checksums);
         let mut sup = Supervisor {
             instance,
             settings,
@@ -178,6 +186,8 @@ impl<'a> Supervisor<'a> {
             fe_handles: (0..m).map(|_| None).collect(),
             dc_handles: (0..n).map(|_| None).collect(),
             stats: MessageStats::default(),
+            integrity,
+            suspect: None,
             timeout,
             rounds,
             checkpoint_interval,
@@ -354,7 +364,7 @@ impl Transport for Supervisor<'_> {
                 }
             }
         }
-        let rows: Vec<Vec<f64>> = rows
+        let mut rows: Vec<Vec<f64>> = rows
             .into_iter()
             .enumerate()
             .map(|(i, row)| {
@@ -367,7 +377,15 @@ impl Transport for Supervisor<'_> {
                 })
             })
             .collect::<Result<_, _>>()?;
-        record_lambda_traffic(&mut self.stats, &mut self.tracker, None, &rows, k);
+        let phase_max = record_lambda_traffic(
+            &mut self.stats,
+            &mut self.tracker,
+            None,
+            &mut self.integrity,
+            &mut rows,
+            k,
+        )?;
+        self.stall_phases += (phase_max - 1) as f64;
         self.rows = rows;
         Ok(())
     }
@@ -449,13 +467,23 @@ impl Transport for Supervisor<'_> {
                 }
             }
         }
+        let mut phase_max = 1usize;
         for j in 0..n {
             if dc_residuals[j].is_some() {
-                // a_cols[j] was moved into place by the accept closure.
-                let a_tilde = a_cols[j].clone();
-                record_a_traffic(&mut self.stats, &mut self.tracker, None, &a_tilde, j, k);
+                // a_cols[j] was moved into place by the accept closure; the
+                // integrity layer may overwrite corrupted entries in place.
+                phase_max = phase_max.max(record_a_traffic(
+                    &mut self.stats,
+                    &mut self.tracker,
+                    None,
+                    &mut self.integrity,
+                    &mut a_cols[j],
+                    j,
+                    k,
+                )?);
             }
         }
+        self.stall_phases += (phase_max - 1) as f64;
         self.a_cols = a_cols;
         self.dc_residuals = dc_residuals;
         Ok(())
@@ -503,13 +531,89 @@ impl Transport for Supervisor<'_> {
             .into_iter()
             .map(|r| r.unwrap_or_default())
             .collect();
-        let active_res: Vec<NodeResiduals> = self.dc_residuals.iter().flatten().copied().collect();
-        self.node_count = m + active_res.len();
-        Ok(reduce_residuals(
-            &mut self.stats,
-            &fe_residuals,
-            &active_res,
-        ))
+        self.node_count = m + self.dc_residuals.iter().flatten().count();
+        let (reduced, suspect) =
+            reduce_residuals(&mut self.stats, &fe_residuals, &self.dc_residuals);
+        self.suspect = suspect;
+        Ok(reduced)
+    }
+
+    fn rollback(&mut self, k: usize) -> Result<Option<usize>, CoreError> {
+        self.integrity.counters.divergence_trips += 1;
+        // Every live node needs a finite checkpoint before any worker is
+        // respawned — a partial restore would leave the deployment
+        // inconsistent, so decline instead.
+        let mut base = usize::MAX;
+        let mut fe_snaps = Vec::with_capacity(self.m);
+        for i in 0..self.m {
+            let Some((it, blob)) = self.store.frontend(i) else {
+                return Ok(None);
+            };
+            let snap = FrontendSnapshot::from_bytes(blob)?;
+            if !snap.is_finite() {
+                return Ok(None);
+            }
+            base = base.min(it);
+            fe_snaps.push(snap);
+        }
+        let mut dc_snaps: Vec<Option<DatacenterSnapshot>> = Vec::with_capacity(self.n);
+        for j in 0..self.n {
+            if self.tracker.is_evicted(j) {
+                dc_snaps.push(None);
+                continue;
+            }
+            let Some((it, blob)) = self.store.datacenter(j) else {
+                return Ok(None);
+            };
+            let snap = DatacenterSnapshot::from_bytes(blob)?;
+            if !snap.is_finite() {
+                return Ok(None);
+            }
+            base = base.min(it);
+            dc_snaps.push(Some(snap));
+        }
+        let evicted = self.tracker.evicted_mask();
+        for (i, snap) in fe_snaps.iter().enumerate() {
+            let mut node = FrontendNode::new(self.instance, i, &self.settings);
+            node.restore(snap)?;
+            // The live membership view stays authoritative over whatever
+            // the snapshot recorded.
+            for (j, &gone) in evicted.iter().enumerate() {
+                if gone {
+                    node.set_evicted(j);
+                } else {
+                    node.clear_evicted(j);
+                }
+            }
+            // The old worker is alive and blocked on its command channel:
+            // close it first so the respawn's join cannot deadlock.
+            self.fe_tx[i] = None;
+            self.spawn_frontend(i, node, k);
+        }
+        for (j, snap) in dc_snaps.into_iter().enumerate() {
+            let Some(snap) = snap else { continue };
+            let mut node = DatacenterNode::new(
+                self.instance,
+                j,
+                &self.settings,
+                self.active_mu,
+                self.active_nu,
+            );
+            node.restore(&snap)?;
+            self.dc_tx[j] = None;
+            self.spawn_datacenter(j, node, k);
+        }
+        // Buffered inputs may hold the very payloads that poisoned the run;
+        // never replay them into the restored state.
+        self.history.clear();
+        self.integrity.counters.rollbacks += 1;
+        Ok(Some(base))
+    }
+
+    fn divergence_suspect(&self) -> Option<String> {
+        self.suspect
+            .map(|node| node.to_string())
+            .or_else(|| self.integrity.last_corrupted.clone())
     }
 
     fn finish_iteration(&mut self, k: usize, stop: bool) -> Result<(), CoreError> {

@@ -22,7 +22,11 @@
 
 use std::time::Duration;
 
+use ufc_core::telemetry::IntegrityCounters;
 use ufc_core::CoreError;
+
+use crate::message::{Message, VALUE_OFFSET};
+use crate::rng::SplitMix64;
 
 /// A protocol participant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,12 +87,111 @@ pub struct PartitionWindow {
     pub datacenters: Vec<usize>,
 }
 
+/// How an injected corruption mangles a data payload's bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// Flip one uniformly chosen bit of the 8-byte value field.
+    BitFlip,
+    /// Flip the IEEE-754 sign bit.
+    SignFlip,
+    /// Replace the value with a quiet NaN.
+    NanSubstitution,
+    /// Scale the value by `2^±e` for a random exponent `e ∈ [1, 30]`.
+    MagnitudeScale,
+}
+
+/// Seeded, deterministic payload-corruption configuration, applied at the
+/// link level like [`crate::loss::LossConfig`]: every λ̃/ã data message is
+/// independently corrupted in flight with probability `rate`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptionConfig {
+    /// Per-message corruption probability in `[0, 1)`.
+    pub rate: f64,
+    /// RNG seed for the corruption process.
+    pub seed: u64,
+    /// Fixed mangling, or `None` to draw a kind per event.
+    pub kind: Option<CorruptionKind>,
+    /// Retransmits granted per message when the receiver verifies
+    /// checksums; a payload still corrupt after this many resends is a
+    /// typed [`CoreError::CorruptPayload`].
+    pub max_retransmits: u32,
+}
+
+impl CorruptionConfig {
+    /// Creates a configuration (random kind, 8 retransmits), validating the
+    /// rate.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] unless `0 ≤ rate < 1` (NaN rejected).
+    pub fn try_new(rate: f64, seed: u64) -> Result<Self, CoreError> {
+        if !(0.0..1.0).contains(&rate) {
+            return Err(CoreError::invalid_config(format!(
+                "corruption rate must be in [0, 1), got {rate}"
+            )));
+        }
+        Ok(CorruptionConfig {
+            rate,
+            seed,
+            kind: None,
+            max_retransmits: 8,
+        })
+    }
+
+    /// Creates a configuration, panicking on an invalid rate (thin wrapper
+    /// over [`CorruptionConfig::try_new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ rate < 1`.
+    #[must_use]
+    pub fn new(rate: f64, seed: u64) -> Self {
+        match Self::try_new(rate, seed) {
+            Ok(config) => config,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Pins every event to one mangling kind.
+    #[must_use]
+    pub fn with_kind(mut self, kind: CorruptionKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Sets the retransmit budget (minimum 1).
+    #[must_use]
+    pub fn with_max_retransmits(mut self, retransmits: u32) -> Self {
+        self.max_retransmits = retransmits.max(1);
+        self
+    }
+
+    fn check(&self) -> Result<(), CoreError> {
+        if !(0.0..1.0).contains(&self.rate) {
+            return Err(CoreError::invalid_config(format!(
+                "corruption rate must be in [0, 1), got {}",
+                self.rate
+            )));
+        }
+        if self.max_retransmits == 0 {
+            return Err(CoreError::invalid_config(
+                "corruption retransmit budget must be ≥ 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// A deterministic fault schedule plus the supervisor's policy knobs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     crashes: Vec<CrashEvent>,
     stragglers: Vec<StragglerEvent>,
     partitions: Vec<PartitionWindow>,
+    /// Link-level payload corruption (`None` = clean links). Orthogonal to
+    /// the node-level schedule: [`FaultPlan::is_trivial`] ignores it, so
+    /// corruption alone does not switch on replay buffering.
+    pub corruption: Option<CorruptionConfig>,
     /// Take a checkpoint every this many iterations (`0` disables; forced
     /// checkpoints still happen after membership changes).
     pub checkpoint_interval: usize,
@@ -109,6 +212,7 @@ impl Default for FaultPlan {
             crashes: Vec::new(),
             stragglers: Vec::new(),
             partitions: Vec::new(),
+            corruption: None,
             checkpoint_interval: 4,
             eviction_deadline: 3,
             phase_timeout: Duration::from_millis(200),
@@ -172,6 +276,13 @@ impl FaultPlan {
     #[must_use]
     pub fn partition(mut self, window: PartitionWindow) -> Self {
         self.partitions.push(window);
+        self
+    }
+
+    /// Enables link-level payload corruption.
+    #[must_use]
+    pub fn with_corruption(mut self, corruption: CorruptionConfig) -> Self {
+        self.corruption = Some(corruption);
         self
     }
 
@@ -296,6 +407,9 @@ impl FaultPlan {
                 return Err(CoreError::invalid_config("empty partition window"));
             }
         }
+        if let Some(corruption) = &self.corruption {
+            corruption.check()?;
+        }
         Ok(())
     }
 
@@ -370,7 +484,9 @@ impl FaultPlan {
         self.stragglers.len()
     }
 
-    /// Whether the plan injects anything at all.
+    /// Whether the node-level schedule injects anything at all. Link-level
+    /// corruption is deliberately excluded: it needs no replay buffering or
+    /// supervision, so a corruption-only plan still runs the plain path.
     #[must_use]
     pub fn is_trivial(&self) -> bool {
         self.crashes.is_empty() && self.stragglers.is_empty() && self.partitions.is_empty()
@@ -595,28 +711,188 @@ impl FaultTracker {
     }
 }
 
-/// SplitMix64 — the same tiny generator the lossy channel uses.
-struct SplitMix64 {
-    state: u64,
+/// The seeded corruption process: decides per send attempt whether the
+/// payload is mangled in flight, and how.
+#[derive(Debug, Clone)]
+struct CorruptionChannel {
+    rate: f64,
+    kind: Option<CorruptionKind>,
+    rng: SplitMix64,
 }
 
-impl SplitMix64 {
-    fn new(seed: u64) -> Self {
-        SplitMix64 {
-            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+impl CorruptionChannel {
+    fn new(config: &CorruptionConfig) -> Self {
+        CorruptionChannel {
+            rate: config.rate,
+            kind: config.kind,
+            rng: SplitMix64::new(config.seed),
         }
     }
 
-    fn next(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
+    /// One Bernoulli draw: is this attempt corrupted?
+    fn strikes(&mut self) -> bool {
+        self.rng.uniform() < self.rate
     }
 
-    fn uniform(&mut self) -> f64 {
-        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    /// Mangles the value field of an encoded data frame in place.
+    fn mangle(&mut self, frame: &mut [u8]) {
+        let kind = self.kind.unwrap_or_else(|| match self.rng.next() % 4 {
+            0 => CorruptionKind::BitFlip,
+            1 => CorruptionKind::SignFlip,
+            2 => CorruptionKind::NanSubstitution,
+            _ => CorruptionKind::MagnitudeScale,
+        });
+        let value = &mut frame[VALUE_OFFSET..VALUE_OFFSET + 8];
+        match kind {
+            CorruptionKind::BitFlip => {
+                let bit = (self.rng.next() % 64) as usize;
+                value[bit / 8] ^= 1 << (bit % 8);
+            }
+            CorruptionKind::SignFlip => value[7] ^= 0x80,
+            CorruptionKind::NanSubstitution => {
+                value.copy_from_slice(&f64::NAN.to_le_bytes());
+            }
+            CorruptionKind::MagnitudeScale => {
+                let e = 1 + (self.rng.next() % 30) as i32;
+                let e = if self.rng.next() & 1 == 0 { e } else { -e };
+                let v = f64::from_le_bytes(value.try_into().expect("8-byte field"));
+                value.copy_from_slice(&(v * f64::powi(2.0, e)).to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Per-run integrity machinery shared by both engines: the corruption
+/// channel, the receiver-side verify flag, and the counters that land in
+/// the run report. Both engines drive it through the shared coordinator
+/// record helpers in deterministic link order, so a lockstep run and a
+/// threaded run with the same seed corrupt the same messages.
+#[derive(Debug, Clone)]
+pub(crate) struct IntegrityState {
+    channel: Option<CorruptionChannel>,
+    /// Whether receivers verify the CRC32 trailer (and retransmit on
+    /// mismatch) — [`ufc_core::AdmgSettings::verify_checksums`].
+    pub(crate) verify: bool,
+    max_retransmits: u32,
+    /// Counters for the run report / telemetry.
+    pub(crate) counters: IntegrityCounters,
+    /// Receiver of the most recent *delivered* corruption (verify off) —
+    /// the divergence gate's prime suspect when residuals later explode.
+    pub(crate) last_corrupted: Option<String>,
+}
+
+/// Endpoint strings of a data message: `(link, receiver)`.
+fn data_endpoints(msg: &Message) -> (String, String) {
+    match msg {
+        Message::LambdaTilde {
+            frontend,
+            datacenter,
+            ..
+        } => (
+            format!("frontend[{frontend}]→datacenter[{datacenter}]"),
+            format!("datacenter[{datacenter}]"),
+        ),
+        Message::ATilde {
+            frontend,
+            datacenter,
+            ..
+        } => (
+            format!("datacenter[{datacenter}]→frontend[{frontend}]"),
+            format!("frontend[{frontend}]"),
+        ),
+        _ => ("coordinator".to_string(), "coordinator".to_string()),
+    }
+}
+
+impl IntegrityState {
+    pub(crate) fn new(corruption: Option<&CorruptionConfig>, verify: bool) -> Self {
+        IntegrityState {
+            channel: corruption.map(CorruptionChannel::new),
+            verify,
+            max_retransmits: corruption.map_or(1, |c| c.max_retransmits),
+            counters: IntegrityCounters::default(),
+            last_corrupted: None,
+        }
+    }
+
+    /// Whether this run carries any integrity machinery at all (corruption
+    /// injected or checksums verified). When `false` every transmit is a
+    /// no-op and the byte accounting is bit-identical to a plain run.
+    pub(crate) fn active(&self) -> bool {
+        self.channel.is_some() || self.verify
+    }
+
+    /// Transmits one data message through the corruption channel. Returns
+    /// `(delivered, attempts)`: `delivered` is `Some(v)` when the receiver
+    /// accepted a value different from (or coincidentally equal to) the
+    /// sent one, `None` for an untouched delivery; `attempts ≥ 1` counts
+    /// sends including checksum-triggered retransmits.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::CorruptPayload`] when checksums are on and the
+    ///   retransmit budget is exhausted.
+    /// * [`CoreError::Divergence`] when checksums are off and a non-finite
+    ///   payload would be folded into the receiver's iterate — failing fast
+    ///   with the link named beats a NaN quietly poisoning the solve.
+    pub(crate) fn transmit(
+        &mut self,
+        msg: &Message,
+        k: usize,
+    ) -> Result<(Option<f64>, usize), CoreError> {
+        let Some(channel) = self.channel.as_mut() else {
+            return Ok((None, 1));
+        };
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            if !channel.strikes() {
+                return Ok((None, attempts));
+            }
+            self.counters.corruptions_injected += 1;
+            let mut frame = msg.encode();
+            channel.mangle(&mut frame);
+            if self.verify {
+                match Message::decode(&frame) {
+                    Err(_) => {
+                        self.counters.corruptions_detected += 1;
+                        if attempts > self.max_retransmits as usize {
+                            let (link, _) = data_endpoints(msg);
+                            return Err(CoreError::corrupt_payload(
+                                link,
+                                k,
+                                format!(
+                                    "checksum still failing after {} retransmits",
+                                    self.max_retransmits
+                                ),
+                            ));
+                        }
+                        self.counters.checksum_retransmissions += 1;
+                    }
+                    // The mangling landed on bytes that left the frame
+                    // bit-identical (e.g. a magnitude scale of ±0.0): the
+                    // checksum passes because nothing corrupt arrived.
+                    Ok(delivered) => return Ok((delivered.data_value(), attempts)),
+                }
+            } else {
+                let bytes: [u8; 8] = frame[VALUE_OFFSET..VALUE_OFFSET + 8]
+                    .try_into()
+                    .expect("8-byte field");
+                let value = f64::from_le_bytes(bytes);
+                self.counters.corruptions_delivered += 1;
+                let (link, receiver) = data_endpoints(msg);
+                if !value.is_finite() {
+                    return Err(CoreError::divergence_at(
+                        "transmit",
+                        k,
+                        receiver,
+                        format!("non-finite payload {value} delivered on {link}"),
+                    ));
+                }
+                self.last_corrupted = Some(receiver);
+                return Ok((Some(value), attempts));
+            }
+        }
     }
 }
 
@@ -723,5 +999,160 @@ mod tests {
         let plan = FaultPlan::new().with_phase_timeout(Duration::from_millis(100));
         // 3 rounds: 100 + 200 + 400 ms.
         assert!((plan.ladder_seconds() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corruption_config_validates_rate_and_budget() {
+        assert!(CorruptionConfig::try_new(0.5, 1).is_ok());
+        assert!(matches!(
+            CorruptionConfig::try_new(1.0, 1),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            CorruptionConfig::try_new(f64::NAN, 1),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        // Budget is clamped to ≥ 1 by the builder and caught by check().
+        let cfg = CorruptionConfig::new(0.1, 1).with_max_retransmits(0);
+        assert_eq!(cfg.max_retransmits, 1);
+        let mut bad = cfg;
+        bad.max_retransmits = 0;
+        assert!(FaultPlan::none().with_corruption(bad).check().is_err());
+        assert!(FaultPlan::none().with_corruption(cfg).check().is_ok());
+        // A corruption-only plan still counts as trivial (no node faults).
+        assert!(FaultPlan::none().with_corruption(cfg).is_trivial());
+    }
+
+    #[test]
+    fn corrupted_transmit_is_detected_and_retransmitted_when_verifying() {
+        let msg = Message::LambdaTilde {
+            frontend: 0,
+            datacenter: 1,
+            value: 0.75,
+        };
+        // A generous budget: rate 0.4 makes a run of 33 straight corrupt
+        // copies (the only way to exhaust it) essentially impossible.
+        let cfg = CorruptionConfig::new(0.4, 9).with_max_retransmits(32);
+        let mut state = IntegrityState::new(Some(&cfg), true);
+        let mut worst = 1usize;
+        for _ in 0..2000 {
+            let (delivered, attempts) = state.transmit(&msg, 1).unwrap();
+            // Verified links either deliver the clean value or a
+            // bit-identical mangle; never silent garbage.
+            assert!(delivered.is_none() || delivered == Some(0.75));
+            worst = worst.max(attempts);
+        }
+        assert!(worst > 1, "rate 0.4 over 2000 sends must retransmit");
+        assert!(state.counters.corruptions_injected > 0);
+        assert_eq!(
+            state.counters.corruptions_detected,
+            state.counters.checksum_retransmissions
+        );
+        assert_eq!(state.counters.corruptions_delivered, 0);
+    }
+
+    #[test]
+    fn retransmit_budget_exhaustion_is_a_typed_error() {
+        let msg = Message::ATilde {
+            frontend: 2,
+            datacenter: 0,
+            value: 1.0,
+        };
+        // Near-certain corruption with a tiny budget: exhaustion is quick.
+        let cfg = CorruptionConfig::new(0.999, 3)
+            .with_kind(CorruptionKind::BitFlip)
+            .with_max_retransmits(2);
+        let mut state = IntegrityState::new(Some(&cfg), true);
+        let err = loop {
+            match state.transmit(&msg, 7) {
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        match err {
+            CoreError::CorruptPayload {
+                node, iteration, ..
+            } => {
+                assert_eq!(node, "datacenter[0]→frontend[2]");
+                assert_eq!(iteration, 7);
+            }
+            other => panic!("expected CorruptPayload, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unverified_nan_delivery_fails_fast_with_the_link_named() {
+        let msg = Message::LambdaTilde {
+            frontend: 1,
+            datacenter: 2,
+            value: 0.5,
+        };
+        let cfg = CorruptionConfig::new(0.999, 5).with_kind(CorruptionKind::NanSubstitution);
+        let mut state = IntegrityState::new(Some(&cfg), false);
+        let err = loop {
+            match state.transmit(&msg, 4) {
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        match err {
+            CoreError::Divergence {
+                iteration,
+                node,
+                context,
+                ..
+            } => {
+                assert_eq!(iteration, 4);
+                assert_eq!(node.as_deref(), Some("datacenter[2]"));
+                assert!(context.contains("frontend[1]→datacenter[2]"), "{context}");
+            }
+            other => panic!("expected Divergence, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unverified_finite_corruption_is_delivered_and_counted() {
+        let msg = Message::LambdaTilde {
+            frontend: 0,
+            datacenter: 0,
+            value: 1.5,
+        };
+        let cfg = CorruptionConfig::new(0.999, 11).with_kind(CorruptionKind::SignFlip);
+        let mut state = IntegrityState::new(Some(&cfg), false);
+        let (delivered, attempts) = state.transmit(&msg, 1).unwrap();
+        assert_eq!(delivered, Some(-1.5), "sign flip must be delivered");
+        assert_eq!(attempts, 1, "no retransmits without verification");
+        assert_eq!(state.counters.corruptions_delivered, 1);
+        assert_eq!(state.last_corrupted.as_deref(), Some("datacenter[0]"));
+    }
+
+    #[test]
+    fn corruption_process_is_deterministic_given_seed() {
+        let msg = Message::ATilde {
+            frontend: 1,
+            datacenter: 1,
+            value: 0.25,
+        };
+        let cfg = CorruptionConfig::new(0.3, 77);
+        let mut a = IntegrityState::new(Some(&cfg), true);
+        let mut b = IntegrityState::new(Some(&cfg), true);
+        for _ in 0..500 {
+            assert_eq!(a.transmit(&msg, 1).unwrap(), b.transmit(&msg, 1).unwrap());
+        }
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn inactive_integrity_state_is_a_no_op() {
+        let mut state = IntegrityState::new(None, false);
+        assert!(!state.active());
+        let msg = Message::LambdaTilde {
+            frontend: 0,
+            datacenter: 0,
+            value: 2.0,
+        };
+        assert_eq!(state.transmit(&msg, 1).unwrap(), (None, 1));
+        assert!(state.counters.is_zero());
+        assert!(IntegrityState::new(None, true).active());
     }
 }

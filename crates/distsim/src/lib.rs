@@ -40,6 +40,15 @@
 //! run is reproducible and testable; accounting lands in a [`FaultReport`]
 //! attached to the [`DistRunReport`].
 //!
+//! Orthogonally to crash faults, a seeded [`CorruptionConfig`] poisons
+//! data payloads in flight (bit-flips, sign flips, NaN substitution,
+//! magnitude scaling). With `AdmgSettings::verify_checksums` on, payloads
+//! travel in CRC32-framed [`message`]s, corrupt copies are detected on
+//! receive and retransmitted (bounded), and the run converges to the clean
+//! answer; with verification off, delivered poison is caught by the
+//! driver's divergence gate as a typed error — never a panic or a silently
+//! wrong UFC.
+//!
 //! # Example
 //!
 //! ```
@@ -68,11 +77,12 @@ pub mod fault;
 pub mod loss;
 pub mod message;
 pub mod node;
+mod rng;
 mod runtime;
 pub mod snapshot;
 pub mod stats;
 mod supervision;
 
-pub use fault::{FaultPlan, FaultReport, NodeId};
+pub use fault::{CorruptionConfig, CorruptionKind, FaultPlan, FaultReport, NodeId};
 pub use runtime::{DistRunReport, DistributedAdmg, Runtime};
 pub use snapshot::{CheckpointStore, DatacenterSnapshot, FrontendSnapshot};

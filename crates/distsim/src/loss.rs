@@ -53,12 +53,13 @@ impl LossConfig {
 /// A lossy channel with retransmission: every send reports how many
 /// attempts it took (geometric with success probability `1 − p`).
 ///
-/// Uses an embedded SplitMix64 generator — deterministic given the seed and
-/// free of external dependencies (this is accounting noise, not statistics).
+/// Uses the crate's shared SplitMix64 generator — deterministic given the
+/// seed and free of external dependencies (this is accounting noise, not
+/// statistics).
 #[derive(Debug, Clone)]
 pub struct LossyChannel {
     probability: f64,
-    state: u64,
+    rng: crate::rng::SplitMix64,
     /// Total failed attempts observed so far.
     pub retransmissions: usize,
 }
@@ -69,28 +70,15 @@ impl LossyChannel {
     pub fn new(config: LossConfig) -> Self {
         LossyChannel {
             probability: config.probability,
-            state: config.seed ^ 0x9e37_79b9_7f4a_7c15,
+            rng: crate::rng::SplitMix64::new(config.seed),
             retransmissions: 0,
         }
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        // SplitMix64 (Steele et al.) — tiny, well-distributed, seedable.
-        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    fn uniform(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Sends one message; returns the number of attempts (≥ 1) it took.
     pub fn send(&mut self) -> usize {
         let mut attempts = 1;
-        while self.uniform() < self.probability {
+        while self.rng.uniform() < self.probability {
             attempts += 1;
             self.retransmissions += 1;
         }

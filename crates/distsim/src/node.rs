@@ -22,6 +22,18 @@ use ufc_opt::{ActiveSetQp, Fista, QuadObjective};
 
 use crate::snapshot::{DatacenterSnapshot, FrontendSnapshot};
 
+/// NaN-sticky maximum: identical to [`f64::max`] for finite inputs, but a
+/// NaN *poisons* the fold instead of vanishing (`f64::max` returns the
+/// other operand when one side is NaN, which would hide a poisoned iterate
+/// from the residual reduction and the divergence gate).
+pub(crate) fn nan_max(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        f64::NAN
+    } else {
+        a.max(b)
+    }
+}
+
 /// Residual contributions a node reports to the coordinator each iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct NodeResiduals {
@@ -36,7 +48,7 @@ pub struct NodeResiduals {
 
 impl NodeResiduals {
     fn track(&mut self, delta: f64) {
-        self.movement = self.movement.max(delta.abs());
+        self.movement = nan_max(self.movement, delta.abs());
     }
 }
 
@@ -304,7 +316,7 @@ impl FrontendNode {
             res.track(da);
             // λ is taken from the prediction.
             self.lambda[j] = self.lambda_tilde[j];
-            res.link = res.link.max((self.lambda[j] - self.a[j]).abs());
+            res.link = nan_max(res.link, (self.lambda[j] - self.a[j]).abs());
         }
         res
     }
@@ -545,7 +557,7 @@ impl DatacenterNode {
             self.a[i] += da;
             delta_a_load += da;
             res.track(da);
-            res.link = res.link.max((lambda_tilde[i] - self.a[i]).abs());
+            res.link = nan_max(res.link, (lambda_tilde[i] - self.a[i]).abs());
         }
         let mut delta_nu = 0.0;
         if self.active_nu {
@@ -719,6 +731,30 @@ mod tests {
         assert_eq!(s1.a_tilde, s2.a_tilde);
         assert_eq!(dc.mu().to_bits(), dc2.mu().to_bits());
         assert_eq!(dc.nu().to_bits(), dc2.nu().to_bits());
+    }
+
+    #[test]
+    fn residual_folds_are_nan_sticky() {
+        // `f64::max` silently drops NaN operands; the residual folds must
+        // not, or a poisoned iterate becomes invisible to the stop rule.
+        assert!(nan_max(1.0, f64::NAN).is_nan());
+        assert!(nan_max(f64::NAN, 1.0).is_nan());
+        assert_eq!(nan_max(1.0, 2.0), 2.0);
+        let mut res = NodeResiduals {
+            movement: 0.5,
+            ..NodeResiduals::default()
+        };
+        res.track(f64::NAN);
+        assert!(res.movement.is_nan(), "NaN movement must poison the fold");
+
+        let inst = tiny();
+        let mut fe = FrontendNode::new(&inst, 0, &AdmgSettings::default());
+        fe.predict_lambda();
+        let res = fe.receive_a_and_correct(&[f64::NAN, 0.0]);
+        assert!(
+            res.link.is_nan() || res.movement.is_nan(),
+            "a NaN ã must surface in the residuals: {res:?}"
+        );
     }
 
     #[test]

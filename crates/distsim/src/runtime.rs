@@ -11,13 +11,13 @@
 //! [`FaultPlan::none`] degenerate case of the same engines.
 
 use ufc_core::engine::IterationObserver;
-use ufc_core::telemetry::RunTelemetry;
+use ufc_core::telemetry::{IntegrityCounters, RunTelemetry};
 use ufc_core::{AdmgSettings, CoreError, Strategy};
 use ufc_model::{OperatingPoint, UfcBreakdown, UfcInstance};
 
 use crate::engine_lockstep::run_lockstep;
 use crate::engine_threaded::run_supervised;
-use crate::fault::{FaultPlan, FaultReport};
+use crate::fault::{CorruptionConfig, FaultPlan, FaultReport};
 use crate::loss::LossConfig;
 use crate::stats::MessageStats;
 
@@ -56,6 +56,10 @@ pub struct DistRunReport {
     /// Fault accounting — `Some` for runs driven by a non-trivial
     /// [`FaultPlan`] (see [`DistributedAdmg::run_faulty`]).
     pub fault: Option<FaultReport>,
+    /// Payload-integrity accounting — `Some` when the run injected
+    /// corruption or verified checksums (see
+    /// [`DistributedAdmg::run_corrupt`]).
+    pub integrity: Option<IntegrityCounters>,
     /// Run telemetry (phase timings plus solver/traffic/fault counters),
     /// present iff [`AdmgSettings::telemetry`] was enabled. Strictly
     /// observational: the iterate stream is bit-identical whether or not
@@ -179,6 +183,93 @@ impl DistributedAdmg {
             &mut (),
         )?;
         report.fault = None;
+        Ok(report)
+    }
+
+    /// Runs the protocol under seeded link-level payload corruption (see
+    /// [`crate::fault::CorruptionConfig`]). With
+    /// [`AdmgSettings::verify_checksums`] on, every data payload travels in
+    /// a CRC32-checksummed frame: a corrupted copy is detected on receive
+    /// and retransmitted (bounded by the config's budget), so the iterate
+    /// stream — and the solution — match a clean run exactly. With
+    /// verification off, corrupted payloads are *delivered*; the driver's
+    /// divergence gate is then the only line of defense, and the run may
+    /// fail with a typed error instead of converging. When
+    /// [`AdmgSettings::divergence_rollback`] is on, periodic checkpoints
+    /// are taken so a tripped gate can restore the last finite state
+    /// instead of failing.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DistributedAdmg::run`], plus
+    /// [`CoreError::CorruptPayload`] when the retransmit budget is
+    /// exhausted and [`CoreError::Divergence`] when an undetected
+    /// corruption poisons the iterate stream.
+    pub fn run_corrupt(
+        &self,
+        instance: &UfcInstance,
+        strategy: Strategy,
+        runtime: Runtime,
+        corruption: CorruptionConfig,
+    ) -> Result<DistRunReport, CoreError> {
+        self.run_corrupt_observed(instance, strategy, runtime, corruption, &mut ())
+    }
+
+    /// Like [`DistributedAdmg::run_corrupt`], streaming events to a
+    /// caller-supplied observer.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DistributedAdmg::run_corrupt`].
+    pub fn run_corrupt_observed(
+        &self,
+        instance: &UfcInstance,
+        strategy: Strategy,
+        runtime: Runtime,
+        corruption: CorruptionConfig,
+        observer: &mut dyn IterationObserver,
+    ) -> Result<DistRunReport, CoreError> {
+        let (active_mu, active_nu) = strategy.block_activation(instance)?;
+        let mut plan = FaultPlan::none().with_corruption(corruption);
+        if self.settings.divergence_rollback {
+            // Rollback needs something to roll back to: checkpoint every
+            // few iterations so a tripped gate finds a recent finite state.
+            plan.checkpoint_interval = 4;
+        }
+        let mut report = match runtime {
+            Runtime::Lockstep => {
+                let mut report = run_lockstep(
+                    &self.settings,
+                    instance,
+                    active_mu,
+                    active_nu,
+                    plan,
+                    None,
+                    observer,
+                )?;
+                // Corruption is link-level, not a node-fault scenario: the
+                // fault report only stays when checkpointing actually ran.
+                if report
+                    .fault
+                    .as_ref()
+                    .is_some_and(|f| f.checkpoints_taken == 0)
+                {
+                    report.fault = None;
+                }
+                report
+            }
+            Runtime::Threaded => run_supervised(
+                &self.settings,
+                instance,
+                active_mu,
+                active_nu,
+                plan,
+                observer,
+            )?,
+        };
+        if let Some(fault) = report.fault.as_mut() {
+            fault.ufc_delta_vs_clean = 0.0;
+        }
         Ok(report)
     }
 

@@ -77,6 +77,18 @@ impl FrontendSnapshot {
         }
         Ok(snap)
     }
+
+    /// Whether every stored value is finite — a poisoned snapshot is no
+    /// rollback target.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.lambda
+            .iter()
+            .chain(&self.lambda_tilde)
+            .chain(&self.a)
+            .chain(&self.varphi)
+            .all(|v| v.is_finite())
+    }
 }
 
 /// A datacenter's iterate slice: `μ_j`, `ν_j`, the balance dual `φ_j`, and
@@ -130,6 +142,17 @@ impl DatacenterSnapshot {
             return Err(CoreError::checkpoint("datacenter block lengths disagree"));
         }
         Ok(snap)
+    }
+
+    /// Whether every stored value is finite — a poisoned snapshot is no
+    /// rollback target.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        [self.mu, self.nu, self.phi]
+            .iter()
+            .chain(&self.a)
+            .chain(&self.varphi)
+            .all(|v| v.is_finite())
     }
 }
 

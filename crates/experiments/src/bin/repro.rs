@@ -18,11 +18,14 @@
 //!   baseline   extension: ADM-G vs dual-subgradient iteration counts
 //!   forecast   extension: UFC regret when acting on forecasted arrivals
 //!   faults     extension: crash/straggler injection and degraded-mode cost
+//!   chaos      extension: corruption-rate sweep of the checksummed wire
+//!              codec and divergence safeguards, both distributed engines;
+//!              `--quick` shrinks the sweep for CI smoke runs
 //!   wsweep     extension: latency-weight (w) Pareto sweep
 //!   bench      solver hot-path wall-clock (writes BENCH_solver.json);
 //!              `--quick` shrinks the workload for CI smoke runs
 //!   trace      run-telemetry JSONL trace of one instrumented solve;
-//!              `--engine inprocess|lockstep|threaded|faulty` picks the
+//!              `--engine inprocess|lockstep|threaded|faulty|corrupt` picks the
 //!              execution engine, `--check` validates the emitted JSON and
 //!              counter invariants
 //!   verify     self-test: centralized / in-memory / distributed agreement
@@ -154,6 +157,10 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     if opts.command == "faults" {
         matched = true;
         run_faults(opts, settings)?;
+    }
+    if opts.command == "chaos" {
+        matched = true;
+        run_chaos(opts, settings)?;
     }
     if opts.command == "wsweep" {
         matched = true;
@@ -531,6 +538,65 @@ fn run_faults(opts: &Options, settings: AdmgSettings) -> Result<(), Box<dyn std:
     Ok(())
 }
 
+fn run_chaos(opts: &Options, settings: AdmgSettings) -> Result<(), Box<dyn std::error::Error>> {
+    use ufc_experiments::chaos;
+    let (hours, rates): (usize, &[f64]) = if opts.quick {
+        (2, &[0.0, 1e-3])
+    } else {
+        (opts.hours.min(24), &chaos::CORRUPTION_RATES)
+    };
+    let study = chaos::run_rates(opts.seed, hours, settings, rates)?;
+    println!("== Extension: corruption chaos sweep ({hours} hours per cell) ==");
+    let rows: Vec<Vec<String>> = study
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0e}", p.rate),
+                format!("{:?}", p.runtime).to_lowercase(),
+                if p.verified { "on" } else { "off" }.to_owned(),
+                format!(
+                    "{}/{}/{}",
+                    p.hours_converged, p.hours_diverged, p.hours_exhausted
+                ),
+                p.corruptions_injected.to_string(),
+                p.corruptions_detected.to_string(),
+                p.corruptions_delivered.to_string(),
+                p.retransmissions.to_string(),
+                pct(p.mean_extra_bytes),
+                pct(p.max_abs_ufc_delta),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &[
+                "rate",
+                "engine",
+                "crc",
+                "ok/div/exh",
+                "injected",
+                "detected",
+                "delivered",
+                "resends",
+                "extra bytes",
+                "max |UFC delta|"
+            ],
+            &rows
+        )
+    );
+    if !study.verified_cells_clean() {
+        return Err("checksummed runs failed to reproduce the clean operating point".into());
+    }
+    println!("checksummed runs reproduced the clean operating point in every cell\n");
+    if let Some(dir) = &opts.csv_dir {
+        write_csv(dir, "chaos_sweep", &study.csv())?;
+        println!("(csv written to {})", dir.display());
+    }
+    Ok(())
+}
+
 fn run_wsweep(opts: &Options, settings: AdmgSettings) -> Result<(), Box<dyn std::error::Error>> {
     let hours = opts.hours.min(48);
     let weights = [0.5, 2.0, 5.0, 10.0, 25.0, 60.0, 150.0];
@@ -602,7 +668,7 @@ fn run_trace(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
 
     let engine = trace::TraceEngine::parse(&opts.engine).ok_or_else(|| {
         format!(
-            "unknown --engine {:?} (expected inprocess|lockstep|threaded|faulty)",
+            "unknown --engine {:?} (expected inprocess|lockstep|threaded|faulty|corrupt)",
             opts.engine
         )
     })?;

@@ -1,0 +1,290 @@
+//! Chaos study: link-level payload corruption vs the protocol's defenses.
+//!
+//! Geo-distributed WAN links do not just drop packets — they occasionally
+//! deliver *wrong bytes* (bit rot, faulty NICs, middlebox bugs). This
+//! extension sweeps seeded corruption rates over both distributed engines
+//! in two postures: **verified** (CRC32-framed payloads, corrupt copies
+//! detected on receive and retransmitted — the run must reach the clean
+//! operating point bit-for-bit) and **unverified** (poison is delivered
+//! and the driver's divergence gate is the only line of defense — runs
+//! end converged, typed-diverged, or typed-exhausted, never panicked and
+//! never silently wrong without the integrity counters saying so).
+
+use ufc_core::{AdmgSettings, CoreError, Result, Strategy};
+use ufc_distsim::{CorruptionConfig, DistributedAdmg, Runtime};
+use ufc_model::scenario::ScenarioBuilder;
+use ufc_traces::csv::Csv;
+
+use crate::parallel::{default_threads, par_map};
+
+/// Per-payload corruption probabilities swept by the study.
+pub const CORRUPTION_RATES: [f64; 4] = [0.0, 1e-4, 1e-3, 1e-2];
+
+/// Aggregate over all hours for one (rate, engine, posture) cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPoint {
+    /// Per-payload corruption probability.
+    pub rate: f64,
+    /// Execution engine the cell ran on.
+    pub runtime: Runtime,
+    /// Whether receivers verified CRC32 checksums.
+    pub verified: bool,
+    /// Hours attempted.
+    pub hours_attempted: usize,
+    /// Hours that converged.
+    pub hours_converged: usize,
+    /// Hours ended by the divergence gate (typed `Divergence`).
+    pub hours_diverged: usize,
+    /// Hours ended by retransmit-budget exhaustion (typed
+    /// `CorruptPayload`).
+    pub hours_exhausted: usize,
+    /// Payloads corrupted on the wire.
+    pub corruptions_injected: u64,
+    /// Corruptions caught by verify-on-receive.
+    pub corruptions_detected: u64,
+    /// Corruptions delivered into the iterate stream (unverified only).
+    pub corruptions_delivered: u64,
+    /// Checksum-triggered retransmissions.
+    pub retransmissions: u64,
+    /// Mean wire-byte overhead vs the clean run, over converged hours
+    /// (fraction; the checksum trailer plus resent frames).
+    pub mean_extra_bytes: f64,
+    /// Worst relative |UFC delta| vs the clean run over converged hours —
+    /// must be 0 when `verified`.
+    pub max_abs_ufc_delta: f64,
+}
+
+/// The full study result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosStudy {
+    /// One aggregate per (rate, engine, posture) cell.
+    pub points: Vec<ChaosPoint>,
+}
+
+/// One hour's outcome (internal).
+enum HourOutcome {
+    Converged {
+        integrity: ufc_core::telemetry::IntegrityCounters,
+        extra_bytes: f64,
+        rel_delta: f64,
+    },
+    Diverged,
+    Exhausted,
+}
+
+/// Runs the sweep over `hours` hourly instances for every
+/// [`CORRUPTION_RATES`] entry × engine × checksum posture. Typed
+/// corruption/divergence failures end only their own hour and are
+/// tallied; anything else propagates.
+///
+/// # Errors
+///
+/// Scenario construction or clean-run solver failures.
+pub fn run(seed: u64, hours: usize, settings: AdmgSettings) -> Result<ChaosStudy> {
+    run_rates(seed, hours, settings, &CORRUPTION_RATES)
+}
+
+/// [`run`] with a caller-chosen rate list (the `--quick` CI smoke uses a
+/// shorter one).
+///
+/// # Errors
+///
+/// As for [`run`].
+pub fn run_rates(
+    seed: u64,
+    hours: usize,
+    settings: AdmgSettings,
+    rates: &[f64],
+) -> Result<ChaosStudy> {
+    let scenario = ScenarioBuilder::paper_default()
+        .seed(seed)
+        .hours(hours)
+        .build()
+        .map_err(CoreError::Model)?;
+    let hour_ids: Vec<usize> = (0..scenario.instances.len()).collect();
+
+    // Clean per-hour baselines: the operating point every verified run
+    // must reproduce and the byte count the overhead is measured against.
+    let clean_runner = DistributedAdmg::try_new(settings)?;
+    let baselines = par_map(&hour_ids, default_threads(), |_, &t| {
+        clean_runner
+            .run(&scenario.instances[t], Strategy::Hybrid, Runtime::Lockstep)
+            .map(|r| (r.breakdown.ufc(), r.stats.total_bytes))
+    });
+    let baselines: Vec<(f64, usize)> = baselines.into_iter().collect::<Result<_>>()?;
+
+    let mut points = Vec::new();
+    for (r, &rate) in rates.iter().enumerate() {
+        for runtime in [Runtime::Lockstep, Runtime::Threaded] {
+            for verified in [true, false] {
+                let runner = DistributedAdmg::try_new(settings.with_checksums(verified))?;
+                let outcomes = par_map(&hour_ids, default_threads(), |_, &t| {
+                    let inst = &scenario.instances[t];
+                    // One independent, reproducible stream per (rate, hour).
+                    let cfg_seed = seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add((r * hours + t) as u64);
+                    let cfg = CorruptionConfig::try_new(rate, cfg_seed)?;
+                    match runner.run_corrupt(inst, Strategy::Hybrid, runtime, cfg) {
+                        Ok(report) => {
+                            let (clean_ufc, clean_bytes) = baselines[t];
+                            let delta = report.breakdown.ufc() - clean_ufc;
+                            Ok(HourOutcome::Converged {
+                                integrity: report.integrity.unwrap_or_default(),
+                                extra_bytes: (report.stats.total_bytes as f64 - clean_bytes as f64)
+                                    / clean_bytes as f64,
+                                rel_delta: delta.abs() / clean_ufc.abs().max(1.0),
+                            })
+                        }
+                        Err(CoreError::Divergence { .. }) => Ok(HourOutcome::Diverged),
+                        Err(CoreError::CorruptPayload { .. }) => Ok(HourOutcome::Exhausted),
+                        Err(e) => Err(e),
+                    }
+                });
+
+                let mut point = ChaosPoint {
+                    rate,
+                    runtime,
+                    verified,
+                    hours_attempted: hour_ids.len(),
+                    hours_converged: 0,
+                    hours_diverged: 0,
+                    hours_exhausted: 0,
+                    corruptions_injected: 0,
+                    corruptions_detected: 0,
+                    corruptions_delivered: 0,
+                    retransmissions: 0,
+                    mean_extra_bytes: 0.0,
+                    max_abs_ufc_delta: 0.0,
+                };
+                let mut extra_sum = 0.0;
+                for outcome in outcomes {
+                    match outcome? {
+                        HourOutcome::Converged {
+                            integrity,
+                            extra_bytes,
+                            rel_delta,
+                        } => {
+                            point.hours_converged += 1;
+                            point.corruptions_injected += integrity.corruptions_injected;
+                            point.corruptions_detected += integrity.corruptions_detected;
+                            point.corruptions_delivered += integrity.corruptions_delivered;
+                            point.retransmissions += integrity.checksum_retransmissions;
+                            extra_sum += extra_bytes;
+                            point.max_abs_ufc_delta = point.max_abs_ufc_delta.max(rel_delta);
+                        }
+                        HourOutcome::Diverged => point.hours_diverged += 1,
+                        HourOutcome::Exhausted => point.hours_exhausted += 1,
+                    }
+                }
+                point.mean_extra_bytes = extra_sum / point.hours_converged.max(1) as f64;
+                points.push(point);
+            }
+        }
+    }
+    Ok(ChaosStudy { points })
+}
+
+impl ChaosStudy {
+    /// `true` when every verified cell converged every hour onto the
+    /// clean operating point — the codec's headline guarantee.
+    #[must_use]
+    pub fn verified_cells_clean(&self) -> bool {
+        self.points
+            .iter()
+            .filter(|p| p.verified)
+            .all(|p| p.hours_converged == p.hours_attempted && p.max_abs_ufc_delta == 0.0)
+    }
+
+    /// CSV with one row per (rate, engine, posture) cell; the engine
+    /// column is 0 for lockstep, 1 for threaded.
+    #[must_use]
+    pub fn csv(&self) -> Csv {
+        let mut csv = Csv::new(&[
+            "corruption_rate",
+            "engine",
+            "verified",
+            "hours_converged",
+            "hours_diverged",
+            "hours_exhausted",
+            "corruptions_injected",
+            "corruptions_detected",
+            "corruptions_delivered",
+            "retransmissions",
+            "mean_extra_bytes_pct",
+            "max_abs_ufc_delta_pct",
+        ]);
+        for p in &self.points {
+            csv.push_row(&[
+                p.rate,
+                f64::from(u8::from(p.runtime == Runtime::Threaded)),
+                f64::from(u8::from(p.verified)),
+                p.hours_converged as f64,
+                p.hours_diverged as f64,
+                p.hours_exhausted as f64,
+                p.corruptions_injected as f64,
+                p.corruptions_detected as f64,
+                p.corruptions_delivered as f64,
+                p.retransmissions as f64,
+                100.0 * p.mean_extra_bytes,
+                100.0 * p.max_abs_ufc_delta,
+            ]);
+        }
+        csv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verified_runs_reach_the_clean_point_and_unverified_poison_is_typed() {
+        let study = run_rates(
+            crate::DEFAULT_SEED,
+            2,
+            AdmgSettings::default(),
+            &[0.0, 1e-3],
+        )
+        .unwrap();
+        // 2 rates × 2 engines × 2 postures.
+        assert_eq!(study.points.len(), 8);
+        assert!(study.verified_cells_clean());
+
+        for p in &study.points {
+            assert_eq!(
+                p.hours_converged + p.hours_diverged + p.hours_exhausted,
+                p.hours_attempted,
+                "every hour ends in exactly one tallied state"
+            );
+            if p.rate == 0.0 {
+                assert_eq!(p.hours_converged, p.hours_attempted);
+                assert_eq!(p.corruptions_injected, 0);
+                assert_eq!(p.max_abs_ufc_delta, 0.0);
+            }
+            if p.verified {
+                assert_eq!(p.corruptions_delivered, 0);
+                if p.rate > 0.0 {
+                    assert!(p.corruptions_injected > 0, "rate 1e-3 must strike");
+                    assert!(p.mean_extra_bytes > 0.0, "checksums cost bytes");
+                }
+            } else if p.rate > 0.0 {
+                // Unverified poison was delivered or ended the hour with a
+                // typed error; either way it is visible, never silent.
+                assert!(
+                    p.corruptions_delivered > 0 || p.hours_diverged + p.hours_exhausted > 0,
+                    "delivered poison must be accounted"
+                );
+            }
+        }
+
+        // Both engines agree cell for cell.
+        for pair in study.points.chunks(4) {
+            let (lock_v, lock_u, thr_v, thr_u) = (pair[0], pair[1], pair[2], pair[3]);
+            assert_eq!(lock_v.hours_converged, thr_v.hours_converged);
+            assert_eq!(lock_v.corruptions_injected, thr_v.corruptions_injected);
+            assert_eq!(lock_u.hours_diverged, thr_u.hours_diverged);
+            assert_eq!(lock_u.corruptions_delivered, thr_u.corruptions_delivered);
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //! | Fig.-11 remark (gradient baselines) | [`baseline`] | `baseline` |
 //! | §II-A predictability assumption | [`robustness`] | `forecast` |
 //! | §III failure-free assumption | [`faults`] | `faults` |
+//! | §III clean-channel assumption | [`chaos`] | `chaos` |
 //! | solver hot-path wall-clock | [`solver_bench`] | `bench` |
 //! | run-telemetry JSONL trace | [`trace`] | `trace` |
 //!
@@ -27,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod chaos;
 pub mod convergence;
 pub mod faults;
 pub mod fig3;

@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use ufc_core::telemetry::RunTelemetry;
 use ufc_core::{AdmgSettings, AdmgSolver, JsonlSink, Phase, Strategy};
-use ufc_distsim::{DistributedAdmg, FaultPlan, NodeId, Runtime};
+use ufc_distsim::{CorruptionConfig, DistributedAdmg, FaultPlan, NodeId, Runtime};
 use ufc_model::scenario::ScenarioBuilder;
 
 /// Which execution engine the trace drives.
@@ -29,6 +29,9 @@ pub enum TraceEngine {
     /// The lockstep engine under a scripted [`FaultPlan`] (solver +
     /// traffic + fault counters).
     Faulty,
+    /// The lockstep engine under seeded payload corruption with CRC32
+    /// verification on (solver + traffic + integrity counters).
+    Corrupt,
 }
 
 impl TraceEngine {
@@ -40,6 +43,7 @@ impl TraceEngine {
             "lockstep" => Some(TraceEngine::Lockstep),
             "threaded" => Some(TraceEngine::Threaded),
             "faulty" => Some(TraceEngine::Faulty),
+            "corrupt" => Some(TraceEngine::Corrupt),
             _ => None,
         }
     }
@@ -52,6 +56,7 @@ impl TraceEngine {
             TraceEngine::Lockstep => "lockstep",
             TraceEngine::Threaded => "threaded",
             TraceEngine::Faulty => "faulty",
+            TraceEngine::Corrupt => "corrupt",
         }
     }
 }
@@ -131,6 +136,18 @@ pub fn run(
                 Strategy::Hybrid,
                 Runtime::Lockstep,
                 trace_fault_plan(),
+                &mut sink,
+            )?;
+            (report.iterations, report.converged, report.telemetry)
+        }
+        TraceEngine::Corrupt => {
+            // Rate 0.02 over tens of thousands of payloads: every seed
+            // sees strikes, and every strike is caught by the checksum.
+            let report = DistributedAdmg::new(settings.with_checksums(true)).run_corrupt_observed(
+                instance,
+                Strategy::Hybrid,
+                Runtime::Lockstep,
+                CorruptionConfig::new(0.02, seed),
                 &mut sink,
             )?;
             (report.iterations, report.converged, report.telemetry)
@@ -223,6 +240,20 @@ pub fn check(out: &TraceOutput) -> Result<(), String> {
         }
     } else if t.fault.is_some() {
         return Err("clean run reported fault counters".to_owned());
+    }
+    if out.engine == TraceEngine::Corrupt {
+        let integrity = t.integrity.ok_or("corrupt run lost integrity counters")?;
+        if integrity.corruptions_injected == 0 {
+            return Err("no corruption was injected".to_owned());
+        }
+        if integrity.corruptions_delivered != 0 {
+            return Err("a verified link delivered corrupt bytes".to_owned());
+        }
+        if integrity.checksum_retransmissions != integrity.corruptions_detected {
+            return Err("every detection must trigger exactly one retransmit".to_owned());
+        }
+    } else if t.integrity.is_some() {
+        return Err("uncorrupted run reported integrity counters".to_owned());
     }
     Ok(())
 }
@@ -463,6 +494,7 @@ mod tests {
             TraceEngine::Lockstep,
             TraceEngine::Threaded,
             TraceEngine::Faulty,
+            TraceEngine::Corrupt,
         ] {
             assert_eq!(TraceEngine::parse(engine.name()), Some(engine));
         }
@@ -480,6 +512,20 @@ mod tests {
             .expect("summary")
             .contains("\"type\":\"summary\""));
         assert!(out.lines[0].contains("\"type\":\"iteration\""));
+    }
+
+    #[test]
+    fn corrupt_trace_moves_the_integrity_group() {
+        let out = run(7, 1, TraceEngine::Corrupt).expect("trace runs");
+        assert!(out.converged);
+        check(&out).expect("trace invariants hold");
+        let integrity = out.telemetry.integrity.expect("integrity counters");
+        assert!(integrity.corruptions_injected > 0);
+        assert!(out
+            .lines
+            .last()
+            .expect("summary")
+            .contains("\"integrity\":{"));
     }
 
     #[test]

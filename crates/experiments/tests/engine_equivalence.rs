@@ -6,7 +6,7 @@
 //! same block kernels.
 
 use ufc_core::{AdmgSettings, AdmgSolver, Strategy};
-use ufc_distsim::{DistRunReport, DistributedAdmg, FaultPlan, Runtime};
+use ufc_distsim::{CorruptionConfig, DistRunReport, DistributedAdmg, FaultPlan, Runtime};
 use ufc_experiments::solver_bench::admg_scaling;
 use ufc_experiments::DEFAULT_SEED;
 use ufc_model::{UfcBreakdown, UfcInstance};
@@ -124,6 +124,37 @@ fn sweep_engines(num_threads: usize) {
         assert_eq!(
             lockstep.stats, faulty.stats,
             "a trivial fault plan must add no traffic ({runtime:?})"
+        );
+    }
+
+    // Rate-0 corruption with checksums off must be indistinguishable from
+    // a plain run: same iterates, same traffic, same wall-clock estimate.
+    // This pins the "off by default costs nothing" contract of the codec.
+    for runtime in [Runtime::Lockstep, Runtime::Threaded] {
+        let corrupt = runner
+            .run_corrupt(
+                instance,
+                Strategy::Hybrid,
+                runtime,
+                CorruptionConfig::new(0.0, DEFAULT_SEED),
+            )
+            .expect("rate-0 corrupt run must succeed");
+        assert_report_matches(&reference, &corrupt, "rate-0 corruption");
+        assert_eq!(
+            lockstep.stats, corrupt.stats,
+            "rate-0 corruption without checksums must add no traffic ({runtime:?})"
+        );
+        assert_eq!(
+            lockstep.estimated_wan_seconds.to_bits(),
+            corrupt.estimated_wan_seconds.to_bits(),
+            "rate-0 corruption must not perturb the WAN-time estimate ({runtime:?})"
+        );
+        let integrity = corrupt
+            .integrity
+            .expect("an armed corruption channel reports integrity counters");
+        assert!(
+            integrity.is_zero(),
+            "a rate-0 channel must count nothing ({runtime:?}): {integrity:?}"
         );
     }
 }

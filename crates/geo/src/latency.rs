@@ -31,10 +31,13 @@ impl LatencyModel {
     ///
     /// # Panics
     ///
-    /// Panics if `ms_per_km <= 0`.
+    /// Panics if `ms_per_km` is not a finite positive number.
     #[must_use]
     pub fn new(ms_per_km: f64) -> Self {
-        assert!(ms_per_km > 0.0, "latency slope must be positive");
+        assert!(
+            ms_per_km.is_finite() && ms_per_km > 0.0,
+            "latency slope must be finite and positive, got {ms_per_km}"
+        );
         LatencyModel { ms_per_km }
     }
 
@@ -48,10 +51,14 @@ impl LatencyModel {
     ///
     /// # Panics
     ///
-    /// Panics if `distance_km < 0`.
+    /// Panics if `distance_km` is negative or not finite (a NaN distance
+    /// would otherwise poison the latency matrix silently).
     #[must_use]
     pub fn latency_seconds(&self, distance_km: f64) -> f64 {
-        assert!(distance_km >= 0.0, "distance must be nonnegative");
+        assert!(
+            distance_km.is_finite() && distance_km >= 0.0,
+            "distance must be finite and nonnegative, got {distance_km}"
+        );
         self.ms_per_km * distance_km * 1e-3
     }
 }
@@ -88,5 +95,17 @@ mod tests {
     #[should_panic(expected = "nonnegative")]
     fn rejects_negative_distance() {
         let _ = LatencyModel::default().latency_seconds(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_distance() {
+        let _ = LatencyModel::default().latency_seconds(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_non_finite_slope() {
+        let _ = LatencyModel::new(f64::INFINITY);
     }
 }

@@ -95,6 +95,34 @@ impl UfcInstance {
         if latency_s.len() != m || latency_s.iter().any(|row| row.len() != n) {
             return Err(ModelError::dim(format!("latency matrix must be {m}x{n}")));
         }
+        // Finiteness first: a NaN compares false against every range
+        // check below and would otherwise slip straight into the solver,
+        // where it can only surface as a divergence-gate trip.
+        for (name, v) in [
+            ("arrivals", &arrivals),
+            ("capacities", &capacities),
+            ("alpha", &alpha),
+            ("beta", &beta),
+            ("mu_max", &mu_max),
+            ("grid_price", &grid_price),
+            ("carbon rates", &carbon_t_per_mwh),
+        ] {
+            if v.iter().any(|x| !x.is_finite()) {
+                return Err(ModelError::param(format!("{name} must be finite")));
+            }
+        }
+        if latency_s.iter().flatten().any(|v| !v.is_finite()) {
+            return Err(ModelError::param("latencies must be finite"));
+        }
+        for (name, v) in [
+            ("fuel-cell price", fuel_cell_price),
+            ("latency weight", weight_per_server),
+            ("slot length", slot_hours),
+        ] {
+            if !v.is_finite() {
+                return Err(ModelError::param(format!("{name} must be finite")));
+            }
+        }
         if arrivals.iter().any(|&a| a <= 0.0) {
             return Err(ModelError::param("arrivals must be positive"));
         }
@@ -341,6 +369,41 @@ mod tests {
                 i.slot_hours,
             );
             assert!(r.is_err());
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        let i = tiny();
+        for (prices, latency, weight) in [
+            (vec![f64::NAN, 70.0], i.latency_s.clone(), 10.0),
+            (vec![f64::INFINITY, 70.0], i.latency_s.clone(), 10.0),
+            (
+                i.grid_price.clone(),
+                vec![vec![0.01, f64::NAN], vec![0.02, 0.01]],
+                10.0,
+            ),
+            (i.grid_price.clone(), i.latency_s.clone(), f64::NAN),
+        ] {
+            let r = UfcInstance::new(
+                i.arrivals.clone(),
+                i.capacities.clone(),
+                i.alpha.clone(),
+                i.beta.clone(),
+                i.mu_max.clone(),
+                prices,
+                i.fuel_cell_price,
+                i.carbon_t_per_mwh.clone(),
+                latency,
+                weight,
+                i.emission_cost.clone(),
+                i.slot_hours,
+            );
+            assert!(
+                matches!(r, Err(ModelError::InvalidParameter { ref context })
+                    if context.contains("finite")),
+                "NaN/Inf ingress must be a typed error, got {r:?}"
+            );
         }
     }
 

@@ -248,9 +248,9 @@ impl ScenarioBuilder {
                         self.hours
                     )));
                 }
-                if ext.iter().any(|&v| v <= 0.0) {
+                if ext.iter().any(|&v| !v.is_finite() || v <= 0.0) {
                     return Err(ModelError::param(
-                        "workload override must be strictly positive",
+                        "workload override must be finite and strictly positive",
                     ));
                 }
                 let peak = ext.iter().cloned().fold(0.0f64, f64::max);
@@ -285,9 +285,12 @@ impl ScenarioBuilder {
                     self.hours
                 )));
             }
-            if data.iter().flatten().any(|&v| v < 0.0) {
+            // NaN compares false against `< 0.0`, so test finiteness
+            // explicitly — external data files are exactly where NaN
+            // ingress happens.
+            if data.iter().flatten().any(|&v| !v.is_finite() || v < 0.0) {
                 return Err(ModelError::param(format!(
-                    "{name} override must be nonnegative"
+                    "{name} override must be finite and nonnegative"
                 )));
             }
             Ok(())
@@ -428,6 +431,26 @@ mod tests {
             .is_err());
         assert!(ScenarioBuilder::paper_default()
             .frontends(99)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_overrides() {
+        assert!(ScenarioBuilder::paper_default()
+            .hours(2)
+            .workload_override(vec![10.0, f64::NAN])
+            .build()
+            .is_err());
+        let n = sites::datacenter_sites().len();
+        assert!(ScenarioBuilder::paper_default()
+            .hours(1)
+            .price_override(vec![vec![f64::INFINITY]; n])
+            .build()
+            .is_err());
+        assert!(ScenarioBuilder::paper_default()
+            .hours(1)
+            .carbon_override(vec![vec![f64::NAN]; n])
             .build()
             .is_err());
     }

@@ -18,7 +18,10 @@ pub fn project_simplex(x: &[f64], s: f64) -> Vec<f64> {
     assert!(s >= 0.0, "simplex radius must be nonnegative, got {s}");
     assert!(!x.is_empty(), "cannot project an empty vector");
     let mut u = x.to_vec();
-    u.sort_by(|a, b| b.partial_cmp(a).expect("NaN in projection input"));
+    // `total_cmp` keeps the sort total even if a NaN sneaks in upstream:
+    // the projection then degrades gracefully instead of aborting the
+    // whole solve, and the driver's divergence gate flags the iterate.
+    u.sort_by(|a, b| b.total_cmp(a));
     // Find the largest k with u_k - (Σ_{i≤k} u_i - s)/k > 0.
     let mut cssv = 0.0;
     let mut rho = 0;

@@ -100,7 +100,7 @@ pub fn is_weekend(t: usize) -> bool {
 #[must_use]
 pub fn empirical_cdf(data: &[f64]) -> (Vec<f64>, Vec<f64>) {
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     let fracs = (0..n).map(|i| (i + 1) as f64 / n as f64).collect();
     (sorted, fracs)
