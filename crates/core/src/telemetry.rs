@@ -303,6 +303,12 @@ pub struct IntegrityCounters {
     pub divergence_trips: u64,
     /// Successful rollbacks to a finite checkpoint after a gate trip.
     pub rollbacks: u64,
+    /// Transport connections re-established after a drop (socket runtime:
+    /// ECONNRESET/EOF followed by a successful re-handshake).
+    pub reconnects: u64,
+    /// Nodes declared dead by the supervision deadline ladder (each then
+    /// either respawned from checkpoint or evicted).
+    pub dead_node_declarations: u64,
 }
 
 impl IntegrityCounters {
@@ -316,13 +322,16 @@ impl IntegrityCounters {
         format!(
             "{{\"corruptions_injected\":{},\"corruptions_detected\":{},\
              \"corruptions_delivered\":{},\"checksum_retransmissions\":{},\
-             \"divergence_trips\":{},\"rollbacks\":{}}}",
+             \"divergence_trips\":{},\"rollbacks\":{},\"reconnects\":{},\
+             \"dead_node_declarations\":{}}}",
             self.corruptions_injected,
             self.corruptions_detected,
             self.corruptions_delivered,
             self.checksum_retransmissions,
             self.divergence_trips,
-            self.rollbacks
+            self.rollbacks,
+            self.reconnects,
+            self.dead_node_declarations
         )
     }
 }
@@ -641,6 +650,8 @@ mod tests {
             checksum_retransmissions: 2,
             divergence_trips: 1,
             rollbacks: 1,
+            reconnects: 2,
+            dead_node_declarations: 1,
         };
         assert!(!c.is_zero());
         let t = RunTelemetry {
@@ -651,5 +662,7 @@ mod tests {
         assert!(json.contains("\"corruptions_injected\":3"));
         assert!(json.contains("\"checksum_retransmissions\":2"));
         assert!(json.contains("\"rollbacks\":1"));
+        assert!(json.contains("\"reconnects\":2"));
+        assert!(json.contains("\"dead_node_declarations\":1"));
     }
 }

@@ -1,0 +1,1223 @@
+//! The multi-process socket engine as a `Transport` for the unified ADM-G
+//! driver (`ufc_core::engine::drive`).
+//!
+//! Each worker is a real OS process (the `ufc-node` binary, running
+//! [`crate::worker::run_worker`]) connected to the coordinator over TCP on
+//! loopback. The coordinator accepts connections on a background acceptor
+//! thread, validates the `Hello` handshake (session id, process slot,
+//! incarnation), answers with the serialized run configuration, and spawns
+//! one I/O pump thread per connection that reassembles wire frames
+//! ([`crate::wire::FrameBuffer`]) and feeds decoded replies into the same
+//! mpsc channel the threaded engine's `gather_phase` ladder drains — the
+//! deadline ladder, fault tracker, checkpoint store, and replay buffer are
+//! shared with `crate::engine_threaded` verbatim.
+//!
+//! Faults here are real: a scripted crash is a `SIGKILL` delivered to the
+//! live worker process mid-iteration (`Child::kill`), a partition window
+//! tears down the affected TCP connections so the workers must
+//! reconnect-with-backoff, and liveness is `Child::try_wait` — the actual
+//! OS process table, not a thread flag. Recovery is the same
+//! checkpoint-restart protocol: the ladder declares the silent process
+//! dead, [`crate::fault::FaultTracker`] decides respawn-vs-evict, and a
+//! respawned process is rebuilt from the last verified snapshot
+//! ([`crate::wire::NodeCmd::Restore`]) plus input replay, bit-identical to
+//! the state the killed process would have held.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::io::Read;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use ufc_core::engine::{drive, BlockResiduals, IterationObserver, Transport};
+use ufc_core::telemetry::{ObserverChain, TelemetryCollector, TrafficCounters};
+use ufc_core::{AdmgSettings, CoreError};
+use ufc_model::UfcInstance;
+
+use crate::coordinator::{
+    account_stragglers, column_of, finish, max_latency, record_a_traffic, record_control,
+    record_lambda_traffic, reduce_residuals, replay_entries, row_of, HistoryEntry,
+};
+use crate::fault::{FaultPlan, FaultTracker, IntegrityState, NodeId, Resolution};
+use crate::message::Message;
+use crate::node::{DatacenterNode, NodeResiduals};
+use crate::runtime::{DistRunReport, SocketOptions};
+use crate::snapshot::{CheckpointStore, DatacenterSnapshot, FrontendSnapshot};
+use crate::stats::{estimated_wan_seconds_live, MessageStats};
+use crate::supervision::{gather_phase, Reply};
+use crate::wire::{process_of, FrameBuffer, NodeCmd, RunConfig, WireFrame};
+
+/// How long the coordinator waits for a spawned worker to complete the
+/// `Hello`/`Welcome` handshake before declaring the spawn failed. Covers
+/// process startup plus the worker's own connect backoff.
+const REGISTRATION_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Grace period for workers to exit after a `Shutdown` frame before the
+/// coordinator falls back to `SIGKILL` at teardown.
+const EXIT_GRACE: Duration = Duration::from_secs(2);
+
+/// Runs the socket engine under a fault plan. A trivial plan reduces to
+/// the clean multi-process runtime: no kills, no drops, and a report
+/// bit-identical to the lockstep engine's.
+pub(crate) fn run_socket_engine(
+    settings: &AdmgSettings,
+    instance: &UfcInstance,
+    active_mu: bool,
+    active_nu: bool,
+    plan: FaultPlan,
+    options: &SocketOptions,
+    observer: &mut dyn IterationObserver,
+) -> Result<DistRunReport, CoreError> {
+    let tolerances = settings.scaled_tolerances(instance);
+    let mut sup = SocketSupervisor::new(instance, *settings, active_mu, active_nu, plan, options)?;
+    let mut collector = settings.telemetry.then(TelemetryCollector::default);
+    let outcome = match collector.as_mut() {
+        Some(c) => {
+            let mut chain = ObserverChain(&mut *c, observer);
+            drive(&mut sup, settings, tolerances, &mut chain)
+        }
+        None => drive(&mut sup, settings, tolerances, observer),
+    }
+    .and_then(|outcome| {
+        sup.final_gather(outcome.iterations)
+            .map(|(lambda_rows, mu)| (outcome, lambda_rows, mu))
+    });
+    // Extract everything the report needs before the supervisor is consumed
+    // by shutdown; the error path still tears down every worker process.
+    let stats = sup.stats;
+    let fault_report = sup.tracker.report.clone();
+    let plan_trivial = sup.tracker.plan().is_trivial();
+    let evicted = sup.tracker.evicted_mask();
+    let stall_phases = sup.stall_phases;
+    let counters = sup.integrity.counters;
+    let socket_activity = counters.reconnects > 0 || counters.dead_node_declarations > 0;
+    let integrity = (sup.integrity.active() || socket_activity).then_some(counters);
+    let shutdown = sup.shutdown();
+    let (outcome, lambda_rows, mu) = outcome?;
+    shutdown?;
+
+    let (point, breakdown) = finish(instance, lambda_rows, mu, !active_nu)?;
+    let estimated = estimated_wan_seconds_live(outcome.iterations, &instance.latency_s, &evicted)
+        + fault_report.downtime_seconds
+        + fault_report.straggler_seconds
+        + stall_phases * max_latency(instance, &evicted);
+    let report_fault = !plan_trivial || fault_report.checkpoints_taken > 0;
+    let telemetry = collector.map(|c| {
+        let mut t = c.into_telemetry();
+        // Solver counters stay zero: the per-node kernels live in other OS
+        // processes. Use the lockstep engine (bit-identical) to observe the
+        // solver layer.
+        t.traffic = Some(TrafficCounters {
+            data_messages: stats.data_messages as u64,
+            control_messages: stats.control_messages as u64,
+            total_bytes: stats.total_bytes as u64,
+            retransmissions: 0,
+        });
+        if report_fault {
+            t.fault = Some(fault_report.counters());
+        }
+        t.integrity = integrity;
+        t
+    });
+    Ok(DistRunReport {
+        point,
+        breakdown,
+        iterations: outcome.iterations,
+        converged: outcome.converged,
+        stats,
+        estimated_wan_seconds: estimated,
+        retransmissions: 0,
+        fault: report_fault.then_some(fault_report),
+        integrity,
+        telemetry,
+    })
+}
+
+/// A completed handshake delivered by the acceptor thread: the stream the
+/// coordinator sends commands on, plus the pump thread that is already
+/// forwarding the worker's replies.
+struct Registration {
+    process: usize,
+    incarnation: u32,
+    stream: TcpStream,
+    pump: JoinHandle<()>,
+}
+
+/// The supervising coordinator of the multi-process runtime.
+struct SocketSupervisor<'a> {
+    instance: &'a UfcInstance,
+    settings: AdmgSettings,
+    active_mu: bool,
+    active_nu: bool,
+    m: usize,
+    n: usize,
+    processes: usize,
+    worker_path: PathBuf,
+    addr: String,
+    session: u64,
+    tracker: FaultTracker,
+    store: CheckpointStore,
+    history: Vec<HistoryEntry>,
+    reply_rx: Receiver<Reply>,
+    reg_rx: Receiver<Registration>,
+    /// Live worker processes, one slot per process index. `RefCell`
+    /// because liveness probing (`try_wait`) needs `&mut Child` from
+    /// inside the gather ladder's `Fn` closure.
+    children: Vec<RefCell<Option<Child>>>,
+    /// Command streams to the workers (`None` while a worker is down or
+    /// its connection is dropped).
+    conns: Vec<Option<TcpStream>>,
+    incarnations: Vec<u32>,
+    pumps: Vec<JoinHandle<()>>,
+    acceptor: Option<JoinHandle<()>>,
+    acceptor_stop: Arc<AtomicBool>,
+    /// Scripted kill-iterations per global node id, consumed as they fire.
+    remaining_crashes: Vec<Vec<usize>>,
+    stats: MessageStats,
+    integrity: IntegrityState,
+    suspect: Option<NodeId>,
+    timeout: Duration,
+    rounds: u32,
+    checkpoint_interval: usize,
+    stall_phases: f64,
+    // Per-iteration scratch, produced by one phase and consumed by the next.
+    rows: Vec<Vec<f64>>,
+    a_cols: Vec<Vec<f64>>,
+    dc_residuals: Vec<Option<NodeResiduals>>,
+    readmitted_now: Vec<usize>,
+    membership_changed: bool,
+    node_count: usize,
+}
+
+impl<'a> SocketSupervisor<'a> {
+    fn new(
+        instance: &'a UfcInstance,
+        settings: AdmgSettings,
+        active_mu: bool,
+        active_nu: bool,
+        plan: FaultPlan,
+        options: &SocketOptions,
+    ) -> Result<Self, CoreError> {
+        let m = instance.m_frontends();
+        let n = instance.n_datacenters();
+        let processes = if options.processes == 0 {
+            m + n
+        } else {
+            options.processes
+        };
+        if processes > m + n {
+            return Err(CoreError::invalid_config(format!(
+                "{processes} worker processes for {} nodes",
+                m + n
+            )));
+        }
+        if (plan.crash_count() > 0 || plan.partition_count() > 0) && processes != m + n {
+            return Err(CoreError::invalid_config(format!(
+                "process-level fault injection needs one process per node \
+                 ({} for this instance), got {processes}",
+                m + n
+            )));
+        }
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| CoreError::node_failure("coordinator", 0, format!("bind: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| CoreError::node_failure("coordinator", 0, format!("local_addr: {e}")))?
+            .to_string();
+        let session = session_id();
+        let welcome: Arc<Vec<u8>> = Arc::new(
+            WireFrame::Welcome {
+                config: RunConfig {
+                    instance: instance.clone(),
+                    settings,
+                    active_mu,
+                    active_nu,
+                    processes,
+                }
+                .encode(),
+            }
+            .to_wire(),
+        );
+        let (reply_tx, reply_rx) = channel::<Reply>();
+        let (reg_tx, reg_rx) = channel::<Registration>();
+        let acceptor_stop = Arc::new(AtomicBool::new(false));
+        let acceptor = spawn_acceptor(
+            listener,
+            session,
+            welcome,
+            reply_tx,
+            reg_tx,
+            Arc::clone(&acceptor_stop),
+        );
+        let timeout = plan.phase_timeout;
+        let rounds = plan.backoff_rounds;
+        let checkpoint_interval = plan.checkpoint_interval;
+        let integrity = IntegrityState::new(plan.corruption.as_ref(), settings.verify_checksums);
+        let mut remaining_crashes = Vec::with_capacity(m + n);
+        for i in 0..m {
+            remaining_crashes.push(plan.crash_iterations_for(NodeId::Frontend(i)));
+        }
+        for j in 0..n {
+            remaining_crashes.push(plan.crash_iterations_for(NodeId::Datacenter(j)));
+        }
+        let mut sup = SocketSupervisor {
+            instance,
+            settings,
+            active_mu,
+            active_nu,
+            m,
+            n,
+            processes,
+            worker_path: options.worker.clone(),
+            addr,
+            session,
+            tracker: FaultTracker::new(plan, m, n),
+            store: CheckpointStore::new(m, n),
+            history: Vec::new(),
+            reply_rx,
+            reg_rx,
+            children: (0..processes).map(|_| RefCell::new(None)).collect(),
+            conns: (0..processes).map(|_| None).collect(),
+            incarnations: vec![0; processes],
+            pumps: Vec::new(),
+            acceptor: Some(acceptor),
+            acceptor_stop,
+            remaining_crashes,
+            stats: MessageStats::default(),
+            integrity,
+            suspect: None,
+            timeout,
+            rounds,
+            checkpoint_interval,
+            stall_phases: 0.0,
+            rows: Vec::new(),
+            a_cols: Vec::new(),
+            dc_residuals: Vec::new(),
+            readmitted_now: Vec::new(),
+            membership_changed: false,
+            node_count: m + n,
+        };
+        for p in 0..processes {
+            sup.spawn_process(p)?;
+        }
+        for p in 0..processes {
+            sup.await_registration(p)?;
+        }
+        Ok(sup)
+    }
+
+    /// Launches the worker binary for process slot `p` at its current
+    /// incarnation. Registration happens asynchronously via the acceptor.
+    fn spawn_process(&mut self, p: usize) -> Result<(), CoreError> {
+        let child = Command::new(&self.worker_path)
+            .arg("--connect")
+            .arg(&self.addr)
+            .arg("--process")
+            .arg(p.to_string())
+            .arg("--session")
+            .arg(self.session.to_string())
+            .arg("--incarnation")
+            .arg(self.incarnations[p].to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .spawn()
+            .map_err(|e| {
+                CoreError::node_failure(
+                    format!("process-{p}"),
+                    0,
+                    format!("cannot spawn {}: {e}", self.worker_path.display()),
+                )
+            })?;
+        *self.children[p].borrow_mut() = Some(child);
+        Ok(())
+    }
+
+    /// Blocks until process `p` (at its current incarnation) completes the
+    /// handshake, installing any other registrations that arrive meanwhile.
+    fn await_registration(&mut self, p: usize) -> Result<(), CoreError> {
+        let deadline = Instant::now() + REGISTRATION_DEADLINE;
+        while self.conns[p].is_none() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(CoreError::node_failure(
+                    format!("process-{p}"),
+                    0,
+                    "worker did not complete the handshake before the deadline",
+                ));
+            }
+            match self.reg_rx.recv_timeout(remaining) {
+                Ok(reg) => self.install_registration(reg),
+                Err(_) => {
+                    return Err(CoreError::node_failure(
+                        format!("process-{p}"),
+                        0,
+                        "worker did not complete the handshake before the deadline",
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Adopts a completed handshake — unless it is stale (an old
+    /// incarnation of a process we have since killed and respawned, or a
+    /// straggler arriving after shutdown drained the connection table).
+    fn install_registration(&mut self, reg: Registration) {
+        if reg.process >= self.conns.len() || reg.incarnation != self.incarnations[reg.process] {
+            self.pumps.push(reg.pump);
+            let _ = reg.stream.shutdown(Shutdown::Both);
+            return;
+        }
+        self.conns[reg.process] = Some(reg.stream);
+        self.pumps.push(reg.pump);
+    }
+
+    /// Installs any registrations already queued (reconnects after a
+    /// partition heal can complete while the coordinator is mid-phase).
+    fn drain_registrations(&mut self) {
+        while let Ok(reg) = self.reg_rx.try_recv() {
+            self.install_registration(reg);
+        }
+    }
+
+    /// Sends a command to the process hosting `node`. Errors are
+    /// deliberately swallowed — a dead or dropped connection surfaces as
+    /// silence in the gather ladder, which owns the failure verdict.
+    fn send_node(&self, node: usize, cmd: NodeCmd) {
+        let p = process_of(node, self.processes);
+        if let Some(conn) = &self.conns[p] {
+            let mut writer: &TcpStream = conn;
+            let _ = std::io::Write::write_all(&mut writer, &WireFrame::Cmd { node, cmd }.to_wire());
+        }
+    }
+
+    /// Liveness straight from the OS process table.
+    fn alive(&self, node: NodeId) -> bool {
+        let id = match node {
+            NodeId::Frontend(i) => i,
+            NodeId::Datacenter(j) => self.m + j,
+        };
+        let p = process_of(id, self.processes);
+        self.children[p]
+            .borrow_mut()
+            .as_mut()
+            .is_some_and(|child| matches!(child.try_wait(), Ok(None)))
+    }
+
+    /// Delivers a real `SIGKILL` to process `p` and reaps it.
+    fn kill_process(&mut self, p: usize) {
+        if let Some(conn) = self.conns[p].take() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        if let Some(mut child) = self.children[p].borrow_mut().take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    /// Fires this iteration's scripted front-end kills (before the predict
+    /// commands go out, so the victim dies mid-iteration).
+    fn inject_frontend_crashes(&mut self, k: usize) {
+        for i in 0..self.m {
+            if self.remaining_crashes[i].first() == Some(&k) {
+                self.kill_process(process_of(i, self.processes));
+                self.remaining_crashes[i].retain(|&it| it > k);
+            }
+        }
+    }
+
+    /// Fires this iteration's scripted datacenter kills.
+    fn inject_datacenter_crashes(&mut self, k: usize) {
+        for j in 0..self.n {
+            if self.tracker.is_evicted(j) {
+                continue;
+            }
+            let id = self.m + j;
+            if self.remaining_crashes[id].first() == Some(&k) {
+                self.kill_process(process_of(id, self.processes));
+                self.remaining_crashes[id].retain(|&it| it > k);
+            }
+        }
+    }
+
+    /// At a partition window's opening iteration, tears down the affected
+    /// connections (the workers survive and reconnect with backoff — the
+    /// socket spelling of a healed WAN partition).
+    fn simulate_partition_drops(&mut self, k: usize) -> Result<(), CoreError> {
+        let plan = self.tracker.plan();
+        if !plan.partition_active(k) || (k > 1 && plan.partition_active(k - 1)) {
+            return Ok(());
+        }
+        let mut affected: Vec<usize> = Vec::new();
+        for i in 0..self.m {
+            for j in 0..self.n {
+                if plan.is_partitioned(i, j, k) {
+                    for id in [i, self.m + j] {
+                        let p = process_of(id, self.processes);
+                        if !affected.contains(&p) {
+                            affected.push(p);
+                        }
+                    }
+                }
+            }
+        }
+        for &p in &affected {
+            if let Some(conn) = self.conns[p].take() {
+                let _ = conn.shutdown(Shutdown::Both);
+            }
+        }
+        for &p in &affected {
+            self.await_registration(p)?;
+            self.integrity.counters.reconnects += 1;
+        }
+        Ok(())
+    }
+
+    /// Kills (if needed), respawns, and re-registers the process hosting
+    /// `node` at a bumped incarnation.
+    fn respawn_process_for(&mut self, node: usize, k: usize) -> Result<(), CoreError> {
+        let p = process_of(node, self.processes);
+        self.kill_process(p);
+        self.incarnations[p] += 1;
+        self.remaining_crashes[node].retain(|&it| it > k);
+        self.spawn_process(p)?;
+        self.await_registration(p)
+    }
+
+    /// Respawns front-end `i` from its last checkpoint, replays the
+    /// buffered inputs since, and re-applies this iteration's membership
+    /// deltas — the socket spelling of the threaded engine's
+    /// `respawn_frontend`.
+    fn respawn_frontend(&mut self, i: usize, k: usize) -> Result<(), CoreError> {
+        self.respawn_process_for(i, k)?;
+        let mut base = 0usize;
+        if let Some((it, blob)) = self.store.frontend(i) {
+            let blob = blob.to_vec();
+            base = it;
+            self.send_node(i, NodeCmd::Restore { blob });
+        }
+        let mut replayed = 0usize;
+        for entry in replay_entries(&self.history, base, k) {
+            self.send_node(
+                i,
+                NodeCmd::Predict {
+                    iteration: entry.iteration,
+                },
+            );
+            self.send_node(
+                i,
+                NodeCmd::Correct {
+                    iteration: entry.iteration,
+                    a_row: row_of(&entry.a_cols, i),
+                },
+            );
+            replayed += 1;
+        }
+        self.tracker.report.recomputed_iterations += replayed;
+        for &j in &self.readmitted_now {
+            self.send_node(
+                i,
+                NodeCmd::Membership {
+                    datacenter: j,
+                    evict: false,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Respawns datacenter `j` from its last checkpoint and replays the
+    /// buffered λ̃ columns since.
+    fn respawn_datacenter(&mut self, j: usize, k: usize) -> Result<(), CoreError> {
+        let id = self.m + j;
+        self.respawn_process_for(id, k)?;
+        let mut base = 0usize;
+        if let Some((it, blob)) = self.store.datacenter(j) {
+            let blob = blob.to_vec();
+            base = it;
+            self.send_node(id, NodeCmd::Restore { blob });
+        }
+        let mut replayed = 0usize;
+        for entry in replay_entries(&self.history, base, k) {
+            self.send_node(
+                id,
+                NodeCmd::Process {
+                    iteration: entry.iteration,
+                    column: column_of(&entry.rows, j),
+                },
+            );
+            replayed += 1;
+        }
+        self.tracker.report.recomputed_iterations += replayed;
+        Ok(())
+    }
+
+    /// Evicts datacenter `j`: reaps the dead process and broadcasts the
+    /// membership change to every front-end.
+    fn evict_datacenter(&mut self, j: usize) {
+        self.kill_process(process_of(self.m + j, self.processes));
+        for i in 0..self.m {
+            self.send_node(
+                i,
+                NodeCmd::Membership {
+                    datacenter: j,
+                    evict: true,
+                },
+            );
+            self.stats.record(&Message::Membership {
+                datacenter: j,
+                evict: true,
+            });
+        }
+    }
+
+    /// One checkpoint round, identical accounting to the threaded engine's.
+    fn checkpoint_round(&mut self, k: usize) -> Result<(), CoreError> {
+        let (m, n) = (self.m, self.n);
+        let mut pending: HashSet<NodeId> = (0..m).map(NodeId::Frontend).collect();
+        for i in 0..m {
+            self.send_node(i, NodeCmd::Snapshot { iteration: k });
+        }
+        for j in 0..n {
+            if !self.tracker.is_evicted(j) {
+                self.send_node(m + j, NodeCmd::Snapshot { iteration: k });
+                pending.insert(NodeId::Datacenter(j));
+            }
+        }
+        let mut fe_blobs: Vec<Option<Vec<u8>>> = vec![None; m];
+        let mut dc_blobs: Vec<Option<Vec<u8>>> = vec![None; n];
+        let missing = gather_phase(
+            &self.reply_rx,
+            &mut pending,
+            self.timeout,
+            self.rounds,
+            |node| self.alive(node),
+            |reply| match reply {
+                Reply::FeSnapshot { i, iteration, blob } if iteration == k => {
+                    fe_blobs[i] = Some(blob);
+                    Some(NodeId::Frontend(i))
+                }
+                Reply::DcSnapshot { j, iteration, blob } if iteration == k => {
+                    dc_blobs[j] = Some(blob);
+                    Some(NodeId::Datacenter(j))
+                }
+                _ => None,
+            },
+        );
+        if let Some(node) = missing.first() {
+            return Err(CoreError::node_failure(
+                node.to_string(),
+                k,
+                "no reply to the checkpoint request",
+            ));
+        }
+        for (i, blob) in fe_blobs.into_iter().enumerate() {
+            let blob = blob.ok_or_else(|| {
+                CoreError::node_failure(
+                    NodeId::Frontend(i).to_string(),
+                    k,
+                    "checkpoint blob missing after gather",
+                )
+            })?;
+            self.stats.record(&Message::Checkpoint {
+                node: i,
+                payload_bytes: blob.len(),
+            });
+            self.store.put_frontend(i, k, blob);
+        }
+        for (j, blob) in dc_blobs.into_iter().enumerate() {
+            let Some(blob) = blob else { continue };
+            self.stats.record(&Message::Checkpoint {
+                node: m + j,
+                payload_bytes: blob.len(),
+            });
+            self.store.put_datacenter(j, k, blob);
+        }
+        self.tracker.report.checkpoints_taken += 1;
+        self.history.clear();
+        Ok(())
+    }
+
+    /// Ships `Finish` to every live worker and gathers the final iterate.
+    fn final_gather(&mut self, iterations: usize) -> Result<(Vec<Vec<f64>>, Vec<f64>), CoreError> {
+        let (m, n) = (self.m, self.n);
+        let mut pending: HashSet<NodeId> = (0..m).map(NodeId::Frontend).collect();
+        for i in 0..m {
+            self.send_node(i, NodeCmd::Finish);
+        }
+        for j in 0..n {
+            if !self.tracker.is_evicted(j) {
+                self.send_node(m + j, NodeCmd::Finish);
+                pending.insert(NodeId::Datacenter(j));
+            }
+        }
+        let mut lambda_rows: Vec<Vec<f64>> = vec![Vec::new(); m];
+        let mut mu = vec![0.0; n];
+        let missing = gather_phase(
+            &self.reply_rx,
+            &mut pending,
+            self.timeout,
+            self.rounds,
+            |node| self.alive(node),
+            |reply| match reply {
+                Reply::FeFinal { i, lambda } => {
+                    lambda_rows[i] = lambda;
+                    Some(NodeId::Frontend(i))
+                }
+                Reply::DcFinal { j, mu: v } => {
+                    mu[j] = v;
+                    Some(NodeId::Datacenter(j))
+                }
+                _ => None,
+            },
+        );
+        if let Some(node) = missing.first() {
+            return Err(CoreError::node_failure(
+                node.to_string(),
+                iterations,
+                "no reply to the final gather",
+            ));
+        }
+        Ok((lambda_rows, mu))
+    }
+
+    /// Orderly teardown on every exit path: `Shutdown` frames, forced
+    /// socket closes (so pump threads exit), acceptor stop, pump joins,
+    /// then a bounded wait for each worker process with `SIGKILL` as the
+    /// backstop.
+    fn shutdown(mut self) -> Result<(), CoreError> {
+        for conn in self.conns.iter().flatten() {
+            let mut writer: &TcpStream = conn;
+            let _ = std::io::Write::write_all(&mut writer, &WireFrame::Shutdown.to_wire());
+        }
+        for conn in self.conns.drain(..).flatten() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        self.acceptor_stop.store(true, Ordering::SeqCst);
+        // The acceptor is blocked in accept(); poke it awake.
+        let _ = TcpStream::connect(&self.addr);
+        let mut first_panic = None;
+        if let Some(handle) = self.acceptor.take() {
+            if handle.join().is_err() {
+                first_panic = Some(CoreError::node_failure(
+                    "coordinator",
+                    0,
+                    "acceptor thread panicked during shutdown",
+                ));
+            }
+        }
+        self.drain_registrations();
+        for pump in self.pumps.drain(..) {
+            if pump.join().is_err() && first_panic.is_none() {
+                first_panic = Some(CoreError::node_failure(
+                    "coordinator",
+                    0,
+                    "pump thread panicked during shutdown",
+                ));
+            }
+        }
+        let deadline = Instant::now() + EXIT_GRACE;
+        for cell in &self.children {
+            let Some(mut child) = cell.borrow_mut().take() else {
+                continue;
+            };
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+        first_panic.map_or(Ok(()), Err)
+    }
+}
+
+impl Transport for SocketSupervisor<'_> {
+    fn begin_iteration(&mut self, k: usize) -> Result<(), CoreError> {
+        self.drain_registrations();
+        self.membership_changed = false;
+        let readmitted_now = self.tracker.probe_readmissions();
+        for &j in &readmitted_now {
+            // The respawned process builds a fresh datacenter kernel at
+            // Welcome — exactly the state the threaded engine constructs —
+            // so only the coordinator-side snapshot needs producing here.
+            let node = DatacenterNode::new(
+                self.instance,
+                j,
+                &self.settings,
+                self.active_mu,
+                self.active_nu,
+            );
+            self.store
+                .put_datacenter(j, k - 1, node.snapshot().to_bytes());
+            let id = self.m + j;
+            let p = process_of(id, self.processes);
+            self.incarnations[p] += 1;
+            self.remaining_crashes[id].retain(|&it| it >= k);
+            self.spawn_process(p)?;
+            self.await_registration(p)?;
+            for i in 0..self.m {
+                self.send_node(
+                    i,
+                    NodeCmd::Membership {
+                        datacenter: j,
+                        evict: false,
+                    },
+                );
+                self.stats.record(&Message::Membership {
+                    datacenter: j,
+                    evict: false,
+                });
+            }
+            self.membership_changed = true;
+        }
+        self.readmitted_now = readmitted_now;
+        account_stragglers(&mut self.tracker, self.m, self.n, k);
+        if self.tracker.plan().partition_active(k) {
+            self.stall_phases += 2.0;
+        }
+        self.simulate_partition_drops(k)?;
+        Ok(())
+    }
+
+    fn predict_lambda(&mut self, k: usize) -> Result<(), CoreError> {
+        self.inject_frontend_crashes(k);
+        let m = self.m;
+        for i in 0..m {
+            self.send_node(i, NodeCmd::Predict { iteration: k });
+        }
+        let mut rows: Vec<Option<Vec<f64>>> = vec![None; m];
+        let mut pending: HashSet<NodeId> = (0..m).map(NodeId::Frontend).collect();
+        // One broad gather loop, shared shape with the threaded engine:
+        // dead processes surface per-ladder while live stragglers stay
+        // pending, and a respawned process rejoins the same pending set.
+        let mut respawned: HashSet<NodeId> = HashSet::new();
+        loop {
+            let missing = gather_phase(
+                &self.reply_rx,
+                &mut pending,
+                self.timeout,
+                self.rounds,
+                |node| self.alive(node),
+                |reply| match reply {
+                    Reply::Lambda { i, iteration, row } if iteration == k => {
+                        rows[i] = Some(row);
+                        Some(NodeId::Frontend(i))
+                    }
+                    _ => None,
+                },
+            );
+            if missing.is_empty() && pending.is_empty() {
+                break;
+            }
+            for node in missing {
+                let NodeId::Frontend(i) = node else {
+                    unreachable!("predict phase only waits on front-ends")
+                };
+                self.integrity.counters.dead_node_declarations += 1;
+                if !respawned.insert(node) {
+                    return Err(CoreError::node_failure(
+                        node.to_string(),
+                        k,
+                        "no reply after checkpoint respawn",
+                    ));
+                }
+                match self.tracker.resolve_crash(node, k)? {
+                    Resolution::Recovered { .. } => {
+                        self.respawn_frontend(i, k)?;
+                        self.send_node(i, NodeCmd::Predict { iteration: k });
+                        pending.insert(node);
+                    }
+                    Resolution::Evicted { .. } => {
+                        unreachable!("front-ends are never evicted")
+                    }
+                }
+            }
+        }
+        let mut rows: Vec<Vec<f64>> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, row)| {
+                row.ok_or_else(|| {
+                    CoreError::node_failure(
+                        NodeId::Frontend(i).to_string(),
+                        k,
+                        "prediction missing after gather",
+                    )
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let phase_max = record_lambda_traffic(
+            &mut self.stats,
+            &mut self.tracker,
+            None,
+            &mut self.integrity,
+            &mut rows,
+            k,
+        )?;
+        self.stall_phases += (phase_max - 1) as f64;
+        self.rows = rows;
+        Ok(())
+    }
+
+    fn step_datacenters(&mut self, k: usize) -> Result<(), CoreError> {
+        self.inject_datacenter_crashes(k);
+        let (m, n) = (self.m, self.n);
+        for j in 0..n {
+            if self.tracker.is_evicted(j) {
+                continue;
+            }
+            self.send_node(
+                m + j,
+                NodeCmd::Process {
+                    iteration: k,
+                    column: column_of(&self.rows, j),
+                },
+            );
+        }
+        let mut a_cols = vec![vec![0.0; m]; n];
+        let mut dc_residuals: Vec<Option<NodeResiduals>> = vec![None; n];
+        let mut pending: HashSet<NodeId> = (0..n)
+            .filter(|&j| !self.tracker.is_evicted(j))
+            .map(NodeId::Datacenter)
+            .collect();
+        let mut respawned: HashSet<NodeId> = HashSet::new();
+        loop {
+            let missing = gather_phase(
+                &self.reply_rx,
+                &mut pending,
+                self.timeout,
+                self.rounds,
+                |node| self.alive(node),
+                |reply| match reply {
+                    Reply::DcStep {
+                        j,
+                        iteration,
+                        a_tilde,
+                        residuals,
+                    } if iteration == k => {
+                        a_cols[j] = a_tilde;
+                        dc_residuals[j] = Some(residuals);
+                        Some(NodeId::Datacenter(j))
+                    }
+                    _ => None,
+                },
+            );
+            if missing.is_empty() && pending.is_empty() {
+                break;
+            }
+            for node in missing {
+                let NodeId::Datacenter(j) = node else {
+                    unreachable!("datacenter phase only waits on datacenters")
+                };
+                self.integrity.counters.dead_node_declarations += 1;
+                if !respawned.insert(node) {
+                    return Err(CoreError::node_failure(
+                        node.to_string(),
+                        k,
+                        "no reply after checkpoint respawn",
+                    ));
+                }
+                match self.tracker.resolve_crash(node, k)? {
+                    Resolution::Recovered { .. } => {
+                        self.respawn_datacenter(j, k)?;
+                        self.send_node(
+                            m + j,
+                            NodeCmd::Process {
+                                iteration: k,
+                                column: column_of(&self.rows, j),
+                            },
+                        );
+                        pending.insert(node);
+                    }
+                    Resolution::Evicted { .. } => {
+                        self.evict_datacenter(j);
+                        self.membership_changed = true;
+                    }
+                }
+            }
+        }
+        let mut phase_max = 1usize;
+        for j in 0..n {
+            if dc_residuals[j].is_some() {
+                phase_max = phase_max.max(record_a_traffic(
+                    &mut self.stats,
+                    &mut self.tracker,
+                    None,
+                    &mut self.integrity,
+                    &mut a_cols[j],
+                    j,
+                    k,
+                )?);
+            }
+        }
+        self.stall_phases += (phase_max - 1) as f64;
+        self.a_cols = a_cols;
+        self.dc_residuals = dc_residuals;
+        Ok(())
+    }
+
+    fn correct(&mut self, k: usize) -> Result<BlockResiduals, CoreError> {
+        let m = self.m;
+        for i in 0..m {
+            self.send_node(
+                i,
+                NodeCmd::Correct {
+                    iteration: k,
+                    a_row: row_of(&self.a_cols, i),
+                },
+            );
+        }
+        let mut fe_residuals: Vec<Option<NodeResiduals>> = vec![None; m];
+        let mut pending: HashSet<NodeId> = (0..m).map(NodeId::Frontend).collect();
+        let missing = gather_phase(
+            &self.reply_rx,
+            &mut pending,
+            self.timeout,
+            self.rounds,
+            |node| self.alive(node),
+            |reply| match reply {
+                Reply::FeResidual {
+                    i,
+                    iteration,
+                    residuals,
+                } if iteration == k => {
+                    fe_residuals[i] = Some(residuals);
+                    Some(NodeId::Frontend(i))
+                }
+                _ => None,
+            },
+        );
+        if let Some(node) = missing.first() {
+            return Err(CoreError::node_failure(
+                node.to_string(),
+                k,
+                "no reply in correction phase",
+            ));
+        }
+        let fe_residuals: Vec<NodeResiduals> = fe_residuals
+            .into_iter()
+            .map(|r| r.unwrap_or_default())
+            .collect();
+        self.node_count = m + self.dc_residuals.iter().flatten().count();
+        let (reduced, suspect) =
+            reduce_residuals(&mut self.stats, &fe_residuals, &self.dc_residuals);
+        self.suspect = suspect;
+        Ok(reduced)
+    }
+
+    fn rollback(&mut self, _k: usize) -> Result<Option<usize>, CoreError> {
+        self.integrity.counters.divergence_trips += 1;
+        // Every live node needs a finite checkpoint before anything is
+        // restored — a partial restore would leave the deployment
+        // inconsistent, so decline instead.
+        let mut base = usize::MAX;
+        let mut fe_snaps = Vec::with_capacity(self.m);
+        for i in 0..self.m {
+            let Some((it, blob)) = self.store.frontend(i) else {
+                return Ok(None);
+            };
+            let snap = FrontendSnapshot::from_bytes(blob)?;
+            if !snap.is_finite() {
+                return Ok(None);
+            }
+            base = base.min(it);
+            fe_snaps.push(snap);
+        }
+        let mut dc_snaps: Vec<Option<Vec<u8>>> = Vec::with_capacity(self.n);
+        for j in 0..self.n {
+            if self.tracker.is_evicted(j) {
+                dc_snaps.push(None);
+                continue;
+            }
+            let Some((it, blob)) = self.store.datacenter(j) else {
+                return Ok(None);
+            };
+            let snap = DatacenterSnapshot::from_bytes(blob)?;
+            if !snap.is_finite() {
+                return Ok(None);
+            }
+            base = base.min(it);
+            dc_snaps.push(Some(blob.to_vec()));
+        }
+        // The worker processes are alive — the poison is in their state,
+        // not their liveness — so restore in place over the live streams.
+        // TCP ordering guarantees the Restore lands before any later
+        // command. The live membership view stays authoritative over
+        // whatever the snapshot recorded.
+        let evicted = self.tracker.evicted_mask();
+        for (i, mut snap) in fe_snaps.into_iter().enumerate() {
+            snap.evicted.clone_from(&evicted);
+            self.send_node(
+                i,
+                NodeCmd::Restore {
+                    blob: snap.to_bytes(),
+                },
+            );
+        }
+        for (j, blob) in dc_snaps.into_iter().enumerate() {
+            let Some(blob) = blob else { continue };
+            self.send_node(self.m + j, NodeCmd::Restore { blob });
+        }
+        // Buffered inputs may hold the very payloads that poisoned the run;
+        // never replay them into the restored state.
+        self.history.clear();
+        self.integrity.counters.rollbacks += 1;
+        Ok(Some(base))
+    }
+
+    fn divergence_suspect(&self) -> Option<String> {
+        self.suspect
+            .map(|node| node.to_string())
+            .or_else(|| self.integrity.last_corrupted.clone())
+    }
+
+    fn finish_iteration(&mut self, k: usize, stop: bool) -> Result<(), CoreError> {
+        record_control(&mut self.stats, stop, self.node_count);
+        self.history.push(HistoryEntry {
+            iteration: k,
+            rows: std::mem::take(&mut self.rows),
+            a_cols: std::mem::take(&mut self.a_cols),
+        });
+        if !stop
+            && (self.membership_changed
+                || (self.checkpoint_interval > 0 && k.is_multiple_of(self.checkpoint_interval)))
+        {
+            self.checkpoint_round(k)?;
+        }
+        Ok(())
+    }
+}
+
+/// A run-unique session id: stale workers from an earlier run (or another
+/// concurrent test) fail the handshake instead of corrupting this one.
+fn session_id() -> u64 {
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    nanos ^ (u64::from(std::process::id()) << 32)
+}
+
+/// Spawns the acceptor thread: accepts connections, validates the `Hello`
+/// handshake against `session`, answers with the precomputed `Welcome`,
+/// and hands each validated connection (plus its reply pump) to the
+/// coordinator via `reg_tx`.
+fn spawn_acceptor(
+    listener: TcpListener,
+    session: u64,
+    welcome: Arc<Vec<u8>>,
+    reply_tx: Sender<Reply>,
+    reg_tx: Sender<Registration>,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        while !stop.load(Ordering::SeqCst) {
+            let Ok((stream, _)) = listener.accept() else {
+                continue;
+            };
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Some(reg) = handshake(stream, session, &welcome, &reply_tx) else {
+                continue;
+            };
+            if reg_tx.send(reg).is_err() {
+                break;
+            }
+        }
+    })
+}
+
+/// Coordinator side of one connection handshake. Returns `None` (dropping
+/// the connection) on timeout, session mismatch, or a malformed frame.
+fn handshake(
+    stream: TcpStream,
+    session: u64,
+    welcome: &Arc<Vec<u8>>,
+    reply_tx: &Sender<Reply>,
+) -> Option<Registration> {
+    stream.set_nodelay(true).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    let mut frames = FrameBuffer::new();
+    let hello = loop {
+        if let Ok(Some(payload)) = frames.next_frame() {
+            break WireFrame::decode_payload(&payload).ok()?;
+        }
+        let mut chunk = [0u8; 1024];
+        let mut reader: &TcpStream = &stream;
+        let n = reader.read(&mut chunk).ok()?;
+        if n == 0 {
+            return None;
+        }
+        frames.push(&chunk[..n]);
+    };
+    let WireFrame::Hello {
+        session: hello_session,
+        process,
+        incarnation,
+    } = hello
+    else {
+        return None;
+    };
+    if hello_session != session {
+        return None;
+    }
+    {
+        let mut writer: &TcpStream = &stream;
+        std::io::Write::write_all(&mut writer, welcome).ok()?;
+    }
+    // Back to blocking reads for the pump: the gather ladder owns all
+    // timeout policy.
+    stream.set_read_timeout(None).ok()?;
+    let pump_stream = stream.try_clone().ok()?;
+    let pump_tx = reply_tx.clone();
+    let pump = std::thread::spawn(move || pump(pump_stream, frames, &pump_tx));
+    Some(Registration {
+        process,
+        incarnation,
+        stream,
+        pump,
+    })
+}
+
+/// The per-connection reply pump: reassembles frames from the stream and
+/// forwards decoded replies to the coordinator until EOF, a socket error,
+/// or a corrupt frame. Commands never arrive on this direction; anything
+/// unexpected ends the pump (the ladder handles the resulting silence).
+fn pump(stream: TcpStream, mut frames: FrameBuffer, tx: &Sender<Reply>) {
+    let mut reader: &TcpStream = &stream;
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        loop {
+            match frames.next_frame() {
+                Ok(Some(payload)) => {
+                    let Ok(WireFrame::Reply(reply)) = WireFrame::decode_payload(&payload) else {
+                        return;
+                    };
+                    if tx.send(reply).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => return,
+            }
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => frames.push(&chunk[..n]),
+        }
+    }
+}

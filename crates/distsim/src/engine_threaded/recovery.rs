@@ -159,7 +159,13 @@ impl Supervisor<'_> {
             ));
         }
         for (i, blob) in fe_blobs.into_iter().enumerate() {
-            let blob = blob.expect("gather guarantees a blob per front-end");
+            let blob = blob.ok_or_else(|| {
+                CoreError::node_failure(
+                    NodeId::Frontend(i).to_string(),
+                    k,
+                    "checkpoint blob missing after gather",
+                )
+            })?;
             self.stats.record(&Message::Checkpoint {
                 node: i,
                 payload_bytes: blob.len(),

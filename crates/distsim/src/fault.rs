@@ -484,6 +484,12 @@ impl FaultPlan {
         self.stragglers.len()
     }
 
+    /// Total partition windows scheduled.
+    #[must_use]
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
     /// Whether the node-level schedule injects anything at all. Link-level
     /// corruption is deliberately excluded: it needs no replay buffering or
     /// supervision, so a corruption-only plan still runs the plain path.

@@ -72,6 +72,7 @@
 
 mod coordinator;
 mod engine_lockstep;
+mod engine_socket;
 mod engine_threaded;
 pub mod fault;
 pub mod loss;
@@ -82,7 +83,11 @@ mod runtime;
 pub mod snapshot;
 pub mod stats;
 mod supervision;
+pub mod wire;
+pub mod worker;
 
-pub use fault::{CorruptionConfig, CorruptionKind, FaultPlan, FaultReport, NodeId};
-pub use runtime::{DistRunReport, DistributedAdmg, Runtime};
+pub use fault::{
+    CorruptionConfig, CorruptionKind, FaultPlan, FaultReport, NodeId, PartitionWindow,
+};
+pub use runtime::{DistRunReport, DistributedAdmg, Runtime, SocketOptions};
 pub use snapshot::{CheckpointStore, DatacenterSnapshot, FrontendSnapshot};

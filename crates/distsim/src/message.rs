@@ -29,6 +29,13 @@ pub const CHECKSUM_OVERHEAD_BYTES: usize = 5;
 /// First byte of every encoded frame.
 pub const FRAME_MAGIC: u8 = 0xFC;
 
+/// Hard upper bound on an encoded [`Message`] frame. The largest legal
+/// frame is a `ResidualReport` (magic + kind + 28 payload bytes + CRC =
+/// 34 bytes); anything bigger is rejected before any field is parsed, so
+/// a hostile or garbled length prefix can never drive an allocation or a
+/// deep parse.
+pub const MAX_FRAME_BYTES: usize = 64;
+
 /// Byte offset of the f64 value field inside an encoded
 /// [`Message::LambdaTilde`]/[`Message::ATilde`] frame (after magic, kind,
 /// and the two u32 endpoint indices) — the bytes corruption injection
@@ -81,7 +88,7 @@ fn take<const N: usize>(bytes: &[u8], pos: &mut usize) -> Result<[u8; N], CoreEr
         .get(*pos..end)
         .ok_or_else(|| corrupt(format!("frame truncated at byte {pos}")))?;
     *pos = end;
-    Ok(slice.try_into().expect("slice length checked"))
+    <[u8; N]>::try_from(slice).map_err(|_| corrupt(format!("frame truncated at byte {pos}")))
 }
 
 fn get_u32(bytes: &[u8], pos: &mut usize) -> Result<usize, CoreError> {
@@ -249,15 +256,24 @@ impl Message {
     ///
     /// # Errors
     ///
-    /// [`CoreError::CorruptPayload`] if the frame is truncated, carries the
-    /// wrong magic or an unknown kind, has trailing garbage, or fails its
-    /// CRC32 check. Never panics, whatever the input bytes.
+    /// [`CoreError::CorruptPayload`] if the frame is truncated, oversized
+    /// (see [`MAX_FRAME_BYTES`]), carries the wrong magic or an unknown
+    /// kind, has trailing garbage, or fails its CRC32 check. Never panics,
+    /// whatever the input bytes.
     pub fn decode(bytes: &[u8]) -> Result<Message, CoreError> {
         if bytes.len() < 2 + 4 {
             return Err(corrupt(format!("frame too short ({} bytes)", bytes.len())));
         }
+        if bytes.len() > MAX_FRAME_BYTES {
+            return Err(corrupt(format!(
+                "frame too long ({} bytes, max {MAX_FRAME_BYTES})",
+                bytes.len()
+            )));
+        }
         let (body, trailer) = bytes.split_at(bytes.len() - 4);
-        let stored = u32::from_le_bytes(trailer.try_into().expect("trailer is 4 bytes"));
+        let stored = <[u8; 4]>::try_from(trailer)
+            .map(u32::from_le_bytes)
+            .map_err(|_| corrupt("frame trailer is not 4 bytes".to_owned()))?;
         let computed = crc32(body);
         if stored != computed {
             return Err(corrupt(format!(
@@ -430,6 +446,24 @@ mod tests {
         // Truncations never panic either.
         for len in 0..frame.len() {
             assert!(Message::decode(&frame[..len]).is_err());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_oversized_frames_before_parsing() {
+        // A frame padded past the bound is rejected up front — even when
+        // the prefix would otherwise parse.
+        let mut bloated = Message::Control { stop: false }.encode();
+        bloated.resize(MAX_FRAME_BYTES + 1, 0);
+        let err = Message::decode(&bloated).unwrap_err();
+        assert!(
+            matches!(err, CoreError::CorruptPayload { .. }),
+            "oversized frame must fail typed: {err}"
+        );
+        assert!(err.to_string().contains("too long"), "{err}");
+        // Every legal frame fits the bound with headroom.
+        for msg in all_variants() {
+            assert!(msg.encode().len() <= MAX_FRAME_BYTES);
         }
     }
 }

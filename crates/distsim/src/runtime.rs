@@ -10,16 +10,51 @@
 //! fault-injected variants are not separate code paths: a clean run is the
 //! [`FaultPlan::none`] degenerate case of the same engines.
 
+use std::path::PathBuf;
+
 use ufc_core::engine::IterationObserver;
 use ufc_core::telemetry::{IntegrityCounters, RunTelemetry};
 use ufc_core::{AdmgSettings, CoreError, Strategy};
 use ufc_model::{OperatingPoint, UfcBreakdown, UfcInstance};
 
 use crate::engine_lockstep::run_lockstep;
+use crate::engine_socket::run_socket_engine;
 use crate::engine_threaded::run_supervised;
 use crate::fault::{CorruptionConfig, FaultPlan, FaultReport};
 use crate::loss::LossConfig;
 use crate::stats::MessageStats;
+
+/// Configuration of the multi-process socket engine: where the worker
+/// binary lives and how many OS processes to spread the nodes over.
+#[derive(Debug, Clone)]
+pub struct SocketOptions {
+    /// Path to the `ufc-node` worker binary (built from
+    /// `experiments/src/bin/ufc-node.rs`).
+    pub worker: PathBuf,
+    /// Worker process count. `0` (the default) means one process per node
+    /// (`M + N`); smaller counts co-host nodes round-robin. Process-level
+    /// fault injection (kills, partitions) requires the full one-per-node
+    /// split so a `SIGKILL` hits exactly the scripted node.
+    pub processes: usize,
+}
+
+impl SocketOptions {
+    /// Options for the given worker binary with the default one process
+    /// per node.
+    pub fn new(worker: impl Into<PathBuf>) -> Self {
+        SocketOptions {
+            worker: worker.into(),
+            processes: 0,
+        }
+    }
+
+    /// Overrides the worker process count.
+    #[must_use]
+    pub fn with_processes(mut self, processes: usize) -> Self {
+        self.processes = processes;
+        self
+    }
+}
 
 /// Which execution engine runs the protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,6 +191,121 @@ impl DistributedAdmg {
                 observer,
             ),
         }
+    }
+
+    /// Runs the protocol on the multi-process socket engine: every node in
+    /// its own OS process (per [`SocketOptions::processes`]) speaking the
+    /// checksummed wire framing over loopback TCP. The clean path is
+    /// bit-identical to the lockstep engine (asserted in
+    /// `experiments/tests/engine_equivalence.rs`).
+    ///
+    /// # Errors
+    ///
+    /// As for [`DistributedAdmg::run`], plus [`CoreError::NodeFailure`]
+    /// when a worker process cannot be spawned or never completes the
+    /// handshake.
+    pub fn run_sockets(
+        &self,
+        instance: &UfcInstance,
+        strategy: Strategy,
+        options: &SocketOptions,
+    ) -> Result<DistRunReport, CoreError> {
+        self.run_sockets_observed(instance, strategy, options, &mut ())
+    }
+
+    /// Like [`DistributedAdmg::run_sockets`], streaming events to a
+    /// caller-supplied observer.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DistributedAdmg::run_sockets`].
+    pub fn run_sockets_observed(
+        &self,
+        instance: &UfcInstance,
+        strategy: Strategy,
+        options: &SocketOptions,
+        observer: &mut dyn IterationObserver,
+    ) -> Result<DistRunReport, CoreError> {
+        let (active_mu, active_nu) = strategy.block_activation(instance)?;
+        run_socket_engine(
+            &self.settings,
+            instance,
+            active_mu,
+            active_nu,
+            FaultPlan::none(),
+            options,
+            observer,
+        )
+    }
+
+    /// Runs the socket engine under a deterministic [`FaultPlan`] whose
+    /// faults are delivered by the operating system: a scripted crash is a
+    /// real `SIGKILL` to the live worker process mid-iteration, and a
+    /// partition window tears down the affected TCP connections (the
+    /// workers reconnect with backoff when it heals). Recovery is the same
+    /// checkpoint-restart protocol as the threaded engine's, and a run
+    /// whose every crash recovers reproduces the clean iterates exactly. A
+    /// clean fault-free lockstep run is performed first so the returned
+    /// [`FaultReport::ufc_delta_vs_clean`] measures the cost of running
+    /// degraded.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DistributedAdmg::run_faulty`], plus
+    /// [`CoreError::InvalidConfig`] when the plan injects process-level
+    /// faults without the one-process-per-node split.
+    pub fn run_sockets_faulty(
+        &self,
+        instance: &UfcInstance,
+        strategy: Strategy,
+        options: &SocketOptions,
+        plan: FaultPlan,
+    ) -> Result<DistRunReport, CoreError> {
+        self.run_sockets_faulty_observed(instance, strategy, options, plan, &mut ())
+    }
+
+    /// Like [`DistributedAdmg::run_sockets_faulty`], streaming events from
+    /// the faulty run to a caller-supplied observer (the preliminary clean
+    /// lockstep run is not observed).
+    ///
+    /// # Errors
+    ///
+    /// As for [`DistributedAdmg::run_sockets_faulty`].
+    pub fn run_sockets_faulty_observed(
+        &self,
+        instance: &UfcInstance,
+        strategy: Strategy,
+        options: &SocketOptions,
+        plan: FaultPlan,
+        observer: &mut dyn IterationObserver,
+    ) -> Result<DistRunReport, CoreError> {
+        plan.check()?;
+        let (active_mu, active_nu) = strategy.block_activation(instance)?;
+        // The clean baseline run is support machinery, not the run the
+        // caller asked to watch: no observer, no telemetry.
+        let clean = run_lockstep(
+            &self.settings.with_telemetry(false),
+            instance,
+            active_mu,
+            active_nu,
+            FaultPlan::none(),
+            None,
+            &mut (),
+        )?;
+        let mut report = run_socket_engine(
+            &self.settings,
+            instance,
+            active_mu,
+            active_nu,
+            plan,
+            options,
+            observer,
+        )?;
+        let delta = report.breakdown.ufc() - clean.breakdown.ufc();
+        if let Some(fault) = report.fault.as_mut() {
+            fault.ufc_delta_vs_clean = delta;
+        }
+        Ok(report)
     }
 
     /// Runs the protocol (lockstep engine) over a lossy channel with

@@ -41,6 +41,7 @@ pub(crate) enum DcCmd {
 
 /// Worker replies, tagged with node and iteration so the coordinator can
 /// discard stale replay traffic.
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) enum Reply {
     Lambda {
         i: usize,

@@ -1,0 +1,913 @@
+//! Session-layer framing of the multi-process socket runtime.
+//!
+//! Everything a coordinator and a worker process exchange travels as a
+//! *wire frame*: a little-endian `u32` length prefix followed by a
+//! self-verifying payload `[WIRE_MAGIC, kind, body (LE fields), crc32]`.
+//! The length prefix lets [`FrameBuffer`] reassemble frames from the
+//! arbitrary partial reads a real TCP stream produces; the CRC32 trailer
+//! (same IEEE polynomial as [`crate::message`]) rejects bit-rot and framing
+//! desynchronization with a typed [`CoreError::CorruptPayload`] instead of
+//! a panic or a garbage parse.
+//!
+//! The payload vocabulary is deliberately small:
+//!
+//! * `Hello`/`Welcome` — the connect/accept handshake. A worker announces
+//!   its session id, process index, and incarnation; the coordinator
+//!   validates the session and answers with the serialized `RunConfig`
+//!   (instance + settings + block activation), from which the worker builds
+//!   its hosted node kernels exactly as the in-process engines do.
+//! * `Cmd` — a node-addressed command (predict/correct/process/snapshot/
+//!   membership/restore/finish), the socket spelling of the supervised
+//!   runtime's `FeCmd`/`DcCmd`.
+//! * `Reply` — a worker reply, decoded straight into the supervision
+//!   layer's `Reply` so the coordinator's gather machinery
+//!   (`supervision::gather_phase`) is shared verbatim with the threaded
+//!   engine.
+//! * `Shutdown` — orderly teardown.
+//!
+//! All `f64` fields travel as exact little-endian bit patterns, so a value
+//! decoded on the far side is bit-identical to the value encoded — the
+//! foundation of the socket engine's bitwise-equivalence guarantee.
+
+use ufc_core::CoreError;
+use ufc_model::{EmissionCostFn, QueueingCost, UfcInstance};
+
+use crate::message::crc32;
+use crate::node::NodeResiduals;
+use crate::supervision::Reply;
+use ufc_core::{AdmgSettings, SubproblemMethod};
+
+/// First payload byte of every wire frame (distinct from
+/// [`crate::message::FRAME_MAGIC`] so the two framings cannot be confused).
+pub const WIRE_MAGIC: u8 = 0xFD;
+
+/// Bytes of the little-endian length prefix in front of every payload.
+pub const LENGTH_PREFIX_BYTES: usize = 4;
+
+/// Hard upper bound on one wire-frame payload. Large enough for any
+/// checkpoint blob or run configuration at the paper's scale (and far
+/// beyond), small enough that a corrupted or hostile length prefix cannot
+/// drive an unbounded allocation.
+pub const MAX_WIRE_FRAME_BYTES: usize = 4 * 1024 * 1024;
+
+/// Bound on the element count of any length-prefixed vector inside a
+/// payload; keeps a corrupted inner length from allocating gigabytes even
+/// when the outer frame passed its size check.
+const MAX_VEC_LEN: usize = MAX_WIRE_FRAME_BYTES / 8;
+
+fn corrupt(context: String) -> CoreError {
+    CoreError::corrupt_payload("wire", 0, context)
+}
+
+/// Wraps a payload in the on-stream framing: `[len u32 LE][payload]`.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds [`MAX_WIRE_FRAME_BYTES`] — encoders in
+/// this module cannot produce such a payload.
+#[must_use]
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_WIRE_FRAME_BYTES,
+        "wire payload of {} bytes exceeds the frame bound",
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(LENGTH_PREFIX_BYTES + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Incremental frame reassembly over partial reads: push whatever chunk the
+/// socket produced, then drain complete payloads with
+/// [`FrameBuffer::next_frame`].
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Appends freshly read bytes (any size, including zero).
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Pops the next complete payload, `Ok(None)` when more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::CorruptPayload`] when the length prefix exceeds
+    /// [`MAX_WIRE_FRAME_BYTES`] or is shorter than the minimum payload
+    /// (magic + kind + CRC32) — the stream is desynchronized and cannot be
+    /// trusted further.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, CoreError> {
+        if self.buf.len() < LENGTH_PREFIX_BYTES {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(
+            <[u8; 4]>::try_from(&self.buf[..LENGTH_PREFIX_BYTES])
+                .map_err(|_| corrupt("length prefix is not 4 bytes".to_owned()))?,
+        ) as usize;
+        if len > MAX_WIRE_FRAME_BYTES {
+            return Err(corrupt(format!(
+                "length prefix {len} exceeds the {MAX_WIRE_FRAME_BYTES}-byte frame bound"
+            )));
+        }
+        if len < 6 {
+            return Err(corrupt(format!(
+                "length prefix {len} is below the minimum payload size"
+            )));
+        }
+        if self.buf.len() < LENGTH_PREFIX_BYTES + len {
+            return Ok(None);
+        }
+        let payload = self.buf[LENGTH_PREFIX_BYTES..LENGTH_PREFIX_BYTES + len].to_vec();
+        self.buf.drain(..LENGTH_PREFIX_BYTES + len);
+        Ok(Some(payload))
+    }
+
+    /// Bytes buffered but not yet drained.
+    #[must_use]
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+// ---- cursor readers (typed errors, never a panic) -----------------------
+
+fn take<const N: usize>(bytes: &[u8], pos: &mut usize) -> Result<[u8; N], CoreError> {
+    let end = *pos + N;
+    let slice = bytes
+        .get(*pos..end)
+        .ok_or_else(|| corrupt(format!("payload truncated at byte {pos}")))?;
+    *pos = end;
+    <[u8; N]>::try_from(slice).map_err(|_| corrupt(format!("payload truncated at byte {pos}")))
+}
+
+fn get_u8(bytes: &[u8], pos: &mut usize) -> Result<u8, CoreError> {
+    Ok(take::<1>(bytes, pos)?[0])
+}
+
+fn get_bool(bytes: &[u8], pos: &mut usize) -> Result<bool, CoreError> {
+    match get_u8(bytes, pos)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(corrupt(format!("bad boolean byte {other}"))),
+    }
+}
+
+fn get_u32(bytes: &[u8], pos: &mut usize) -> Result<usize, CoreError> {
+    Ok(u32::from_le_bytes(take::<4>(bytes, pos)?) as usize)
+}
+
+fn get_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, CoreError> {
+    Ok(u64::from_le_bytes(take::<8>(bytes, pos)?))
+}
+
+fn get_f64(bytes: &[u8], pos: &mut usize) -> Result<f64, CoreError> {
+    Ok(f64::from_le_bytes(take::<8>(bytes, pos)?))
+}
+
+fn get_f64s(bytes: &[u8], pos: &mut usize) -> Result<Vec<f64>, CoreError> {
+    let len = get_u32(bytes, pos)?;
+    if len > MAX_VEC_LEN {
+        return Err(corrupt(format!("vector length {len} exceeds the bound")));
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(get_f64(bytes, pos)?);
+    }
+    Ok(out)
+}
+
+fn get_blob(bytes: &[u8], pos: &mut usize) -> Result<Vec<u8>, CoreError> {
+    let len = get_u32(bytes, pos)?;
+    if len > MAX_WIRE_FRAME_BYTES {
+        return Err(corrupt(format!("blob length {len} exceeds the bound")));
+    }
+    let end = *pos + len;
+    let slice = bytes
+        .get(*pos..end)
+        .ok_or_else(|| corrupt(format!("blob truncated at byte {pos}")))?;
+    *pos = end;
+    Ok(slice.to_vec())
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: usize) {
+    buf.extend_from_slice(&(v as u32).to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64s(buf: &mut Vec<u8>, values: &[f64]) {
+    put_u32(buf, values.len());
+    for &v in values {
+        put_f64(buf, v);
+    }
+}
+
+fn put_blob(buf: &mut Vec<u8>, blob: &[u8]) {
+    put_u32(buf, blob.len());
+    buf.extend_from_slice(blob);
+}
+
+fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(u8::from(v));
+}
+
+// ---- protocol frames ----------------------------------------------------
+
+/// A node-addressed command from the coordinator to a worker process — the
+/// socket spelling of the supervised runtime's `FeCmd`/`DcCmd`, plus the
+/// `Restore` verb checkpoint-restart needs when the node kernel lives in
+/// another process.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum NodeCmd {
+    /// Run the λ prediction for `iteration` (front-end nodes).
+    Predict { iteration: usize },
+    /// Apply the gathered ã row and correct (front-end nodes).
+    Correct { iteration: usize, a_row: Vec<f64> },
+    /// Run the μ/ν/a steps on the gathered λ̃ column (datacenter nodes).
+    Process { iteration: usize, column: Vec<f64> },
+    /// Serialize the iterate slice for a checkpoint round.
+    Snapshot { iteration: usize },
+    /// Apply a membership change for `datacenter` (front-end nodes).
+    Membership { datacenter: usize, evict: bool },
+    /// Restore the node kernel from a serialized snapshot blob.
+    Restore { blob: Vec<u8> },
+    /// Ship the final iterate slice.
+    Finish,
+}
+
+/// One frame of the coordinator↔worker session protocol.
+#[derive(Debug, PartialEq)]
+pub(crate) enum WireFrame {
+    /// Worker → coordinator: connect/accept handshake announcement.
+    Hello {
+        /// Run-unique session id; a stale worker from an earlier run is
+        /// rejected at accept.
+        session: u64,
+        /// Which process slot this worker fills.
+        process: usize,
+        /// Respawn generation (0 for the first spawn).
+        incarnation: u32,
+    },
+    /// Coordinator → worker: handshake answer carrying the serialized
+    /// [`RunConfig`].
+    Welcome { config: Vec<u8> },
+    /// Coordinator → worker: a command for hosted node `node` (front-ends
+    /// `0..m`, datacenters `m..m+n`).
+    Cmd { node: usize, cmd: NodeCmd },
+    /// Worker → coordinator: a node reply.
+    Reply(Reply),
+    /// Coordinator → worker: orderly exit.
+    Shutdown,
+}
+
+impl WireFrame {
+    fn kind_tag(&self) -> u8 {
+        match self {
+            WireFrame::Hello { .. } => 0,
+            WireFrame::Welcome { .. } => 1,
+            WireFrame::Cmd { .. } => 2,
+            WireFrame::Reply(_) => 3,
+            WireFrame::Shutdown => 4,
+        }
+    }
+
+    /// Serializes into a self-verifying payload
+    /// `[WIRE_MAGIC, kind, body, crc32]` (not yet length-prefixed — see
+    /// [`frame`]).
+    pub(crate) fn encode_payload(&self) -> Vec<u8> {
+        let mut buf = vec![WIRE_MAGIC, self.kind_tag()];
+        match self {
+            WireFrame::Hello {
+                session,
+                process,
+                incarnation,
+            } => {
+                put_u64(&mut buf, *session);
+                put_u32(&mut buf, *process);
+                buf.extend_from_slice(&incarnation.to_le_bytes());
+            }
+            WireFrame::Welcome { config } => put_blob(&mut buf, config),
+            WireFrame::Cmd { node, cmd } => {
+                put_u32(&mut buf, *node);
+                match cmd {
+                    NodeCmd::Predict { iteration } => {
+                        buf.push(0);
+                        put_u64(&mut buf, *iteration as u64);
+                    }
+                    NodeCmd::Correct { iteration, a_row } => {
+                        buf.push(1);
+                        put_u64(&mut buf, *iteration as u64);
+                        put_f64s(&mut buf, a_row);
+                    }
+                    NodeCmd::Process { iteration, column } => {
+                        buf.push(2);
+                        put_u64(&mut buf, *iteration as u64);
+                        put_f64s(&mut buf, column);
+                    }
+                    NodeCmd::Snapshot { iteration } => {
+                        buf.push(3);
+                        put_u64(&mut buf, *iteration as u64);
+                    }
+                    NodeCmd::Membership { datacenter, evict } => {
+                        buf.push(4);
+                        put_u32(&mut buf, *datacenter);
+                        put_bool(&mut buf, *evict);
+                    }
+                    NodeCmd::Restore { blob } => {
+                        buf.push(5);
+                        put_blob(&mut buf, blob);
+                    }
+                    NodeCmd::Finish => buf.push(6),
+                }
+            }
+            WireFrame::Reply(reply) => match reply {
+                Reply::Lambda { i, iteration, row } => {
+                    buf.push(0);
+                    put_u32(&mut buf, *i);
+                    put_u64(&mut buf, *iteration as u64);
+                    put_f64s(&mut buf, row);
+                }
+                Reply::FeResidual {
+                    i,
+                    iteration,
+                    residuals,
+                } => {
+                    buf.push(1);
+                    put_u32(&mut buf, *i);
+                    put_u64(&mut buf, *iteration as u64);
+                    put_f64(&mut buf, residuals.link);
+                    put_f64(&mut buf, residuals.balance);
+                    put_f64(&mut buf, residuals.movement);
+                }
+                Reply::DcStep {
+                    j,
+                    iteration,
+                    a_tilde,
+                    residuals,
+                } => {
+                    buf.push(2);
+                    put_u32(&mut buf, *j);
+                    put_u64(&mut buf, *iteration as u64);
+                    put_f64s(&mut buf, a_tilde);
+                    put_f64(&mut buf, residuals.link);
+                    put_f64(&mut buf, residuals.balance);
+                    put_f64(&mut buf, residuals.movement);
+                }
+                Reply::FeSnapshot { i, iteration, blob } => {
+                    buf.push(3);
+                    put_u32(&mut buf, *i);
+                    put_u64(&mut buf, *iteration as u64);
+                    put_blob(&mut buf, blob);
+                }
+                Reply::DcSnapshot { j, iteration, blob } => {
+                    buf.push(4);
+                    put_u32(&mut buf, *j);
+                    put_u64(&mut buf, *iteration as u64);
+                    put_blob(&mut buf, blob);
+                }
+                Reply::FeFinal { i, lambda } => {
+                    buf.push(5);
+                    put_u32(&mut buf, *i);
+                    put_f64s(&mut buf, lambda);
+                }
+                Reply::DcFinal { j, mu } => {
+                    buf.push(6);
+                    put_u32(&mut buf, *j);
+                    put_f64(&mut buf, *mu);
+                }
+            },
+            WireFrame::Shutdown => {}
+        }
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Verifies and parses a payload produced by
+    /// [`WireFrame::encode_payload`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::CorruptPayload`] on truncation, bad magic, unknown
+    /// kind, trailing garbage, or CRC32 mismatch. Never panics.
+    pub(crate) fn decode_payload(bytes: &[u8]) -> Result<WireFrame, CoreError> {
+        if bytes.len() < 2 + 4 {
+            return Err(corrupt(format!(
+                "payload too short ({} bytes)",
+                bytes.len()
+            )));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 4);
+        let stored = <[u8; 4]>::try_from(trailer)
+            .map(u32::from_le_bytes)
+            .map_err(|_| corrupt("payload trailer is not 4 bytes".to_owned()))?;
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(corrupt(format!(
+                "crc32 mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            )));
+        }
+        if body[0] != WIRE_MAGIC {
+            return Err(corrupt(format!("bad wire magic {:#04x}", body[0])));
+        }
+        let kind = body[1];
+        let mut pos = 2;
+        let frame = match kind {
+            0 => WireFrame::Hello {
+                session: get_u64(body, &mut pos)?,
+                process: get_u32(body, &mut pos)?,
+                incarnation: u32::from_le_bytes(take::<4>(body, &mut pos)?),
+            },
+            1 => WireFrame::Welcome {
+                config: get_blob(body, &mut pos)?,
+            },
+            2 => {
+                let node = get_u32(body, &mut pos)?;
+                let cmd = match get_u8(body, &mut pos)? {
+                    0 => NodeCmd::Predict {
+                        iteration: get_u64(body, &mut pos)? as usize,
+                    },
+                    1 => NodeCmd::Correct {
+                        iteration: get_u64(body, &mut pos)? as usize,
+                        a_row: get_f64s(body, &mut pos)?,
+                    },
+                    2 => NodeCmd::Process {
+                        iteration: get_u64(body, &mut pos)? as usize,
+                        column: get_f64s(body, &mut pos)?,
+                    },
+                    3 => NodeCmd::Snapshot {
+                        iteration: get_u64(body, &mut pos)? as usize,
+                    },
+                    4 => NodeCmd::Membership {
+                        datacenter: get_u32(body, &mut pos)?,
+                        evict: get_bool(body, &mut pos)?,
+                    },
+                    5 => NodeCmd::Restore {
+                        blob: get_blob(body, &mut pos)?,
+                    },
+                    6 => NodeCmd::Finish,
+                    other => return Err(corrupt(format!("unknown command tag {other}"))),
+                };
+                WireFrame::Cmd { node, cmd }
+            }
+            3 => {
+                let reply = match get_u8(body, &mut pos)? {
+                    0 => Reply::Lambda {
+                        i: get_u32(body, &mut pos)?,
+                        iteration: get_u64(body, &mut pos)? as usize,
+                        row: get_f64s(body, &mut pos)?,
+                    },
+                    1 => Reply::FeResidual {
+                        i: get_u32(body, &mut pos)?,
+                        iteration: get_u64(body, &mut pos)? as usize,
+                        residuals: NodeResiduals {
+                            link: get_f64(body, &mut pos)?,
+                            balance: get_f64(body, &mut pos)?,
+                            movement: get_f64(body, &mut pos)?,
+                        },
+                    },
+                    2 => Reply::DcStep {
+                        j: get_u32(body, &mut pos)?,
+                        iteration: get_u64(body, &mut pos)? as usize,
+                        a_tilde: get_f64s(body, &mut pos)?,
+                        residuals: NodeResiduals {
+                            link: get_f64(body, &mut pos)?,
+                            balance: get_f64(body, &mut pos)?,
+                            movement: get_f64(body, &mut pos)?,
+                        },
+                    },
+                    3 => Reply::FeSnapshot {
+                        i: get_u32(body, &mut pos)?,
+                        iteration: get_u64(body, &mut pos)? as usize,
+                        blob: get_blob(body, &mut pos)?,
+                    },
+                    4 => Reply::DcSnapshot {
+                        j: get_u32(body, &mut pos)?,
+                        iteration: get_u64(body, &mut pos)? as usize,
+                        blob: get_blob(body, &mut pos)?,
+                    },
+                    5 => Reply::FeFinal {
+                        i: get_u32(body, &mut pos)?,
+                        lambda: get_f64s(body, &mut pos)?,
+                    },
+                    6 => Reply::DcFinal {
+                        j: get_u32(body, &mut pos)?,
+                        mu: get_f64(body, &mut pos)?,
+                    },
+                    other => return Err(corrupt(format!("unknown reply tag {other}"))),
+                };
+                WireFrame::Reply(reply)
+            }
+            4 => WireFrame::Shutdown,
+            other => return Err(corrupt(format!("unknown frame kind {other}"))),
+        };
+        if pos != body.len() {
+            return Err(corrupt(format!(
+                "trailing garbage: payload body is {} bytes, parsed {pos}",
+                body.len()
+            )));
+        }
+        Ok(frame)
+    }
+
+    /// The payload wrapped in the on-stream length prefix — what actually
+    /// goes on the socket.
+    pub(crate) fn to_wire(&self) -> Vec<u8> {
+        frame(&self.encode_payload())
+    }
+}
+
+// ---- run configuration --------------------------------------------------
+
+/// Everything a worker process needs to rebuild its node kernels exactly
+/// as the in-process engines do: the problem instance, the solver
+/// settings, the strategy's block activation, and the process count (from
+/// which each worker derives its hosted node set).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct RunConfig {
+    pub(crate) instance: UfcInstance,
+    pub(crate) settings: AdmgSettings,
+    pub(crate) active_mu: bool,
+    pub(crate) active_nu: bool,
+    pub(crate) processes: usize,
+}
+
+impl RunConfig {
+    /// Serializes the configuration; every `f64` as its exact LE bit
+    /// pattern.
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let inst = &self.instance;
+        let s = &self.settings;
+        let mut buf = Vec::new();
+        put_u32(&mut buf, inst.m_frontends());
+        put_u32(&mut buf, inst.n_datacenters());
+        put_f64s(&mut buf, &inst.arrivals);
+        put_f64s(&mut buf, &inst.capacities);
+        put_f64s(&mut buf, &inst.alpha);
+        put_f64s(&mut buf, &inst.beta);
+        put_f64s(&mut buf, &inst.mu_max);
+        put_f64s(&mut buf, &inst.grid_price);
+        put_f64(&mut buf, inst.fuel_cell_price);
+        put_f64s(&mut buf, &inst.carbon_t_per_mwh);
+        for row in &inst.latency_s {
+            put_f64s(&mut buf, row);
+        }
+        put_f64(&mut buf, inst.weight_per_server);
+        put_f64(&mut buf, inst.slot_hours);
+        for cost in &inst.emission_cost {
+            match cost {
+                EmissionCostFn::Linear { rate } => {
+                    buf.push(0);
+                    put_f64(&mut buf, *rate);
+                }
+                EmissionCostFn::Quadratic { linear, quad } => {
+                    buf.push(1);
+                    put_f64(&mut buf, *linear);
+                    put_f64(&mut buf, *quad);
+                }
+                EmissionCostFn::Stepped { thresholds, rates } => {
+                    buf.push(2);
+                    put_f64s(&mut buf, thresholds);
+                    put_f64s(&mut buf, rates);
+                }
+            }
+        }
+        match &inst.queueing {
+            None => buf.push(0),
+            Some(q) => {
+                buf.push(1);
+                put_f64(&mut buf, q.base_delay_s);
+                put_f64(&mut buf, q.weight);
+                put_f64(&mut buf, q.max_utilization);
+            }
+        }
+        put_f64(&mut buf, s.rho);
+        put_f64(&mut buf, s.epsilon);
+        put_u64(&mut buf, s.max_iterations as u64);
+        put_f64(&mut buf, s.eps_link);
+        put_f64(&mut buf, s.eps_balance);
+        put_f64(&mut buf, s.eps_dual);
+        buf.push(match s.method {
+            SubproblemMethod::ActiveSet => 0,
+            SubproblemMethod::Fista => 1,
+        });
+        put_u64(&mut buf, s.num_threads as u64);
+        put_bool(&mut buf, s.cache_factorizations);
+        put_bool(&mut buf, s.telemetry);
+        put_bool(&mut buf, s.verify_checksums);
+        put_f64(&mut buf, s.divergence_kappa);
+        put_u64(&mut buf, s.divergence_window as u64);
+        put_bool(&mut buf, s.divergence_rollback);
+        put_bool(&mut buf, self.active_mu);
+        put_bool(&mut buf, self.active_nu);
+        put_u32(&mut buf, self.processes);
+        buf
+    }
+
+    /// Rebuilds the configuration; the instance is re-validated through
+    /// [`UfcInstance::new`], so a worker can never run on a garbled
+    /// problem.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::CorruptPayload`] on truncation and
+    /// [`CoreError::Model`] when the decoded instance fails validation.
+    pub(crate) fn decode(bytes: &[u8]) -> Result<Self, CoreError> {
+        let mut pos = 0;
+        let m = get_u32(bytes, &mut pos)?;
+        let n = get_u32(bytes, &mut pos)?;
+        if m == 0 || n == 0 || m > MAX_VEC_LEN || n > MAX_VEC_LEN {
+            return Err(corrupt(format!("implausible dimensions {m}x{n}")));
+        }
+        let arrivals = get_f64s(bytes, &mut pos)?;
+        let capacities = get_f64s(bytes, &mut pos)?;
+        let alpha = get_f64s(bytes, &mut pos)?;
+        let beta = get_f64s(bytes, &mut pos)?;
+        let mu_max = get_f64s(bytes, &mut pos)?;
+        let grid_price = get_f64s(bytes, &mut pos)?;
+        let fuel_cell_price = get_f64(bytes, &mut pos)?;
+        let carbon_t_per_mwh = get_f64s(bytes, &mut pos)?;
+        let mut latency_s = Vec::with_capacity(m);
+        for _ in 0..m {
+            latency_s.push(get_f64s(bytes, &mut pos)?);
+        }
+        let weight_per_server = get_f64(bytes, &mut pos)?;
+        let slot_hours = get_f64(bytes, &mut pos)?;
+        let mut emission_cost = Vec::with_capacity(n);
+        for _ in 0..n {
+            emission_cost.push(match get_u8(bytes, &mut pos)? {
+                0 => EmissionCostFn::Linear {
+                    rate: get_f64(bytes, &mut pos)?,
+                },
+                1 => EmissionCostFn::Quadratic {
+                    linear: get_f64(bytes, &mut pos)?,
+                    quad: get_f64(bytes, &mut pos)?,
+                },
+                2 => EmissionCostFn::Stepped {
+                    thresholds: get_f64s(bytes, &mut pos)?,
+                    rates: get_f64s(bytes, &mut pos)?,
+                },
+                other => return Err(corrupt(format!("unknown emission-cost tag {other}"))),
+            });
+        }
+        let queueing = match get_u8(bytes, &mut pos)? {
+            0 => None,
+            1 => Some(QueueingCost {
+                base_delay_s: get_f64(bytes, &mut pos)?,
+                weight: get_f64(bytes, &mut pos)?,
+                max_utilization: get_f64(bytes, &mut pos)?,
+            }),
+            other => return Err(corrupt(format!("unknown queueing tag {other}"))),
+        };
+        let settings = AdmgSettings {
+            rho: get_f64(bytes, &mut pos)?,
+            epsilon: get_f64(bytes, &mut pos)?,
+            max_iterations: get_u64(bytes, &mut pos)? as usize,
+            eps_link: get_f64(bytes, &mut pos)?,
+            eps_balance: get_f64(bytes, &mut pos)?,
+            eps_dual: get_f64(bytes, &mut pos)?,
+            method: match get_u8(bytes, &mut pos)? {
+                0 => SubproblemMethod::ActiveSet,
+                1 => SubproblemMethod::Fista,
+                other => return Err(corrupt(format!("unknown method tag {other}"))),
+            },
+            num_threads: get_u64(bytes, &mut pos)? as usize,
+            cache_factorizations: get_bool(bytes, &mut pos)?,
+            telemetry: get_bool(bytes, &mut pos)?,
+            verify_checksums: get_bool(bytes, &mut pos)?,
+            divergence_kappa: get_f64(bytes, &mut pos)?,
+            divergence_window: get_u64(bytes, &mut pos)? as usize,
+            divergence_rollback: get_bool(bytes, &mut pos)?,
+        };
+        let active_mu = get_bool(bytes, &mut pos)?;
+        let active_nu = get_bool(bytes, &mut pos)?;
+        let processes = get_u32(bytes, &mut pos)?;
+        if pos != bytes.len() {
+            return Err(corrupt(format!(
+                "trailing garbage: config is {} bytes, parsed {pos}",
+                bytes.len()
+            )));
+        }
+        let mut instance = UfcInstance::new(
+            arrivals,
+            capacities,
+            alpha,
+            beta,
+            mu_max,
+            grid_price,
+            fuel_cell_price,
+            carbon_t_per_mwh,
+            latency_s,
+            weight_per_server,
+            emission_cost,
+            slot_hours,
+        )
+        .map_err(CoreError::Model)?;
+        instance.queueing = queueing;
+        Ok(RunConfig {
+            instance,
+            settings,
+            active_mu,
+            active_nu,
+            processes,
+        })
+    }
+}
+
+/// The node ids (front-ends `0..m`, datacenters `m..m+n`) hosted by
+/// process `p` of `processes`: a round-robin split, so one process per
+/// node when `processes == m + n` and everything on process 0 when
+/// `processes == 1`.
+#[must_use]
+pub fn hosted_nodes(p: usize, processes: usize, m: usize, n: usize) -> Vec<usize> {
+    (0..m + n).filter(|id| id % processes == p).collect()
+}
+
+/// Which process hosts node `id` under the round-robin split.
+#[must_use]
+pub fn process_of(id: usize, processes: usize) -> usize {
+    id % processes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<WireFrame> {
+        vec![
+            WireFrame::Hello {
+                session: 0xDEAD_BEEF_0042,
+                process: 3,
+                incarnation: 2,
+            },
+            WireFrame::Welcome {
+                config: vec![1, 2, 3, 4, 5],
+            },
+            WireFrame::Cmd {
+                node: 7,
+                cmd: NodeCmd::Correct {
+                    iteration: 19,
+                    a_row: vec![0.25, -1.5, 3.75e-3],
+                },
+            },
+            WireFrame::Cmd {
+                node: 11,
+                cmd: NodeCmd::Membership {
+                    datacenter: 1,
+                    evict: true,
+                },
+            },
+            WireFrame::Cmd {
+                node: 0,
+                cmd: NodeCmd::Restore {
+                    blob: vec![9, 8, 7],
+                },
+            },
+            WireFrame::Reply(Reply::DcStep {
+                j: 2,
+                iteration: 5,
+                a_tilde: vec![1.0, 2.0],
+                residuals: NodeResiduals {
+                    link: 0.1,
+                    balance: 0.2,
+                    movement: 0.3,
+                },
+            }),
+            WireFrame::Reply(Reply::FeFinal {
+                i: 4,
+                lambda: vec![0.5; 4],
+            }),
+            WireFrame::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn payloads_round_trip() {
+        for frame in sample_frames() {
+            let payload = frame.encode_payload();
+            assert_eq!(WireFrame::decode_payload(&payload).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn tampered_payloads_fail_typed() {
+        let payload = WireFrame::Cmd {
+            node: 1,
+            cmd: NodeCmd::Predict { iteration: 3 },
+        }
+        .encode_payload();
+        for pos in 0..payload.len() {
+            let mut bad = payload.clone();
+            bad[pos] ^= 0x20;
+            let err = WireFrame::decode_payload(&bad).unwrap_err();
+            assert!(
+                matches!(err, CoreError::CorruptPayload { .. }),
+                "byte {pos}: {err}"
+            );
+        }
+        for len in 0..payload.len() {
+            assert!(WireFrame::decode_payload(&payload[..len]).is_err());
+        }
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_over_partial_reads() {
+        let frames = sample_frames();
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.to_wire());
+        }
+        // Feed the concatenated stream in awkward 3-byte chunks.
+        let mut buf = FrameBuffer::new();
+        let mut decoded = Vec::new();
+        for chunk in stream.chunks(3) {
+            buf.push(chunk);
+            while let Some(payload) = buf.next_frame().unwrap() {
+                decoded.push(WireFrame::decode_payload(&payload).unwrap());
+            }
+        }
+        assert_eq!(decoded, frames);
+        assert_eq!(buf.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn frame_buffer_rejects_hostile_length_prefixes() {
+        let mut buf = FrameBuffer::new();
+        buf.push(&u32::MAX.to_le_bytes());
+        assert!(buf.next_frame().is_err(), "oversized prefix must fail");
+
+        let mut buf = FrameBuffer::new();
+        buf.push(&2u32.to_le_bytes());
+        assert!(buf.next_frame().is_err(), "undersized prefix must fail");
+    }
+
+    #[test]
+    fn run_config_round_trips_bit_exactly() {
+        use ufc_model::EmissionCostFn;
+        let mut instance = UfcInstance::new(
+            vec![1.0, 2.0],
+            vec![2.0, 2.0],
+            vec![0.24, 0.24],
+            vec![0.12, 0.12],
+            vec![0.48, 0.48],
+            vec![30.0, 70.0],
+            80.0,
+            vec![0.5, 0.3],
+            vec![vec![0.01, 0.02], vec![0.02, 0.01]],
+            10.0,
+            vec![
+                EmissionCostFn::linear(25.0).unwrap(),
+                EmissionCostFn::Quadratic {
+                    linear: 20.0,
+                    quad: 0.5,
+                },
+            ],
+            1.0,
+        )
+        .unwrap();
+        instance.queueing = Some(QueueingCost::default_interactive());
+        let config = RunConfig {
+            instance,
+            settings: AdmgSettings::default().with_threads(3),
+            active_mu: true,
+            active_nu: false,
+            processes: 4,
+        };
+        let back = RunConfig::decode(&config.encode()).unwrap();
+        assert_eq!(back, config);
+        assert!(RunConfig::decode(&config.encode()[..40]).is_err());
+    }
+
+    #[test]
+    fn node_partition_is_total_and_disjoint() {
+        let (m, n) = (10, 4);
+        for processes in [1, 2, 4, 14] {
+            let mut seen = vec![false; m + n];
+            for p in 0..processes {
+                for id in hosted_nodes(p, processes, m, n) {
+                    assert!(!seen[id], "node {id} hosted twice");
+                    seen[id] = true;
+                    assert_eq!(process_of(id, processes), p);
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "every node must be hosted");
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The worker side of the multi-process socket runtime.
+//!
+//! [`run_worker`] is the entire body of the `ufc-node` binary: connect to
+//! the coordinator, introduce yourself (a `Hello` wire frame), rebuild
+//! your hosted node kernels from the `RunConfig` in the `Welcome` answer,
+//! then serve node-addressed commands until every hosted node has shipped
+//! its final iterate or the coordinator says `Shutdown`.
+//!
+//! A worker process hosts the nodes `id % processes == process` (see
+//! [`crate::wire::hosted_nodes`]): front-end kernels for `id < m`,
+//! datacenter kernels above. The command dispatch is a byte-for-byte
+//! mirror of the supervised in-process workers in `supervision.rs` — same
+//! node methods in the same order — which is what makes the socket
+//! engine's clean path bit-identical to the lockstep engine.
+//!
+//! Failure behaviour: a dropped connection (`ECONNRESET`, EOF — e.g. the
+//! coordinator simulating a WAN partition by shutting the socket down) is
+//! answered with reconnect-with-backoff and a fresh `Hello` carrying the
+//! *same* incarnation, after which the run resumes on the new stream; the
+//! kernels live in this process and keep their state across reconnects.
+//! A worker that was really killed (`kill -9`) is respawned by the
+//! coordinator with a bumped incarnation and rebuilt from the last
+//! verified checkpoint via a `Restore` command plus command replay.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+use ufc_core::CoreError;
+
+use crate::node::{DatacenterNode, FrontendNode};
+use crate::snapshot::{DatacenterSnapshot, FrontendSnapshot};
+use crate::supervision::Reply;
+use crate::wire::{hosted_nodes, FrameBuffer, NodeCmd, RunConfig, WireFrame};
+
+/// Connection attempts before the worker gives up on the coordinator.
+const CONNECT_ATTEMPTS: usize = 12;
+
+/// Initial retry delay; doubles per attempt up to [`BACKOFF_CAP`].
+const BACKOFF_START: Duration = Duration::from_millis(10);
+
+/// Ceiling on the reconnect backoff delay.
+const BACKOFF_CAP: Duration = Duration::from_millis(500);
+
+/// One hosted node kernel: the worker-side spelling of the supervised
+/// runtime's per-thread node ownership.
+enum Hosted {
+    Fe(FrontendNode),
+    Dc(DatacenterNode),
+}
+
+fn io_failure(process: usize, context: &str, err: &std::io::Error) -> CoreError {
+    CoreError::node_failure(format!("worker-{process}"), 0, format!("{context}: {err}"))
+}
+
+fn connect_with_backoff(addr: &str, process: usize) -> Result<TcpStream, CoreError> {
+    let mut delay = BACKOFF_START;
+    let mut last: Option<std::io::Error> = None;
+    for _ in 0..CONNECT_ATTEMPTS {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream
+                    .set_nodelay(true)
+                    .map_err(|e| io_failure(process, "set_nodelay", &e))?;
+                return Ok(stream);
+            }
+            Err(e) => {
+                last = Some(e);
+                thread::sleep(delay);
+                delay = (delay * 2).min(BACKOFF_CAP);
+            }
+        }
+    }
+    Err(CoreError::node_failure(
+        format!("worker-{process}"),
+        0,
+        format!(
+            "cannot reach coordinator at {addr} after {CONNECT_ATTEMPTS} attempts: {}",
+            last.map_or_else(|| "no attempt made".to_owned(), |e| e.to_string())
+        ),
+    ))
+}
+
+/// A live session: the stream plus its reassembly buffer.
+struct Session {
+    stream: TcpStream,
+    frames: FrameBuffer,
+}
+
+impl Session {
+    /// Connects (with backoff) and sends the `Hello` announcement.
+    fn establish(
+        addr: &str,
+        process: usize,
+        session: u64,
+        incarnation: u32,
+    ) -> Result<Session, CoreError> {
+        let mut stream = connect_with_backoff(addr, process)?;
+        let hello = WireFrame::Hello {
+            session,
+            process,
+            incarnation,
+        }
+        .to_wire();
+        stream
+            .write_all(&hello)
+            .and_then(|()| stream.flush())
+            .map_err(|e| io_failure(process, "handshake send", &e))?;
+        Ok(Session {
+            stream,
+            frames: FrameBuffer::new(),
+        })
+    }
+
+    /// Blocks for the next complete frame; `Ok(None)` on orderly EOF.
+    fn next_frame(&mut self, process: usize) -> Result<Option<WireFrame>, CoreError> {
+        loop {
+            if let Some(payload) = self.frames.next_frame()? {
+                return WireFrame::decode_payload(&payload).map(Some);
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self
+                .stream
+                .read(&mut chunk)
+                .map_err(|e| io_failure(process, "socket read", &e))?;
+            if n == 0 {
+                if self.frames.pending_bytes() > 0 {
+                    return Err(CoreError::corrupt_payload(
+                        format!("worker-{process}"),
+                        0,
+                        format!(
+                            "connection closed mid-frame with {} bytes pending",
+                            self.frames.pending_bytes()
+                        ),
+                    ));
+                }
+                return Ok(None);
+            }
+            self.frames.push(&chunk[..n]);
+        }
+    }
+
+    fn send(&mut self, frame: &WireFrame, process: usize) -> Result<(), CoreError> {
+        self.stream
+            .write_all(&frame.to_wire())
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| io_failure(process, "socket write", &e))
+    }
+}
+
+/// Builds the node kernels this process hosts, in node-id order —
+/// identical construction to the in-process engines.
+fn build_nodes(config: &RunConfig, process: usize) -> Vec<(usize, Hosted)> {
+    let m = config.instance.m_frontends();
+    let n = config.instance.n_datacenters();
+    hosted_nodes(process, config.processes, m, n)
+        .into_iter()
+        .map(|id| {
+            let hosted = if id < m {
+                Hosted::Fe(FrontendNode::new(&config.instance, id, &config.settings))
+            } else {
+                Hosted::Dc(DatacenterNode::new(
+                    &config.instance,
+                    id - m,
+                    &config.settings,
+                    config.active_mu,
+                    config.active_nu,
+                ))
+            };
+            (id, hosted)
+        })
+        .collect()
+}
+
+/// Dispatches one command to the addressed hosted node; mirrors the
+/// supervised worker loops in `supervision.rs` verb for verb. Returns the
+/// reply to ship, or `None` for fire-and-forget verbs (membership,
+/// restore).
+fn dispatch(
+    node_id: usize,
+    hosted: &mut Hosted,
+    cmd: NodeCmd,
+    process: usize,
+) -> Result<Option<Reply>, CoreError> {
+    let misaddressed = |verb: &str| {
+        CoreError::node_failure(
+            format!("worker-{process}"),
+            0,
+            format!("{verb} command addressed to the wrong node kind (node {node_id})"),
+        )
+    };
+    match (hosted, cmd) {
+        (Hosted::Fe(node), NodeCmd::Predict { iteration }) => Ok(Some(Reply::Lambda {
+            i: node.index(),
+            iteration,
+            row: node.predict_lambda(),
+        })),
+        (Hosted::Fe(node), NodeCmd::Correct { iteration, a_row }) => Ok(Some(Reply::FeResidual {
+            i: node.index(),
+            iteration,
+            residuals: node.receive_a_and_correct(&a_row),
+        })),
+        (Hosted::Dc(node), NodeCmd::Process { iteration, column }) => {
+            let step = node.process(&column);
+            Ok(Some(Reply::DcStep {
+                j: node.index(),
+                iteration,
+                a_tilde: step.a_tilde,
+                residuals: step.residuals,
+            }))
+        }
+        (Hosted::Fe(node), NodeCmd::Snapshot { iteration }) => Ok(Some(Reply::FeSnapshot {
+            i: node.index(),
+            iteration,
+            blob: node.snapshot().to_bytes(),
+        })),
+        (Hosted::Dc(node), NodeCmd::Snapshot { iteration }) => Ok(Some(Reply::DcSnapshot {
+            j: node.index(),
+            iteration,
+            blob: node.snapshot().to_bytes(),
+        })),
+        (Hosted::Fe(node), NodeCmd::Membership { datacenter, evict }) => {
+            if evict {
+                node.set_evicted(datacenter);
+            } else {
+                node.clear_evicted(datacenter);
+            }
+            Ok(None)
+        }
+        (Hosted::Fe(node), NodeCmd::Restore { blob }) => {
+            let snap = FrontendSnapshot::from_bytes(&blob)?;
+            node.restore(&snap)?;
+            Ok(None)
+        }
+        (Hosted::Dc(node), NodeCmd::Restore { blob }) => {
+            let snap = DatacenterSnapshot::from_bytes(&blob)?;
+            node.restore(&snap)?;
+            Ok(None)
+        }
+        (Hosted::Fe(node), NodeCmd::Finish) => Ok(Some(Reply::FeFinal {
+            i: node.index(),
+            lambda: node.lambda().to_vec(),
+        })),
+        (Hosted::Dc(node), NodeCmd::Finish) => Ok(Some(Reply::DcFinal {
+            j: node.index(),
+            mu: node.mu(),
+        })),
+        (_, NodeCmd::Predict { .. } | NodeCmd::Correct { .. }) => Err(misaddressed("front-end")),
+        (_, NodeCmd::Process { .. }) => Err(misaddressed("datacenter")),
+        (_, NodeCmd::Membership { .. }) => Err(misaddressed("membership")),
+    }
+}
+
+/// Runs one worker process to completion: the body of the `ufc-node`
+/// binary.
+///
+/// Connects to the coordinator at `addr` (an IPv4/IPv6 `host:port` on
+/// loopback in all shipped experiments), performs the `Hello`/`Welcome`
+/// handshake for `(session, process, incarnation)`, then serves commands
+/// for its hosted nodes until all of them have answered `Finish` or a
+/// `Shutdown` frame arrives. Dropped connections are re-established with
+/// exponential backoff and a repeated `Hello` (same incarnation); node
+/// state survives the reconnect because it lives here, not in the stream.
+///
+/// # Errors
+///
+/// [`CoreError::NodeFailure`] when the coordinator stays unreachable past
+/// the backoff budget or a command is misaddressed, and
+/// [`CoreError::CorruptPayload`] when a frame fails its CRC32 or bounds
+/// checks — both name the worker process involved.
+pub fn run_worker(
+    addr: &str,
+    process: usize,
+    session: u64,
+    incarnation: u32,
+) -> Result<(), CoreError> {
+    let mut link = Session::establish(addr, process, session, incarnation)?;
+    let mut nodes: Vec<(usize, Hosted)> = Vec::new();
+    let mut finished = 0usize;
+    loop {
+        let frame = match link.next_frame(process) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => {
+                if !nodes.is_empty() && finished == nodes.len() {
+                    // All hosted nodes shipped their finals; an EOF now is
+                    // an orderly coordinator teardown.
+                    return Ok(());
+                }
+                // Mid-run drop (partition simulation or coordinator
+                // hiccup): reconnect and re-introduce ourselves.
+                link = Session::establish(addr, process, session, incarnation)?;
+                continue;
+            }
+            // Read errors (ECONNRESET and friends) take the same recovery
+            // path as EOF; anything else (corrupt frame) is fatal.
+            Err(CoreError::NodeFailure { .. }) => {
+                if !nodes.is_empty() && finished == nodes.len() {
+                    return Ok(());
+                }
+                link = Session::establish(addr, process, session, incarnation)?;
+                continue;
+            }
+            Err(err) => return Err(err),
+        };
+        match frame {
+            WireFrame::Welcome { config } => {
+                // First Welcome builds the kernels; a Welcome on a
+                // reconnect is ignored — state lives here.
+                if nodes.is_empty() {
+                    let config = RunConfig::decode(&config)?;
+                    if process >= config.processes {
+                        return Err(CoreError::invalid_config(format!(
+                            "worker process {process} out of range for {} processes",
+                            config.processes
+                        )));
+                    }
+                    nodes = build_nodes(&config, process);
+                }
+            }
+            WireFrame::Cmd { node, cmd } => {
+                let is_finish = matches!(cmd, NodeCmd::Finish);
+                let Some((id, hosted)) = nodes.iter_mut().find(|(id, _)| *id == node) else {
+                    return Err(CoreError::node_failure(
+                        format!("worker-{process}"),
+                        0,
+                        format!("command for node {node}, which this worker does not host"),
+                    ));
+                };
+                if let Some(reply) = dispatch(*id, hosted, cmd, process)? {
+                    link.send(&WireFrame::Reply(reply), process)?;
+                }
+                if is_finish {
+                    finished += 1;
+                }
+            }
+            WireFrame::Shutdown => return Ok(()),
+            WireFrame::Hello { .. } | WireFrame::Reply(_) => {
+                return Err(CoreError::corrupt_payload(
+                    format!("worker-{process}"),
+                    0,
+                    "coordinator sent a worker-to-coordinator frame".to_owned(),
+                ));
+            }
+        }
+    }
+}

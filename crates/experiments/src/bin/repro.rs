@@ -21,13 +21,17 @@
 //!   chaos      extension: corruption-rate sweep of the checksummed wire
 //!              codec and divergence safeguards, both distributed engines;
 //!              `--quick` shrinks the sweep for CI smoke runs
+//!   sockets    extension: multi-process socket engine (one OS process per
+//!              node over loopback TCP) vs lockstep, clean and under real
+//!              SIGKILL + partition recovery; `--quick` shrinks the sweep
+//!              for CI smoke runs
 //!   wsweep     extension: latency-weight (w) Pareto sweep
 //!   bench      solver hot-path wall-clock (writes BENCH_solver.json);
 //!              `--quick` shrinks the workload for CI smoke runs
 //!   trace      run-telemetry JSONL trace of one instrumented solve;
-//!              `--engine inprocess|lockstep|threaded|faulty|corrupt` picks the
-//!              execution engine, `--check` validates the emitted JSON and
-//!              counter invariants
+//!              `--engine inprocess|lockstep|threaded|faulty|corrupt|sockets`
+//!              picks the execution engine, `--check` validates the emitted
+//!              JSON and counter invariants
 //!   verify     self-test: centralized / in-memory / distributed agreement
 //!   all      everything above (except extensions)
 //! ```
@@ -161,6 +165,10 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     if opts.command == "chaos" {
         matched = true;
         run_chaos(opts, settings)?;
+    }
+    if opts.command == "sockets" {
+        matched = true;
+        run_sockets(opts, settings)?;
     }
     if opts.command == "wsweep" {
         matched = true;
@@ -597,6 +605,57 @@ fn run_chaos(opts: &Options, settings: AdmgSettings) -> Result<(), Box<dyn std::
     Ok(())
 }
 
+fn run_sockets(opts: &Options, settings: AdmgSettings) -> Result<(), Box<dyn std::error::Error>> {
+    use ufc_experiments::sockets;
+    let hours = if opts.quick { 2 } else { opts.hours.min(24) };
+    let worker = sockets::locate_worker()?;
+    let study = sockets::run(opts.seed, hours, settings, &worker)?;
+    println!(
+        "== Extension: multi-process socket engine ({hours} clean hours, {} worker processes) ==",
+        study.processes
+    );
+    let rows: Vec<Vec<String>> = study
+        .hours
+        .iter()
+        .map(|h| {
+            vec![
+                h.hour.to_string(),
+                h.iterations.to_string(),
+                if h.converged { "yes" } else { "no" }.to_owned(),
+                if h.bitwise_match { "yes" } else { "no" }.to_owned(),
+                fmt(h.wan_seconds, 3),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &["hour", "iterations", "converged", "bitwise", "est WAN s"],
+            &rows
+        )
+    );
+    let r = &study.recovery;
+    println!(
+        "recovery scenario: {} SIGKILLs resolved, {} dead-node declarations, \
+         {} reconnects, {} checkpoints, {} iterations recomputed, UFC delta {} $",
+        r.crashes_resolved,
+        r.dead_node_declarations,
+        r.reconnects,
+        r.checkpoints_taken,
+        r.recomputed_iterations,
+        fmt(r.ufc_delta_vs_clean, 6),
+    );
+    if !study.all_bitwise() {
+        return Err("socket engine failed to reproduce the lockstep operating point".into());
+    }
+    println!("socket engine reproduced the lockstep operating point bit-for-bit in every run\n");
+    if let Some(dir) = &opts.csv_dir {
+        write_csv(dir, "socket_sweep", &study.csv())?;
+        println!("(csv written to {})", dir.display());
+    }
+    Ok(())
+}
+
 fn run_wsweep(opts: &Options, settings: AdmgSettings) -> Result<(), Box<dyn std::error::Error>> {
     let hours = opts.hours.min(48);
     let weights = [0.5, 2.0, 5.0, 10.0, 25.0, 60.0, 150.0];
@@ -668,7 +727,7 @@ fn run_trace(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
 
     let engine = trace::TraceEngine::parse(&opts.engine).ok_or_else(|| {
         format!(
-            "unknown --engine {:?} (expected inprocess|lockstep|threaded|faulty|corrupt)",
+            "unknown --engine {:?} (expected inprocess|lockstep|threaded|faulty|corrupt|sockets)",
             opts.engine
         )
     })?;

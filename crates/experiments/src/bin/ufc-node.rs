@@ -1,0 +1,85 @@
+//! `ufc-node` — a worker process of the multi-process socket runtime.
+//!
+//! Spawned by the socket engine's coordinator
+//! (`ufc_distsim::DistributedAdmg::run_sockets`), one per process slot:
+//!
+//! ```text
+//! ufc-node --connect 127.0.0.1:PORT --process P --session S [--incarnation I]
+//! ```
+//!
+//! The process connects to the coordinator, rebuilds its hosted node
+//! kernels from the handshake's run configuration, and serves ADM-G
+//! commands until the run finishes. All protocol logic lives in
+//! `ufc_distsim::worker::run_worker`; this binary only parses the flags.
+
+use std::process::ExitCode;
+
+use ufc_distsim::worker::run_worker;
+
+struct Args {
+    connect: String,
+    process: usize,
+    session: u64,
+    incarnation: u32,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut connect = None;
+    let mut process = None;
+    let mut session = None;
+    let mut incarnation = 0u32;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--connect" => connect = Some(value("--connect")?),
+            "--process" => {
+                let v = value("--process")?;
+                process = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --process value {v:?}"))?,
+                );
+            }
+            "--session" => {
+                let v = value("--session")?;
+                session = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --session value {v:?}"))?,
+                );
+            }
+            "--incarnation" => {
+                let v = value("--incarnation")?;
+                incarnation = v
+                    .parse()
+                    .map_err(|_| format!("bad --incarnation value {v:?}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(Args {
+        connect: connect.ok_or("missing --connect")?,
+        process: process.ok_or("missing --process")?,
+        session: session.ok_or("missing --session")?,
+        incarnation,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ufc-node: {e}");
+            eprintln!(
+                "usage: ufc-node --connect HOST:PORT --process P --session S [--incarnation I]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_worker(&args.connect, args.process, args.session, args.incarnation) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ufc-node[{}]: {e}", args.process);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -17,6 +17,7 @@
 //! | §II-A predictability assumption | [`robustness`] | `forecast` |
 //! | §III failure-free assumption | [`faults`] | `faults` |
 //! | §III clean-channel assumption | [`chaos`] | `chaos` |
+//! | §III single-failure-domain assumption | [`sockets`] | `sockets` |
 //! | solver hot-path wall-clock | [`solver_bench`] | `bench` |
 //! | run-telemetry JSONL trace | [`trace`] | `trace` |
 //!
@@ -35,6 +36,7 @@ pub mod fig3;
 pub mod parallel;
 pub mod report;
 pub mod robustness;
+pub mod sockets;
 pub mod solver_bench;
 pub mod sweep;
 pub mod table1;

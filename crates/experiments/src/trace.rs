@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use ufc_core::telemetry::RunTelemetry;
 use ufc_core::{AdmgSettings, AdmgSolver, JsonlSink, Phase, Strategy};
-use ufc_distsim::{CorruptionConfig, DistributedAdmg, FaultPlan, NodeId, Runtime};
+use ufc_distsim::{CorruptionConfig, DistributedAdmg, FaultPlan, NodeId, Runtime, SocketOptions};
 use ufc_model::scenario::ScenarioBuilder;
 
 /// Which execution engine the trace drives.
@@ -32,6 +32,11 @@ pub enum TraceEngine {
     /// The lockstep engine under seeded payload corruption with CRC32
     /// verification on (solver + traffic + integrity counters).
     Corrupt,
+    /// The multi-process socket engine under the
+    /// [`crate::sockets::recovery_fault_plan`] script: real `SIGKILL`s and
+    /// torn TCP connections (traffic + fault + integrity counters; the
+    /// kernels live in worker processes, so solver counters read 0).
+    Sockets,
 }
 
 impl TraceEngine {
@@ -44,6 +49,7 @@ impl TraceEngine {
             "threaded" => Some(TraceEngine::Threaded),
             "faulty" => Some(TraceEngine::Faulty),
             "corrupt" => Some(TraceEngine::Corrupt),
+            "sockets" => Some(TraceEngine::Sockets),
             _ => None,
         }
     }
@@ -57,6 +63,7 @@ impl TraceEngine {
             TraceEngine::Threaded => "threaded",
             TraceEngine::Faulty => "faulty",
             TraceEngine::Corrupt => "corrupt",
+            TraceEngine::Sockets => "sockets",
         }
     }
 }
@@ -152,6 +159,17 @@ pub fn run(
             )?;
             (report.iterations, report.converged, report.telemetry)
         }
+        TraceEngine::Sockets => {
+            let options = SocketOptions::new(crate::sockets::locate_worker()?);
+            let report = DistributedAdmg::new(settings).run_sockets_faulty_observed(
+                instance,
+                Strategy::Hybrid,
+                &options,
+                crate::sockets::recovery_fault_plan(),
+                &mut sink,
+            )?;
+            (report.iterations, report.converged, report.telemetry)
+        }
     };
     let telemetry = telemetry.ok_or("telemetry was enabled but not returned")?;
     let bytes = sink.finish()?;
@@ -208,7 +226,9 @@ pub fn check(out: &TraceOutput) -> Result<(), String> {
     if t.total_ns() == 0 {
         return Err("all phase timings are zero".to_owned());
     }
-    let solver_observable = out.engine != TraceEngine::Threaded;
+    // The threaded and socket engines host the kernels in worker threads /
+    // processes, so the coordinator-side solver counters read 0.
+    let solver_observable = !matches!(out.engine, TraceEngine::Threaded | TraceEngine::Sockets);
     if solver_observable {
         if t.solver.kkt_cache_hits + t.solver.kkt_cache_misses == 0 {
             return Err("KKT cache counters never moved".to_owned());
@@ -227,33 +247,61 @@ pub fn check(out: &TraceOutput) -> Result<(), String> {
             return Err("traffic counters never moved".to_owned());
         }
     }
-    if out.engine == TraceEngine::Faulty {
-        let fault = t.fault.ok_or("faulty run lost fault counters")?;
-        if fault.crashes_resolved == 0 {
-            return Err("no crash was resolved".to_owned());
+    match out.engine {
+        TraceEngine::Faulty => {
+            let fault = t.fault.ok_or("faulty run lost fault counters")?;
+            if fault.crashes_resolved == 0 {
+                return Err("no crash was resolved".to_owned());
+            }
+            if fault.stragglers_observed == 0 {
+                return Err("no straggler was charged".to_owned());
+            }
+            if fault.checkpoints_taken == 0 {
+                return Err("no checkpoint was taken".to_owned());
+            }
         }
-        if fault.stragglers_observed == 0 {
-            return Err("no straggler was charged".to_owned());
+        TraceEngine::Sockets => {
+            let fault = t.fault.ok_or("socket run lost fault counters")?;
+            if fault.crashes_resolved == 0 {
+                return Err("no SIGKILL'd process was recovered".to_owned());
+            }
+            if fault.checkpoints_taken == 0 {
+                return Err("no checkpoint was taken".to_owned());
+            }
         }
-        if fault.checkpoints_taken == 0 {
-            return Err("no checkpoint was taken".to_owned());
+        _ => {
+            if t.fault.is_some() {
+                return Err("clean run reported fault counters".to_owned());
+            }
         }
-    } else if t.fault.is_some() {
-        return Err("clean run reported fault counters".to_owned());
     }
-    if out.engine == TraceEngine::Corrupt {
-        let integrity = t.integrity.ok_or("corrupt run lost integrity counters")?;
-        if integrity.corruptions_injected == 0 {
-            return Err("no corruption was injected".to_owned());
+    match out.engine {
+        TraceEngine::Corrupt => {
+            let integrity = t.integrity.ok_or("corrupt run lost integrity counters")?;
+            if integrity.corruptions_injected == 0 {
+                return Err("no corruption was injected".to_owned());
+            }
+            if integrity.corruptions_delivered != 0 {
+                return Err("a verified link delivered corrupt bytes".to_owned());
+            }
+            if integrity.checksum_retransmissions != integrity.corruptions_detected {
+                return Err("every detection must trigger exactly one retransmit".to_owned());
+            }
         }
-        if integrity.corruptions_delivered != 0 {
-            return Err("a verified link delivered corrupt bytes".to_owned());
+        TraceEngine::Sockets => {
+            let integrity = t.integrity.ok_or("socket run lost integrity counters")?;
+            if integrity.dead_node_declarations == 0 {
+                return Err("the deadline ladder never declared a dead node".to_owned());
+            }
+            if integrity.reconnects == 0 {
+                return Err("no torn connection was re-established".to_owned());
+            }
         }
-        if integrity.checksum_retransmissions != integrity.corruptions_detected {
-            return Err("every detection must trigger exactly one retransmit".to_owned());
+        _ => {
+            if t.integrity.is_some() {
+                return Err("uncorrupted run reported integrity counters".to_owned());
+            }
         }
-    } else if t.integrity.is_some() {
-        return Err("uncorrupted run reported integrity counters".to_owned());
     }
     Ok(())
 }
@@ -495,6 +543,7 @@ mod tests {
             TraceEngine::Threaded,
             TraceEngine::Faulty,
             TraceEngine::Corrupt,
+            TraceEngine::Sockets,
         ] {
             assert_eq!(TraceEngine::parse(engine.name()), Some(engine));
         }

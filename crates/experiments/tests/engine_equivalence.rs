@@ -6,7 +6,9 @@
 //! same block kernels.
 
 use ufc_core::{AdmgSettings, AdmgSolver, Strategy};
-use ufc_distsim::{CorruptionConfig, DistRunReport, DistributedAdmg, FaultPlan, Runtime};
+use ufc_distsim::{
+    CorruptionConfig, DistRunReport, DistributedAdmg, FaultPlan, Runtime, SocketOptions,
+};
 use ufc_experiments::solver_bench::admg_scaling;
 use ufc_experiments::DEFAULT_SEED;
 use ufc_model::{UfcBreakdown, UfcInstance};
@@ -155,6 +157,46 @@ fn sweep_engines(num_threads: usize) {
         assert!(
             integrity.is_zero(),
             "a rate-0 channel must count nothing ({runtime:?}): {integrity:?}"
+        );
+    }
+}
+
+/// The multi-process socket engine joins the agreement: real `ufc-node`
+/// OS processes over loopback TCP, at both extremes of the co-hosting
+/// spectrum (everything in one worker process, and nodes spread over
+/// four), reproduce the in-process iterates bitwise with exactly the
+/// lockstep engine's traffic.
+#[test]
+fn socket_engine_agrees_bitwise_across_process_counts() {
+    let instances = admg_scaling(DEFAULT_SEED, 1).expect("scaling workload must build");
+    let instance = instances
+        .first()
+        .expect("scaling workload yields at least one instance");
+    let settings = AdmgSettings::default();
+    let reference = reference_run(instance, settings);
+    let runner = DistributedAdmg::new(settings);
+    let lockstep = runner
+        .run(instance, Strategy::Hybrid, Runtime::Lockstep)
+        .expect("lockstep run must succeed");
+
+    for processes in [1usize, 4] {
+        let options = SocketOptions::new(env!("CARGO_BIN_EXE_ufc-node")).with_processes(processes);
+        let socket = runner
+            .run_sockets(instance, Strategy::Hybrid, &options)
+            .expect("socket run must succeed");
+        let label = format!("sockets x{processes}");
+        assert_report_matches(&reference, &socket, &label);
+        assert_eq!(
+            lockstep.stats, socket.stats,
+            "{label}: socket and lockstep runs must exchange identical traffic"
+        );
+        assert!(
+            socket.fault.is_none(),
+            "{label}: clean socket run must not carry a fault report"
+        );
+        assert!(
+            socket.integrity.is_none(),
+            "{label}: clean socket run must not carry integrity counters"
         );
     }
 }
