@@ -81,7 +81,7 @@ pub use telemetry::{
     FaultCounters, JsonlSink, ObserverChain, Phase, RunTelemetry, SolverCounters,
     TelemetryCollector, TrafficCounters,
 };
-pub use workspace::{AColQp, LambdaQp};
+pub use workspace::{AColQp, LambdaQp, QpOptions};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -4,10 +4,18 @@
 //! and the μ/ν/a-steps separable per datacenter, so each prediction phase is
 //! an embarrassingly parallel map over independent blocks. [`WorkerPool`]
 //! fans such a map across scoped OS threads (no `'static` bounds, no
-//! channels, no external dependencies) while writing every block's result
-//! into its own pre-assigned slot — results come back in input order no
-//! matter how the OS schedules the workers, which is what makes parallel
-//! ADM-G runs bit-identical to sequential ones.
+//! channels, no external dependencies) with a **sharded gather**: every
+//! worker accumulates its contiguous chunk's results in its own shard
+//! vector, and the shards are concatenated in spawn order after the join.
+//! There is no shared result buffer, no coordinator channel, and no
+//! per-item synchronization — at scaled instance sizes (thousands of
+//! blocks per phase) the gather cost is one `memcpy` per shard instead of
+//! one slot write + hole check per block. Because shard order equals chunk
+//! order equals input order, results come back in input order no matter how
+//! the OS schedules the workers, which is what makes parallel ADM-G runs
+//! bit-identical to sequential ones. The calling thread processes the first
+//! shard itself while the spawned workers chew on theirs, so a width-`k`
+//! fan-out spawns only `k − 1` threads.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -68,9 +76,11 @@ impl WorkerPool {
     }
 
     /// A pool of exactly `threads` workers, skipping the core-count clamp.
-    /// Test-only: lets the chunked spawn path run even on small machines.
+    /// Test-only: lets the chunked spawn path run even on small machines
+    /// (crate-visible so the workspace/engine bit-identity tests can drive
+    /// real multi-thread gathers regardless of the host's core count).
     #[cfg(test)]
-    fn exact(threads: usize) -> Self {
+    pub(crate) fn exact(threads: usize) -> Self {
         WorkerPool::with_width(threads)
     }
 
@@ -95,10 +105,12 @@ impl WorkerPool {
 
     /// Applies `f` to every item (receiving the item index and a mutable
     /// borrow), splitting the index space across up to `threads()` scoped
-    /// threads. Results are returned in input order regardless of
-    /// scheduling, and each invocation of `f` observes exactly the same
-    /// inputs as a sequential run — so parallel output is bit-identical to
-    /// `items.iter_mut().enumerate().map(...)`.
+    /// threads. Each worker gathers its chunk's results into its own shard
+    /// vector (no shared result buffer); the shards are concatenated in
+    /// chunk order after the join, so results are returned in input order
+    /// regardless of scheduling, and each invocation of `f` observes
+    /// exactly the same inputs as a sequential run — parallel output is
+    /// bit-identical to `items.iter_mut().enumerate().map(...)`.
     ///
     /// # Panics
     ///
@@ -116,40 +128,41 @@ impl WorkerPool {
             return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
         }
         let chunk = items.len().div_ceil(threads);
-        let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
-        results.resize_with(items.len(), || None);
+        let mut results: Vec<R> = Vec::with_capacity(items.len());
         std::thread::scope(|scope| {
-            // Walk the item and result buffers in lockstep, carving one
-            // disjoint contiguous chunk per worker.
-            let mut rest_items: &mut [T] = items;
-            let mut rest_results: &mut [Option<R>] = &mut results;
-            let mut start = 0;
+            // Carve one disjoint contiguous chunk per worker. The first
+            // chunk stays on the calling thread; the rest are spawned
+            // before it runs so all shards execute concurrently.
+            let (first, mut rest_items) = items.split_at_mut(chunk);
+            let mut start = first.len();
             let mut handles = Vec::new();
             while !rest_items.is_empty() {
                 let take = chunk.min(rest_items.len());
-                let (item_head, item_tail) = rest_items.split_at_mut(take);
-                let (result_head, result_tail) = rest_results.split_at_mut(take);
-                rest_items = item_tail;
-                rest_results = result_tail;
+                let (head, tail) = rest_items.split_at_mut(take);
+                rest_items = tail;
                 let begin = start;
                 start += take;
                 let fref = &f;
                 handles.push(scope.spawn(move || {
-                    for (off, (item, slot)) in
-                        item_head.iter_mut().zip(result_head.iter_mut()).enumerate()
-                    {
-                        *slot = Some(fref(begin + off, item));
+                    let mut shard = Vec::with_capacity(head.len());
+                    for (off, item) in head.iter_mut().enumerate() {
+                        shard.push(fref(begin + off, item));
                     }
+                    shard
                 }));
             }
+            // Shard 0, inline. Index origin 0 ⇒ same arguments as the
+            // sequential path.
+            for (off, item) in first.iter_mut().enumerate() {
+                results.push(f(off, item));
+            }
+            // Sharded gather: join in spawn order and splice each shard —
+            // spawn order is chunk order is input order.
             for h in handles {
-                h.join().expect("worker thread panicked");
+                results.append(&mut h.join().expect("worker thread panicked"));
             }
         });
         results
-            .into_iter()
-            .map(|r| r.expect("worker left a hole"))
-            .collect()
     }
 }
 

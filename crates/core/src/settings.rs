@@ -41,6 +41,22 @@ pub struct AdmgSettings {
     /// factorizations every iteration — and exists for benchmarking the
     /// cached path against it.
     pub cache_factorizations: bool,
+    /// Solve block-QP KKT systems in `O(n)` via the Sherman–Morrison rank-1
+    /// fast path (`ufc_opt::ActiveSetQp::with_rank1_kkt`) whenever the
+    /// working set stays in the λ/a sub-problem shape (nonnegativity bounds
+    /// plus at most one simplex row). Mandatory for the scaled benchmark
+    /// sizes — dense refactorization is `O(n³)` per working set and its
+    /// cache holds dense factors per visited working set. The fast path
+    /// agrees with the dense path to solver tolerance but is **not**
+    /// bit-identical to it; `false` (the default) reproduces the dense-path
+    /// arithmetic exactly.
+    pub rank1_kkt: bool,
+    /// Factor dense KKT systems with the blocked (cache-tiled) LDLᵀ kernel.
+    /// The blocked kernel produces bit-identical factors to the unblocked
+    /// one — this knob never changes results, only the memory-access
+    /// pattern. Off by default so the seed configuration is byte-for-byte
+    /// the pre-PR one.
+    pub blocked_factorizations: bool,
     /// Collect a [`crate::telemetry::RunTelemetry`] snapshot (per-phase
     /// wall-clock histograms plus solver/traffic/fault counters) and attach
     /// it to the solution/report. Telemetry is strictly observational —
@@ -94,6 +110,8 @@ impl Default for AdmgSettings {
             method: SubproblemMethod::ActiveSet,
             num_threads: 1,
             cache_factorizations: true,
+            rank1_kkt: false,
+            blocked_factorizations: false,
             telemetry: false,
             verify_checksums: false,
             divergence_kappa: 1e6,
@@ -229,6 +247,20 @@ impl AdmgSettings {
         self
     }
 
+    /// Returns a copy with the rank-1 fast KKT path toggled.
+    #[must_use]
+    pub fn with_rank1_kkt(mut self, enabled: bool) -> Self {
+        self.rank1_kkt = enabled;
+        self
+    }
+
+    /// Returns a copy with blocked KKT factorizations toggled.
+    #[must_use]
+    pub fn with_blocked_factorizations(mut self, enabled: bool) -> Self {
+        self.blocked_factorizations = enabled;
+        self
+    }
+
     /// Returns a copy with run-telemetry collection toggled.
     #[must_use]
     pub fn with_telemetry(mut self, enabled: bool) -> Self {
@@ -327,6 +359,19 @@ mod tests {
         let s = AdmgSettings::default();
         assert_eq!(s.num_threads, 1);
         assert!(s.cache_factorizations);
+    }
+
+    #[test]
+    fn scaling_fast_paths_default_off() {
+        let s = AdmgSettings::default();
+        assert!(!s.rank1_kkt, "rank-1 KKT must default off");
+        assert!(
+            !s.blocked_factorizations,
+            "blocked kernels must default off"
+        );
+        let s = s.with_rank1_kkt(true).with_blocked_factorizations(true);
+        assert!(s.rank1_kkt && s.blocked_factorizations);
+        s.validate();
     }
 
     #[test]

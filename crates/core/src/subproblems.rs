@@ -62,6 +62,9 @@ pub fn lambda_step(
     let mut c = vec![0.0; n];
     let mut objective =
         QuadObjective::diag_rank1(vec![rho; n], 0.0, vec![0.0; n], vec![0.0; n], 0.0);
+    // One start buffer recycled across blocks: each solve consumes it and
+    // its solution vector becomes the next block's start storage.
+    let mut start_buf: Vec<f64> = Vec::new();
     for i in 0..m {
         let arrival = instance.arrivals[i];
         let gamma = disutility_rank1_gamma(w, arrival);
@@ -70,7 +73,9 @@ pub fn lambda_step(
             *cj = state.varphi[state.idx(i, j)] - rho * state.a[state.idx(i, j)];
         }
         objective.set_linear(&c);
-        let start = vec![arrival / n as f64; n];
+        let mut start = std::mem::take(&mut start_buf);
+        start.clear();
+        start.resize(n, arrival / n as f64);
         let row = match method {
             SubproblemMethod::ActiveSet => {
                 ActiveSetQp::default()
@@ -86,6 +91,7 @@ pub fn lambda_step(
             }
         };
         lambda_tilde[i * n..(i + 1) * n].copy_from_slice(&row);
+        start_buf = row;
     }
     Ok(lambda_tilde)
 }
@@ -212,7 +218,7 @@ pub fn nu_step(
 
 /// The a-sub-problem objective with the optional congestion barrier
 /// (extension): quadratic part of (20) plus `Q_j(Σ_i a_ij)`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CongestedAStep {
     quad: QuadObjective,
     queueing: QueueingCost,
@@ -228,6 +234,14 @@ impl CongestedAStep {
             queueing,
             capacity,
         }
+    }
+
+    /// Retargets the linear term of the quadratic part (the barrier carries
+    /// no linear data), mirroring [`QuadObjective::set_linear`] so a
+    /// persistent congested kernel can be reused across solves instead of
+    /// cloning the objective each iteration.
+    pub fn set_linear(&mut self, c: &[f64]) {
+        self.quad.set_linear(c);
     }
 }
 
@@ -293,6 +307,8 @@ pub fn a_step(
     let mut c = vec![0.0; m];
     let mut objective =
         QuadObjective::diag_rank1(vec![rho; m], 0.0, ones.clone(), vec![0.0; m], 0.0);
+    // One start buffer recycled across columns (see `lambda_step`).
+    let mut start_buf: Vec<f64> = Vec::new();
     for j in 0..n {
         let beta = instance.beta[j];
         let drift = instance.alpha[j] - mu_tilde[j] - nu_tilde[j];
@@ -313,30 +329,33 @@ pub fn a_step(
                 capacity: cap,
             };
             let cap_q = q.load_cap(cap).min(cap);
+            let mut start = std::mem::take(&mut start_buf);
+            start.clear();
+            start.resize(m, 0.0);
             let col = Fista::new(FISTA_MAX_ITER, FISTA_CONGESTED_TOL)
-                .minimize_adaptive(
-                    &congested,
-                    |x| project_capped_simplex(x, cap_q),
-                    vec![0.0; m],
-                )
+                .minimize_adaptive(&congested, |x| project_capped_simplex(x, cap_q), start)
                 .map_err(|e| CoreError::subproblem(format!("a[{j}] (congested)"), e))?
                 .x;
             for i in 0..m {
                 a_tilde[state.idx(i, j)] = col[i];
             }
+            start_buf = col;
             continue;
         }
+        let mut start = std::mem::take(&mut start_buf);
+        start.clear();
+        start.resize(m, 0.0);
         let col = match method {
             SubproblemMethod::ActiveSet => {
                 b_in[m] = cap;
                 ActiveSetQp::default()
-                    .solve(&objective, &a_eq, &[], &a_in, &b_in, vec![0.0; m])
+                    .solve(&objective, &a_eq, &[], &a_in, &b_in, start)
                     .map_err(|e| CoreError::subproblem(format!("a[{j}]"), e))?
                     .x
             }
             SubproblemMethod::Fista => {
                 Fista::new(FISTA_MAX_ITER, FISTA_TOL)
-                    .minimize(&objective, |x| project_capped_simplex(x, cap), vec![0.0; m])
+                    .minimize(&objective, |x| project_capped_simplex(x, cap), start)
                     .map_err(|e| CoreError::subproblem(format!("a[{j}]"), e))?
                     .x
             }
@@ -344,6 +363,7 @@ pub fn a_step(
         for i in 0..m {
             a_tilde[state.idx(i, j)] = col[i];
         }
+        start_buf = col;
     }
     Ok(a_tilde)
 }

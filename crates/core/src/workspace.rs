@@ -56,13 +56,14 @@ const WARM_ROW_TOL: f64 = 1e-7;
 /// of re-discovering it one blocking constraint per KKT solve.
 const WARM_SNAP_TOL: f64 = 1e-10;
 
-/// Snaps near-zero warm-start entries to exact zeros and returns the seeded
-/// working-set rows (the snapped indices). An all-zero result clears the
-/// seed: a zero iterate carries no support information and coincides with
-/// the classic cold start, which must stay bit-identical to the unseeded
-/// reference path.
-fn snap_support(x: &mut [f64]) -> Vec<usize> {
-    let mut seed = Vec::new();
+/// Snaps near-zero warm-start entries to exact zeros and fills `seed` with
+/// the seeded working-set rows (the snapped indices). An all-zero result
+/// clears the seed: a zero iterate carries no support information and
+/// coincides with the classic cold start, which must stay bit-identical to
+/// the unseeded reference path. Writes into a caller-owned buffer so the
+/// steady-state hot path allocates nothing per solve.
+fn snap_support_into(x: &mut [f64], seed: &mut Vec<usize>) {
+    seed.clear();
     for (i, xi) in x.iter_mut().enumerate() {
         if *xi <= WARM_SNAP_TOL {
             *xi = 0.0;
@@ -72,7 +73,67 @@ fn snap_support(x: &mut [f64]) -> Vec<usize> {
     if seed.len() == x.len() {
         seed.clear();
     }
-    seed
+}
+
+/// Which acceleration paths a block kernel engages — the per-kernel
+/// projection of [`AdmgSettings`]. All three default to `false`; the
+/// bit-identity contract of each knob is documented on the corresponding
+/// settings field.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QpOptions {
+    /// Memoize KKT factorizations keyed by working set (pure memo — cached
+    /// solves are bit-identical to fresh ones).
+    pub caching: bool,
+    /// Solve structured KKT systems in `O(n)` via Sherman–Morrison
+    /// ([`AdmgSettings::rank1_kkt`]; tolerance-equal, **not** bitwise).
+    pub rank1_kkt: bool,
+    /// Factor dense KKT systems with the blocked LDLᵀ kernel
+    /// ([`AdmgSettings::blocked_factorizations`]; bit-identical).
+    pub blocked_factorizations: bool,
+}
+
+impl QpOptions {
+    /// Extracts the kernel options from solver settings.
+    #[must_use]
+    pub fn from_settings(settings: &AdmgSettings) -> Self {
+        QpOptions {
+            caching: settings.cache_factorizations,
+            rank1_kkt: settings.rank1_kkt,
+            blocked_factorizations: settings.blocked_factorizations,
+        }
+    }
+
+    /// Options with only factorization caching toggled — the pre-scaling
+    /// kernel configuration.
+    #[must_use]
+    pub fn caching_only(caching: bool) -> Self {
+        QpOptions {
+            caching,
+            ..QpOptions::default()
+        }
+    }
+}
+
+impl QpOptions {
+    fn cache(self) -> KktCache {
+        if self.caching {
+            KktCache::default()
+        } else {
+            KktCache::disabled()
+        }
+    }
+
+    /// The configured active-set solver for a block of dimension `dim`.
+    /// The iteration cap grows with the block (`max(500, 4·dim)`): a cold
+    /// active-set solve legitimately performs `O(dim)` working-set changes,
+    /// so the classic 500 starves blocks beyond ~125 variables. Raising the
+    /// cap is bit-safe — any solve that converged under the old cap follows
+    /// the exact same trajectory under the new one.
+    fn solver(self, dim: usize) -> ActiveSetQp {
+        ActiveSetQp::new(500.max(4 * dim), 1e-9)
+            .with_rank1_kkt(self.rank1_kkt)
+            .with_blocked_factorizations(self.blocked_factorizations)
+    }
 }
 
 /// Persistent solver kernel for one front-end's λ-QP (paper Eq. (17)).
@@ -84,20 +145,27 @@ fn snap_support(x: &mut [f64]) -> Vec<usize> {
 pub struct LambdaQp {
     arrival: f64,
     method: SubproblemMethod,
+    solver: ActiveSetQp,
     objective: QuadObjective,
     a_eq: Matrix,
     a_in: Matrix,
     b_in: Vec<f64>,
     cache: KktCache,
+    /// Recycled start vector: each solve takes it, fills it, and hands it to
+    /// the solver by value; the solver's previous output buffer comes back
+    /// in its place, so steady-state solves allocate nothing.
+    start_buf: Vec<f64>,
+    /// Recycled working-set seed buffer (see [`snap_support_into`]).
+    seed_buf: Vec<usize>,
     warm_accepted: u64,
     warm_rejected: u64,
 }
 
 impl LambdaQp {
     /// Builds the kernel for a front-end with the given latency row,
-    /// arrival rate, disutility weight `w` and penalty ρ. With
-    /// `caching = false` the factorization cache is disabled (every solve
-    /// re-factors, reproducing the pre-caching behavior bit-for-bit).
+    /// arrival rate, disutility weight `w` and penalty ρ. `options` selects
+    /// the acceleration paths; `QpOptions::default()` (everything off)
+    /// reproduces the uncached pre-scaling behavior bit-for-bit.
     #[must_use]
     pub fn new(
         latencies: &[f64],
@@ -105,7 +173,7 @@ impl LambdaQp {
         w: f64,
         rho: f64,
         method: SubproblemMethod,
-        caching: bool,
+        options: QpOptions,
     ) -> Self {
         let n = latencies.len();
         let gamma = disutility_rank1_gamma(w, arrival);
@@ -114,15 +182,14 @@ impl LambdaQp {
         LambdaQp {
             arrival,
             method,
+            solver: options.solver(n),
             objective,
             a_eq: Matrix::from_fn(1, n, |_, _| 1.0),
             a_in: Matrix::from_fn(n, n, |r, c| if r == c { -1.0 } else { 0.0 }),
             b_in: vec![0.0; n],
-            cache: if caching {
-                KktCache::default()
-            } else {
-                KktCache::disabled()
-            },
+            cache: options.cache(),
+            start_buf: Vec::new(),
+            seed_buf: Vec::new(),
             warm_accepted: 0,
             warm_rejected: 0,
         }
@@ -136,28 +203,51 @@ impl LambdaQp {
     ///
     /// Propagates the inner QP solver's error.
     pub fn solve(&mut self, c: &[f64], warm: Option<&[f64]>) -> ufc_opt::Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.solve_into(c, warm, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::solve`] into a caller-owned output buffer. `out` is replaced
+    /// by the solution vector; its previous backing storage is recycled as
+    /// the next solve's start vector, so a caller looping over iterations
+    /// with a persistent `out` allocates nothing per solve in steady state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the inner QP solver's error.
+    pub fn solve_into(
+        &mut self,
+        c: &[f64],
+        warm: Option<&[f64]>,
+        out: &mut Vec<f64>,
+    ) -> ufc_opt::Result<()> {
         self.objective.set_linear(c);
-        let (start, seed) = self.start_point(warm);
-        match self.method {
-            SubproblemMethod::ActiveSet => Ok(ActiveSetQp::default()
-                .solve_seeded(
-                    &self.objective,
-                    &self.a_eq,
-                    &[self.arrival],
-                    &self.a_in,
-                    &self.b_in,
-                    start,
-                    &mut self.cache,
-                    &seed,
-                )?
-                .x),
+        let start = self.fill_start(warm);
+        let x = match self.method {
+            SubproblemMethod::ActiveSet => {
+                self.solver
+                    .solve_seeded(
+                        &self.objective,
+                        &self.a_eq,
+                        &[self.arrival],
+                        &self.a_in,
+                        &self.b_in,
+                        start,
+                        &mut self.cache,
+                        &self.seed_buf,
+                    )?
+                    .x
+            }
             SubproblemMethod::Fista => {
                 let arrival = self.arrival;
-                Ok(Fista::new(FISTA_MAX_ITER, FISTA_TOL)
+                Fista::new(FISTA_MAX_ITER, FISTA_TOL)
                     .minimize(&self.objective, |x| project_simplex(x, arrival), start)?
-                    .x)
+                    .x
             }
-        }
+        };
+        self.start_buf = std::mem::replace(out, x);
+        Ok(())
     }
 
     /// Cache hit count (diagnostics).
@@ -178,23 +268,31 @@ impl LambdaQp {
         (self.warm_accepted, self.warm_rejected)
     }
 
-    fn start_point(&mut self, warm: Option<&[f64]>) -> (Vec<f64>, Vec<usize>) {
+    /// Fills the recycled start buffer (warm candidate if it passes the
+    /// feasibility gate, uniform cold start otherwise) and the working-set
+    /// seed buffer, then hands the start vector to the caller by value.
+    fn fill_start(&mut self, warm: Option<&[f64]>) -> Vec<f64> {
         let n = self.b_in.len();
+        let mut start = std::mem::take(&mut self.start_buf);
+        self.seed_buf.clear();
         if let Some(w) = warm {
             if w.len() == n {
                 let sum: f64 = w.iter().sum();
                 let nonneg = w.iter().all(|&v| v >= -WARM_NONNEG_TOL);
                 if nonneg && (sum - self.arrival).abs() <= WARM_ROW_TOL * (1.0 + self.arrival.abs())
                 {
-                    let mut x = w.to_vec();
-                    let seed = snap_support(&mut x);
+                    start.clear();
+                    start.extend_from_slice(w);
+                    snap_support_into(&mut start, &mut self.seed_buf);
                     self.warm_accepted += 1;
-                    return (x, seed);
+                    return start;
                 }
             }
             self.warm_rejected += 1;
         }
-        (vec![self.arrival / n as f64; n], Vec::new())
+        start.clear();
+        start.resize(n, self.arrival / n as f64);
+        start
     }
 }
 
@@ -204,12 +302,19 @@ impl LambdaQp {
 pub struct AColQp {
     capacity: f64,
     method: SubproblemMethod,
+    solver: ActiveSetQp,
     objective: QuadObjective,
     a_eq: Matrix,
     a_in: Matrix,
     b_in: Vec<f64>,
-    queueing: Option<QueueingCost>,
+    /// Persistent congested objective (barrier + quadratic part) and its
+    /// shrunk cap, built once at construction instead of cloned per solve.
+    congested: Option<(CongestedAStep, f64)>,
     cache: KktCache,
+    /// Recycled start vector (see [`LambdaQp::start_buf`]).
+    start_buf: Vec<f64>,
+    /// Recycled working-set seed buffer.
+    seed_buf: Vec<usize>,
     warm_accepted: u64,
     warm_rejected: u64,
 }
@@ -217,7 +322,9 @@ pub struct AColQp {
 impl AColQp {
     /// Builds the kernel for a datacenter column: `m` front-ends, penalty ρ,
     /// power-proportionality slope β, capacity cap, and the optional
-    /// queueing (congestion) extension.
+    /// queueing (congestion) extension. `options` selects the acceleration
+    /// paths; `QpOptions::default()` reproduces the uncached pre-scaling
+    /// behavior bit-for-bit.
     #[must_use]
     pub fn new(
         m: usize,
@@ -226,7 +333,7 @@ impl AColQp {
         capacity: f64,
         queueing: Option<QueueingCost>,
         method: SubproblemMethod,
-        caching: bool,
+        options: QpOptions,
     ) -> Self {
         let objective = QuadObjective::diag_rank1(
             vec![rho; m],
@@ -243,19 +350,22 @@ impl AColQp {
             a_in[(m, i)] = 1.0;
         }
         b_in[m] = capacity;
+        let congested = queueing.map(|q| {
+            let cap_q = q.load_cap(capacity).min(capacity);
+            (CongestedAStep::new(objective.clone(), q, capacity), cap_q)
+        });
         AColQp {
             capacity,
             method,
+            solver: options.solver(m),
             objective,
             a_eq: Matrix::zeros(0, m),
             a_in,
             b_in,
-            queueing,
-            cache: if caching {
-                KktCache::default()
-            } else {
-                KktCache::disabled()
-            },
+            congested,
+            cache: options.cache(),
+            start_buf: Vec::new(),
+            seed_buf: Vec::new(),
             warm_accepted: 0,
             warm_rejected: 0,
         }
@@ -269,38 +379,62 @@ impl AColQp {
     ///
     /// Propagates the inner solver's error.
     pub fn solve(&mut self, c: &[f64], warm: Option<&[f64]>) -> ufc_opt::Result<Vec<f64>> {
-        self.objective.set_linear(c);
-        if let Some(q) = self.queueing {
+        let mut out = Vec::new();
+        self.solve_into(c, warm, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::solve`] into a caller-owned output buffer, with the same
+    /// buffer-recycling contract as [`LambdaQp::solve_into`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the inner solver's error.
+    pub fn solve_into(
+        &mut self,
+        c: &[f64],
+        warm: Option<&[f64]>,
+        out: &mut Vec<f64>,
+    ) -> ufc_opt::Result<()> {
+        if self.congested.is_some() {
             // Congested path: barrier objective over the shrunk cap; solved
             // by backtracking FISTA regardless of the configured method.
-            let cap_q = q.load_cap(self.capacity).min(self.capacity);
-            let (start, _) = self.start_point(warm, cap_q);
-            let objective = CongestedAStep::new(self.objective.clone(), q, self.capacity);
-            return Ok(Fista::new(FISTA_MAX_ITER, FISTA_CONGESTED_TOL)
-                .minimize_adaptive(&objective, |x| project_capped_simplex(x, cap_q), start)?
-                .x);
+            let cap_q = self.congested.as_ref().map(|(_, cq)| *cq).unwrap_or(0.0);
+            let start = self.fill_start(warm, cap_q);
+            let (cong, _) = self.congested.as_mut().expect("checked above");
+            cong.set_linear(c);
+            let x = Fista::new(FISTA_MAX_ITER, FISTA_CONGESTED_TOL)
+                .minimize_adaptive(&*cong, |x| project_capped_simplex(x, cap_q), start)?
+                .x;
+            self.start_buf = std::mem::replace(out, x);
+            return Ok(());
         }
-        let (start, seed) = self.start_point(warm, self.capacity);
-        match self.method {
-            SubproblemMethod::ActiveSet => Ok(ActiveSetQp::default()
-                .solve_seeded(
-                    &self.objective,
-                    &self.a_eq,
-                    &[],
-                    &self.a_in,
-                    &self.b_in,
-                    start,
-                    &mut self.cache,
-                    &seed,
-                )?
-                .x),
+        self.objective.set_linear(c);
+        let start = self.fill_start(warm, self.capacity);
+        let x = match self.method {
+            SubproblemMethod::ActiveSet => {
+                self.solver
+                    .solve_seeded(
+                        &self.objective,
+                        &self.a_eq,
+                        &[],
+                        &self.a_in,
+                        &self.b_in,
+                        start,
+                        &mut self.cache,
+                        &self.seed_buf,
+                    )?
+                    .x
+            }
             SubproblemMethod::Fista => {
                 let cap = self.capacity;
-                Ok(Fista::new(FISTA_MAX_ITER, FISTA_TOL)
+                Fista::new(FISTA_MAX_ITER, FISTA_TOL)
                     .minimize(&self.objective, |x| project_capped_simplex(x, cap), start)?
-                    .x)
+                    .x
             }
-        }
+        };
+        self.start_buf = std::mem::replace(out, x);
+        Ok(())
     }
 
     /// Cache hit count (diagnostics).
@@ -321,26 +455,34 @@ impl AColQp {
         (self.warm_accepted, self.warm_rejected)
     }
 
-    fn start_point(&mut self, warm: Option<&[f64]>, cap: f64) -> (Vec<f64>, Vec<usize>) {
+    /// Fills the recycled start buffer (warm candidate if it passes the
+    /// feasibility gate, zero cold start otherwise) and the working-set
+    /// seed buffer, then hands the start vector to the caller by value.
+    fn fill_start(&mut self, warm: Option<&[f64]>, cap: f64) -> Vec<f64> {
         let m = self.a_in.cols();
+        let mut start = std::mem::take(&mut self.start_buf);
+        self.seed_buf.clear();
         if let Some(w) = warm {
             if w.len() == m {
                 let sum: f64 = w.iter().sum();
                 let nonneg = w.iter().all(|&v| v >= -WARM_NONNEG_TOL);
                 if nonneg && sum <= cap * (1.0 + WARM_NONNEG_TOL) + WARM_NONNEG_TOL {
-                    let mut x = w.to_vec();
+                    start.clear();
+                    start.extend_from_slice(w);
                     // Only the m nonnegativity rows are ever seeded — the
                     // capacity row (index m) is left to the solver's own
                     // blocking logic, which keeps every seeded working set
                     // linearly independent by construction.
-                    let seed = snap_support(&mut x);
+                    snap_support_into(&mut start, &mut self.seed_buf);
                     self.warm_accepted += 1;
-                    return (x, seed);
+                    return start;
                 }
             }
             self.warm_rejected += 1;
         }
-        (vec![0.0; m], Vec::new())
+        start.clear();
+        start.resize(m, 0.0);
+        start
     }
 }
 
@@ -385,7 +527,7 @@ impl SolverWorkspace {
     pub(crate) fn new(instance: &UfcInstance, settings: &AdmgSettings) -> Self {
         let (m, n) = (instance.m_frontends(), instance.n_datacenters());
         let w = instance.weight_per_kserver();
-        let caching = settings.cache_factorizations;
+        let options = QpOptions::from_settings(settings);
         let lambda_blocks = (0..m)
             .map(|i| LambdaBlock {
                 c: vec![0.0; n],
@@ -396,7 +538,7 @@ impl SolverWorkspace {
                     w,
                     settings.rho,
                     settings.method,
-                    caching,
+                    options,
                 ),
             })
             .collect();
@@ -414,7 +556,7 @@ impl SolverWorkspace {
                     instance.capacities[j],
                     instance.queueing,
                     settings.method,
-                    caching,
+                    options,
                 ),
             })
             .collect();
@@ -424,7 +566,7 @@ impl SolverWorkspace {
             lambda_blocks,
             a_blocks,
             rho: settings.rho,
-            warm: caching,
+            warm: options.caching,
         }
     }
 
@@ -451,7 +593,8 @@ impl SolverWorkspace {
             } else {
                 None
             };
-            blk.qp.solve(&blk.c, warm).map(|x| blk.out = x)
+            let (c, out) = (&blk.c, &mut blk.out);
+            blk.qp.solve_into(c, warm, out)
         });
         for (i, r) in lambda_results.into_iter().enumerate() {
             r.map_err(|e| CoreError::subproblem(format!("lambda[{i}]"), e))?;
@@ -531,7 +674,8 @@ impl SolverWorkspace {
             } else {
                 None
             };
-            blk.qp.solve(&blk.c, warm).map(|x| blk.out = x)
+            let (c, out) = (&blk.c, &mut blk.out);
+            blk.qp.solve_into(c, warm, out)
         });
         for (j, r) in a_results.into_iter().enumerate() {
             r.map_err(|e| CoreError::subproblem(format!("a[{j}]"), e))?;
@@ -692,6 +836,81 @@ mod tests {
         assert!(ws.cache_hits() > 0, "expected KKT cache reuse");
     }
 
+    /// Deterministic scaled instance for the thread-count bit-identity test:
+    /// `m` front-ends × `n` datacenters with LCG-jittered data (no RNG
+    /// dependency, reproducible across runs and platforms).
+    fn scaled(m: usize, n: usize) -> UfcInstance {
+        let mut s = 0x9E37_79B9_7F4A_7C15u64;
+        let mut unit = move || {
+            s = s
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            (s >> 40) as f64 / (1u64 << 24) as f64
+        };
+        let arrivals: Vec<f64> = (0..m).map(|_| 0.5 + unit()).collect();
+        let total: f64 = arrivals.iter().sum();
+        let capacities: Vec<f64> = (0..n)
+            .map(|_| (1.2 + 0.6 * unit()) * total / n as f64)
+            .collect();
+        let alpha: Vec<f64> = (0..n).map(|_| 0.2 + 0.1 * unit()).collect();
+        let beta: Vec<f64> = (0..n).map(|_| 0.08 + 0.08 * unit()).collect();
+        let mu_max: Vec<f64> = (0..n).map(|_| 0.3 + 0.4 * unit()).collect();
+        let grid_price: Vec<f64> = (0..n).map(|_| 20.0 + 60.0 * unit()).collect();
+        let carbon: Vec<f64> = (0..n).map(|_| 0.2 + 0.5 * unit()).collect();
+        let latency: Vec<Vec<f64>> = (0..m)
+            .map(|_| (0..n).map(|_| 0.005 + 0.05 * unit()).collect())
+            .collect();
+        let emission = (0..n)
+            .map(|_| EmissionCostFn::linear(25.0).unwrap())
+            .collect();
+        UfcInstance::new(
+            arrivals, capacities, alpha, beta, mu_max, grid_price, 80.0, carbon, latency, 10.0,
+            emission, 1.0,
+        )
+        .unwrap()
+    }
+
+    /// The tentpole invariant at scale: with the sharded gather and the
+    /// rank-1 fast KKT path engaged, prediction rounds on a 512×16 instance
+    /// are bit-identical at 1, 2, 4 and 8 worker threads. `exact` pools
+    /// bypass the core-count clamp so the multi-shard spawn path genuinely
+    /// runs regardless of the host machine.
+    #[test]
+    fn scaled_predictions_bit_identical_across_thread_counts() {
+        let inst = scaled(512, 16);
+        let settings = AdmgSettings::default()
+            .with_rank1_kkt(true)
+            .with_blocked_factorizations(true);
+        let mut reference: Option<AdmgState> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let pool = WorkerPool::exact(threads);
+            let mut ws = SolverWorkspace::new(&inst, &settings);
+            let mut state = AdmgState::zeros(&inst);
+            for _ in 0..3 {
+                ws.predict_lambda(&state, &pool).unwrap();
+                ws.predict_site_blocks(&inst, &state, &pool, true, true)
+                    .unwrap();
+                state.lambda.copy_from_slice(&ws.tilde.lambda);
+                state.mu.copy_from_slice(&ws.tilde.mu);
+                state.nu.copy_from_slice(&ws.tilde.nu);
+                state.a.copy_from_slice(&ws.tilde.a);
+                state.phi.copy_from_slice(&ws.tilde.phi);
+                state.varphi.copy_from_slice(&ws.tilde.varphi);
+            }
+            match &reference {
+                None => reference = Some(state),
+                Some(r) => {
+                    assert_eq!(r.lambda, state.lambda, "{threads} threads: λ diverged");
+                    assert_eq!(r.mu, state.mu, "{threads} threads: μ diverged");
+                    assert_eq!(r.nu, state.nu, "{threads} threads: ν diverged");
+                    assert_eq!(r.a, state.a, "{threads} threads: a diverged");
+                    assert_eq!(r.phi, state.phi, "{threads} threads: φ diverged");
+                    assert_eq!(r.varphi, state.varphi, "{threads} threads: φ_ij diverged");
+                }
+            }
+        }
+    }
+
     /// Infeasible warm candidates fall back to the classic cold start.
     #[test]
     fn warm_start_gate_rejects_infeasible_points() {
@@ -701,7 +920,7 @@ mod tests {
             10.0,
             1.0,
             SubproblemMethod::ActiveSet,
-            true,
+            QpOptions::caching_only(true),
         );
         let c = vec![0.1, -0.2];
         // Row sum far from the arrival: gate must reject and use the uniform

@@ -14,7 +14,7 @@
 //! integration tests).
 
 use ufc_core::subproblems::{mu_scalar_step, nu_scalar_step};
-use ufc_core::{AColQp, AdmgSettings, CoreError, LambdaQp, SubproblemMethod};
+use ufc_core::{AColQp, AdmgSettings, CoreError, LambdaQp, QpOptions, SubproblemMethod};
 use ufc_linalg::Matrix;
 use ufc_model::{utility::disutility_rank1_gamma, EmissionCostFn, UfcInstance};
 use ufc_opt::projection::project_simplex;
@@ -107,7 +107,7 @@ impl FrontendNode {
                 instance.weight_per_kserver(),
                 settings.rho,
                 settings.method,
-                settings.cache_factorizations,
+                QpOptions::from_settings(settings),
             ),
             warm: settings.cache_factorizations,
             c_buf: vec![0.0; n],
@@ -404,7 +404,7 @@ impl DatacenterNode {
                 instance.capacities[j],
                 instance.queueing,
                 settings.method,
-                settings.cache_factorizations,
+                QpOptions::from_settings(settings),
             ),
             warm: settings.cache_factorizations,
             c_buf: vec![0.0; instance.m_frontends()],

@@ -610,6 +610,8 @@ impl RunConfig {
         });
         put_u64(&mut buf, s.num_threads as u64);
         put_bool(&mut buf, s.cache_factorizations);
+        put_bool(&mut buf, s.rank1_kkt);
+        put_bool(&mut buf, s.blocked_factorizations);
         put_bool(&mut buf, s.telemetry);
         put_bool(&mut buf, s.verify_checksums);
         put_f64(&mut buf, s.divergence_kappa);
@@ -690,6 +692,8 @@ impl RunConfig {
             },
             num_threads: get_u64(bytes, &mut pos)? as usize,
             cache_factorizations: get_bool(bytes, &mut pos)?,
+            rank1_kkt: get_bool(bytes, &mut pos)?,
+            blocked_factorizations: get_bool(bytes, &mut pos)?,
             telemetry: get_bool(bytes, &mut pos)?,
             verify_checksums: get_bool(bytes, &mut pos)?,
             divergence_kappa: get_f64(bytes, &mut pos)?,
@@ -885,7 +889,10 @@ mod tests {
         instance.queueing = Some(QueueingCost::default_interactive());
         let config = RunConfig {
             instance,
-            settings: AdmgSettings::default().with_threads(3),
+            settings: AdmgSettings::default()
+                .with_threads(3)
+                .with_rank1_kkt(true)
+                .with_blocked_factorizations(true),
             active_mu: true,
             active_nu: false,
             processes: 4,

@@ -52,6 +52,7 @@ struct Options {
     threads: usize,
     engine: String,
     check: bool,
+    min_speedup: Option<f64>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -66,6 +67,7 @@ fn parse_args() -> Result<Options, String> {
         threads: 4,
         engine: "inprocess".to_owned(),
         check: false,
+        min_speedup: None,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -92,6 +94,13 @@ fn parse_args() -> Result<Options, String> {
                 opts.threads = v
                     .parse()
                     .map_err(|_| format!("bad --threads value {v:?}"))?;
+            }
+            "--min-speedup" => {
+                let v = args.next().ok_or("--min-speedup needs a value")?;
+                opts.min_speedup = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --min-speedup value {v:?}"))?,
+                );
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -683,9 +692,15 @@ fn run_bench(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     use ufc_experiments::solver_bench;
 
     // `--quick` is the CI smoke configuration; the full run times a day's
-    // worth of hourly instances.
+    // worth of hourly instances and the full size trajectory.
     let hours = if opts.quick { 3 } else { opts.hours.min(24) };
-    let report = solver_bench::run(opts.seed, hours, opts.threads)?;
+    let sizes = if opts.quick {
+        solver_bench::QUICK_TRAJECTORY
+    } else {
+        solver_bench::TRAJECTORY
+    };
+    let mut report = solver_bench::run(opts.seed, hours, opts.threads, sizes)?;
+    report.socket = solver_bench::socket_latency(opts.seed)?;
     println!(
         "== Solver bench: admg_scaling, {} hours, {} threads ==",
         report.hours, report.parallel.threads
@@ -716,9 +731,61 @@ fn run_bench(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         report.speedup(),
         report.sequential_speedup()
     );
+    if !report.sizes.is_empty() {
+        let rows: Vec<Vec<String>> = report
+            .sizes
+            .iter()
+            .map(|leg| {
+                vec![
+                    format!("{}x{}", leg.frontends, leg.datacenters),
+                    fmt(leg.wall_ms, 1),
+                    leg.iters.to_string(),
+                    fmt(leg.per_iter_ms(), 3),
+                    leg.dense_wall_ms
+                        .map_or("intractable".to_owned(), |d| fmt(d, 1)),
+                    leg.dense_speedup()
+                        .map_or("-".to_owned(), |s| format!("{s:.2}x")),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            text_table(
+                &[
+                    "size (FE x DC)",
+                    "fast wall ms",
+                    "iters",
+                    "ms/iter",
+                    "dense wall ms",
+                    "rank-1 speedup"
+                ],
+                &rows
+            )
+        );
+    }
+    match &report.socket {
+        Some(s) => println!(
+            "socket engine: {:.3} ms/iter vs {:.3} ms/iter threaded ({:.2}x overhead, {} iters)",
+            s.socket_per_iter_ms(),
+            s.threaded_per_iter_ms(),
+            s.overhead(),
+            s.iterations
+        ),
+        None => println!("socket engine: skipped (ufc-node worker binary not found)"),
+    }
     let path = PathBuf::from("BENCH_solver.json");
     std::fs::write(&path, report.to_json())?;
     println!("(written to {})\n", path.display());
+    if let Some(floor) = opts.min_speedup {
+        let speedup = report.speedup();
+        if speedup < floor {
+            return Err(format!(
+                "bench regression: speedup {speedup:.2}x is below the --min-speedup floor {floor:.2}x"
+            )
+            .into());
+        }
+        println!("speedup {speedup:.2}x clears the --min-speedup floor {floor:.2}x\n");
+    }
     Ok(())
 }
 

@@ -1,5 +1,6 @@
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use ufc_linalg::Ldlt;
 
@@ -12,6 +13,35 @@ use crate::Result;
 pub(crate) struct CachedKkt {
     pub(crate) fact: Ldlt,
     pub(crate) shift: f64,
+}
+
+/// Structural classification of one inequality row for the rank-1 fast KKT
+/// path (see [`crate::ActiveSetQp::with_rank1_kkt`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RowKind {
+    /// `−e_j`: the nonnegativity bound `−x_j ≤ b` (exactly one `−1.0` entry
+    /// at column `j`, zeros elsewhere).
+    NegUnit(usize),
+    /// The all-ones row `Σ x ≤ b` (every entry exactly `1.0`).
+    Ones,
+    /// Any other row — forces the dense KKT fallback when active.
+    Other,
+}
+
+/// Memoized structural classification of a QP's constraint matrices.
+///
+/// Classification walks every entry of `A_eq`/`A_in` once (`O(m·n)`), so the
+/// active-set solver memoizes the result here, amortizing it across all
+/// solves against the same constraint structure. Like the factorization
+/// entries, it is only valid for fixed constraint matrices and is dropped by
+/// [`KktCache::clear`].
+#[derive(Debug)]
+pub(crate) struct Rank1Structure {
+    /// `true` when there is exactly one equality row and it is all-ones
+    /// (the simplex constraint `Σ x = b` of the λ-sub-problem).
+    pub(crate) eq_ones: bool,
+    /// Per-row classification of `A_in`.
+    pub(crate) rows: Vec<RowKind>,
 }
 
 /// Memo of KKT factorizations keyed by the active-set solver's working set.
@@ -39,6 +69,10 @@ pub(crate) struct CachedKkt {
 #[derive(Debug, Clone)]
 pub struct KktCache {
     entries: HashMap<Vec<usize>, CachedKkt>,
+    /// Constraint-row classification memo for the rank-1 fast path. Stored
+    /// even when `limit == 0`: disabling factorization *storage* must not
+    /// force re-classifying the constraint matrices every solve.
+    structure: Option<Arc<Rank1Structure>>,
     limit: usize,
     hits: u64,
     misses: u64,
@@ -60,6 +94,7 @@ impl KktCache {
     pub fn new(limit: usize) -> Self {
         KktCache {
             entries: HashMap::new(),
+            structure: None,
             limit,
             hits: 0,
             misses: 0,
@@ -78,6 +113,17 @@ impl KktCache {
     /// changes — see the type-level invariants.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.structure = None;
+    }
+
+    /// Borrows the memoized constraint-structure classification, if any.
+    pub(crate) fn structure(&self) -> Option<&Arc<Rank1Structure>> {
+        self.structure.as_ref()
+    }
+
+    /// Stores the constraint-structure classification for later solves.
+    pub(crate) fn set_structure(&mut self, structure: Arc<Rank1Structure>) {
+        self.structure = Some(structure);
     }
 
     /// Number of factorizations currently held.

@@ -123,6 +123,33 @@ impl QuadObjective {
         }
     }
 
+    /// Hessian–vector product `Q x` written into `out` without allocating.
+    ///
+    /// Performs the exact same floating-point operations as
+    /// [`QuadObjective::hess_vec`] (bit-identical results); only the
+    /// destination differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()` or `out.len() != dim()`.
+    pub fn hess_vec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.dim(), "hess_vec dimension mismatch");
+        assert_eq!(out.len(), self.dim(), "hess_vec output length mismatch");
+        match &self.hessian {
+            Hessian::Dense(q) => {
+                for (i, oi) in out.iter_mut().enumerate() {
+                    *oi = vec_ops::dot(q.row(i), x);
+                }
+            }
+            Hessian::DiagRank1 { diag, gamma, u } => {
+                let ux = vec_ops::dot(u, x) * *gamma;
+                for (oi, ((d, xi), ui)) in out.iter_mut().zip(diag.iter().zip(x).zip(u)) {
+                    *oi = d * xi + ux * ui;
+                }
+            }
+        }
+    }
+
     /// Objective value `½xᵀQx + cᵀx + k`.
     ///
     /// # Panics
@@ -146,10 +173,39 @@ impl QuadObjective {
         g
     }
 
+    /// Gradient `Qx + c` written into `out` without allocating.
+    ///
+    /// Same floating-point operations as [`QuadObjective::gradient`]
+    /// (bit-identical results); used by per-iteration hot loops that reuse a
+    /// gradient buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()` or `out.len() != dim()`.
+    pub fn gradient_into(&self, x: &[f64], out: &mut [f64]) {
+        self.hess_vec_into(x, out);
+        vec_ops::axpy(1.0, &self.linear, out);
+    }
+
     /// Borrows the linear term `c`.
     #[must_use]
     pub fn linear(&self) -> &[f64] {
         &self.linear
+    }
+
+    /// Borrows the `(diag, gamma, u)` parts of a diagonal-plus-rank-one
+    /// Hessian `diag(d) + γ·u uᵀ`, or `None` for dense Hessians.
+    ///
+    /// The active-set solver's rank-1 fast KKT path
+    /// ([`crate::ActiveSetQp::with_rank1_kkt`]) uses this to solve working-set
+    /// systems in `O(n)` via Sherman–Morrison instead of materializing and
+    /// factoring a dense KKT matrix.
+    #[must_use]
+    pub fn diag_rank1_parts(&self) -> Option<(&[f64], f64, &[f64])> {
+        match &self.hessian {
+            Hessian::DiagRank1 { diag, gamma, u } => Some((diag, *gamma, u)),
+            Hessian::Dense(_) => None,
+        }
     }
 
     /// Overwrites the linear term `c` in place, leaving the Hessian intact.
