@@ -10,15 +10,21 @@
 //! φ_j    ← φ_j + ε(φ̃_j − φ_j)
 //! φ_ij   ← φ_ij + ε(φ̃_ij − φ_ij)          [paper typo "φ_j" read as φ_ij]
 //! a_ij   ← a_ij + ε(ã_ij − a_ij)
-//! ν_j    ← ν_j + ε(ν̃_j − ν_j) + β_j Σ_i Δa_ij
-//! μ_j    ← μ_j + ε(μ̃_j − μ_j) − Δν_j + β_j Σ_i Δa_ij
+//! d_j    ← d_j + ε(d̃_j − d_j) + β_j Σ_i Δa_ij      [storage block only]
+//! ν_j    ← ν_j + ε(ν̃_j − ν_j) + β_j Σ_i Δa_ij − Δd_j
+//! μ_j    ← μ_j + ε(μ̃_j − μ_j) − Δν_j + β_j Σ_i Δa_ij − Δd_j
 //! λ_ij   ← λ̃_ij                           [the first block is not corrected]
 //! ```
 //!
-//! where `Δa = a^{k+1} − a^k`, `Δν = ν^{k+1} − ν^k`. The
-//! [`crate::generic`] module rebuilds the same update from the explicit `G`
-//! matrix; unit tests verify the two coincide, which pins down both the
+//! where `Δa = a^{k+1} − a^k`, `Δd = d^{k+1} − d^k`, `Δν = ν^{k+1} − ν^k`.
+//! The [`crate::generic`] module rebuilds the same update from the explicit
+//! `G` matrix; unit tests verify the two coincide, which pins down both the
 //! formulas and the typo fix.
+//!
+//! The `d` row exists only under the storage extension, and only for
+//! datacenters with a battery: every other datacenter's `Δd` is exactly
+//! `0.0`, so the `ν`/`μ` recursions — written with a trailing `− Δd_j` —
+//! reduce bit-identically to the 4-block closed form.
 //!
 //! Strategy restrictions: a pinned block (μ under *Grid*, ν under
 //! *Fuel cell*) keeps `z̃ = z = 0`, so its Δ is zero and the remaining
@@ -71,11 +77,27 @@ pub fn gaussian_back_substitution(
         }
     }
 
+    // d (storage) block: sits between a and ν in the backward order.
+    // Only battery-backed datacenters take a correction — everyone else's
+    // Δd is exactly +0.0, which keeps the downstream ν/μ recursions (and
+    // therefore the whole classic schedule) bit-identical.
+    let mut delta_d = vec![0.0; n];
+    if let Some(sp) = &instance.storage {
+        for j in 0..n {
+            if sp.active(j) {
+                let dd = epsilon * (tilde.d[j] - state.d[j]) + instance.beta[j] * delta_a_load[j];
+                state.d[j] += dd;
+                delta_d[j] = dd;
+            }
+        }
+    }
+
     // ν block.
     let mut delta_nu = vec![0.0; n];
     if active_nu {
         for j in 0..n {
-            let d = epsilon * (tilde.nu[j] - state.nu[j]) + instance.beta[j] * delta_a_load[j];
+            let d = epsilon * (tilde.nu[j] - state.nu[j]) + instance.beta[j] * delta_a_load[j]
+                - delta_d[j];
             state.nu[j] += d;
             delta_nu[j] = d;
         }
@@ -85,7 +107,8 @@ pub fn gaussian_back_substitution(
     if active_mu {
         for j in 0..n {
             state.mu[j] += epsilon * (tilde.mu[j] - state.mu[j]) - delta_nu[j]
-                + instance.beta[j] * delta_a_load[j];
+                + instance.beta[j] * delta_a_load[j]
+                - delta_d[j];
         }
     }
 
@@ -197,6 +220,30 @@ mod tests {
         // μ correction with Δν = 0: μ = ε·μ̃ + β·Δload.
         let delta_load0 = 0.9 * (1.0 + 0.2);
         assert!((state.mu[0] - (0.9 * 0.3 + 0.12 * delta_load0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn storage_block_enters_the_backward_recursion() {
+        let mut params = ufc_model::StorageFleet::new(2.0, 1.0)
+            .initial_charge_frac(0.5)
+            .initial_params(2);
+        params.capacity_mwh[1] = 0.0; // DC1 has no battery
+        params.charge_mwh[1] = 0.0;
+        let inst = tiny().with_storage(params).unwrap();
+        let mut state = AdmgState::zeros(&inst);
+        let mut tilde = AdmgState::zeros(&inst);
+        tilde.a = vec![1.0, 0.0, 1.0, 0.0]; // Δa load at DC0 = 0.9·2 = 1.8
+        tilde.d = vec![0.5, 0.3];
+        tilde.nu = vec![0.5, 0.0];
+        gaussian_back_substitution(&inst, &mut state, &tilde, 0.9, true, true);
+        // Δd₀ = 0.9·0.5 + 0.12·1.8 = 0.666.
+        assert!((state.d[0] - 0.666).abs() < 1e-12);
+        // DC1 has no battery: its d never moves, despite d̃₁ ≠ 0.
+        assert_eq!(state.d[1].to_bits(), 0.0f64.to_bits());
+        // Δν₀ = 0.9·0.5 + 0.216 − Δd₀ = 0.666 − 0.666 = 0.
+        assert!(state.nu[0].abs() < 1e-12);
+        // Δμ₀ = 0 − Δν₀ + 0.216 − Δd₀ = −0.45.
+        assert!((state.mu[0] + 0.45).abs() < 1e-12);
     }
 
     #[test]

@@ -1,15 +1,19 @@
-//! **ufc-core** — the paper's primary contribution: distributed 4-block
+//! **ufc-core** — the paper's primary contribution: distributed N-block
 //! ADM-G for UFC maximization in geo-distributed clouds.
 //!
 //! The UFC maximization problem (paper Eq. (3)) jointly chooses geographic
 //! request routing `λ_ij` and fuel-cell generation `μ_j`. After introducing
 //! the grid draw `ν_j` and an auxiliary routing copy `a_ij = λ_ij`, it
 //! becomes the 4-block separable convex program (13), solved here exactly as
-//! §III prescribes:
+//! §III prescribes — and generalized to a schedule-driven N-block
+//! architecture ([`BlockSchedule`]) whose first extension block is a
+//! per-datacenter battery with fuel-cell ramp limits (`d`, the temporal
+//! coupling layer):
 //!
-//! 1. **ADMM prediction step** in the forward order λ → μ → ν → a → duals
-//!    ([`subproblems`]): a per-front-end simplex QP, a closed-form box
-//!    clamp, a scalar convex minimization, and a per-datacenter
+//! 1. **ADMM prediction step** in the schedule's forward order — classically
+//!    λ → μ → ν → a → duals, with storage λ → μ → ν → d → a → duals
+//!    ([`subproblems`]): a per-front-end simplex QP, closed-form box
+//!    clamps, a scalar convex minimization, and a per-datacenter
 //!    capped-simplex QP — every step decomposes across front-ends or
 //!    datacenters.
 //! 2. **Gaussian back substitution correction step** in the backward order
@@ -68,8 +72,8 @@ pub mod telemetry;
 mod workspace;
 
 pub use engine::{
-    BlockResiduals, DriveOutcome, HistoryRecorder, IterationEvent, IterationObserver,
-    IterationRecord, Transport,
+    BlockDescriptor, BlockKind, BlockOwner, BlockResiduals, BlockSchedule, DriveOutcome,
+    HistoryRecorder, IterationEvent, IterationObserver, IterationRecord, Transport,
 };
 pub use error::CoreError;
 pub use pool::WorkerPool;

@@ -12,7 +12,12 @@
 //!    ones with slack, proportionally across front-ends (a few passes of a
 //!    transportation-style fix; total workload is conserved),
 //! 3. clamp `μ_j` into `[0, min(μ_j^max, demand_j)]` (or pin `μ_j = demand_j`
-//!    for the *Fuel cell* strategy) and derive `ν_j` from the power balance.
+//!    for the *Fuel cell* strategy; under the storage extension the box is
+//!    further tightened to the ramp window `[μ_prev − r, μ_prev + r]`),
+//! 4. clamp the battery net discharge `d_j` into its charge-state box,
+//!    capped by `demand_j − μ_j` so the derived grid draw stays
+//!    nonnegative, and derive `ν_j` from the power balance
+//!    `ν_j = demand_j − μ_j − d_j`.
 //!
 //! Every step moves the point by at most the ADM-G residual, so the polish
 //! does not meaningfully change the objective (verified in tests).
@@ -104,6 +109,7 @@ pub fn assemble_point(
         }
     }
     let mut mu = vec![0.0; n];
+    let mut d = vec![0.0; n];
     for j in 0..n {
         let demand = instance.demand_mw(j, loads[j]);
         if fuel_cell_only {
@@ -115,10 +121,35 @@ pub fn assemble_point(
             }
             mu[j] = demand.min(instance.mu_max[j]);
         } else {
-            mu[j] = state.mu[j].clamp(0.0, instance.mu_max[j].min(demand));
+            let (mu_lo, mu_hi) = match &instance.storage {
+                Some(sp) => sp.mu_bounds(j, instance.mu_max[j]),
+                None => (0.0, instance.mu_max[j]),
+            };
+            let hi = mu_hi.min(demand);
+            mu[j] = if mu_lo <= hi {
+                state.mu[j].clamp(mu_lo, hi)
+            } else {
+                // The ramp floor exceeds demand: generation cannot drop
+                // fast enough, so μ pins at the floor and the battery
+                // absorbs the excess below.
+                mu_lo
+            };
+        }
+        if let Some(sp) = &instance.storage {
+            if sp.active(j) {
+                let (d_lo, d_hi) = sp.discharge_bounds(j, instance.slot_hours);
+                // Cap discharge so ν = demand − μ − d stays nonnegative;
+                // if μ overshoots demand, force charging to absorb it.
+                let hi = d_hi.min(demand - mu[j]);
+                d[j] = if d_lo <= hi {
+                    state.d[j].clamp(d_lo, hi)
+                } else {
+                    d_lo
+                };
+            }
         }
     }
-    OperatingPoint::from_routing_and_fuel(instance, lambda, mu).map_err(CoreError::Model)
+    OperatingPoint::from_routing_fuel_and_storage(instance, lambda, mu, d).map_err(CoreError::Model)
 }
 
 #[cfg(test)]
@@ -192,6 +223,22 @@ mod tests {
         let mut s = AdmgState::zeros(&inst);
         s.lambda = vec![0.5, 0.5, 1.0, 1.0];
         assert!(assemble_point(&inst, &s, true).is_err());
+    }
+
+    #[test]
+    fn storage_polish_clamps_d_and_keeps_exact_balance() {
+        let fleet = ufc_model::StorageFleet::new(2.0, 0.5).initial_charge_frac(0.5);
+        let inst = tiny().with_storage(fleet.initial_params(2)).unwrap();
+        let mut s = AdmgState::zeros(&inst);
+        s.lambda = vec![0.5, 0.5, 1.0, 1.0]; // demand 0.42 per DC
+        s.mu = vec![0.2, 0.2];
+        s.d = vec![5.0, -5.0]; // far outside the charge-state box
+        let p = assemble_point(&inst, &s, false).unwrap();
+        assert!(p.feasibility_residual(&inst) < 1e-9);
+        // Discharge capped by demand − μ (0.22), charging by the rate (0.5).
+        assert!((p.d[0] - 0.22).abs() < 1e-12);
+        assert!((p.d[1] + 0.5).abs() < 1e-12);
+        assert!((p.nu[1] - 0.72).abs() < 1e-12);
     }
 
     #[test]

@@ -111,13 +111,17 @@ pub mod codec {
     }
 }
 
-/// The full iterate of the distributed 4-block ADM-G algorithm.
+/// The full iterate of the distributed N-block ADM-G algorithm (the
+/// classic schedule has four blocks; the storage extension adds a fifth).
 ///
 /// Routing blocks (`λ`, its auxiliary copy `a`, and the link duals `φ_ij`)
 /// are stored row-major as `M × N` flats; per-datacenter blocks (`μ`, `ν`,
-/// the balance duals `φ_j`) as length-`N` vectors. Everything is initialized
-/// to zero, exactly as the paper's algorithm statement prescribes — the
-/// first λ-minimization immediately restores the load-balance constraint.
+/// the battery discharge `d`, the balance duals `φ_j`) as length-`N`
+/// vectors. Everything is initialized to zero, exactly as the paper's
+/// algorithm statement prescribes — the first λ-minimization immediately
+/// restores the load-balance constraint. On spatial-only instances `d`
+/// stays identically zero and every formula below reduces bit-exactly to
+/// the 4-block algorithm.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AdmgState {
     /// Number of front-ends `M`.
@@ -130,6 +134,9 @@ pub struct AdmgState {
     pub mu: Vec<f64>,
     /// Grid draw `ν_j` (MW).
     pub nu: Vec<f64>,
+    /// Battery net discharge `d_j` (MW; positive discharges, negative
+    /// charges). Identically zero without the storage block.
+    pub d: Vec<f64>,
     /// Auxiliary routing copy `a_ij` (kilo-servers), row-major `M × N`.
     pub a: Vec<f64>,
     /// Balance duals `φ_j` (one per datacenter).
@@ -150,6 +157,7 @@ impl AdmgState {
             lambda: vec![0.0; m * n],
             mu: vec![0.0; n],
             nu: vec![0.0; n],
+            d: vec![0.0; n],
             a: vec![0.0; m * n],
             phi: vec![0.0; n],
             varphi: vec![0.0; m * n],
@@ -215,21 +223,23 @@ impl AdmgState {
             .fold(0.0f64, |r, (l, a)| r.max((l - a).abs()))
     }
 
-    /// Power-balance residual `max_j |α_j + β_j Σ_i a_ij − μ_j − ν_j|` (MW).
+    /// Power-balance residual `max_j |α_j + β_j Σ_i a_ij − μ_j − ν_j − d_j|`
+    /// (MW). The battery term is identically zero without the storage
+    /// block, reducing bit-exactly to the 4-block residual.
     #[must_use]
     pub fn balance_residual(&self, instance: &UfcInstance) -> f64 {
         let loads = self.a_loads();
         (0..self.n).fold(0.0f64, |r, j| {
-            r.max((instance.demand_mw(j, loads[j]) - self.mu[j] - self.nu[j]).abs())
+            r.max((instance.demand_mw(j, loads[j]) - self.mu[j] - self.nu[j] - self.d[j]).abs())
         })
     }
 
     /// Serializes the full iterate into a self-describing little-endian
-    /// blob (magic + `M`/`N` shape + the six blocks), for checkpointing in
-    /// the distributed runtime.
+    /// blob (magic + `M`/`N` shape + the seven blocks), for checkpointing
+    /// in the distributed runtime.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(16 + 8 * (3 * self.m * self.n + 3 * self.n));
+        let mut buf = Vec::with_capacity(16 + 8 * (3 * self.m * self.n + 4 * self.n));
         buf.extend_from_slice(Self::MAGIC);
         codec::put_u32(&mut buf, u32::try_from(self.m).expect("m fits u32"));
         codec::put_u32(&mut buf, u32::try_from(self.n).expect("n fits u32"));
@@ -239,6 +249,7 @@ impl AdmgState {
         codec::put_f64s(&mut buf, &self.a);
         codec::put_f64s(&mut buf, &self.phi);
         codec::put_f64s(&mut buf, &self.varphi);
+        codec::put_f64s(&mut buf, &self.d);
         buf
     }
 
@@ -252,19 +263,30 @@ impl AdmgState {
         let mut pos = codec::check_magic(buf, Self::MAGIC)?;
         let m = codec::get_u32(buf, &mut pos)? as usize;
         let n = codec::get_u32(buf, &mut pos)? as usize;
+        let lambda = codec::get_f64s(buf, &mut pos)?;
+        let mu = codec::get_f64s(buf, &mut pos)?;
+        let nu = codec::get_f64s(buf, &mut pos)?;
+        let a = codec::get_f64s(buf, &mut pos)?;
+        let phi = codec::get_f64s(buf, &mut pos)?;
+        let varphi = codec::get_f64s(buf, &mut pos)?;
+        let d = codec::get_f64s(buf, &mut pos)?;
         let state = AdmgState {
             m,
             n,
-            lambda: codec::get_f64s(buf, &mut pos)?,
-            mu: codec::get_f64s(buf, &mut pos)?,
-            nu: codec::get_f64s(buf, &mut pos)?,
-            a: codec::get_f64s(buf, &mut pos)?,
-            phi: codec::get_f64s(buf, &mut pos)?,
-            varphi: codec::get_f64s(buf, &mut pos)?,
+            lambda,
+            mu,
+            nu,
+            d,
+            a,
+            phi,
+            varphi,
         };
         let routing_ok =
             state.lambda.len() == m * n && state.a.len() == m * n && state.varphi.len() == m * n;
-        let site_ok = state.mu.len() == n && state.nu.len() == n && state.phi.len() == n;
+        let site_ok = state.mu.len() == n
+            && state.nu.len() == n
+            && state.phi.len() == n
+            && state.d.len() == n;
         if !routing_ok || !site_ok {
             return Err(CoreError::checkpoint(format!(
                 "block lengths inconsistent with shape {m}×{n}"
@@ -273,11 +295,16 @@ impl AdmgState {
         Ok(state)
     }
 
-    /// Magic prefix of serialized state blobs (`UFCS` + format version 1).
-    pub const MAGIC: &'static [u8] = b"UFCS\x01";
+    /// Magic prefix of serialized state blobs (`UFCS` + format version 2;
+    /// version 2 appended the battery-discharge block `d`).
+    pub const MAGIC: &'static [u8] = b"UFCS\x02";
 
-    /// The ADMM-form objective (12) at the current `(λ, μ, ν)` in dollars:
-    /// `Σ_j [V_j(C_j ν_j h) + h p_j ν_j + h p₀ μ_j] − w Σ_i U(λ_i)`.
+    /// The ADMM-form objective (12) at the current `(λ, μ, ν, d)` in
+    /// dollars:
+    /// `Σ_j [V_j(C_j ν_j h) + h p_j ν_j + h p₀ μ_j + γ h d_j² + κ_j h d_j]
+    /// − w Σ_i U(λ_i)`. The battery terms are the solver's surrogate cost
+    /// (degradation plus the κ opportunity value of drained energy) and
+    /// vanish without the storage block.
     #[must_use]
     pub fn objective(&self, instance: &UfcInstance) -> f64 {
         let h = instance.slot_hours;
@@ -287,6 +314,12 @@ impl AdmgState {
             obj += instance.emission_cost[j].value(tons)
                 + h * instance.grid_price[j] * self.nu[j]
                 + h * instance.fuel_cell_price * self.mu[j];
+        }
+        if let Some(sp) = &instance.storage {
+            for j in 0..self.n {
+                obj += sp.degradation_per_mwh * h * self.d[j] * self.d[j]
+                    + sp.value_per_mwh[j] * h * self.d[j];
+            }
         }
         let w = instance.weight_per_kserver();
         for i in 0..self.m {
@@ -381,6 +414,7 @@ mod tests {
         s.lambda = vec![0.5, -0.25, 1.0, f64::MIN_POSITIVE];
         s.mu = vec![0.1, 0.2];
         s.nu = vec![0.42, 1e-300];
+        s.d = vec![-0.125, 0.0625];
         s.a = vec![0.5, 0.5, 1.0, 1.0];
         s.phi = vec![-3.25, 7.5];
         s.varphi = vec![0.0, -0.0, 2.5, 9.75];

@@ -9,6 +9,7 @@
 //! | [`lambda_step`] | each front-end `i` | QP over the load-balance simplex (17) | active-set (exact) or FISTA |
 //! | [`mu_step`] | each datacenter `j` | 1-variable box QP (18) | closed form |
 //! | [`nu_step`] | each datacenter `j` | 1-variable convex problem (19) | closed form (affine/quadratic `V`) or derivative bisection |
+//! | [`storage_step`] | each datacenter `j` | 1-variable box QP (storage extension) | closed form |
 //! | [`a_step`] | each datacenter `j` | QP over the capped simplex (20) | active-set (exact) or FISTA |
 //! | [`dual_step`] | both sides | gradient ascent on the two coupling rows | closed form |
 //!
@@ -112,7 +113,54 @@ pub fn mu_scalar_step(
     rho: f64,
     mu_max: f64,
 ) -> f64 {
-    scalar::prox_linear_quadratic(demand - nu, phi + fuel_cost_h, rho, 0.0, mu_max)
+    mu_scalar_step_bounded(demand, nu, phi, fuel_cost_h, rho, 0.0, mu_max)
+}
+
+/// [`mu_scalar_step`] over an arbitrary box `[μ_lo, μ_hi]` — the ramp-limit
+/// generalization used by the storage block. With `(0, μ_max)` this is the
+/// exact same computation as the unbounded-ramp step (the classic schedule's
+/// degenerate case).
+#[must_use]
+pub fn mu_scalar_step_bounded(
+    demand: f64,
+    nu: f64,
+    phi: f64,
+    fuel_cost_h: f64,
+    rho: f64,
+    mu_lo: f64,
+    mu_hi: f64,
+) -> f64 {
+    scalar::prox_linear_quadratic(demand - nu, phi + fuel_cost_h, rho, mu_lo, mu_hi)
+}
+
+/// Closed-form storage (battery net-discharge) minimization for a single
+/// datacenter, parameterized on raw scalars: the block minimizes
+/// `γh·d² + κh·d + φ·d + ρ/2 (d − r)²` over the box `[d_lo, d_hi]`, where
+/// `r = demand − μ̃ − ν̃` is the balance residual left by the earlier blocks,
+/// `value_cost_h = κ·h` prices drained stored energy, and
+/// `degradation_h = γ·h` is the per-slot wear coefficient. Stationarity
+/// gives `d̃ = clamp((ρ·r − (φ + κh)) / (ρ + 2γh), d_lo, d_hi)`.
+///
+/// Shared by [`storage_step`], the solver's fused datacenter phase, and the
+/// distributed datacenter node — their iterates must match bit-for-bit.
+/// (Deliberately *not* routed through `prox_linear_quadratic`: its
+/// `d − s/ρ` form is algebraically equal but not bitwise equal to this
+/// closed form once the quadratic term enters the denominator.)
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn storage_scalar_step(
+    demand: f64,
+    mu_tilde: f64,
+    nu_tilde: f64,
+    phi: f64,
+    value_cost_h: f64,
+    degradation_h: f64,
+    rho: f64,
+    d_lo: f64,
+    d_hi: f64,
+) -> f64 {
+    let r = demand - mu_tilde - nu_tilde;
+    ((rho * r - (phi + value_cost_h)) / (rho + 2.0 * degradation_h)).clamp(d_lo, d_hi)
 }
 
 /// Closed-form / bisection ν-minimization for a single datacenter,
@@ -169,13 +217,18 @@ pub fn mu_step(instance: &UfcInstance, rho: f64, state: &AdmgState, active: bool
     let loads = state.a_loads();
     (0..state.n)
         .map(|j| {
-            mu_scalar_step(
-                instance.demand_mw(j, loads[j]),
+            let (mu_lo, mu_hi) = match &instance.storage {
+                Some(sp) => sp.mu_bounds(j, instance.mu_max[j]),
+                None => (0.0, instance.mu_max[j]),
+            };
+            mu_scalar_step_bounded(
+                instance.demand_mw(j, loads[j]) - state.d[j],
                 state.nu[j],
                 state.phi[j],
                 h * instance.fuel_cell_price,
                 rho,
-                instance.mu_max[j],
+                mu_lo,
+                mu_hi,
             )
         })
         .collect()
@@ -204,13 +257,53 @@ pub fn nu_step(
     (0..state.n)
         .map(|j| {
             nu_scalar_step(
-                instance.demand_mw(j, loads[j]),
+                instance.demand_mw(j, loads[j]) - state.d[j],
                 mu_tilde[j],
                 state.phi[j],
                 h * instance.grid_price[j],
                 instance.carbon_t_per_mwh[j] * h,
                 &instance.emission_cost[j],
                 rho,
+            )
+        })
+        .collect()
+}
+
+/// Storage (battery) minimization — the 5th block of the extended
+/// schedule: each datacenter with a battery solves the 1-variable box QP
+/// of [`storage_scalar_step`] against the balance residual left by `μ̃`
+/// and `ν̃` over the *full* demand (the block replaces, not adjusts, the
+/// previous iterate's `d`). Datacenters without a battery — and every
+/// datacenter on spatial-only instances — are pinned at exactly `+0.0`.
+#[must_use]
+pub fn storage_step(
+    instance: &UfcInstance,
+    rho: f64,
+    state: &AdmgState,
+    mu_tilde: &[f64],
+    nu_tilde: &[f64],
+) -> Vec<f64> {
+    let Some(sp) = &instance.storage else {
+        return vec![0.0; state.n];
+    };
+    let h = instance.slot_hours;
+    let loads = state.a_loads();
+    (0..state.n)
+        .map(|j| {
+            if !sp.active(j) {
+                return 0.0;
+            }
+            let (d_lo, d_hi) = sp.discharge_bounds(j, h);
+            storage_scalar_step(
+                instance.demand_mw(j, loads[j]),
+                mu_tilde[j],
+                nu_tilde[j],
+                state.phi[j],
+                sp.value_per_mwh[j] * h,
+                sp.degradation_per_mwh * h,
+                rho,
+                d_lo,
+                d_hi,
             )
         })
         .collect()
@@ -282,6 +375,7 @@ impl SmoothObjective for CongestedAStep {
 /// # Errors
 ///
 /// Returns [`CoreError::Subproblem`] if a datacenter's QP fails.
+#[allow(clippy::too_many_arguments)]
 pub fn a_step(
     instance: &UfcInstance,
     rho: f64,
@@ -290,6 +384,7 @@ pub fn a_step(
     lambda_tilde: &[f64],
     mu_tilde: &[f64],
     nu_tilde: &[f64],
+    d_tilde: &[f64],
 ) -> Result<Vec<f64>> {
     let (m, n) = (state.m, state.n);
     let mut a_tilde = vec![0.0; m * n];
@@ -311,7 +406,7 @@ pub fn a_step(
     let mut start_buf: Vec<f64> = Vec::new();
     for j in 0..n {
         let beta = instance.beta[j];
-        let drift = instance.alpha[j] - mu_tilde[j] - nu_tilde[j];
+        let drift = instance.alpha[j] - mu_tilde[j] - nu_tilde[j] - d_tilde[j];
         for i in 0..m {
             c[i] = -rho * lambda_tilde[state.idx(i, j)]
                 - state.varphi[state.idx(i, j)]
@@ -369,11 +464,12 @@ pub fn a_step(
 }
 
 /// Dual updates (step 1.5): gradient ascent on the two coupling rows,
-/// `φ̃_j = φ_j − ρ(α_j + β_jΣ_i ã_ij − μ̃_j − ν̃_j)` at each datacenter and
-/// `φ̃_ij = φ_ij − ρ(ã_ij − λ̃_ij)` at each front-end.
+/// `φ̃_j = φ_j − ρ(α_j + β_jΣ_i ã_ij − μ̃_j − ν̃_j − d̃_j)` at each
+/// datacenter and `φ̃_ij = φ_ij − ρ(ã_ij − λ̃_ij)` at each front-end.
 ///
 /// Returns `(φ̃, φ̃_ij)`.
 #[must_use]
+#[allow(clippy::too_many_arguments)]
 pub fn dual_step(
     instance: &UfcInstance,
     rho: f64,
@@ -381,6 +477,7 @@ pub fn dual_step(
     lambda_tilde: &[f64],
     mu_tilde: &[f64],
     nu_tilde: &[f64],
+    d_tilde: &[f64],
     a_tilde: &[f64],
 ) -> (Vec<f64>, Vec<f64>) {
     let (m, n) = (state.m, state.n);
@@ -392,7 +489,8 @@ pub fn dual_step(
     }
     let phi_tilde: Vec<f64> = (0..n)
         .map(|j| {
-            state.phi[j] - rho * (instance.demand_mw(j, a_loads[j]) - mu_tilde[j] - nu_tilde[j])
+            state.phi[j]
+                - rho * (instance.demand_mw(j, a_loads[j]) - mu_tilde[j] - nu_tilde[j] - d_tilde[j])
         })
         .collect();
     let varphi_tilde: Vec<f64> = (0..m * n)
@@ -567,6 +665,7 @@ mod tests {
             &lambda_tilde,
             &[0.0, 0.0],
             &[0.0, 0.0],
+            &[0.0, 0.0],
         )
         .unwrap();
         for j in 0..2 {
@@ -591,6 +690,7 @@ mod tests {
             &lambda_tilde,
             &[0.1, 0.2],
             &[0.2, 0.1],
+            &[0.0, 0.0],
         )
         .unwrap();
         let fista = a_step(
@@ -601,11 +701,61 @@ mod tests {
             &lambda_tilde,
             &[0.1, 0.2],
             &[0.2, 0.1],
+            &[0.0, 0.0],
         )
         .unwrap();
         for (x, y) in exact.iter().zip(&fista) {
             assert!((x - y).abs() < 1e-5, "{exact:?} vs {fista:?}");
         }
+    }
+
+    #[test]
+    fn mu_scalar_step_bounded_reduces_to_plain_box() {
+        // The classic path's exact arguments: bounds (0, mu_max).
+        let plain = mu_scalar_step(0.48, 0.1, -80.3, 80.0, 0.3, 0.48);
+        let bounded = mu_scalar_step_bounded(0.48, 0.1, -80.3, 80.0, 0.3, 0.0, 0.48);
+        assert_eq!(plain.to_bits(), bounded.to_bits());
+        // A tighter box actually binds.
+        let ramped = mu_scalar_step_bounded(0.48, 0.1, -80.3, 80.0, 0.3, 0.0, 0.2);
+        assert_eq!(ramped, 0.2);
+    }
+
+    #[test]
+    fn storage_scalar_step_charges_when_value_exceeds_pressure() {
+        // Balanced residual (r = 0), no dual: the κ term alone pulls the
+        // battery toward charging, clamped at the converter rate.
+        let d = storage_scalar_step(0.42, 0.42, 0.0, 0.0, 40.0, 0.1, 0.3, -0.5, 0.5);
+        assert_eq!(d, -0.5);
+        // A strongly negative dual (power shortage) pushes discharge.
+        let d = storage_scalar_step(0.42, 0.0, 0.0, -100.0, 40.0, 0.1, 0.3, -0.5, 0.5);
+        assert_eq!(d, 0.5);
+        // Interior stationary point: r = 0.42, κh = 0, γh = 0.1, ρ = 0.3
+        // ⇒ d = 0.3·0.42/0.5 = 0.252.
+        let d = storage_scalar_step(0.42, 0.0, 0.0, 0.0, 0.0, 0.1, 0.3, -0.5, 0.5);
+        assert!((d - 0.252).abs() < 1e-12);
+    }
+
+    #[test]
+    fn storage_step_pins_inactive_datacenters_to_positive_zero() {
+        let inst = tiny();
+        let state = AdmgState::zeros(&inst);
+        // No storage on the instance at all.
+        let d = storage_step(&inst, 0.3, &state, &[0.0, 0.0], &[0.0, 0.0]);
+        assert_eq!(d, vec![0.0, 0.0]);
+        assert!(d.iter().all(|v| v.to_bits() == 0.0f64.to_bits()));
+        // Storage present but DC1's battery has zero capacity.
+        let mut params = ufc_model::StorageFleet::new(1.0, 0.4)
+            .initial_charge_frac(0.5)
+            .initial_params(2);
+        params.capacity_mwh[1] = 0.0;
+        params.charge_mwh[1] = 0.0;
+        let inst = inst.with_storage(params).unwrap();
+        let mut state = AdmgState::zeros(&inst);
+        state.a = vec![1.0, 1.0, 1.0, 1.0];
+        state.phi = vec![-100.0, -100.0];
+        let d = storage_step(&inst, 0.3, &state, &[0.0, 0.0], &[0.0, 0.0]);
+        assert!(d[0] > 0.0, "active battery should discharge, got {}", d[0]);
+        assert_eq!(d[1].to_bits(), 0.0f64.to_bits(), "inactive must be +0.0");
     }
 
     #[test]
@@ -624,6 +774,7 @@ mod tests {
             &lambda_tilde,
             &mu_tilde,
             &nu_tilde,
+            &[0.0, 0.0],
             &a_tilde,
         );
         assert!(phi_t.iter().all(|&v| v.abs() < 1e-12));
@@ -637,6 +788,7 @@ mod tests {
             &lambda_tilde,
             &mu_short,
             &nu_tilde,
+            &[0.0, 0.0],
             &a_tilde,
         );
         assert!((phi_t[0] + 0.03).abs() < 1e-12);
@@ -649,6 +801,7 @@ mod tests {
             &lambda_tilde,
             &mu_tilde,
             &nu_tilde,
+            &[0.0, 0.0],
             &a_big,
         );
         assert!((varphi_t[0] + 0.3 * 0.2).abs() < 1e-12);

@@ -22,17 +22,21 @@
 use std::io::{self, Write};
 use std::time::Duration;
 
-use crate::engine::{IterationEvent, IterationObserver};
+use crate::engine::{BlockOwner, IterationEvent, IterationObserver};
 
-/// The five driver phases of one ADM-G iteration, in execution order.
+/// The driver phases of one ADM-G iteration, in execution order. The
+/// prediction phases are keyed by the owning deployment side
+/// ([`BlockOwner`]) — the unit the schedule-driven driver actually
+/// sequences — rather than by block name, so the same five phases cover
+/// both the classic 4-block and the 5-block storage schedules
+/// (`BlockSchedule::phases` derives exactly this list for both).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// Pre-phase bookkeeping (`Transport::begin_iteration`).
     Begin,
-    /// The λ prediction scatter (`Transport::predict_lambda`).
-    PredictLambda,
-    /// The μ/ν/a steps and result gather (`Transport::step_datacenters`).
-    StepDatacenters,
+    /// One fused prediction phase: every block the owner holds, plus (for
+    /// datacenters) the dual prediction (`Transport::predict_phase`).
+    Predict(BlockOwner),
     /// Gaussian back substitution + residual reduction (`Transport::correct`).
     Correct,
     /// Control broadcast and checkpointing (`Transport::finish_iteration`).
@@ -43,19 +47,22 @@ impl Phase {
     /// All phases, in driver execution order.
     pub const ALL: [Phase; 5] = [
         Phase::Begin,
-        Phase::PredictLambda,
-        Phase::StepDatacenters,
+        Phase::Predict(BlockOwner::FrontEnd),
+        Phase::Predict(BlockOwner::Datacenter),
         Phase::Correct,
         Phase::FinishIteration,
     ];
 
-    /// Stable snake_case name (used as the JSON key).
+    /// Stable snake_case name (used as the JSON key). The prediction
+    /// phases keep their historical keys — `predict_lambda` for the
+    /// front-end phase, `step_datacenters` for the datacenter phase — so
+    /// existing trace consumers keep parsing.
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             Phase::Begin => "begin",
-            Phase::PredictLambda => "predict_lambda",
-            Phase::StepDatacenters => "step_datacenters",
+            Phase::Predict(BlockOwner::FrontEnd) => "predict_lambda",
+            Phase::Predict(BlockOwner::Datacenter) => "step_datacenters",
             Phase::Correct => "correct",
             Phase::FinishIteration => "finish_iteration",
         }
@@ -66,8 +73,8 @@ impl Phase {
     pub fn index(self) -> usize {
         match self {
             Phase::Begin => 0,
-            Phase::PredictLambda => 1,
-            Phase::StepDatacenters => 2,
+            Phase::Predict(BlockOwner::FrontEnd) => 1,
+            Phase::Predict(BlockOwner::Datacenter) => 2,
             Phase::Correct => 3,
             Phase::FinishIteration => 4,
         }

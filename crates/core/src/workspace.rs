@@ -38,7 +38,8 @@ use ufc_opt::{ActiveSetQp, Fista, KktCache, QuadObjective};
 
 use crate::pool::WorkerPool;
 use crate::subproblems::{
-    mu_scalar_step, nu_scalar_step, CongestedAStep, FISTA_CONGESTED_TOL, FISTA_MAX_ITER, FISTA_TOL,
+    mu_scalar_step_bounded, nu_scalar_step, storage_scalar_step, CongestedAStep,
+    FISTA_CONGESTED_TOL, FISTA_MAX_ITER, FISTA_TOL,
 };
 use crate::telemetry::SolverCounters;
 use crate::{AdmgSettings, AdmgState, CoreError, Result, SubproblemMethod};
@@ -495,8 +496,11 @@ struct LambdaBlock {
     qp: LambdaQp,
 }
 
-/// Per-datacenter μ/ν/a block (the three datacenter-owned prediction steps
-/// are fused: they share the column load and demand).
+/// Per-datacenter μ/ν/d/a block (the datacenter-owned prediction steps are
+/// fused: they share the column load and demand). `d` is the storage block's
+/// net discharge — exactly `0.0` on spatial-only instances and for
+/// datacenters without a battery, which keeps the classic 4-block schedule
+/// the bit-identical degenerate case.
 #[derive(Debug)]
 struct ABlock {
     c: Vec<f64>,
@@ -504,6 +508,7 @@ struct ABlock {
     out: Vec<f64>,
     mu: f64,
     nu: f64,
+    d: f64,
     qp: AColQp,
 }
 
@@ -549,6 +554,7 @@ impl SolverWorkspace {
                 out: vec![0.0; m],
                 mu: 0.0,
                 nu: 0.0,
+                d: 0.0,
                 qp: AColQp::new(
                     m,
                     settings.rho,
@@ -606,15 +612,17 @@ impl SolverWorkspace {
     }
 
     /// The datacenter-side prediction phases (paper Eqs. (18)–(20) plus the
-    /// dual prediction): the fused per-datacenter μ → ν → a steps followed by
-    /// the in-place φ/φ_ij updates, writing into `self.tilde`. Requires a
-    /// preceding [`Self::predict_lambda`] for the same `state` (it consumes
-    /// `self.tilde.lambda`).
+    /// storage block and the dual prediction): the fused per-datacenter
+    /// μ → ν → d → a steps followed by the in-place φ/φ_ij updates, writing
+    /// into `self.tilde`. Requires a preceding [`Self::predict_lambda`] for
+    /// the same `state` (it consumes `self.tilde.lambda`).
     ///
-    /// Each column's closed-form μ and ν and its capped-simplex QP depend
-    /// only on that datacenter's load, so the three steps run as one task per
+    /// Each column's closed-form μ, ν and d and its capped-simplex QP depend
+    /// only on that datacenter's load, so the steps run as one task per
     /// datacenter, fanned across `pool` with index-ordered gather
-    /// (bit-identical at any thread count).
+    /// (bit-identical at any thread count). On spatial-only instances the d
+    /// step is pinned at exactly `0.0` and the phase reproduces the classic
+    /// 4-block prediction bit-for-bit.
     pub(crate) fn predict_site_blocks(
         &mut self,
         instance: &UfcInstance,
@@ -634,21 +642,30 @@ impl SolverWorkspace {
                 load += state.a[i * n + j];
             }
             let demand = instance.demand_mw(j, load);
+            // μ̃/ν̃ see the demand net of the previous iterate's storage
+            // draw; on spatial-only instances `state.d[j]` is exactly `0.0`
+            // and `x − 0.0 = x` bitwise, so the classic path is unchanged.
+            let demand_eff = demand - state.d[j];
+            let (mu_lo, mu_hi) = match &instance.storage {
+                Some(sp) => sp.mu_bounds(j, instance.mu_max[j]),
+                None => (0.0, instance.mu_max[j]),
+            };
             blk.mu = if active_mu {
-                mu_scalar_step(
-                    demand,
+                mu_scalar_step_bounded(
+                    demand_eff,
                     state.nu[j],
                     state.phi[j],
                     h * instance.fuel_cell_price,
                     rho,
-                    instance.mu_max[j],
+                    mu_lo,
+                    mu_hi,
                 )
             } else {
                 0.0
             };
             blk.nu = if active_nu {
                 nu_scalar_step(
-                    demand,
+                    demand_eff,
                     blk.mu,
                     state.phi[j],
                     h * instance.grid_price[j],
@@ -659,8 +676,29 @@ impl SolverWorkspace {
             } else {
                 0.0
             };
+            // Storage block: solves for a *fresh* net discharge against the
+            // full demand (not `demand_eff` — the block replaces `d`, it
+            // does not adjust it). Pinned at exactly `+0.0` without a
+            // battery.
+            blk.d = match &instance.storage {
+                Some(sp) if sp.active(j) => {
+                    let (d_lo, d_hi) = sp.discharge_bounds(j, h);
+                    storage_scalar_step(
+                        demand,
+                        blk.mu,
+                        blk.nu,
+                        state.phi[j],
+                        sp.value_per_mwh[j] * h,
+                        sp.degradation_per_mwh * h,
+                        rho,
+                        d_lo,
+                        d_hi,
+                    )
+                }
+                _ => 0.0,
+            };
             let beta = instance.beta[j];
-            let drift = instance.alpha[j] - blk.mu - blk.nu;
+            let drift = instance.alpha[j] - blk.mu - blk.nu - blk.d;
             for i in 0..m {
                 blk.c[i] =
                     -rho * tilde_lambda[i * n + j] - state.varphi[i * n + j] - state.phi[j] * beta
@@ -683,6 +721,7 @@ impl SolverWorkspace {
         for (j, blk) in self.a_blocks.iter().enumerate() {
             self.tilde.mu[j] = blk.mu;
             self.tilde.nu[j] = blk.nu;
+            self.tilde.d[j] = blk.d;
             for i in 0..m {
                 self.tilde.a[i * n + j] = blk.out[i];
             }
@@ -695,7 +734,11 @@ impl SolverWorkspace {
                 load += self.tilde.a[i * n + j];
             }
             self.tilde.phi[j] = state.phi[j]
-                - rho * (instance.demand_mw(j, load) - self.tilde.mu[j] - self.tilde.nu[j]);
+                - rho
+                    * (instance.demand_mw(j, load)
+                        - self.tilde.mu[j]
+                        - self.tilde.nu[j]
+                        - self.tilde.d[j]);
         }
         for k in 0..m * n {
             self.tilde.varphi[k] = state.varphi[k] - rho * (self.tilde.a[k] - self.tilde.lambda[k]);
@@ -740,8 +783,8 @@ impl SolverWorkspace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::subproblems::{a_step, dual_step, lambda_step, mu_step, nu_step};
-    use ufc_model::EmissionCostFn;
+    use crate::subproblems::{a_step, dual_step, lambda_step, mu_step, nu_step, storage_step};
+    use ufc_model::{EmissionCostFn, StorageFleet};
 
     fn tiny() -> UfcInstance {
         UfcInstance::new(
@@ -782,12 +825,14 @@ mod tests {
         let lt = lambda_step(&inst, rho, settings.method, &state).unwrap();
         let mt = mu_step(&inst, rho, &state, true);
         let nt = nu_step(&inst, rho, &state, &mt, true);
-        let at = a_step(&inst, rho, settings.method, &state, &lt, &mt, &nt).unwrap();
-        let (pt, vt) = dual_step(&inst, rho, &state, &lt, &mt, &nt, &at);
+        let dt = storage_step(&inst, rho, &state, &mt, &nt);
+        let at = a_step(&inst, rho, settings.method, &state, &lt, &mt, &nt, &dt).unwrap();
+        let (pt, vt) = dual_step(&inst, rho, &state, &lt, &mt, &nt, &dt, &at);
 
         assert_eq!(ws.tilde.lambda, lt);
         assert_eq!(ws.tilde.mu, mt);
         assert_eq!(ws.tilde.nu, nt);
+        assert_eq!(ws.tilde.d, dt);
         assert_eq!(ws.tilde.a, at);
         assert_eq!(ws.tilde.phi, pt);
         assert_eq!(ws.tilde.varphi, vt);
@@ -813,11 +858,60 @@ mod tests {
         let lt = lambda_step(&inst, rho, settings.method, &state).unwrap();
         let mt = mu_step(&inst, rho, &state, true);
         let nt = nu_step(&inst, rho, &state, &mt, true);
-        let at = a_step(&inst, rho, settings.method, &state, &lt, &mt, &nt).unwrap();
+        let dt = storage_step(&inst, rho, &state, &mt, &nt);
+        let at = a_step(&inst, rho, settings.method, &state, &lt, &mt, &nt, &dt).unwrap();
         assert_eq!(ws.tilde.lambda, lt);
         assert_eq!(ws.tilde.mu, mt);
         assert_eq!(ws.tilde.nu, nt);
         assert_eq!(ws.tilde.a, at);
+    }
+
+    /// On a storage instance the fused datacenter phase must reproduce the
+    /// five reference step functions — μ bounds from the ramp limit, the
+    /// fresh-d storage solve, and the d-aware drift and duals — bit-for-bit
+    /// from a warm, nonzero state (caching off so the reference cold-start
+    /// path is exercised on both sides).
+    #[test]
+    fn predict_matches_reference_steps_with_storage() {
+        let fleet = StorageFleet::new(2.0, 1.0)
+            .initial_charge_frac(0.5)
+            .value_per_mwh(40.0)
+            .degradation(2.0)
+            .ramp_mw(0.3);
+        let inst = tiny().with_storage(fleet.initial_params(2)).unwrap();
+        let settings = AdmgSettings::default().with_factorization_caching(false);
+        let mut state = AdmgState::zeros(&inst);
+        state.a = vec![0.4, 0.6, 1.5, 0.5];
+        state.varphi = vec![0.1, -0.2, 0.05, 0.3];
+        state.phi = vec![0.2, -0.1];
+        state.nu = vec![0.3, 0.2];
+        state.d = vec![0.05, -0.1];
+        let pool = WorkerPool::new(1);
+        let mut ws = SolverWorkspace::new(&inst, &settings);
+        ws.predict_lambda(&state, &pool).unwrap();
+        ws.predict_site_blocks(&inst, &state, &pool, true, true)
+            .unwrap();
+
+        let rho = settings.rho;
+        let lt = lambda_step(&inst, rho, settings.method, &state).unwrap();
+        let mt = mu_step(&inst, rho, &state, true);
+        let nt = nu_step(&inst, rho, &state, &mt, true);
+        let dt = storage_step(&inst, rho, &state, &mt, &nt);
+        let at = a_step(&inst, rho, settings.method, &state, &lt, &mt, &nt, &dt).unwrap();
+        let (pt, vt) = dual_step(&inst, rho, &state, &lt, &mt, &nt, &dt, &at);
+
+        assert!(dt.iter().any(|&d| d != 0.0), "storage block should engage");
+        assert_eq!(ws.tilde.lambda, lt);
+        assert_eq!(ws.tilde.mu, mt);
+        assert_eq!(ws.tilde.nu, nt);
+        assert_eq!(ws.tilde.d, dt);
+        assert_eq!(ws.tilde.a, at);
+        assert_eq!(ws.tilde.phi, pt);
+        assert_eq!(ws.tilde.varphi, vt);
+        // Ramp limit binds: μ̃ stays inside the [μ_prev ± ramp] box.
+        for j in 0..2 {
+            assert!(ws.tilde.mu[j] <= 0.3 + 1e-12);
+        }
     }
 
     /// Warm-started, cached solves accumulate cache hits across iterations.

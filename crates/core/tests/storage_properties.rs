@@ -1,0 +1,215 @@
+//! Property tests for the storage block (satellite of the N-block
+//! refactor): on randomized instances with randomized batteries the solved
+//! point must respect the charge-state and ramp boxes, and a zero-capacity
+//! fleet must reproduce the spatial-only solution bit for bit.
+
+use proptest::prelude::*;
+// `ufc_core::Strategy` (the sourcing policy) shadows the prelude's
+// `Strategy` trait; pull the trait in anonymously for `prop_map`.
+use proptest::strategy::Strategy as _;
+use ufc_core::{AdmgSettings, AdmgSolver, Strategy};
+use ufc_model::{EmissionCostFn, StorageParams, UfcInstance};
+
+/// A randomized but well-posed 3×2 instance (same shape as
+/// `tests/algorithm.rs`).
+fn random_instance(
+    arrivals: Vec<f64>,
+    prices: Vec<f64>,
+    carbon: Vec<f64>,
+    p0: f64,
+    tax: f64,
+) -> UfcInstance {
+    UfcInstance::new(
+        arrivals,
+        vec![3.0, 3.0],
+        vec![0.36, 0.36],
+        vec![0.12, 0.12],
+        vec![0.72, 0.72],
+        prices,
+        p0,
+        carbon,
+        vec![vec![0.008, 0.025], vec![0.020, 0.010], vec![0.015, 0.018]],
+        10.0,
+        vec![
+            EmissionCostFn::linear(tax).unwrap(),
+            EmissionCostFn::linear(tax).unwrap(),
+        ],
+        1.0,
+    )
+    .unwrap()
+}
+
+/// Randomized per-datacenter battery + ramp data. Capacities of zero are
+/// deliberately in range so the "inactive datacenter" path is exercised
+/// alongside active ones.
+#[allow(clippy::too_many_arguments)]
+fn random_storage(
+    caps: [f64; 2],
+    charge_fracs: [f64; 2],
+    rate: f64,
+    kappa: f64,
+    gamma: f64,
+    ramp: [f64; 2],
+    mu_prev_fracs: [f64; 2],
+    mu_max: &[f64],
+) -> StorageParams {
+    StorageParams {
+        capacity_mwh: caps.to_vec(),
+        charge_mwh: vec![charge_fracs[0] * caps[0], charge_fracs[1] * caps[1]],
+        charge_rate_mw: vec![rate; 2],
+        discharge_rate_mw: vec![rate; 2],
+        value_per_mwh: vec![kappa; 2],
+        degradation_per_mwh: gamma,
+        ramp_mw: ramp.to_vec(),
+        mu_prev_mw: vec![mu_prev_fracs[0] * mu_max[0], mu_prev_fracs[1] * mu_max[1]],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The solved point keeps every datacenter inside its discharge and
+    /// ramp boxes, advances the charge state within `[0, capacity]`, and
+    /// pins `d_j = +0.0` exactly where there is no battery.
+    #[test]
+    fn charge_state_and_ramp_bounds_hold(
+        a1 in 0.5f64..2.0,
+        a2 in 0.5f64..2.0,
+        a3 in 0.5f64..2.0,
+        p1 in 15.0f64..120.0,
+        p2 in 15.0f64..120.0,
+        p0 in 30.0f64..110.0,
+        // Maps below fold a slice of each range onto the degenerate value
+        // (no battery / no ramp limit) so both paths are exercised.
+        cap1 in (0.0f64..1.5).prop_map(|c| if c < 0.2 { 0.0 } else { c }),
+        cap2 in (0.0f64..1.5).prop_map(|c| if c < 0.2 { 0.0 } else { c }),
+        frac1 in 0.0f64..1.0,
+        frac2 in 0.0f64..1.0,
+        rate in 0.1f64..1.0,
+        kappa in 0.0f64..100.0,
+        gamma in 0.0f64..2.0,
+        ramp1 in (0.0f64..0.5).prop_map(|r| if r < 0.05 { f64::INFINITY } else { r }),
+        ramp2 in (0.0f64..0.5).prop_map(|r| if r < 0.05 { f64::INFINITY } else { r }),
+        mp1 in 0.0f64..1.0,
+        mp2 in 0.0f64..1.0,
+    ) {
+        let plain = random_instance(vec![a1, a2, a3], vec![p1, p2], vec![0.4, 0.3], p0, 25.0);
+        let storage = random_storage(
+            [cap1, cap2],
+            [frac1, frac2],
+            rate,
+            kappa,
+            gamma,
+            [ramp1, ramp2],
+            [mp1, mp2],
+            &plain.mu_max,
+        );
+        let h = plain.slot_hours;
+        let inst = plain.with_storage(storage.clone()).unwrap();
+        // Tight ramp boxes can make the splitting converge slowly on
+        // adversarial draws; give those cases more iterations.
+        let settings = AdmgSettings {
+            max_iterations: 10_000,
+            ..AdmgSettings::default()
+        };
+        let sol = AdmgSolver::new(settings)
+            .solve(&inst, Strategy::Hybrid)
+            .unwrap();
+        prop_assert!(sol.converged, "did not converge: {:?}", sol.history.last());
+
+        let tol = 1e-9;
+        for j in 0..2 {
+            let d = sol.point.d[j];
+            if !storage.active(j) {
+                prop_assert_eq!(
+                    d.to_bits(),
+                    0.0f64.to_bits(),
+                    "inactive datacenter {} has d = {}",
+                    j,
+                    d
+                );
+                continue;
+            }
+            let (d_lo, d_hi) = storage.discharge_bounds(j, h);
+            prop_assert!(
+                d >= d_lo - tol && d <= d_hi + tol,
+                "d[{}] = {} leaves [{}, {}]",
+                j, d, d_lo, d_hi
+            );
+            // Charge advance stays a valid state for the next slot.
+            let next = storage.charge_mwh[j] - d * h;
+            prop_assert!(
+                next >= -tol && next <= storage.capacity_mwh[j] + tol,
+                "next charge {} MWh leaves [0, {}]",
+                next, storage.capacity_mwh[j]
+            );
+        }
+        for j in 0..2 {
+            let mu = sol.point.mu[j];
+            let (mu_lo, mu_hi) = storage.mu_bounds(j, inst.mu_max[j]);
+            prop_assert!(
+                mu >= mu_lo - tol && mu <= mu_hi + tol,
+                "mu[{}] = {} leaves ramp box [{}, {}]",
+                j, mu, mu_lo, mu_hi
+            );
+            prop_assert!(mu >= -tol && mu <= inst.mu_max[j] + tol);
+        }
+    }
+
+    /// Attaching a fleet of zero-capacity batteries (with an unconstrained
+    /// ramp) is the degenerate 5th block: the solution must be bit-identical
+    /// to the plain spatial-only instance.
+    #[test]
+    fn zero_capacity_batteries_reproduce_spatial_only_bit_for_bit(
+        a1 in 0.5f64..2.0,
+        a2 in 0.5f64..2.0,
+        a3 in 0.5f64..2.0,
+        p1 in 15.0f64..120.0,
+        p2 in 15.0f64..120.0,
+        p0 in 30.0f64..110.0,
+        tax in 0.0f64..100.0,
+        kappa in 0.0f64..100.0,
+        gamma in 0.0f64..2.0,
+    ) {
+        let plain = random_instance(vec![a1, a2, a3], vec![p1, p2], vec![0.5, 0.25], p0, tax);
+        let storage = random_storage(
+            [0.0, 0.0],
+            [0.0, 0.0],
+            0.5,
+            kappa,
+            gamma,
+            [f64::INFINITY, f64::INFINITY],
+            [0.0, 0.0],
+            &plain.mu_max,
+        );
+        let stored = plain.clone().with_storage(storage).unwrap();
+        let solver = AdmgSolver::new(AdmgSettings::default());
+        let base = solver.solve(&plain, Strategy::Hybrid).unwrap();
+        let five = solver.solve(&stored, Strategy::Hybrid).unwrap();
+
+        prop_assert_eq!(five.iterations, base.iterations);
+        for (row5, row4) in five.point.lambda.iter().zip(&base.point.lambda) {
+            for (x5, x4) in row5.iter().zip(row4) {
+                prop_assert_eq!(x5.to_bits(), x4.to_bits());
+            }
+        }
+        for (x5, x4) in five.point.mu.iter().zip(&base.point.mu) {
+            prop_assert_eq!(x5.to_bits(), x4.to_bits());
+        }
+        for (x5, x4) in five.point.nu.iter().zip(&base.point.nu) {
+            prop_assert_eq!(x5.to_bits(), x4.to_bits());
+        }
+        for &d in &five.point.d {
+            prop_assert_eq!(d.to_bits(), 0.0f64.to_bits());
+        }
+        prop_assert_eq!(five.breakdown.storage_mwh.to_bits(), 0.0f64.to_bits());
+        prop_assert_eq!(
+            five.breakdown.storage_cost_dollars.to_bits(),
+            0.0f64.to_bits()
+        );
+        prop_assert_eq!(
+            five.breakdown.ufc().to_bits(),
+            base.breakdown.ufc().to_bits()
+        );
+    }
+}

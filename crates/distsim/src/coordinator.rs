@@ -275,11 +275,13 @@ pub(crate) fn record_control(stats: &mut MessageStats, stop: bool, node_count: u
 }
 
 /// Polishes the gathered iterate into a feasible point and evaluates it
-/// (same repair as the in-memory solver).
+/// (same repair as the in-memory solver). `d` is the gathered storage
+/// column — all zeros when the schedule has no storage block.
 pub(crate) fn finish(
     instance: &UfcInstance,
     lambda_rows: Vec<Vec<f64>>,
     mu: Vec<f64>,
+    d: Vec<f64>,
     fuel_cell_only: bool,
 ) -> Result<(OperatingPoint, UfcBreakdown), CoreError> {
     let mut state = AdmgState::zeros(instance);
@@ -290,6 +292,7 @@ pub(crate) fn finish(
         }
     }
     state.mu = mu;
+    state.d = d;
     let point = assemble_point(instance, &state, fuel_cell_only)?;
     let breakdown = evaluate(instance, &point)?;
     Ok((point, breakdown))

@@ -13,7 +13,7 @@
 
 use ufc_core::engine::{drive, BlockResiduals, DriveOutcome, IterationObserver, Transport};
 use ufc_core::telemetry::{ObserverChain, TelemetryCollector, TrafficCounters};
-use ufc_core::{AdmgSettings, CoreError, WorkerPool};
+use ufc_core::{AdmgSettings, BlockKind, BlockSchedule, CoreError, WorkerPool};
 use ufc_model::UfcInstance;
 
 use crate::coordinator::{
@@ -184,7 +184,12 @@ impl<'a> LockstepTransport<'a> {
             .iter()
             .map(|dc| dc.as_ref().map_or(0.0, DatacenterNode::mu))
             .collect();
-        let (point, breakdown) = finish(self.instance, lambda_rows, mu, !self.active_nu)?;
+        let d = self
+            .datacenters
+            .iter()
+            .map(|dc| dc.as_ref().map_or(0.0, DatacenterNode::d))
+            .collect();
+        let (point, breakdown) = finish(self.instance, lambda_rows, mu, d, !self.active_nu)?;
         let trivial_plan = self.tracker.plan().is_trivial();
         let evicted = self.tracker.evicted_mask();
         let report = self.tracker.report;
@@ -253,6 +258,10 @@ impl<'a> LockstepTransport<'a> {
 }
 
 impl Transport for LockstepTransport<'_> {
+    fn schedule(&self) -> BlockSchedule {
+        BlockSchedule::for_instance(self.instance)
+    }
+
     fn begin_iteration(&mut self, k: usize) -> Result<(), CoreError> {
         self.membership_changed = false;
         let readmitted_now = self.tracker.probe_readmissions();
@@ -416,6 +425,22 @@ impl Transport for LockstepTransport<'_> {
             )?);
             self.a_cols[j] = step.a_tilde;
             self.dc_residuals[j] = Some(step.residuals);
+            // Storage-active datacenters report their corrected block value
+            // to the coordinator: control-plane traffic (like residual
+            // reports), so it rides outside the lossy/corruptible data path
+            // and the classic schedule's accounting is untouched.
+            if self
+                .instance
+                .storage
+                .as_ref()
+                .is_some_and(|sp| sp.active(j))
+            {
+                self.stats.record(&Message::BlockReport {
+                    datacenter: j,
+                    block: BlockKind::Storage.wire_id(),
+                    value: step.d,
+                });
+            }
         }
         self.lossy_stalled_phases += phase_max as f64;
         self.stall_phases += (phase_max - 1) as f64;

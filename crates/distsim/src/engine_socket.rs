@@ -37,7 +37,7 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use ufc_core::engine::{drive, BlockResiduals, IterationObserver, Transport};
 use ufc_core::telemetry::{ObserverChain, TelemetryCollector, TrafficCounters};
-use ufc_core::{AdmgSettings, CoreError};
+use ufc_core::{AdmgSettings, BlockKind, BlockSchedule, CoreError};
 use ufc_model::UfcInstance;
 
 use crate::coordinator::{
@@ -86,7 +86,7 @@ pub(crate) fn run_socket_engine(
     }
     .and_then(|outcome| {
         sup.final_gather(outcome.iterations)
-            .map(|(lambda_rows, mu)| (outcome, lambda_rows, mu))
+            .map(|(lambda_rows, mu, d)| (outcome, lambda_rows, mu, d))
     });
     // Extract everything the report needs before the supervisor is consumed
     // by shutdown; the error path still tears down every worker process.
@@ -99,10 +99,10 @@ pub(crate) fn run_socket_engine(
     let socket_activity = counters.reconnects > 0 || counters.dead_node_declarations > 0;
     let integrity = (sup.integrity.active() || socket_activity).then_some(counters);
     let shutdown = sup.shutdown();
-    let (outcome, lambda_rows, mu) = outcome?;
+    let (outcome, lambda_rows, mu, d) = outcome?;
     shutdown?;
 
-    let (point, breakdown) = finish(instance, lambda_rows, mu, !active_nu)?;
+    let (point, breakdown) = finish(instance, lambda_rows, mu, d, !active_nu)?;
     let estimated = estimated_wan_seconds_live(outcome.iterations, &instance.latency_s, &evicted)
         + fault_report.downtime_seconds
         + fault_report.straggler_seconds
@@ -645,7 +645,11 @@ impl<'a> SocketSupervisor<'a> {
     }
 
     /// Ships `Finish` to every live worker and gathers the final iterate.
-    fn final_gather(&mut self, iterations: usize) -> Result<(Vec<Vec<f64>>, Vec<f64>), CoreError> {
+    #[allow(clippy::type_complexity)]
+    fn final_gather(
+        &mut self,
+        iterations: usize,
+    ) -> Result<(Vec<Vec<f64>>, Vec<f64>, Vec<f64>), CoreError> {
         let (m, n) = (self.m, self.n);
         let mut pending: HashSet<NodeId> = (0..m).map(NodeId::Frontend).collect();
         for i in 0..m {
@@ -659,6 +663,7 @@ impl<'a> SocketSupervisor<'a> {
         }
         let mut lambda_rows: Vec<Vec<f64>> = vec![Vec::new(); m];
         let mut mu = vec![0.0; n];
+        let mut d = vec![0.0; n];
         let missing = gather_phase(
             &self.reply_rx,
             &mut pending,
@@ -670,8 +675,9 @@ impl<'a> SocketSupervisor<'a> {
                     lambda_rows[i] = lambda;
                     Some(NodeId::Frontend(i))
                 }
-                Reply::DcFinal { j, mu: v } => {
+                Reply::DcFinal { j, mu: v, d: dv } => {
                     mu[j] = v;
+                    d[j] = dv;
                     Some(NodeId::Datacenter(j))
                 }
                 _ => None,
@@ -684,7 +690,7 @@ impl<'a> SocketSupervisor<'a> {
                 "no reply to the final gather",
             ));
         }
-        Ok((lambda_rows, mu))
+        Ok((lambda_rows, mu, d))
     }
 
     /// Orderly teardown on every exit path: `Shutdown` frames, forced
@@ -746,6 +752,10 @@ impl<'a> SocketSupervisor<'a> {
 }
 
 impl Transport for SocketSupervisor<'_> {
+    fn schedule(&self) -> BlockSchedule {
+        BlockSchedule::for_instance(self.instance)
+    }
+
     fn begin_iteration(&mut self, k: usize) -> Result<(), CoreError> {
         self.drain_registrations();
         self.membership_changed = false;
@@ -889,6 +899,7 @@ impl Transport for SocketSupervisor<'_> {
             );
         }
         let mut a_cols = vec![vec![0.0; m]; n];
+        let mut d_vals = vec![0.0; n];
         let mut dc_residuals: Vec<Option<NodeResiduals>> = vec![None; n];
         let mut pending: HashSet<NodeId> = (0..n)
             .filter(|&j| !self.tracker.is_evicted(j))
@@ -907,9 +918,11 @@ impl Transport for SocketSupervisor<'_> {
                         j,
                         iteration,
                         a_tilde,
+                        d,
                         residuals,
                     } if iteration == k => {
                         a_cols[j] = a_tilde;
+                        d_vals[j] = d;
                         dc_residuals[j] = Some(residuals);
                         Some(NodeId::Datacenter(j))
                     }
@@ -962,6 +975,20 @@ impl Transport for SocketSupervisor<'_> {
                     j,
                     k,
                 )?);
+                // Storage-active datacenters report their corrected block
+                // value on the control plane (same accounting as lockstep).
+                if self
+                    .instance
+                    .storage
+                    .as_ref()
+                    .is_some_and(|sp| sp.active(j))
+                {
+                    self.stats.record(&Message::BlockReport {
+                        datacenter: j,
+                        block: BlockKind::Storage.wire_id(),
+                        value: d_vals[j],
+                    });
+                }
             }
         }
         self.stall_phases += (phase_max - 1) as f64;

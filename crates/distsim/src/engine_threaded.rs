@@ -23,7 +23,7 @@ use std::time::Duration;
 
 use ufc_core::engine::{drive, BlockResiduals, IterationObserver, Transport};
 use ufc_core::telemetry::{ObserverChain, TelemetryCollector, TrafficCounters};
-use ufc_core::{AdmgSettings, CoreError};
+use ufc_core::{AdmgSettings, BlockKind, BlockSchedule, CoreError};
 use ufc_model::UfcInstance;
 
 use crate::coordinator::{
@@ -66,7 +66,7 @@ pub(crate) fn run_supervised(
     }
     .and_then(|outcome| {
         sup.final_gather(outcome.iterations)
-            .map(|(lambda_rows, mu)| (outcome, lambda_rows, mu))
+            .map(|(lambda_rows, mu, d)| (outcome, lambda_rows, mu, d))
     });
     // Extract everything the report needs before the supervisor is consumed
     // by shutdown; the error path still joins every worker thread.
@@ -77,10 +77,10 @@ pub(crate) fn run_supervised(
     let stall_phases = sup.stall_phases;
     let integrity = sup.integrity.active().then_some(sup.integrity.counters);
     let shutdown = sup.shutdown();
-    let (outcome, lambda_rows, mu) = outcome?;
+    let (outcome, lambda_rows, mu, d) = outcome?;
     shutdown?;
 
-    let (point, breakdown) = finish(instance, lambda_rows, mu, !active_nu)?;
+    let (point, breakdown) = finish(instance, lambda_rows, mu, d, !active_nu)?;
     let estimated = estimated_wan_seconds_live(outcome.iterations, &instance.latency_s, &evicted)
         + fault_report.downtime_seconds
         + fault_report.straggler_seconds
@@ -275,6 +275,10 @@ impl<'a> Supervisor<'a> {
 }
 
 impl Transport for Supervisor<'_> {
+    fn schedule(&self) -> BlockSchedule {
+        BlockSchedule::for_instance(self.instance)
+    }
+
     fn begin_iteration(&mut self, k: usize) -> Result<(), CoreError> {
         self.membership_changed = false;
         let readmitted_now = self.tracker.probe_readmissions();
@@ -405,6 +409,7 @@ impl Transport for Supervisor<'_> {
             );
         }
         let mut a_cols = vec![vec![0.0; m]; n];
+        let mut d_vals = vec![0.0; n];
         let mut dc_residuals: Vec<Option<NodeResiduals>> = vec![None; n];
         let mut pending: HashSet<NodeId> = (0..n)
             .filter(|&j| !self.tracker.is_evicted(j))
@@ -425,9 +430,11 @@ impl Transport for Supervisor<'_> {
                         j,
                         iteration,
                         a_tilde,
+                        d,
                         residuals,
                     } if iteration == k => {
                         a_cols[j] = a_tilde;
+                        d_vals[j] = d;
                         dc_residuals[j] = Some(residuals);
                         Some(NodeId::Datacenter(j))
                     }
@@ -481,6 +488,20 @@ impl Transport for Supervisor<'_> {
                     j,
                     k,
                 )?);
+                // Storage-active datacenters report their corrected block
+                // value on the control plane (same accounting as lockstep).
+                if self
+                    .instance
+                    .storage
+                    .as_ref()
+                    .is_some_and(|sp| sp.active(j))
+                {
+                    self.stats.record(&Message::BlockReport {
+                        datacenter: j,
+                        block: BlockKind::Storage.wire_id(),
+                        value: d_vals[j],
+                    });
+                }
             }
         }
         self.stall_phases += (phase_max - 1) as f64;

@@ -186,10 +186,11 @@ impl Supervisor<'_> {
     }
 
     /// Ships `Finish` to every live worker and gathers the final iterate.
+    #[allow(clippy::type_complexity)]
     pub(super) fn final_gather(
         &mut self,
         iterations: usize,
-    ) -> Result<(Vec<Vec<f64>>, Vec<f64>), CoreError> {
+    ) -> Result<(Vec<Vec<f64>>, Vec<f64>, Vec<f64>), CoreError> {
         let (m, n) = (self.m, self.n);
         let mut pending: HashSet<NodeId> = (0..m).map(NodeId::Frontend).collect();
         for i in 0..m {
@@ -203,6 +204,7 @@ impl Supervisor<'_> {
         }
         let mut lambda_rows: Vec<Vec<f64>> = vec![Vec::new(); m];
         let mut mu = vec![0.0; n];
+        let mut d = vec![0.0; n];
         let missing = gather_phase(
             &self.reply_rx,
             &mut pending,
@@ -214,8 +216,9 @@ impl Supervisor<'_> {
                     lambda_rows[i] = lambda;
                     Some(NodeId::Frontend(i))
                 }
-                Reply::DcFinal { j, mu: v } => {
+                Reply::DcFinal { j, mu: v, d: dv } => {
                     mu[j] = v;
+                    d[j] = dv;
                     Some(NodeId::Datacenter(j))
                 }
                 _ => None,
@@ -228,6 +231,6 @@ impl Supervisor<'_> {
                 "no reply to the final gather",
             ));
         }
-        Ok((lambda_rows, mu))
+        Ok((lambda_rows, mu, d))
     }
 }

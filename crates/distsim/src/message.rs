@@ -159,6 +159,20 @@ pub enum Message {
         /// `true` for eviction, `false` for readmission.
         evict: bool,
     },
+    /// A datacenter reports one scheduled extension block's corrected value
+    /// to the coordinator (e.g. the storage block's net discharge `d_j`).
+    /// The block is identified by its stable [`BlockKind`] wire id, so the
+    /// message generalizes to any future block without a new kind tag.
+    ///
+    /// [`BlockKind`]: ufc_core::BlockKind
+    BlockReport {
+        /// Reporting datacenter.
+        datacenter: usize,
+        /// The block's [`ufc_core::BlockKind::wire_id`].
+        block: u8,
+        /// The block's corrected scalar value this iteration.
+        value: f64,
+    },
 }
 
 impl Message {
@@ -171,6 +185,7 @@ impl Message {
             Message::Control { .. } => 1,
             Message::Checkpoint { payload_bytes, .. } => *payload_bytes,
             Message::Membership { .. } => 2,
+            Message::BlockReport { .. } => 13,
         };
         HEADER_BYTES + payload
     }
@@ -199,6 +214,7 @@ impl Message {
             Message::Control { .. } => 3,
             Message::Checkpoint { .. } => 4,
             Message::Membership { .. } => 5,
+            Message::BlockReport { .. } => 6,
         }
     }
 
@@ -245,6 +261,15 @@ impl Message {
             Message::Membership { datacenter, evict } => {
                 buf.extend_from_slice(&(*datacenter as u32).to_le_bytes());
                 buf.push(u8::from(*evict));
+            }
+            Message::BlockReport {
+                datacenter,
+                block,
+                value,
+            } => {
+                buf.extend_from_slice(&(*datacenter as u32).to_le_bytes());
+                buf.push(*block);
+                buf.extend_from_slice(&value.to_le_bytes());
             }
         }
         let crc = crc32(&buf);
@@ -321,6 +346,18 @@ impl Message {
                 datacenter: get_u32(body, &mut pos)?,
                 evict: take::<1>(body, &mut pos)?[0] != 0,
             },
+            6 => {
+                let datacenter = get_u32(body, &mut pos)?;
+                let block = take::<1>(body, &mut pos)?[0];
+                if ufc_core::BlockKind::from_wire_id(block).is_none() {
+                    return Err(corrupt(format!("unknown block wire id {block}")));
+                }
+                Message::BlockReport {
+                    datacenter,
+                    block,
+                    value: get_f64(body, &mut pos)?,
+                }
+            }
             other => return Err(corrupt(format!("unknown message kind {other}"))),
         };
         if pos != body.len() {
@@ -395,6 +432,11 @@ mod tests {
                 datacenter: 1,
                 evict: false,
             },
+            Message::BlockReport {
+                datacenter: 2,
+                block: ufc_core::BlockKind::Storage.wire_id(),
+                value: -0.125,
+            },
         ]
     }
 
@@ -447,6 +489,38 @@ mod tests {
         for len in 0..frame.len() {
             assert!(Message::decode(&frame[..len]).is_err());
         }
+    }
+
+    #[test]
+    fn block_report_rejects_tampering_truncation_and_unknown_blocks() {
+        let frame = Message::BlockReport {
+            datacenter: 3,
+            block: ufc_core::BlockKind::Storage.wire_id(),
+            value: 0.75,
+        }
+        .encode();
+        assert_eq!(frame.len(), 2 + 13 + 4, "magic+kind+payload+crc");
+        // Every single-byte flip and every truncation is a typed error.
+        for pos in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[pos] ^= 0x08;
+            assert!(
+                matches!(
+                    Message::decode(&bad).unwrap_err(),
+                    CoreError::CorruptPayload { .. }
+                ),
+                "flipped byte {pos} must fail typed"
+            );
+            assert!(Message::decode(&frame[..pos]).is_err());
+        }
+        // A block id outside the registered kinds fails even with a valid
+        // CRC (a peer speaking a newer schedule revision).
+        let mut body = frame[..frame.len() - 4].to_vec();
+        body[6] = 0xEE; // magic+kind+4-byte datacenter, then the block id
+        let crc = crc32(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+        let err = Message::decode(&body).unwrap_err();
+        assert!(err.to_string().contains("unknown block wire id"), "{err}");
     }
 
     #[test]

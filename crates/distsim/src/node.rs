@@ -13,7 +13,7 @@
 //! numerically identical to the in-memory solver (asserted in the crate's
 //! integration tests).
 
-use ufc_core::subproblems::{mu_scalar_step, nu_scalar_step};
+use ufc_core::subproblems::{mu_scalar_step_bounded, nu_scalar_step, storage_scalar_step};
 use ufc_core::{AColQp, AdmgSettings, CoreError, LambdaQp, QpOptions, SubproblemMethod};
 use ufc_linalg::Matrix;
 use ufc_model::{utility::disutility_rank1_gamma, EmissionCostFn, UfcInstance};
@@ -322,7 +322,30 @@ impl FrontendNode {
     }
 }
 
-/// A datacenter: owns `μ_j`, `ν_j`, `a_·j`, the balance dual `φ_j`, and a
+/// Precomputed storage-block data for one datacenter. All fields are
+/// slot-constant (the charge state only moves *between* slots in the
+/// receding-horizon driver), so they are extracted once at construction —
+/// the same products the in-memory solver forms per call, evaluated in the
+/// same order, so the two stay bit-identical.
+#[derive(Debug, Clone, Copy)]
+struct DcStorage {
+    /// Whether this datacenter has a battery (`capacity > 0`). Inactive
+    /// storage keeps `d` pinned at exactly `0.0`.
+    active: bool,
+    /// Net-discharge box `[d_lo, d_hi]` (MW) from the charge state.
+    d_lo: f64,
+    d_hi: f64,
+    /// Value-of-storage linear cost `κ_j · h` ($/MW).
+    value_cost_h: f64,
+    /// Degradation quadratic cost `γ · h` ($/MW²).
+    degradation_h: f64,
+    /// Ramp-tightened fuel-cell box `[μ_lo, μ_hi]` (MW).
+    mu_lo: f64,
+    mu_hi: f64,
+}
+
+/// A datacenter: owns `μ_j`, `ν_j`, the battery net discharge `d_j` (when
+/// the storage block is scheduled), `a_·j`, the balance dual `φ_j`, and a
 /// replica of the link duals `φ_·j`.
 #[derive(Debug, Clone)]
 pub struct DatacenterNode {
@@ -340,8 +363,10 @@ pub struct DatacenterNode {
     epsilon: f64,
     active_mu: bool,
     active_nu: bool,
+    storage: Option<DcStorage>,
     mu: f64,
     nu: f64,
+    d: f64,
     phi: f64,
     a: Vec<f64>,
     varphi: Vec<f64>,
@@ -358,6 +383,9 @@ pub struct DatacenterNode {
 pub struct DatacenterStep {
     /// The predicted auxiliary shares `ã_·j` to route back to front-ends.
     pub a_tilde: Vec<f64>,
+    /// The corrected battery net discharge `d_j` after this round (exactly
+    /// `0.0` when the storage block is absent or inactive).
+    pub d: f64,
     /// Local residual contributions.
     pub residuals: NodeResiduals,
 }
@@ -377,6 +405,19 @@ impl DatacenterNode {
         active_nu: bool,
     ) -> Self {
         assert!(j < instance.n_datacenters(), "datacenter {j} out of range");
+        let storage = instance.storage.as_ref().map(|sp| {
+            let (d_lo, d_hi) = sp.discharge_bounds(j, instance.slot_hours);
+            let (mu_lo, mu_hi) = sp.mu_bounds(j, instance.mu_max[j]);
+            DcStorage {
+                active: sp.active(j),
+                d_lo,
+                d_hi,
+                value_cost_h: sp.value_per_mwh[j] * instance.slot_hours,
+                degradation_h: sp.degradation_per_mwh * instance.slot_hours,
+                mu_lo,
+                mu_hi,
+            }
+        });
         DatacenterNode {
             index: j,
             m: instance.m_frontends(),
@@ -392,8 +433,10 @@ impl DatacenterNode {
             epsilon: settings.epsilon,
             active_mu,
             active_nu,
+            storage,
             mu: 0.0,
             nu: 0.0,
+            d: 0.0,
             phi: 0.0,
             a: vec![0.0; instance.m_frontends()],
             varphi: vec![0.0; instance.m_frontends()],
@@ -429,6 +472,13 @@ impl DatacenterNode {
         self.nu
     }
 
+    /// Current battery net discharge `d_j` (MW; exactly `0.0` without a
+    /// scheduled storage block).
+    #[must_use]
+    pub fn d(&self) -> f64 {
+        self.d
+    }
+
     /// Telemetry: the a-kernel's `(kkt_cache_hits, kkt_cache_misses)` since
     /// this node was constructed (or last respawned).
     #[must_use]
@@ -449,6 +499,7 @@ impl DatacenterNode {
             mu: self.mu,
             nu: self.nu,
             phi: self.phi,
+            d: self.d,
             a: self.a.clone(),
             varphi: self.varphi.clone(),
         }
@@ -472,6 +523,7 @@ impl DatacenterNode {
         self.mu = snap.mu;
         self.nu = snap.nu;
         self.phi = snap.phi;
+        self.d = snap.d;
         self.a.clone_from(&snap.a);
         self.varphi.clone_from(&snap.varphi);
         Ok(())
@@ -490,17 +542,26 @@ impl DatacenterNode {
         let h = self.slot_hours;
         let load_k: f64 = self.a.iter().sum();
         let demand = self.alpha + self.beta * load_k;
+        // μ̃/ν̃ see the demand net of the battery's current net discharge
+        // (`d = 0.0` without storage, and `x − 0.0 = x` bitwise).
+        let demand_eff = demand - self.d;
 
         // Step 2: μ̃ (Eq. (18) closed form) — the scalar kernel shared with
-        // the in-memory solver, so both sides stay bit-identical.
+        // the in-memory solver, so both sides stay bit-identical. With a
+        // storage block the box tightens to the ramp window.
+        let (mu_lo, mu_hi) = match &self.storage {
+            Some(s) => (s.mu_lo, s.mu_hi),
+            None => (0.0, self.mu_max),
+        };
         let mu_tilde = if self.active_mu {
-            mu_scalar_step(
-                demand,
+            mu_scalar_step_bounded(
+                demand_eff,
                 self.nu,
                 self.phi,
                 h * self.fuel_cell_price,
                 rho,
-                self.mu_max,
+                mu_lo,
+                mu_hi,
             )
         } else {
             0.0
@@ -509,7 +570,7 @@ impl DatacenterNode {
         // Step 3: ν̃ (Eq. (19)) — shared scalar kernel.
         let nu_tilde = if self.active_nu {
             nu_scalar_step(
-                demand,
+                demand_eff,
                 mu_tilde,
                 self.phi,
                 h * self.grid_price,
@@ -521,10 +582,27 @@ impl DatacenterNode {
             0.0
         };
 
+        // Storage block: d̃ from the *full* demand (the block re-solves the
+        // net discharge, it does not increment the old one).
+        let d_tilde = match &self.storage {
+            Some(s) if s.active => storage_scalar_step(
+                demand,
+                mu_tilde,
+                nu_tilde,
+                self.phi,
+                s.value_cost_h,
+                s.degradation_h,
+                rho,
+                s.d_lo,
+                s.d_hi,
+            ),
+            _ => 0.0,
+        };
+
         // Step 4: ã (Eq. (20)) via the persistent kernel, warm-started from
         // the corrected column `a_·j` (snapshotted, so checkpoint/restore
         // resumes bit-identically).
-        let drift = self.alpha - mu_tilde - nu_tilde;
+        let drift = self.alpha - mu_tilde - nu_tilde - d_tilde;
         for (i, ci) in self.c_buf.iter_mut().enumerate() {
             *ci = -rho * lambda_tilde[i] - self.varphi[i] - self.phi * self.beta
                 + rho * self.beta * drift;
@@ -541,9 +619,10 @@ impl DatacenterNode {
 
         // Step 5: dual predictions.
         let a_tilde_load: f64 = a_tilde.iter().sum();
-        let phi_tilde =
-            self.phi - rho * (self.alpha + self.beta * a_tilde_load - mu_tilde - nu_tilde);
-        // Correction, backward order: duals, a, ν, μ.
+        let phi_tilde = self.phi
+            - rho * (self.alpha + self.beta * a_tilde_load - mu_tilde - nu_tilde - d_tilde);
+        // Correction, backward order: duals, a, d, ν, μ — expression for
+        // expression the same as `ufc_core::correction`.
         let mut res = NodeResiduals::default();
         let dphi = self.epsilon * (phi_tilde - self.phi);
         self.phi += dphi;
@@ -559,22 +638,30 @@ impl DatacenterNode {
             res.track(da);
             res.link = nan_max(res.link, (lambda_tilde[i] - self.a[i]).abs());
         }
+        let mut delta_d = 0.0;
+        if matches!(&self.storage, Some(s) if s.active) {
+            delta_d = self.epsilon * (d_tilde - self.d) + self.beta * delta_a_load;
+            self.d += delta_d;
+            res.track(delta_d);
+        }
         let mut delta_nu = 0.0;
         if self.active_nu {
-            delta_nu = self.epsilon * (nu_tilde - self.nu) + self.beta * delta_a_load;
+            delta_nu = self.epsilon * (nu_tilde - self.nu) + self.beta * delta_a_load - delta_d;
             self.nu += delta_nu;
             res.track(delta_nu);
         }
         if self.active_mu {
-            let dmu = self.epsilon * (mu_tilde - self.mu) - delta_nu + self.beta * delta_a_load;
+            let dmu =
+                self.epsilon * (mu_tilde - self.mu) - delta_nu + self.beta * delta_a_load - delta_d;
             self.mu += dmu;
             res.track(dmu);
         }
         let corrected_load: f64 = self.a.iter().sum();
-        res.balance = (self.alpha + self.beta * corrected_load - self.mu - self.nu).abs();
+        res.balance = (self.alpha + self.beta * corrected_load - self.mu - self.nu - self.d).abs();
 
         DatacenterStep {
             a_tilde,
+            d: self.d,
             residuals: res,
         }
     }
@@ -731,6 +818,93 @@ mod tests {
         assert_eq!(s1.a_tilde, s2.a_tilde);
         assert_eq!(dc.mu().to_bits(), dc2.mu().to_bits());
         assert_eq!(dc.nu().to_bits(), dc2.nu().to_bits());
+        assert_eq!(dc.d().to_bits(), dc2.d().to_bits());
+    }
+
+    #[test]
+    fn storage_process_matches_core_formulas_bit_for_bit() {
+        let fleet = ufc_model::StorageFleet::new(2.0, 1.0)
+            .initial_charge_frac(0.5)
+            .value_per_mwh(40.0)
+            .degradation(2.0)
+            .ramp_mw(0.3);
+        let inst = tiny().with_storage(fleet.initial_params(2)).unwrap();
+        let settings = AdmgSettings::default();
+        let (rho, eps) = (settings.rho, settings.epsilon);
+        let h = inst.slot_hours;
+        let j = 0;
+        let mut dc = DatacenterNode::new(&inst, j, &settings, true, true);
+        let step = dc.process(&[0.5, 1.0]);
+
+        // Reference: the shared scalar kernels + the core correction
+        // recursion, evaluated from the same zero state.
+        let sp = inst.storage.as_ref().unwrap();
+        let demand = inst.alpha[j]; // a replicas start at zero
+        let (mu_lo, mu_hi) = sp.mu_bounds(j, inst.mu_max[j]);
+        assert_eq!((mu_lo, mu_hi), (0.0, 0.3), "ramp window from μ_prev = 0");
+        let mt = mu_scalar_step_bounded(
+            demand - 0.0,
+            0.0,
+            0.0,
+            h * inst.fuel_cell_price,
+            rho,
+            mu_lo,
+            mu_hi,
+        );
+        let nt = nu_scalar_step(
+            demand - 0.0,
+            mt,
+            0.0,
+            h * inst.grid_price[j],
+            inst.carbon_t_per_mwh[j] * h,
+            &inst.emission_cost[j],
+            rho,
+        );
+        let (d_lo, d_hi) = sp.discharge_bounds(j, h);
+        let dt = storage_scalar_step(
+            demand,
+            mt,
+            nt,
+            0.0,
+            sp.value_per_mwh[j] * h,
+            sp.degradation_per_mwh * h,
+            rho,
+            d_lo,
+            d_hi,
+        );
+        assert!((d_lo..=d_hi).contains(&dt), "d̃ must respect the box");
+        let delta_a_load: f64 = step.a_tilde.iter().map(|&v| eps * (v - 0.0)).sum();
+        let dd = eps * (dt - 0.0) + inst.beta[j] * delta_a_load;
+        let dnu = eps * (nt - 0.0) + inst.beta[j] * delta_a_load - dd;
+        let dmu = eps * (mt - 0.0) - dnu + inst.beta[j] * delta_a_load - dd;
+        assert_eq!(step.d.to_bits(), dc.d().to_bits());
+        assert_eq!(dc.d().to_bits(), dd.to_bits(), "Δd recursion diverged");
+        assert_eq!(dc.nu().to_bits(), dnu.to_bits(), "Δν recursion diverged");
+        assert_eq!(dc.mu().to_bits(), dmu.to_bits(), "Δμ recursion diverged");
+        assert!(dc.mu() <= mu_hi + 1e-9, "ramp bound violated");
+    }
+
+    #[test]
+    fn zero_capacity_storage_is_bit_identical_to_no_storage() {
+        let inst = tiny();
+        let inst_s = tiny()
+            .with_storage(ufc_model::StorageFleet::new(0.0, 1.0).initial_params(2))
+            .unwrap();
+        let settings = AdmgSettings::default();
+        let mut plain = DatacenterNode::new(&inst, 0, &settings, true, true);
+        let mut stored = DatacenterNode::new(&inst_s, 0, &settings, true, true);
+        for _ in 0..3 {
+            let s1 = plain.process(&[0.5, 1.0]);
+            let s2 = stored.process(&[0.5, 1.0]);
+            assert_eq!(s1.a_tilde, s2.a_tilde);
+            assert_eq!(s2.d, 0.0, "inactive battery must pin d at zero");
+            assert_eq!(plain.mu().to_bits(), stored.mu().to_bits());
+            assert_eq!(plain.nu().to_bits(), stored.nu().to_bits());
+            assert_eq!(
+                s1.residuals.balance.to_bits(),
+                s2.residuals.balance.to_bits()
+            );
+        }
     }
 
     #[test]

@@ -15,8 +15,9 @@ use ufc_core::CoreError;
 /// Magic prefix of front-end snapshot blobs (`UFCF` + version 2: the
 /// eviction mask moved from an f64 vector to the codec's packed byte mask).
 pub const FRONTEND_MAGIC: &[u8] = b"UFCF\x02";
-/// Magic prefix of datacenter snapshot blobs (`UFCD` + version 1).
-pub const DATACENTER_MAGIC: &[u8] = b"UFCD\x01";
+/// Magic prefix of datacenter snapshot blobs (`UFCD` + version 2: the
+/// scalar block grew a fourth slot for the battery net discharge `d_j`).
+pub const DATACENTER_MAGIC: &[u8] = b"UFCD\x02";
 
 /// A front-end's iterate slice: `λ_i·`, its last prediction, and the local
 /// replicas of `a_i·` and the link duals `φ_i·`, plus the eviction mask.
@@ -91,8 +92,8 @@ impl FrontendSnapshot {
     }
 }
 
-/// A datacenter's iterate slice: `μ_j`, `ν_j`, the balance dual `φ_j`, and
-/// its column replicas `a_·j`, `φ_·j`.
+/// A datacenter's iterate slice: `μ_j`, `ν_j`, the balance dual `φ_j`, the
+/// battery net discharge `d_j`, and its column replicas `a_·j`, `φ_·j`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DatacenterSnapshot {
     /// Fuel-cell output `μ_j` (MW).
@@ -101,6 +102,8 @@ pub struct DatacenterSnapshot {
     pub nu: f64,
     /// Balance dual `φ_j`.
     pub phi: f64,
+    /// Battery net discharge `d_j` (MW; `0.0` without a storage block).
+    pub d: f64,
     /// Auxiliary column `a_·j`.
     pub a: Vec<f64>,
     /// Link-dual replica `φ_·j`.
@@ -111,9 +114,9 @@ impl DatacenterSnapshot {
     /// Serializes the snapshot.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(8 + 8 * (3 + 2 * self.a.len()));
+        let mut buf = Vec::with_capacity(8 + 8 * (4 + 2 * self.a.len()));
         buf.extend_from_slice(DATACENTER_MAGIC);
-        codec::put_f64s(&mut buf, &[self.mu, self.nu, self.phi]);
+        codec::put_f64s(&mut buf, &[self.mu, self.nu, self.phi, self.d]);
         codec::put_f64s(&mut buf, &self.a);
         codec::put_f64s(&mut buf, &self.varphi);
         buf
@@ -128,13 +131,14 @@ impl DatacenterSnapshot {
     pub fn from_bytes(buf: &[u8]) -> Result<Self, CoreError> {
         let mut pos = codec::check_magic(buf, DATACENTER_MAGIC)?;
         let scalars = codec::get_f64s(buf, &mut pos)?;
-        if scalars.len() != 3 {
+        if scalars.len() != 4 {
             return Err(CoreError::checkpoint("datacenter scalar block malformed"));
         }
         let snap = DatacenterSnapshot {
             mu: scalars[0],
             nu: scalars[1],
             phi: scalars[2],
+            d: scalars[3],
             a: codec::get_f64s(buf, &mut pos)?,
             varphi: codec::get_f64s(buf, &mut pos)?,
         };
@@ -148,7 +152,7 @@ impl DatacenterSnapshot {
     /// rollback target.
     #[must_use]
     pub fn is_finite(&self) -> bool {
-        [self.mu, self.nu, self.phi]
+        [self.mu, self.nu, self.phi, self.d]
             .iter()
             .chain(&self.a)
             .chain(&self.varphi)
@@ -242,6 +246,7 @@ mod tests {
             mu: 0.42,
             nu: 1e-300,
             phi: -7.5,
+            d: -0.25,
             a: vec![0.1, 0.9],
             varphi: vec![2.0, -2.0],
         };

@@ -57,6 +57,7 @@ pub(crate) enum Reply {
         j: usize,
         iteration: usize,
         a_tilde: Vec<f64>,
+        d: f64,
         residuals: NodeResiduals,
     },
     FeSnapshot {
@@ -76,6 +77,7 @@ pub(crate) enum Reply {
     DcFinal {
         j: usize,
         mu: f64,
+        d: f64,
     },
 }
 
@@ -200,6 +202,7 @@ pub(crate) fn spawn_datacenter_worker(
                             j,
                             iteration,
                             a_tilde: step.a_tilde,
+                            d: step.d,
                             residuals: step.residuals,
                         })
                         .is_err()
@@ -214,7 +217,11 @@ pub(crate) fn spawn_datacenter_worker(
                     }
                 }
                 DcCmd::Finish => {
-                    let _ = out.send(Reply::DcFinal { j, mu: node.mu() });
+                    let _ = out.send(Reply::DcFinal {
+                        j,
+                        mu: node.mu(),
+                        d: node.d(),
+                    });
                     return;
                 }
             }

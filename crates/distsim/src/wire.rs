@@ -30,12 +30,12 @@
 //! foundation of the socket engine's bitwise-equivalence guarantee.
 
 use ufc_core::CoreError;
-use ufc_model::{EmissionCostFn, QueueingCost, UfcInstance};
+use ufc_model::{EmissionCostFn, QueueingCost, StorageParams, UfcInstance};
 
 use crate::message::crc32;
 use crate::node::NodeResiduals;
 use crate::supervision::Reply;
-use ufc_core::{AdmgSettings, SubproblemMethod};
+use ufc_core::{AdmgSettings, BlockKind, BlockSchedule, SubproblemMethod};
 
 /// First payload byte of every wire frame (distinct from
 /// [`crate::message::FRAME_MAGIC`] so the two framings cannot be confused).
@@ -360,12 +360,14 @@ impl WireFrame {
                     j,
                     iteration,
                     a_tilde,
+                    d,
                     residuals,
                 } => {
                     buf.push(2);
                     put_u32(&mut buf, *j);
                     put_u64(&mut buf, *iteration as u64);
                     put_f64s(&mut buf, a_tilde);
+                    put_f64(&mut buf, *d);
                     put_f64(&mut buf, residuals.link);
                     put_f64(&mut buf, residuals.balance);
                     put_f64(&mut buf, residuals.movement);
@@ -387,10 +389,11 @@ impl WireFrame {
                     put_u32(&mut buf, *i);
                     put_f64s(&mut buf, lambda);
                 }
-                Reply::DcFinal { j, mu } => {
+                Reply::DcFinal { j, mu, d } => {
                     buf.push(6);
                     put_u32(&mut buf, *j);
                     put_f64(&mut buf, *mu);
+                    put_f64(&mut buf, *d);
                 }
             },
             WireFrame::Shutdown => {}
@@ -487,6 +490,7 @@ impl WireFrame {
                         j: get_u32(body, &mut pos)?,
                         iteration: get_u64(body, &mut pos)? as usize,
                         a_tilde: get_f64s(body, &mut pos)?,
+                        d: get_f64(body, &mut pos)?,
                         residuals: NodeResiduals {
                             link: get_f64(body, &mut pos)?,
                             balance: get_f64(body, &mut pos)?,
@@ -510,6 +514,7 @@ impl WireFrame {
                     6 => Reply::DcFinal {
                         j: get_u32(body, &mut pos)?,
                         mu: get_f64(body, &mut pos)?,
+                        d: get_f64(body, &mut pos)?,
                     },
                     other => return Err(corrupt(format!("unknown reply tag {other}"))),
                 };
@@ -598,6 +603,30 @@ impl RunConfig {
                 put_f64(&mut buf, q.max_utilization);
             }
         }
+        match &inst.storage {
+            None => buf.push(0),
+            Some(sp) => {
+                buf.push(1);
+                put_f64s(&mut buf, &sp.capacity_mwh);
+                put_f64s(&mut buf, &sp.charge_mwh);
+                put_f64s(&mut buf, &sp.charge_rate_mw);
+                put_f64s(&mut buf, &sp.discharge_rate_mw);
+                put_f64s(&mut buf, &sp.value_per_mwh);
+                put_f64(&mut buf, sp.degradation_per_mwh);
+                put_f64s(&mut buf, &sp.ramp_mw);
+                put_f64s(&mut buf, &sp.mu_prev_mw);
+            }
+        }
+        // Schedule echo: the block kinds the coordinator will drive, in
+        // order. The worker cross-checks this against the schedule its
+        // decoded instance implies, so a coordinator/worker version skew
+        // (one side scheduling a block the other does not know) is a typed
+        // handshake error instead of a silent numeric divergence.
+        let schedule = BlockSchedule::for_instance(inst);
+        buf.push(schedule.len() as u8);
+        for block in schedule.blocks() {
+            buf.push(block.kind.wire_id());
+        }
         put_f64(&mut buf, s.rho);
         put_f64(&mut buf, s.epsilon);
         put_u64(&mut buf, s.max_iterations as u64);
@@ -678,6 +707,28 @@ impl RunConfig {
             }),
             other => return Err(corrupt(format!("unknown queueing tag {other}"))),
         };
+        let storage = match get_u8(bytes, &mut pos)? {
+            0 => None,
+            1 => Some(StorageParams {
+                capacity_mwh: get_f64s(bytes, &mut pos)?,
+                charge_mwh: get_f64s(bytes, &mut pos)?,
+                charge_rate_mw: get_f64s(bytes, &mut pos)?,
+                discharge_rate_mw: get_f64s(bytes, &mut pos)?,
+                value_per_mwh: get_f64s(bytes, &mut pos)?,
+                degradation_per_mwh: get_f64(bytes, &mut pos)?,
+                ramp_mw: get_f64s(bytes, &mut pos)?,
+                mu_prev_mw: get_f64s(bytes, &mut pos)?,
+            }),
+            other => return Err(corrupt(format!("unknown storage tag {other}"))),
+        };
+        let echo_len = get_u8(bytes, &mut pos)? as usize;
+        let mut echoed_kinds = Vec::with_capacity(echo_len.min(16));
+        for _ in 0..echo_len {
+            let id = get_u8(bytes, &mut pos)?;
+            let kind = BlockKind::from_wire_id(id)
+                .ok_or_else(|| corrupt(format!("unknown block wire id {id} in schedule echo")))?;
+            echoed_kinds.push(kind);
+        }
         let settings = AdmgSettings {
             rho: get_f64(bytes, &mut pos)?,
             epsilon: get_f64(bytes, &mut pos)?,
@@ -725,6 +776,22 @@ impl RunConfig {
         )
         .map_err(CoreError::Model)?;
         instance.queueing = queueing;
+        if let Some(sp) = storage {
+            instance = instance.with_storage(sp).map_err(CoreError::Model)?;
+        }
+        // The echoed schedule must match what this instance implies — a
+        // mismatch means the two ends would drive different block
+        // pipelines.
+        let local: Vec<BlockKind> = BlockSchedule::for_instance(&instance)
+            .blocks()
+            .iter()
+            .map(|b| b.kind)
+            .collect();
+        if echoed_kinds != local {
+            return Err(corrupt(format!(
+                "schedule echo {echoed_kinds:?} disagrees with the instance's schedule {local:?}"
+            )));
+        }
         Ok(RunConfig {
             instance,
             settings,
@@ -788,6 +855,7 @@ mod tests {
                 j: 2,
                 iteration: 5,
                 a_tilde: vec![1.0, 2.0],
+                d: -0.75,
                 residuals: NodeResiduals {
                     link: 0.1,
                     balance: 0.2,
@@ -797,6 +865,11 @@ mod tests {
             WireFrame::Reply(Reply::FeFinal {
                 i: 4,
                 lambda: vec![0.5; 4],
+            }),
+            WireFrame::Reply(Reply::DcFinal {
+                j: 1,
+                mu: 0.42,
+                d: 0.125,
             }),
             WireFrame::Shutdown,
         ]
@@ -900,6 +973,71 @@ mod tests {
         let back = RunConfig::decode(&config.encode()).unwrap();
         assert_eq!(back, config);
         assert!(RunConfig::decode(&config.encode()[..40]).is_err());
+    }
+
+    #[test]
+    fn run_config_round_trips_storage_and_checks_the_schedule_echo() {
+        use ufc_model::StorageFleet;
+        let instance = UfcInstance::new(
+            vec![1.0, 2.0],
+            vec![2.0, 2.0],
+            vec![0.24, 0.24],
+            vec![0.12, 0.12],
+            vec![0.48, 0.48],
+            vec![30.0, 70.0],
+            80.0,
+            vec![0.5, 0.3],
+            vec![vec![0.01, 0.02], vec![0.02, 0.01]],
+            10.0,
+            vec![
+                EmissionCostFn::linear(25.0).unwrap(),
+                EmissionCostFn::linear(25.0).unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap()
+        .with_storage(
+            StorageFleet::new(2.0, 1.0)
+                .initial_charge_frac(0.5)
+                .value_per_mwh(40.0)
+                .degradation(2.0)
+                .ramp_mw(0.3)
+                .initial_params(2),
+        )
+        .unwrap();
+        let config = RunConfig {
+            instance,
+            settings: AdmgSettings::default(),
+            active_mu: true,
+            active_nu: true,
+            processes: 2,
+        };
+        let bytes = config.encode();
+        let back = RunConfig::decode(&bytes).unwrap();
+        assert_eq!(back, config);
+        // Bit-exact f64 round trip of the charge state.
+        let sp = back.instance.storage.as_ref().unwrap();
+        assert_eq!(sp.charge_mwh[0].to_bits(), 1.0f64.to_bits());
+
+        // The 5-block schedule echo is the byte run [5, 0, 1, 2, 3, 4]
+        // (count, then Routing/FuelCell/Grid/Storage/Auxiliary wire ids).
+        let echo = [5u8, 0, 1, 2, 3, 4];
+        let at = (0..bytes.len() - echo.len())
+            .find(|&p| bytes[p..p + echo.len()] == echo)
+            .expect("schedule echo not found in the encoded config");
+        // Dropping the storage block from the echo must fail the
+        // cross-check even though every field still parses.
+        let mut skewed = bytes.clone();
+        skewed[at + 4] = 4; // Storage -> Auxiliary
+        let err = RunConfig::decode(&skewed).unwrap_err();
+        assert!(err.to_string().contains("schedule echo"), "{err}");
+        // An unregistered block id is rejected before the cross-check.
+        let mut unknown = bytes.clone();
+        unknown[at + 4] = 9;
+        let err = RunConfig::decode(&unknown).unwrap_err();
+        assert!(err.to_string().contains("unknown block wire id"), "{err}");
+        // Truncating inside the storage section is a typed error.
+        assert!(RunConfig::decode(&bytes[..at - 3]).is_err());
     }
 
     #[test]

@@ -45,9 +45,11 @@ const BACKOFF_CAP: Duration = Duration::from_millis(500);
 
 /// One hosted node kernel: the worker-side spelling of the supervised
 /// runtime's per-thread node ownership.
+// Both kernels are boxed: each carries per-node solver workspaces that
+// would otherwise bloat every enum slot to the largest kernel's size.
 enum Hosted {
-    Fe(FrontendNode),
-    Dc(DatacenterNode),
+    Fe(Box<FrontendNode>),
+    Dc(Box<DatacenterNode>),
 }
 
 fn io_failure(process: usize, context: &str, err: &std::io::Error) -> CoreError {
@@ -158,15 +160,19 @@ fn build_nodes(config: &RunConfig, process: usize) -> Vec<(usize, Hosted)> {
         .into_iter()
         .map(|id| {
             let hosted = if id < m {
-                Hosted::Fe(FrontendNode::new(&config.instance, id, &config.settings))
+                Hosted::Fe(Box::new(FrontendNode::new(
+                    &config.instance,
+                    id,
+                    &config.settings,
+                )))
             } else {
-                Hosted::Dc(DatacenterNode::new(
+                Hosted::Dc(Box::new(DatacenterNode::new(
                     &config.instance,
                     id - m,
                     &config.settings,
                     config.active_mu,
                     config.active_nu,
-                ))
+                )))
             };
             (id, hosted)
         })
@@ -207,6 +213,7 @@ fn dispatch(
                 j: node.index(),
                 iteration,
                 a_tilde: step.a_tilde,
+                d: step.d,
                 residuals: step.residuals,
             }))
         }
@@ -245,6 +252,7 @@ fn dispatch(
         (Hosted::Dc(node), NodeCmd::Finish) => Ok(Some(Reply::DcFinal {
             j: node.index(),
             mu: node.mu(),
+            d: node.d(),
         })),
         (_, NodeCmd::Predict { .. } | NodeCmd::Correct { .. }) => Err(misaddressed("front-end")),
         (_, NodeCmd::Process { .. }) => Err(misaddressed("datacenter")),

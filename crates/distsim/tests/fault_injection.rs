@@ -207,13 +207,14 @@ proptest! {
 
     #[test]
     fn datacenter_snapshot_round_trips(
-        scalars in (-50.0..50.0f64, -50.0..50.0f64, -50.0..50.0f64),
+        scalars in (-50.0..50.0f64, -50.0..50.0f64, -50.0..50.0f64, -50.0..50.0f64),
         cols in proptest::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 1..8),
     ) {
         let snap = DatacenterSnapshot {
             mu: scalars.0,
             nu: scalars.1,
             phi: scalars.2,
+            d: scalars.3,
             a: cols.iter().map(|c| c.0).collect(),
             varphi: cols.iter().map(|c| c.1).collect(),
         };

@@ -25,6 +25,10 @@
 //!              node over loopback TCP) vs lockstep, clean and under real
 //!              SIGKILL + partition recovery; `--quick` shrinks the sweep
 //!              for CI smoke runs
+//!   storage    extension: receding-horizon battery + fuel-cell ramp study
+//!              (the 5th ADM-G block) over the 24-hour trace, lockstep vs
+//!              threaded bit-compared each hour; `--quick` shrinks the
+//!              horizon for CI smoke runs
 //!   wsweep     extension: latency-weight (w) Pareto sweep
 //!   bench      solver hot-path wall-clock (writes BENCH_solver.json);
 //!              `--quick` shrinks the workload for CI smoke runs
@@ -178,6 +182,10 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     if opts.command == "sockets" {
         matched = true;
         run_sockets(opts, settings)?;
+    }
+    if opts.command == "storage" {
+        matched = true;
+        run_storage(opts, settings)?;
     }
     if opts.command == "wsweep" {
         matched = true;
@@ -660,6 +668,75 @@ fn run_sockets(opts: &Options, settings: AdmgSettings) -> Result<(), Box<dyn std
     println!("socket engine reproduced the lockstep operating point bit-for-bit in every run\n");
     if let Some(dir) = &opts.csv_dir {
         write_csv(dir, "socket_sweep", &study.csv())?;
+        println!("(csv written to {})", dir.display());
+    }
+    Ok(())
+}
+
+fn run_storage(opts: &Options, settings: AdmgSettings) -> Result<(), Box<dyn std::error::Error>> {
+    use ufc_experiments::storage;
+    let hours = if opts.quick { 6 } else { opts.hours.min(24) };
+    let study = storage::run(opts.seed, hours, settings, storage::default_fleet())?;
+    println!("== Extension: battery storage + ramp limits (5-block schedule, {hours} hours) ==");
+    let rows: Vec<Vec<String>> = study
+        .hours
+        .iter()
+        .map(|h| {
+            vec![
+                h.hour.to_string(),
+                fmt(h.baseline_ufc, 2),
+                fmt(h.storage_ufc, 2),
+                fmt(h.net_discharge_mwh, 3),
+                fmt(h.mean_charge_mwh, 3),
+                h.iterations.to_string(),
+                if h.bitwise { "yes" } else { "no" }.to_owned(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &[
+                "hour",
+                "spatial UFC $",
+                "5-block UFC $",
+                "net discharge MWh",
+                "mean charge MWh",
+                "iters",
+                "bitwise"
+            ],
+            &rows
+        )
+    );
+    let summary = vec![
+        vec![
+            "total spatial-only UFC $".to_owned(),
+            fmt(study.total_baseline_ufc(), 2),
+        ],
+        vec![
+            "total 5-block UFC $".to_owned(),
+            fmt(study.total_storage_ufc(), 2),
+        ],
+        vec!["UFC improvement".to_owned(), pct(study.improvement())],
+        vec![
+            "charge-adjusted improvement".to_owned(),
+            pct(study.adjusted_improvement()),
+        ],
+        vec![
+            "net stored-energy value $".to_owned(),
+            fmt(study.charge_delta_value(), 2),
+        ],
+    ];
+    println!("{}", text_table(&["metric", "value"], &summary));
+    if !study.all_converged() {
+        return Err("a storage-study solve failed to converge".into());
+    }
+    if !study.all_bitwise() {
+        return Err("lockstep and threaded storage runs diverged bitwise".into());
+    }
+    println!("lockstep and threaded engines agreed bit-for-bit in every hour\n");
+    if let Some(dir) = &opts.csv_dir {
+        write_csv(dir, "storage_horizon", &study.csv())?;
         println!("(csv written to {})", dir.display());
     }
     Ok(())

@@ -20,6 +20,7 @@
 //! | §III single-failure-domain assumption | [`sockets`] | `sockets` |
 //! | solver hot-path wall-clock | [`solver_bench`] | `bench` |
 //! | run-telemetry JSONL trace | [`trace`] | `trace` |
+//! | §II temporal-decoupling assumption | [`storage`] | `storage` |
 //!
 //! Every experiment is a pure function returning a data struct; the `repro`
 //! binary renders those as aligned text and optional CSV. Benches re-run
@@ -38,6 +39,7 @@ pub mod report;
 pub mod robustness;
 pub mod sockets;
 pub mod solver_bench;
+pub mod storage;
 pub mod sweep;
 pub mod table1;
 pub mod trace;

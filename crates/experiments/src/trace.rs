@@ -12,7 +12,7 @@
 use std::time::Duration;
 
 use ufc_core::telemetry::RunTelemetry;
-use ufc_core::{AdmgSettings, AdmgSolver, JsonlSink, Phase, Strategy};
+use ufc_core::{AdmgSettings, AdmgSolver, BlockSchedule, JsonlSink, Strategy};
 use ufc_distsim::{CorruptionConfig, DistributedAdmg, FaultPlan, NodeId, Runtime, SocketOptions};
 use ufc_model::scenario::ScenarioBuilder;
 
@@ -213,7 +213,10 @@ pub fn check(out: &TraceOutput) -> Result<(), String> {
             t.iterations, out.iterations
         ));
     }
-    for phase in Phase::ALL {
+    // The trace scenario carries no storage, so the driver runs the classic
+    // schedule; its derived phase list is the source of truth for which
+    // histograms must have seen every iteration.
+    for phase in BlockSchedule::classic().phases() {
         if t.phase(phase).count() != t.iterations {
             return Err(format!(
                 "phase {} recorded {} samples over {} iterations",

@@ -5,13 +5,13 @@
 //! them is a `Transport` sequenced by `ufc_core::engine::drive` over the
 //! same block kernels.
 
-use ufc_core::{AdmgSettings, AdmgSolver, Strategy};
+use ufc_core::{AdmgSettings, AdmgSolver, BlockSchedule, Phase, Strategy};
 use ufc_distsim::{
     CorruptionConfig, DistRunReport, DistributedAdmg, FaultPlan, Runtime, SocketOptions,
 };
 use ufc_experiments::solver_bench::admg_scaling;
 use ufc_experiments::DEFAULT_SEED;
-use ufc_model::{UfcBreakdown, UfcInstance};
+use ufc_model::{StorageFleet, UfcBreakdown, UfcInstance};
 
 /// Bit-pattern view of every breakdown field, so equality failures are
 /// exact (no tolerance hides a divergent engine).
@@ -26,16 +26,19 @@ fn breakdown_bits(b: &UfcBreakdown) -> Vec<u64> {
         b.grid_mwh.to_bits(),
         b.fuel_cell_utilization.to_bits(),
         b.queueing_cost_dollars.to_bits(),
+        b.storage_mwh.to_bits(),
+        b.storage_cost_dollars.to_bits(),
         b.ufc().to_bits(),
     ]
 }
 
-fn point_bits(lambda: &[Vec<f64>], mu: &[f64], nu: &[f64]) -> Vec<u64> {
+fn point_bits(lambda: &[Vec<f64>], mu: &[f64], nu: &[f64], d: &[f64]) -> Vec<u64> {
     lambda
         .iter()
         .flatten()
         .chain(mu.iter())
         .chain(nu.iter())
+        .chain(d.iter())
         .map(|v| v.to_bits())
         .collect()
 }
@@ -51,7 +54,12 @@ fn assert_report_matches(reference: &ReferenceRun, report: &DistRunReport, label
     );
     assert_eq!(
         reference.point,
-        point_bits(&report.point.lambda, &report.point.mu, &report.point.nu),
+        point_bits(
+            &report.point.lambda,
+            &report.point.mu,
+            &report.point.nu,
+            &report.point.d
+        ),
         "{label}: operating point diverged bitwise"
     );
     assert_eq!(
@@ -81,6 +89,7 @@ fn reference_run(instance: &UfcInstance, settings: AdmgSettings) -> ReferenceRun
             &solution.point.lambda,
             &solution.point.mu,
             &solution.point.nu,
+            &solution.point.d,
         ),
         breakdown: breakdown_bits(&solution.breakdown),
     }
@@ -209,4 +218,202 @@ fn engines_agree_bitwise_single_threaded() {
 #[test]
 fn engines_agree_bitwise_multi_threaded() {
     sweep_engines(4);
+}
+
+/// A storage-free instance runs under exactly the explicit classic
+/// schedule — the pre-refactor 4-block pipeline is the degenerate case of
+/// the schedule-driven driver, not a separate code path.
+#[test]
+fn storage_free_instances_run_the_explicit_classic_schedule() {
+    let instances = admg_scaling(DEFAULT_SEED, 1).expect("scaling workload must build");
+    let instance = instances.first().expect("at least one instance");
+    let bound = BlockSchedule::for_instance(instance);
+    let classic = BlockSchedule::classic();
+    assert_eq!(
+        bound.blocks().iter().map(|b| b.kind).collect::<Vec<_>>(),
+        classic.blocks().iter().map(|b| b.kind).collect::<Vec<_>>(),
+        "a storage-free instance must bind the classic 4-block schedule"
+    );
+    assert!(!bound.has_storage());
+    assert_eq!(
+        classic.phases(),
+        Phase::ALL.to_vec(),
+        "the classic schedule's derived phases are the legacy phase list"
+    );
+}
+
+/// The storage instance the cross-engine tests share: the scaling
+/// workload's hour with a non-trivial battery on every datacenter, a
+/// binding fuel-cell ramp, and a nonzero opportunity value.
+fn storage_instance() -> UfcInstance {
+    let instances = admg_scaling(DEFAULT_SEED, 1).expect("scaling workload must build");
+    let instance = instances.first().expect("at least one instance").clone();
+    let n = instance.n_datacenters();
+    let params = StorageFleet::new(4.0, 2.0)
+        .initial_charge_frac(0.5)
+        .value_per_mwh(60.0)
+        .degradation(0.5)
+        .ramp_mw(2.5)
+        .initial_params(n);
+    instance
+        .with_storage(params)
+        .expect("storage parameters must validate")
+}
+
+/// The 5-block storage schedule agrees bitwise across the in-process
+/// solver and both in-thread distributed engines, at 1 and 4 worker
+/// threads, with identical traffic (including the new per-datacenter
+/// `BlockReport` control messages).
+#[test]
+fn storage_schedule_agrees_bitwise_across_threaded_engines() {
+    let instance = storage_instance();
+    assert!(BlockSchedule::for_instance(&instance).has_storage());
+    for num_threads in [1usize, 4] {
+        let settings = AdmgSettings {
+            num_threads,
+            ..AdmgSettings::default()
+        };
+        let reference = reference_run(&instance, settings);
+        let runner = DistributedAdmg::new(settings);
+        let lockstep = runner
+            .run(&instance, Strategy::Hybrid, Runtime::Lockstep)
+            .expect("lockstep storage run must succeed");
+        assert_report_matches(
+            &reference,
+            &lockstep,
+            &format!("storage lockstep x{num_threads}"),
+        );
+        let threaded = runner
+            .run(&instance, Strategy::Hybrid, Runtime::Threaded)
+            .expect("threaded storage run must succeed");
+        assert_report_matches(
+            &reference,
+            &threaded,
+            &format!("storage threaded x{num_threads}"),
+        );
+        assert_eq!(
+            lockstep.stats, threaded.stats,
+            "storage runs must exchange identical traffic at {num_threads} threads"
+        );
+    }
+}
+
+/// The per-datacenter `BlockReport` control messages actually flow: a
+/// storage run carries exactly `n` more control messages per iteration
+/// than the zero-capacity run of the same schedule needs for its
+/// bookkeeping (dead batteries report nothing).
+#[test]
+fn storage_runs_ship_one_block_report_per_datacenter_per_iteration() {
+    let with_batteries = storage_instance();
+    let n = with_batteries.n_datacenters();
+    let zero = {
+        let instances = admg_scaling(DEFAULT_SEED, 1).expect("scaling workload must build");
+        let plain = instances.first().expect("at least one instance").clone();
+        plain
+            .clone()
+            .with_storage(StorageFleet::new(0.0, 1.0).initial_params(n))
+            .expect("zero-capacity storage must validate")
+    };
+    let runner = DistributedAdmg::new(AdmgSettings::default());
+    for (instance, reports_per_iter) in [(&with_batteries, n), (&zero, 0)] {
+        let report = runner
+            .run(instance, Strategy::Hybrid, Runtime::Lockstep)
+            .expect("lockstep run must succeed");
+        // Per iteration the control plane carries: one residual report per
+        // node, one continue/stop broadcast per node, and one BlockReport
+        // per storage-active datacenter.
+        let m = instance.m_frontends();
+        let per_iter = 2 * (m + n) + reports_per_iter;
+        assert_eq!(
+            report.stats.control_messages,
+            per_iter * report.iterations,
+            "unexpected control traffic for reports_per_iter = {reports_per_iter}"
+        );
+    }
+}
+
+/// The socket engine runs the same 5-block schedule bitwise, at both ends
+/// of the co-hosting spectrum (1 and 4 worker processes) — the run-config
+/// frame carries the storage section and the schedule echo across the
+/// process boundary.
+#[test]
+fn storage_schedule_agrees_bitwise_across_socket_process_counts() {
+    let instance = storage_instance();
+    let settings = AdmgSettings::default();
+    let reference = reference_run(&instance, settings);
+    let runner = DistributedAdmg::new(settings);
+    let lockstep = runner
+        .run(&instance, Strategy::Hybrid, Runtime::Lockstep)
+        .expect("lockstep storage run must succeed");
+    for processes in [1usize, 4] {
+        let options = SocketOptions::new(env!("CARGO_BIN_EXE_ufc-node")).with_processes(processes);
+        let socket = runner
+            .run_sockets(&instance, Strategy::Hybrid, &options)
+            .expect("socket storage run must succeed");
+        let label = format!("storage sockets x{processes}");
+        assert_report_matches(&reference, &socket, &label);
+        assert_eq!(
+            lockstep.stats, socket.stats,
+            "{label}: socket and lockstep storage runs must exchange identical traffic"
+        );
+    }
+}
+
+/// Zero-capacity batteries bind the 5-block schedule but pin `d = +0.0`
+/// everywhere, reproducing the spatial-only solution bit for bit on every
+/// engine — at 1 and 4 threads in-thread, and 1 and 4 socket processes.
+#[test]
+fn zero_capacity_storage_is_bitwise_spatial_only_on_every_engine() {
+    let instances = admg_scaling(DEFAULT_SEED, 1).expect("scaling workload must build");
+    let plain = instances.first().expect("at least one instance").clone();
+    let n = plain.n_datacenters();
+    let zero = plain
+        .clone()
+        .with_storage(StorageFleet::new(0.0, 1.0).initial_params(n))
+        .expect("zero-capacity storage must validate");
+    assert!(BlockSchedule::for_instance(&zero).has_storage());
+
+    for num_threads in [1usize, 4] {
+        let settings = AdmgSettings {
+            num_threads,
+            ..AdmgSettings::default()
+        };
+        // The reference is the PLAIN instance: attaching dead batteries
+        // must change nothing about the solution.
+        let reference = reference_run(&plain, settings);
+        let runner = DistributedAdmg::new(settings);
+        for runtime in [Runtime::Lockstep, Runtime::Threaded] {
+            let report = runner
+                .run(&zero, Strategy::Hybrid, runtime)
+                .expect("zero-capacity run must succeed");
+            assert_report_matches(
+                &reference,
+                &report,
+                &format!("zero-capacity {runtime:?} x{num_threads}"),
+            );
+            assert!(
+                report
+                    .point
+                    .d
+                    .iter()
+                    .all(|&v| v.to_bits() == 0.0f64.to_bits()),
+                "dead batteries must hold d at +0.0 exactly"
+            );
+        }
+    }
+
+    let settings = AdmgSettings::default();
+    let reference = reference_run(&plain, settings);
+    let runner = DistributedAdmg::new(settings);
+    for processes in [1usize, 4] {
+        let options = SocketOptions::new(env!("CARGO_BIN_EXE_ufc-node")).with_processes(processes);
+        let socket = runner
+            .run_sockets(&zero, Strategy::Hybrid, &options)
+            .expect("zero-capacity socket run must succeed");
+        assert_report_matches(
+            &reference,
+            &socket,
+            &format!("zero-capacity sockets x{processes}"),
+        );
+    }
 }

@@ -40,6 +40,10 @@ pub struct UfcInstance {
     /// Optional congestion (queueing-delay) cost — an extension beyond the
     /// paper; `None` reproduces the paper's model exactly.
     pub queueing: Option<crate::QueueingCost>,
+    /// Optional battery storage + fuel-cell ramp data (the temporal
+    /// coupling extension, solved as the 5th ADM-G block); `None`
+    /// reproduces the paper's purely spatial model exactly.
+    pub storage: Option<crate::StorageParams>,
 }
 
 impl UfcInstance {
@@ -171,6 +175,7 @@ impl UfcInstance {
             emission_cost,
             slot_hours,
             queueing: None,
+            storage: None,
         })
     }
 
@@ -179,6 +184,20 @@ impl UfcInstance {
     pub fn with_queueing(mut self, queueing: crate::QueueingCost) -> Self {
         self.queueing = Some(queueing);
         self
+    }
+
+    /// Enables the battery-storage + ramp-limit extension (see
+    /// [`crate::StorageParams`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures from
+    /// [`crate::StorageParams::validate`] against this instance's
+    /// datacenter count and fuel-cell bounds.
+    pub fn with_storage(mut self, storage: crate::StorageParams) -> Result<Self> {
+        storage.validate(self.n_datacenters(), &self.mu_max)?;
+        self.storage = Some(storage);
+        Ok(self)
     }
 
     /// Builds the per-datacenter vectors from [`DatacenterSpec`]s.
@@ -436,5 +455,19 @@ mod tests {
         assert!((inst.alpha[0] - 0.24).abs() < 1e-12);
         assert!((inst.beta[0] - 0.12).abs() < 1e-12);
         assert!((inst.mu_max[0] - 0.48).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_storage_validates_against_the_instance() {
+        let i = tiny();
+        let fleet = crate::StorageFleet::new(1.0, 0.2);
+        let stored = i.clone().with_storage(fleet.initial_params(2)).unwrap();
+        assert!(stored.storage.is_some());
+        // Wrong datacenter count is rejected.
+        assert!(i.clone().with_storage(fleet.initial_params(3)).is_err());
+        // A previous fuel-cell output above mu_max is rejected.
+        let mut params = fleet.initial_params(2);
+        params.mu_prev_mw[0] = 1.0; // mu_max is 0.48
+        assert!(i.with_storage(params).is_err());
     }
 }

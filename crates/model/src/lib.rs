@@ -48,6 +48,7 @@ mod operating_point;
 mod power;
 pub mod queueing;
 pub mod scenario;
+pub mod storage;
 pub mod utility;
 
 pub use datacenter::DatacenterSpec;
@@ -57,6 +58,7 @@ pub use instance::UfcInstance;
 pub use operating_point::{evaluate, ufc_improvement, OperatingPoint, UfcBreakdown};
 pub use power::ServerPowerModel;
 pub use queueing::QueueingCost;
+pub use storage::{StorageFleet, StorageParams};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, ModelError>;

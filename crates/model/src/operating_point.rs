@@ -1,8 +1,10 @@
 use crate::utility::{average_latency, quadratic_utility};
 use crate::{ModelError, Result, UfcInstance};
 
-/// One operating point of the cloud: routing `λ`, fuel-cell output `μ`, and
-/// grid draw `ν` — the decision variables of the transformed problem (12).
+/// One operating point of the cloud: routing `λ`, fuel-cell output `μ`,
+/// grid draw `ν` — the decision variables of the transformed problem (12) —
+/// plus the battery net discharge `d` of the storage extension (all-zero
+/// unless the instance carries [`crate::StorageParams`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct OperatingPoint {
     /// Request routing `λ_ij` (kilo-servers), `M × N`.
@@ -11,6 +13,9 @@ pub struct OperatingPoint {
     pub mu: Vec<f64>,
     /// Grid power draw `ν_j` (MW), length `N`.
     pub nu: Vec<f64>,
+    /// Battery net discharge `d_j` (MW; positive discharges, negative
+    /// charges), length `N`. Zero everywhere on spatial-only instances.
+    pub d: Vec<f64>,
 }
 
 impl OperatingPoint {
@@ -21,11 +26,15 @@ impl OperatingPoint {
             lambda: vec![vec![0.0; n]; m],
             mu: vec![0.0; n],
             nu: vec![0.0; n],
+            d: vec![0.0; n],
         }
     }
 
     /// Builds a point from routing and fuel-cell decisions, deriving the
     /// grid draw from the power balance `ν_j = α_j + β_j·Σ_i λ_ij − μ_j`.
+    /// The battery term is zero (use
+    /// [`OperatingPoint::from_routing_fuel_and_storage`] on storage
+    /// instances).
     ///
     /// # Errors
     ///
@@ -37,24 +46,44 @@ impl OperatingPoint {
         lambda: Vec<Vec<f64>>,
         mu: Vec<f64>,
     ) -> Result<Self> {
+        let n = instance.n_datacenters();
+        OperatingPoint::from_routing_fuel_and_storage(instance, lambda, mu, vec![0.0; n])
+    }
+
+    /// Builds a point from routing, fuel-cell, and battery decisions,
+    /// deriving the grid draw from the extended power balance
+    /// `ν_j = α_j + β_j·Σ_i λ_ij − μ_j − d_j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if the implied grid draw is
+    /// negative beyond tolerance (on-site sources exceeding demand) or
+    /// shapes disagree with the instance.
+    pub fn from_routing_fuel_and_storage(
+        instance: &UfcInstance,
+        lambda: Vec<Vec<f64>>,
+        mu: Vec<f64>,
+        d: Vec<f64>,
+    ) -> Result<Self> {
         let (m, n) = (instance.m_frontends(), instance.n_datacenters());
-        if lambda.len() != m || lambda.iter().any(|r| r.len() != n) || mu.len() != n {
+        if lambda.len() != m || lambda.iter().any(|r| r.len() != n) || mu.len() != n || d.len() != n
+        {
             return Err(ModelError::dim(format!(
-                "operating point must be λ: {m}x{n}, μ: {n}"
+                "operating point must be λ: {m}x{n}, μ/d: {n}"
             )));
         }
         let mut nu = vec![0.0; n];
         for j in 0..n {
             let load: f64 = lambda.iter().map(|row| row[j]).sum();
-            let draw = instance.demand_mw(j, load) - mu[j];
+            let draw = instance.demand_mw(j, load) - mu[j] - d[j];
             if draw < -1e-6 {
                 return Err(ModelError::param(format!(
-                    "fuel cells exceed demand at datacenter {j}: grid draw {draw} MW"
+                    "on-site sources exceed demand at datacenter {j}: grid draw {draw} MW"
                 )));
             }
             nu[j] = draw.max(0.0);
         }
-        Ok(OperatingPoint { lambda, mu, nu })
+        Ok(OperatingPoint { lambda, mu, nu, d })
     }
 
     /// Per-datacenter workload `Σ_i λ_ij` in kilo-servers.
@@ -83,16 +112,36 @@ impl OperatingPoint {
             }
         }
         let loads = self.loads();
+        let h = instance.slot_hours;
         for j in 0..instance.n_datacenters() {
             // Capacity.
             r = r.max(loads[j] - instance.capacities[j]);
-            // Power balance.
-            let balance = instance.demand_mw(j, loads[j]) - self.mu[j] - self.nu[j];
+            // Power balance (the battery term is zero on spatial
+            // instances).
+            let balance = instance.demand_mw(j, loads[j]) - self.mu[j] - self.nu[j] - self.d[j];
             r = r.max(balance.abs());
             // Bounds.
             r = r.max(-self.mu[j]);
             r = r.max(self.mu[j] - instance.mu_max[j]);
             r = r.max(-self.nu[j]);
+            // Storage: ramp limits tighten the μ box for every
+            // datacenter; net discharge must stay in its box where a
+            // battery exists, and any nonzero d is a violation where one
+            // doesn't.
+            if let Some(sp) = &instance.storage {
+                let (mu_lo, mu_hi) = sp.mu_bounds(j, instance.mu_max[j]);
+                r = r.max(mu_lo - self.mu[j]);
+                r = r.max(self.mu[j] - mu_hi);
+                if sp.active(j) {
+                    let (d_lo, d_hi) = sp.discharge_bounds(j, h);
+                    r = r.max(self.d[j] - d_hi);
+                    r = r.max(d_lo - self.d[j]);
+                } else {
+                    r = r.max(self.d[j].abs());
+                }
+            } else {
+                r = r.max(self.d[j].abs());
+            }
         }
         r
     }
@@ -122,17 +171,27 @@ pub struct UfcBreakdown {
     /// Congestion cost `Σⱼ Qⱼ(loadⱼ)` in $ (0 unless the instance enables
     /// the queueing extension).
     pub queueing_cost_dollars: f64,
+    /// Net battery energy discharged `Σⱼ dⱼ·h` in MWh (negative = net
+    /// charging; 0 unless the instance enables the storage extension).
+    pub storage_mwh: f64,
+    /// Battery throughput-degradation cost `Σⱼ γ·h·dⱼ²` in $ (0 unless
+    /// the instance enables the storage extension). Only the physical wear
+    /// cost is charged here — the solver's opportunity-value term `κ·h·d`
+    /// is an internal steering price, not an operator expense.
+    pub storage_cost_dollars: f64,
 }
 
 impl UfcBreakdown {
     /// The UFC index: utility minus carbon cost minus energy cost (Eq. (3)),
-    /// minus the optional congestion cost (extension).
+    /// minus the optional congestion and battery-degradation costs
+    /// (extensions).
     #[must_use]
     pub fn ufc(&self) -> f64 {
         self.utility_dollars
             - self.carbon_cost_dollars
             - self.energy_cost_dollars
             - self.queueing_cost_dollars
+            - self.storage_cost_dollars
     }
 }
 
@@ -154,9 +213,10 @@ pub fn evaluate(instance: &UfcInstance, point: &OperatingPoint) -> Result<UfcBre
         || point.lambda.iter().any(|r| r.len() != n)
         || point.mu.len() != n
         || point.nu.len() != n
+        || point.d.len() != n
     {
         return Err(ModelError::dim(format!(
-            "operating point shape must be λ: {m}x{n}, μ/ν: {n}"
+            "operating point shape must be λ: {m}x{n}, μ/ν/d: {n}"
         )));
     }
     let residual = point.feasibility_residual(instance);
@@ -220,6 +280,17 @@ pub fn evaluate(instance: &UfcInstance, point: &OperatingPoint) -> Result<UfcBre
         }
     }
 
+    // Optional battery accounting (extension; see `storage`). Only the
+    // physical degradation cost γ·h·d² enters the reported UFC.
+    let mut storage_mwh = 0.0;
+    let mut storage_cost = 0.0;
+    if let Some(sp) = &instance.storage {
+        for j in 0..n {
+            storage_mwh += point.d[j] * h;
+            storage_cost += sp.degradation_per_mwh * h * point.d[j] * point.d[j];
+        }
+    }
+
     Ok(UfcBreakdown {
         utility_dollars: utility,
         energy_cost_dollars: energy_cost,
@@ -234,6 +305,8 @@ pub fn evaluate(instance: &UfcInstance, point: &OperatingPoint) -> Result<UfcBre
             0.0
         },
         queueing_cost_dollars: queueing_cost,
+        storage_mwh,
+        storage_cost_dollars: storage_cost,
     })
 }
 
@@ -348,6 +421,61 @@ mod tests {
         let p = OperatingPoint::from_routing_and_fuel(&inst, lambda, vec![0.0, 0.0]).unwrap();
         let b = evaluate(&inst, &p).unwrap();
         assert!((b.average_latency_s - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn storage_point_balances_and_charges_degradation_only() {
+        let mut inst = tiny();
+        inst = inst
+            .with_storage(
+                crate::StorageFleet::new(2.0, 0.5)
+                    .initial_charge_frac(0.5)
+                    .value_per_mwh(100.0)
+                    .degradation(2.0)
+                    .params(vec![1.0, 1.0], vec![0.0, 0.0]),
+            )
+            .unwrap();
+        let lambda = vec![vec![0.5, 0.5], vec![1.0, 1.0]];
+        // DC0 discharges 0.1 MW, DC1 charges 0.2 MW.
+        let p = OperatingPoint::from_routing_fuel_and_storage(
+            &inst,
+            lambda,
+            vec![0.0, 0.0],
+            vec![0.1, -0.2],
+        )
+        .unwrap();
+        // Demand is 0.42 MW each; grid covers demand − d.
+        assert!((p.nu[0] - 0.32).abs() < 1e-12);
+        assert!((p.nu[1] - 0.62).abs() < 1e-12);
+        assert!(p.feasibility_residual(&inst) < 1e-12);
+        let b = evaluate(&inst, &p).unwrap();
+        // Net discharge: (0.1 − 0.2)·1 h = −0.1 MWh.
+        assert!((b.storage_mwh + 0.1).abs() < 1e-12);
+        // Degradation only: 2·(0.01 + 0.04) = 0.1 $ — κ never appears.
+        assert!((b.storage_cost_dollars - 0.1).abs() < 1e-12);
+        // Oversized discharge violates the box.
+        let mut bad = p.clone();
+        bad.d[0] = 10.0;
+        assert!(bad.feasibility_residual(&inst) > 1.0);
+        // Nonzero d without storage is infeasible.
+        let spatial = tiny();
+        let mut q = grid_point(&spatial);
+        q.d[0] = 0.1;
+        assert!(q.feasibility_residual(&spatial) >= 0.1);
+    }
+
+    #[test]
+    fn ramp_limit_enters_the_residual() {
+        let mut inst = tiny();
+        let mut params = crate::StorageFleet::new(1.0, 0.2)
+            .ramp_mw(0.05)
+            .initial_params(2);
+        params.mu_prev_mw = vec![0.2, 0.2];
+        inst = inst.with_storage(params).unwrap();
+        let lambda = vec![vec![0.5, 0.5], vec![1.0, 1.0]];
+        // μ = 0.42 is far above μ_prev + ramp = 0.25.
+        let p = OperatingPoint::from_routing_and_fuel(&inst, lambda, vec![0.42, 0.42]).unwrap();
+        assert!(p.feasibility_residual(&inst) >= 0.42 - 0.25 - 1e-12);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use ufc_traces::{TraceRng, HOURS_PER_WEEK};
 
 use crate::{
     g_per_kwh_to_t_per_mwh, DatacenterSpec, EmissionCostFn, ModelError, Result, ServerPowerModel,
-    UfcInstance,
+    StorageFleet, UfcInstance,
 };
 
 /// A sequence of hourly instances plus the raw traces that produced them
@@ -33,6 +33,11 @@ pub struct WeeklyScenario {
     pub prices: Vec<Vec<f64>>,
     /// Carbon rate per datacenter per hour (g/kWh): `carbon_g_per_kwh[j][t]`.
     pub carbon_g_per_kwh: Vec<Vec<f64>>,
+    /// The storage fleet the scenario was built with, if any — a
+    /// receding-horizon driver uses it to evolve per-hour
+    /// [`crate::StorageParams`] from the initial state attached to each
+    /// instance.
+    pub storage: Option<StorageFleet>,
 }
 
 impl WeeklyScenario {
@@ -64,6 +69,7 @@ pub struct ScenarioBuilder {
     workload_override: Option<Vec<f64>>,
     price_override: Option<Vec<Vec<f64>>>,
     carbon_override: Option<Vec<Vec<f64>>>,
+    storage: Option<StorageFleet>,
 }
 
 impl ScenarioBuilder {
@@ -89,7 +95,19 @@ impl ScenarioBuilder {
             workload_override: None,
             price_override: None,
             carbon_override: None,
+            storage: None,
         }
+    }
+
+    /// Equips every datacenter with a battery + ramp-limit configuration
+    /// (the temporal-coupling extension): each hourly instance carries the
+    /// fleet's *initial* [`crate::StorageParams`], and the fleet itself is
+    /// kept on the scenario for receding-horizon drivers that evolve the
+    /// charge state hour over hour.
+    #[must_use]
+    pub fn storage(mut self, fleet: StorageFleet) -> Self {
+        self.storage = Some(fleet);
+        self
     }
 
     /// Sets the RNG seed for all trace substreams.
@@ -205,6 +223,9 @@ impl ScenarioBuilder {
         let (cap_lo, cap_hi) = self.capacity_range_k;
         if !(0.0 < cap_lo && cap_lo <= cap_hi) {
             return Err(ModelError::param("invalid capacity range"));
+        }
+        if let Some(fleet) = &self.storage {
+            fleet.validate()?;
         }
 
         let root = TraceRng::new(self.seed);
@@ -329,7 +350,7 @@ impl ScenarioBuilder {
             let carbon_t: Vec<f64> = (0..n)
                 .map(|j| g_per_kwh_to_t_per_mwh(carbon[j][t]))
                 .collect();
-            instances.push(UfcInstance::from_specs(
+            let mut inst = UfcInstance::from_specs(
                 arrivals_per_hour[t].clone(),
                 &specs,
                 grid_price,
@@ -339,7 +360,11 @@ impl ScenarioBuilder {
                 self.weight_per_server,
                 vec![self.emission_cost.clone(); n],
                 1.0,
-            )?);
+            )?;
+            if let Some(fleet) = &self.storage {
+                inst = inst.with_storage(fleet.initial_params(n))?;
+            }
+            instances.push(inst);
         }
 
         Ok(WeeklyScenario {
@@ -348,6 +373,7 @@ impl ScenarioBuilder {
             workload_total,
             prices,
             carbon_g_per_kwh: carbon,
+            storage: self.storage,
         })
     }
 }
@@ -476,6 +502,32 @@ mod tests {
         }
         assert!(ScenarioBuilder::paper_default()
             .heterogeneous_pue(0.5, 2.0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn storage_fleet_attaches_to_every_hour() {
+        let fleet = crate::StorageFleet::new(5.0, 1.0).initial_charge_frac(0.5);
+        let s = ScenarioBuilder::paper_default()
+            .hours(3)
+            .storage(fleet)
+            .build()
+            .unwrap();
+        assert_eq!(s.storage, Some(fleet));
+        for inst in &s.instances {
+            let sp = inst.storage.as_ref().unwrap();
+            assert_eq!(sp.capacity_mwh, vec![5.0; 4]);
+            assert_eq!(sp.charge_mwh, vec![2.5; 4]);
+        }
+        // Without the builder call nothing changes.
+        let plain = ScenarioBuilder::paper_default().hours(1).build().unwrap();
+        assert!(plain.storage.is_none());
+        assert!(plain.instances[0].storage.is_none());
+        // A bad fleet is rejected at build time.
+        assert!(ScenarioBuilder::paper_default()
+            .hours(1)
+            .storage(crate::StorageFleet::new(-1.0, 1.0))
             .build()
             .is_err());
     }

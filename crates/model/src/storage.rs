@@ -1,0 +1,403 @@
+//! Temporal coupling: per-datacenter battery storage and fuel-cell ramp
+//! limits.
+//!
+//! The paper's program is purely spatial — every hour is optimized in
+//! isolation. The related work (Kiani & Ansari's profit maximization with
+//! energy storage, Tu et al.'s dynamic provisioning with on-site power)
+//! couples consecutive hours through two mechanisms this module models:
+//!
+//! * **Battery storage.** Each datacenter `j` carries a charge state
+//!   `b_j(t)` (MWh). Within one slot it chooses a net discharge rate
+//!   `d_j` (MW; positive discharges, negative charges) bounded by the
+//!   converter rates and by the energy actually available/storable, and the
+//!   power balance becomes `D_j(load) = μ_j + ν_j + d_j`. The charge state
+//!   advances as `b_j(t+1) = b_j(t) − d_j·h`.
+//! * **Fuel-cell ramp limits.** Solid-oxide fuel cells change output
+//!   slowly; `|μ_j(t) − μ_j(t−1)| ≤ r_j` tightens the μ-block's box to
+//!   `[max(0, μ_prev − r), min(μ_max, μ_prev + r)]`.
+//!
+//! Both enter the ADM-G core as the **storage block** — the first real
+//! 5th block of the schedule-driven N-block architecture (see
+//! `ufc_core::engine::BlockSchedule`). A single hourly instance sees only
+//! frozen per-slot data ([`StorageParams`]): the bounds derived from the
+//! current charge state and the previous hour's generation. The temporal
+//! loop lives outside the solver — a receding-horizon driver carries
+//! `b_j`/`μ_prev` forward between hourly solves ([`StorageFleet`] is the
+//! static fleet description it starts from).
+//!
+//! The block's per-slot cost is `γ·h·d_j² + κ_j·h·d_j`: a quadratic
+//! throughput-degradation term (cycling wears the cells) plus a linear
+//! opportunity-value term. `κ_j` ($/MWh) prices retained energy — a myopic
+//! hourly solve would otherwise never charge (charging only costs money
+//! within one slot); with `κ_j` set to, say, the mean grid price, the block
+//! charges when power is cheap and discharges when it is dear, which is
+//! exactly the arbitrage a look-ahead controller extracts.
+
+use crate::{ModelError, Result};
+
+/// Frozen per-slot storage/ramp data for one [`crate::UfcInstance`]: what
+/// the solver sees after the receding-horizon loop fixes the charge state
+/// and the previous hour's generation. All vectors are indexed by
+/// datacenter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageParams {
+    /// Usable battery capacity (MWh); `0` marks a datacenter without
+    /// storage (its `d_j` is pinned to zero bit-exactly).
+    pub capacity_mwh: Vec<f64>,
+    /// Current charge state `b_j` (MWh), in `[0, capacity]`.
+    pub charge_mwh: Vec<f64>,
+    /// Maximum charging power (MW).
+    pub charge_rate_mw: Vec<f64>,
+    /// Maximum discharging power (MW).
+    pub discharge_rate_mw: Vec<f64>,
+    /// Opportunity value `κ_j` of stored energy ($/MWh): discharging is
+    /// charged `κ_j·h·d_j`, charging is credited the same amount.
+    pub value_per_mwh: Vec<f64>,
+    /// Quadratic throughput-degradation coefficient `γ` ($·h/MW² per
+    /// slot): every slot adds `γ·h·d_j²` dollars of battery wear.
+    pub degradation_per_mwh: f64,
+    /// Fuel-cell ramp limit `r_j` (MW per slot); `f64::INFINITY` disables
+    /// the ramp constraint.
+    pub ramp_mw: Vec<f64>,
+    /// Previous slot's fuel-cell output `μ_j(t−1)` (MW) — the ramp
+    /// anchor.
+    pub mu_prev_mw: Vec<f64>,
+}
+
+impl StorageParams {
+    /// Number of datacenters this parameter set describes.
+    #[must_use]
+    pub fn n_datacenters(&self) -> usize {
+        self.capacity_mwh.len()
+    }
+
+    /// Whether datacenter `j` has a battery at all. Inactive datacenters
+    /// take no storage step and keep `d_j = +0.0`, which is what makes a
+    /// zero-capacity fleet reproduce the spatial-only solution bit for
+    /// bit.
+    #[must_use]
+    pub fn active(&self, j: usize) -> bool {
+        self.capacity_mwh[j] > 0.0
+    }
+
+    /// The net-discharge box `[d_lo, d_hi]` (MW) for datacenter `j` over a
+    /// slot of `h` hours: discharge is limited by the converter and the
+    /// energy in the battery, charge by the converter and the remaining
+    /// headroom.
+    #[must_use]
+    pub fn discharge_bounds(&self, j: usize, h: f64) -> (f64, f64) {
+        let hi = self.discharge_rate_mw[j].min(self.charge_mwh[j] / h);
+        let lo = -self.charge_rate_mw[j].min((self.capacity_mwh[j] - self.charge_mwh[j]) / h);
+        (lo, hi)
+    }
+
+    /// The ramp-tightened fuel-cell box `[μ_lo, μ_hi]` for datacenter `j`
+    /// with nameplate bound `mu_max`. With `ramp_mw = ∞` this is exactly
+    /// `[0, mu_max]` (bit-identical to the unconstrained box).
+    #[must_use]
+    pub fn mu_bounds(&self, j: usize, mu_max: f64) -> (f64, f64) {
+        let lo = (self.mu_prev_mw[j] - self.ramp_mw[j]).max(0.0);
+        let hi = (self.mu_prev_mw[j] + self.ramp_mw[j]).min(mu_max);
+        (lo, hi)
+    }
+
+    /// Validates shapes and ranges against a fleet of `n` datacenters with
+    /// fuel-cell bounds `mu_max`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError`] when a vector has the wrong length, a value is
+    /// non-finite (the ramp may be `+∞`), a capacity/rate/value is
+    /// negative, a charge state leaves `[0, capacity]`, or a previous
+    /// output leaves `[0, mu_max]`.
+    pub fn validate(&self, n: usize, mu_max: &[f64]) -> Result<()> {
+        let lens = [
+            self.capacity_mwh.len(),
+            self.charge_mwh.len(),
+            self.charge_rate_mw.len(),
+            self.discharge_rate_mw.len(),
+            self.value_per_mwh.len(),
+            self.ramp_mw.len(),
+            self.mu_prev_mw.len(),
+        ];
+        if lens.iter().any(|&l| l != n) {
+            return Err(ModelError::dim(format!(
+                "storage parameters must have {n} datacenters, got {lens:?}"
+            )));
+        }
+        if !self.degradation_per_mwh.is_finite() || self.degradation_per_mwh < 0.0 {
+            return Err(ModelError::param(format!(
+                "degradation coefficient must be finite and nonnegative, got {}",
+                self.degradation_per_mwh
+            )));
+        }
+        for (j, &mu_cap) in mu_max.iter().enumerate().take(n) {
+            let cap = self.capacity_mwh[j];
+            let charge = self.charge_mwh[j];
+            let finite = [
+                cap,
+                charge,
+                self.charge_rate_mw[j],
+                self.discharge_rate_mw[j],
+                self.value_per_mwh[j],
+                self.mu_prev_mw[j],
+            ];
+            if finite.iter().any(|v| !v.is_finite()) || self.ramp_mw[j].is_nan() {
+                return Err(ModelError::param(format!(
+                    "storage parameters of datacenter {j} must be finite"
+                )));
+            }
+            if cap < 0.0
+                || self.charge_rate_mw[j] < 0.0
+                || self.discharge_rate_mw[j] < 0.0
+                || self.value_per_mwh[j] < 0.0
+                || self.ramp_mw[j] < 0.0
+            {
+                return Err(ModelError::param(format!(
+                    "storage capacity/rates/value/ramp of datacenter {j} must be nonnegative"
+                )));
+            }
+            if !(0.0..=cap).contains(&charge) {
+                return Err(ModelError::param(format!(
+                    "charge state {charge} MWh of datacenter {j} leaves [0, {cap}]"
+                )));
+            }
+            if !(0.0..=mu_cap).contains(&self.mu_prev_mw[j]) {
+                return Err(ModelError::param(format!(
+                    "previous fuel-cell output {} MW of datacenter {j} leaves [0, {mu_cap}]",
+                    self.mu_prev_mw[j]
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Static fleet-level storage description: what a scenario configures once
+/// and a receding-horizon driver turns into per-slot [`StorageParams`] as
+/// the charge state evolves. Every datacenter gets the same battery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageFleet {
+    /// Usable battery capacity per datacenter (MWh).
+    pub capacity_mwh: f64,
+    /// Maximum charging power per datacenter (MW).
+    pub charge_rate_mw: f64,
+    /// Maximum discharging power per datacenter (MW).
+    pub discharge_rate_mw: f64,
+    /// Initial state of charge as a fraction of capacity, in `[0, 1]`.
+    pub initial_charge_frac: f64,
+    /// Opportunity value of stored energy `κ` ($/MWh), uniform across the
+    /// fleet.
+    pub value_per_mwh: f64,
+    /// Quadratic degradation coefficient `γ` ($·h/MW² per slot).
+    pub degradation_per_mwh: f64,
+    /// Fuel-cell ramp limit (MW per slot); `f64::INFINITY` disables it.
+    pub ramp_mw: f64,
+}
+
+impl StorageFleet {
+    /// A fleet of identical batteries with symmetric converter rates,
+    /// starting empty, with no opportunity value, no degradation cost, and
+    /// no ramp limit.
+    #[must_use]
+    pub fn new(capacity_mwh: f64, rate_mw: f64) -> Self {
+        StorageFleet {
+            capacity_mwh,
+            charge_rate_mw: rate_mw,
+            discharge_rate_mw: rate_mw,
+            initial_charge_frac: 0.0,
+            value_per_mwh: 0.0,
+            degradation_per_mwh: 0.0,
+            ramp_mw: f64::INFINITY,
+        }
+    }
+
+    /// Sets the opportunity value of stored energy ($/MWh).
+    #[must_use]
+    pub fn value_per_mwh(mut self, v: f64) -> Self {
+        self.value_per_mwh = v;
+        self
+    }
+
+    /// Sets the quadratic degradation coefficient `γ`.
+    #[must_use]
+    pub fn degradation(mut self, gamma: f64) -> Self {
+        self.degradation_per_mwh = gamma;
+        self
+    }
+
+    /// Sets the fuel-cell ramp limit (MW per slot).
+    #[must_use]
+    pub fn ramp_mw(mut self, r: f64) -> Self {
+        self.ramp_mw = r;
+        self
+    }
+
+    /// Sets the initial state of charge as a fraction of capacity.
+    #[must_use]
+    pub fn initial_charge_frac(mut self, f: f64) -> Self {
+        self.initial_charge_frac = f;
+        self
+    }
+
+    /// Validates the fleet description.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidParameter`] when a value is non-finite (the
+    /// ramp may be `+∞`), negative, or the initial charge fraction leaves
+    /// `[0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        let finite = [
+            self.capacity_mwh,
+            self.charge_rate_mw,
+            self.discharge_rate_mw,
+            self.initial_charge_frac,
+            self.value_per_mwh,
+            self.degradation_per_mwh,
+        ];
+        if finite.iter().any(|v| !v.is_finite()) || self.ramp_mw.is_nan() {
+            return Err(ModelError::param("storage fleet values must be finite"));
+        }
+        if finite.iter().any(|&v| v < 0.0) || self.ramp_mw < 0.0 {
+            return Err(ModelError::param(
+                "storage fleet values must be nonnegative",
+            ));
+        }
+        if self.initial_charge_frac > 1.0 {
+            return Err(ModelError::param(format!(
+                "initial charge fraction {} leaves [0, 1]",
+                self.initial_charge_frac
+            )));
+        }
+        Ok(())
+    }
+
+    /// The per-slot parameters at the start of the horizon: every battery
+    /// at its initial charge, previous fuel-cell output zero.
+    #[must_use]
+    pub fn initial_params(&self, n: usize) -> StorageParams {
+        self.params(
+            vec![self.initial_charge_frac * self.capacity_mwh; n],
+            vec![0.0; n],
+        )
+    }
+
+    /// The per-slot parameters for a given charge state and previous
+    /// fuel-cell output (what a receding-horizon driver rebuilds every
+    /// hour). `value_per_mwh` can be overridden per datacenter afterwards
+    /// by mutating the returned struct.
+    #[must_use]
+    pub fn params(&self, charge_mwh: Vec<f64>, mu_prev_mw: Vec<f64>) -> StorageParams {
+        let n = charge_mwh.len();
+        StorageParams {
+            capacity_mwh: vec![self.capacity_mwh; n],
+            charge_mwh,
+            charge_rate_mw: vec![self.charge_rate_mw; n],
+            discharge_rate_mw: vec![self.discharge_rate_mw; n],
+            value_per_mwh: vec![self.value_per_mwh; n],
+            degradation_per_mwh: self.degradation_per_mwh,
+            ramp_mw: vec![self.ramp_mw; n],
+            mu_prev_mw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet() -> StorageFleet {
+        StorageFleet::new(2.0, 0.5)
+            .value_per_mwh(40.0)
+            .degradation(0.1)
+            .initial_charge_frac(0.25)
+    }
+
+    #[test]
+    fn initial_params_pass_validation() {
+        let p = fleet().initial_params(3);
+        assert_eq!(p.n_datacenters(), 3);
+        p.validate(3, &[1.0, 1.0, 1.0]).unwrap();
+        assert!(p.active(0));
+        assert_eq!(p.charge_mwh, vec![0.5; 3]);
+    }
+
+    #[test]
+    fn discharge_bounds_track_charge_state() {
+        let mut p = fleet().initial_params(1);
+        // Charge 0.5 MWh over h = 1: discharge limited by energy, charge
+        // by the converter (headroom 1.5 MWh > rate 0.5 MW).
+        let (lo, hi) = p.discharge_bounds(0, 1.0);
+        assert_eq!(hi, 0.5);
+        assert_eq!(lo, -0.5);
+        // Nearly full battery: charging limited by headroom.
+        p.charge_mwh[0] = 1.9;
+        let (lo, hi) = p.discharge_bounds(0, 1.0);
+        assert_eq!(hi, 0.5);
+        assert!((lo + 0.1).abs() < 1e-12);
+        // Empty battery: cannot discharge at all.
+        p.charge_mwh[0] = 0.0;
+        let (_, hi) = p.discharge_bounds(0, 1.0);
+        assert_eq!(hi, 0.0);
+    }
+
+    #[test]
+    fn infinite_ramp_reproduces_the_plain_box_exactly() {
+        let p = fleet().initial_params(2);
+        let (lo, hi) = p.mu_bounds(0, 0.48);
+        assert_eq!(lo.to_bits(), 0.0f64.to_bits());
+        assert_eq!(hi.to_bits(), 0.48f64.to_bits());
+    }
+
+    #[test]
+    fn finite_ramp_tightens_around_previous_output() {
+        let mut p = fleet().ramp_mw(0.1).initial_params(1);
+        p.mu_prev_mw[0] = 0.3;
+        let (lo, hi) = p.mu_bounds(0, 0.48);
+        assert!((lo - 0.2).abs() < 1e-12);
+        assert!((hi - 0.4).abs() < 1e-12);
+        // Near the nameplate bound the box clips.
+        p.mu_prev_mw[0] = 0.45;
+        let (_, hi) = p.mu_bounds(0, 0.48);
+        assert_eq!(hi, 0.48);
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes_and_ranges() {
+        let mu_max = [1.0, 1.0];
+        let good = fleet().initial_params(2);
+        good.validate(2, &mu_max).unwrap();
+        assert!(good.validate(3, &[1.0; 3]).is_err());
+
+        let mut bad = good.clone();
+        bad.charge_mwh[1] = 99.0; // above capacity
+        assert!(bad.validate(2, &mu_max).is_err());
+
+        let mut bad = good.clone();
+        bad.capacity_mwh[0] = f64::NAN;
+        assert!(bad.validate(2, &mu_max).is_err());
+
+        let mut bad = good.clone();
+        bad.mu_prev_mw[0] = 2.0; // above mu_max
+        assert!(bad.validate(2, &mu_max).is_err());
+
+        let mut bad = good.clone();
+        bad.ramp_mw[0] = -1.0;
+        assert!(bad.validate(2, &mu_max).is_err());
+
+        let mut bad = good;
+        bad.degradation_per_mwh = -0.5;
+        assert!(bad.validate(2, &mu_max).is_err());
+    }
+
+    #[test]
+    fn fleet_validation() {
+        fleet().validate().unwrap();
+        assert!(StorageFleet::new(-1.0, 0.5).validate().is_err());
+        assert!(StorageFleet::new(1.0, f64::NAN).validate().is_err());
+        assert!(fleet().initial_charge_frac(1.5).validate().is_err());
+        // An infinite ramp is explicitly legal (= unconstrained).
+        fleet().ramp_mw(f64::INFINITY).validate().unwrap();
+    }
+}
