@@ -128,6 +128,10 @@ pub fn solve(
         let mut lambda = vec![0.0f64; m * n];
         for i in 0..m {
             let arrival = instance.arrivals[i];
+            if arrival == 0.0 {
+                // Zero-demand front-end: the simplex is the singleton {0}.
+                continue;
+            }
             let gamma = 2.0 * w / arrival;
             let c: Vec<f64> = (0..n)
                 .map(|j| eta[j] + theta[j] * instance.beta[j])

@@ -73,6 +73,11 @@ pub fn solve(
     let mut q = Matrix::zeros(n_var, n_var);
     let w = instance.weight_per_kserver();
     for i in 0..m {
+        if instance.arrivals[i] == 0.0 {
+            // Zero-demand front-end: λ_i ≡ 0 is forced by its simplex row,
+            // so its utility term vanishes — no curvature to add.
+            continue;
+        }
         let gamma = 2.0 * w / instance.arrivals[i];
         let lat = &instance.latency_s[i];
         for j1 in 0..n {

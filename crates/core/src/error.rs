@@ -48,6 +48,13 @@ pub enum CoreError {
         /// Which parameter and why.
         context: String,
     },
+    /// A numerical routine failed in a way the caller may want to handle —
+    /// e.g. a singular Gram block in the matrix-form reference, where the
+    /// input state (not the UFC structure) is to blame.
+    Numerical {
+        /// Which routine and what failed.
+        context: String,
+    },
     /// A checkpoint blob failed to decode (wrong magic, truncated payload,
     /// or shape mismatch against the instance).
     Checkpoint {
@@ -108,6 +115,7 @@ impl fmt::Display for CoreError {
             CoreError::InvalidConfig { context } => {
                 write!(f, "invalid configuration: {context}")
             }
+            CoreError::Numerical { context } => write!(f, "numerical failure: {context}"),
             CoreError::Checkpoint { context } => write!(f, "bad checkpoint: {context}"),
             CoreError::CorruptPayload {
                 node,
@@ -177,6 +185,13 @@ impl CoreError {
     /// Builds a [`CoreError::InvalidConfig`].
     pub fn invalid_config(context: impl Into<String>) -> Self {
         CoreError::InvalidConfig {
+            context: context.into(),
+        }
+    }
+
+    /// Builds a [`CoreError::Numerical`].
+    pub fn numerical(context: impl Into<String>) -> Self {
+        CoreError::Numerical {
             context: context.into(),
         }
     }
@@ -265,6 +280,9 @@ mod tests {
 
         let e = CoreError::checkpoint("truncated payload");
         assert!(e.to_string().contains("truncated"));
+
+        let e = CoreError::numerical("gram block 2 singular");
+        assert!(e.to_string().contains("gram block 2"));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use ufc_linalg::{Cholesky, Matrix};
 use ufc_model::UfcInstance;
 
-use crate::AdmgState;
+use crate::{AdmgState, CoreError};
 
 /// The explicit relation matrices of the 4-block formulation, restricted to
 /// the active blocks. Constraint rows: `MN` link rows `λ_ij − a_ij = 0`
@@ -89,10 +89,17 @@ pub fn gram_blocks_nonsingular(rel: &RelationMatrices) -> bool {
 /// substitution and returns the corrected state (λ is taken from `tilde`,
 /// as in the paper).
 ///
+/// # Errors
+///
+/// Returns [`CoreError::Numerical`] when a Gram block `K_iᵀK_i` fails to
+/// factor or a triangular solve breaks down. The UFC relation structure
+/// makes every Gram block nonsingular (Theorem 1), so this is a typed
+/// can't-happen guard rather than an expected path — but it lets the
+/// fuzzer report rather than abort should an instance ever violate it.
+///
 /// # Panics
 ///
-/// Panics if the states disagree in shape with the instance, or if a Gram
-/// block is singular (cannot happen for the UFC structure).
+/// Panics if the states disagree in shape with the instance.
 #[allow(clippy::needless_range_loop)] // blocks are co-indexed by node id
 pub fn correction_reference(
     instance: &UfcInstance,
@@ -101,7 +108,7 @@ pub fn correction_reference(
     epsilon: f64,
     active_mu: bool,
     active_nu: bool,
-) -> AdmgState {
+) -> crate::Result<AdmgState> {
     let rel = relation_matrices(instance, active_mu, active_nu);
     let nblocks = rel.k.len();
 
@@ -129,12 +136,19 @@ pub fn correction_reference(
             .map(|(a, b)| epsilon * (b - a))
             .collect();
         if i + 1 < nblocks {
-            let gram = Cholesky::factor(&rel.k[i].gram()).expect("gram block singular");
+            let gram = Cholesky::factor(&rel.k[i].gram())
+                .map_err(|e| CoreError::numerical(format!("gram block {i} singular: {e}")))?;
             for j in (i + 1)..nblocks {
                 // K_iᵀ (K_j Δ_j), then solve against the Gram block.
-                let kj_dj = rel.k[j].matvec(&deltas[j]).expect("shape");
-                let kit = rel.k[i].matvec_t(&kj_dj).expect("shape");
-                let corr = gram.solve(&kit).expect("solve");
+                let kj_dj = rel.k[j]
+                    .matvec(&deltas[j])
+                    .map_err(|e| CoreError::numerical(format!("K_{j} Δ_{j}: {e}")))?;
+                let kit = rel.k[i]
+                    .matvec_t(&kj_dj)
+                    .map_err(|e| CoreError::numerical(format!("K_{i}ᵀ(K_{j} Δ_{j}): {e}")))?;
+                let corr = gram
+                    .solve(&kit)
+                    .map_err(|e| CoreError::numerical(format!("gram solve, block {i}: {e}")))?;
                 for (r, c) in rhs.iter_mut().zip(&corr) {
                     *r -= c;
                 }
@@ -174,7 +188,7 @@ pub fn correction_reference(
         out.varphi[k] += epsilon * (tilde.varphi[k] - state.varphi[k]);
     }
     out.lambda.copy_from_slice(&tilde.lambda);
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -252,7 +266,7 @@ mod tests {
         for seed in 0..5 {
             let state = pseudo_random_state(&inst, seed);
             let tilde = pseudo_random_state(&inst, seed + 100);
-            let generic = correction_reference(&inst, &state, &tilde, 0.9, true, true);
+            let generic = correction_reference(&inst, &state, &tilde, 0.9, true, true).unwrap();
             let mut closed = state.clone();
             gaussian_back_substitution(&inst, &mut closed, &tilde, 0.9, true, true);
             assert_state_close(&generic, &closed, 1e-9);
@@ -268,7 +282,7 @@ mod tests {
             // Grid strategy: μ pinned at zero in both iterates.
             state.mu.iter_mut().for_each(|v| *v = 0.0);
             tilde.mu.iter_mut().for_each(|v| *v = 0.0);
-            let generic = correction_reference(&inst, &state, &tilde, 0.8, false, true);
+            let generic = correction_reference(&inst, &state, &tilde, 0.8, false, true).unwrap();
             let mut closed = state.clone();
             gaussian_back_substitution(&inst, &mut closed, &tilde, 0.8, false, true);
             assert_state_close(&generic, &closed, 1e-9);
@@ -283,7 +297,7 @@ mod tests {
             let mut tilde = pseudo_random_state(&inst, seed + 50);
             state.nu.iter_mut().for_each(|v| *v = 0.0);
             tilde.nu.iter_mut().for_each(|v| *v = 0.0);
-            let generic = correction_reference(&inst, &state, &tilde, 1.0, true, false);
+            let generic = correction_reference(&inst, &state, &tilde, 1.0, true, false).unwrap();
             let mut closed = state.clone();
             gaussian_back_substitution(&inst, &mut closed, &tilde, 1.0, true, false);
             assert_state_close(&generic, &closed, 1e-9);

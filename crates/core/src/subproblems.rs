@@ -68,6 +68,12 @@ pub fn lambda_step(
     let mut start_buf: Vec<f64> = Vec::new();
     for i in 0..m {
         let arrival = instance.arrivals[i];
+        if arrival == 0.0 {
+            // Zero-demand front-end: the simplex of radius 0 is the
+            // singleton {0}; the row is already zero. Skipping the QP keeps
+            // this path bit-identical to the workspace/node short-circuit.
+            continue;
+        }
         let gamma = disutility_rank1_gamma(w, arrival);
         objective.set_rank1(gamma, &instance.latency_s[i]);
         for (j, cj) in c.iter_mut().enumerate() {

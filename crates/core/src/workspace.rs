@@ -223,6 +223,15 @@ impl LambdaQp {
         warm: Option<&[f64]>,
         out: &mut Vec<f64>,
     ) -> ufc_opt::Result<()> {
+        if self.arrival == 0.0 {
+            // Zero-demand front-end: the simplex of radius 0 is the
+            // singleton {0}. Short-circuiting keeps every engine (and the
+            // reference `lambda_step`) bit-identical and spares the QP an
+            // all-active degenerate working set.
+            out.clear();
+            out.resize(self.b_in.len(), 0.0);
+            return Ok(());
+        }
         self.objective.set_linear(c);
         let start = self.fill_start(warm);
         let x = match self.method {

@@ -227,6 +227,11 @@ impl FrontendNode {
     /// restricted λ-steps.
     fn solve_lambda_qp(&self, latencies: Vec<f64>, c: Vec<f64>) -> Vec<f64> {
         let k = latencies.len();
+        if self.arrival == 0.0 {
+            // Zero-demand front-end: the simplex is the singleton {0} —
+            // same short-circuit as the in-process λ-QP, bit for bit.
+            return vec![0.0; k];
+        }
         let gamma = disutility_rank1_gamma(self.weight_per_kserver, self.arrival);
         let objective = QuadObjective::diag_rank1(vec![self.rho; k], gamma, latencies, c, 0.0);
         let start = vec![self.arrival / k as f64; k];

@@ -37,6 +37,12 @@
 //!              picks the execution engine, `--check` validates the emitted
 //!              JSON and counter invariants
 //!   verify     self-test: centralized / in-memory / distributed agreement
+//!   fuzz       differential fuzzing of the whole solver stack: replays the
+//!              corpus under `--corpus DIR` (default `tests/corpus`), then
+//!              generates `--cases N` (default 500; `--quick` → 60) random
+//!              instances and cross-checks every engine plus the generic
+//!              matrix-form reference; failing cases are shrunk and written
+//!              to the corpus as permanent reproducers
 //!   all      everything above (except extensions)
 //! ```
 
@@ -57,6 +63,8 @@ struct Options {
     engine: String,
     check: bool,
     min_speedup: Option<f64>,
+    cases: Option<usize>,
+    corpus: PathBuf,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -72,6 +80,8 @@ fn parse_args() -> Result<Options, String> {
         engine: "inprocess".to_owned(),
         check: false,
         min_speedup: None,
+        cases: None,
+        corpus: PathBuf::from("tests/corpus"),
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -98,6 +108,14 @@ fn parse_args() -> Result<Options, String> {
                 opts.threads = v
                     .parse()
                     .map_err(|_| format!("bad --threads value {v:?}"))?;
+            }
+            "--cases" => {
+                let v = args.next().ok_or("--cases needs a value")?;
+                opts.cases = Some(v.parse().map_err(|_| format!("bad --cases value {v:?}"))?);
+            }
+            "--corpus" => {
+                let v = args.next().ok_or("--corpus needs a directory")?;
+                opts.corpus = PathBuf::from(v);
             }
             "--min-speedup" => {
                 let v = args.next().ok_or("--min-speedup needs a value")?;
@@ -202,6 +220,10 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     if opts.command == "verify" {
         matched = true;
         run_verify(opts, settings)?;
+    }
+    if opts.command == "fuzz" {
+        matched = true;
+        run_fuzz(opts)?;
     }
     if !matched {
         return Err(format!("unknown command {:?} (try `repro all`)", opts.command).into());
@@ -954,6 +976,43 @@ fn run_verify(opts: &Options, settings: AdmgSettings) -> Result<(), Box<dyn std:
     }
     println!("all paths agree.\n");
     Ok(())
+}
+
+fn run_fuzz(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    use ufc_experiments::{fuzz, sockets};
+
+    let cases = opts.cases.unwrap_or(if opts.quick { 60 } else { 500 });
+    // Socket legs need the ufc-node worker binary; skip them (they are a
+    // sampled subset anyway) when it is not built next to us.
+    let worker = sockets::locate_worker().ok();
+    println!(
+        "== Differential fuzzing: corpus {} + {cases} generated cases, seed {} ==",
+        opts.corpus.display(),
+        opts.seed
+    );
+    if worker.is_none() {
+        println!("(ufc-node worker not found; socket legs skipped)");
+    }
+    let report = fuzz::run(opts.seed, cases, &opts.corpus, worker.as_deref())?;
+    println!(
+        "corpus replayed: {}  generated: {}  solved: {}  rejected: {}  socket runs: {}",
+        report.corpus_replayed,
+        report.generated,
+        report.solved,
+        report.rejected,
+        report.socket_runs
+    );
+    if report.failures.is_empty() {
+        println!("no divergences.\n");
+        return Ok(());
+    }
+    for f in &report.failures {
+        eprintln!("FAIL [{}] {}: {}", f.kind, f.label, f.message);
+        if let Some(path) = &f.reproducer {
+            eprintln!("  reproducer: {}", path.display());
+        }
+    }
+    Err(format!("fuzzing found {} divergence(s)", report.failures.len()).into())
 }
 
 fn print_sweep(s: &sweep::Sweep, label: &str) {

@@ -1,0 +1,1066 @@
+//! Differential fuzzing of the whole solver stack (`repro fuzz`).
+//!
+//! The pipeline is **generator → engines → oracles → shrinker**
+//! (DESIGN.md §16):
+//!
+//! * the *generator* ([`ufc_model::generator`]) maps a seed to a whole
+//!   candidate instance plus solver knobs, deliberately covering the
+//!   degenerate corners (zero-demand front-ends, zero-capacity
+//!   datacenters, `p₀` below/above/crossing every grid price,
+//!   near-singular Hessians, infeasible totals);
+//! * the *engines* solve each valid case on the in-process solver (with
+//!   the sampled knob combination and again with reference knobs), the
+//!   lockstep and threaded runtimes, and — on a sampled subset — the
+//!   multi-process socket runtime;
+//! * the *oracles* cross-check bit-identity between engines,
+//!   tolerance-equality for the rank-1 KKT path, feasibility of the
+//!   polished point, the centralized QP's UFC value, the generic
+//!   matrix-form correction against the closed form, and that invalid
+//!   inputs are rejected with the **same typed error everywhere**;
+//! * the *shrinker* greedily simplifies any failing case (fewer
+//!   front-ends/datacenters, no storage, plainer tariffs, default knobs)
+//!   while the failure *kind* reproduces, and persists the minimal
+//!   reproducer to the corpus under `tests/corpus/`.
+//!
+//! Every corpus file replays deterministically — the
+//! `fuzz_corpus_replay` integration test re-checks each one on every
+//! `cargo test`, so a fuzz finding can never regress silently.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use ufc_core::{
+    centralized, correction, generic, AdmgSettings, AdmgSolver, AdmgState, CoreError, Strategy,
+};
+use ufc_distsim::{DistributedAdmg, Runtime, SocketOptions};
+use ufc_model::generator::{arbitrary_params, InstanceParams, SplitMix64};
+use ufc_model::{EmissionCostFn, StorageParams, UfcInstance};
+
+/// Relative UFC tolerance for the tolerance-equal knobs: rank-1 KKT
+/// (reorders floating-point work) and `cache = false` (cold starts shift
+/// the warm-started iterate stream within solver tolerance).
+const TOLERANT_REL_TOL: f64 = 1e-6;
+/// Relative UFC tolerance against the centralized QP oracle (same gate as
+/// `repro verify`).
+const CENTRAL_REL_TOL: f64 = 5e-3;
+/// Feasibility ceiling for the polished operating point.
+const FEASIBILITY_TOL: f64 = 1e-6;
+/// Component tolerance for the generic matrix-form correction oracle.
+const GENERIC_TOL: f64 = 1e-9;
+
+/// One fully-specified fuzz case: candidate instance parameters plus the
+/// sampled solver-knob combination. This is the unit of generation,
+/// checking, shrinking, and corpus persistence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzCase {
+    /// Candidate instance (possibly deliberately invalid).
+    pub params: InstanceParams,
+    /// Procurement strategy to solve.
+    pub strategy: Strategy,
+    /// Worker-thread count of the main leg (bit-identity knob).
+    pub threads: usize,
+    /// Factorization/warm-start caching (bit-identity knob).
+    pub cache: bool,
+    /// Rank-1 KKT updates (tolerance-equal knob).
+    pub rank1_kkt: bool,
+    /// Blocked factorization kernels (bit-identity knob).
+    pub blocked: bool,
+    /// Whether construction is expected to fail with a typed error.
+    pub expect_reject: bool,
+    /// Whether to also run the multi-process socket engine.
+    pub socket: bool,
+}
+
+/// What a clean case did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// The instance built and every engine/oracle agreed on the solution.
+    Solved,
+    /// The instance (or configuration) was rejected with the same typed
+    /// error everywhere.
+    Rejected,
+}
+
+/// A cross-check failure: a stable `kind` (the shrinker keeps a
+/// simplification only if the same kind reproduces) plus a full message.
+#[derive(Debug, Clone)]
+pub struct CaseFailure {
+    /// Stable failure class, e.g. `engine-divergence`, `oracle-central`.
+    pub kind: String,
+    /// Human-readable description with the offending values.
+    pub message: String,
+}
+
+fn fail(kind: &str, message: impl Into<String>) -> CaseFailure {
+    CaseFailure {
+        kind: kind.to_owned(),
+        message: message.into(),
+    }
+}
+
+/// Generates one fuzz case from a seed (pure and deterministic). The knob
+/// stream is decorrelated from the instance stream so the same instance
+/// shape appears under many knob combinations across seeds.
+#[must_use]
+pub fn arbitrary_case(seed: u64) -> FuzzCase {
+    let params = arbitrary_params(seed);
+    let mut rng = SplitMix64::new(seed ^ 0xA5A5_5A5A_0F0F_F0F0);
+    let threads = [1usize, 2, 4][rng.below(3)];
+    let cache = rng.chance(0.5);
+    let rank1_kkt = rng.chance(0.3);
+    let blocked = rng.chance(0.3);
+    let strategy = {
+        let r = rng.next_f64();
+        if r < 0.6 {
+            Strategy::Hybrid
+        } else if r < 0.85 {
+            Strategy::GridOnly
+        } else {
+            // Sampled even when fuel cells cannot cover peak demand: the
+            // typed `Unsupported` rejection must then agree across engines.
+            Strategy::FuelCellOnly
+        }
+    };
+    let expect_reject = params.build().is_err();
+    let socket = rng.chance(0.08);
+    FuzzCase {
+        params,
+        strategy,
+        threads,
+        cache,
+        rank1_kkt,
+        blocked,
+        expect_reject,
+        socket,
+    }
+}
+
+fn settings_for(case: &FuzzCase) -> AdmgSettings {
+    AdmgSettings::default()
+        .with_threads(case.threads)
+        .with_factorization_caching(case.cache)
+        .with_rank1_kkt(case.rank1_kkt)
+        .with_blocked_factorizations(case.blocked)
+}
+
+fn error_key(e: &CoreError) -> String {
+    // Variant-level identity: engines must agree on *what* failed; the
+    // NotConverged residual floats may differ in ulps between knob sets.
+    match e {
+        CoreError::NotConverged { .. } => "NotConverged".to_owned(),
+        other => other.to_string(),
+    }
+}
+
+fn rel_gap(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(1.0)
+}
+
+fn pseudo_random_state(inst: &UfcInstance, rng: &mut SplitMix64) -> AdmgState {
+    let mut s = AdmgState::zeros(inst);
+    for v in s
+        .lambda
+        .iter_mut()
+        .chain(s.mu.iter_mut())
+        .chain(s.nu.iter_mut())
+        .chain(s.d.iter_mut())
+        .chain(s.a.iter_mut())
+        .chain(s.phi.iter_mut())
+        .chain(s.varphi.iter_mut())
+    {
+        *v = rng.uniform(-1.0, 1.0);
+    }
+    s
+}
+
+/// Runs every engine and oracle on one case.
+///
+/// `worker` is the `ufc-node` binary for the socket engine; `None` skips
+/// socket legs (they are also skipped unless [`FuzzCase::socket`]).
+///
+/// # Errors
+///
+/// Returns a [`CaseFailure`] describing the first cross-check that broke.
+#[allow(clippy::too_many_lines)] // linear checklist: one oracle per block
+pub fn check_case(case: &FuzzCase, worker: Option<&Path>) -> Result<CaseOutcome, CaseFailure> {
+    // --- Construction must be deterministic, and match the expectation.
+    let first = case.params.build();
+    let second = case.params.build();
+    match (&first, &second) {
+        (Ok(a), Ok(b)) if a == b => {}
+        (Err(a), Err(b)) if a.to_string() == b.to_string() => {}
+        (a, b) => {
+            return Err(fail(
+                "nondeterministic-build",
+                format!("two builds of the same parameters disagree: {a:?} vs {b:?}"),
+            ));
+        }
+    }
+    let inst = match first {
+        Ok(inst) => {
+            if case.expect_reject {
+                return Err(fail(
+                    "expectation",
+                    "case expects a typed rejection but the instance built",
+                ));
+            }
+            inst
+        }
+        Err(e) => {
+            if case.expect_reject {
+                return Ok(CaseOutcome::Rejected);
+            }
+            return Err(fail(
+                "expectation",
+                format!("case expects a solution but construction failed: {e}"),
+            ));
+        }
+    };
+
+    let main_settings = settings_for(case);
+    // The bitwise knobs (threads, blocked) must not change a single bit;
+    // the reference leg therefore shares the tolerance-class knobs
+    // (cache, rank-1) and resets only the bitwise ones.
+    let ref_settings = main_settings
+        .with_threads(1)
+        .with_blocked_factorizations(false);
+    let mem = AdmgSolver::new(main_settings).solve(&inst, case.strategy);
+    let reference = AdmgSolver::new(ref_settings).solve(&inst, case.strategy);
+
+    let (mem, reference) = match (mem, reference) {
+        (Ok(m), Ok(r)) => (m, r),
+        (Err(a), Err(b)) => {
+            if error_key(&a) != error_key(&b) {
+                return Err(fail(
+                    "error-divergence",
+                    format!("knob sets reject differently: `{a}` vs `{b}`"),
+                ));
+            }
+            // The distributed engines must reject with the same error.
+            let dist = DistributedAdmg::new(main_settings);
+            for (name, run) in [
+                (
+                    "lockstep",
+                    dist.run(&inst, case.strategy, Runtime::Lockstep),
+                ),
+                (
+                    "threaded",
+                    dist.run(&inst, case.strategy, Runtime::Threaded),
+                ),
+            ] {
+                match run {
+                    Err(e) if error_key(&e) == error_key(&a) => {}
+                    Err(e) => {
+                        return Err(fail(
+                            "error-divergence",
+                            format!("{name} rejects with `{e}`, in-process with `{a}`"),
+                        ));
+                    }
+                    Ok(_) => {
+                        return Err(fail(
+                            "error-divergence",
+                            format!("{name} solves what the in-process engine rejects (`{a}`)"),
+                        ));
+                    }
+                }
+            }
+            return Ok(CaseOutcome::Rejected);
+        }
+        (a, b) => {
+            return Err(fail(
+                "error-divergence",
+                format!(
+                    "knob sets disagree about solvability: main {:?} vs reference {:?}",
+                    a.as_ref().map(|s| s.converged),
+                    b.as_ref().map(|s| s.converged),
+                ),
+            ));
+        }
+    };
+
+    // --- Knob contracts. Threads and blocked factorizations are bitwise
+    // knobs: flipping them must not change a single bit.
+    if mem.state != reference.state || mem.iterations != reference.iterations {
+        return Err(fail(
+            "knob-bitwise",
+            format!(
+                "threads={} blocked={} must be bit-identical to threads=1 blocked=false \
+                 (iterations {} vs {})",
+                case.threads, case.blocked, mem.iterations, reference.iterations
+            ),
+        ));
+    }
+    // Rank-1 KKT and cache=false are tolerance-equal to the default knobs
+    // (both legitimately reorder/restart floating-point work).
+    if case.rank1_kkt || !case.cache {
+        match AdmgSolver::new(AdmgSettings::default()).solve(&inst, case.strategy) {
+            Ok(default_run) => {
+                let gap = rel_gap(mem.breakdown.ufc(), default_run.breakdown.ufc());
+                if gap > TOLERANT_REL_TOL || mem.converged != default_run.converged {
+                    return Err(fail(
+                        "knob-tolerance",
+                        format!(
+                            "rank1={} cache={} drifts from defaults: UFC {} vs {} (rel \
+                             {gap:e}), converged {} vs {}",
+                            case.rank1_kkt,
+                            case.cache,
+                            mem.breakdown.ufc(),
+                            default_run.breakdown.ufc(),
+                            mem.converged,
+                            default_run.converged
+                        ),
+                    ));
+                }
+            }
+            Err(e) => {
+                return Err(fail(
+                    "knob-tolerance",
+                    format!("default knobs reject (`{e}`) what rank1/cache knobs solve"),
+                ));
+            }
+        }
+    }
+
+    // --- Engine bit-identity: lockstep and threaded runtimes, same knobs.
+    let dist = DistributedAdmg::new(main_settings);
+    for (name, run) in [
+        (
+            "lockstep",
+            dist.run(&inst, case.strategy, Runtime::Lockstep),
+        ),
+        (
+            "threaded",
+            dist.run(&inst, case.strategy, Runtime::Threaded),
+        ),
+    ] {
+        let rep = run.map_err(|e| {
+            fail(
+                "engine-divergence",
+                format!("{name} fails (`{e}`) where the in-process engine solves"),
+            )
+        })?;
+        if rep.iterations != mem.iterations
+            || rep.point != mem.point
+            || rep.converged != mem.converged
+        {
+            return Err(fail(
+                "engine-divergence",
+                format!(
+                    "{name} disagrees with in-process: iterations {} vs {}, UFC {} vs {}",
+                    rep.iterations,
+                    mem.iterations,
+                    rep.breakdown.ufc(),
+                    mem.breakdown.ufc()
+                ),
+            ));
+        }
+    }
+
+    // --- Socket engine on the sampled subset.
+    if case.socket {
+        if let Some(worker) = worker {
+            let rep = dist
+                .run_sockets(&inst, case.strategy, &SocketOptions::new(worker))
+                .map_err(|e| {
+                    fail(
+                        "engine-divergence",
+                        format!("socket engine fails (`{e}`) where in-process solves"),
+                    )
+                })?;
+            if rep.iterations != mem.iterations || rep.point != mem.point {
+                return Err(fail(
+                    "engine-divergence",
+                    format!(
+                        "socket engine disagrees with in-process: iterations {} vs {}, \
+                         UFC {} vs {}",
+                        rep.iterations,
+                        mem.iterations,
+                        rep.breakdown.ufc(),
+                        mem.breakdown.ufc()
+                    ),
+                ));
+            }
+        }
+    }
+
+    // --- Feasibility of the polished point.
+    let residual = mem.point.feasibility_residual(&inst);
+    if residual.is_nan() || residual > FEASIBILITY_TOL {
+        return Err(fail(
+            "oracle-feasibility",
+            format!("polished point violates constraints by {residual:e}"),
+        ));
+    }
+
+    // --- Centralized QP oracle (skips its typed unsupported corners:
+    // stepped tariffs; only meaningful against a converged ADM-G run).
+    // Storage instances are out of the oracle's scope: the assembled QP
+    // has no battery/ramp variables, so ADM-G's storage value legitimately
+    // beats it and the recovered point can violate ramp limits.
+    if mem.converged && inst.storage.is_none() {
+        // The ADMM backend can itself fail to converge on deliberately
+        // ill-conditioned instances; fall back to the exact dense
+        // active-set backend (fuzz instances are tiny, right at its scale)
+        // before declaring the oracle unavailable.
+        let central =
+            centralized::solve(&inst, case.strategy, centralized::Backend::Admm).or_else(|e| {
+                if matches!(e, CoreError::Unsupported { .. }) {
+                    Err(e)
+                } else {
+                    centralized::solve(&inst, case.strategy, centralized::Backend::ActiveSet)
+                }
+            });
+        // An Err here is an unsupported corner or an oracle that cannot
+        // answer (both backends failed): skip, the other oracles still
+        // apply.
+        if let Ok(cen) = central {
+            let gap = rel_gap(mem.breakdown.ufc(), cen.breakdown.ufc());
+            if gap > CENTRAL_REL_TOL {
+                return Err(fail(
+                    "oracle-central",
+                    format!(
+                        "UFC {} vs centralized {} (rel {gap:e})",
+                        mem.breakdown.ufc(),
+                        cen.breakdown.ufc()
+                    ),
+                ));
+            }
+        }
+    }
+
+    // --- Generic matrix-form correction oracle: one reference correction
+    // step from a pseudo-random iterate must match the closed form. The
+    // matrix-form reference models the 4-block core only, so storage
+    // instances (whose closed form corrects the extra `d` row) are out of
+    // its scope. An inactive block is pinned at zero in *both* iterates,
+    // matching the strategy restriction the solvers enforce.
+    if inst.storage.is_none() {
+        if let Ok((active_mu, active_nu)) = case.strategy.block_activation(&inst) {
+            let mut rng = SplitMix64::new(0x5EED ^ mem.iterations as u64);
+            let mut state = pseudo_random_state(&inst, &mut rng);
+            let mut tilde = pseudo_random_state(&inst, &mut rng);
+            if !active_mu {
+                state.mu.iter_mut().for_each(|v| *v = 0.0);
+                tilde.mu.iter_mut().for_each(|v| *v = 0.0);
+            }
+            if !active_nu {
+                state.nu.iter_mut().for_each(|v| *v = 0.0);
+                tilde.nu.iter_mut().for_each(|v| *v = 0.0);
+            }
+            match generic::correction_reference(&inst, &state, &tilde, 0.9, active_mu, active_nu) {
+                Ok(generic_state) => {
+                    let mut closed = state.clone();
+                    correction::gaussian_back_substitution(
+                        &inst,
+                        &mut closed,
+                        &tilde,
+                        0.9,
+                        active_mu,
+                        active_nu,
+                    );
+                    let pairs = generic_state
+                        .mu
+                        .iter()
+                        .zip(&closed.mu)
+                        .chain(generic_state.nu.iter().zip(&closed.nu))
+                        .chain(generic_state.a.iter().zip(&closed.a))
+                        .chain(generic_state.phi.iter().zip(&closed.phi))
+                        .chain(generic_state.varphi.iter().zip(&closed.varphi));
+                    for (k, (x, y)) in pairs.enumerate() {
+                        let diff = (x - y).abs();
+                        if diff.is_nan() || diff > GENERIC_TOL {
+                            return Err(fail(
+                                "oracle-generic",
+                                format!(
+                                    "matrix-form and closed-form corrections differ at \
+                                 component {k}: {x} vs {y}"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                // A typed numerical failure is a report, not an abort; the UFC
+                // structure should never produce one (Theorem 1).
+                Err(e) => {
+                    return Err(fail(
+                        "oracle-generic",
+                        format!("matrix-form reference failed: {e}"),
+                    ));
+                }
+            }
+        }
+    }
+
+    Ok(CaseOutcome::Solved)
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------------
+
+fn remove_frontend(p: &InstanceParams, i: usize) -> InstanceParams {
+    let mut q = p.clone();
+    q.arrivals.remove(i);
+    q.latency_s.remove(i);
+    q
+}
+
+fn remove_datacenter(p: &InstanceParams, j: usize) -> InstanceParams {
+    let mut q = p.clone();
+    q.capacities.remove(j);
+    q.alpha.remove(j);
+    q.beta.remove(j);
+    q.mu_max.remove(j);
+    q.grid_price.remove(j);
+    q.carbon_t_per_mwh.remove(j);
+    q.emission_cost.remove(j);
+    for row in &mut q.latency_s {
+        if j < row.len() {
+            row.remove(j);
+        }
+    }
+    if let Some(sp) = &mut q.storage {
+        for v in [
+            &mut sp.capacity_mwh,
+            &mut sp.charge_mwh,
+            &mut sp.charge_rate_mw,
+            &mut sp.discharge_rate_mw,
+            &mut sp.value_per_mwh,
+            &mut sp.ramp_mw,
+            &mut sp.mu_prev_mw,
+        ] {
+            if j < v.len() {
+                v.remove(j);
+            }
+        }
+    }
+    q
+}
+
+fn shrink_candidates(case: &FuzzCase) -> Vec<FuzzCase> {
+    let mut out = Vec::new();
+    let m = case.params.arrivals.len();
+    let n = case.params.capacities.len();
+    for i in 0..m {
+        if m > 1 {
+            let mut c = case.clone();
+            c.params = remove_frontend(&case.params, i);
+            out.push(c);
+        }
+    }
+    for j in 0..n {
+        if n > 1 {
+            let mut c = case.clone();
+            c.params = remove_datacenter(&case.params, j);
+            out.push(c);
+        }
+    }
+    if case.params.storage.is_some() {
+        let mut c = case.clone();
+        c.params.storage = None;
+        out.push(c);
+    }
+    if case
+        .params
+        .emission_cost
+        .iter()
+        .any(|v| !matches!(v, EmissionCostFn::Linear { .. }))
+    {
+        let mut c = case.clone();
+        for v in &mut c.params.emission_cost {
+            *v = EmissionCostFn::Linear { rate: 25.0 };
+        }
+        out.push(c);
+    }
+    if case.params.slot_hours != 1.0 {
+        let mut c = case.clone();
+        c.params.slot_hours = 1.0;
+        out.push(c);
+    }
+    // Knobs toward the defaults (kept only if the failure still fires).
+    if case.threads != 1 || case.rank1_kkt || case.blocked || !case.cache {
+        let mut c = case.clone();
+        c.threads = 1;
+        c.cache = true;
+        c.rank1_kkt = false;
+        c.blocked = false;
+        out.push(c);
+    }
+    if case.socket {
+        let mut c = case.clone();
+        c.socket = false;
+        out.push(c);
+    }
+    out
+}
+
+/// Greedily shrinks a failing case while the same failure *kind*
+/// reproduces. Returns the minimal reproducer (possibly the input itself).
+#[must_use]
+pub fn shrink_case(case: &FuzzCase, failure: &CaseFailure, worker: Option<&Path>) -> FuzzCase {
+    let mut best = case.clone();
+    loop {
+        let mut improved = false;
+        for cand in shrink_candidates(&best) {
+            if let Err(f) = check_case(&cand, worker) {
+                if f.kind == failure.kind {
+                    best = cand;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corpus codec — a line-oriented `key = value` text format. Floats are
+// written with `{:?}`, which round-trips f64 exactly (including `inf`).
+// ---------------------------------------------------------------------------
+
+fn write_vec(out: &mut String, key: &str, v: &[f64]) {
+    let joined = v
+        .iter()
+        .map(|x| format!("{x:?}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    let _ = writeln!(out, "{key} = {joined}");
+}
+
+fn emission_text(v: &EmissionCostFn) -> String {
+    match v {
+        EmissionCostFn::Linear { rate } => format!("linear {rate:?}"),
+        EmissionCostFn::Quadratic { linear, quad } => format!("quadratic {linear:?} {quad:?}"),
+        EmissionCostFn::Stepped { thresholds, rates } => {
+            let t = thresholds
+                .iter()
+                .map(|x| format!("{x:?}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            let r = rates
+                .iter()
+                .map(|x| format!("{x:?}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("stepped {t} {r}")
+        }
+    }
+}
+
+/// Serializes a case to the corpus text format. `note` becomes a leading
+/// comment (what failed, which seed produced it).
+#[must_use]
+pub fn encode_case(case: &FuzzCase, note: &str) -> String {
+    let mut out = String::new();
+    for line in note.lines() {
+        let _ = writeln!(out, "# {line}");
+    }
+    let _ = writeln!(out, "strategy = {:?}", case.strategy);
+    let _ = writeln!(out, "threads = {}", case.threads);
+    let _ = writeln!(out, "cache = {}", case.cache);
+    let _ = writeln!(out, "rank1_kkt = {}", case.rank1_kkt);
+    let _ = writeln!(out, "blocked = {}", case.blocked);
+    let _ = writeln!(out, "socket = {}", case.socket);
+    let _ = writeln!(
+        out,
+        "expect = {}",
+        if case.expect_reject {
+            "reject"
+        } else {
+            "solve"
+        }
+    );
+    let p = &case.params;
+    write_vec(&mut out, "arrivals", &p.arrivals);
+    write_vec(&mut out, "capacities", &p.capacities);
+    write_vec(&mut out, "alpha", &p.alpha);
+    write_vec(&mut out, "beta", &p.beta);
+    write_vec(&mut out, "mu_max", &p.mu_max);
+    write_vec(&mut out, "grid_price", &p.grid_price);
+    let _ = writeln!(out, "fuel_cell_price = {:?}", p.fuel_cell_price);
+    write_vec(&mut out, "carbon", &p.carbon_t_per_mwh);
+    for row in &p.latency_s {
+        write_vec(&mut out, "latency_row", row);
+    }
+    let _ = writeln!(out, "weight_per_server = {:?}", p.weight_per_server);
+    for v in &p.emission_cost {
+        let _ = writeln!(out, "emission = {}", emission_text(v));
+    }
+    let _ = writeln!(out, "slot_hours = {:?}", p.slot_hours);
+    if let Some(sp) = &p.storage {
+        write_vec(&mut out, "storage_capacity_mwh", &sp.capacity_mwh);
+        write_vec(&mut out, "storage_charge_mwh", &sp.charge_mwh);
+        write_vec(&mut out, "storage_charge_rate_mw", &sp.charge_rate_mw);
+        write_vec(&mut out, "storage_discharge_rate_mw", &sp.discharge_rate_mw);
+        write_vec(&mut out, "storage_value_per_mwh", &sp.value_per_mwh);
+        let _ = writeln!(out, "storage_degradation = {:?}", sp.degradation_per_mwh);
+        write_vec(&mut out, "storage_ramp_mw", &sp.ramp_mw);
+        write_vec(&mut out, "storage_mu_prev_mw", &sp.mu_prev_mw);
+    }
+    out
+}
+
+fn parse_f64(s: &str) -> Result<f64, String> {
+    s.parse::<f64>()
+        .map_err(|e| format!("bad float {s:?}: {e}"))
+}
+
+fn parse_vec(s: &str) -> Result<Vec<f64>, String> {
+    s.split_whitespace().map(parse_f64).collect()
+}
+
+fn parse_emission(s: &str) -> Result<EmissionCostFn, String> {
+    let mut parts = s.split_whitespace();
+    match parts.next() {
+        Some("linear") => Ok(EmissionCostFn::Linear {
+            rate: parse_f64(parts.next().ok_or("linear tax needs a rate")?)?,
+        }),
+        Some("quadratic") => Ok(EmissionCostFn::Quadratic {
+            linear: parse_f64(parts.next().ok_or("quadratic tax needs two coefficients")?)?,
+            quad: parse_f64(parts.next().ok_or("quadratic tax needs two coefficients")?)?,
+        }),
+        Some("stepped") => {
+            let t = parts
+                .next()
+                .ok_or("stepped tax needs thresholds and rates")?;
+            let r = parts
+                .next()
+                .ok_or("stepped tax needs thresholds and rates")?;
+            Ok(EmissionCostFn::Stepped {
+                thresholds: t.split(',').map(parse_f64).collect::<Result<_, _>>()?,
+                rates: r.split(',').map(parse_f64).collect::<Result<_, _>>()?,
+            })
+        }
+        other => Err(format!("unknown emission shape {other:?}")),
+    }
+}
+
+/// Parses a corpus text file back into a case.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line or missing field.
+#[allow(clippy::too_many_lines)] // one match arm per corpus key
+pub fn decode_case(text: &str) -> Result<FuzzCase, String> {
+    let mut strategy = None;
+    let mut threads = 1usize;
+    let (mut cache, mut rank1_kkt, mut blocked, mut socket) = (true, false, false, false);
+    let mut expect_reject = None;
+    let mut fields: std::collections::HashMap<&str, Vec<f64>> = std::collections::HashMap::new();
+    let mut latency_rows: Vec<Vec<f64>> = Vec::new();
+    let mut emissions: Vec<EmissionCostFn> = Vec::new();
+    let (mut fuel_cell_price, mut weight, mut slot_hours, mut degradation) =
+        (None, None, None, None);
+
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line without `=`: {line:?}"))?;
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "strategy" => {
+                strategy = Some(match value {
+                    "Hybrid" => Strategy::Hybrid,
+                    "GridOnly" => Strategy::GridOnly,
+                    "FuelCellOnly" => Strategy::FuelCellOnly,
+                    other => return Err(format!("unknown strategy {other:?}")),
+                });
+            }
+            "threads" => threads = value.parse().map_err(|e| format!("threads: {e}"))?,
+            "cache" => cache = value.parse().map_err(|e| format!("cache: {e}"))?,
+            "rank1_kkt" => rank1_kkt = value.parse().map_err(|e| format!("rank1_kkt: {e}"))?,
+            "blocked" => blocked = value.parse().map_err(|e| format!("blocked: {e}"))?,
+            "socket" => socket = value.parse().map_err(|e| format!("socket: {e}"))?,
+            "expect" => {
+                expect_reject = Some(match value {
+                    "reject" => true,
+                    "solve" => false,
+                    other => return Err(format!("expect must be solve|reject, got {other:?}")),
+                });
+            }
+            "latency_row" => latency_rows.push(parse_vec(value)?),
+            "emission" => emissions.push(parse_emission(value)?),
+            "fuel_cell_price" => fuel_cell_price = Some(parse_f64(value)?),
+            "weight_per_server" => weight = Some(parse_f64(value)?),
+            "slot_hours" => slot_hours = Some(parse_f64(value)?),
+            "storage_degradation" => degradation = Some(parse_f64(value)?),
+            "arrivals"
+            | "capacities"
+            | "alpha"
+            | "beta"
+            | "mu_max"
+            | "grid_price"
+            | "carbon"
+            | "storage_capacity_mwh"
+            | "storage_charge_mwh"
+            | "storage_charge_rate_mw"
+            | "storage_discharge_rate_mw"
+            | "storage_value_per_mwh"
+            | "storage_ramp_mw"
+            | "storage_mu_prev_mw" => {
+                fields.insert(key, parse_vec(value)?);
+            }
+            other => return Err(format!("unknown corpus key {other:?}")),
+        }
+    }
+
+    let has_storage = fields.contains_key("storage_capacity_mwh");
+    let mut take =
+        |k: &str| -> Result<Vec<f64>, String> { fields.remove(k).ok_or(format!("missing {k}")) };
+    let params = InstanceParams {
+        arrivals: take("arrivals")?,
+        capacities: take("capacities")?,
+        alpha: take("alpha")?,
+        beta: take("beta")?,
+        mu_max: take("mu_max")?,
+        grid_price: take("grid_price")?,
+        fuel_cell_price: fuel_cell_price.ok_or("missing fuel_cell_price")?,
+        carbon_t_per_mwh: take("carbon")?,
+        latency_s: latency_rows,
+        weight_per_server: weight.ok_or("missing weight_per_server")?,
+        emission_cost: emissions,
+        slot_hours: slot_hours.ok_or("missing slot_hours")?,
+        storage: if has_storage {
+            Some(StorageParams {
+                capacity_mwh: take("storage_capacity_mwh")?,
+                charge_mwh: take("storage_charge_mwh")?,
+                charge_rate_mw: take("storage_charge_rate_mw")?,
+                discharge_rate_mw: take("storage_discharge_rate_mw")?,
+                value_per_mwh: take("storage_value_per_mwh")?,
+                degradation_per_mwh: degradation.ok_or("missing storage_degradation")?,
+                ramp_mw: take("storage_ramp_mw")?,
+                mu_prev_mw: take("storage_mu_prev_mw")?,
+            })
+        } else {
+            None
+        },
+    };
+    Ok(FuzzCase {
+        params,
+        strategy: strategy.ok_or("missing strategy")?,
+        threads,
+        cache,
+        rank1_kkt,
+        blocked,
+        expect_reject: expect_reject.ok_or("missing expect")?,
+        socket,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// One recorded failure of a fuzz run.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// Where the failing case came from (a seed, or a corpus file name).
+    pub label: String,
+    /// Stable failure class.
+    pub kind: String,
+    /// Full description.
+    pub message: String,
+    /// Shrunk reproducer persisted to the corpus, when one was written.
+    pub reproducer: Option<PathBuf>,
+}
+
+/// Aggregate results of one fuzz run.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Corpus files replayed (all must pass).
+    pub corpus_replayed: usize,
+    /// Freshly generated cases checked.
+    pub generated: usize,
+    /// Cases that solved on every engine.
+    pub solved: usize,
+    /// Cases rejected with an identical typed error everywhere.
+    pub rejected: usize,
+    /// Cases that exercised the multi-process socket engine.
+    pub socket_runs: usize,
+    /// Cross-check failures (empty on a clean run).
+    pub failures: Vec<FuzzFailure>,
+}
+
+/// Replays the corpus under `corpus_dir`, then generates and checks
+/// `cases` fresh cases from `seed`. Failing generated cases are shrunk and
+/// persisted to the corpus as `fuzz-<seed>.case` so they become permanent
+/// regression tests.
+///
+/// `worker` enables the socket-engine legs when the `ufc-node` binary is
+/// available.
+///
+/// # Errors
+///
+/// Propagates corpus-directory I/O failures. Cross-check failures are
+/// *reported* in the returned [`FuzzReport`], not raised as errors.
+pub fn run(
+    seed: u64,
+    cases: usize,
+    corpus_dir: &Path,
+    worker: Option<&Path>,
+) -> std::io::Result<FuzzReport> {
+    let mut report = FuzzReport::default();
+
+    // --- Corpus replay first: past findings must stay fixed.
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(corpus_dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "case"))
+            .collect(),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    paths.sort();
+    for path in paths {
+        let label = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let text = std::fs::read_to_string(&path)?;
+        report.corpus_replayed += 1;
+        match decode_case(&text) {
+            Ok(case) => {
+                if let Err(f) = check_case(&case, worker) {
+                    report.failures.push(FuzzFailure {
+                        label,
+                        kind: f.kind,
+                        message: f.message,
+                        reproducer: Some(path),
+                    });
+                } else {
+                    bump(&mut report, &case);
+                }
+            }
+            Err(e) => report.failures.push(FuzzFailure {
+                label,
+                kind: "corpus-decode".to_owned(),
+                message: e,
+                reproducer: Some(path),
+            }),
+        }
+    }
+
+    // --- Fresh cases.
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..cases {
+        let case_seed = rng.next_u64();
+        let case = arbitrary_case(case_seed);
+        report.generated += 1;
+        match check_case(&case, worker) {
+            Ok(_) => bump(&mut report, &case),
+            Err(f) => {
+                let shrunk = shrink_case(&case, &f, worker);
+                let shrunk_failure = match check_case(&shrunk, worker) {
+                    Err(sf) => sf,
+                    Ok(_) => f.clone(), // shrinker raced a nondeterminism; keep the original
+                };
+                let note = format!(
+                    "repro fuzz reproducer — seed {case_seed:#018x}\nkind: {}\n{}",
+                    shrunk_failure.kind, shrunk_failure.message
+                );
+                let path = corpus_dir.join(format!("fuzz-{case_seed:016x}.case"));
+                std::fs::create_dir_all(corpus_dir)?;
+                std::fs::write(&path, encode_case(&shrunk, &note))?;
+                report.failures.push(FuzzFailure {
+                    label: format!("seed {case_seed:#018x}"),
+                    kind: shrunk_failure.kind,
+                    message: shrunk_failure.message,
+                    reproducer: Some(path),
+                });
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn bump(report: &mut FuzzReport, case: &FuzzCase) {
+    if case.expect_reject {
+        report.rejected += 1;
+    } else {
+        report.solved += 1;
+        if case.socket {
+            report.socket_runs += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trips_generated_cases() {
+        for seed in 0..60u64 {
+            let case = arbitrary_case(seed);
+            let text = encode_case(&case, "round-trip test");
+            let back = decode_case(&text).unwrap();
+            assert_eq!(case, back, "seed {seed} did not round-trip:\n{text}");
+        }
+    }
+
+    #[test]
+    fn check_case_accepts_a_known_good_seed() {
+        // Scan a few seeds for one that builds, then check it end to end
+        // (sockets off — no worker binary in unit tests).
+        let seed = (0..64u64)
+            .find(|&s| {
+                let c = arbitrary_case(s);
+                !c.expect_reject && !c.socket
+            })
+            .expect("some seed must build");
+        let case = arbitrary_case(seed);
+        assert_eq!(check_case(&case, None).unwrap(), CaseOutcome::Solved);
+    }
+
+    #[test]
+    fn rejection_cases_report_rejected() {
+        let seed = (0..512u64)
+            .find(|&s| arbitrary_case(s).expect_reject)
+            .expect("some seed must be rejected");
+        let case = arbitrary_case(seed);
+        assert_eq!(check_case(&case, None).unwrap(), CaseOutcome::Rejected);
+    }
+
+    #[test]
+    fn wrong_expectation_is_a_typed_failure() {
+        let seed = (0..64u64)
+            .find(|&s| !arbitrary_case(s).expect_reject)
+            .unwrap();
+        let mut case = arbitrary_case(seed);
+        case.expect_reject = true;
+        let f = check_case(&case, None).unwrap_err();
+        assert_eq!(f.kind, "expectation");
+    }
+
+    #[test]
+    fn shrinker_minimizes_an_expectation_failure() {
+        // Force a failure whose kind survives any shrink that keeps the
+        // instance buildable: claim a buildable case must be rejected.
+        let seed = (0..256u64)
+            .find(|&s| {
+                let c = arbitrary_case(s);
+                !c.expect_reject && c.params.arrivals.len() > 1 && c.params.capacities.len() > 1
+            })
+            .unwrap();
+        let mut case = arbitrary_case(seed);
+        case.expect_reject = true;
+        let f = check_case(&case, None).unwrap_err();
+        let shrunk = shrink_case(&case, &f, None);
+        // Front-end removal never affects buildability, so it always
+        // shrinks to a single front-end; datacenter removal can flip the
+        // instance infeasible (which changes the failure kind), so the
+        // shrinker keeps only the steps that stay buildable.
+        assert_eq!(shrunk.params.arrivals.len(), 1);
+        assert!(shrunk.params.capacities.len() <= case.params.capacities.len());
+        assert!(shrunk.params.storage.is_none());
+        // The shrunk case still fails the same way.
+        assert_eq!(check_case(&shrunk, None).unwrap_err().kind, "expectation");
+    }
+}

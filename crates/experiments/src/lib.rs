@@ -21,6 +21,7 @@
 //! | solver hot-path wall-clock | [`solver_bench`] | `bench` |
 //! | run-telemetry JSONL trace | [`trace`] | `trace` |
 //! | §II temporal-decoupling assumption | [`storage`] | `storage` |
+//! | differential fuzzing (DESIGN.md §16) | [`fuzz`] | `fuzz` |
 //!
 //! Every experiment is a pure function returning a data struct; the `repro`
 //! binary renders those as aligned text and optional CSV. Benches re-run
@@ -34,6 +35,7 @@ pub mod chaos;
 pub mod convergence;
 pub mod faults;
 pub mod fig3;
+pub mod fuzz;
 pub mod parallel;
 pub mod report;
 pub mod robustness;

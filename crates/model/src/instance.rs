@@ -8,9 +8,10 @@ use crate::{DatacenterSpec, EmissionCostFn, ModelError, Result};
 /// cell capacities and price, grid prices, carbon rates, latencies, the
 /// latency weight `w`, and the per-datacenter emission-cost functions `V_j`.
 ///
-/// Invariants are validated at construction: consistent dimensions, positive
-/// arrivals/capacities, total capacity covering total arrivals, nonnegative
-/// prices, `PUE`-derived coefficients positive, latencies nonnegative.
+/// Invariants are validated at construction: consistent dimensions,
+/// nonnegative arrivals, positive capacities, total capacity covering total
+/// arrivals, nonnegative prices, `PUE`-derived coefficients positive,
+/// latencies nonnegative.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UfcInstance {
     /// Per-front-end arrivals `A_i` in kilo-servers (length `M`).
@@ -127,8 +128,10 @@ impl UfcInstance {
                 return Err(ModelError::param(format!("{name} must be finite")));
             }
         }
-        if arrivals.iter().any(|&a| a <= 0.0) {
-            return Err(ModelError::param("arrivals must be positive"));
+        // Zero is allowed: a front-end with no demand routes nothing and
+        // contributes zero utility; the solvers handle λ_i ≡ 0 exactly.
+        if arrivals.iter().any(|&a| a < 0.0) {
+            return Err(ModelError::param("arrivals cannot be negative"));
         }
         if capacities.iter().any(|&s| s <= 0.0) {
             return Err(ModelError::param("capacities must be positive"));
@@ -370,8 +373,9 @@ mod tests {
     fn rejects_bad_values() {
         let i = tiny();
         for (arr, cap) in [
-            (vec![0.0, 1.0], i.capacities.clone()),
+            (vec![-1.0, 1.0], i.capacities.clone()),
             (i.arrivals.clone(), vec![-1.0, 5.0]),
+            (i.arrivals.clone(), vec![0.0, 5.0]),
         ] {
             let r = UfcInstance::new(
                 arr,
@@ -424,6 +428,29 @@ mod tests {
                 "NaN/Inf ingress must be a typed error, got {r:?}"
             );
         }
+    }
+
+    /// Zero-demand front-ends are valid instances (fuzz-surfaced
+    /// degenerate case): they route nothing and must not be rejected.
+    #[test]
+    fn accepts_zero_demand_frontend() {
+        let i = tiny();
+        let inst = UfcInstance::new(
+            vec![0.0, 2.0],
+            i.capacities.clone(),
+            i.alpha.clone(),
+            i.beta.clone(),
+            i.mu_max.clone(),
+            i.grid_price.clone(),
+            i.fuel_cell_price,
+            i.carbon_t_per_mwh.clone(),
+            i.latency_s.clone(),
+            i.weight_per_server,
+            i.emission_cost.clone(),
+            i.slot_hours,
+        )
+        .unwrap();
+        assert_eq!(inst.total_arrivals(), 2.0);
     }
 
     #[test]

@@ -43,6 +43,7 @@
 mod datacenter;
 mod emission;
 mod error;
+pub mod generator;
 mod instance;
 mod operating_point;
 mod power;

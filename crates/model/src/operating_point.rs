@@ -243,7 +243,12 @@ pub fn evaluate(instance: &UfcInstance, point: &OperatingPoint) -> Result<UfcBre
                 instance.arrivals[i],
             );
     }
-    let average_latency_s = weighted_latency / instance.total_arrivals();
+    let total_arrivals = instance.total_arrivals();
+    let average_latency_s = if total_arrivals > 0.0 {
+        weighted_latency / total_arrivals
+    } else {
+        0.0
+    };
 
     // Energy + carbon.
     let h = instance.slot_hours;

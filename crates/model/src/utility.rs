@@ -14,27 +14,37 @@
 /// (seconds); `arrival` is `A_i` (same workload unit as `lambda`). Returns
 /// utility in (workload-unit)·s²; multiply by the weight `w` to get dollars.
 ///
+/// A zero-demand front-end (`arrival == 0`) routes no traffic, so its
+/// utility is exactly `0` — the `A → 0⁺` limit with the feasible `λ ≡ 0`.
+///
 /// # Panics
 ///
-/// Panics if lengths differ or `arrival <= 0`.
+/// Panics if lengths differ or `arrival < 0`.
 #[must_use]
 pub fn quadratic_utility(lambda: &[f64], latency: &[f64], arrival: f64) -> f64 {
     assert_eq!(lambda.len(), latency.len(), "row length mismatch");
-    assert!(arrival > 0.0, "arrival must be positive, got {arrival}");
+    assert!(arrival >= 0.0, "arrival must be nonnegative, got {arrival}");
+    if arrival == 0.0 {
+        return 0.0;
+    }
     let weighted: f64 = lambda.iter().zip(latency).map(|(l, t)| l * t).sum();
     -(weighted * weighted) / arrival
 }
 
 /// Average propagation latency (seconds) experienced by a front-end:
-/// `Σⱼ λⱼ·Lⱼ / A`.
+/// `Σⱼ λⱼ·Lⱼ / A`. A zero-demand front-end serves no requests, so its
+/// average latency is reported as `0`.
 ///
 /// # Panics
 ///
-/// Panics if lengths differ or `arrival <= 0`.
+/// Panics if lengths differ or `arrival < 0`.
 #[must_use]
 pub fn average_latency(lambda: &[f64], latency: &[f64], arrival: f64) -> f64 {
     assert_eq!(lambda.len(), latency.len(), "row length mismatch");
-    assert!(arrival > 0.0, "arrival must be positive, got {arrival}");
+    assert!(arrival >= 0.0, "arrival must be nonnegative, got {arrival}");
+    if arrival == 0.0 {
+        return 0.0;
+    }
     lambda.iter().zip(latency).map(|(l, t)| l * t).sum::<f64>() / arrival
 }
 
@@ -44,13 +54,20 @@ pub fn average_latency(lambda: &[f64], latency: &[f64], arrival: f64) -> f64 {
 /// Used by the solver to assemble the λ-sub-problem Hessian
 /// `ρI + γ·L Lᵀ` without materializing a matrix.
 ///
+/// A zero-demand front-end has the single feasible point `λ ≡ 0`, where
+/// the disutility is `0` regardless of curvature; `γ = 0` is returned so
+/// the assembled Hessian stays finite.
+///
 /// # Panics
 ///
-/// Panics if `arrival <= 0` or `weight < 0`.
+/// Panics if `arrival < 0` or `weight < 0`.
 #[must_use]
 pub fn disutility_rank1_gamma(weight: f64, arrival: f64) -> f64 {
-    assert!(arrival > 0.0, "arrival must be positive, got {arrival}");
+    assert!(arrival >= 0.0, "arrival must be nonnegative, got {arrival}");
     assert!(weight >= 0.0, "weight must be nonnegative, got {weight}");
+    if arrival == 0.0 {
+        return 0.0;
+    }
     2.0 * weight / arrival
 }
 
@@ -110,8 +127,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "arrival must be positive")]
-    fn rejects_zero_arrival() {
-        let _ = quadratic_utility(&[1.0], &[0.01], 0.0);
+    #[should_panic(expected = "arrival must be nonnegative")]
+    fn rejects_negative_arrival() {
+        let _ = quadratic_utility(&[1.0], &[0.01], -1.0);
+    }
+
+    /// Zero-demand front-ends (a fuzz-surfaced degenerate case) are exact
+    /// limits, not panics: zero utility, zero latency, zero curvature.
+    #[test]
+    fn zero_arrival_is_the_exact_limit() {
+        assert_eq!(quadratic_utility(&[0.0, 0.0], &[0.01, 0.02], 0.0), 0.0);
+        assert_eq!(average_latency(&[0.0, 0.0], &[0.01, 0.02], 0.0), 0.0);
+        assert_eq!(disutility_rank1_gamma(10.0, 0.0), 0.0);
     }
 }

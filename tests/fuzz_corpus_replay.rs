@@ -1,0 +1,70 @@
+//! Deterministic replay of the checked-in fuzz corpus.
+//!
+//! Every `.case` file under `tests/corpus/` is a minimal reproducer of a
+//! bug the differential fuzzer once found (or a hand-written degenerate
+//! corner worth pinning). This test re-solves each one across every
+//! engine and oracle on every `cargo test`, so a fuzz finding can never
+//! regress silently. Add new findings by dropping their shrunk `.case`
+//! file in the corpus directory — no code change needed.
+
+use std::path::PathBuf;
+
+use ufc_experiments::fuzz::{check_case, decode_case, CaseOutcome};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus must exist")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_nonempty() {
+    assert!(
+        !corpus_files().is_empty(),
+        "the checked-in corpus should contain at least the hand-written seeds"
+    );
+}
+
+#[test]
+fn every_corpus_case_replays_clean() {
+    // Cargo builds crate binaries for integration tests, so the socket
+    // legs run against the real multi-process worker.
+    let worker = PathBuf::from(env!("CARGO_BIN_EXE_ufc-node"));
+    for path in corpus_files() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let case =
+            decode_case(&text).unwrap_or_else(|e| panic!("{name}: malformed corpus file: {e}"));
+        match check_case(&case, Some(&worker)) {
+            Ok(outcome) => {
+                let expected = if case.expect_reject {
+                    CaseOutcome::Rejected
+                } else {
+                    CaseOutcome::Solved
+                };
+                assert_eq!(outcome, expected, "{name}: outcome drifted");
+            }
+            Err(f) => panic!("{name}: [{}] {}", f.kind, f.message),
+        }
+    }
+}
+
+#[test]
+fn corpus_files_round_trip_through_the_codec() {
+    use ufc_experiments::fuzz::encode_case;
+    for path in corpus_files() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let case = decode_case(&text).unwrap();
+        let re = decode_case(&encode_case(&case, "round-trip")).unwrap();
+        assert_eq!(case, re, "{name}: encode/decode not a fixed point");
+    }
+}
