@@ -74,6 +74,17 @@ pub enum CoreError {
         /// What failed (checksum values, exhausted attempts, framing).
         context: String,
     },
+    /// A peer failed transport authentication before any iteration state
+    /// was exchanged: wrong shared key, replayed or truncated handshake,
+    /// downgrade to the unauthenticated hello, or a run-config digest
+    /// mismatch.
+    Unauthorized {
+        /// Which peer or endpoint rejected the exchange (e.g.
+        /// `worker-3`, `acceptor`).
+        peer: String,
+        /// What failed (mac mismatch, downgrade, stale nonce, digest skew).
+        context: String,
+    },
     /// The iterate stream diverged: a non-finite value entered the state, or
     /// the residuals exploded past the divergence gate's threshold for its
     /// full patience window.
@@ -125,6 +136,9 @@ impl fmt::Display for CoreError {
                 f,
                 "corrupt payload on {node} at iteration {iteration}: {context}"
             ),
+            CoreError::Unauthorized { peer, context } => {
+                write!(f, "unauthorized peer {peer}: {context}")
+            }
             CoreError::Divergence {
                 phase,
                 iteration,
@@ -216,6 +230,14 @@ impl CoreError {
         }
     }
 
+    /// Builds a [`CoreError::Unauthorized`].
+    pub fn unauthorized(peer: impl Into<String>, context: impl Into<String>) -> Self {
+        CoreError::Unauthorized {
+            peer: peer.into(),
+            context: context.into(),
+        }
+    }
+
     /// Builds a [`CoreError::Divergence`] without a blamed node.
     pub fn divergence(
         phase: impl Into<String>,
@@ -300,5 +322,13 @@ mod tests {
         let e = CoreError::divergence_at("step_datacenters", 7, "datacenter[1]", "ν became +inf");
         assert!(e.to_string().contains("datacenter[1]"));
         assert!(e.to_string().contains("step_datacenters"));
+    }
+
+    #[test]
+    fn unauthorized_displays_peer_and_context() {
+        let e = CoreError::unauthorized("worker-3", "handshake mac mismatch");
+        assert!(e.to_string().contains("worker-3"));
+        assert!(e.to_string().contains("mac mismatch"));
+        assert!(e.to_string().contains("unauthorized"));
     }
 }

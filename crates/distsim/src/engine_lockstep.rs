@@ -318,7 +318,7 @@ impl Transport for LockstepTransport<'_> {
                     }
                     let mut replayed = 0usize;
                     for entry in replay_entries(&self.history, base, k) {
-                        node.predict_lambda();
+                        node.predict_lambda()?;
                         node.receive_a_and_correct(&row_of(&entry.a_cols, i));
                         replayed += 1;
                     }
@@ -333,9 +333,13 @@ impl Transport for LockstepTransport<'_> {
                 }
             }
         }
+        // Gather in index order so a poisoned iterate surfaces as the
+        // lowest-indexed node's typed error, matching the threaded engine.
         let mut rows = self
             .pool
-            .map_mut(&mut self.frontends, |_, fe| fe.predict_lambda());
+            .map_mut(&mut self.frontends, |_, fe| fe.predict_lambda())
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
         let phase_max = record_lambda_traffic(
             &mut self.stats,
             &mut self.tracker,
@@ -381,7 +385,7 @@ impl Transport for LockstepTransport<'_> {
                     }
                     let mut replayed = 0usize;
                     for entry in replay_entries(&self.history, base, k) {
-                        node.process(&column_of(&entry.rows, j));
+                        node.process(&column_of(&entry.rows, j))?;
                         replayed += 1;
                     }
                     self.tracker.report.recomputed_iterations += replayed;
@@ -413,7 +417,11 @@ impl Transport for LockstepTransport<'_> {
         self.dc_residuals = vec![None; n];
         let mut phase_max = 1usize;
         for (j, step) in steps.into_iter().enumerate() {
-            let Some(mut step) = step else { continue };
+            // `transpose` surfaces a poisoned iterate as the lowest-indexed
+            // datacenter's typed error (index-order gather).
+            let Some(mut step) = step.transpose()? else {
+                continue;
+            };
             phase_max = phase_max.max(record_a_traffic(
                 &mut self.stats,
                 &mut self.tracker,

@@ -2,15 +2,33 @@
 //! driver (`ufc_core::engine::drive`).
 //!
 //! Each worker is a real OS process (the `ufc-node` binary, running
-//! [`crate::worker::run_worker`]) connected to the coordinator over TCP on
-//! loopback. The coordinator accepts connections on a background acceptor
-//! thread, validates the `Hello` handshake (session id, process slot,
-//! incarnation), answers with the serialized run configuration, and spawns
-//! one I/O pump thread per connection that reassembles wire frames
-//! ([`crate::wire::FrameBuffer`]) and feeds decoded replies into the same
-//! mpsc channel the threaded engine's `gather_phase` ladder drains — the
-//! deadline ladder, fault tracker, checkpoint store, and replay buffer are
-//! shared with `crate::engine_threaded` verbatim.
+//! [`crate::worker::run_worker`]) connected to the coordinator over TCP —
+//! loopback by default, or any [`crate::wire::BindConfig`] listen address
+//! when a shared [`crate::wire::AuthKey`] is configured. The coordinator
+//! accepts connections on a background acceptor thread, validates the
+//! handshake (a `Hello` session check on loopback; a challenge–response
+//! keyed MAC when authentication is on — see DESIGN.md §17), answers with
+//! the serialized run configuration, and spawns one I/O pump thread per
+//! connection that reassembles wire frames ([`crate::wire::FrameBuffer`])
+//! and feeds decoded replies into the same mpsc channel the threaded
+//! engine's `gather_phase` ladder drains — the deadline ladder, fault
+//! tracker, checkpoint store, and replay buffer are shared with
+//! `crate::engine_threaded` verbatim. A hostile peer (wrong key, replayed
+//! or truncated handshake, downgrade attempt) is dropped before any
+//! iteration state is exchanged and the acceptor keeps serving honest
+//! workers.
+//!
+//! A [`crate::fault::CorruptionConfig`] pinned to a wire-level
+//! [`crate::fault::CorruptionKind`] arms seeded [`WireChaos`] interceptors
+//! at the coordinator's side of every connection — conceptually the
+//! coordinator's NIC boundary, covering both directions: outgoing command
+//! frames and incoming reply payloads. Truncated frames keep a coherent
+//! length prefix but an impossible CRC, so the receiver `Nak`s and the
+//! sender retransmits the cached clean bytes; duplicates are absorbed by
+//! the receivers' duplicate guards; reordered replies are held and
+//! delivered after their successor. The iterate stream therefore stays
+//! bit-identical to a clean run while every injection is counted and
+//! detected.
 //!
 //! Faults here are real: a scripted crash is a `SIGKILL` delivered to the
 //! live worker process mid-iteration (`Child::kill`), a partition window
@@ -25,18 +43,18 @@
 
 use std::cell::RefCell;
 use std::collections::HashSet;
-use std::io::Read;
+use std::io::{ErrorKind, Read};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use ufc_core::engine::{drive, BlockResiduals, IterationObserver, Transport};
-use ufc_core::telemetry::{ObserverChain, TelemetryCollector, TrafficCounters};
+use ufc_core::telemetry::{IntegrityCounters, ObserverChain, TelemetryCollector, TrafficCounters};
 use ufc_core::{AdmgSettings, BlockKind, BlockSchedule, CoreError};
 use ufc_model::UfcInstance;
 
@@ -44,14 +62,20 @@ use crate::coordinator::{
     account_stragglers, column_of, finish, max_latency, record_a_traffic, record_control,
     record_lambda_traffic, reduce_residuals, replay_entries, row_of, HistoryEntry,
 };
-use crate::fault::{FaultPlan, FaultTracker, IntegrityState, NodeId, Resolution};
+use crate::fault::{
+    CorruptionConfig, FaultPlan, FaultTracker, IntegrityState, NodeId, Resolution, WireChaos,
+    WireVerdict,
+};
 use crate::message::Message;
 use crate::node::{DatacenterNode, NodeResiduals};
+use crate::rng::SplitMix64;
 use crate::runtime::{DistRunReport, SocketOptions};
 use crate::snapshot::{CheckpointStore, DatacenterSnapshot, FrontendSnapshot};
 use crate::stats::{estimated_wan_seconds_live, MessageStats};
 use crate::supervision::{gather_phase, Reply};
-use crate::wire::{process_of, FrameBuffer, NodeCmd, RunConfig, WireFrame};
+use crate::wire::{
+    process_of, sha256, verify_auth_hello, AuthKey, FrameBuffer, NodeCmd, RunConfig, WireFrame,
+};
 
 /// How long the coordinator waits for a spawned worker to complete the
 /// `Hello`/`Welcome` handshake before declaring the spawn failed. Covers
@@ -95,11 +119,30 @@ pub(crate) fn run_socket_engine(
     let plan_trivial = sup.tracker.plan().is_trivial();
     let evicted = sup.tracker.evicted_mask();
     let stall_phases = sup.stall_phases;
-    let counters = sup.integrity.counters;
-    let socket_activity = counters.reconnects > 0 || counters.dead_node_declarations > 0;
-    let integrity = (sup.integrity.active() || socket_activity).then_some(counters);
+    let mut counters = sup.integrity.counters;
+    let integrity_active = sup.integrity.active();
+    let wire_shared = sup.wire_shared.clone();
     let shutdown = sup.shutdown();
-    let (outcome, lambda_rows, mu, d) = outcome?;
+    // With every pump joined by shutdown, the wire-chaos counters are
+    // final: fold them into the run's integrity accounting, and let a
+    // pump's typed error (reply retransmit budget exhausted on a real
+    // connection) outrank the dead-node verdict its silence produced.
+    if let Some(shared) = &wire_shared {
+        if let Ok(wire) = shared.counters.lock() {
+            counters.corruptions_injected += wire.corruptions_injected;
+            counters.corruptions_detected += wire.corruptions_detected;
+            counters.checksum_retransmissions += wire.checksum_retransmissions;
+        }
+    }
+    let socket_activity = counters.reconnects > 0 || counters.dead_node_declarations > 0;
+    let integrity =
+        (integrity_active || wire_shared.is_some() || socket_activity).then_some(counters);
+    let (outcome, lambda_rows, mu, d) = outcome.map_err(|e| {
+        wire_shared
+            .as_ref()
+            .and_then(|shared| shared.error.lock().ok().and_then(|mut slot| slot.take()))
+            .unwrap_or(e)
+    })?;
     shutdown?;
 
     let (point, breakdown) = finish(instance, lambda_rows, mu, d, !active_nu)?;
@@ -149,6 +192,53 @@ struct Registration {
     pump: JoinHandle<()>,
 }
 
+/// State shared between the supervisor and every pump when wire-level
+/// chaos is armed: the fold-at-the-end counters and the first typed error
+/// a pump hit (a reply frame that stayed corrupt past the retransmit
+/// budget).
+#[derive(Default)]
+struct WireShared {
+    counters: Mutex<IntegrityCounters>,
+    error: Mutex<Option<CoreError>>,
+}
+
+/// Deterministic per-connection RNG salt: process index × direction, so
+/// every pump and every egress interceptor draws an independent but
+/// reproducible chaos stream from one [`CorruptionConfig::seed`].
+fn wire_salt(process: usize, ingress: bool) -> u64 {
+    (2 * process as u64 + u64::from(ingress) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Everything the acceptor thread needs to complete a handshake: the
+/// legacy session check, the optional challenge–response key (plus the
+/// run-config digest the MAC binds), and the ingress-chaos plumbing handed
+/// to each validated connection's pump.
+struct AcceptorState {
+    session: u64,
+    welcome: Arc<Vec<u8>>,
+    config_digest: [u8; 32],
+    auth: Option<AuthKey>,
+    wire: Option<WireIngressSetup>,
+}
+
+/// Ingress-side wire-chaos plumbing, cloned into each pump at handshake.
+struct WireIngressSetup {
+    corruption: CorruptionConfig,
+    shared: Arc<WireShared>,
+    last_sent: Vec<Arc<Mutex<Vec<u8>>>>,
+}
+
+/// Per-pump wire-chaos state (only allocated when a wire-level kind is
+/// pinned): the ingress interceptor, the cached clean bytes of the last
+/// command sent on this connection (for `Nak`-triggered resends), the
+/// shared counters/error slot, and the per-frame retransmit budget.
+struct PumpWire {
+    chaos: WireChaos,
+    last_sent: Arc<Mutex<Vec<u8>>>,
+    shared: Arc<WireShared>,
+    max_retransmits: u32,
+}
+
 /// The supervising coordinator of the multi-process runtime.
 struct SocketSupervisor<'a> {
     instance: &'a UfcInstance,
@@ -181,6 +271,18 @@ struct SocketSupervisor<'a> {
     remaining_crashes: Vec<Vec<usize>>,
     stats: MessageStats,
     integrity: IntegrityState,
+    /// Per-process egress (command-direction) chaos interceptors.
+    /// `RefCell` because `send_node` draws from inside `&self` contexts.
+    egress_chaos: Vec<RefCell<Option<WireChaos>>>,
+    /// Per-connection cache of the last clean command bytes, shared with
+    /// the pump so a worker `Nak` can be answered with a clean resend.
+    last_sent: Vec<Arc<Mutex<Vec<u8>>>>,
+    /// Chaos counters + error slot shared with the pumps; `Some` iff a
+    /// wire-level corruption kind is armed.
+    wire_shared: Option<Arc<WireShared>>,
+    /// `--auth-key` forwarded to spawned workers when the transport is
+    /// authenticated.
+    auth_hex: Option<String>,
     suspect: Option<NodeId>,
     timeout: Duration,
     rounds: u32,
@@ -224,33 +326,90 @@ impl<'a> SocketSupervisor<'a> {
                 m + n
             )));
         }
-        let listener = TcpListener::bind("127.0.0.1:0")
+        let wire_kind = plan
+            .corruption
+            .as_ref()
+            .and_then(|c| c.kind.filter(|k| k.is_wire_level()));
+        if wire_kind.is_some() {
+            // The Nak/resend repair protocol relies on at most one command
+            // being outstanding per connection: a co-hosted node (or a
+            // replay burst after a crash) lets a later frame overtake the
+            // Nak, so the cached clean resend would repair the wrong one.
+            if processes != m + n {
+                return Err(CoreError::invalid_config(format!(
+                    "wire-level chaos needs one process per node ({} for \
+                     this instance), got {processes}",
+                    m + n
+                )));
+            }
+            if !plan.is_trivial() {
+                return Err(CoreError::invalid_config(
+                    "wire-level chaos cannot be combined with \
+                     crash/straggler/partition plans",
+                ));
+            }
+        }
+        if !options.bind.is_loopback() && options.auth.is_none() {
+            return Err(CoreError::invalid_config(format!(
+                "refusing to listen on non-loopback {:?} without a shared \
+                 authentication key (SocketOptions::with_auth)",
+                options.bind.listen
+            )));
+        }
+        let listener = TcpListener::bind(&options.bind.listen)
             .map_err(|e| CoreError::node_failure("coordinator", 0, format!("bind: {e}")))?;
-        let addr = listener
+        let local = listener
             .local_addr()
             .map_err(|e| CoreError::node_failure("coordinator", 0, format!("local_addr: {e}")))?
             .to_string();
+        let addr = options.bind.advertise.clone().unwrap_or(local);
         let session = session_id();
+        let config_bytes = RunConfig {
+            instance: instance.clone(),
+            settings,
+            active_mu,
+            active_nu,
+            processes,
+        }
+        .encode();
+        // The digest the challenge MAC binds: a worker answering this
+        // coordinator commits to this exact run configuration, and checks
+        // the later Welcome against the same digest.
+        let config_digest = sha256(&config_bytes);
         let welcome: Arc<Vec<u8>> = Arc::new(
             WireFrame::Welcome {
-                config: RunConfig {
-                    instance: instance.clone(),
-                    settings,
-                    active_mu,
-                    active_nu,
-                    processes,
-                }
-                .encode(),
+                config: config_bytes,
             }
             .to_wire(),
         );
+        let wire_shared = wire_kind.map(|_| Arc::new(WireShared::default()));
+        let last_sent: Vec<Arc<Mutex<Vec<u8>>>> = (0..processes)
+            .map(|_| Arc::new(Mutex::new(Vec::new())))
+            .collect();
+        let egress_chaos: Vec<RefCell<Option<WireChaos>>> = (0..processes)
+            .map(|p| {
+                RefCell::new(WireChaos::egress(
+                    plan.corruption.as_ref(),
+                    wire_salt(p, false),
+                ))
+            })
+            .collect();
         let (reply_tx, reply_rx) = channel::<Reply>();
         let (reg_tx, reg_rx) = channel::<Registration>();
         let acceptor_stop = Arc::new(AtomicBool::new(false));
         let acceptor = spawn_acceptor(
             listener,
-            session,
-            welcome,
+            AcceptorState {
+                session,
+                welcome,
+                config_digest,
+                auth: options.auth.clone(),
+                wire: wire_shared.as_ref().map(|shared| WireIngressSetup {
+                    corruption: plan.corruption.expect("wire kind implies corruption"),
+                    shared: Arc::clone(shared),
+                    last_sent: last_sent.clone(),
+                }),
+            },
             reply_tx,
             reg_tx,
             Arc::clone(&acceptor_stop),
@@ -291,6 +450,10 @@ impl<'a> SocketSupervisor<'a> {
             remaining_crashes,
             stats: MessageStats::default(),
             integrity,
+            egress_chaos,
+            last_sent,
+            wire_shared,
+            auth_hex: options.auth.as_ref().map(AuthKey::to_hex),
             suspect: None,
             timeout,
             rounds,
@@ -315,7 +478,8 @@ impl<'a> SocketSupervisor<'a> {
     /// Launches the worker binary for process slot `p` at its current
     /// incarnation. Registration happens asynchronously via the acceptor.
     fn spawn_process(&mut self, p: usize) -> Result<(), CoreError> {
-        let child = Command::new(&self.worker_path)
+        let mut command = Command::new(&self.worker_path);
+        command
             .arg("--connect")
             .arg(&self.addr)
             .arg("--process")
@@ -323,7 +487,11 @@ impl<'a> SocketSupervisor<'a> {
             .arg("--session")
             .arg(self.session.to_string())
             .arg("--incarnation")
-            .arg(self.incarnations[p].to_string())
+            .arg(self.incarnations[p].to_string());
+        if let Some(hex) = &self.auth_hex {
+            command.arg("--auth-key").arg(hex);
+        }
+        let child = command
             .stdin(Stdio::null())
             .stdout(Stdio::null())
             .spawn()
@@ -388,17 +556,54 @@ impl<'a> SocketSupervisor<'a> {
 
     /// Sends a command to the process hosting `node`. Errors are
     /// deliberately swallowed — a dead or dropped connection surfaces as
-    /// silence in the gather ladder, which owns the failure verdict.
+    /// silence in the gather ladder, which owns the failure verdict. With
+    /// wire chaos armed, the clean bytes are cached first (so a worker
+    /// `Nak` can be answered by the pump with an uncorrupted resend) and
+    /// the egress interceptor then gets one draw at the outgoing frame.
     fn send_node(&self, node: usize, cmd: NodeCmd) {
         let p = process_of(node, self.processes);
         if let Some(conn) = &self.conns[p] {
+            let mut bytes = WireFrame::Cmd { node, cmd }.to_wire();
+            let mut copies = 1usize;
+            if let Some(chaos) = self.egress_chaos[p].borrow_mut().as_mut() {
+                if let Ok(mut cache) = self.last_sent[p].lock() {
+                    cache.clear();
+                    cache.extend_from_slice(&bytes);
+                }
+                let verdict = chaos.next_egress(&mut bytes);
+                if verdict == WireVerdict::Duplicated {
+                    copies = 2;
+                }
+                if let (Some(shared), true) = (&self.wire_shared, verdict != WireVerdict::Clean) {
+                    if let Ok(mut counters) = shared.counters.lock() {
+                        counters.corruptions_injected += 1;
+                        if verdict == WireVerdict::Duplicated {
+                            // The worker's duplicate guard drops the copy
+                            // unconditionally; detection is structural.
+                            counters.corruptions_detected += 1;
+                        }
+                    }
+                }
+            }
             let mut writer: &TcpStream = conn;
-            let _ = std::io::Write::write_all(&mut writer, &WireFrame::Cmd { node, cmd }.to_wire());
+            for _ in 0..copies {
+                let _ = std::io::Write::write_all(&mut writer, &bytes);
+            }
         }
     }
 
-    /// Liveness straight from the OS process table.
+    /// Liveness straight from the OS process table — unless a pump parked
+    /// a typed wire error (retransmit budget exhausted), in which case the
+    /// node is reported dead so the gather ladder stops extending for a
+    /// connection that will never deliver and the typed error surfaces.
     fn alive(&self, node: NodeId) -> bool {
+        if self
+            .wire_shared
+            .as_ref()
+            .is_some_and(|shared| shared.error.lock().map_or(true, |slot| slot.is_some()))
+        {
+            return false;
+        }
         let id = match node {
             NodeId::Frontend(i) => i,
             NodeId::Datacenter(j) => self.m + j,
@@ -810,6 +1015,7 @@ impl Transport for SocketSupervisor<'_> {
             self.send_node(i, NodeCmd::Predict { iteration: k });
         }
         let mut rows: Vec<Option<Vec<f64>>> = vec![None; m];
+        let mut errors: Vec<Option<CoreError>> = vec![None; m];
         let mut pending: HashSet<NodeId> = (0..m).map(NodeId::Frontend).collect();
         // One broad gather loop, shared shape with the threaded engine:
         // dead processes surface per-ladder while live stragglers stay
@@ -827,6 +1033,14 @@ impl Transport for SocketSupervisor<'_> {
                         rows[i] = Some(row);
                         Some(NodeId::Frontend(i))
                     }
+                    Reply::NodeError {
+                        node: node @ NodeId::Frontend(i),
+                        iteration,
+                        error,
+                    } if iteration == k => {
+                        errors[i] = Some(error);
+                        Some(node)
+                    }
                     _ => None,
                 },
             );
@@ -837,6 +1051,11 @@ impl Transport for SocketSupervisor<'_> {
                 let NodeId::Frontend(i) = node else {
                     unreachable!("predict phase only waits on front-ends")
                 };
+                if errors[i].is_some() {
+                    // The worker shipped a typed rejection and exited; do
+                    // not respawn into the same poison.
+                    continue;
+                }
                 self.integrity.counters.dead_node_declarations += 1;
                 if !respawned.insert(node) {
                     return Err(CoreError::node_failure(
@@ -856,6 +1075,9 @@ impl Transport for SocketSupervisor<'_> {
                     }
                 }
             }
+        }
+        if let Some(error) = errors.into_iter().flatten().next() {
+            return Err(error);
         }
         let mut rows: Vec<Vec<f64>> = rows
             .into_iter()
@@ -901,6 +1123,7 @@ impl Transport for SocketSupervisor<'_> {
         let mut a_cols = vec![vec![0.0; m]; n];
         let mut d_vals = vec![0.0; n];
         let mut dc_residuals: Vec<Option<NodeResiduals>> = vec![None; n];
+        let mut errors: Vec<Option<CoreError>> = vec![None; n];
         let mut pending: HashSet<NodeId> = (0..n)
             .filter(|&j| !self.tracker.is_evicted(j))
             .map(NodeId::Datacenter)
@@ -926,6 +1149,14 @@ impl Transport for SocketSupervisor<'_> {
                         dc_residuals[j] = Some(residuals);
                         Some(NodeId::Datacenter(j))
                     }
+                    Reply::NodeError {
+                        node: node @ NodeId::Datacenter(j),
+                        iteration,
+                        error,
+                    } if iteration == k => {
+                        errors[j] = Some(error);
+                        Some(node)
+                    }
                     _ => None,
                 },
             );
@@ -936,6 +1167,9 @@ impl Transport for SocketSupervisor<'_> {
                 let NodeId::Datacenter(j) = node else {
                     unreachable!("datacenter phase only waits on datacenters")
                 };
+                if errors[j].is_some() {
+                    continue;
+                }
                 self.integrity.counters.dead_node_declarations += 1;
                 if !respawned.insert(node) {
                     return Err(CoreError::node_failure(
@@ -962,6 +1196,9 @@ impl Transport for SocketSupervisor<'_> {
                     }
                 }
             }
+        }
+        if let Some(error) = errors.into_iter().flatten().next() {
+            return Err(error);
         }
         let mut phase_max = 1usize;
         for j in 0..n {
@@ -1138,19 +1375,24 @@ fn session_id() -> u64 {
     nanos ^ (u64::from(std::process::id()) << 32)
 }
 
-/// Spawns the acceptor thread: accepts connections, validates the `Hello`
-/// handshake against `session`, answers with the precomputed `Welcome`,
-/// and hands each validated connection (plus its reply pump) to the
-/// coordinator via `reg_tx`.
+/// Spawns the acceptor thread: accepts connections, runs the handshake
+/// (legacy `Hello` session check, or challenge–response when a key is
+/// configured), and hands each validated connection (plus its reply pump)
+/// to the coordinator via `reg_tx`. A hostile or malformed peer is simply
+/// dropped — the loop keeps serving honest workers.
 fn spawn_acceptor(
     listener: TcpListener,
-    session: u64,
-    welcome: Arc<Vec<u8>>,
+    state: AcceptorState,
     reply_tx: Sender<Reply>,
     reg_tx: Sender<Registration>,
     stop: Arc<AtomicBool>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
+        // Challenge nonces only need per-connection uniqueness within this
+        // session (replay protection); the session id already mixes in
+        // wall-clock nanos and the coordinator pid. Not cryptographically
+        // unpredictable — see the threat model in DESIGN.md §17.
+        let mut nonce_rng = SplitMix64::new(state.session ^ 0xC4A1_1EE5_0C4A_1175);
         while !stop.load(Ordering::SeqCst) {
             let Ok((stream, _)) = listener.accept() else {
                 continue;
@@ -1158,7 +1400,7 @@ fn spawn_acceptor(
             if stop.load(Ordering::SeqCst) {
                 break;
             }
-            let Some(reg) = handshake(stream, session, &welcome, &reply_tx) else {
+            let Some(reg) = handshake(stream, &state, &mut nonce_rng, &reply_tx) else {
                 continue;
             };
             if reg_tx.send(reg).is_err() {
@@ -1168,50 +1410,94 @@ fn spawn_acceptor(
     })
 }
 
-/// Coordinator side of one connection handshake. Returns `None` (dropping
-/// the connection) on timeout, session mismatch, or a malformed frame.
-fn handshake(
-    stream: TcpStream,
-    session: u64,
-    welcome: &Arc<Vec<u8>>,
-    reply_tx: &Sender<Reply>,
-) -> Option<Registration> {
-    stream.set_nodelay(true).ok()?;
-    stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
-    let mut frames = FrameBuffer::new();
-    let hello = loop {
-        if let Ok(Some(payload)) = frames.next_frame() {
-            break WireFrame::decode_payload(&payload).ok()?;
+/// Reads exactly one decodable frame off a handshaking connection, or
+/// `None` on timeout, EOF, framing desync (garbage before the magic, an
+/// oversized length prefix), or a payload that fails its CRC.
+fn read_one_frame(stream: &TcpStream, frames: &mut FrameBuffer) -> Option<WireFrame> {
+    loop {
+        match frames.next_frame() {
+            Ok(Some(payload)) => return WireFrame::decode_payload(&payload).ok(),
+            Ok(None) => {}
+            Err(_) => return None,
         }
         let mut chunk = [0u8; 1024];
-        let mut reader: &TcpStream = &stream;
+        let mut reader: &TcpStream = stream;
         let n = reader.read(&mut chunk).ok()?;
         if n == 0 {
             return None;
         }
         frames.push(&chunk[..n]);
+    }
+}
+
+/// Coordinator side of one connection handshake. Returns `None` (dropping
+/// the connection) on timeout, session mismatch, a malformed frame, or —
+/// with authentication on — a failed challenge–response: a typed
+/// [`CoreError::Unauthorized`] verdict is produced by
+/// [`verify_auth_hello`] before any iteration state is exchanged, and the
+/// hostile peer never sees a `Welcome`.
+fn handshake(
+    stream: TcpStream,
+    state: &AcceptorState,
+    nonce_rng: &mut SplitMix64,
+    reply_tx: &Sender<Reply>,
+) -> Option<Registration> {
+    stream.set_nodelay(true).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    let mut frames = FrameBuffer::new();
+    let (process, incarnation) = match &state.auth {
+        None => {
+            let WireFrame::Hello {
+                session,
+                process,
+                incarnation,
+            } = read_one_frame(&stream, &mut frames)?
+            else {
+                return None;
+            };
+            if session != state.session {
+                return None;
+            }
+            (process, incarnation)
+        }
+        Some(key) => {
+            let mut nonce = [0u8; 32];
+            for word in 0..4 {
+                nonce[word * 8..word * 8 + 8].copy_from_slice(&nonce_rng.next().to_le_bytes());
+            }
+            {
+                let mut writer: &TcpStream = &stream;
+                let challenge = WireFrame::Challenge {
+                    nonce,
+                    digest: state.config_digest,
+                };
+                std::io::Write::write_all(&mut writer, &challenge.to_wire()).ok()?;
+            }
+            let answer = read_one_frame(&stream, &mut frames)?;
+            verify_auth_hello(key, &nonce, &state.config_digest, state.session, &answer).ok()?
+        }
     };
-    let WireFrame::Hello {
-        session: hello_session,
-        process,
-        incarnation,
-    } = hello
-    else {
-        return None;
-    };
-    if hello_session != session {
+    if process >= state.last_sent_len() {
         return None;
     }
     {
         let mut writer: &TcpStream = &stream;
-        std::io::Write::write_all(&mut writer, welcome).ok()?;
+        std::io::Write::write_all(&mut writer, &state.welcome).ok()?;
     }
     // Back to blocking reads for the pump: the gather ladder owns all
     // timeout policy.
     stream.set_read_timeout(None).ok()?;
     let pump_stream = stream.try_clone().ok()?;
     let pump_tx = reply_tx.clone();
-    let pump = std::thread::spawn(move || pump(pump_stream, frames, &pump_tx));
+    let pump_wire = state.wire.as_ref().and_then(|setup| {
+        Some(PumpWire {
+            chaos: WireChaos::ingress(Some(&setup.corruption), wire_salt(process, true))?,
+            last_sent: Arc::clone(setup.last_sent.get(process)?),
+            shared: Arc::clone(&setup.shared),
+            max_retransmits: setup.corruption.max_retransmits,
+        })
+    });
+    let pump = std::thread::spawn(move || pump(&pump_stream, frames, &pump_tx, pump_wire));
     Some(Registration {
         process,
         incarnation,
@@ -1220,31 +1506,185 @@ fn handshake(
     })
 }
 
+impl AcceptorState {
+    /// Upper bound on valid process indices (the per-connection cache
+    /// table is sized to the process count). Only meaningful with wire
+    /// chaos armed; otherwise any index is admitted and the coordinator's
+    /// own staleness check (`install_registration`) rejects strays.
+    fn last_sent_len(&self) -> usize {
+        self.wire
+            .as_ref()
+            .map_or(usize::MAX, |setup| setup.last_sent.len())
+    }
+}
+
 /// The per-connection reply pump: reassembles frames from the stream and
 /// forwards decoded replies to the coordinator until EOF, a socket error,
-/// or a corrupt frame. Commands never arrive on this direction; anything
-/// unexpected ends the pump (the ladder handles the resulting silence).
-fn pump(stream: TcpStream, mut frames: FrameBuffer, tx: &Sender<Reply>) {
-    let mut reader: &TcpStream = &stream;
+/// or an unrepairable frame. With wire chaos armed it is also the
+/// coordinator's half of the repair protocol: an undecodable reply is
+/// `Nak`ed back to the worker (which resends its cached reply, re-drawn
+/// through chaos each attempt, bounded by the retransmit budget), a worker
+/// `Nak` is answered with the cached clean bytes of the last command, and
+/// a reordered reply is held until its successor passes it or the stream
+/// goes quiet.
+fn pump(stream: &TcpStream, frames: FrameBuffer, tx: &Sender<Reply>, mut wire: Option<PumpWire>) {
+    let mut held = None;
+    pump_loop(stream, frames, tx, wire.as_mut(), &mut held);
+    // Never strand a reordered reply on exit: EOF and error paths flush it
+    // so a held final-phase frame cannot fake a dead node.
+    if let Some(reply) = held {
+        let _ = tx.send(reply);
+    }
+}
+
+fn pump_loop(
+    stream: &TcpStream,
+    mut frames: FrameBuffer,
+    tx: &Sender<Reply>,
+    mut wire: Option<&mut PumpWire>,
+    held: &mut Option<Reply>,
+) {
+    let mut reader: &TcpStream = stream;
     let mut chunk = [0u8; 64 * 1024];
+    // Consecutive undecodable frames on this connection; reset by any
+    // clean decode. One ingress chaos draw happens per delivery attempt,
+    // so this mirrors §12's per-attempt redraw semantics.
+    let mut failures = 0u32;
     loop {
         loop {
             match frames.next_frame() {
-                Ok(Some(payload)) => {
-                    let Ok(WireFrame::Reply(reply)) = WireFrame::decode_payload(&payload) else {
-                        return;
-                    };
-                    if tx.send(reply).is_err() {
-                        return;
+                Ok(Some(mut payload)) => {
+                    let verdict = wire
+                        .as_mut()
+                        .map_or(WireVerdict::Clean, |w| w.chaos.next_ingress(&mut payload));
+                    if verdict != WireVerdict::Clean {
+                        if let Some(w) = wire.as_ref() {
+                            if let Ok(mut counters) = w.shared.counters.lock() {
+                                counters.corruptions_injected += 1;
+                                if verdict != WireVerdict::Truncated {
+                                    // Duplicates and reorders are absorbed
+                                    // structurally (dedup / order-free
+                                    // gather); truncation is detected by
+                                    // the decode below.
+                                    counters.corruptions_detected += 1;
+                                }
+                            }
+                        }
+                    }
+                    match WireFrame::decode_payload(&payload) {
+                        Ok(WireFrame::Reply(reply)) => {
+                            failures = 0;
+                            if verdict == WireVerdict::Reordered && held.is_none() {
+                                *held = Some(reply);
+                                continue;
+                            }
+                            let copies = if verdict == WireVerdict::Duplicated {
+                                2
+                            } else {
+                                1
+                            };
+                            for _ in 0..copies {
+                                if tx.send(reply.clone()).is_err() {
+                                    return;
+                                }
+                            }
+                            if let Some(passed) = held.take() {
+                                if tx.send(passed).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                        Ok(WireFrame::Nak) => {
+                            // The worker could not decode our last command:
+                            // resend the cached clean bytes, bypassing the
+                            // egress interceptor (a §12 retransmission).
+                            let Some(w) = wire.as_ref() else { return };
+                            let resend = w
+                                .last_sent
+                                .lock()
+                                .map(|cache| cache.clone())
+                                .unwrap_or_default();
+                            if resend.is_empty() {
+                                return;
+                            }
+                            if let Ok(mut counters) = w.shared.counters.lock() {
+                                counters.corruptions_detected += 1;
+                                counters.checksum_retransmissions += 1;
+                            }
+                            let mut writer: &TcpStream = stream;
+                            if std::io::Write::write_all(&mut writer, &resend).is_err() {
+                                return;
+                            }
+                        }
+                        Ok(_) => return,
+                        Err(_) => {
+                            let Some(w) = wire.as_ref() else { return };
+                            failures += 1;
+                            if let Ok(mut counters) = w.shared.counters.lock() {
+                                counters.corruptions_detected += 1;
+                            }
+                            if failures > w.max_retransmits {
+                                if let Ok(mut slot) = w.shared.error.lock() {
+                                    slot.get_or_insert_with(|| {
+                                        CoreError::corrupt_payload(
+                                            "wire",
+                                            0,
+                                            format!(
+                                                "reply frame still failing after {} retransmits",
+                                                w.max_retransmits
+                                            ),
+                                        )
+                                    });
+                                }
+                                return;
+                            }
+                            if let Ok(mut counters) = w.shared.counters.lock() {
+                                counters.checksum_retransmissions += 1;
+                            }
+                            let mut writer: &TcpStream = stream;
+                            let nak = WireFrame::Nak.to_wire();
+                            if std::io::Write::write_all(&mut writer, &nak).is_err() {
+                                return;
+                            }
+                        }
                     }
                 }
                 Ok(None) => break,
                 Err(_) => return,
             }
         }
-        match reader.read(&mut chunk) {
-            Ok(0) | Err(_) => return,
-            Ok(n) => frames.push(&chunk[..n]),
+        // Reads. A held reordered reply may have no successor coming (it
+        // was the phase's last frame), so reads go briefly non-blocking
+        // and quiet streams flush the held frame — well inside the gather
+        // ladder's base deadline.
+        if held.is_some() {
+            if stream
+                .set_read_timeout(Some(Duration::from_millis(50)))
+                .is_err()
+            {
+                return;
+            }
+            let read = reader.read(&mut chunk);
+            if stream.set_read_timeout(None).is_err() {
+                return;
+            }
+            match read {
+                Ok(0) => return,
+                Ok(n) => frames.push(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    if let Some(passed) = held.take() {
+                        if tx.send(passed).is_err() {
+                            return;
+                        }
+                    }
+                }
+                Err(_) => return,
+            }
+        } else {
+            match reader.read(&mut chunk) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => frames.push(&chunk[..n]),
+            }
         }
     }
 }

@@ -322,6 +322,7 @@ impl Transport for Supervisor<'_> {
             self.send_fe(i, FeCmd::Predict { iteration: k });
         }
         let mut rows: Vec<Option<Vec<f64>>> = vec![None; m];
+        let mut errors: Vec<Option<CoreError>> = vec![None; m];
         let mut pending: HashSet<NodeId> = (0..m).map(NodeId::Frontend).collect();
         // One broad gather loop: dead nodes surface per-ladder while live
         // stragglers stay pending, and a respawned node rejoins the same
@@ -339,6 +340,14 @@ impl Transport for Supervisor<'_> {
                         rows[i] = Some(row);
                         Some(NodeId::Frontend(i))
                     }
+                    Reply::NodeError {
+                        node: node @ NodeId::Frontend(i),
+                        iteration,
+                        error,
+                    } if iteration == k => {
+                        errors[i] = Some(error);
+                        Some(node)
+                    }
                     _ => None,
                 },
             );
@@ -349,6 +358,11 @@ impl Transport for Supervisor<'_> {
                 let NodeId::Frontend(i) = node else {
                     unreachable!("predict phase only waits on front-ends")
                 };
+                if errors[i].is_some() {
+                    // The worker already reported a typed rejection and
+                    // stopped; do not respawn into the same poison.
+                    continue;
+                }
                 if !respawned.insert(node) {
                     return Err(CoreError::node_failure(
                         node.to_string(),
@@ -367,6 +381,9 @@ impl Transport for Supervisor<'_> {
                     }
                 }
             }
+        }
+        if let Some(error) = errors.into_iter().flatten().next() {
+            return Err(error);
         }
         let mut rows: Vec<Vec<f64>> = rows
             .into_iter()
@@ -411,6 +428,7 @@ impl Transport for Supervisor<'_> {
         let mut a_cols = vec![vec![0.0; m]; n];
         let mut d_vals = vec![0.0; n];
         let mut dc_residuals: Vec<Option<NodeResiduals>> = vec![None; n];
+        let mut errors: Vec<Option<CoreError>> = vec![None; n];
         let mut pending: HashSet<NodeId> = (0..n)
             .filter(|&j| !self.tracker.is_evicted(j))
             .map(NodeId::Datacenter)
@@ -438,6 +456,14 @@ impl Transport for Supervisor<'_> {
                         dc_residuals[j] = Some(residuals);
                         Some(NodeId::Datacenter(j))
                     }
+                    Reply::NodeError {
+                        node: node @ NodeId::Datacenter(j),
+                        iteration,
+                        error,
+                    } if iteration == k => {
+                        errors[j] = Some(error);
+                        Some(node)
+                    }
                     _ => None,
                 },
             );
@@ -448,6 +474,9 @@ impl Transport for Supervisor<'_> {
                 let NodeId::Datacenter(j) = node else {
                     unreachable!("datacenter phase only waits on datacenters")
                 };
+                if errors[j].is_some() {
+                    continue;
+                }
                 if !respawned.insert(node) {
                     return Err(CoreError::node_failure(
                         node.to_string(),
@@ -473,6 +502,9 @@ impl Transport for Supervisor<'_> {
                     }
                 }
             }
+        }
+        if let Some(error) = errors.into_iter().flatten().next() {
+            return Err(error);
         }
         let mut phase_max = 1usize;
         for j in 0..n {

@@ -88,6 +88,13 @@ pub struct PartitionWindow {
 }
 
 /// How an injected corruption mangles a data payload's bytes.
+///
+/// The first four kinds are *value-level*: they mangle the 8-byte value
+/// field of an encoded data message and are drawn per event when
+/// [`CorruptionConfig::kind`] is `None`. The `Frame*` kinds are
+/// *wire-level*: they act on whole TCP frames of the socket engine
+/// (truncation, duplication, reordering) and are only exercised when
+/// pinned explicitly — see [`CorruptionKind::is_wire_level`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CorruptionKind {
     /// Flip one uniformly chosen bit of the 8-byte value field.
@@ -98,6 +105,31 @@ pub enum CorruptionKind {
     NanSubstitution,
     /// Scale the value by `2^±e` for a random exponent `e ∈ [1, 30]`.
     MagnitudeScale,
+    /// Truncate a wire frame mid-payload (socket engine only): the length
+    /// prefix is rewritten so the receiver reads a complete-but-short frame
+    /// whose CRC cannot verify.
+    FrameTruncate,
+    /// Send a wire frame twice back-to-back (socket engine only); the
+    /// receiver's duplicate guard must absorb the copy.
+    FrameDuplicate,
+    /// Hold a reply frame and deliver it after its successor (socket engine
+    /// only); the coordinator's gather must stay order-insensitive.
+    FrameReorder,
+}
+
+impl CorruptionKind {
+    /// Whether this kind mangles whole wire frames instead of an encoded
+    /// value field. Wire-level kinds require the socket engine (they act on
+    /// real TCP bytes) and are rejected by the in-process engines.
+    #[must_use]
+    pub fn is_wire_level(self) -> bool {
+        matches!(
+            self,
+            CorruptionKind::FrameTruncate
+                | CorruptionKind::FrameDuplicate
+                | CorruptionKind::FrameReorder
+        )
+    }
 }
 
 /// Seeded, deterministic payload-corruption configuration, applied at the
@@ -764,7 +796,112 @@ impl CorruptionChannel {
                 let v = f64::from_le_bytes(value.try_into().expect("8-byte field"));
                 value.copy_from_slice(&(v * f64::powi(2.0, e)).to_le_bytes());
             }
+            // Wire-level kinds never reach the value channel:
+            // `IntegrityState::new` leaves the channel disarmed for them and
+            // the per-event draw above only covers the four value kinds.
+            CorruptionKind::FrameTruncate
+            | CorruptionKind::FrameDuplicate
+            | CorruptionKind::FrameReorder => {}
         }
+    }
+}
+
+/// What a [`WireChaos`] draw decided for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WireVerdict {
+    /// Deliver the frame untouched.
+    Clean,
+    /// The frame bytes were truncated in place; the receiver's CRC check
+    /// must reject them and trigger a `Nak`/resend round.
+    Truncated,
+    /// Send (or deliver) the frame twice back-to-back.
+    Duplicated,
+    /// Hold this frame and deliver it after its successor (ingress only).
+    Reordered,
+}
+
+/// The seeded wire-level chaos process of the socket engine: one instance
+/// per connection *direction*, applying frame-granular §12 draws to the
+/// actual TCP bytes. Draw order mirrors [`CorruptionChannel`]: one Bernoulli
+/// `uniform() < rate` per frame, then (for truncation) one `next()` for the
+/// cut point — so a given `(seed, salt)` pair injects the same chaos on
+/// every run.
+#[derive(Debug, Clone)]
+pub(crate) struct WireChaos {
+    rate: f64,
+    kind: CorruptionKind,
+    rng: SplitMix64,
+}
+
+impl WireChaos {
+    /// Chaos for the command (coordinator→worker) direction, or `None` when
+    /// the config does not pin a wire-level kind. Frame reordering is never
+    /// applied to commands: their execution order is protocol state, and a
+    /// reordered command would draw a wrong-iteration reply that the gather
+    /// misreads as a dead node.
+    pub(crate) fn egress(config: Option<&CorruptionConfig>, salt: u64) -> Option<Self> {
+        Self::armed(config, salt).filter(|c| c.kind != CorruptionKind::FrameReorder)
+    }
+
+    /// Chaos for the reply (worker→coordinator) direction, or `None` when
+    /// the config does not pin a wire-level kind.
+    pub(crate) fn ingress(config: Option<&CorruptionConfig>, salt: u64) -> Option<Self> {
+        Self::armed(config, salt)
+    }
+
+    fn armed(config: Option<&CorruptionConfig>, salt: u64) -> Option<Self> {
+        let config = config?;
+        let kind = config.kind.filter(|k| k.is_wire_level())?;
+        Some(WireChaos {
+            rate: config.rate,
+            kind,
+            rng: SplitMix64::new(config.seed ^ salt),
+        })
+    }
+
+    /// One draw over an outgoing `[len][payload]` wire buffer, mangling it
+    /// in place for truncation. A truncated frame keeps a coherent length
+    /// prefix (so framing never desynchronizes) but an impossible CRC.
+    pub(crate) fn next_egress(&mut self, wire: &mut Vec<u8>) -> WireVerdict {
+        if self.rng.uniform() >= self.rate {
+            return WireVerdict::Clean;
+        }
+        match self.kind {
+            CorruptionKind::FrameTruncate => Self::truncate(wire, 4, &mut self.rng),
+            CorruptionKind::FrameDuplicate => WireVerdict::Duplicated,
+            _ => WireVerdict::Clean,
+        }
+    }
+
+    /// One draw over an incoming de-framed payload, truncating it in place
+    /// when the truncation kind strikes.
+    pub(crate) fn next_ingress(&mut self, payload: &mut Vec<u8>) -> WireVerdict {
+        if self.rng.uniform() >= self.rate {
+            return WireVerdict::Clean;
+        }
+        match self.kind {
+            CorruptionKind::FrameTruncate => Self::truncate(payload, 0, &mut self.rng),
+            CorruptionKind::FrameDuplicate => WireVerdict::Duplicated,
+            CorruptionKind::FrameReorder => WireVerdict::Reordered,
+            _ => WireVerdict::Clean,
+        }
+    }
+
+    /// Truncates the payload part of `buf` (which starts at `header` bytes
+    /// in) to a uniformly drawn `cut ∈ [6, payload_len)`, keeping at least
+    /// magic, kind, and a (now wrong) CRC so decoding fails cleanly. Frames
+    /// too short to cut pass through clean.
+    fn truncate(buf: &mut Vec<u8>, header: usize, rng: &mut SplitMix64) -> WireVerdict {
+        let payload_len = buf.len().saturating_sub(header);
+        if payload_len <= 6 {
+            return WireVerdict::Clean;
+        }
+        let cut = 6 + (rng.next() as usize) % (payload_len - 6);
+        if header == 4 {
+            buf[..4].copy_from_slice(&(cut as u32).to_le_bytes());
+        }
+        buf.truncate(header + cut);
+        WireVerdict::Truncated
     }
 }
 
@@ -813,7 +950,12 @@ fn data_endpoints(msg: &Message) -> (String, String) {
 impl IntegrityState {
     pub(crate) fn new(corruption: Option<&CorruptionConfig>, verify: bool) -> Self {
         IntegrityState {
-            channel: corruption.map(CorruptionChannel::new),
+            // A config pinned to a wire-level kind belongs to the socket
+            // engine's `WireChaos` pumps; the value channel stays disarmed
+            // so the two injection layers never double-draw from one seed.
+            channel: corruption
+                .filter(|c| !c.kind.is_some_and(|k| k.is_wire_level()))
+                .map(CorruptionChannel::new),
             verify,
             max_retransmits: corruption.map_or(1, |c| c.max_retransmits),
             counters: IntegrityCounters::default(),
@@ -1160,5 +1302,88 @@ mod tests {
         assert_eq!(state.transmit(&msg, 1).unwrap(), (None, 1));
         assert!(state.counters.is_zero());
         assert!(IntegrityState::new(None, true).active());
+    }
+
+    #[test]
+    fn wire_kinds_are_classified_and_disarm_the_value_channel() {
+        assert!(CorruptionKind::FrameTruncate.is_wire_level());
+        assert!(CorruptionKind::FrameDuplicate.is_wire_level());
+        assert!(CorruptionKind::FrameReorder.is_wire_level());
+        assert!(!CorruptionKind::BitFlip.is_wire_level());
+        assert!(!CorruptionKind::MagnitudeScale.is_wire_level());
+        // A wire-pinned config leaves the value channel inert (the socket
+        // pumps own those draws) but keeps checksum verification active.
+        let cfg = CorruptionConfig::new(0.9, 3).with_kind(CorruptionKind::FrameTruncate);
+        let mut state = IntegrityState::new(Some(&cfg), true);
+        let msg = Message::LambdaTilde {
+            frontend: 0,
+            datacenter: 0,
+            value: 1.0,
+        };
+        for _ in 0..100 {
+            assert_eq!(state.transmit(&msg, 1).unwrap(), (None, 1));
+        }
+        assert!(state.counters.is_zero());
+        assert!(state.active(), "verify flag still counts as active");
+    }
+
+    #[test]
+    fn wire_chaos_arms_only_for_pinned_wire_kinds() {
+        let value = CorruptionConfig::new(0.5, 1).with_kind(CorruptionKind::BitFlip);
+        let unpinned = CorruptionConfig::new(0.5, 1);
+        let wire = CorruptionConfig::new(0.5, 1).with_kind(CorruptionKind::FrameDuplicate);
+        assert!(WireChaos::ingress(Some(&value), 0).is_none());
+        assert!(WireChaos::ingress(Some(&unpinned), 0).is_none());
+        assert!(WireChaos::ingress(None, 0).is_none());
+        assert!(WireChaos::ingress(Some(&wire), 0).is_some());
+        // Reordering never applies to the command direction.
+        let reorder = CorruptionConfig::new(0.5, 1).with_kind(CorruptionKind::FrameReorder);
+        assert!(WireChaos::egress(Some(&reorder), 0).is_none());
+        assert!(WireChaos::ingress(Some(&reorder), 0).is_some());
+    }
+
+    #[test]
+    fn wire_truncation_keeps_a_coherent_length_prefix() {
+        let cfg =
+            CorruptionConfig::new(1.0 - f64::EPSILON, 42).with_kind(CorruptionKind::FrameTruncate);
+        let mut chaos = WireChaos::egress(Some(&cfg), 7).unwrap();
+        // A fake 20-byte payload behind a 4-byte length prefix.
+        let payload: Vec<u8> = (0..20u8).collect();
+        let mut wire = 20u32.to_le_bytes().to_vec();
+        wire.extend_from_slice(&payload);
+        assert_eq!(chaos.next_egress(&mut wire), WireVerdict::Truncated);
+        let cut = u32::from_le_bytes(wire[..4].try_into().unwrap()) as usize;
+        assert!((6..20).contains(&cut), "cut {cut} outside [6, 20)");
+        assert_eq!(wire.len(), 4 + cut, "prefix must match the short frame");
+
+        // Ingress truncation acts on the bare payload.
+        let mut chaos = WireChaos::ingress(Some(&cfg), 8).unwrap();
+        let mut payload: Vec<u8> = (0..20u8).collect();
+        assert_eq!(chaos.next_ingress(&mut payload), WireVerdict::Truncated);
+        assert!((6..20).contains(&payload.len()));
+
+        // Frames at or below the 6-byte floor pass through clean.
+        let mut tiny: Vec<u8> = vec![0xFD, 7, 0, 0, 0, 0];
+        assert_eq!(chaos.next_ingress(&mut tiny), WireVerdict::Clean);
+        assert_eq!(tiny.len(), 6);
+    }
+
+    #[test]
+    fn wire_chaos_draws_are_deterministic_per_seed_and_salt() {
+        let cfg = CorruptionConfig::new(0.3, 99).with_kind(CorruptionKind::FrameReorder);
+        let mut a = WireChaos::ingress(Some(&cfg), 5).unwrap();
+        let mut b = WireChaos::ingress(Some(&cfg), 5).unwrap();
+        let mut c = WireChaos::ingress(Some(&cfg), 6).unwrap();
+        let mut diverged = false;
+        for _ in 0..200 {
+            let mut pa: Vec<u8> = (0..12u8).collect();
+            let mut pb = pa.clone();
+            let mut pc = pa.clone();
+            let va = a.next_ingress(&mut pa);
+            assert_eq!(va, b.next_ingress(&mut pb));
+            assert_eq!(pa, pb);
+            diverged |= va != c.next_ingress(&mut pc);
+        }
+        assert!(diverged, "different salts must decorrelate the streams");
     }
 }

@@ -49,6 +49,14 @@
 //! driver's divergence gate as a typed error — never a panic or a silently
 //! wrong UFC.
 //!
+//! The multi-process socket engine extends both directions to a hostile
+//! network: a [`BindConfig`] allows non-loopback listen addresses gated on
+//! a shared [`AuthKey`] (challenge–response keyed MAC before any iteration
+//! state moves), and the wire-level [`CorruptionKind`]s
+//! (`FrameTruncate`/`FrameDuplicate`/`FrameReorder`) mangle real TCP
+//! frames in the socket I/O pumps, repaired by the CRC + `Nak`/resend
+//! ladder (`DistributedAdmg::run_sockets_corrupt`).
+//!
 //! # Example
 //!
 //! ```
@@ -91,3 +99,4 @@ pub use fault::{
 };
 pub use runtime::{DistRunReport, DistributedAdmg, Runtime, SocketOptions};
 pub use snapshot::{CheckpointStore, DatacenterSnapshot, FrontendSnapshot};
+pub use wire::{AuthKey, BindConfig};

@@ -177,12 +177,20 @@ impl FrontendNode {
     /// over the active columns only and zeros are scattered back into the
     /// masked slots.
     ///
+    /// # Errors
+    ///
+    /// [`CoreError::Subproblem`] when the inner QP fails — which cannot
+    /// happen for finite iterates (the constraint set is a nonempty
+    /// simplex), but *does* happen when an unverified corrupted delivery
+    /// poisoned the replicas with NaN. Surfacing that as a typed error
+    /// keeps the §12 "delivered poison is a typed error, never a panic"
+    /// contract at the node layer.
+    ///
     /// # Panics
     ///
-    /// Panics if the inner QP fails (cannot happen for valid instances —
-    /// the constraint set is a nonempty simplex) or if every datacenter is
-    /// evicted.
-    pub fn predict_lambda(&mut self) -> Vec<f64> {
+    /// Panics if every datacenter is evicted (a coordinator invariant:
+    /// eviction declines before the live set empties).
+    pub fn predict_lambda(&mut self) -> Result<Vec<f64>, CoreError> {
         let n = self.latencies.len();
         let row = if self.evicted.iter().any(|&e| e) {
             let active: Vec<usize> = (0..n).filter(|&j| !self.evicted[j]).collect();
@@ -196,7 +204,7 @@ impl FrontendNode {
                 .iter()
                 .map(|&j| self.varphi[j] - self.rho * self.a[j])
                 .collect();
-            let sub = self.solve_lambda_qp(lat, c);
+            let sub = self.solve_lambda_qp(lat, c)?;
             let mut full = vec![0.0; n];
             for (t, &j) in active.iter().enumerate() {
                 full[j] = sub[t];
@@ -216,30 +224,31 @@ impl FrontendNode {
             };
             self.qp
                 .solve(&self.c_buf, warm)
-                .expect("front-end lambda QP failed")
+                .map_err(|e| CoreError::subproblem(format!("lambda[{}]", self.index), e))?
         };
         self.lambda_tilde = row.clone();
-        row
+        Ok(row)
     }
 
     /// Solves `min ½ρ‖x‖² + ½γ(Lᵀx)² + cᵀx` over the simplex
     /// `{x ≥ 0, Σx = arrival}` — the common kernel of the full and
     /// restricted λ-steps.
-    fn solve_lambda_qp(&self, latencies: Vec<f64>, c: Vec<f64>) -> Vec<f64> {
+    fn solve_lambda_qp(&self, latencies: Vec<f64>, c: Vec<f64>) -> Result<Vec<f64>, CoreError> {
         let k = latencies.len();
         if self.arrival == 0.0 {
             // Zero-demand front-end: the simplex is the singleton {0} —
             // same short-circuit as the in-process λ-QP, bit for bit.
-            return vec![0.0; k];
+            return Ok(vec![0.0; k]);
         }
         let gamma = disutility_rank1_gamma(self.weight_per_kserver, self.arrival);
         let objective = QuadObjective::diag_rank1(vec![self.rho; k], gamma, latencies, c, 0.0);
         let start = vec![self.arrival / k as f64; k];
+        let which = || format!("lambda[{}]", self.index);
         match self.method {
             SubproblemMethod::ActiveSet => {
                 let a_eq = Matrix::from_fn(1, k, |_, _| 1.0);
                 let a_in = Matrix::from_fn(k, k, |r, cc| if r == cc { -1.0 } else { 0.0 });
-                ActiveSetQp::default()
+                Ok(ActiveSetQp::default()
                     .solve(
                         &objective,
                         &a_eq,
@@ -248,15 +257,13 @@ impl FrontendNode {
                         &vec![0.0; k],
                         start,
                     )
-                    .expect("front-end lambda QP failed")
-                    .x
+                    .map_err(|e| CoreError::subproblem(which(), e))?
+                    .x)
             }
-            SubproblemMethod::Fista => {
-                Fista::new(50_000, 1e-10)
-                    .minimize(&objective, |x| project_simplex(x, self.arrival), start)
-                    .expect("front-end lambda FISTA failed")
-                    .x
-            }
+            SubproblemMethod::Fista => Ok(Fista::new(50_000, 1e-10)
+                .minimize(&objective, |x| project_simplex(x, self.arrival), start)
+                .map_err(|e| CoreError::subproblem(which(), e))?
+                .x),
         }
     }
 
@@ -538,10 +545,17 @@ impl DatacenterNode {
     /// a- and dual updates, apply the datacenter part of the correction,
     /// and return `ã_·j` with the local residuals.
     ///
+    /// # Errors
+    ///
+    /// [`CoreError::Subproblem`] when the inner a-QP fails — unreachable on
+    /// finite iterates, but reachable when an unverified corrupted delivery
+    /// poisoned the column with NaN (typed error, never a panic).
+    ///
     /// # Panics
     ///
-    /// Panics if `lambda_tilde.len() != M` or the inner QP fails.
-    pub fn process(&mut self, lambda_tilde: &[f64]) -> DatacenterStep {
+    /// Panics if `lambda_tilde.len() != M` (a coordinator shape bug, not a
+    /// data fault).
+    pub fn process(&mut self, lambda_tilde: &[f64]) -> Result<DatacenterStep, CoreError> {
         assert_eq!(lambda_tilde.len(), self.m, "lambda column length mismatch");
         let rho = self.rho;
         let h = self.slot_hours;
@@ -620,7 +634,7 @@ impl DatacenterNode {
         let a_tilde = self
             .qp
             .solve(&self.c_buf, warm)
-            .expect("datacenter a QP failed");
+            .map_err(|e| CoreError::subproblem(format!("a[{}]", self.index), e))?;
 
         // Step 5: dual predictions.
         let a_tilde_load: f64 = a_tilde.iter().sum();
@@ -664,11 +678,11 @@ impl DatacenterNode {
         let corrected_load: f64 = self.a.iter().sum();
         res.balance = (self.alpha + self.beta * corrected_load - self.mu - self.nu - self.d).abs();
 
-        DatacenterStep {
+        Ok(DatacenterStep {
             a_tilde,
             d: self.d,
             residuals: res,
-        }
+        })
     }
 }
 
@@ -707,7 +721,7 @@ mod tests {
         let expected =
             ufc_core::subproblems::lambda_step(&inst, settings.rho, settings.method, &state)
                 .unwrap();
-        let row = fe.predict_lambda();
+        let row = fe.predict_lambda().unwrap();
         for j in 0..2 {
             assert!(
                 (row[j] - expected[j]).abs() < 1e-12,
@@ -720,7 +734,7 @@ mod tests {
     fn frontend_correction_tracks_replicas() {
         let inst = tiny();
         let mut fe = FrontendNode::new(&inst, 0, &AdmgSettings::default());
-        let lt = fe.predict_lambda();
+        let lt = fe.predict_lambda().unwrap();
         let res = fe.receive_a_and_correct(&lt.clone());
         // With ã = λ̃: link residual is |λ − a| after partial relaxation of a.
         assert!(res.link >= 0.0);
@@ -731,7 +745,7 @@ mod tests {
     fn datacenter_respects_capacity_and_bounds() {
         let inst = tiny();
         let mut dc = DatacenterNode::new(&inst, 0, &AdmgSettings::default(), true, true);
-        let step = dc.process(&[1.5, 1.5]);
+        let step = dc.process(&[1.5, 1.5]).unwrap();
         let load: f64 = step.a_tilde.iter().sum();
         assert!(load <= inst.capacities[0] + 1e-7);
         assert!(step.a_tilde.iter().all(|&v| v >= -1e-9));
@@ -742,10 +756,10 @@ mod tests {
     fn pinned_blocks_stay_zero_at_node_level() {
         let inst = tiny();
         let mut grid_dc = DatacenterNode::new(&inst, 0, &AdmgSettings::default(), false, true);
-        grid_dc.process(&[0.5, 1.0]);
+        grid_dc.process(&[0.5, 1.0]).unwrap();
         assert_eq!(grid_dc.mu(), 0.0);
         let mut fc_dc = DatacenterNode::new(&inst, 0, &AdmgSettings::default(), true, false);
-        fc_dc.process(&[0.5, 1.0]);
+        fc_dc.process(&[0.5, 1.0]).unwrap();
         assert_eq!(fc_dc.nu(), 0.0);
     }
 
@@ -760,7 +774,7 @@ mod tests {
         let inst = tiny();
         let mut fe = FrontendNode::new(&inst, 1, &AdmgSettings::default());
         fe.set_evicted(0);
-        let row = fe.predict_lambda();
+        let row = fe.predict_lambda().unwrap();
         assert_eq!(row[0], 0.0, "evicted column must stay zero");
         let sum: f64 = row.iter().sum();
         assert!(
@@ -787,7 +801,7 @@ mod tests {
         let expected =
             ufc_core::subproblems::lambda_step(&inst, settings.rho, settings.method, &state)
                 .unwrap();
-        let row = fe.predict_lambda();
+        let row = fe.predict_lambda().unwrap();
         for j in 0..2 {
             assert_eq!(row[j], expected[j], "column {j} diverged");
         }
@@ -800,8 +814,8 @@ mod tests {
         let mut fe = FrontendNode::new(&inst, 0, &settings);
         let mut dc = DatacenterNode::new(&inst, 0, &settings, true, true);
         // Advance one protocol round to get nonzero state.
-        let lt = fe.predict_lambda();
-        let step = dc.process(&[lt[0], lt[0]]);
+        let lt = fe.predict_lambda().unwrap();
+        let step = dc.process(&[lt[0], lt[0]]).unwrap();
         fe.receive_a_and_correct(&[step.a_tilde[0], step.a_tilde[0]]);
 
         // Serialize through the wire codec, restore into fresh nodes.
@@ -815,11 +829,11 @@ mod tests {
             .unwrap();
 
         // The next round must be bit-identical.
-        let r1 = fe.predict_lambda();
-        let r2 = fe2.predict_lambda();
+        let r1 = fe.predict_lambda().unwrap();
+        let r2 = fe2.predict_lambda().unwrap();
         assert_eq!(r1, r2);
-        let s1 = dc.process(&[r1[0], r1[0]]);
-        let s2 = dc2.process(&[r2[0], r2[0]]);
+        let s1 = dc.process(&[r1[0], r1[0]]).unwrap();
+        let s2 = dc2.process(&[r2[0], r2[0]]).unwrap();
         assert_eq!(s1.a_tilde, s2.a_tilde);
         assert_eq!(dc.mu().to_bits(), dc2.mu().to_bits());
         assert_eq!(dc.nu().to_bits(), dc2.nu().to_bits());
@@ -839,7 +853,7 @@ mod tests {
         let h = inst.slot_hours;
         let j = 0;
         let mut dc = DatacenterNode::new(&inst, j, &settings, true, true);
-        let step = dc.process(&[0.5, 1.0]);
+        let step = dc.process(&[0.5, 1.0]).unwrap();
 
         // Reference: the shared scalar kernels + the core correction
         // recursion, evaluated from the same zero state.
@@ -899,8 +913,8 @@ mod tests {
         let mut plain = DatacenterNode::new(&inst, 0, &settings, true, true);
         let mut stored = DatacenterNode::new(&inst_s, 0, &settings, true, true);
         for _ in 0..3 {
-            let s1 = plain.process(&[0.5, 1.0]);
-            let s2 = stored.process(&[0.5, 1.0]);
+            let s1 = plain.process(&[0.5, 1.0]).unwrap();
+            let s2 = stored.process(&[0.5, 1.0]).unwrap();
             assert_eq!(s1.a_tilde, s2.a_tilde);
             assert_eq!(s2.d, 0.0, "inactive battery must pin d at zero");
             assert_eq!(plain.mu().to_bits(), stored.mu().to_bits());
@@ -928,12 +942,51 @@ mod tests {
 
         let inst = tiny();
         let mut fe = FrontendNode::new(&inst, 0, &AdmgSettings::default());
-        fe.predict_lambda();
+        fe.predict_lambda().unwrap();
         let res = fe.receive_a_and_correct(&[f64::NAN, 0.0]);
         assert!(
             res.link.is_nan() || res.movement.is_nan(),
             "a NaN ã must surface in the residuals: {res:?}"
         );
+    }
+
+    /// Found by `repro fuzz --faults` (seed 777): an unverified corrupted
+    /// delivery poisons the replicas, the next λ-/a-QP cannot converge, and
+    /// the node used to `.expect()` — an abort instead of the typed
+    /// rejection the §12 corruption contract promises. Huge-magnitude
+    /// poison (a bit-flipped exponent) overflows the KKT steps into
+    /// NaN and the active set thrashes to its iteration cap; NaN poison
+    /// instead flows through to the residuals for the divergence gate.
+    /// Either way the process must survive with a typed outcome.
+    #[test]
+    fn poisoned_iterate_is_a_typed_subproblem_error_not_a_panic() {
+        let inst = tiny();
+        let mut fe = FrontendNode::new(&inst, 0, &AdmgSettings::default());
+        fe.predict_lambda().unwrap();
+        fe.receive_a_and_correct(&[-5.5e307, -5.5e307]);
+        let err = fe.predict_lambda().unwrap_err();
+        assert!(
+            matches!(err, CoreError::Subproblem { .. }),
+            "expected a typed Subproblem error, got {err:?}"
+        );
+
+        let mut dc = DatacenterNode::new(&inst, 0, &AdmgSettings::default(), true, true);
+        dc.process(&[0.5, 1.0]).unwrap();
+        let err = dc.process(&[-5.5e307, -5.5e307]).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Subproblem { .. }),
+            "expected a typed Subproblem error, got {err:?}"
+        );
+
+        // NaN poison takes the graceful path: the QP accepts the iterate
+        // and the divergence gate downstream flags the NaN residuals.
+        let mut fe = FrontendNode::new(&inst, 0, &AdmgSettings::default());
+        fe.predict_lambda().unwrap();
+        fe.receive_a_and_correct(&[f64::NAN, f64::NAN]);
+        let _ = fe.predict_lambda();
+        let mut dc = DatacenterNode::new(&inst, 0, &AdmgSettings::default(), true, true);
+        dc.process(&[0.5, 1.0]).unwrap();
+        let _ = dc.process(&[f64::NAN, f64::NAN]);
     }
 
     #[test]

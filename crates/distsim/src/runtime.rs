@@ -23,9 +23,12 @@ use crate::engine_threaded::run_supervised;
 use crate::fault::{CorruptionConfig, FaultPlan, FaultReport};
 use crate::loss::LossConfig;
 use crate::stats::MessageStats;
+use crate::wire::{AuthKey, BindConfig};
 
 /// Configuration of the multi-process socket engine: where the worker
-/// binary lives and how many OS processes to spread the nodes over.
+/// binary lives, how many OS processes to spread the nodes over, which
+/// address the coordinator listens on, and (for non-loopback binds) the
+/// shared authentication key.
 #[derive(Debug, Clone)]
 pub struct SocketOptions {
     /// Path to the `ufc-node` worker binary (built from
@@ -36,15 +39,25 @@ pub struct SocketOptions {
     /// fault injection (kills, partitions) requires the full one-per-node
     /// split so a `SIGKILL` hits exactly the scripted node.
     pub processes: usize,
+    /// Listen/advertise addresses. Defaults to an ephemeral loopback port;
+    /// a non-loopback listen address is refused unless [`Self::auth`] is
+    /// set (see DESIGN.md §17).
+    pub bind: BindConfig,
+    /// Shared handshake key. When set, every connection must pass the
+    /// challenge–response MAC exchange before any iteration state is
+    /// exchanged; plain `Hello` handshakes (a downgrade) are rejected.
+    pub auth: Option<AuthKey>,
 }
 
 impl SocketOptions {
     /// Options for the given worker binary with the default one process
-    /// per node.
+    /// per node on an ephemeral loopback port, unauthenticated.
     pub fn new(worker: impl Into<PathBuf>) -> Self {
         SocketOptions {
             worker: worker.into(),
             processes: 0,
+            bind: BindConfig::loopback(),
+            auth: None,
         }
     }
 
@@ -52,6 +65,21 @@ impl SocketOptions {
     #[must_use]
     pub fn with_processes(mut self, processes: usize) -> Self {
         self.processes = processes;
+        self
+    }
+
+    /// Overrides the listen/advertise addresses.
+    #[must_use]
+    pub fn with_bind(mut self, bind: BindConfig) -> Self {
+        self.bind = bind;
+        self
+    }
+
+    /// Enables the authenticated challenge–response handshake with the
+    /// given shared key.
+    #[must_use]
+    pub fn with_auth(mut self, key: AuthKey) -> Self {
+        self.auth = Some(key);
         self
     }
 }
@@ -308,6 +336,71 @@ impl DistributedAdmg {
         Ok(report)
     }
 
+    /// Runs the socket engine under seeded payload corruption applied to
+    /// the actual TCP traffic. Value-level kinds (bit flips, sign flips,
+    /// NaN/∞, magnitude scaling — [`CorruptionConfig::kind`] `None` or a
+    /// value kind) draw in the exact order of the in-process engines, so a
+    /// verified run reproduces [`DistributedAdmg::run_corrupt`]
+    /// bit-for-bit. The wire-level kinds
+    /// ([`crate::CorruptionKind::FrameTruncate`] /
+    /// [`crate::CorruptionKind::FrameDuplicate`] /
+    /// [`crate::CorruptionKind::FrameReorder`]) instead mangle whole wire
+    /// frames in the socket I/O pumps — truncations are detected by the
+    /// framing CRC and repaired over a `Nak`/clean-resend exchange, while
+    /// duplicates and reorders are absorbed by the existing dedup and
+    /// order-insensitive gather — and require the one-process-per-node
+    /// split.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DistributedAdmg::run_corrupt`], plus
+    /// [`CoreError::InvalidConfig`] when a wire-level kind is combined
+    /// with co-hosted nodes.
+    pub fn run_sockets_corrupt(
+        &self,
+        instance: &UfcInstance,
+        strategy: Strategy,
+        options: &SocketOptions,
+        corruption: CorruptionConfig,
+    ) -> Result<DistRunReport, CoreError> {
+        self.run_sockets_corrupt_observed(instance, strategy, options, corruption, &mut ())
+    }
+
+    /// Like [`DistributedAdmg::run_sockets_corrupt`], streaming events to
+    /// a caller-supplied observer.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DistributedAdmg::run_sockets_corrupt`].
+    pub fn run_sockets_corrupt_observed(
+        &self,
+        instance: &UfcInstance,
+        strategy: Strategy,
+        options: &SocketOptions,
+        corruption: CorruptionConfig,
+        observer: &mut dyn IterationObserver,
+    ) -> Result<DistRunReport, CoreError> {
+        let (active_mu, active_nu) = strategy.block_activation(instance)?;
+        let mut plan = FaultPlan::none().with_corruption(corruption);
+        if self.settings.divergence_rollback {
+            // Same policy as run_corrupt: rollback needs checkpoints.
+            plan.checkpoint_interval = 4;
+        }
+        let mut report = run_socket_engine(
+            &self.settings,
+            instance,
+            active_mu,
+            active_nu,
+            plan,
+            options,
+            observer,
+        )?;
+        if let Some(fault) = report.fault.as_mut() {
+            fault.ufc_delta_vs_clean = 0.0;
+        }
+        Ok(report)
+    }
+
     /// Runs the protocol (lockstep engine) over a lossy channel with
     /// retransmission. The iterates — and therefore the solution — are
     /// identical to a lossless run; only the traffic and the estimated WAN
@@ -379,6 +472,12 @@ impl DistributedAdmg {
         corruption: CorruptionConfig,
         observer: &mut dyn IterationObserver,
     ) -> Result<DistRunReport, CoreError> {
+        if corruption.kind.is_some_and(|k| k.is_wire_level()) {
+            return Err(CoreError::invalid_config(
+                "wire-level corruption kinds (frame truncate/duplicate/reorder) need real \
+                 TCP frames; use run_sockets_corrupt",
+            ));
+        }
         let (active_mu, active_nu) = strategy.block_activation(instance)?;
         let mut plan = FaultPlan::none().with_corruption(corruption);
         if self.settings.divergence_rollback {

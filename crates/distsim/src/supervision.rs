@@ -12,6 +12,8 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use ufc_core::CoreError;
+
 use crate::fault::{FaultPlan, NodeId};
 use crate::node::{DatacenterNode, FrontendNode, NodeResiduals};
 
@@ -79,6 +81,17 @@ pub(crate) enum Reply {
         mu: f64,
         d: f64,
     },
+    /// A node's sub-problem rejected its inputs (e.g. NaN-poisoned
+    /// replicas under unverified corruption). The worker reports the typed
+    /// error and stops; the coordinator aborts the run with it instead of
+    /// respawning into the same poison. Over the socket wire this variant
+    /// is degraded to a rendered [`CoreError::NodeFailure`] (the full error
+    /// enum has no wire codec); in-process channels carry it verbatim.
+    NodeError {
+        node: NodeId,
+        iteration: usize,
+        error: CoreError,
+    },
 }
 
 /// The fault injections one worker carries: iterations at which it
@@ -135,8 +148,18 @@ pub(crate) fn spawn_frontend_worker(
                         return; // crash-stop: die silently
                     }
                     script.straggle(iteration);
-                    let row = node.predict_lambda();
-                    if out.send(Reply::Lambda { i, iteration, row }).is_err() {
+                    let reply = match node.predict_lambda() {
+                        Ok(row) => Reply::Lambda { i, iteration, row },
+                        // Poisoned iterate: report the typed rejection and
+                        // stop — the coordinator aborts with it.
+                        Err(error) => Reply::NodeError {
+                            node: NodeId::Frontend(i),
+                            iteration,
+                            error,
+                        },
+                    };
+                    let failed = matches!(reply, Reply::NodeError { .. });
+                    if out.send(reply).is_err() || failed {
                         return;
                     }
                 }
@@ -196,17 +219,22 @@ pub(crate) fn spawn_datacenter_worker(
                         return;
                     }
                     script.straggle(iteration);
-                    let step = node.process(&column);
-                    if out
-                        .send(Reply::DcStep {
+                    let reply = match node.process(&column) {
+                        Ok(step) => Reply::DcStep {
                             j,
                             iteration,
                             a_tilde: step.a_tilde,
                             d: step.d,
                             residuals: step.residuals,
-                        })
-                        .is_err()
-                    {
+                        },
+                        Err(error) => Reply::NodeError {
+                            node: NodeId::Datacenter(j),
+                            iteration,
+                            error,
+                        },
+                    };
+                    let failed = matches!(reply, Reply::NodeError { .. });
+                    if out.send(reply).is_err() || failed {
                         return;
                     }
                 }

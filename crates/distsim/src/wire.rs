@@ -29,9 +29,12 @@
 //! decoded on the far side is bit-identical to the value encoded — the
 //! foundation of the socket engine's bitwise-equivalence guarantee.
 
+use std::fmt;
+
 use ufc_core::CoreError;
 use ufc_model::{EmissionCostFn, QueueingCost, StorageParams, UfcInstance};
 
+use crate::fault::NodeId;
 use crate::message::crc32;
 use crate::node::NodeResiduals;
 use crate::supervision::Reply;
@@ -228,6 +231,366 @@ fn put_bool(buf: &mut Vec<u8>, v: bool) {
     buf.push(u8::from(v));
 }
 
+// ---- transport authentication -------------------------------------------
+//
+// A hand-rolled SHA-256 / HMAC-SHA256 pair (FIPS 180-4 / RFC 2104; no
+// external crates) underpins the challenge–response handshake that guards
+// non-loopback listeners. The primitives are deliberately boring: the
+// security of the handshake rests on HMAC, not on anything clever here.
+
+const SHA256_K: [u32; 64] = [
+    0x428a_2f98,
+    0x7137_4491,
+    0xb5c0_fbcf,
+    0xe9b5_dba5,
+    0x3956_c25b,
+    0x59f1_11f1,
+    0x923f_82a4,
+    0xab1c_5ed5,
+    0xd807_aa98,
+    0x1283_5b01,
+    0x2431_85be,
+    0x550c_7dc3,
+    0x72be_5d74,
+    0x80de_b1fe,
+    0x9bdc_06a7,
+    0xc19b_f174,
+    0xe49b_69c1,
+    0xefbe_4786,
+    0x0fc1_9dc6,
+    0x240c_a1cc,
+    0x2de9_2c6f,
+    0x4a74_84aa,
+    0x5cb0_a9dc,
+    0x76f9_88da,
+    0x983e_5152,
+    0xa831_c66d,
+    0xb003_27c8,
+    0xbf59_7fc7,
+    0xc6e0_0bf3,
+    0xd5a7_9147,
+    0x06ca_6351,
+    0x1429_2967,
+    0x27b7_0a85,
+    0x2e1b_2138,
+    0x4d2c_6dfc,
+    0x5338_0d13,
+    0x650a_7354,
+    0x766a_0abb,
+    0x81c2_c92e,
+    0x9272_2c85,
+    0xa2bf_e8a1,
+    0xa81a_664b,
+    0xc24b_8b70,
+    0xc76c_51a3,
+    0xd192_e819,
+    0xd699_0624,
+    0xf40e_3585,
+    0x106a_a070,
+    0x19a4_c116,
+    0x1e37_6c08,
+    0x2748_774c,
+    0x34b0_bcb5,
+    0x391c_0cb3,
+    0x4ed8_aa4a,
+    0x5b9c_ca4f,
+    0x682e_6ff3,
+    0x748f_82ee,
+    0x78a5_636f,
+    0x84c8_7814,
+    0x8cc7_0208,
+    0x90be_fffa,
+    0xa450_6ceb,
+    0xbef9_a3f7,
+    0xc671_78f2,
+];
+
+/// SHA-256 of `data` (FIPS 180-4). Used for the run-config digest bound
+/// into the handshake MAC and as the compression function under
+/// [`hmac_sha256`].
+#[must_use]
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h: [u32; 8] = [
+        0x6a09_e667,
+        0xbb67_ae85,
+        0x3c6e_f372,
+        0xa54f_f53a,
+        0x510e_527f,
+        0x9b05_688c,
+        0x1f83_d9ab,
+        0x5be0_cd19,
+    ];
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+    for chunk in msg.chunks_exact(64) {
+        let mut w = [0u32; 64];
+        for (t, word) in chunk.chunks_exact(4).enumerate() {
+            w[t] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for t in 16..64 {
+            let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+            let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
+            w[t] = w[t - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[t - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for t in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(SHA256_K[t])
+                .wrapping_add(w[t]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (slot, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
+            *slot = slot.wrapping_add(v);
+        }
+    }
+    let mut out = [0u8; 32];
+    for (i, v) in h.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&v.to_be_bytes());
+    }
+    out
+}
+
+/// HMAC-SHA256 (RFC 2104) of `message` under `key`; keys longer than the
+/// 64-byte block are hashed first, exactly per the RFC.
+#[must_use]
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let mut k = [0u8; 64];
+    if key.len() > 64 {
+        k[..32].copy_from_slice(&sha256(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Vec::with_capacity(64 + message.len());
+    inner.extend(k.iter().map(|b| b ^ 0x36));
+    inner.extend_from_slice(message);
+    let inner_hash = sha256(&inner);
+    let mut outer = Vec::with_capacity(64 + 32);
+    outer.extend(k.iter().map(|b| b ^ 0x5c));
+    outer.extend_from_slice(&inner_hash);
+    sha256(&outer)
+}
+
+/// Constant-time 32-byte comparison: a MAC check must not leak how many
+/// prefix bytes matched through its timing.
+#[must_use]
+pub(crate) fn ct_eq(a: &[u8; 32], b: &[u8; 32]) -> bool {
+    a.iter().zip(b).fold(0u8, |acc, (x, y)| acc | (x ^ y)) == 0
+}
+
+/// Shared 256-bit authentication key for the socket transport. Both the
+/// coordinator and every `ufc-node` worker must hold the same key; the
+/// handshake never places the key itself on the wire, only an HMAC over
+/// the per-connection challenge.
+#[derive(Clone, PartialEq, Eq)]
+pub struct AuthKey {
+    bytes: [u8; 32],
+}
+
+impl AuthKey {
+    /// Wraps raw key bytes.
+    #[must_use]
+    pub fn new(bytes: [u8; 32]) -> Self {
+        AuthKey { bytes }
+    }
+
+    /// Parses the 64-hex-digit spelling used by `ufc-node --auth-key`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] unless the input is exactly 64
+    /// hexadecimal digits.
+    pub fn from_hex(hex: &str) -> Result<Self, CoreError> {
+        let hex = hex.trim();
+        if hex.len() != 64 {
+            return Err(CoreError::invalid_config(format!(
+                "auth key must be 64 hex digits (256 bits), got {} characters",
+                hex.len()
+            )));
+        }
+        let mut bytes = [0u8; 32];
+        for (i, pair) in hex.as_bytes().chunks_exact(2).enumerate() {
+            let s = std::str::from_utf8(pair).map_err(|_| {
+                CoreError::invalid_config("auth key contains non-ascii characters".to_owned())
+            })?;
+            bytes[i] = u8::from_str_radix(s, 16).map_err(|_| {
+                CoreError::invalid_config(format!("auth key contains a non-hex digit in {s:?}"))
+            })?;
+        }
+        Ok(AuthKey { bytes })
+    }
+
+    /// The 64-hex-digit spelling (what `ufc-node --auth-key` expects).
+    #[must_use]
+    pub fn to_hex(&self) -> String {
+        self.bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    pub(crate) fn bytes(&self) -> &[u8; 32] {
+        &self.bytes
+    }
+}
+
+impl fmt::Debug for AuthKey {
+    /// Redacted: key material must never leak through logs or error text.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("AuthKey(…)")
+    }
+}
+
+/// Where the coordinator's acceptor listens and what address it hands the
+/// workers it spawns. The default keeps the PR-6 behaviour: an ephemeral
+/// loopback port. Non-loopback listens are allowed only together with an
+/// [`AuthKey`] — the engine rejects the combination otherwise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindConfig {
+    /// Address handed to `TcpListener::bind` (e.g. `127.0.0.1:0`,
+    /// `0.0.0.0:7740`).
+    pub listen: String,
+    /// Address advertised to spawned workers; `None` derives
+    /// `host:port` from the bound listener's local address.
+    pub advertise: Option<String>,
+}
+
+impl Default for BindConfig {
+    fn default() -> Self {
+        BindConfig {
+            listen: "127.0.0.1:0".to_owned(),
+            advertise: None,
+        }
+    }
+}
+
+impl BindConfig {
+    /// The default ephemeral-loopback bind.
+    #[must_use]
+    pub fn loopback() -> Self {
+        BindConfig::default()
+    }
+
+    /// Listens on an explicit address.
+    #[must_use]
+    pub fn new(listen: impl Into<String>) -> Self {
+        BindConfig {
+            listen: listen.into(),
+            advertise: None,
+        }
+    }
+
+    /// Overrides the address workers are told to connect to (useful when
+    /// the listen address is a wildcard or sits behind NAT).
+    #[must_use]
+    pub fn with_advertise(mut self, advertise: impl Into<String>) -> Self {
+        self.advertise = Some(advertise.into());
+        self
+    }
+
+    /// Whether the listen address stays on the loopback interface; only
+    /// loopback binds may run without an [`AuthKey`].
+    #[must_use]
+    pub fn is_loopback(&self) -> bool {
+        if let Ok(addr) = self.listen.parse::<std::net::SocketAddr>() {
+            return addr.ip().is_loopback();
+        }
+        self.listen.starts_with("localhost:")
+    }
+}
+
+/// The keyed MAC a worker presents in [`WireFrame::AuthHello`]:
+/// `HMAC-SHA256(key, nonce ‖ session ‖ process ‖ incarnation ‖ digest)`.
+/// Binding the run-config digest means an authenticated worker cannot be
+/// spliced onto a different run configuration; binding the nonce makes
+/// every recorded handshake worthless for replay.
+#[must_use]
+pub(crate) fn handshake_mac(
+    key: &AuthKey,
+    nonce: &[u8; 32],
+    session: u64,
+    process: usize,
+    incarnation: u32,
+    digest: &[u8; 32],
+) -> [u8; 32] {
+    let mut msg = Vec::with_capacity(32 + 8 + 8 + 4 + 32);
+    msg.extend_from_slice(nonce);
+    msg.extend_from_slice(&session.to_le_bytes());
+    msg.extend_from_slice(&(process as u64).to_le_bytes());
+    msg.extend_from_slice(&incarnation.to_le_bytes());
+    msg.extend_from_slice(digest);
+    hmac_sha256(key.bytes(), &msg)
+}
+
+/// Verifies the frame a peer sent in answer to a [`WireFrame::Challenge`].
+/// Pure so the rejection taxonomy is unit-testable without sockets.
+///
+/// # Errors
+///
+/// [`CoreError::Unauthorized`] on a plain `Hello` (downgrade), a stale
+/// session id, a MAC mismatch (wrong key or replayed challenge), or any
+/// other frame kind arriving mid-handshake.
+pub(crate) fn verify_auth_hello(
+    key: &AuthKey,
+    nonce: &[u8; 32],
+    digest: &[u8; 32],
+    session: u64,
+    frame: &WireFrame,
+) -> Result<(usize, u32), CoreError> {
+    match frame {
+        WireFrame::AuthHello {
+            session: got,
+            process,
+            incarnation,
+            mac,
+        } => {
+            if *got != session {
+                return Err(CoreError::unauthorized(
+                    format!("worker-{process}"),
+                    format!("stale session id {got:#x} (expected {session:#x})"),
+                ));
+            }
+            let expect = handshake_mac(key, nonce, session, *process, *incarnation, digest);
+            if !ct_eq(&expect, mac) {
+                return Err(CoreError::unauthorized(
+                    format!("worker-{process}"),
+                    "handshake mac mismatch (wrong key or replayed challenge)",
+                ));
+            }
+            Ok((*process, *incarnation))
+        }
+        WireFrame::Hello { process, .. } => Err(CoreError::unauthorized(
+            format!("worker-{process}"),
+            "downgrade: plain hello on an authenticated listener",
+        )),
+        other => Err(CoreError::unauthorized(
+            "peer",
+            format!(
+                "unexpected frame kind {} during the handshake",
+                other.kind_tag()
+            ),
+        )),
+    }
+}
+
 // ---- protocol frames ----------------------------------------------------
 
 /// A node-addressed command from the coordinator to a worker process — the
@@ -275,6 +638,34 @@ pub(crate) enum WireFrame {
     Reply(Reply),
     /// Coordinator → worker: orderly exit.
     Shutdown,
+    /// Coordinator → worker: authentication challenge, sent immediately
+    /// after accept when the listener holds an [`AuthKey`]. Carries a
+    /// per-connection random nonce and the SHA-256 digest of the
+    /// serialized [`RunConfig`] the worker is about to receive.
+    Challenge {
+        /// Fresh random nonce; never reused across connections, so a
+        /// recorded `AuthHello` cannot be replayed.
+        nonce: [u8; 32],
+        /// `sha256(RunConfig::encode())` — bound into the MAC and
+        /// re-checked by the worker against the `Welcome` it receives.
+        digest: [u8; 32],
+    },
+    /// Worker → coordinator: the authenticated spelling of `Hello`,
+    /// answering a [`WireFrame::Challenge`].
+    AuthHello {
+        /// Run-unique session id (as in `Hello`).
+        session: u64,
+        /// Which process slot this worker fills.
+        process: usize,
+        /// Respawn generation.
+        incarnation: u32,
+        /// [`handshake_mac`] over the challenge nonce and this identity.
+        mac: [u8; 32],
+    },
+    /// Either direction: the last data frame failed its integrity check —
+    /// retransmit it. The wire-chaos retransmit ladder's negative
+    /// acknowledgement.
+    Nak,
 }
 
 impl WireFrame {
@@ -285,6 +676,9 @@ impl WireFrame {
             WireFrame::Cmd { .. } => 2,
             WireFrame::Reply(_) => 3,
             WireFrame::Shutdown => 4,
+            WireFrame::Challenge { .. } => 5,
+            WireFrame::AuthHello { .. } => 6,
+            WireFrame::Nak => 7,
         }
     }
 
@@ -395,8 +789,43 @@ impl WireFrame {
                     put_f64(&mut buf, *mu);
                     put_f64(&mut buf, *d);
                 }
+                Reply::NodeError {
+                    node,
+                    iteration,
+                    error,
+                } => {
+                    // The error enum itself has no wire codec; ship the
+                    // rendered message. Decode rebuilds a typed
+                    // `CoreError::NodeFailure` around it (documented on the
+                    // variant).
+                    buf.push(7);
+                    let (kind, index) = match node {
+                        NodeId::Frontend(i) => (0u8, *i),
+                        NodeId::Datacenter(j) => (1u8, *j),
+                    };
+                    buf.push(kind);
+                    put_u32(&mut buf, index);
+                    put_u64(&mut buf, *iteration as u64);
+                    put_blob(&mut buf, error.to_string().as_bytes());
+                }
             },
             WireFrame::Shutdown => {}
+            WireFrame::Challenge { nonce, digest } => {
+                buf.extend_from_slice(nonce);
+                buf.extend_from_slice(digest);
+            }
+            WireFrame::AuthHello {
+                session,
+                process,
+                incarnation,
+                mac,
+            } => {
+                put_u64(&mut buf, *session);
+                put_u32(&mut buf, *process);
+                buf.extend_from_slice(&incarnation.to_le_bytes());
+                buf.extend_from_slice(mac);
+            }
+            WireFrame::Nak => {}
         }
         let crc = crc32(&buf);
         buf.extend_from_slice(&crc.to_le_bytes());
@@ -516,11 +945,39 @@ impl WireFrame {
                         mu: get_f64(body, &mut pos)?,
                         d: get_f64(body, &mut pos)?,
                     },
+                    7 => {
+                        let node = match get_u8(body, &mut pos)? {
+                            0 => NodeId::Frontend(get_u32(body, &mut pos)?),
+                            1 => NodeId::Datacenter(get_u32(body, &mut pos)?),
+                            other => {
+                                return Err(corrupt(format!("unknown node kind {other}")));
+                            }
+                        };
+                        let iteration = get_u64(body, &mut pos)? as usize;
+                        let rendered = String::from_utf8(get_blob(body, &mut pos)?)
+                            .map_err(|_| corrupt("node error message is not UTF-8".to_owned()))?;
+                        Reply::NodeError {
+                            node,
+                            iteration,
+                            error: CoreError::node_failure(node.to_string(), iteration, rendered),
+                        }
+                    }
                     other => return Err(corrupt(format!("unknown reply tag {other}"))),
                 };
                 WireFrame::Reply(reply)
             }
             4 => WireFrame::Shutdown,
+            5 => WireFrame::Challenge {
+                nonce: take::<32>(body, &mut pos)?,
+                digest: take::<32>(body, &mut pos)?,
+            },
+            6 => WireFrame::AuthHello {
+                session: get_u64(body, &mut pos)?,
+                process: get_u32(body, &mut pos)?,
+                incarnation: u32::from_le_bytes(take::<4>(body, &mut pos)?),
+                mac: take::<32>(body, &mut pos)?,
+            },
+            7 => WireFrame::Nak,
             other => return Err(corrupt(format!("unknown frame kind {other}"))),
         };
         if pos != body.len() {
@@ -872,7 +1329,180 @@ mod tests {
                 d: 0.125,
             }),
             WireFrame::Shutdown,
+            WireFrame::Challenge {
+                nonce: [0xA5; 32],
+                digest: [0x3C; 32],
+            },
+            WireFrame::AuthHello {
+                session: 0x0123_4567_89AB_CDEF,
+                process: 2,
+                incarnation: 1,
+                mac: [0x77; 32],
+            },
+            WireFrame::Nak,
         ]
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        s.as_bytes()
+            .chunks_exact(2)
+            .map(|p| u8::from_str_radix(std::str::from_utf8(p).unwrap(), 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn sha256_matches_fips_vectors() {
+        // FIPS 180-4 / NIST CAVP known-answer vectors.
+        assert_eq!(
+            sha256(b"").to_vec(),
+            unhex("e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855")
+        );
+        assert_eq!(
+            sha256(b"abc").to_vec(),
+            unhex("ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad")
+        );
+        // Two-block message exercises the chaining.
+        assert_eq!(
+            sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_vec(),
+            unhex("248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1")
+        );
+    }
+
+    #[test]
+    fn hmac_sha256_matches_rfc4231_vectors() {
+        // RFC 4231 test case 1.
+        assert_eq!(
+            hmac_sha256(&[0x0b; 20], b"Hi There").to_vec(),
+            unhex("b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7")
+        );
+        // Test case 2: short ascii key.
+        assert_eq!(
+            hmac_sha256(b"Jefe", b"what do ya want for nothing?").to_vec(),
+            unhex("5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843")
+        );
+        // Test case 6: 131-byte key exercises the hash-the-key path.
+        assert_eq!(
+            hmac_sha256(
+                &[0xaa; 131],
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )
+            .to_vec(),
+            unhex("60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54")
+        );
+    }
+
+    #[test]
+    fn auth_key_parses_hex_and_redacts_debug() {
+        let hex = "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f";
+        let key = AuthKey::from_hex(hex).unwrap();
+        assert_eq!(key.to_hex(), hex);
+        assert_eq!(key.bytes()[1], 0x01);
+        assert!(!format!("{key:?}").contains("0102"), "debug must redact");
+
+        for bad in ["deadbeef", &format!("{hex}00"), &hex.replace('0', "g")] {
+            let err = AuthKey::from_hex(bad).unwrap_err();
+            assert!(
+                matches!(err, CoreError::InvalidConfig { .. }),
+                "{bad:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bind_config_distinguishes_loopback() {
+        assert!(BindConfig::default().is_loopback());
+        assert!(BindConfig::new("127.0.0.1:7740").is_loopback());
+        assert!(BindConfig::new("[::1]:7740").is_loopback());
+        assert!(BindConfig::new("localhost:7740").is_loopback());
+        assert!(!BindConfig::new("0.0.0.0:7740").is_loopback());
+        assert!(!BindConfig::new("10.1.2.3:7740").is_loopback());
+        assert_eq!(
+            BindConfig::new("0.0.0.0:7740")
+                .with_advertise("203.0.113.9:7740")
+                .advertise
+                .as_deref(),
+            Some("203.0.113.9:7740")
+        );
+    }
+
+    #[test]
+    fn auth_hello_verification_accepts_honest_and_rejects_hostile() {
+        let key = AuthKey::new([0x42; 32]);
+        let nonce = [0x11; 32];
+        let digest = sha256(b"run config bytes");
+        let session = 0xFEED_F00D;
+        let mac = handshake_mac(&key, &nonce, session, 3, 1, &digest);
+        let honest = WireFrame::AuthHello {
+            session,
+            process: 3,
+            incarnation: 1,
+            mac,
+        };
+        assert_eq!(
+            verify_auth_hello(&key, &nonce, &digest, session, &honest).unwrap(),
+            (3, 1)
+        );
+
+        // Wrong key.
+        let wrong_key = WireFrame::AuthHello {
+            session,
+            process: 3,
+            incarnation: 1,
+            mac: handshake_mac(&AuthKey::new([0x43; 32]), &nonce, session, 3, 1, &digest),
+        };
+        let err = verify_auth_hello(&key, &nonce, &digest, session, &wrong_key).unwrap_err();
+        assert!(matches!(err, CoreError::Unauthorized { .. }), "{err}");
+        assert!(err.to_string().contains("mac mismatch"), "{err}");
+
+        // Replay: a MAC recorded under an earlier nonce fails under the
+        // fresh one.
+        let replayed = WireFrame::AuthHello {
+            session,
+            process: 3,
+            incarnation: 1,
+            mac: handshake_mac(&key, &[0x22; 32], session, 3, 1, &digest),
+        };
+        assert!(matches!(
+            verify_auth_hello(&key, &nonce, &digest, session, &replayed),
+            Err(CoreError::Unauthorized { .. })
+        ));
+
+        // Downgrade to the unauthenticated hello.
+        let downgrade = WireFrame::Hello {
+            session,
+            process: 3,
+            incarnation: 1,
+        };
+        let err = verify_auth_hello(&key, &nonce, &digest, session, &downgrade).unwrap_err();
+        assert!(err.to_string().contains("downgrade"), "{err}");
+
+        // Stale session id.
+        let stale = WireFrame::AuthHello {
+            session: session ^ 1,
+            process: 3,
+            incarnation: 1,
+            mac: handshake_mac(&key, &nonce, session ^ 1, 3, 1, &digest),
+        };
+        let err = verify_auth_hello(&key, &nonce, &digest, session, &stale).unwrap_err();
+        assert!(err.to_string().contains("stale session"), "{err}");
+
+        // Identity fields are bound into the MAC: flipping the process
+        // index after the fact invalidates it.
+        let spliced = WireFrame::AuthHello {
+            session,
+            process: 2,
+            incarnation: 1,
+            mac,
+        };
+        assert!(matches!(
+            verify_auth_hello(&key, &nonce, &digest, session, &spliced),
+            Err(CoreError::Unauthorized { .. })
+        ));
+
+        // A non-handshake frame mid-handshake is rejected too.
+        let err =
+            verify_auth_hello(&key, &nonce, &digest, session, &WireFrame::Shutdown).unwrap_err();
+        assert!(matches!(err, CoreError::Unauthorized { .. }), "{err}");
     }
 
     #[test]

@@ -29,10 +29,13 @@ use std::time::Duration;
 
 use ufc_core::CoreError;
 
+use crate::fault::NodeId;
 use crate::node::{DatacenterNode, FrontendNode};
 use crate::snapshot::{DatacenterSnapshot, FrontendSnapshot};
 use crate::supervision::Reply;
-use crate::wire::{hosted_nodes, FrameBuffer, NodeCmd, RunConfig, WireFrame};
+use crate::wire::{
+    handshake_mac, hosted_nodes, sha256, AuthKey, FrameBuffer, NodeCmd, RunConfig, WireFrame,
+};
 
 /// Connection attempts before the worker gives up on the coordinator.
 const CONNECT_ATTEMPTS: usize = 12;
@@ -42,6 +45,12 @@ const BACKOFF_START: Duration = Duration::from_millis(10);
 
 /// Ceiling on the reconnect backoff delay.
 const BACKOFF_CAP: Duration = Duration::from_millis(500);
+
+/// Naks a worker may send per connection before declaring the link
+/// poisoned. Generously above any plausible chaos draw count — the
+/// per-send retransmit budget is enforced coordinator-side; this bound
+/// only prevents a livelock on a link that corrupts everything.
+const NAK_BUDGET: usize = 4096;
 
 /// One hosted node kernel: the worker-side spelling of the supervised
 /// runtime's per-thread node ownership.
@@ -84,42 +93,112 @@ fn connect_with_backoff(addr: &str, process: usize) -> Result<TcpStream, CoreErr
     ))
 }
 
-/// A live session: the stream plus its reassembly buffer.
+/// A live session: the stream, its reassembly buffer, and the per-
+/// connection wire-chaos recovery state (duplicate suppression, reply
+/// cache for coordinator Naks, Nak budget).
 struct Session {
     stream: TcpStream,
     frames: FrameBuffer,
+    /// Raw payload bytes of the previously delivered frame. A chaos
+    /// `FrameDuplicate` arrives as two byte-identical back-to-back frames;
+    /// legitimate consecutive frames are never identical (commands embed
+    /// their iteration, finals their node id), so equality means "drop".
+    last_seen: Option<Vec<u8>>,
+    /// Wire bytes of the last reply sent; retransmitted verbatim when the
+    /// coordinator answers with a [`WireFrame::Nak`].
+    last_reply: Option<Vec<u8>>,
+    /// Naks sent on this connection (bounded by [`NAK_BUDGET`]).
+    naks_sent: usize,
 }
 
 impl Session {
-    /// Connects (with backoff) and sends the `Hello` announcement.
+    /// Connects (with backoff) and performs the handshake: a plain `Hello`
+    /// without a key, or the challenge–response exchange with one. Returns
+    /// the session plus the run-config digest the coordinator committed to
+    /// in its challenge (checked against the `Welcome` later).
     fn establish(
         addr: &str,
         process: usize,
         session: u64,
         incarnation: u32,
-    ) -> Result<Session, CoreError> {
-        let mut stream = connect_with_backoff(addr, process)?;
-        let hello = WireFrame::Hello {
-            session,
-            process,
-            incarnation,
-        }
-        .to_wire();
-        stream
-            .write_all(&hello)
-            .and_then(|()| stream.flush())
-            .map_err(|e| io_failure(process, "handshake send", &e))?;
-        Ok(Session {
+        auth: Option<&AuthKey>,
+    ) -> Result<(Session, Option<[u8; 32]>), CoreError> {
+        let stream = connect_with_backoff(addr, process)?;
+        let mut link = Session {
             stream,
             frames: FrameBuffer::new(),
-        })
+            last_seen: None,
+            last_reply: None,
+            naks_sent: 0,
+        };
+        let digest = match auth {
+            None => {
+                let hello = WireFrame::Hello {
+                    session,
+                    process,
+                    incarnation,
+                }
+                .to_wire();
+                link.send_raw(&hello, process)?;
+                None
+            }
+            Some(key) => {
+                // Say nothing until the coordinator proves it holds the
+                // run: wait for its challenge, answer with the keyed MAC.
+                let frame = link.next_frame(process)?.ok_or_else(|| {
+                    CoreError::unauthorized(
+                        format!("worker-{process}"),
+                        "connection closed before the authentication challenge",
+                    )
+                })?;
+                let WireFrame::Challenge { nonce, digest } = frame else {
+                    return Err(CoreError::unauthorized(
+                        format!("worker-{process}"),
+                        "expected an authentication challenge, got a different frame",
+                    ));
+                };
+                let mac = handshake_mac(key, &nonce, session, process, incarnation, &digest);
+                let hello = WireFrame::AuthHello {
+                    session,
+                    process,
+                    incarnation,
+                    mac,
+                }
+                .to_wire();
+                link.send_raw(&hello, process)?;
+                Some(digest)
+            }
+        };
+        Ok((link, digest))
     }
 
     /// Blocks for the next complete frame; `Ok(None)` on orderly EOF.
+    ///
+    /// Wire-chaos recovery happens here: a payload that fails its CRC or
+    /// bounds checks is answered with a `Nak` (asking the coordinator to
+    /// retransmit) instead of dying, and a frame byte-identical to the
+    /// previous one is dropped as a chaos duplicate.
     fn next_frame(&mut self, process: usize) -> Result<Option<WireFrame>, CoreError> {
         loop {
             if let Some(payload) = self.frames.next_frame()? {
-                return WireFrame::decode_payload(&payload).map(Some);
+                match WireFrame::decode_payload(&payload) {
+                    Ok(frame) => {
+                        if frame != WireFrame::Nak
+                            && self.last_seen.as_deref() == Some(&payload[..])
+                        {
+                            continue;
+                        }
+                        self.last_seen = Some(payload);
+                        return Ok(Some(frame));
+                    }
+                    Err(_) if self.naks_sent < NAK_BUDGET => {
+                        self.naks_sent += 1;
+                        let nak = WireFrame::Nak.to_wire();
+                        self.send_raw(&nak, process)?;
+                        continue;
+                    }
+                    Err(err) => return Err(err),
+                }
             }
             let mut chunk = [0u8; 16 * 1024];
             let n = self
@@ -144,8 +223,17 @@ impl Session {
     }
 
     fn send(&mut self, frame: &WireFrame, process: usize) -> Result<(), CoreError> {
+        let bytes = frame.to_wire();
+        self.send_raw(&bytes, process)?;
+        if matches!(frame, WireFrame::Reply(_)) {
+            self.last_reply = Some(bytes);
+        }
+        Ok(())
+    }
+
+    fn send_raw(&mut self, bytes: &[u8], process: usize) -> Result<(), CoreError> {
         self.stream
-            .write_all(&frame.to_wire())
+            .write_all(bytes)
             .and_then(|()| self.stream.flush())
             .map_err(|e| io_failure(process, "socket write", &e))
     }
@@ -197,24 +285,41 @@ fn dispatch(
         )
     };
     match (hosted, cmd) {
-        (Hosted::Fe(node), NodeCmd::Predict { iteration }) => Ok(Some(Reply::Lambda {
-            i: node.index(),
-            iteration,
-            row: node.predict_lambda(),
-        })),
+        (Hosted::Fe(node), NodeCmd::Predict { iteration }) => {
+            Ok(Some(match node.predict_lambda() {
+                Ok(row) => Reply::Lambda {
+                    i: node.index(),
+                    iteration,
+                    row,
+                },
+                // Poisoned iterate: ship the typed rejection before dying so
+                // the coordinator aborts instead of respawning into the poison.
+                Err(error) => Reply::NodeError {
+                    node: NodeId::Frontend(node.index()),
+                    iteration,
+                    error,
+                },
+            }))
+        }
         (Hosted::Fe(node), NodeCmd::Correct { iteration, a_row }) => Ok(Some(Reply::FeResidual {
             i: node.index(),
             iteration,
             residuals: node.receive_a_and_correct(&a_row),
         })),
         (Hosted::Dc(node), NodeCmd::Process { iteration, column }) => {
-            let step = node.process(&column);
-            Ok(Some(Reply::DcStep {
-                j: node.index(),
-                iteration,
-                a_tilde: step.a_tilde,
-                d: step.d,
-                residuals: step.residuals,
+            Ok(Some(match node.process(&column) {
+                Ok(step) => Reply::DcStep {
+                    j: node.index(),
+                    iteration,
+                    a_tilde: step.a_tilde,
+                    d: step.d,
+                    residuals: step.residuals,
+                },
+                Err(error) => Reply::NodeError {
+                    node: NodeId::Datacenter(node.index()),
+                    iteration,
+                    error,
+                },
             }))
         }
         (Hosted::Fe(node), NodeCmd::Snapshot { iteration }) => Ok(Some(Reply::FeSnapshot {
@@ -263,27 +368,33 @@ fn dispatch(
 /// Runs one worker process to completion: the body of the `ufc-node`
 /// binary.
 ///
-/// Connects to the coordinator at `addr` (an IPv4/IPv6 `host:port` on
-/// loopback in all shipped experiments), performs the `Hello`/`Welcome`
-/// handshake for `(session, process, incarnation)`, then serves commands
-/// for its hosted nodes until all of them have answered `Finish` or a
-/// `Shutdown` frame arrives. Dropped connections are re-established with
-/// exponential backoff and a repeated `Hello` (same incarnation); node
-/// state survives the reconnect because it lives here, not in the stream.
+/// Connects to the coordinator at `addr` (loopback by default; any
+/// reachable `host:port` when the coordinator binds remotely), performs
+/// the handshake for `(session, process, incarnation)` — a plain
+/// `Hello`/`Welcome` without `auth`, the challenge–response exchange with
+/// it — then serves commands for its hosted nodes until all of them have
+/// answered `Finish` or a `Shutdown` frame arrives. Dropped connections
+/// are re-established with exponential backoff and a repeated handshake
+/// (same incarnation); node state survives the reconnect because it lives
+/// here, not in the stream.
 ///
 /// # Errors
 ///
 /// [`CoreError::NodeFailure`] when the coordinator stays unreachable past
-/// the backoff budget or a command is misaddressed, and
+/// the backoff budget or a command is misaddressed,
 /// [`CoreError::CorruptPayload`] when a frame fails its CRC32 or bounds
-/// checks — both name the worker process involved.
+/// checks beyond the Nak budget, and [`CoreError::Unauthorized`] when the
+/// authenticated handshake cannot be completed or the `Welcome` does not
+/// match the digest the coordinator committed to in its challenge.
 pub fn run_worker(
     addr: &str,
     process: usize,
     session: u64,
     incarnation: u32,
+    auth: Option<&AuthKey>,
 ) -> Result<(), CoreError> {
-    let mut link = Session::establish(addr, process, session, incarnation)?;
+    let (mut link, mut expected_digest) =
+        Session::establish(addr, process, session, incarnation, auth)?;
     let mut nodes: Vec<(usize, Hosted)> = Vec::new();
     let mut finished = 0usize;
     loop {
@@ -297,7 +408,8 @@ pub fn run_worker(
                 }
                 // Mid-run drop (partition simulation or coordinator
                 // hiccup): reconnect and re-introduce ourselves.
-                link = Session::establish(addr, process, session, incarnation)?;
+                (link, expected_digest) =
+                    Session::establish(addr, process, session, incarnation, auth)?;
                 continue;
             }
             // Read errors (ECONNRESET and friends) take the same recovery
@@ -306,13 +418,25 @@ pub fn run_worker(
                 if !nodes.is_empty() && finished == nodes.len() {
                     return Ok(());
                 }
-                link = Session::establish(addr, process, session, incarnation)?;
+                (link, expected_digest) =
+                    Session::establish(addr, process, session, incarnation, auth)?;
                 continue;
             }
             Err(err) => return Err(err),
         };
         match frame {
             WireFrame::Welcome { config } => {
+                // Under authentication the coordinator committed to a
+                // config digest in its challenge; a Welcome that does not
+                // match is a spliced or swapped configuration.
+                if let Some(expect) = expected_digest {
+                    if sha256(&config) != expect {
+                        return Err(CoreError::unauthorized(
+                            format!("worker-{process}"),
+                            "welcome config digest does not match the challenge",
+                        ));
+                    }
+                }
                 // First Welcome builds the kernels; a Welcome on a
                 // reconnect is ignored — state lives here.
                 if nodes.is_empty() {
@@ -336,18 +460,41 @@ pub fn run_worker(
                     ));
                 };
                 if let Some(reply) = dispatch(*id, hosted, cmd, process)? {
+                    let failed = match &reply {
+                        Reply::NodeError { error, .. } => Some(error.clone()),
+                        _ => None,
+                    };
                     link.send(&WireFrame::Reply(reply), process)?;
+                    if let Some(error) = failed {
+                        // The hosted iterate is poisoned; exit typed after
+                        // the report instead of serving further commands.
+                        return Err(error);
+                    }
                 }
                 if is_finish {
                     finished += 1;
                 }
             }
             WireFrame::Shutdown => return Ok(()),
-            WireFrame::Hello { .. } | WireFrame::Reply(_) => {
+            WireFrame::Nak => {
+                // The coordinator failed to decode our last reply; resend
+                // the cached bytes verbatim (a Nak with nothing cached is
+                // a stray and is ignored).
+                if let Some(bytes) = link.last_reply.clone() {
+                    link.send_raw(&bytes, process)?;
+                }
+            }
+            WireFrame::Hello { .. } | WireFrame::AuthHello { .. } | WireFrame::Reply(_) => {
                 return Err(CoreError::corrupt_payload(
                     format!("worker-{process}"),
                     0,
                     "coordinator sent a worker-to-coordinator frame".to_owned(),
+                ));
+            }
+            WireFrame::Challenge { .. } => {
+                return Err(CoreError::unauthorized(
+                    format!("worker-{process}"),
+                    "authentication challenge arrived mid-session",
                 ));
             }
         }

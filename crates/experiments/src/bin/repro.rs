@@ -20,6 +20,9 @@
 //!   faults     extension: crash/straggler injection and degraded-mode cost
 //!   chaos      extension: corruption-rate sweep of the checksummed wire
 //!              codec and divergence safeguards, both distributed engines;
+//!              `--engine sockets` runs the sweep over the multi-process
+//!              socket engine's real TCP frames instead, including the
+//!              wire-level kinds (frame truncate/duplicate/reorder);
 //!              `--quick` shrinks the sweep for CI smoke runs
 //!   sockets    extension: multi-process socket engine (one OS process per
 //!              node over loopback TCP) vs lockstep, clean and under real
@@ -42,7 +45,10 @@
 //!              generates `--cases N` (default 500; `--quick` → 60) random
 //!              instances and cross-checks every engine plus the generic
 //!              matrix-form reference; failing cases are shrunk and written
-//!              to the corpus as permanent reproducers
+//!              to the corpus as permanent reproducers; `--faults` forces
+//!              the crash/recovery and corruption legs onto every generated
+//!              case, `--mutate-corpus` biases generation toward mutants of
+//!              the committed reproducers
 //!   all      everything above (except extensions)
 //! ```
 
@@ -65,6 +71,8 @@ struct Options {
     min_speedup: Option<f64>,
     cases: Option<usize>,
     corpus: PathBuf,
+    faults: bool,
+    mutate_corpus: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -82,6 +90,8 @@ fn parse_args() -> Result<Options, String> {
         min_speedup: None,
         cases: None,
         corpus: PathBuf::from("tests/corpus"),
+        faults: false,
+        mutate_corpus: false,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -99,6 +109,8 @@ fn parse_args() -> Result<Options, String> {
             }
             "--quick" => opts.quick = true,
             "--check" => opts.check = true,
+            "--faults" => opts.faults = true,
+            "--mutate-corpus" => opts.mutate_corpus = true,
             "--engine" => {
                 let v = args.next().ok_or("--engine needs a value")?;
                 opts.engine = v;
@@ -587,6 +599,16 @@ fn run_faults(opts: &Options, settings: AdmgSettings) -> Result<(), Box<dyn std:
 
 fn run_chaos(opts: &Options, settings: AdmgSettings) -> Result<(), Box<dyn std::error::Error>> {
     use ufc_experiments::chaos;
+    if opts.engine == "sockets" {
+        return run_chaos_sockets(opts, settings);
+    }
+    if opts.engine != "inprocess" {
+        return Err(format!(
+            "unknown chaos --engine {:?} (expected inprocess|sockets)",
+            opts.engine
+        )
+        .into());
+    }
     let (hours, rates): (usize, &[f64]) = if opts.quick {
         (2, &[0.0, 1e-3])
     } else {
@@ -639,6 +661,78 @@ fn run_chaos(opts: &Options, settings: AdmgSettings) -> Result<(), Box<dyn std::
     println!("checksummed runs reproduced the clean operating point in every cell\n");
     if let Some(dir) = &opts.csv_dir {
         write_csv(dir, "chaos_sweep", &study.csv())?;
+        println!("(csv written to {})", dir.display());
+    }
+    Ok(())
+}
+
+fn run_chaos_sockets(
+    opts: &Options,
+    settings: AdmgSettings,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use ufc_experiments::{chaos, sockets};
+    let worker = sockets::locate_worker()?;
+    let (hours, rates): (usize, &[f64]) = if opts.quick {
+        (1, &[1e-2])
+    } else {
+        (opts.hours.min(4), &[1e-3, 1e-2])
+    };
+    let study = chaos::run_sockets_chaos(opts.seed, hours, settings, rates, &worker)?;
+    println!(
+        "== Extension: chaos over the real wire ({hours} hours per cell, one OS process per \
+         node) =="
+    );
+    let rows: Vec<Vec<String>> = study
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0e}", p.rate),
+                p.kind.map_or("value".to_owned(), |k| {
+                    format!("{k:?}").to_lowercase().replace("frame", "")
+                }),
+                format!(
+                    "{}/{}/{}",
+                    p.hours_converged, p.hours_attempted, p.hours_exhausted
+                ),
+                p.hours_bitwise_clean.to_string(),
+                p.corruptions_injected.to_string(),
+                p.corruptions_detected.to_string(),
+                p.corruptions_delivered.to_string(),
+                p.retransmissions.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &[
+                "rate",
+                "kind",
+                "ok/att/exh",
+                "bitwise",
+                "injected",
+                "detected",
+                "delivered",
+                "resends"
+            ],
+            &rows
+        )
+    );
+    if !study.all_hours_bitwise_clean() {
+        return Err(
+            "a verified socket run failed to reproduce the clean operating point bitwise".into(),
+        );
+    }
+    if !study.wire_faults_all_caught() {
+        return Err("a wire-level fault was injected but never detected".into());
+    }
+    println!(
+        "every injected corruption was caught and every hour reproduced the clean UFC \
+         bit-for-bit\n"
+    );
+    if let Some(dir) = &opts.csv_dir {
+        write_csv(dir, "chaos_sockets", &study.csv())?;
         println!("(csv written to {})", dir.display());
     }
     Ok(())
@@ -993,7 +1087,14 @@ fn run_fuzz(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     if worker.is_none() {
         println!("(ufc-node worker not found; socket legs skipped)");
     }
-    let report = fuzz::run(opts.seed, cases, &opts.corpus, worker.as_deref())?;
+    let report = fuzz::run_with(
+        opts.seed,
+        cases,
+        &opts.corpus,
+        worker.as_deref(),
+        opts.mutate_corpus,
+        opts.faults,
+    )?;
     println!(
         "corpus replayed: {}  generated: {}  solved: {}  rejected: {}  socket runs: {}",
         report.corpus_replayed,
@@ -1001,6 +1102,10 @@ fn run_fuzz(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         report.solved,
         report.rejected,
         report.socket_runs
+    );
+    println!(
+        "faulty legs: {}  corrupt legs: {}  corpus mutants: {}",
+        report.faulty_runs, report.corrupt_runs, report.mutated
     );
     if report.failures.is_empty() {
         println!("no divergences.\n");

@@ -4,23 +4,28 @@
 //! (`ufc_distsim::DistributedAdmg::run_sockets`), one per process slot:
 //!
 //! ```text
-//! ufc-node --connect 127.0.0.1:PORT --process P --session S [--incarnation I]
+//! ufc-node --connect 127.0.0.1:PORT --process P --session S \
+//!     [--incarnation I] [--auth-key HEX]
 //! ```
 //!
 //! The process connects to the coordinator, rebuilds its hosted node
 //! kernels from the handshake's run configuration, and serves ADM-G
-//! commands until the run finishes. All protocol logic lives in
+//! commands until the run finishes. With `--auth-key` (64 hex chars) the
+//! worker answers the coordinator's challenge with a keyed MAC before any
+//! iteration state is exchanged. All protocol logic lives in
 //! `ufc_distsim::worker::run_worker`; this binary only parses the flags.
 
 use std::process::ExitCode;
 
 use ufc_distsim::worker::run_worker;
+use ufc_distsim::AuthKey;
 
 struct Args {
     connect: String,
     process: usize,
     session: u64,
     incarnation: u32,
+    auth: Option<AuthKey>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -28,6 +33,7 @@ fn parse_args() -> Result<Args, String> {
     let mut process = None;
     let mut session = None;
     let mut incarnation = 0u32;
+    let mut auth = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
@@ -53,6 +59,10 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("bad --incarnation value {v:?}"))?;
             }
+            "--auth-key" => {
+                let v = value("--auth-key")?;
+                auth = Some(AuthKey::from_hex(&v).map_err(|e| format!("bad --auth-key: {e}"))?);
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -61,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
         process: process.ok_or("missing --process")?,
         session: session.ok_or("missing --session")?,
         incarnation,
+        auth,
     })
 }
 
@@ -70,12 +81,19 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("ufc-node: {e}");
             eprintln!(
-                "usage: ufc-node --connect HOST:PORT --process P --session S [--incarnation I]"
+                "usage: ufc-node --connect HOST:PORT --process P --session S \
+                 [--incarnation I] [--auth-key HEX]"
             );
             return ExitCode::FAILURE;
         }
     };
-    match run_worker(&args.connect, args.process, args.session, args.incarnation) {
+    match run_worker(
+        &args.connect,
+        args.process,
+        args.session,
+        args.incarnation,
+        args.auth.as_ref(),
+    ) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("ufc-node[{}]: {e}", args.process);

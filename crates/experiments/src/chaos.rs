@@ -10,8 +10,10 @@
 //! end converged, typed-diverged, or typed-exhausted, never panicked and
 //! never silently wrong without the integrity counters saying so).
 
+use std::path::Path;
+
 use ufc_core::{AdmgSettings, CoreError, Result, Strategy};
-use ufc_distsim::{CorruptionConfig, DistributedAdmg, Runtime};
+use ufc_distsim::{CorruptionConfig, CorruptionKind, DistributedAdmg, Runtime, SocketOptions};
 use ufc_model::scenario::ScenarioBuilder;
 use ufc_traces::csv::Csv;
 
@@ -228,6 +230,204 @@ impl ChaosStudy {
                 p.retransmissions as f64,
                 100.0 * p.mean_extra_bytes,
                 100.0 * p.max_abs_ufc_delta,
+            ]);
+        }
+        csv
+    }
+}
+
+/// One cell of the socket sweep: a corruption posture applied to the
+/// engine's real TCP traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SocketChaosPoint {
+    /// Per-attempt corruption probability.
+    pub rate: f64,
+    /// `None` for §12 value-level corruption (random kind per event,
+    /// verified checksums); a wire-level kind for whole-frame chaos.
+    pub kind: Option<CorruptionKind>,
+    /// Hours attempted.
+    pub hours_attempted: usize,
+    /// Hours that converged.
+    pub hours_converged: usize,
+    /// Hours ended by retransmit-budget exhaustion (typed
+    /// `CorruptPayload`).
+    pub hours_exhausted: usize,
+    /// Hours whose UFC matched the clean lockstep run bit-for-bit.
+    pub hours_bitwise_clean: usize,
+    /// Corruption attempts injected into the live byte stream.
+    pub corruptions_injected: u64,
+    /// Injections caught by the CRC ladder or absorbed structurally.
+    pub corruptions_detected: u64,
+    /// Corruptions delivered into the iterate stream — must stay 0.
+    pub corruptions_delivered: u64,
+    /// Repair retransmissions over the wire.
+    pub retransmissions: u64,
+}
+
+/// Result of the socket-engine chaos sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocketChaosStudy {
+    /// One aggregate per (rate, posture) cell.
+    pub points: Vec<SocketChaosPoint>,
+}
+
+/// Sweeps seeded corruption over the multi-process socket engine's real
+/// TCP traffic: for every positive rate, one verified value-level cell
+/// (identical draw order to the in-process engines) and one cell per
+/// wire-level kind — frame truncation, duplication, reordering — applied
+/// to live frame bytes in both directions. Typed budget-exhaustion
+/// failures end only their own hour; anything else propagates.
+///
+/// # Errors
+///
+/// Scenario construction, clean-run solver failures, or a socket run
+/// ending in anything other than convergence or a typed
+/// `CorruptPayload`.
+pub fn run_sockets_chaos(
+    seed: u64,
+    hours: usize,
+    settings: AdmgSettings,
+    rates: &[f64],
+    worker: &Path,
+) -> Result<SocketChaosStudy> {
+    let scenario = ScenarioBuilder::paper_default()
+        .seed(seed)
+        .hours(hours)
+        .build()
+        .map_err(CoreError::Model)?;
+    let hour_ids: Vec<usize> = (0..scenario.instances.len()).collect();
+
+    // Clean lockstep baselines: the socket engine is bit-identical to
+    // lockstep, so these are the bits every repaired hour must reproduce.
+    let clean_runner = DistributedAdmg::try_new(settings)?;
+    let baselines = par_map(&hour_ids, default_threads(), |_, &t| {
+        clean_runner
+            .run(&scenario.instances[t], Strategy::Hybrid, Runtime::Lockstep)
+            .map(|r| r.breakdown.ufc().to_bits())
+    });
+    let baselines: Vec<u64> = baselines.into_iter().collect::<Result<_>>()?;
+
+    let mut cells: Vec<(f64, Option<CorruptionKind>)> = Vec::new();
+    for &rate in rates {
+        cells.push((rate, None));
+        if rate > 0.0 {
+            for kind in [
+                CorruptionKind::FrameTruncate,
+                CorruptionKind::FrameDuplicate,
+                CorruptionKind::FrameReorder,
+            ] {
+                cells.push((rate, Some(kind)));
+            }
+        }
+    }
+
+    let options = SocketOptions::new(worker);
+    let mut points = Vec::new();
+    for (c, &(rate, kind)) in cells.iter().enumerate() {
+        // Value-level cells verify checksums so every strike is repaired;
+        // wire-level cells rely on the always-on framing CRC.
+        let runner = DistributedAdmg::try_new(settings.with_checksums(kind.is_none()))?;
+        let mut point = SocketChaosPoint {
+            rate,
+            kind,
+            hours_attempted: hour_ids.len(),
+            hours_converged: 0,
+            hours_exhausted: 0,
+            hours_bitwise_clean: 0,
+            corruptions_injected: 0,
+            corruptions_detected: 0,
+            corruptions_delivered: 0,
+            retransmissions: 0,
+        };
+        // Socket runs already fan out one OS process per node; run the
+        // hours serially instead of stacking process fleets.
+        for &t in &hour_ids {
+            let cfg_seed = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add((c * hours + t) as u64);
+            let mut cfg = CorruptionConfig::try_new(rate, cfg_seed)?;
+            cfg.kind = kind;
+            match runner.run_sockets_corrupt(
+                &scenario.instances[t],
+                Strategy::Hybrid,
+                &options,
+                cfg,
+            ) {
+                Ok(report) => {
+                    point.hours_converged += usize::from(report.converged);
+                    point.hours_bitwise_clean +=
+                        usize::from(report.breakdown.ufc().to_bits() == baselines[t]);
+                    let integrity = report.integrity.unwrap_or_default();
+                    point.corruptions_injected += integrity.corruptions_injected;
+                    point.corruptions_detected += integrity.corruptions_detected;
+                    point.corruptions_delivered += integrity.corruptions_delivered;
+                    point.retransmissions += integrity.checksum_retransmissions;
+                }
+                Err(CoreError::CorruptPayload { .. }) => point.hours_exhausted += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        points.push(point);
+    }
+    Ok(SocketChaosStudy { points })
+}
+
+impl SocketChaosStudy {
+    /// `true` when every hour of every cell converged onto the clean UFC
+    /// bit-for-bit with nothing corrupt delivered — the sweep's headline
+    /// guarantee.
+    #[must_use]
+    pub fn all_hours_bitwise_clean(&self) -> bool {
+        self.points.iter().all(|p| {
+            p.hours_converged == p.hours_attempted
+                && p.hours_bitwise_clean == p.hours_attempted
+                && p.corruptions_delivered == 0
+        })
+    }
+
+    /// `true` when every wire-level cell detected (or structurally
+    /// absorbed) exactly as many faults as it injected.
+    #[must_use]
+    pub fn wire_faults_all_caught(&self) -> bool {
+        self.points
+            .iter()
+            .filter(|p| p.kind.is_some())
+            .all(|p| p.corruptions_detected == p.corruptions_injected)
+    }
+
+    /// CSV with one row per cell; the kind column is 0 for value-level
+    /// corruption, 1/2/3 for frame truncate/duplicate/reorder.
+    #[must_use]
+    pub fn csv(&self) -> Csv {
+        let mut csv = Csv::new(&[
+            "corruption_rate",
+            "kind",
+            "hours_converged",
+            "hours_exhausted",
+            "hours_bitwise_clean",
+            "corruptions_injected",
+            "corruptions_detected",
+            "corruptions_delivered",
+            "retransmissions",
+        ]);
+        for p in &self.points {
+            let kind = match p.kind {
+                None => 0.0,
+                Some(CorruptionKind::FrameTruncate) => 1.0,
+                Some(CorruptionKind::FrameDuplicate) => 2.0,
+                Some(CorruptionKind::FrameReorder) => 3.0,
+                Some(_) => -1.0,
+            };
+            csv.push_row(&[
+                p.rate,
+                kind,
+                p.hours_converged as f64,
+                p.hours_exhausted as f64,
+                p.hours_bitwise_clean as f64,
+                p.corruptions_injected as f64,
+                p.corruptions_detected as f64,
+                p.corruptions_delivered as f64,
+                p.retransmissions as f64,
             ]);
         }
         csv

@@ -30,9 +30,10 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 use ufc_core::{
-    centralized, correction, generic, AdmgSettings, AdmgSolver, AdmgState, CoreError, Strategy,
+    centralized, correction, generic, AdmgSettings, AdmgSolver, AdmgState, CoreError,
+    HistoryRecorder, IterationRecord, Strategy,
 };
-use ufc_distsim::{DistributedAdmg, Runtime, SocketOptions};
+use ufc_distsim::{CorruptionConfig, DistributedAdmg, FaultPlan, NodeId, Runtime, SocketOptions};
 use ufc_model::generator::{arbitrary_params, InstanceParams, SplitMix64};
 use ufc_model::{EmissionCostFn, StorageParams, UfcInstance};
 
@@ -47,6 +48,11 @@ const CENTRAL_REL_TOL: f64 = 5e-3;
 const FEASIBILITY_TOL: f64 = 1e-6;
 /// Component tolerance for the generic matrix-form correction oracle.
 const GENERIC_TOL: f64 = 1e-9;
+/// Per-iterate relative tolerance for the residual-trajectory cross-check
+/// between the in-process history and a distributed engine's observed
+/// stream. The engines run the same arithmetic in the same order, so any
+/// drift past rounding is a real divergence, not float noise.
+const RESIDUAL_REL_TOL: f64 = 1e-9;
 
 /// One fully-specified fuzz case: candidate instance parameters plus the
 /// sampled solver-knob combination. This is the unit of generation,
@@ -69,6 +75,16 @@ pub struct FuzzCase {
     pub expect_reject: bool,
     /// Whether to also run the multi-process socket engine.
     pub socket: bool,
+    /// Seed of the crash/recovery leg (`None` skips it): derives a
+    /// deterministic recovering [`FaultPlan`] whose checkpoint restart
+    /// must land back on the clean operating point bit-for-bit.
+    pub fault_seed: Option<u64>,
+    /// Seed of the corruption leg (`None` skips it): drives §12 value
+    /// corruption through the verified posture (repair + bitwise-clean
+    /// point, nothing delivered) and the unverified posture (lockstep and
+    /// threaded agree on the outcome, errors stay in the typed
+    /// corruption/divergence classes).
+    pub corrupt_seed: Option<u64>,
 }
 
 /// What a clean case did.
@@ -123,6 +139,11 @@ pub fn arbitrary_case(seed: u64) -> FuzzCase {
     };
     let expect_reject = params.build().is_err();
     let socket = rng.chance(0.08);
+    // Drawn last so every earlier seed keeps mapping to the exact case it
+    // produced before these legs existed (corpus reproducer names stay
+    // pinned to their seeds).
+    let fault_seed = rng.chance(0.2).then(|| rng.next_u64());
+    let corrupt_seed = rng.chance(0.2).then(|| rng.next_u64());
     FuzzCase {
         params,
         strategy,
@@ -132,6 +153,8 @@ pub fn arbitrary_case(seed: u64) -> FuzzCase {
         blocked,
         expect_reject,
         socket,
+        fault_seed,
+        corrupt_seed,
     }
 }
 
@@ -154,6 +177,48 @@ fn error_key(e: &CoreError) -> String {
 
 fn rel_gap(a: f64, b: f64) -> f64 {
     (a - b).abs() / b.abs().max(1.0)
+}
+
+/// Compares a distributed engine's observed per-iterate residuals (link,
+/// balance, dual — the KKT quantities the stop rule max-reduces) against
+/// the in-process solver's recorded history. The objective column is
+/// excluded: distributed transports report it as `NaN` by contract.
+fn check_residual_trajectory(
+    name: &str,
+    expected: &[IterationRecord],
+    observed: &[IterationRecord],
+) -> Result<(), CaseFailure> {
+    if expected.len() != observed.len() {
+        return Err(fail(
+            "residual-divergence",
+            format!(
+                "{name} streamed {} iteration records, in-process recorded {}",
+                observed.len(),
+                expected.len()
+            ),
+        ));
+    }
+    for (e, o) in expected.iter().zip(observed) {
+        for (label, x, y) in [
+            ("link", e.link_residual, o.link_residual),
+            ("balance", e.balance_residual, o.balance_residual),
+            ("dual", e.dual_residual, o.dual_residual),
+        ] {
+            let diff = (x - y).abs();
+            // Negated form so a NaN on either side fails the gate.
+            let within = diff <= RESIDUAL_REL_TOL * x.abs().max(1.0);
+            if !within {
+                return Err(fail(
+                    "residual-divergence",
+                    format!(
+                        "{name} iteration {}: {label} residual {y} drifts from in-process {x}",
+                        e.iteration
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 fn pseudo_random_state(inst: &UfcInstance, rng: &mut SplitMix64) -> AdmgState {
@@ -322,23 +387,23 @@ pub fn check_case(case: &FuzzCase, worker: Option<&Path>) -> Result<CaseOutcome,
     }
 
     // --- Engine bit-identity: lockstep and threaded runtimes, same knobs.
+    // Each engine streams its per-iterate residuals through an observer,
+    // so the whole KKT trajectory — not just the final point — is
+    // cross-checked against the in-process history.
     let dist = DistributedAdmg::new(main_settings);
-    for (name, run) in [
-        (
-            "lockstep",
-            dist.run(&inst, case.strategy, Runtime::Lockstep),
-        ),
-        (
-            "threaded",
-            dist.run(&inst, case.strategy, Runtime::Threaded),
-        ),
+    for (name, runtime) in [
+        ("lockstep", Runtime::Lockstep),
+        ("threaded", Runtime::Threaded),
     ] {
-        let rep = run.map_err(|e| {
-            fail(
-                "engine-divergence",
-                format!("{name} fails (`{e}`) where the in-process engine solves"),
-            )
-        })?;
+        let mut recorder = HistoryRecorder::default();
+        let rep = dist
+            .run_observed(&inst, case.strategy, runtime, &mut recorder)
+            .map_err(|e| {
+                fail(
+                    "engine-divergence",
+                    format!("{name} fails (`{e}`) where the in-process engine solves"),
+                )
+            })?;
         if rep.iterations != mem.iterations
             || rep.point != mem.point
             || rep.converged != mem.converged
@@ -354,6 +419,7 @@ pub fn check_case(case: &FuzzCase, worker: Option<&Path>) -> Result<CaseOutcome,
                 ),
             ));
         }
+        check_residual_trajectory(name, &mem.history, &recorder.into_history())?;
     }
 
     // --- Socket engine on the sampled subset.
@@ -377,6 +443,168 @@ pub fn check_case(case: &FuzzCase, worker: Option<&Path>) -> Result<CaseOutcome,
                         mem.iterations,
                         rep.breakdown.ufc(),
                         mem.breakdown.ufc()
+                    ),
+                ));
+            }
+        }
+    }
+
+    // --- Crash/recovery leg: a deterministic recovering fault plan
+    // derived from `fault_seed` crashes one node mid-run; the checkpoint
+    // restart must land back on the clean operating point bit-for-bit on
+    // both supervised runtimes. (A crash iteration past the run's length
+    // simply never fires — the contract still holds trivially.)
+    if let (Some(fseed), true) = (case.fault_seed, mem.converged) {
+        let mut frng = SplitMix64::new(fseed);
+        let node = if frng.chance(0.5) {
+            NodeId::Frontend(frng.below(inst.arrivals.len()))
+        } else {
+            NodeId::Datacenter(frng.below(inst.capacities.len()))
+        };
+        let crash_at = 2 + frng.below(6);
+        let plan = FaultPlan::new().crash_and_recover(node, crash_at, 1);
+        for (name, runtime) in [
+            ("lockstep", Runtime::Lockstep),
+            ("threaded", Runtime::Threaded),
+        ] {
+            let rep = dist
+                .run_faulty(&inst, case.strategy, runtime, plan.clone())
+                .map_err(|e| {
+                    fail(
+                        "fault-recovery",
+                        format!(
+                            "{name} with {node:?} crashing at iteration {crash_at} fails \
+                             (`{e}`) where the clean run solves"
+                        ),
+                    )
+                })?;
+            if rep.point != mem.point {
+                return Err(fail(
+                    "fault-recovery",
+                    format!(
+                        "{name} recovery from a {node:?} crash at iteration {crash_at} lands \
+                         off the clean point: UFC {} vs {}",
+                        rep.breakdown.ufc(),
+                        mem.breakdown.ufc()
+                    ),
+                ));
+            }
+        }
+    }
+
+    // --- Corruption leg. Verified posture: every engine must repair the
+    // seeded §12 poison, reproduce the clean point bit-for-bit, and
+    // deliver nothing corrupt. Unverified posture: poison may reach the
+    // iterate stream, so the only contract is outcome agreement between
+    // the engines — the same clean point, or the same typed error from
+    // the corruption/divergence classes. Never a panic, never a silently
+    // different answer on one engine only.
+    if let (Some(cseed), true) = (case.corrupt_seed, mem.converged) {
+        let cfg = CorruptionConfig::new(1e-2, cseed);
+        let verified = DistributedAdmg::new(main_settings.with_checksums(true));
+        for (name, runtime) in [
+            ("lockstep", Runtime::Lockstep),
+            ("threaded", Runtime::Threaded),
+        ] {
+            let rep = verified
+                .run_corrupt(&inst, case.strategy, runtime, cfg)
+                .map_err(|e| {
+                    fail(
+                        "corrupt-verified",
+                        format!("verified {name} fails (`{e}`) instead of repairing"),
+                    )
+                })?;
+            if rep.point != mem.point {
+                return Err(fail(
+                    "corrupt-verified",
+                    format!(
+                        "verified {name} lands off the clean point: UFC {} vs {}",
+                        rep.breakdown.ufc(),
+                        mem.breakdown.ufc()
+                    ),
+                ));
+            }
+            let delivered = rep
+                .integrity
+                .map_or(0, |counters| counters.corruptions_delivered);
+            if delivered != 0 {
+                return Err(fail(
+                    "corrupt-verified",
+                    format!("verified {name} delivered {delivered} corrupt payloads"),
+                ));
+            }
+        }
+        if case.socket {
+            if let Some(worker) = worker {
+                let rep = verified
+                    .run_sockets_corrupt(&inst, case.strategy, &SocketOptions::new(worker), cfg)
+                    .map_err(|e| {
+                        fail(
+                            "corrupt-verified",
+                            format!("verified socket engine fails (`{e}`) instead of repairing"),
+                        )
+                    })?;
+                if rep.point != mem.point {
+                    return Err(fail(
+                        "corrupt-verified",
+                        format!(
+                            "verified socket engine lands off the clean point: UFC {} vs {}",
+                            rep.breakdown.ufc(),
+                            mem.breakdown.ufc()
+                        ),
+                    ));
+                }
+            }
+        }
+        let lock = dist.run_corrupt(&inst, case.strategy, Runtime::Lockstep, cfg);
+        let thread = dist.run_corrupt(&inst, case.strategy, Runtime::Threaded, cfg);
+        match (lock, thread) {
+            (Ok(a), Ok(b)) => {
+                if a.point != b.point {
+                    return Err(fail(
+                        "corrupt-unverified",
+                        format!(
+                            "unverified engines both converge but disagree: UFC {} vs {}",
+                            a.breakdown.ufc(),
+                            b.breakdown.ufc()
+                        ),
+                    ));
+                }
+            }
+            (Err(a), Err(b)) => {
+                if error_key(&a) != error_key(&b) {
+                    return Err(fail(
+                        "corrupt-unverified",
+                        format!("unverified engines fail differently: `{a}` vs `{b}`"),
+                    ));
+                }
+                // `Subproblem` joined the allowed classes when the fault
+                // legs surfaced a real bug: NaN poison reaching a node's
+                // λ-/a-QP used to panic inside the worker instead of
+                // rejecting typed (`node.rs` now maps it to
+                // `CoreError::Subproblem`).
+                let typed = matches!(
+                    a,
+                    CoreError::Divergence { .. }
+                        | CoreError::CorruptPayload { .. }
+                        | CoreError::NotConverged { .. }
+                        | CoreError::Subproblem { .. }
+                );
+                if !typed {
+                    return Err(fail(
+                        "corrupt-unverified",
+                        format!("unverified poison surfaced an unexpected error class: `{a}`"),
+                    ));
+                }
+            }
+            (a, b) => {
+                return Err(fail(
+                    "corrupt-unverified",
+                    format!(
+                        "unverified engines disagree on solvability: lockstep {:?} vs \
+                         threaded {:?}",
+                        a.map(|r| r.converged),
+                        b.map(|r| r.converged)
                     ),
                 ));
             }
@@ -591,6 +819,18 @@ fn shrink_candidates(case: &FuzzCase) -> Vec<FuzzCase> {
         c.socket = false;
         out.push(c);
     }
+    // Drop the fault/corruption legs: if the failure survives without
+    // them, the reproducer should not pay for them on every replay.
+    if case.fault_seed.is_some() {
+        let mut c = case.clone();
+        c.fault_seed = None;
+        out.push(c);
+    }
+    if case.corrupt_seed.is_some() {
+        let mut c = case.clone();
+        c.corrupt_seed = None;
+        out.push(c);
+    }
     out
 }
 
@@ -664,6 +904,12 @@ pub fn encode_case(case: &FuzzCase, note: &str) -> String {
     let _ = writeln!(out, "rank1_kkt = {}", case.rank1_kkt);
     let _ = writeln!(out, "blocked = {}", case.blocked);
     let _ = writeln!(out, "socket = {}", case.socket);
+    if let Some(fseed) = case.fault_seed {
+        let _ = writeln!(out, "fault_seed = {fseed}");
+    }
+    if let Some(cseed) = case.corrupt_seed {
+        let _ = writeln!(out, "corrupt_seed = {cseed}");
+    }
     let _ = writeln!(
         out,
         "expect = {}",
@@ -748,6 +994,7 @@ pub fn decode_case(text: &str) -> Result<FuzzCase, String> {
     let mut strategy = None;
     let mut threads = 1usize;
     let (mut cache, mut rank1_kkt, mut blocked, mut socket) = (true, false, false, false);
+    let (mut fault_seed, mut corrupt_seed) = (None, None);
     let mut expect_reject = None;
     let mut fields: std::collections::HashMap<&str, Vec<f64>> = std::collections::HashMap::new();
     let mut latency_rows: Vec<Vec<f64>> = Vec::new();
@@ -778,6 +1025,12 @@ pub fn decode_case(text: &str) -> Result<FuzzCase, String> {
             "rank1_kkt" => rank1_kkt = value.parse().map_err(|e| format!("rank1_kkt: {e}"))?,
             "blocked" => blocked = value.parse().map_err(|e| format!("blocked: {e}"))?,
             "socket" => socket = value.parse().map_err(|e| format!("socket: {e}"))?,
+            "fault_seed" => {
+                fault_seed = Some(value.parse().map_err(|e| format!("fault_seed: {e}"))?);
+            }
+            "corrupt_seed" => {
+                corrupt_seed = Some(value.parse().map_err(|e| format!("corrupt_seed: {e}"))?);
+            }
             "expect" => {
                 expect_reject = Some(match value {
                     "reject" => true,
@@ -851,6 +1104,8 @@ pub fn decode_case(text: &str) -> Result<FuzzCase, String> {
         blocked,
         expect_reject: expect_reject.ok_or("missing expect")?,
         socket,
+        fault_seed,
+        corrupt_seed,
     })
 }
 
@@ -884,6 +1139,12 @@ pub struct FuzzReport {
     pub rejected: usize,
     /// Cases that exercised the multi-process socket engine.
     pub socket_runs: usize,
+    /// Cases that exercised the crash/recovery leg.
+    pub faulty_runs: usize,
+    /// Cases that exercised the corruption leg.
+    pub corrupt_runs: usize,
+    /// Generated cases mutated from a corpus reproducer.
+    pub mutated: usize,
     /// Cross-check failures (empty on a clean run).
     pub failures: Vec<FuzzFailure>,
 }
@@ -906,6 +1167,26 @@ pub fn run(
     corpus_dir: &Path,
     worker: Option<&Path>,
 ) -> std::io::Result<FuzzReport> {
+    run_with(seed, cases, corpus_dir, worker, false, false)
+}
+
+/// Like [`run`], with the full knob set: `mutate_corpus` biases generation
+/// toward committed counterexamples (each fresh case mutates a decoded
+/// corpus reproducer instead of sampling blind — nearby inputs to a past
+/// finding are far likelier to hit the same cliff), and `faults` forces
+/// the crash/recovery and corruption legs onto every generated case.
+///
+/// # Errors
+///
+/// Propagates corpus-directory I/O failures, like [`run`].
+pub fn run_with(
+    seed: u64,
+    cases: usize,
+    corpus_dir: &Path,
+    worker: Option<&Path>,
+    mutate_corpus: bool,
+    faults: bool,
+) -> std::io::Result<FuzzReport> {
     let mut report = FuzzReport::default();
 
     // --- Corpus replay first: past findings must stay fixed.
@@ -918,6 +1199,7 @@ pub fn run(
         Err(e) => return Err(e),
     };
     paths.sort();
+    let mut bases: Vec<FuzzCase> = Vec::new();
     for path in paths {
         let label = path
             .file_name()
@@ -937,6 +1219,7 @@ pub fn run(
                 } else {
                     bump(&mut report, &case);
                 }
+                bases.push(case);
             }
             Err(e) => report.failures.push(FuzzFailure {
                 label,
@@ -951,7 +1234,19 @@ pub fn run(
     let mut rng = SplitMix64::new(seed);
     for _ in 0..cases {
         let case_seed = rng.next_u64();
-        let case = arbitrary_case(case_seed);
+        let mut case = if mutate_corpus && !bases.is_empty() {
+            report.mutated += 1;
+            let base = &bases[rng.below(bases.len())];
+            mutate_case(base, &mut SplitMix64::new(case_seed))
+        } else {
+            arbitrary_case(case_seed)
+        };
+        if faults && !case.expect_reject {
+            case.fault_seed
+                .get_or_insert(case_seed ^ 0xFA57_FA17_5EED_0001);
+            case.corrupt_seed
+                .get_or_insert(case_seed ^ 0xC022_4B17_5EED_0002);
+        }
         report.generated += 1;
         match check_case(&case, worker) {
             Ok(_) => bump(&mut report, &case),
@@ -988,7 +1283,71 @@ fn bump(report: &mut FuzzReport, case: &FuzzCase) {
         if case.socket {
             report.socket_runs += 1;
         }
+        if case.fault_seed.is_some() {
+            report.faulty_runs += 1;
+        }
+        if case.corrupt_seed.is_some() {
+            report.corrupt_runs += 1;
+        }
     }
+}
+
+/// Deterministically perturbs a corpus reproducer into a fresh case:
+/// one to three stacked tweaks of the inputs or knobs, with the rejection
+/// expectation recomputed for the mutant. Socket legs are dropped —
+/// mutation is about throughput around a known cliff, not engine
+/// coverage — and the fault/corruption seeds are inherited unchanged.
+#[must_use]
+pub fn mutate_case(base: &FuzzCase, rng: &mut SplitMix64) -> FuzzCase {
+    let mut case = base.clone();
+    for _ in 0..1 + rng.below(3) {
+        match rng.below(8) {
+            0 => {
+                let i = rng.below(case.params.arrivals.len().max(1));
+                if let Some(v) = case.params.arrivals.get_mut(i) {
+                    *v *= rng.uniform(0.0, 2.0);
+                }
+            }
+            1 => {
+                let j = rng.below(case.params.capacities.len().max(1));
+                if let Some(v) = case.params.capacities.get_mut(j) {
+                    *v *= rng.uniform(0.5, 2.0);
+                }
+            }
+            2 => {
+                let j = rng.below(case.params.grid_price.len().max(1));
+                if let Some(v) = case.params.grid_price.get_mut(j) {
+                    *v *= rng.uniform(0.25, 4.0);
+                }
+            }
+            3 => {
+                let j = rng.below(case.params.mu_max.len().max(1));
+                let zero = rng.chance(0.3);
+                let scale = rng.uniform(0.5, 1.5);
+                if let Some(v) = case.params.mu_max.get_mut(j) {
+                    *v = if zero { 0.0 } else { *v * scale };
+                }
+            }
+            4 => {
+                case.strategy = match rng.below(3) {
+                    0 => Strategy::Hybrid,
+                    1 => Strategy::GridOnly,
+                    _ => Strategy::FuelCellOnly,
+                };
+            }
+            5 => {
+                case.threads = [1usize, 2, 4][rng.below(3)];
+                case.cache = rng.chance(0.5);
+                case.rank1_kkt = rng.chance(0.5);
+                case.blocked = rng.chance(0.5);
+            }
+            6 => case.params.fuel_cell_price *= rng.uniform(0.25, 4.0),
+            _ => case.params.slot_hours *= rng.uniform(0.5, 2.0),
+        }
+    }
+    case.socket = false;
+    case.expect_reject = case.params.build().is_err();
+    case
 }
 
 #[cfg(test)]
@@ -1003,6 +1362,65 @@ mod tests {
             let back = decode_case(&text).unwrap();
             assert_eq!(case, back, "seed {seed} did not round-trip:\n{text}");
         }
+    }
+
+    #[test]
+    fn codec_round_trips_fault_and_corrupt_seeds() {
+        let mut case = arbitrary_case(0);
+        case.fault_seed = Some(u64::MAX);
+        case.corrupt_seed = Some(7);
+        let back = decode_case(&encode_case(&case, "seed round-trip")).unwrap();
+        assert_eq!(case, back);
+    }
+
+    #[test]
+    fn fault_and_corrupt_legs_pass_on_a_known_good_seed() {
+        let seed = (0..64u64)
+            .find(|&s| {
+                let c = arbitrary_case(s);
+                !c.expect_reject && !c.socket
+            })
+            .expect("some seed must build");
+        let mut case = arbitrary_case(seed);
+        case.fault_seed = Some(7);
+        case.corrupt_seed = Some(11);
+        assert_eq!(check_case(&case, None).unwrap(), CaseOutcome::Solved);
+    }
+
+    #[test]
+    fn residual_divergence_is_a_typed_failure() {
+        let record = |link: f64| IterationRecord {
+            iteration: 0,
+            link_residual: link,
+            balance_residual: 1.0,
+            dual_residual: 1.0,
+            objective: f64::NAN,
+        };
+        assert!(check_residual_trajectory("lockstep", &[record(1.0)], &[record(1.0)]).is_ok());
+        let f = check_residual_trajectory("lockstep", &[record(1.0)], &[record(2.0)]).unwrap_err();
+        assert_eq!(f.kind, "residual-divergence");
+        let f =
+            check_residual_trajectory("lockstep", &[record(1.0)], &[record(f64::NAN)]).unwrap_err();
+        assert_eq!(f.kind, "residual-divergence");
+        let f = check_residual_trajectory("lockstep", &[record(1.0)], &[]).unwrap_err();
+        assert_eq!(f.kind, "residual-divergence");
+    }
+
+    #[test]
+    fn mutate_case_is_deterministic_and_recomputes_expectation() {
+        let seed = (0..64u64)
+            .find(|&s| !arbitrary_case(s).expect_reject)
+            .expect("some seed must build");
+        let base = arbitrary_case(seed);
+        let a = mutate_case(&base, &mut SplitMix64::new(42));
+        let b = mutate_case(&base, &mut SplitMix64::new(42));
+        assert_eq!(a, b, "mutation must be a pure function of (base, seed)");
+        assert!(!a.socket, "mutants drop the socket leg");
+        assert_eq!(a.expect_reject, a.params.build().is_err());
+        // Different seeds must explore different mutants.
+        let c = mutate_case(&base, &mut SplitMix64::new(43));
+        let d = mutate_case(&base, &mut SplitMix64::new(44));
+        assert!(a != c || a != d, "mutation must actually vary the case");
     }
 
     #[test]

@@ -37,7 +37,13 @@ pub fn project_simplex(x: &[f64], s: f64) -> Vec<f64> {
             theta = t;
         }
     }
-    debug_assert!(rho > 0, "simplex projection found no positive pivot");
+    if rho == 0 {
+        // No pivot is only possible when the largest entry is NaN (for
+        // finite inputs the first candidate evaluates to `s ≥ 0`): keep the
+        // degrade-gracefully promise above by returning a fully poisoned
+        // vector for the divergence gate to flag, rather than asserting.
+        return vec![f64::NAN; x.len()];
+    }
     x.iter().map(|&v| (v - theta).max(0.0)).collect()
 }
 
@@ -156,6 +162,20 @@ mod tests {
     #[should_panic(expected = "nonnegative")]
     fn simplex_negative_radius_panics() {
         let _ = project_simplex(&[1.0], -1.0);
+    }
+
+    /// A NaN-poisoned iterate (e.g. from unverified wire corruption) must
+    /// degrade to a poisoned projection for the divergence gate to flag —
+    /// never abort the process, even in debug builds.
+    #[test]
+    fn simplex_nan_input_degrades_without_panicking() {
+        let p = project_simplex(&[f64::NAN, f64::NAN, f64::NAN], 1.0);
+        assert_eq!(p.len(), 3);
+        assert!(p.iter().all(|v| v.is_nan()));
+        let q = project_simplex(&[f64::NAN, 0.25], 1.0);
+        assert_eq!(q.len(), 2);
+        let c = project_capped_simplex(&[f64::NAN, f64::NAN], 1.0);
+        assert_eq!(c.len(), 2);
     }
 
     #[test]
